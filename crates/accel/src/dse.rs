@@ -1,0 +1,237 @@
+//! Per-kernel design-space exploration (§VIII-A, Fig. 10).
+//!
+//! "For each kernel, we evaluate hundreds of design points to explore
+//! different design tradeoffs and identify optimal implementations." The
+//! sweep covers unrolling, initiation interval and (for completeness)
+//! clock; the power-latency Pareto frontier feeds the architecture
+//! simulator, and the *energy-optimal* frontier point is the default lane
+//! building block (§VIII-B1).
+
+use crate::kernels::{evaluate, KernelCost, KernelDesign, KernelKind};
+use crate::pareto::pareto_front;
+
+/// A fully evaluated kernel design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPoint {
+    /// The microarchitecture.
+    pub design: KernelDesign,
+    /// Its modeled cost.
+    pub cost: KernelCost,
+}
+
+/// Sweep configuration for one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSweep {
+    /// Unroll factors to try.
+    pub unrolls: Vec<u32>,
+    /// Initiation intervals to try.
+    pub iis: Vec<u32>,
+    /// Clock frequencies (MHz) to try.
+    pub clocks: Vec<f64>,
+}
+
+impl Default for KernelSweep {
+    fn default() -> Self {
+        Self {
+            unrolls: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+            iis: vec![1, 2, 4],
+            clocks: vec![400.0],
+        }
+    }
+}
+
+impl KernelSweep {
+    /// Number of design points per kernel.
+    pub fn size(&self) -> usize {
+        self.unrolls.len() * self.iis.len() * self.clocks.len()
+    }
+}
+
+/// Evaluates every point of the sweep for one kernel.
+pub fn sweep_kernel(kind: KernelKind, n: usize, sweep: &KernelSweep) -> Vec<KernelPoint> {
+    let mut out = Vec::with_capacity(sweep.size());
+    for &unroll in &sweep.unrolls {
+        if unroll as usize > n {
+            continue;
+        }
+        for &ii in &sweep.iis {
+            for &clock_mhz in &sweep.clocks {
+                let design = KernelDesign {
+                    kind,
+                    n,
+                    unroll,
+                    ii,
+                    clock_mhz,
+                };
+                out.push(KernelPoint {
+                    design,
+                    cost: evaluate(&design),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Power-latency Pareto frontier of a point set (both minimized).
+pub fn power_latency_pareto(points: &[KernelPoint]) -> Vec<KernelPoint> {
+    pareto_front(points, |p| (p.cost.latency_s, p.cost.power_w))
+}
+
+/// The energy-optimal point on the power-latency Pareto frontier — the
+/// paper's per-kernel selection rule ("the energy-optimal point from the
+/// power-latency Pareto frontier", §VIII-B1).
+///
+/// Returns `None` only for an empty sweep.
+pub fn energy_optimal(points: &[KernelPoint]) -> Option<KernelPoint> {
+    power_latency_pareto(points)
+        .into_iter()
+        .min_by(|a, b| a.cost.energy_j.total_cmp(&b.cost.energy_j))
+}
+
+/// A kernel implementation choice for every Lane kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSelection {
+    /// `(kind, chosen point)` for each of the seven Lane kernels.
+    pub choices: Vec<(KernelKind, KernelPoint)>,
+}
+
+impl KernelSelection {
+    /// Picks the energy-optimal implementation for every kernel at degree
+    /// `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
+    pub fn energy_optimal_all(n: usize, sweep: &KernelSweep) -> Self {
+        let choices = KernelKind::ALL
+            .iter()
+            .map(|&kind| {
+                let points = sweep_kernel(kind, n, sweep);
+                (
+                    kind,
+                    energy_optimal(&points).expect("sweep must be non-empty"),
+                )
+            })
+            .collect();
+        Self { choices }
+    }
+
+    /// Picks a *pipeline-balanced* lane: the NTT (the dominant kernel) gets
+    /// its energy-optimal frontier point, and every other kernel gets the
+    /// smallest-area design that keeps its stage comfortably under the NTT
+    /// stage latency — so the lane initiation interval stays NTT-bound, as
+    /// the paper's lane is.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
+    pub fn balanced(n: usize, sweep: &KernelSweep) -> Self {
+        let ntt_points = sweep_kernel(KernelKind::Ntt, n, sweep);
+        let ntt = energy_optimal(&ntt_points).expect("sweep must be non-empty");
+        let target = ntt.cost.latency_s;
+        let choices = KernelKind::ALL
+            .iter()
+            .map(|&kind| {
+                if kind == KernelKind::Ntt {
+                    return (kind, ntt);
+                }
+                let points = sweep_kernel(kind, n, sweep);
+                if kind == KernelKind::Intt {
+                    // Same machinery as the NTT; same design point family.
+                    return (kind, energy_optimal(&points).expect("non-empty"));
+                }
+                // Swap/Decompose/Compose share the rotate path: each gets a
+                // quarter of the NTT budget; multiplies and adds get half.
+                let fraction = match kind {
+                    KernelKind::SimdMult | KernelKind::SimdAdd => 0.5,
+                    _ => 0.25,
+                };
+                let budget = target * fraction;
+                let chosen = points
+                    .iter()
+                    .filter(|p| p.cost.latency_s <= budget)
+                    .min_by(|a, b| a.cost.area_mm2().total_cmp(&b.cost.area_mm2()))
+                    .copied()
+                    .or_else(|| {
+                        points
+                            .iter()
+                            .min_by(|a, b| a.cost.latency_s.total_cmp(&b.cost.latency_s))
+                            .copied()
+                    })
+                    .expect("non-empty sweep");
+                (kind, chosen)
+            })
+            .collect();
+        Self { choices }
+    }
+
+    /// Looks up the chosen point for a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is not in the selection.
+    pub fn get(&self, kind: KernelKind) -> &KernelPoint {
+        self.choices
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| p)
+            .expect("kernel present in selection")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_many_points() {
+        let points = sweep_kernel(KernelKind::Ntt, 4096, &KernelSweep::default());
+        assert!(points.len() >= 30, "got {}", points.len());
+    }
+
+    #[test]
+    fn pareto_is_nonempty_and_monotone() {
+        let points = sweep_kernel(KernelKind::Ntt, 4096, &KernelSweep::default());
+        let front = power_latency_pareto(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() < points.len(), "frontier should prune points");
+        for w in front.windows(2) {
+            assert!(w[0].cost.latency_s <= w[1].cost.latency_s);
+            assert!(w[0].cost.power_w >= w[1].cost.power_w);
+        }
+    }
+
+    #[test]
+    fn faster_designs_cost_more_power_on_frontier() {
+        let points = sweep_kernel(KernelKind::Ntt, 4096, &KernelSweep::default());
+        let front = power_latency_pareto(&points);
+        let fastest = front.first().unwrap();
+        let slowest = front.last().unwrap();
+        assert!(fastest.cost.power_w > slowest.cost.power_w);
+        assert!(fastest.cost.latency_s < slowest.cost.latency_s);
+    }
+
+    #[test]
+    fn energy_optimal_exists_for_all_kernels() {
+        let sel = KernelSelection::energy_optimal_all(4096, &KernelSweep::default());
+        assert_eq!(sel.choices.len(), KernelKind::ALL.len());
+        for (kind, point) in &sel.choices {
+            assert_eq!(point.design.kind, *kind);
+            assert!(point.cost.energy_j > 0.0);
+        }
+        // Lookup works.
+        let _ = sel.get(KernelKind::Ntt);
+    }
+
+    #[test]
+    fn unroll_beyond_n_skipped() {
+        let sweep = KernelSweep {
+            unrolls: vec![1, 4096],
+            iis: vec![1],
+            clocks: vec![400.0],
+        };
+        let points = sweep_kernel(KernelKind::SimdAdd, 1024, &sweep);
+        assert_eq!(points.len(), 1);
+    }
+}

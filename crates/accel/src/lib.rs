@@ -1,0 +1,35 @@
+//! # cheetah-accel — the Cheetah HE-inference accelerator (§VII–VIII)
+//!
+//! A full reproduction of the paper's hardware methodology, with the
+//! Catapult-HLS + 40 nm standard-cell flow replaced by an analytical cost
+//! model (see DESIGN.md for the substitution argument):
+//!
+//! * [`kernels`] — HLS-style per-kernel cost model (latency / power / area
+//!   vs unroll, initiation interval, clock), including the small-SRAM
+//!   density penalty the paper measures;
+//! * [`dse`] — per-kernel design-space exploration and power-latency
+//!   Pareto extraction (Fig. 10);
+//! * [`arch`] / [`sim`] — the PE/Lane architecture (Fig. 9) and the
+//!   activity-factor simulator mapping DNN workloads onto it;
+//! * [`explore`] — the PE × Lane sweep and frontier of Fig. 11;
+//! * [`generality`] — Table VI (foreign models on the ResNet50 design);
+//! * [`tech`] — 40 nm → 16 nm → 5 nm scaling (0.056× power, 0.038× area).
+
+pub mod arch;
+pub mod dse;
+pub mod explore;
+pub mod generality;
+pub mod kernels;
+pub mod pareto;
+pub mod sim;
+pub mod tech;
+pub mod workload;
+
+pub use arch::{AcceleratorConfig, LaneModel};
+pub use dse::{energy_optimal, power_latency_pareto, sweep_kernel, KernelPoint, KernelSweep};
+pub use explore::{explore, ArchSweep, ExploreOutcome};
+pub use generality::{generality_study, GeneralityStudy};
+pub use kernels::{KernelCost, KernelDesign, KernelKind};
+pub use sim::{SimResult, Simulator};
+pub use tech::{TechNode, NODE_16NM, NODE_40NM, NODE_5NM};
+pub use workload::{LayerWork, NetworkWork};

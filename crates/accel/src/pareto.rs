@@ -1,0 +1,75 @@
+//! Pareto-frontier extraction for two-objective minimization.
+
+/// Returns the indices of the Pareto-optimal points under simultaneous
+/// minimization of both objectives, sorted by the first objective.
+///
+/// A point is dominated if another point is no worse in both objectives
+/// and strictly better in at least one.
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+    });
+    let mut frontier = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for idx in order {
+        let y = points[idx].1;
+        if y < best_y {
+            frontier.push(idx);
+            best_y = y;
+        }
+    }
+    frontier
+}
+
+/// Extracts the Pareto-optimal subset of `items`, with objectives computed
+/// by `key` (both minimized), sorted by the first objective.
+pub fn pareto_front<T: Clone>(items: &[T], key: impl Fn(&T) -> (f64, f64)) -> Vec<T> {
+    let points: Vec<(f64, f64)> = items.iter().map(&key).collect();
+    pareto_indices(&points)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_lower_left_staircase() {
+        let pts = vec![
+            (1.0, 10.0), // frontier
+            (2.0, 5.0),  // frontier
+            (3.0, 6.0),  // dominated by (2,5)
+            (4.0, 1.0),  // frontier
+            (5.0, 1.0),  // dominated (same y, worse x)
+        ];
+        let idx = pareto_indices(&pts);
+        assert_eq!(idx, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_indices(&[(3.0, 3.0)]), vec![0]);
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn ties_on_x_keep_best_y() {
+        let pts = vec![(1.0, 5.0), (1.0, 3.0), (2.0, 4.0)];
+        let idx = pareto_indices(&pts);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn pareto_front_preserves_items() {
+        let items = vec![(10u32, 1.0f64, 2.0f64), (20, 2.0, 1.0), (30, 3.0, 3.0)];
+        let front = pareto_front(&items, |it| (it.1, it.2));
+        let ids: Vec<u32> = front.iter().map(|it| it.0).collect();
+        assert_eq!(ids, vec![10, 20]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Technology scaling (§VIII-A).
+//!
+//! Kernel costs are modeled at 40 nm (the paper's synthesis node) and
+//! scaled to 16 nm and 5 nm with the foundry-reported factors the paper
+//! cites: 0.2× power / 0.22× area from 40 nm to 16 nm, then 0.32× power /
+//! 0.17× area from 16 nm to 5 nm — combined 0.056× power and 0.038× area.
+
+/// A process node with scaling factors *relative to 40 nm*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Power multiplier vs 40 nm.
+    pub power_factor: f64,
+    /// Area multiplier vs 40 nm.
+    pub area_factor: f64,
+}
+
+/// The 40 nm synthesis node (identity scaling).
+pub const NODE_40NM: TechNode = TechNode {
+    name: "40nm",
+    power_factor: 1.0,
+    area_factor: 1.0,
+};
+
+/// 16 nm: 0.2× power, 0.22× area vs 40 nm.
+pub const NODE_16NM: TechNode = TechNode {
+    name: "16nm",
+    power_factor: 0.2,
+    area_factor: 0.22,
+};
+
+/// 5 nm: a further 0.32× power and 0.17× area vs 16 nm
+/// (0.056× / 0.0374× vs 40 nm).
+pub const NODE_5NM: TechNode = TechNode {
+    name: "5nm",
+    power_factor: 0.2 * 0.32,
+    area_factor: 0.22 * 0.17,
+};
+
+impl TechNode {
+    /// Scales a 40 nm power figure to this node.
+    pub fn scale_power(&self, watts_40nm: f64) -> f64 {
+        watts_40nm * self.power_factor
+    }
+
+    /// Scales a 40 nm area figure to this node.
+    pub fn scale_area(&self, mm2_40nm: f64) -> f64 {
+        mm2_40nm * self.area_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_factors_match_paper() {
+        // The paper quotes stage factors of 0.2×/0.32× power and
+        // 0.22×/0.17× area, and combined factors of "0.056× and 0.038×".
+        // The area product checks out (0.0374 ≈ 0.038); the power product
+        // is 0.064 — the paper's own 0.056 is internally inconsistent with
+        // its stage factors. We keep the stage factors as ground truth.
+        assert!((NODE_5NM.power_factor - 0.064).abs() < 1e-9);
+        assert!((NODE_5NM.area_factor - 0.038).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        assert!((NODE_16NM.scale_power(100.0) - 20.0).abs() < 1e-9);
+        assert!((NODE_16NM.scale_area(100.0) - 22.0).abs() < 1e-9);
+        assert_eq!(NODE_40NM.scale_power(7.0), 7.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation: Barrett reduction vs naive `u128 %` modular multiplication,
+//! and Shoup multiplication for fixed operands — justifying the
+//! five-multiplication Barrett constant in the §IV-A cost model.
+
+use cheetah_bfv::arith::{generate_ntt_prime, Modulus, ShoupPrecomp};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_reduction(c: &mut Criterion) {
+    let q = Modulus::new(generate_ntt_prime(60, 4096).unwrap()).unwrap();
+    let qv = q.value();
+    let a = qv - 12345;
+    let b = qv / 3 + 7;
+
+    let mut group = c.benchmark_group("modmul");
+    group.bench_function("barrett", |bench| {
+        bench.iter(|| q.mul_mod(black_box(a), black_box(b)))
+    });
+    group.bench_function("u128_rem", |bench| {
+        bench.iter(|| {
+            ((black_box(a) as u128 * black_box(b) as u128) % qv as u128) as u64
+        })
+    });
+    let shoup = ShoupPrecomp::new(b, &q);
+    group.bench_function("shoup_fixed_operand", |bench| {
+        bench.iter(|| shoup.mul(black_box(a), &q))
+    });
+    group.finish();
+}
+
+fn bench_bulk_reduction(c: &mut Criterion) {
+    let q = Modulus::new(generate_ntt_prime(60, 4096).unwrap()).unwrap();
+    let data: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9) % q.value()).collect();
+    let w = q.value() / 5 + 3;
+    let shoup = ShoupPrecomp::new(w, &q);
+
+    let mut group = c.benchmark_group("pointwise_4096");
+    group.bench_function("barrett", |bench| {
+        bench.iter_batched(
+            || data.clone(),
+            |mut v| {
+                for x in &mut v {
+                    *x = q.mul_mod(*x, w);
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("shoup", |bench| {
+        bench.iter_batched(
+            || data.clone(),
+            |mut v| {
+                for x in &mut v {
+                    *x = shoup.mul(*x, &q);
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_bulk_reduction);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! The three BFV operators at Cheetah parameters — HE_Add, HE_Mult (pt-ct),
+//! HE_Rotate — plus the effect of the ciphertext decomposition base on
+//! rotation cost (coarser `A_dcmp` → fewer digits → faster rotations, the
+//! §V-C "8 to 16 more bits" effect).
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    PreparedPlaintext,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+struct Ctx {
+    eval: Evaluator,
+    keys: GaloisKeys,
+    ct: Ciphertext,
+    ct2: Ciphertext,
+    pt: PreparedPlaintext,
+}
+
+fn ctx(a_dcmp_log2: u32) -> Ctx {
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(17)
+        .cipher_bits(60)
+        .a_dcmp(1 << a_dcmp_log2)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 11);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 12);
+    let eval = Evaluator::new(params.clone());
+    let values: Vec<u64> = (0..4096u64).collect();
+    let raw = encoder.encode(&values).unwrap();
+    let ct = enc.encrypt(&raw).unwrap();
+    let ct2 = enc.encrypt(&raw).unwrap();
+    let pt = eval.prepare_plaintext(&raw).unwrap();
+    Ctx {
+        eval,
+        keys,
+        ct,
+        ct2,
+        pt,
+    }
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let ctx = ctx(20);
+    let mut group = c.benchmark_group("he_op_n4096");
+    group.bench_function("add", |b| {
+        b.iter(|| ctx.eval.add(black_box(&ctx.ct), black_box(&ctx.ct2)).unwrap())
+    });
+    group.bench_function("mul_plain", |b| {
+        b.iter(|| ctx.eval.mul_plain(black_box(&ctx.ct), &ctx.pt).unwrap())
+    });
+    group.bench_function("rotate", |b| {
+        b.iter(|| ctx.eval.rotate_rows(black_box(&ctx.ct), 1, &ctx.keys).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rotation_vs_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotate_by_a_dcmp");
+    for a_log in [4u32, 8, 12, 20, 30] {
+        let ctx = ctx(a_log);
+        group.bench_with_input(
+            BenchmarkId::new("a_dcmp_log2", a_log),
+            &a_log,
+            |b, _| b.iter(|| ctx.eval.rotate_rows(black_box(&ctx.ct), 1, &ctx.keys).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_rotation_vs_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Full homomorphic layers under both schedules: the functional
+//! Sched-PA / Sched-IA convolution and FC implementations on real
+//! ciphertexts (Figs. 4-5 made measurable).
+
+use cheetah_bfv::{BatchEncoder, BfvParams, Encryptor, Evaluator, GaloisKeys, KeyGenerator};
+use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::Schedule;
+use cheetah_nn::{ConvSpec, FcSpec, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn conv_spec() -> ConvSpec {
+    ConvSpec {
+        name: "bench".into(),
+        w: 8,
+        fw: 3,
+        ci: 4,
+        co: 2,
+        stride: 1,
+        pad: 1,
+    }
+}
+
+fn fc_spec() -> FcSpec {
+    FcSpec {
+        name: "bench".into(),
+        ni: 64,
+        no: 16,
+    }
+}
+
+fn bench_hom_conv(c: &mut Criterion) {
+    let spec = conv_spec();
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(16)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 31);
+    let pk = kg.public_key().unwrap();
+    let keys: GaloisKeys = kg
+        .galois_keys_for_steps(&HomConv2d::required_steps(&spec))
+        .unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 32);
+    let eval = Evaluator::new(params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let weights = Tensor::from_data(
+        &[spec.co, spec.ci, spec.fw, spec.fw],
+        (0..spec.co * spec.ci * spec.fw * spec.fw)
+            .map(|_| rng.random_range(-4..=4))
+            .collect(),
+    );
+    let input = Tensor::from_data(
+        &[spec.ci, spec.w, spec.w],
+        (0..spec.ci * spec.w * spec.w)
+            .map(|_| rng.random_range(-8..=8))
+            .collect(),
+    );
+    let ct = enc
+        .encrypt(&HomConv2d::encode_input(&spec, &input, &encoder).unwrap())
+        .unwrap();
+
+    let mut group = c.benchmark_group("hom_conv_8x8x4");
+    for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+        let layer = HomConv2d::new(&spec, &weights, &encoder, &eval, schedule).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.label()),
+            &schedule,
+            |b, _| b.iter(|| layer.apply(&ct, &eval, &keys).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hom_fc(c: &mut Criterion) {
+    let spec = fc_spec();
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(16)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 41);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&HomFc::required_steps(&spec)).unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 42);
+    let eval = Evaluator::new(params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let weights = Tensor::from_data(
+        &[spec.no, spec.ni],
+        (0..spec.no * spec.ni).map(|_| rng.random_range(-5..=5)).collect(),
+    );
+    let input = Tensor::from_data(
+        &[spec.ni],
+        (0..spec.ni).map(|_| rng.random_range(-9..=9)).collect(),
+    );
+    let ct = enc
+        .encrypt(&HomFc::encode_input(&spec, &input, &encoder).unwrap())
+        .unwrap();
+
+    let mut group = c.benchmark_group("hom_fc_64x16");
+    group.sample_size(10);
+    for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+        let layer = HomFc::new(&spec, &weights, &encoder, &eval, schedule).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.label()),
+            &schedule,
+            |b, _| b.iter(|| layer.apply(&ct, &eval, &keys).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hom_conv, bench_hom_fc);
+criterion_main!(benches);

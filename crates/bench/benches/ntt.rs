@@ -1,0 +1,48 @@
+//! NTT microbenchmarks across the HE-PTune degree range — the primary HE
+//! bottleneck (55.2 % of ResNet50 inference time in Fig. 7).
+
+use cheetah_bfv::arith::{generate_ntt_prime, Modulus};
+use cheetah_bfv::ntt::NttTable;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for n in [2048usize, 4096, 8192, 16384] {
+        let q = Modulus::new(generate_ntt_prime(60, n).unwrap()).unwrap();
+        let table = NttTable::new(n, q).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| i % q.value()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    table.forward(&mut v);
+                    v
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ntt_inverse");
+    for n in [2048usize, 4096, 8192] {
+        let q = Modulus::new(generate_ntt_prime(60, n).unwrap()).unwrap();
+        let table = NttTable::new(n, q).unwrap();
+        let mut data: Vec<u64> = (0..n as u64).map(|i| i % q.value()).collect();
+        table.forward(&mut data);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    table.inverse(&mut v);
+                    v
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

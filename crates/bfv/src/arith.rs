@@ -1,0 +1,588 @@
+//! Modular arithmetic over word-sized prime moduli.
+//!
+//! Everything in the BFV engine bottoms out in arithmetic modulo a prime
+//! `q < 2^62`. Two reduction strategies are provided, matching the cost
+//! structure the Cheetah paper models in §IV-A:
+//!
+//! * [`Modulus::mul_mod`] — Barrett reduction for arbitrary operand pairs.
+//!   The reduction itself costs five integer multiplications (four partial
+//!   products inside [`mulhi_u128`] plus the `t·q` product), which is exactly
+//!   the constant the paper's performance model charges per modular
+//!   multiplication ("Cheetah uses Barrett reduction, which uses five
+//!   integer-multiplications per reduction").
+//! * [`ShoupPrecomp`] — Shoup multiplication for a *fixed* operand, the hot
+//!   path inside NTT butterflies (Harvey's butterfly: three integer
+//!   multiplications).
+
+use crate::error::{Error, Result};
+
+/// A word-sized modulus with precomputed Barrett constants.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::arith::Modulus;
+///
+/// let q = Modulus::new(0x3fff_ffff_e800_0001).unwrap(); // a 62-bit value
+/// assert_eq!(q.mul_mod(3, 5), 15);
+/// assert!(Modulus::new(1 << 62).is_err()); // 63-bit values are too big
+/// ```
+///
+/// Most callers obtain moduli from [`crate::params::BfvParams`] rather than
+/// constructing them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// `floor(2^128 / value)`; exact because `value` never divides `2^128`.
+    const_ratio: u128,
+}
+
+/// Maximum supported modulus: a single 62-bit limb keeps `a*b < 2^124` so the
+/// Barrett quotient estimate fits in a `u64`.
+pub const MAX_MODULUS_BITS: u32 = 62;
+
+impl Modulus {
+    /// Creates a new modulus with precomputed Barrett constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidModulus`] if `value < 2` or `value >= 2^62`.
+    pub fn new(value: u64) -> Result<Self> {
+        if value < 2 || value >> MAX_MODULUS_BITS != 0 {
+            return Err(Error::InvalidModulus(value));
+        }
+        // floor(2^128 / value) == floor((2^128 - 1) / value) because value is
+        // never a power of two here (value >= 2 and odd primes in practice);
+        // even when it is, the difference only matters if value | 2^128,
+        // i.e. value is a power of two, in which case we adjust.
+        let mut const_ratio = u128::MAX / value as u128;
+        if value.is_power_of_two() {
+            const_ratio += 1;
+        }
+        Ok(Self { value, const_ratio })
+    }
+
+    /// The numeric value of the modulus.
+    #[inline]
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of significant bits in the modulus.
+    #[inline]
+    pub const fn bits(&self) -> u32 {
+        64 - self.value.leading_zeros()
+    }
+
+    /// Reduces an arbitrary `u64` modulo `self`.
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u64 {
+        self.reduce_u128(x as u128)
+    }
+
+    /// Barrett-reduces a 128-bit value modulo `self`.
+    ///
+    /// This is the five-multiplication reduction the paper's cost model
+    /// references (four partials in the 128×128 high product, one for `t·q`).
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // Quotient estimate t = floor(x * const_ratio / 2^128) <= floor(x/q),
+        // off by at most 2.
+        let t = mulhi_u128(x, self.const_ratio);
+        // x < 2^124 in all callers, so floor(x/q) < 2^64 and t fits u64 math.
+        let mut r = (x - t * self.value as u128) as u64;
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Modular multiplication via Barrett reduction.
+    #[inline]
+    pub fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Modular addition. Operands must already be reduced.
+    #[inline]
+    pub fn add_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction. Operands must already be reduced.
+    #[inline]
+    pub fn sub_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation. The operand must already be reduced.
+    #[inline]
+    pub fn neg_mod(&self, a: u64) -> u64 {
+        debug_assert!(a < self.value);
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow_mod(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc: u64 = 1 % self.value;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul_mod(acc, base);
+            }
+            base = self.mul_mod(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse, if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInvertible`] when `gcd(a, modulus) != 1`.
+    pub fn inv_mod(&self, a: u64) -> Result<u64> {
+        let a = self.reduce(a);
+        let (g, x, _) = extended_gcd(a as i128, self.value as i128);
+        if g != 1 {
+            return Err(Error::NotInvertible {
+                value: a,
+                modulus: self.value,
+            });
+        }
+        let q = self.value as i128;
+        Ok((x.rem_euclid(q)) as u64)
+    }
+
+    /// Maps a reduced residue to its centered representative in
+    /// `(-q/2, q/2]`.
+    #[inline]
+    pub fn center(&self, a: u64) -> i64 {
+        debug_assert!(a < self.value);
+        if a > self.value / 2 {
+            a as i64 - self.value as i64
+        } else {
+            a as i64
+        }
+    }
+
+    /// Reduces a signed integer into `[0, q)`.
+    #[inline]
+    pub fn from_signed(&self, a: i64) -> u64 {
+        let q = self.value as i128;
+        (a as i128).rem_euclid(q) as u64
+    }
+}
+
+/// High 128 bits of the 256-bit product `a * b`.
+///
+/// Implemented with four 64×64→128 partial products; these are four of the
+/// five integer multiplications the paper charges per Barrett reduction.
+#[inline]
+pub fn mulhi_u128(a: u128, b: u128) -> u128 {
+    let a_lo = a as u64 as u128;
+    let a_hi = a >> 64;
+    let b_lo = b as u64 as u128;
+    let b_hi = b >> 64;
+
+    let lo_lo = a_lo * b_lo;
+    let lo_hi = a_lo * b_hi;
+    let hi_lo = a_hi * b_lo;
+    let hi_hi = a_hi * b_hi;
+
+    let mid = (lo_lo >> 64) + (lo_hi & ((1u128 << 64) - 1)) + (hi_lo & ((1u128 << 64) - 1));
+    hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64)
+}
+
+/// Precomputed Shoup constant for multiplying by a fixed operand `w` mod `q`.
+///
+/// `mul_lazy` costs three integer multiplications (Harvey's butterfly count
+/// in the paper's NTT model) and returns a value in `[0, 2q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupPrecomp {
+    /// The fixed operand `w`, reduced mod `q`.
+    pub operand: u64,
+    /// `floor(w * 2^64 / q)`.
+    pub quotient: u64,
+}
+
+impl ShoupPrecomp {
+    /// Precomputes the Shoup quotient for operand `w` modulo `q`.
+    pub fn new(w: u64, q: &Modulus) -> Self {
+        let w = q.reduce(w);
+        let quotient = (((w as u128) << 64) / q.value() as u128) as u64;
+        Self {
+            operand: w,
+            quotient,
+        }
+    }
+
+    /// Computes `x * w mod q`, fully reduced.
+    #[inline]
+    pub fn mul(&self, x: u64, q: &Modulus) -> u64 {
+        let r = self.mul_lazy(x, q);
+        if r >= q.value() {
+            r - q.value()
+        } else {
+            r
+        }
+    }
+
+    /// Computes `x * w mod q`, lazily reduced to `[0, 2q)`.
+    ///
+    /// Three integer multiplications: `x*quotient` (high word), `x*operand`
+    /// and `approx*q` (low words).
+    #[inline]
+    pub fn mul_lazy(&self, x: u64, q: &Modulus) -> u64 {
+        let approx = ((x as u128 * self.quotient as u128) >> 64) as u64;
+        (x.wrapping_mul(self.operand)).wrapping_sub(approx.wrapping_mul(q.value()))
+    }
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with `a*x + b*y = g`.
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let modulus = match Modulus::new(n) {
+        Ok(m) => m,
+        // n >= 2^62: fall back to u128 arithmetic.
+        Err(_) => return is_prime_u128(n),
+    };
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = d >> s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = modulus.pow_mod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = modulus.mul_mod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn is_prime_u128(n: u64) -> bool {
+    let n128 = n as u128;
+    let mul = |a: u128, b: u128| (a * b) % n128;
+    let pow = |mut b: u128, mut e: u128| {
+        let mut acc = 1u128;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = mul(acc, b);
+            }
+            b = mul(b, b);
+            e >>= 1;
+        }
+        acc
+    };
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = (d >> s) as u128;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow(a as u128, d);
+        if x == 1 || x == (n - 1) as u128 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul(x, x);
+            if x == (n - 1) as u128 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the largest prime `p < 2^bits` with `p ≡ 1 (mod 2n)`, as required
+/// for negacyclic NTT over `Z_p[x]/(x^n + 1)`.
+///
+/// # Errors
+///
+/// Returns [`Error::NoNttPrime`] if no such prime exists below `2^bits`
+/// (possible only for tiny `bits`).
+pub fn generate_ntt_prime(bits: u32, n: usize) -> Result<u64> {
+    assert!(n.is_power_of_two(), "polynomial degree must be a power of 2");
+    generate_prime_congruent(bits, 2 * n as u64).map_err(|_| Error::NoNttPrime { bits, n })
+}
+
+/// Finds the largest prime `p < 2^bits` with `p ≡ 1 (mod step)`.
+///
+/// Used both for plain NTT primes (`step = 2n`) and for ciphertext moduli
+/// with the Gazelle-style congruence `q ≡ 1 (mod 2n·t)`: with
+/// `q mod t = 1`, the `(q mod t)·⌊m·p/t⌋` rounding term of BFV plaintext
+/// multiplication collapses to a negligible additive, which is the regime
+/// the paper's Table III noise model describes.
+///
+/// # Errors
+///
+/// Returns [`Error::NoNttPrime`] if no such prime exists below `2^bits`.
+pub fn generate_prime_congruent(bits: u32, step: u64) -> Result<u64> {
+    assert!(
+        (2..=MAX_MODULUS_BITS).contains(&bits),
+        "prime size must be between 2 and {MAX_MODULUS_BITS} bits"
+    );
+    let n_hint = (step / 2).max(1) as usize;
+    if step >= 1u64 << bits {
+        return Err(Error::NoNttPrime {
+            bits,
+            n: n_hint,
+        });
+    }
+    // Largest candidate of the form k*step + 1 strictly below 2^bits.
+    let top = (1u64 << bits) - 1;
+    let mut candidate = top - ((top - 1) % step);
+    while candidate > step {
+        if candidate >> (bits - 1) == 1 && is_prime(candidate) {
+            return Ok(candidate);
+        }
+        candidate -= step;
+    }
+    Err(Error::NoNttPrime { bits, n: n_hint })
+}
+
+/// Finds several distinct NTT primes of the given size (used for sweeps).
+///
+/// # Errors
+///
+/// Returns [`Error::NoNttPrime`] if fewer than `count` primes exist.
+pub fn generate_ntt_primes(bits: u32, n: usize, count: usize) -> Result<Vec<u64>> {
+    let m = 2 * n as u64;
+    let mut primes = Vec::with_capacity(count);
+    let mut candidate = generate_ntt_prime(bits, n)?;
+    primes.push(candidate);
+    while primes.len() < count {
+        if candidate <= m {
+            return Err(Error::NoNttPrime { bits, n });
+        }
+        candidate -= m;
+        if candidate >> (bits - 1) == 1 && is_prime(candidate) {
+            primes.push(candidate);
+        }
+    }
+    Ok(primes)
+}
+
+/// Finds a primitive `2n`-th root of unity modulo the prime `q`
+/// (requires `q ≡ 1 mod 2n` and `n` a power of two).
+///
+/// Because `n` is a power of two, `ψ` is a primitive `2n`-th root iff
+/// `ψ^n ≡ -1`, which we test directly; candidates are drawn as
+/// `x^((q-1)/2n)` for successive `x`.
+///
+/// # Errors
+///
+/// Returns [`Error::NoPrimitiveRoot`] if `q ≢ 1 (mod 2n)`.
+pub fn primitive_root_2n(q: &Modulus, n: usize) -> Result<u64> {
+    let m = 2 * n as u64;
+    if (q.value() - 1) % m != 0 {
+        return Err(Error::NoPrimitiveRoot {
+            modulus: q.value(),
+            order: m,
+        });
+    }
+    let exp = (q.value() - 1) / m;
+    let minus_one = q.value() - 1;
+    for x in 2..q.value() {
+        let psi = q.pow_mod(x, exp);
+        if q.pow_mod(psi, n as u64) == minus_one {
+            return Ok(psi);
+        }
+    }
+    Err(Error::NoPrimitiveRoot {
+        modulus: q.value(),
+        order: m,
+    })
+}
+
+/// Reverses the low `bits` bits of `x` (used for NTT index scrambling).
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_rejects_out_of_range() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(1 << 62).is_err());
+        assert!(Modulus::new((1 << 62) - 1).is_ok());
+    }
+
+    #[test]
+    fn barrett_matches_u128_remainder() {
+        let q = Modulus::new(0x3fff_ffff_0000_0001 % ((1 << 62) - 3) | 1).unwrap();
+        let pairs = [
+            (0u64, 0u64),
+            (1, 1),
+            (q.value() - 1, q.value() - 1),
+            (123_456_789, 987_654_321),
+            (q.value() / 2, q.value() / 3),
+        ];
+        for (a, b) in pairs {
+            let expect = ((a as u128 * b as u128) % q.value() as u128) as u64;
+            assert_eq!(q.mul_mod(a, b), expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn barrett_reduce_handles_max_product() {
+        let q = Modulus::new((1u64 << 62) - 57).unwrap(); // 2^62 - 57 is prime-ish size
+        let a = q.value() - 1;
+        let x = a as u128 * a as u128;
+        assert_eq!(q.reduce_u128(x), (x % q.value() as u128) as u64);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let q = Modulus::new(65537).unwrap();
+        for a in [0u64, 1, 2, 65535, 65536] {
+            for b in [0u64, 1, 32768, 65536] {
+                let s = q.add_mod(a, b);
+                assert_eq!(q.sub_mod(s, b), a);
+            }
+            assert_eq!(q.add_mod(a, q.neg_mod(a)), 0);
+        }
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let q = Modulus::new(65537).unwrap();
+        assert_eq!(q.pow_mod(3, 65536), 1); // Fermat
+        let inv = q.inv_mod(12345).unwrap();
+        assert_eq!(q.mul_mod(12345, inv), 1);
+        let q2 = Modulus::new(15).unwrap();
+        assert!(q2.inv_mod(5).is_err());
+    }
+
+    #[test]
+    fn center_and_from_signed() {
+        let q = Modulus::new(17).unwrap();
+        assert_eq!(q.center(0), 0);
+        assert_eq!(q.center(8), 8);
+        assert_eq!(q.center(9), -8);
+        assert_eq!(q.center(16), -1);
+        assert_eq!(q.from_signed(-1), 16);
+        assert_eq!(q.from_signed(-17), 0);
+        assert_eq!(q.from_signed(35), 1);
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        let q = Modulus::new(0x0fff_ffff_ff00_0001).unwrap();
+        let w = 0x0123_4567_89ab_cdef % q.value();
+        let pre = ShoupPrecomp::new(w, &q);
+        for x in [0u64, 1, 2, q.value() - 1, q.value() / 2, 42] {
+            assert_eq!(pre.mul(x, &q), q.mul_mod(x, w));
+            let lazy = pre.mul_lazy(x, &q);
+            assert!(lazy < 2 * q.value());
+            assert_eq!(lazy % q.value(), q.mul_mod(x, w));
+        }
+    }
+
+    #[test]
+    fn mulhi_u128_against_known_values() {
+        assert_eq!(mulhi_u128(0, u128::MAX), 0);
+        assert_eq!(mulhi_u128(u128::MAX, u128::MAX), u128::MAX - 1);
+        assert_eq!(mulhi_u128(1 << 127, 2), 1);
+        // (2^64)*(2^64) = 2^128 -> high half is exactly 1.
+        assert_eq!(mulhi_u128(1 << 64, 1 << 64), 1);
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(65537));
+        assert!(is_prime(0xffff_ffff_ffff_ffc5)); // largest prime < 2^64
+        assert!(!is_prime(0));
+        assert!(!is_prime(1));
+        assert!(!is_prime(65536));
+        assert!(!is_prime(3215031751)); // strong pseudoprime to bases 2,3,5,7
+    }
+
+    #[test]
+    fn ntt_prime_generation() {
+        for (bits, n) in [(20u32, 1024usize), (30, 4096), (54, 4096), (60, 8192)] {
+            let p = generate_ntt_prime(bits, n).unwrap();
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n as u64), 1);
+            assert_eq!(64 - p.leading_zeros(), bits);
+        }
+    }
+
+    #[test]
+    fn multiple_ntt_primes_are_distinct() {
+        let primes = generate_ntt_primes(40, 2048, 4).unwrap();
+        assert_eq!(primes.len(), 4);
+        let mut dedup = primes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn primitive_root_has_order_2n() {
+        let n = 1024usize;
+        let p = generate_ntt_prime(30, n).unwrap();
+        let q = Modulus::new(p).unwrap();
+        let psi = primitive_root_2n(&q, n).unwrap();
+        assert_eq!(q.pow_mod(psi, n as u64), p - 1);
+        assert_eq!(q.pow_mod(psi, 2 * n as u64), 1);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for bits in [1u32, 3, 10] {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! BFV ciphertexts.
+
+use crate::noise::NoiseEstimate;
+use crate::params::BfvParams;
+use crate::poly::{Poly, Representation};
+
+/// A BFV ciphertext: a pair of polynomials in evaluation (NTT) form.
+///
+/// Cheetah keeps ciphertexts in the evaluation domain by default and only
+/// drops to coefficient form inside `HE_Rotate`'s decomposition and at
+/// decryption (§III-B "Polynomial Representations") — this type enforces
+/// that convention.
+///
+/// Every ciphertext carries a live [`NoiseEstimate`] updated by each
+/// operation, so the Table III model can be compared against measured noise
+/// at any point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    c0: Poly,
+    c1: Poly,
+    params: BfvParams,
+    noise: NoiseEstimate,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from its components. Both polynomials must be
+    /// in evaluation form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is in coefficient form or sizes mismatch.
+    pub fn new(c0: Poly, c1: Poly, params: BfvParams, noise: NoiseEstimate) -> Self {
+        assert_eq!(c0.representation(), Representation::Eval);
+        assert_eq!(c1.representation(), Representation::Eval);
+        assert_eq!(c0.len(), params.degree());
+        assert_eq!(c1.len(), params.degree());
+        Self {
+            c0,
+            c1,
+            params,
+            noise,
+        }
+    }
+
+    /// An encryption of zero with zero noise (additive identity; useful as
+    /// an accumulator seed). Marked transparent: it offers no security.
+    pub fn transparent_zero(params: &BfvParams) -> Self {
+        let n = params.degree();
+        Self {
+            c0: Poly::zero(n, Representation::Eval),
+            c1: Poly::zero(n, Representation::Eval),
+            params: params.clone(),
+            noise: NoiseEstimate::zero(),
+        }
+    }
+
+    /// First component.
+    pub fn c0(&self) -> &Poly {
+        &self.c0
+    }
+
+    /// Second component.
+    pub fn c1(&self) -> &Poly {
+        &self.c1
+    }
+
+    /// Mutable components (for the evaluator).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Poly, &mut Poly) {
+        (&mut self.c0, &mut self.c1)
+    }
+
+    /// Consumes into components.
+    pub fn into_parts(self) -> (Poly, Poly) {
+        (self.c0, self.c1)
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Current model-tracked noise estimate.
+    pub fn noise(&self) -> &NoiseEstimate {
+        &self.noise
+    }
+
+    /// Overwrites the tracked noise estimate (used by the evaluator).
+    pub(crate) fn set_noise(&mut self, noise: NoiseEstimate) {
+        self.noise = noise;
+    }
+
+    /// Remaining worst-case noise budget in bits (model, not measurement).
+    pub fn budget_bits(&self) -> f64 {
+        self.noise.budget_bits_worst(&self.params)
+    }
+
+    /// Serialized size in bytes (two polynomials of `n` 8-byte words) —
+    /// used by the protocol layer for communication accounting.
+    pub fn byte_size(&self) -> usize {
+        2 * self.params.degree() * 8
+    }
+}
+
+/// A windowed encryption: encryptions of `W^i · m` for
+/// `i = 0..l_pt`, enabling low-noise plaintext multiplication by digit
+/// decomposition (Gazelle's "plaintext windowing", modeled in Table III as
+/// the `l_pt`/`W_dcmp` terms).
+///
+/// The client sends `l_pt` ciphertexts instead of one — compute and
+/// bandwidth grow by `l_pt`, noise shrinks by `t/(l_pt·W)`.
+#[derive(Debug, Clone)]
+pub struct WindowedCiphertext {
+    /// `cts[i]` encrypts `W^i · m (mod t)`.
+    pub cts: Vec<Ciphertext>,
+    /// The window base `W`.
+    pub base: u64,
+}
+
+impl WindowedCiphertext {
+    /// Number of windows (`l_pt`).
+    pub fn levels(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// Total serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.cts.iter().map(Ciphertext::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_zero_has_no_noise() {
+        let params = BfvParams::builder().degree(1024).cipher_bits(27).plain_bits(16).build().unwrap();
+        let z = Ciphertext::transparent_zero(&params);
+        assert_eq!(z.noise().bound_log2, f64::NEG_INFINITY);
+        assert!(z.budget_bits().is_infinite());
+        assert_eq!(z.byte_size(), 2 * 1024 * 8);
+    }
+}

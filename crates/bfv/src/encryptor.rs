@@ -1,0 +1,404 @@
+//! Encryption and decryption, including exact noise measurement.
+
+use crate::arith::Modulus;
+use crate::ciphertext::{Ciphertext, WindowedCiphertext};
+use crate::encoder::Plaintext;
+use crate::error::{Error, Result};
+use crate::keys::{PublicKey, SecretKey};
+use crate::noise::NoiseEstimate;
+use crate::params::BfvParams;
+use crate::poly::{decomposition_levels, Poly, Representation};
+use crate::sampling::BfvRng;
+
+/// Encrypts plaintexts under a public key (asymmetric) or secret key
+/// (symmetric; smaller noise, used by the client for re-encryption in the
+/// Gazelle protocol).
+#[derive(Debug)]
+pub struct Encryptor {
+    params: BfvParams,
+    pk: Option<PublicKey>,
+    sk: Option<SecretKey>,
+    rng: BfvRng,
+}
+
+impl Encryptor {
+    /// Public-key encryptor.
+    pub fn from_public_key(pk: PublicKey, seed: u64) -> Self {
+        let params = pk.params().clone();
+        let rng = BfvRng::from_seed(seed, params.sigma());
+        Self {
+            params,
+            pk: Some(pk),
+            sk: None,
+            rng,
+        }
+    }
+
+    /// Secret-key (symmetric) encryptor.
+    pub fn from_secret_key(sk: SecretKey, seed: u64) -> Self {
+        let params = sk.params().clone();
+        let rng = BfvRng::from_seed(seed, params.sigma());
+        Self {
+            params,
+            pk: None,
+            sk: Some(sk),
+            rng,
+        }
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Encrypts a plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] if the plaintext was built for
+    /// different parameters.
+    pub fn encrypt(&mut self, pt: &Plaintext) -> Result<Ciphertext> {
+        self.params.check_same(pt.params())?;
+        // Δ·m, lifted to R_q in coefficient form.
+        let delta = self.params.delta();
+        let q = *self.params.cipher_modulus();
+        let scaled: Vec<u64> = pt
+            .poly()
+            .data()
+            .iter()
+            .map(|&m| q.mul_mod(delta % q.value(), m))
+            .collect();
+        let mut dm = Poly::from_data(scaled, Representation::Coeff);
+        dm.to_eval(self.params.q_table());
+        if let Some(pk) = &self.pk {
+            self.encrypt_with_pk(dm, pk.clone())
+        } else {
+            self.encrypt_with_sk(dm)
+        }
+    }
+
+    fn encrypt_with_pk(&mut self, dm: Poly, pk: PublicKey) -> Result<Ciphertext> {
+        let q = *self.params.cipher_modulus();
+        let n = self.params.degree();
+        let table = self.params.q_table();
+        let mut u = self.rng.ternary_poly(n, &q);
+        u.to_eval(table);
+        let mut e0 = self.rng.noise_poly(n, &q);
+        e0.to_eval(table);
+        let mut e1 = self.rng.noise_poly(n, &q);
+        e1.to_eval(table);
+
+        let mut c0 = pk.pk0().clone();
+        c0.mul_assign_pointwise(&u, &q)?;
+        c0.add_assign(&e0, &q)?;
+        c0.add_assign(&dm, &q)?;
+        let mut c1 = pk.pk1().clone();
+        c1.mul_assign_pointwise(&u, &q)?;
+        c1.add_assign(&e1, &q)?;
+        Ok(Ciphertext::new(
+            c0,
+            c1,
+            self.params.clone(),
+            NoiseEstimate::fresh(&self.params),
+        ))
+    }
+
+    fn encrypt_with_sk(&mut self, dm: Poly) -> Result<Ciphertext> {
+        let q = *self.params.cipher_modulus();
+        let n = self.params.degree();
+        let table = self.params.q_table();
+        let sk = self.sk.as_ref().expect("sk encryptor");
+        let a = self.rng.uniform_poly(n, &q, Representation::Eval);
+        let mut e = self.rng.noise_poly(n, &q);
+        e.to_eval(table);
+        // c0 = -(a*s) + e + Δm; c1 = a
+        let mut c0 = a.clone();
+        c0.mul_assign_pointwise(sk.poly(), &q)?;
+        c0.negate(&q);
+        c0.add_assign(&e, &q)?;
+        c0.add_assign(&dm, &q)?;
+        Ok(Ciphertext::new(
+            c0,
+            a,
+            self.params.clone(),
+            NoiseEstimate::fresh(&self.params),
+        ))
+    }
+
+    /// Windowed encryption (Gazelle plaintext windowing): encrypts
+    /// `W^i · m (mod t)` for `i = 0..l_pt` with `W = W_dcmp`.
+    ///
+    /// Combined with
+    /// [`crate::evaluator::Evaluator::mul_plain_windowed`], multiplication
+    /// noise shrinks from `n·t/2·v` to `n·l_pt·W/2·v` (Table III) at the
+    /// cost of `l_pt×` more ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] for foreign plaintexts.
+    pub fn encrypt_windowed(&mut self, pt: &Plaintext) -> Result<WindowedCiphertext> {
+        self.params.check_same(pt.params())?;
+        let t = *self.params.plain_modulus();
+        let w = self.params.w_dcmp();
+        let levels = self.params.l_pt();
+        let mut cts = Vec::with_capacity(levels);
+        let mut scale = 1u64;
+        for i in 0..levels {
+            let scaled: Vec<u64> = pt
+                .poly()
+                .data()
+                .iter()
+                .map(|&m| t.mul_mod(scale, m))
+                .collect();
+            let scaled_pt = Plaintext::from_poly(
+                Poly::from_data(scaled, Representation::Coeff),
+                self.params.clone(),
+            )?;
+            cts.push(self.encrypt(&scaled_pt)?);
+            if i + 1 < levels {
+                scale = t.mul_mod(scale, t.reduce(w));
+            }
+        }
+        Ok(WindowedCiphertext { cts, base: w })
+    }
+}
+
+/// Decrypts ciphertexts and measures true noise against the secret key.
+#[derive(Debug)]
+pub struct Decryptor {
+    params: BfvParams,
+    sk: SecretKey,
+}
+
+impl Decryptor {
+    /// Creates a decryptor from the secret key.
+    pub fn new(sk: SecretKey) -> Self {
+        Self {
+            params: sk.params().clone(),
+            sk,
+        }
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Decrypts to a plaintext: `m = round(t·(c0 + c1·s)/q) mod t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
+    /// Decryption itself cannot detect noise overflow — use
+    /// [`Decryptor::invariant_noise_budget`] to check.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext> {
+        self.params.check_same(ct.params())?;
+        let q = *self.params.cipher_modulus();
+        let t = self.params.plain_modulus();
+        let phase = self.phase(ct)?;
+        let qv = q.value() as u128;
+        let tv = t.value() as u128;
+        let half_q = qv / 2;
+        let coeffs: Vec<u64> = phase
+            .data()
+            .iter()
+            .map(|&c| {
+                // round(t*c/q) mod t, in exact integer arithmetic.
+                let num = tv * c as u128 + half_q;
+                ((num / qv) % tv) as u64
+            })
+            .collect();
+        Plaintext::from_poly(
+            Poly::from_data(coeffs, Representation::Coeff),
+            self.params.clone(),
+        )
+    }
+
+    /// `c0 + c1·s` in coefficient form — the decryption phase.
+    fn phase(&self, ct: &Ciphertext) -> Result<Poly> {
+        let q = *self.params.cipher_modulus();
+        let mut acc = ct.c1().clone();
+        acc.mul_assign_pointwise(self.sk.poly(), &q)?;
+        acc.add_assign(ct.c0(), &q)?;
+        acc.to_coeff(self.params.q_table());
+        Ok(acc)
+    }
+
+    /// The exact invariant-noise magnitude `||c0 + c1·s − Δ·m||_∞`
+    /// (centered), the ground truth the Table III model bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn invariant_noise(&self, ct: &Ciphertext) -> Result<u64> {
+        let q = *self.params.cipher_modulus();
+        let m = self.decrypt(ct)?;
+        let delta = self.params.delta();
+        let mut dm_data = vec![0u64; self.params.degree()];
+        for (o, &c) in dm_data.iter_mut().zip(m.poly().data()) {
+            *o = q.mul_mod(delta % q.value(), c);
+        }
+        let mut v = self.phase(ct)?;
+        let dm = Poly::from_data(dm_data, Representation::Coeff);
+        v.sub_assign(&dm, &q)?;
+        v.inf_norm_centered(&q)
+    }
+
+    /// Remaining noise budget in bits: `log2(q/(2t)) − log2(noise)`.
+    ///
+    /// The measurement is taken against the *nearest* plaintext multiple,
+    /// so once noise truly overflows the budget collapses to ≈ 0 (it can
+    /// hover slightly positive) rather than going deeply negative — treat
+    /// any budget below ~1 bit as failed, matching SEAL's semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> Result<f64> {
+        let noise = self.invariant_noise(ct)? as f64;
+        let ceiling = self.params.noise_ceiling();
+        Ok(ceiling.log2() - noise.max(1.0).log2())
+    }
+
+    /// Decrypts, returning [`Error::NoiseBudgetExhausted`] when the measured
+    /// noise already exceeds the decryption threshold. (In that regime the
+    /// "decrypted" value is garbage; the paper calls this decryption
+    /// failure.)
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoiseBudgetExhausted`] or [`Error::ParameterMismatch`].
+    pub fn decrypt_checked(&self, ct: &Ciphertext) -> Result<Plaintext> {
+        if self.invariant_noise_budget(ct)? <= 0.0 {
+            return Err(Error::NoiseBudgetExhausted);
+        }
+        self.decrypt(ct)
+    }
+}
+
+/// Derives the number of windows a plaintext modulus `t` needs at base `w`
+/// (`l_pt`), mirroring [`BfvParams::l_pt`] for standalone use.
+pub fn plaintext_windows(t: &Modulus, w: u64) -> usize {
+    if w >= t.value() {
+        1
+    } else {
+        decomposition_levels(t.value(), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::keys::KeyGenerator;
+
+    fn setup(n: usize) -> (BfvParams, BatchEncoder, Encryptor, Decryptor) {
+        let params = BfvParams::builder()
+            .degree(n)
+            .plain_bits(16)
+            .cipher_bits(if n >= 4096 { 60 } else { 54 })
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 99);
+        let pk = kg.public_key().unwrap();
+        let enc = Encryptor::from_public_key(pk, 7);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let encoder = BatchEncoder::new(params.clone());
+        (params, encoder, enc, dec)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (_, encoder, mut enc, dec) = setup(2048);
+        let values: Vec<u64> = (0..2048u64).map(|i| i * 31 % 65537).collect();
+        let pt = encoder.encode(&values).unwrap();
+        let ct = enc.encrypt(&pt).unwrap();
+        let out = dec.decrypt_checked(&ct).unwrap();
+        assert_eq!(encoder.decode(&out), encoder.decode(&pt));
+    }
+
+    #[test]
+    fn symmetric_encryption_roundtrip_with_less_noise() {
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .cipher_bits(54)
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 5);
+        let pk = kg.public_key().unwrap();
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let encoder = BatchEncoder::new(params.clone());
+        let pt = encoder.encode(&[1, 2, 3]).unwrap();
+
+        let mut enc_pk = Encryptor::from_public_key(pk, 8);
+        let mut enc_sk = Encryptor::from_secret_key(kg.secret_key().clone(), 9);
+        let ct_pk = enc_pk.encrypt(&pt).unwrap();
+        let ct_sk = enc_sk.encrypt(&pt).unwrap();
+        assert_eq!(encoder.decode(&dec.decrypt(&ct_sk).unwrap())[..3], [1, 2, 3]);
+        let noise_pk = dec.invariant_noise(&ct_pk).unwrap();
+        let noise_sk = dec.invariant_noise(&ct_sk).unwrap();
+        assert!(noise_sk <= noise_pk, "sk {noise_sk} vs pk {noise_pk}");
+    }
+
+    #[test]
+    fn measured_noise_below_model_bound() {
+        let (params, encoder, mut enc, dec) = setup(2048);
+        let pt = encoder.encode(&[42; 100]).unwrap();
+        let ct = enc.encrypt(&pt).unwrap();
+        let measured = dec.invariant_noise(&ct).unwrap() as f64;
+        let bound = ct.noise().bound_log2.exp2();
+        assert!(measured > 0.0);
+        assert!(measured <= bound, "measured {measured} > bound {bound}");
+        // The budget should be large for a fresh ciphertext.
+        let budget = dec.invariant_noise_budget(&ct).unwrap();
+        assert!(budget > 20.0, "budget {budget}");
+        assert!(budget <= params.noise_ceiling().log2());
+    }
+
+    #[test]
+    fn windowed_encryption_encrypts_scaled_copies() {
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .cipher_bits(54)
+            .w_dcmp(1 << 8)
+            .build()
+            .unwrap();
+        assert_eq!(params.l_pt(), 2);
+        let mut kg = KeyGenerator::from_seed(params.clone(), 11);
+        let pk = kg.public_key().unwrap();
+        let mut enc = Encryptor::from_public_key(pk, 12);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let encoder = BatchEncoder::new(params.clone());
+        let pt = encoder.encode(&[5, 6]).unwrap();
+        let wct = enc.encrypt_windowed(&pt).unwrap();
+        assert_eq!(wct.levels(), 2);
+        let t = params.plain_modulus();
+        let d0 = encoder.decode(&dec.decrypt(&wct.cts[0]).unwrap());
+        let d1 = encoder.decode(&dec.decrypt(&wct.cts[1]).unwrap());
+        assert_eq!(d0[0], 5);
+        assert_eq!(d1[0], t.mul_mod(5, 256));
+        assert_eq!(d1[1], t.mul_mod(6, 256));
+    }
+
+    #[test]
+    fn mismatched_params_rejected() {
+        let (_, encoder, _, _) = setup(2048);
+        let (_, _, mut enc4096, dec4096) = setup(4096);
+        let pt = encoder.encode(&[1]).unwrap();
+        assert!(matches!(
+            enc4096.encrypt(&pt),
+            Err(Error::ParameterMismatch)
+        ));
+        let pt4096 = BatchEncoder::new(dec4096.params().clone())
+            .encode(&[1])
+            .unwrap();
+        let ct = enc4096.encrypt(&pt4096).unwrap();
+        let (_, _, _, dec2048) = setup(2048);
+        assert!(matches!(
+            dec2048.decrypt(&ct),
+            Err(Error::ParameterMismatch)
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types for the BFV engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the BFV engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The modulus is out of the supported range `[2, 2^62)`.
+    InvalidModulus(u64),
+    /// A value has no inverse modulo the given modulus.
+    NotInvertible {
+        /// The non-invertible value.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// No NTT-friendly prime of the requested size exists.
+    NoNttPrime {
+        /// Requested bit size.
+        bits: u32,
+        /// Polynomial degree.
+        n: usize,
+    },
+    /// No primitive root of the requested order exists modulo the prime.
+    NoPrimitiveRoot {
+        /// The modulus.
+        modulus: u64,
+        /// The requested multiplicative order.
+        order: u64,
+    },
+    /// The polynomial degree is invalid (must be a power of two ≥ 8).
+    InvalidDegree(usize),
+    /// Parameter combination violates the requested security level.
+    InsecureParameters {
+        /// Polynomial degree.
+        n: usize,
+        /// Bits of ciphertext modulus requested.
+        log_q: u32,
+        /// Maximum secure bits of ciphertext modulus for this degree.
+        max_log_q: u32,
+    },
+    /// Two objects built from different encryption parameters were mixed.
+    ParameterMismatch,
+    /// A polynomial was used in the wrong representation (coeff vs eval).
+    WrongRepresentation {
+        /// What the operation required.
+        expected: &'static str,
+        /// What was found.
+        found: &'static str,
+    },
+    /// The plaintext has more data than available slots.
+    TooManyValues {
+        /// Values supplied.
+        given: usize,
+        /// Slots available.
+        slots: usize,
+    },
+    /// A rotation step is out of range for the slot geometry.
+    InvalidRotation(i64),
+    /// Required Galois key for this element is missing.
+    MissingGaloisKey(u64),
+    /// Decryption noise exceeded the budget; plaintext unrecoverable.
+    NoiseBudgetExhausted,
+    /// The decomposition base must be a power of two ≥ 2.
+    InvalidDecompositionBase(u64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidModulus(v) => write!(f, "modulus {v} outside supported range [2, 2^62)"),
+            Error::NotInvertible { value, modulus } => {
+                write!(f, "{value} is not invertible modulo {modulus}")
+            }
+            Error::NoNttPrime { bits, n } => {
+                write!(f, "no {bits}-bit prime congruent to 1 mod {}", 2 * n)
+            }
+            Error::NoPrimitiveRoot { modulus, order } => {
+                write!(f, "no primitive root of order {order} modulo {modulus}")
+            }
+            Error::InvalidDegree(n) => {
+                write!(f, "invalid polynomial degree {n}; need a power of two >= 8")
+            }
+            Error::InsecureParameters { n, log_q, max_log_q } => write!(
+                f,
+                "log2(q) = {log_q} exceeds the {max_log_q}-bit limit for degree {n} at 128-bit security"
+            ),
+            Error::ParameterMismatch => write!(f, "objects use different encryption parameters"),
+            Error::WrongRepresentation { expected, found } => {
+                write!(f, "expected polynomial in {expected} form, found {found}")
+            }
+            Error::TooManyValues { given, slots } => {
+                write!(f, "{given} values exceed the {slots} available slots")
+            }
+            Error::InvalidRotation(k) => write!(f, "rotation step {k} out of range"),
+            Error::MissingGaloisKey(g) => {
+                write!(f, "no Galois key generated for element {g}")
+            }
+            Error::NoiseBudgetExhausted => {
+                write!(f, "noise budget exhausted; decryption would fail")
+            }
+            Error::InvalidDecompositionBase(b) => {
+                write!(f, "decomposition base {b} must be a power of two >= 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+        let e = Error::InvalidModulus(1);
+        assert!(!e.to_string().is_empty());
+        let e = Error::InsecureParameters {
+            n: 2048,
+            log_q: 60,
+            max_log_q: 54,
+        };
+        assert!(e.to_string().contains("2048"));
+    }
+}

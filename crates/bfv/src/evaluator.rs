@@ -1,0 +1,747 @@
+//! Homomorphic evaluation: the three BFV operators of §III-B1.
+//!
+//! * [`Evaluator::add`] — SIMD addition (noise adds);
+//! * [`Evaluator::mul_plain`] / [`Evaluator::mul_plain_windowed`] — SIMD
+//!   plaintext-ciphertext multiplication (noise multiplies by
+//!   `≤ n·l_pt·W/2`);
+//! * [`Evaluator::rotate_rows`] / [`Evaluator::rotate_columns`] — packed
+//!   slot rotation via Galois automorphism + key switching with ciphertext
+//!   decomposition (noise adds `l_ct·A·B·n/2`).
+//!
+//! `HE_Rotate` is implemented exactly as the paper's Lane datapath
+//! (Fig. 9c): permute in the evaluation domain (free), INTT the `c1`
+//! component, decompose into `l_ct` digits, NTT each digit back
+//! (`l_ct + 1` NTTs total), then `2·l_ct` pointwise multiplications against
+//! the key-switch pairs — the exact counts HE-PTune charges (§IV-A).
+//!
+//! Operation counters ([`OpCounts`]) record how many of each kernel ran, so
+//! the profiling harness and the Table IV count model can be validated
+//! against the real engine.
+
+use std::cell::Cell;
+
+use crate::ciphertext::{Ciphertext, WindowedCiphertext};
+use crate::encoder::Plaintext;
+use crate::error::{Error, Result};
+use crate::keys::{element_for_step, GaloisKeys};
+use crate::params::BfvParams;
+use crate::poly::{Poly, Representation};
+
+/// Running kernel-invocation counters (per evaluator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `HE_Add` invocations (ct+ct or ct+pt).
+    pub add: u64,
+    /// `HE_Mult` invocations (one per plaintext digit — windowed
+    /// multiplication counts `l_pt`).
+    pub mul: u64,
+    /// `HE_Rotate` invocations.
+    pub rotate: u64,
+    /// Forward + inverse NTT invocations.
+    pub ntt: u64,
+    /// Pointwise polynomial multiplications (2 per `HE_Mult` digit,
+    /// `2·l_ct` per rotate).
+    pub poly_mul: u64,
+}
+
+impl OpCounts {
+    /// Component-wise difference (for scoped measurements).
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            add: self.add - earlier.add,
+            mul: self.mul - earlier.mul,
+            rotate: self.rotate - earlier.rotate,
+            ntt: self.ntt - earlier.ntt,
+            poly_mul: self.poly_mul - earlier.poly_mul,
+        }
+    }
+}
+
+/// A plaintext pre-lifted to `R_q` and NTT-transformed, ready for repeated
+/// multiplication (exposes the intermediate per C-INTERMEDIATE; weight
+/// polynomials are reused across many ciphertexts in a conv layer).
+#[derive(Debug, Clone)]
+pub struct PreparedPlaintext {
+    /// Evaluation-form polynomial mod `q` (centered lift of the mod-`t`
+    /// coefficients).
+    poly: Poly,
+    /// `||pt||_∞` of the centered coefficients (drives noise growth).
+    inf_norm: u64,
+}
+
+impl PreparedPlaintext {
+    /// The evaluation-form polynomial.
+    pub fn poly(&self) -> &Poly {
+        &self.poly
+    }
+
+    /// Centered infinity norm of the plaintext.
+    pub fn inf_norm(&self) -> u64 {
+        self.inf_norm
+    }
+}
+
+/// The homomorphic evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::{BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+///
+/// # fn main() -> Result<(), cheetah_bfv::Error> {
+/// let params = BfvParams::builder().degree(4096).build()?;
+/// let mut keygen = KeyGenerator::from_seed(params.clone(), 1);
+/// let pk = keygen.public_key()?;
+/// let keys = keygen.galois_keys_for_steps(&[1])?;
+/// let encoder = BatchEncoder::new(params.clone());
+/// let mut encryptor = Encryptor::from_public_key(pk, 2);
+/// let decryptor = Decryptor::new(keygen.secret_key().clone());
+/// let evaluator = Evaluator::new(params);
+///
+/// let ct = encryptor.encrypt(&encoder.encode(&[10, 20, 30])?)?;
+/// let rotated = evaluator.rotate_rows(&ct, 1, &keys)?;
+/// let out = encoder.decode(&decryptor.decrypt(&rotated)?);
+/// assert_eq!(out[0], 20); // left rotation by 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Evaluator {
+    params: BfvParams,
+    add_count: Cell<u64>,
+    mul_count: Cell<u64>,
+    rotate_count: Cell<u64>,
+    ntt_count: Cell<u64>,
+    poly_mul_count: Cell<u64>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for the parameter set.
+    pub fn new(params: BfvParams) -> Self {
+        Self {
+            params,
+            add_count: Cell::new(0),
+            mul_count: Cell::new(0),
+            rotate_count: Cell::new(0),
+            ntt_count: Cell::new(0),
+            poly_mul_count: Cell::new(0),
+        }
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Snapshot of the kernel counters.
+    pub fn op_counts(&self) -> OpCounts {
+        OpCounts {
+            add: self.add_count.get(),
+            mul: self.mul_count.get(),
+            rotate: self.rotate_count.get(),
+            ntt: self.ntt_count.get(),
+            poly_mul: self.poly_mul_count.get(),
+        }
+    }
+
+    /// Resets the kernel counters.
+    pub fn reset_op_counts(&self) {
+        self.add_count.set(0);
+        self.mul_count.set(0);
+        self.rotate_count.set(0);
+        self.ntt_count.set(0);
+        self.poly_mul_count.set(0);
+    }
+
+    /// `HE_Add`: slot-wise ciphertext addition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(b.params())?;
+        let q = *self.params.cipher_modulus();
+        let mut out = a.clone();
+        {
+            let (c0, c1) = out.parts_mut();
+            c0.add_assign(b.c0(), &q)?;
+            c1.add_assign(b.c1(), &q)?;
+        }
+        out.set_noise(a.noise().add(b.noise()));
+        self.add_count.set(self.add_count.get() + 1);
+        Ok(out)
+    }
+
+    /// `a - b` slot-wise.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(b.params())?;
+        let q = *self.params.cipher_modulus();
+        let mut out = a.clone();
+        {
+            let (c0, c1) = out.parts_mut();
+            c0.sub_assign(b.c0(), &q)?;
+            c1.sub_assign(b.c1(), &q)?;
+        }
+        out.set_noise(a.noise().add(b.noise()));
+        self.add_count.set(self.add_count.get() + 1);
+        Ok(out)
+    }
+
+    /// Slot-wise negation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let mut out = a.clone();
+        {
+            let (c0, c1) = out.parts_mut();
+            c0.negate(&q);
+            c1.negate(&q);
+        }
+        Ok(out)
+    }
+
+    /// Adds a plaintext to a ciphertext (slot-wise): `ct + Δ·pt`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign operands.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(pt.params())?;
+        let q = *self.params.cipher_modulus();
+        let delta = self.params.delta() % q.value();
+        let scaled: Vec<u64> = pt
+            .poly()
+            .data()
+            .iter()
+            .map(|&m| q.mul_mod(delta, m))
+            .collect();
+        let mut dm = Poly::from_data(scaled, Representation::Coeff);
+        dm.to_eval(self.params.q_table());
+        self.ntt_count.set(self.ntt_count.get() + 1);
+        let mut out = a.clone();
+        out.parts_mut().0.add_assign(&dm, &q)?;
+        out.set_noise(a.noise().add_plain(pt.inf_norm()));
+        self.add_count.set(self.add_count.get() + 1);
+        Ok(out)
+    }
+
+    /// Lifts a plaintext to `R_q` (centered) and NTT-transforms it for
+    /// repeated multiplication.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign plaintexts.
+    pub fn prepare_plaintext(&self, pt: &Plaintext) -> Result<PreparedPlaintext> {
+        self.params.check_same(pt.params())?;
+        let t = self.params.plain_modulus();
+        let q = self.params.cipher_modulus();
+        let inf_norm = pt.inf_norm().max(1);
+        let lifted: Vec<u64> = pt
+            .poly()
+            .data()
+            .iter()
+            .map(|&c| q.from_signed(t.center(c)))
+            .collect();
+        let mut poly = Poly::from_data(lifted, Representation::Coeff);
+        poly.to_eval(self.params.q_table());
+        self.ntt_count.set(self.ntt_count.get() + 1);
+        Ok(PreparedPlaintext { poly, inf_norm })
+    }
+
+    /// `HE_Mult` (pt-ct, no decomposition): slot-wise multiplication by a
+    /// prepared plaintext. Two pointwise polynomial multiplications; noise
+    /// grows multiplicatively by `≈ n·||pt||` (Table III with `l_pt = 1`,
+    /// `W = 2·||pt||`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &PreparedPlaintext) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let mut out = a.clone();
+        {
+            let (c0, c1) = out.parts_mut();
+            c0.mul_assign_pointwise(&pt.poly, &q)?;
+            c1.mul_assign_pointwise(&pt.poly, &q)?;
+        }
+        out.set_noise(a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm));
+        self.mul_count.set(self.mul_count.get() + 1);
+        self.poly_mul_count.set(self.poly_mul_count.get() + 2);
+        Ok(out)
+    }
+
+    /// Convenience: encode-free multiplication by an unprepared plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign operands.
+    pub fn mul_plain_unprepared(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        let prepared = self.prepare_plaintext(pt)?;
+        self.mul_plain(a, &prepared)
+    }
+
+    /// `HE_Mult` with plaintext decomposition (Gazelle windowing): the
+    /// weight plaintext is digit-decomposed in base `W_dcmp` and each digit
+    /// multiplies the matching pre-scaled ciphertext from the client's
+    /// [`WindowedCiphertext`]. Costs `l_pt` polynomial multiplications;
+    /// noise grows by `≈ n·l_pt·W/2` instead of `n·t/2` (Table III).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign operands or a windowed
+    /// ciphertext built with a different base.
+    pub fn mul_plain_windowed(
+        &self,
+        wct: &WindowedCiphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext> {
+        self.params.check_same(pt.params())?;
+        if wct.base != self.params.w_dcmp() || wct.levels() != self.params.l_pt() {
+            return Err(Error::ParameterMismatch);
+        }
+        let t = *self.params.plain_modulus();
+        let q = *self.params.cipher_modulus();
+        let digits = pt.poly().decompose(wct.base, &t)?;
+        let mut acc: Option<Ciphertext> = None;
+        for (digit, ct) in digits.iter().zip(&wct.cts) {
+            self.params.check_same(ct.params())?;
+            // Digit coefficients are already < W <= t <= q: lift directly.
+            let mut dpoly = Poly::from_data(digit.data().to_vec(), Representation::Coeff);
+            dpoly.to_eval(self.params.q_table());
+            self.ntt_count.set(self.ntt_count.get() + 1);
+            let mut term = ct.clone();
+            {
+                let (c0, c1) = term.parts_mut();
+                c0.mul_assign_pointwise(&dpoly, &q)?;
+                c1.mul_assign_pointwise(&dpoly, &q)?;
+            }
+            term.set_noise(ct.noise().mul_plain(&self.params, 1, wct.base));
+            self.poly_mul_count.set(self.poly_mul_count.get() + 2);
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => {
+                    let q2 = q;
+                    let mut merged = prev;
+                    {
+                        let (c0, c1) = merged.parts_mut();
+                        c0.add_assign(term.c0(), &q2)?;
+                        c1.add_assign(term.c1(), &q2)?;
+                    }
+                    let noise = merged.noise().add(term.noise());
+                    merged.set_noise(noise);
+                    merged
+                }
+            });
+        }
+        self.mul_count.set(self.mul_count.get() + wct.levels() as u64);
+        Ok(acc.expect("l_pt >= 1"))
+    }
+
+    /// Multiplies every slot by a scalar constant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn mul_scalar(&self, a: &Ciphertext, c: u64) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let t = self.params.plain_modulus();
+        let c_red = t.reduce(c);
+        let mut out = a.clone();
+        {
+            let (c0, c1) = out.parts_mut();
+            c0.mul_scalar(c_red, &q);
+            c1.mul_scalar(c_red, &q);
+        }
+        out.set_noise(a.noise().mul_plain(&self.params, 1, 2 * c_red.max(1)));
+        Ok(out)
+    }
+
+    /// `HE_Rotate`: rotates row slots left by `steps` (negative = right).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRotation`] for bad steps,
+    /// [`Error::MissingGaloisKey`] if the key set lacks the element,
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn rotate_rows(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        if steps == 0 {
+            return Ok(a.clone());
+        }
+        let g = element_for_step(self.params.degree(), steps)?;
+        self.apply_galois(a, g, keys)
+    }
+
+    /// Swaps the two slot rows (`x ↦ x^{2n−1}`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::rotate_rows`].
+    pub fn rotate_columns(&self, a: &Ciphertext, keys: &GaloisKeys) -> Result<Ciphertext> {
+        let g = 2 * self.params.degree() as u64 - 1;
+        self.apply_galois(a, g, keys)
+    }
+
+    /// Applies the Galois automorphism `x ↦ x^g` followed by key switching.
+    ///
+    /// This is the full Lane datapath of Fig. 9c: permutation (free),
+    /// INTT(c1), `l_ct`-digit decomposition, `l_ct` NTTs, `2·l_ct` pointwise
+    /// multiply-accumulates, composition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingGaloisKey`] or [`Error::ParameterMismatch`].
+    pub fn apply_galois(&self, a: &Ciphertext, g: u64, keys: &GaloisKeys) -> Result<Ciphertext> {
+        self.params.check_same(a.params())?;
+        let key = keys.get(g)?;
+        let q = *self.params.cipher_modulus();
+        let table = self.params.q_table();
+
+        // 1. Permute both components in the evaluation domain (Swap stage).
+        let perm = key.permutation();
+        let permute = |p: &Poly| -> Poly {
+            let d = p.data();
+            Poly::from_data(
+                perm.iter().map(|&i| d[i as usize]).collect(),
+                Representation::Eval,
+            )
+        };
+        let c0_g = permute(a.c0());
+        let mut c1_g = permute(a.c1());
+
+        // 2. INTT c1 for decomposition.
+        c1_g.to_coeff(table);
+        self.ntt_count.set(self.ntt_count.get() + 1);
+
+        // 3. Decompose into l_ct digits (base A_dcmp).
+        let digits = c1_g.decompose(self.params.a_dcmp(), &q)?;
+
+        // 4. NTT each digit; multiply-accumulate against the key pairs.
+        let mut c0_new = c0_g;
+        let mut c1_new = Poly::zero(self.params.degree(), Representation::Eval);
+        for (digit, (k0, k1)) in digits.into_iter().zip(key.pairs()) {
+            let mut d = digit;
+            d.to_eval(table);
+            self.ntt_count.set(self.ntt_count.get() + 1);
+            c0_new.fma_pointwise(&d, k0, &q)?;
+            c1_new.fma_pointwise(&d, k1, &q)?;
+            self.poly_mul_count.set(self.poly_mul_count.get() + 2);
+        }
+
+        let noise = a.noise().rotate(&self.params);
+        self.rotate_count.set(self.rotate_count.get() + 1);
+        let mut out = Ciphertext::new(c0_new, c1_new, self.params.clone(), noise);
+        out.set_noise(noise);
+        Ok(out)
+    }
+
+    /// Rotates by an arbitrary step using only power-of-two keys,
+    /// decomposing the step into a sum of powers (≤ log2(n/2) rotations).
+    /// Costs more noise than a single keyed rotation — used when key
+    /// storage is constrained.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::rotate_rows`].
+    pub fn rotate_rows_composed(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let row = self.params.row_size() as i64;
+        let mut remaining = steps.rem_euclid(row);
+        if remaining == 0 {
+            return Ok(a.clone());
+        }
+        let mut out = a.clone();
+        let mut bit = 1i64;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                out = self.rotate_rows(&out, bit, keys)?;
+            }
+            remaining >>= 1;
+            bit <<= 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::encryptor::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+
+    struct Ctx {
+        params: BfvParams,
+        encoder: BatchEncoder,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        keys: GaloisKeys,
+    }
+
+    fn ctx(n: usize, steps: &[i64]) -> Ctx {
+        let params = BfvParams::builder()
+            .degree(n)
+            .plain_bits(16)
+            .cipher_bits(if n >= 4096 { 60 } else { 54 })
+            .a_dcmp(1 << 16)
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 1234);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(steps).unwrap();
+        Ctx {
+            params: params.clone(),
+            encoder: BatchEncoder::new(params.clone()),
+            enc: Encryptor::from_public_key(pk, 55),
+            dec: Decryptor::new(kg.secret_key().clone()),
+            eval: Evaluator::new(params),
+            keys,
+        }
+    }
+
+    #[test]
+    fn add_is_slotwise() {
+        let mut c = ctx(2048, &[]);
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (0..100).map(|i| 1000 + i).collect();
+        let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
+        let cb = c.enc.encrypt(&c.encoder.encode(&b).unwrap()).unwrap();
+        let sum = c.eval.add(&ca, &cb).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&sum).unwrap());
+        for i in 0..100 {
+            assert_eq!(out[i], a[i] + b[i]);
+        }
+        assert_eq!(c.eval.op_counts().add, 1);
+    }
+
+    #[test]
+    fn sub_and_negate() {
+        let mut c = ctx(2048, &[]);
+        let t = c.params.plain_modulus().value();
+        let ca = c.enc.encrypt(&c.encoder.encode(&[10]).unwrap()).unwrap();
+        let cb = c.enc.encrypt(&c.encoder.encode(&[3]).unwrap()).unwrap();
+        let d = c.eval.sub(&ca, &cb).unwrap();
+        assert_eq!(c.encoder.decode(&c.dec.decrypt(&d).unwrap())[0], 7);
+        let neg = c.eval.negate(&ca).unwrap();
+        assert_eq!(c.encoder.decode(&c.dec.decrypt(&neg).unwrap())[0], t - 10);
+    }
+
+    #[test]
+    fn add_plain_is_slotwise() {
+        let mut c = ctx(2048, &[]);
+        let ca = c.enc.encrypt(&c.encoder.encode(&[5, 6]).unwrap()).unwrap();
+        let pb = c.encoder.encode(&[100, 200]).unwrap();
+        let s = c.eval.add_plain(&ca, &pb).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&s).unwrap());
+        assert_eq!(&out[..2], &[105, 206]);
+    }
+
+    #[test]
+    fn mul_plain_is_slotwise() {
+        let mut c = ctx(2048, &[]);
+        let a: Vec<u64> = (1..=50).collect();
+        let w: Vec<u64> = (1..=50).map(|i| 2 * i).collect();
+        let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
+        let pw = c.eval.prepare_plaintext(&c.encoder.encode(&w).unwrap()).unwrap();
+        let prod = c.eval.mul_plain(&ca, &pw).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&prod).unwrap());
+        for i in 0..50 {
+            assert_eq!(out[i], a[i] * w[i], "slot {i}");
+        }
+        // Model noise must upper-bound measured noise.
+        let measured = c.dec.invariant_noise(&prod).unwrap() as f64;
+        assert!(measured.log2() <= prod.noise().bound_log2);
+    }
+
+    #[test]
+    fn mul_plain_signed_weights() {
+        let mut c = ctx(2048, &[]);
+        let a: Vec<i64> = vec![3, -4, 5];
+        let w: Vec<i64> = vec![-2, -3, 7];
+        let ca = c.enc.encrypt(&c.encoder.encode_signed(&a).unwrap()).unwrap();
+        let pw = c
+            .eval
+            .prepare_plaintext(&c.encoder.encode_signed(&w).unwrap())
+            .unwrap();
+        let prod = c.eval.mul_plain(&ca, &pw).unwrap();
+        let out = c.encoder.decode_signed(&c.dec.decrypt_checked(&prod).unwrap());
+        assert_eq!(&out[..3], &[-6, 12, 35]);
+    }
+
+    #[test]
+    fn rotate_rows_left_and_right() {
+        let mut c = ctx(2048, &[1, -1, 5]);
+        let row = c.params.row_size();
+        let vals: Vec<u64> = (0..row as u64).collect();
+        let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+
+        let left1 = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&left1).unwrap());
+        assert_eq!(out[0], 1);
+        assert_eq!(out[row - 1], 0); // wrapped around
+
+        let right1 = c.eval.rotate_rows(&ct, -1, &c.keys).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&right1).unwrap());
+        assert_eq!(out[0], (row - 1) as u64);
+        assert_eq!(out[1], 0);
+
+        let left5 = c.eval.rotate_rows(&ct, 5, &c.keys).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&left5).unwrap());
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn rotate_affects_both_rows_independently() {
+        let mut c = ctx(2048, &[1]);
+        let row = c.params.row_size();
+        let mut vals = vec![0u64; 2 * row];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = i as u64;
+        }
+        let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+        let rot = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&rot).unwrap());
+        assert_eq!(out[0], 1);
+        assert_eq!(out[row], row as u64 + 1); // row 1 also rotated left by 1
+        assert_eq!(out[row - 1], 0);
+        assert_eq!(out[2 * row - 1], row as u64);
+    }
+
+    #[test]
+    fn rotate_columns_swaps_rows() {
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .cipher_bits(54)
+            .a_dcmp(1 << 16)
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 77);
+        let pk = kg.public_key().unwrap();
+        // The power-of-two helper includes the row-swap element.
+        let keyset = kg.galois_keys_power_of_two().unwrap();
+
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 3);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params.clone());
+        let row = params.row_size();
+        let mut vals = vec![0u64; 2 * row];
+        vals[0] = 111;
+        vals[row] = 222;
+        let ct = enc.encrypt(&encoder.encode(&vals).unwrap()).unwrap();
+        let swapped = eval.rotate_columns(&ct, &keyset).unwrap();
+        let out = encoder.decode(&dec.decrypt_checked(&swapped).unwrap());
+        assert_eq!(out[0], 222);
+        assert_eq!(out[row], 111);
+    }
+
+    #[test]
+    fn composed_rotation_matches_direct() {
+        let mut c = ctx(2048, &[1, 2, 4, 8, 16, 11]);
+        let vals: Vec<u64> = (0..c.params.row_size() as u64).collect();
+        let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+        let direct = c.eval.rotate_rows(&ct, 11, &c.keys).unwrap();
+        let composed = c.eval.rotate_rows_composed(&ct, 11, &c.keys).unwrap();
+        let d1 = c.encoder.decode(&c.dec.decrypt_checked(&direct).unwrap());
+        let d2 = c.encoder.decode(&c.dec.decrypt_checked(&composed).unwrap());
+        assert_eq!(d1, d2);
+        // Composition uses more rotations => more noise.
+        assert!(c.dec.invariant_noise(&composed).unwrap() >= c.dec.invariant_noise(&direct).unwrap());
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let mut c = ctx(2048, &[1]);
+        let ct = c.enc.encrypt(&c.encoder.encode(&[1]).unwrap()).unwrap();
+        assert!(matches!(
+            c.eval.rotate_rows(&ct, 7, &c.keys),
+            Err(Error::MissingGaloisKey(_))
+        ));
+    }
+
+    #[test]
+    fn windowed_mult_reduces_noise() {
+        // Compare noise of plain mult vs windowed mult with W = 2^6.
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .cipher_bits(54)
+            .w_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        assert_eq!(params.l_pt(), 3);
+        let mut kg = KeyGenerator::from_seed(params.clone(), 21);
+        let pk = kg.public_key().unwrap();
+        let mut enc = Encryptor::from_public_key(pk, 22);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let encoder = BatchEncoder::new(params.clone());
+        let eval = Evaluator::new(params.clone());
+
+        let x: Vec<u64> = (1..=64).collect();
+        let w: Vec<u64> = (1..=64).map(|i| 1000 + i).collect();
+        let px = encoder.encode(&x).unwrap();
+        let pw = encoder.encode(&w).unwrap();
+
+        let ct = enc.encrypt(&px).unwrap();
+        let wct = enc.encrypt_windowed(&px).unwrap();
+
+        let plain_prod = eval.mul_plain_unprepared(&ct, &pw).unwrap();
+        let window_prod = eval.mul_plain_windowed(&wct, &pw).unwrap();
+
+        let t = params.plain_modulus();
+        let d1 = encoder.decode(&dec.decrypt_checked(&plain_prod).unwrap());
+        let d2 = encoder.decode(&dec.decrypt_checked(&window_prod).unwrap());
+        for i in 0..64 {
+            assert_eq!(d1[i], t.mul_mod(x[i], w[i]));
+            assert_eq!(d2[i], d1[i], "slot {i}");
+        }
+        let n1 = dec.invariant_noise(&plain_prod).unwrap();
+        let n2 = dec.invariant_noise(&window_prod).unwrap();
+        assert!(n2 < n1, "windowed {n2} should be below plain {n1}");
+    }
+
+    #[test]
+    fn op_counts_track_rotate_internals() {
+        let mut c = ctx(2048, &[1]);
+        let ct = c.enc.encrypt(&c.encoder.encode(&[1]).unwrap()).unwrap();
+        c.eval.reset_op_counts();
+        let _ = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
+        let counts = c.eval.op_counts();
+        let l_ct = c.params.l_ct() as u64;
+        assert_eq!(counts.rotate, 1);
+        assert_eq!(counts.ntt, l_ct + 1, "l_ct + 1 NTTs per rotate");
+        assert_eq!(counts.poly_mul, 2 * l_ct, "2 l_ct muls per rotate");
+    }
+
+    #[test]
+    fn mul_scalar_scales_slots() {
+        let mut c = ctx(2048, &[]);
+        let ct = c.enc.encrypt(&c.encoder.encode(&[7, 9]).unwrap()).unwrap();
+        let scaled = c.eval.mul_scalar(&ct, 3).unwrap();
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&scaled).unwrap());
+        assert_eq!(&out[..2], &[21, 27]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Key material: secret key, public key, and Galois (rotation) keys.
+//!
+//! Galois keys embed the ciphertext decomposition base `A_dcmp`
+//! (Table II): each key holds `l_ct = ceil(log_A q)` RLWE samples of
+//! `A^i · s(x^g)`, so applying a rotation costs `2·l_ct` polynomial
+//! multiplications and `l_ct + 1` NTTs — exactly the counts the Cheetah
+//! performance model charges per `HE_Rotate` (§IV-A).
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::params::BfvParams;
+use crate::poly::{Poly, Representation};
+use crate::sampling::BfvRng;
+
+/// The RLWE secret key: a ternary polynomial, stored in evaluation form.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    s: Poly,
+    params: BfvParams,
+}
+
+impl SecretKey {
+    /// The secret polynomial in evaluation form.
+    pub fn poly(&self) -> &Poly {
+        &self.s
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+}
+
+/// The public encryption key `(pk0, pk1) = (−(a·s + e), a)`.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pk0: Poly,
+    pk1: Poly,
+    params: BfvParams,
+}
+
+impl PublicKey {
+    /// First component `−(a·s + e)`, evaluation form.
+    pub fn pk0(&self) -> &Poly {
+        &self.pk0
+    }
+
+    /// Second component `a`, evaluation form.
+    pub fn pk1(&self) -> &Poly {
+        &self.pk1
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+}
+
+/// One key-switching key: `l_ct` pairs
+/// `(−(a_i·s + e_i) + A^i·s(x^g), a_i)` in evaluation form, plus the cached
+/// slot permutation realizing `x ↦ x^g` on NTT-form data.
+#[derive(Debug, Clone)]
+pub struct GaloisKey {
+    /// The Galois element `g` (odd).
+    pub element: u64,
+    /// Key-switch pairs, one per decomposition digit.
+    pairs: Vec<(Poly, Poly)>,
+    /// NTT-domain permutation for `x ↦ x^g`.
+    perm: Vec<u32>,
+}
+
+impl GaloisKey {
+    /// Key-switch pairs (`l_ct` of them).
+    pub fn pairs(&self) -> &[(Poly, Poly)] {
+        &self.pairs
+    }
+
+    /// The NTT-domain slot permutation.
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+}
+
+/// A set of Galois keys indexed by Galois element.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    keys: HashMap<u64, GaloisKey>,
+}
+
+impl GaloisKeys {
+    /// Looks up the key for a Galois element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MissingGaloisKey`] if absent.
+    pub fn get(&self, element: u64) -> Result<&GaloisKey> {
+        self.keys
+            .get(&element)
+            .ok_or(Error::MissingGaloisKey(element))
+    }
+
+    /// Whether a key for this element exists.
+    pub fn contains(&self, element: u64) -> bool {
+        self.keys.contains_key(&element)
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over the stored elements.
+    pub fn elements(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.keys().copied()
+    }
+
+    /// Serialized size in bytes (for protocol accounting): each key holds
+    /// `l_ct` pairs of degree-`n` polynomials.
+    pub fn byte_size(&self, params: &BfvParams) -> usize {
+        self.keys.len() * params.l_ct() * 2 * params.degree() * 8
+    }
+
+    fn insert(&mut self, key: GaloisKey) {
+        self.keys.insert(key.element, key);
+    }
+}
+
+/// Generates all key material for a session.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::params::BfvParams;
+/// use cheetah_bfv::keys::KeyGenerator;
+///
+/// # fn main() -> Result<(), cheetah_bfv::Error> {
+/// let params = BfvParams::builder().degree(4096).build()?;
+/// let mut keygen = KeyGenerator::from_seed(params, 42);
+/// let _sk = keygen.secret_key().clone();
+/// let _pk = keygen.public_key()?;
+/// let gks = keygen.galois_keys_for_steps(&[1, -1, 8])?;
+/// assert_eq!(gks.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KeyGenerator {
+    params: BfvParams,
+    rng: BfvRng,
+    sk: SecretKey,
+}
+
+impl KeyGenerator {
+    /// Creates a generator with a reproducible seed.
+    pub fn from_seed(params: BfvParams, seed: u64) -> Self {
+        let mut rng = BfvRng::from_seed(seed, params.sigma());
+        let sk = Self::sample_secret(&params, &mut rng);
+        Self { params, rng, sk }
+    }
+
+    /// Creates a generator seeded from OS entropy.
+    pub fn from_entropy(params: BfvParams) -> Self {
+        let mut rng = BfvRng::from_entropy(params.sigma());
+        let sk = Self::sample_secret(&params, &mut rng);
+        Self { params, rng, sk }
+    }
+
+    fn sample_secret(params: &BfvParams, rng: &mut BfvRng) -> SecretKey {
+        let q = params.cipher_modulus();
+        let mut s = rng.ternary_poly(params.degree(), q);
+        s.to_eval(params.q_table());
+        SecretKey {
+            s,
+            params: params.clone(),
+        }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// Parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// Generates a fresh public key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates polynomial arithmetic errors (cannot occur for matched
+    /// parameters).
+    pub fn public_key(&mut self) -> Result<PublicKey> {
+        let q = *self.params.cipher_modulus();
+        let n = self.params.degree();
+        let a = self
+            .rng
+            .uniform_poly(n, &q, Representation::Eval);
+        let mut e = self.rng.noise_poly(n, &q);
+        e.to_eval(self.params.q_table());
+        // pk0 = -(a*s + e)
+        let mut pk0 = a.clone();
+        pk0.mul_assign_pointwise(self.sk.poly(), &q)?;
+        pk0.add_assign(&e, &q)?;
+        pk0.negate(&q);
+        Ok(PublicKey {
+            pk0,
+            pk1: a,
+            params: self.params.clone(),
+        })
+    }
+
+    /// Generates the Galois key for element `g` with the parameter set's
+    /// ciphertext decomposition base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic errors; `g` must be odd (panics otherwise).
+    pub fn galois_key(&mut self, g: u64) -> Result<GaloisKey> {
+        let q = *self.params.cipher_modulus();
+        let n = self.params.degree();
+        let table = self.params.q_table();
+        let a_base = self.params.a_dcmp();
+        let l_ct = self.params.l_ct();
+
+        // s(x^g) in evaluation form, via the NTT-domain permutation.
+        let perm = table.galois_permutation(g);
+        let s_data = self.sk.poly().data();
+        let s_g = Poly::from_data(
+            perm.iter().map(|&p| s_data[p as usize]).collect(),
+            Representation::Eval,
+        );
+
+        let mut pairs = Vec::with_capacity(l_ct);
+        let mut scale = 1u64; // A^i mod q
+        for i in 0..l_ct {
+            let a_i = self.rng.uniform_poly(n, &q, Representation::Eval);
+            let mut e_i = self.rng.noise_poly(n, &q);
+            e_i.to_eval(table);
+            // k0 = -(a_i*s + e_i) + A^i * s(x^g)
+            let mut k0 = a_i.clone();
+            k0.mul_assign_pointwise(self.sk.poly(), &q)?;
+            k0.add_assign(&e_i, &q)?;
+            k0.negate(&q);
+            let mut scaled_sg = s_g.clone();
+            scaled_sg.mul_scalar(scale, &q);
+            k0.add_assign(&scaled_sg, &q)?;
+            pairs.push((k0, a_i));
+            if i + 1 < l_ct {
+                scale = q.mul_mod(scale, q.reduce(a_base));
+            }
+        }
+        Ok(GaloisKey {
+            element: g,
+            pairs,
+            perm,
+        })
+    }
+
+    /// Galois element realizing a row rotation by `steps`
+    /// (positive = left). `steps == 0` is invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRotation`] for out-of-range steps.
+    pub fn element_for_step(&self, steps: i64) -> Result<u64> {
+        element_for_step(self.params.degree(), steps)
+    }
+
+    /// Galois element for the row swap (`x ↦ x^{2n−1}`).
+    pub fn element_for_row_swap(&self) -> u64 {
+        2 * self.params.degree() as u64 - 1
+    }
+
+    /// Generates keys for a set of row-rotation steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRotation`] for any invalid step.
+    pub fn galois_keys_for_steps(&mut self, steps: &[i64]) -> Result<GaloisKeys> {
+        let mut out = GaloisKeys::default();
+        for &s in steps {
+            let g = self.element_for_step(s)?;
+            if !out.contains(g) {
+                out.insert(self.galois_key(g)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Generates keys for all power-of-two rotations (both directions) plus
+    /// the row swap — enough to compose any rotation in ≤ log2(n/2) hops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation errors.
+    pub fn galois_keys_power_of_two(&mut self) -> Result<GaloisKeys> {
+        let row = self.params.row_size() as i64;
+        let mut steps = Vec::new();
+        let mut p = 1i64;
+        while p < row {
+            steps.push(p);
+            steps.push(-p);
+            p <<= 1;
+        }
+        let mut keys = self.galois_keys_for_steps(&steps)?;
+        let swap = self.element_for_row_swap();
+        keys.insert(self.galois_key(swap)?);
+        Ok(keys)
+    }
+
+    /// Extends an existing key set with additional rotation steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRotation`] for any invalid step.
+    pub fn extend_galois_keys(&mut self, keys: &mut GaloisKeys, steps: &[i64]) -> Result<()> {
+        for &s in steps {
+            let g = self.element_for_step(s)?;
+            if !keys.contains(g) {
+                keys.insert(self.galois_key(g)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the Galois element `3^k mod 2n` realizing a left row-rotation
+/// by `steps` (negative steps rotate right).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRotation`] if `steps` is zero or out of range
+/// `(-n/2, n/2)`.
+pub fn element_for_step(n: usize, steps: i64) -> Result<u64> {
+    let row = (n / 2) as i64;
+    if steps == 0 || steps <= -row || steps >= row {
+        return Err(Error::InvalidRotation(steps));
+    }
+    let k = steps.rem_euclid(row) as u64;
+    let m = 2 * n as u64;
+    let mut g = 1u64;
+    for _ in 0..k {
+        g = g * 3 % m;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BfvParams {
+        BfvParams::builder()
+            .degree(1024)
+            .plain_bits(16)
+            .cipher_bits(27)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn secret_key_is_ternary_in_coeff_form() {
+        let p = params();
+        let kg = KeyGenerator::from_seed(p.clone(), 1);
+        let mut s = kg.secret_key().poly().clone();
+        s.to_coeff(p.q_table());
+        let q = p.cipher_modulus();
+        for &c in s.data() {
+            assert!(c == 0 || c == 1 || c == q.value() - 1);
+        }
+    }
+
+    #[test]
+    fn public_key_is_rlwe_sample() {
+        // pk0 + pk1*s should be small (= -e): verify by computing it.
+        let p = params();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 2);
+        let pk = kg.public_key().unwrap();
+        let q = *p.cipher_modulus();
+        let mut check = pk.pk1().clone();
+        check
+            .mul_assign_pointwise(kg.secret_key().poly(), &q)
+            .unwrap();
+        check.add_assign(pk.pk0(), &q).unwrap();
+        check.to_coeff(p.q_table());
+        let norm = check.inf_norm_centered(&q).unwrap();
+        // |e| <= CBD bound = round(2*sigma^2) = 20 or so.
+        assert!(norm <= 64, "pk residual too large: {norm}");
+        assert!(norm > 0, "error should be nonzero");
+    }
+
+    #[test]
+    fn element_for_step_values() {
+        // n = 8 -> m = 16, row = 4.
+        assert_eq!(element_for_step(8, 1).unwrap(), 3);
+        assert_eq!(element_for_step(8, 2).unwrap(), 9);
+        assert_eq!(element_for_step(8, 3).unwrap(), 27 % 16);
+        // negative wraps: -1 == row-1 = 3 steps
+        assert_eq!(
+            element_for_step(8, -1).unwrap(),
+            element_for_step(8, 3).unwrap()
+        );
+        assert!(element_for_step(8, 0).is_err());
+        assert!(element_for_step(8, 4).is_err());
+        assert!(element_for_step(8, -4).is_err());
+    }
+
+    #[test]
+    fn galois_key_count_matches_l_ct() {
+        let p = params();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 3);
+        let gk = kg.galois_key(3).unwrap();
+        assert_eq!(gk.pairs().len(), p.l_ct());
+        assert_eq!(gk.permutation().len(), p.degree());
+    }
+
+    #[test]
+    fn galois_keys_for_steps_dedupes() {
+        let p = params();
+        let row = p.row_size() as i64;
+        let mut kg = KeyGenerator::from_seed(p, 4);
+        // steps 1 and 1-row alias to the same element.
+        let keys = kg.galois_keys_for_steps(&[1, 1 - row]).unwrap();
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn power_of_two_keyset_covers_log_steps() {
+        let p = params();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 5);
+        let keys = kg.galois_keys_power_of_two().unwrap();
+        // log2(512) forward + backward + swap, minus aliases.
+        assert!(keys.len() >= 10);
+        assert!(keys.contains(kg.element_for_row_swap()));
+        assert!(keys.byte_size(&p) > 0);
+    }
+
+    #[test]
+    fn missing_key_error() {
+        let keys = GaloisKeys::default();
+        assert!(matches!(keys.get(3), Err(Error::MissingGaloisKey(3))));
+        assert!(keys.is_empty());
+    }
+}

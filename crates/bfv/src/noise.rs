@@ -1,0 +1,228 @@
+//! Noise bookkeeping: the Table III operator noise model, carried live on
+//! every ciphertext.
+//!
+//! Two parallel estimates are tracked:
+//!
+//! * **worst-case bound** — the Table III expressions
+//!   (`v0 ≤ 2nB²`, add: `v0+v1`, pt-mult: `n·l_pt·W·v/2`,
+//!   rotate: `v + l_ct·A·B·n/2`);
+//! * **variance** — the statistical (IBDG) model of §IV-B: encryption noise
+//!   coefficients are independent bounded sub-Gaussians, and every HE
+//!   operator is a linear map with known coefficients, so variances
+//!   propagate exactly. The statistical estimate, scaled by
+//!   [`FAILURE_SCALE`], is what HE-PTune uses to provision parameters with
+//!   decryption-failure probability below 1e-10 instead of the (rare)
+//!   worst case.
+//!
+//! The measured ground truth lives in
+//! [`crate::encryptor::Decryptor::invariant_noise`], which computes the
+//! actual noise polynomial against the secret key; tests reconcile the two.
+
+use crate::params::BfvParams;
+
+/// Scaling factor `c` such that `Pr(|Y| ≥ c·σ_Y) ≤ 1e-10` for sub-Gaussian
+/// noise: from the paper's tail bound `Pr(|Y| ≥ q/2t) ≤ 2·exp(−q²/(4t²σ_Y²))`
+/// we need `q/(2t) ≥ σ_Y·sqrt(ln(2·10^10))`, i.e. `c = sqrt(ln 2e10) ≈ 4.87`.
+pub const FAILURE_SCALE: f64 = 4.870_215_406_991_81;
+
+/// Decryption-failure probability the statistical model provisions for.
+pub const TARGET_FAILURE_RATE: f64 = 1e-10;
+
+/// Running noise estimate attached to a ciphertext.
+///
+/// All quantities are stored in log2 space to survive deep networks without
+/// overflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseEstimate {
+    /// log2 of the worst-case noise magnitude bound (Table III).
+    pub bound_log2: f64,
+    /// log2 of the noise *variance* under the IBDG model.
+    pub variance_log2: f64,
+}
+
+impl NoiseEstimate {
+    /// Noise of a freshly encrypted ciphertext.
+    ///
+    /// Worst case (Table III): `v0 = 2nB²` with `B = 6σ`.
+    /// Variance: `σ_v² = σ²·(2n·k_var + 1)`-ish; we use the dominant RLWE
+    /// term `2n·σ⁴`-free form — encryption noise is
+    /// `e1 + u·e0 + s·e2`-shaped, a sum of `2n+1` products of two
+    /// independent samples with variances `σ²` and `2/3` (ternary), so
+    /// `σ_v² ≈ σ²·(1 + 4n/3)`.
+    pub fn fresh(params: &BfvParams) -> Self {
+        let n = params.degree() as f64;
+        let sigma2 = params.sigma() * params.sigma();
+        let bound = params.fresh_noise_bound();
+        let variance = sigma2 * (1.0 + 4.0 * n / 3.0);
+        Self {
+            bound_log2: bound.log2(),
+            variance_log2: variance.log2(),
+        }
+    }
+
+    /// A ciphertext that is exactly zero (e.g. a transparent accumulator).
+    pub fn zero() -> Self {
+        Self {
+            bound_log2: f64::NEG_INFINITY,
+            variance_log2: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Noise after `HE_Add`: bounds add; variances add (independence).
+    pub fn add(&self, other: &NoiseEstimate) -> Self {
+        Self {
+            bound_log2: log2_sum(self.bound_log2, other.bound_log2),
+            variance_log2: log2_sum(self.variance_log2, other.variance_log2),
+        }
+    }
+
+    /// Noise after adding a plaintext (absorbed into the message; adds the
+    /// rounding term `||pt||·(q mod t)/t ≤ ||pt||`, negligible but tracked).
+    pub fn add_plain(&self, pt_norm: u64) -> Self {
+        let extra = (pt_norm.max(1)) as f64;
+        Self {
+            bound_log2: log2_sum(self.bound_log2, extra.log2()),
+            variance_log2: self.variance_log2,
+        }
+    }
+
+    /// Noise after plaintext multiplication with decomposition
+    /// (Table III: `n·l_pt·W_dcmp·v/2`).
+    ///
+    /// `l_pt = 1` and `W = 2·||pt||` models the undecomposed case.
+    pub fn mul_plain(&self, params: &BfvParams, l_pt: usize, w_base: u64) -> Self {
+        let n = params.degree() as f64;
+        let factor = n * l_pt as f64 * w_base as f64 / 2.0;
+        // Variance: each output coefficient is a sum of n products of noise
+        // with plaintext digits uniform in [0, W): E[w²] ≈ W²/3.
+        let var_factor = n * l_pt as f64 * (w_base as f64 * w_base as f64) / 3.0;
+        Self {
+            bound_log2: self.bound_log2 + factor.log2(),
+            variance_log2: self.variance_log2 + var_factor.log2(),
+        }
+    }
+
+    /// Noise after `HE_Rotate` (Table III: `v + l_ct·A_dcmp·B·n/2`).
+    pub fn rotate(&self, params: &BfvParams) -> Self {
+        let n = params.degree() as f64;
+        let b = 6.0 * params.sigma();
+        let l_ct = params.l_ct() as f64;
+        let a = params.a_dcmp() as f64;
+        let additive = l_ct * a * b * n / 2.0;
+        // Variance of the key-switch term: l_ct·n digits, each a product of
+        // a uniform digit (var A²/12) and fresh noise (var σ²).
+        let add_var = l_ct * n * (a * a / 12.0) * params.sigma() * params.sigma();
+        Self {
+            bound_log2: log2_sum(self.bound_log2, additive.log2()),
+            variance_log2: log2_sum(self.variance_log2, add_var.log2()),
+        }
+    }
+
+    /// Remaining noise budget in bits under the worst-case model:
+    /// `log2(q/2t) − log2(bound)`. Negative means decryption may fail.
+    pub fn budget_bits_worst(&self, params: &BfvParams) -> f64 {
+        params.noise_ceiling().log2() - self.bound_log2
+    }
+
+    /// Remaining noise budget in bits under the statistical model with the
+    /// 1e-10 failure target: `log2(q/2t) − log2(c·σ_Y)`.
+    pub fn budget_bits_statistical(&self, params: &BfvParams) -> f64 {
+        let sigma_log2 = self.variance_log2 / 2.0;
+        params.noise_ceiling().log2() - (sigma_log2 + FAILURE_SCALE.log2())
+    }
+}
+
+/// `log2(2^a + 2^b)` computed stably.
+fn log2_sum(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + (lo - hi).exp2()).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BfvParams {
+        BfvParams::builder().degree(4096).cipher_bits(60).plain_bits(17).build().unwrap()
+    }
+
+    #[test]
+    fn fresh_matches_table_iii() {
+        let p = params();
+        let e = NoiseEstimate::fresh(&p);
+        let b = 6.0 * p.sigma();
+        let expect = (2.0 * 4096.0 * b * b).log2();
+        assert!((e.bound_log2 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_doubles_equal_noise() {
+        let p = params();
+        let e = NoiseEstimate::fresh(&p);
+        let s = e.add(&e);
+        assert!((s.bound_log2 - (e.bound_log2 + 1.0)).abs() < 1e-9);
+        assert!((s.variance_log2 - (e.variance_log2 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_is_multiplicative_rotate_is_additive() {
+        let p = params();
+        let fresh = NoiseEstimate::fresh(&p);
+        let after_mul = fresh.mul_plain(&p, 1, p.plain_modulus().value());
+        // Multiplicative growth: bound increases by log2(n*t/2) ≈ 12+17-1.
+        assert!(after_mul.bound_log2 - fresh.bound_log2 > 25.0);
+        let after_rot = fresh.rotate(&p);
+        // Additive growth: small compared to multiplication.
+        assert!(after_rot.bound_log2 - fresh.bound_log2 < 25.0);
+        assert!(after_rot.bound_log2 >= fresh.bound_log2);
+    }
+
+    #[test]
+    fn sched_pa_beats_sched_ia_in_model() {
+        // The §V insight: mult-then-rotate (PA) = ηM·v0 + ηA, while
+        // rotate-then-mult (IA) = ηM·(v0 + ηA). IA must be strictly noisier.
+        let p = params();
+        let fresh = NoiseEstimate::fresh(&p);
+        let w = p.plain_modulus().value();
+        let pa = fresh.mul_plain(&p, 1, w).rotate(&p);
+        let ia = fresh.rotate(&p).mul_plain(&p, 1, w);
+        assert!(ia.bound_log2 > pa.bound_log2);
+        assert!(ia.variance_log2 > pa.variance_log2);
+    }
+
+    #[test]
+    fn statistical_budget_exceeds_worst_case_budget() {
+        let p = params();
+        let e = NoiseEstimate::fresh(&p).mul_plain(&p, 1, p.plain_modulus().value());
+        assert!(e.budget_bits_statistical(&p) > e.budget_bits_worst(&p));
+    }
+
+    #[test]
+    fn zero_is_identity_for_add() {
+        let p = params();
+        let e = NoiseEstimate::fresh(&p);
+        let z = NoiseEstimate::zero();
+        let s = e.add(&z);
+        assert!((s.bound_log2 - e.bound_log2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_scale_value() {
+        // c = sqrt(ln(2/1e-10))
+        let c = (2.0f64 / TARGET_FAILURE_RATE).ln().sqrt();
+        assert!((c - FAILURE_SCALE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_sum_stability() {
+        assert!((log2_sum(10.0, 10.0) - 11.0).abs() < 1e-12);
+        assert!((log2_sum(100.0, 0.0) - 100.0).abs() < 1e-6);
+        assert_eq!(log2_sum(f64::NEG_INFINITY, 5.0), 5.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Negacyclic Number Theoretic Transform over `Z_q[x]/(x^n + 1)`.
+//!
+//! Implements the Longa–Naehrig formulation used by SEAL: a decimation-in-time
+//! forward transform with bit-reverse-scrambled twiddle factors and a
+//! Gentleman–Sande inverse, both built from Harvey's lazy butterfly
+//! (three integer multiplications per butterfly — the constant the Cheetah
+//! performance model charges per butterfly, §IV-A).
+//!
+//! The forward transform maps natural-order coefficients to *bit-reversed*
+//! evaluation order: after `forward`, array index `j` holds the evaluation of
+//! the polynomial at `ψ^(2·brv(j)+1)` where `ψ` is a primitive `2n`-th root of
+//! unity. The inverse consumes that layout and returns natural-order
+//! coefficients. Keeping this layout end-to-end means no explicit bit-reversal
+//! pass is ever needed, and it is the layout assumed by
+//! [`crate::encoder::BatchEncoder`] and the Galois slot permutations.
+
+use crate::arith::{bit_reverse, primitive_root_2n, Modulus, ShoupPrecomp};
+use crate::error::Result;
+
+/// Precomputed tables for the negacyclic NTT of a fixed degree and modulus.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::arith::{generate_ntt_prime, Modulus};
+/// use cheetah_bfv::ntt::NttTable;
+///
+/// # fn main() -> Result<(), cheetah_bfv::Error> {
+/// let n = 1024;
+/// let q = Modulus::new(generate_ntt_prime(30, n)?)?;
+/// let table = NttTable::new(n, q)?;
+/// let mut a = vec![0u64; n];
+/// a[1] = 5; // the polynomial 5x
+/// let original = a.clone();
+/// table.forward(&mut a);
+/// table.inverse(&mut a);
+/// assert_eq!(a, original);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    q: Modulus,
+    /// `psi_rev[i] = ψ^{brv(i, log n)}` with Shoup precomputation.
+    psi_rev: Vec<ShoupPrecomp>,
+    /// `psi_inv_rev[i] = ψ^{-brv(i, log n)}` with Shoup precomputation.
+    psi_inv_rev: Vec<ShoupPrecomp>,
+    /// `n^{-1} mod q`, applied at the end of the inverse transform.
+    n_inv: ShoupPrecomp,
+    /// The primitive 2n-th root of unity used to build the tables.
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for degree `n` (a power of two ≥ 8) and prime
+    /// modulus `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` admits no primitive `2n`-th root of unity or
+    /// if `n` is not invertible mod `q`.
+    pub fn new(n: usize, q: Modulus) -> Result<Self> {
+        assert!(n.is_power_of_two() && n >= 8, "degree must be a power of two >= 8");
+        let log_n = n.trailing_zeros();
+        let psi = primitive_root_2n(&q, n)?;
+        let psi_inv = q.inv_mod(psi)?;
+
+        let mut psi_rev = Vec::with_capacity(n);
+        let mut psi_inv_rev = Vec::with_capacity(n);
+        // Powers in natural order first, then scramble.
+        let mut pow = 1u64;
+        let mut pow_inv = 1u64;
+        let mut powers = vec![0u64; n];
+        let mut powers_inv = vec![0u64; n];
+        for i in 0..n {
+            powers[i] = pow;
+            powers_inv[i] = pow_inv;
+            pow = q.mul_mod(pow, psi);
+            pow_inv = q.mul_mod(pow_inv, psi_inv);
+        }
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev.push(ShoupPrecomp::new(powers[r], &q));
+            psi_inv_rev.push(ShoupPrecomp::new(powers_inv[r], &q));
+        }
+        let n_inv = ShoupPrecomp::new(q.inv_mod(n as u64)?, &q);
+        Ok(Self {
+            n,
+            log_n,
+            q,
+            psi_rev,
+            psi_inv_rev,
+            n_inv,
+            psi,
+        })
+    }
+
+    /// Polynomial degree `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// `log2(n)`.
+    #[inline]
+    pub fn log_degree(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.q
+    }
+
+    /// The primitive `2n`-th root of unity backing the tables.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Number of Harvey butterflies per transform: `(n/2)·log2(n)`.
+    ///
+    /// Each butterfly costs three integer multiplications in the paper's
+    /// cost model (§IV-A).
+    #[inline]
+    pub fn butterflies(&self) -> u64 {
+        (self.n as u64 / 2) * self.log_n as u64
+    }
+
+    /// In-place forward negacyclic NTT (natural → bit-reversed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the degree");
+        let q = self.q.value();
+        let two_q = 2 * q;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let w = &self.psi_rev[m + i];
+                for j in j1..j1 + t {
+                    // Harvey forward butterfly, inputs < 4q, outputs < 4q.
+                    let mut x = a[j];
+                    if x >= two_q {
+                        x -= two_q;
+                    }
+                    let u = w.mul_lazy(a[j + t], &self.q); // < 2q
+                    a[j] = x + u;
+                    a[j + t] = x + two_q - u;
+                }
+            }
+            m <<= 1;
+        }
+        // Final full reduction to [0, q).
+        for x in a.iter_mut() {
+            if *x >= two_q {
+                *x -= two_q;
+            }
+            if *x >= q {
+                *x -= q;
+            }
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed → natural order),
+    /// including the `n^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the degree");
+        let q = self.q.value();
+        let two_q = 2 * q;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = &self.psi_inv_rev[h + i];
+                for j in j1..j1 + t {
+                    // Gentleman–Sande butterfly, lazy.
+                    let x = a[j];
+                    let y = a[j + t];
+                    let mut s = x + y;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    a[j] = s;
+                    a[j + t] = w.mul_lazy(x + two_q - y, &self.q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            let v = self.n_inv.mul(if *x >= two_q { *x - two_q } else { *x } % q, &self.q);
+            *x = v;
+        }
+    }
+
+    /// Builds the slot permutation realizing the Galois automorphism
+    /// `x -> x^g` directly on NTT-form (bit-reversed evaluation) data.
+    ///
+    /// `result[j] = source index whose value moves to position j`, i.e.
+    /// `b_ntt[j] = a_ntt[perm[j]]`. Applying the automorphism in evaluation
+    /// form is a pure permutation — no multiplications — which is why the
+    /// paper's rotate cost model only charges the key-switch NTTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (automorphisms of `x^n + 1` need odd exponents).
+    pub fn galois_permutation(&self, g: u64) -> Vec<u32> {
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let n = self.n;
+        let m = 2 * n as u64;
+        let mut perm = vec![0u32; n];
+        for (j, slot) in perm.iter_mut().enumerate() {
+            let e = 2 * bit_reverse(j, self.log_n) as u64 + 1;
+            let e_src = (e * g) % m;
+            let j_src = bit_reverse(((e_src - 1) / 2) as usize, self.log_n);
+            *slot = j_src as u32;
+        }
+        perm
+    }
+
+    /// Applies the Galois automorphism `x -> x^g` to a polynomial in
+    /// *coefficient* form: coefficient `a_i` moves to `x^{i·g mod 2n}` with a
+    /// sign flip whenever the exponent wraps past `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or `g` is even.
+    pub fn apply_galois_coeff(&self, a: &[u64], g: u64) -> Vec<u64> {
+        assert_eq!(a.len(), self.n);
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let n = self.n as u64;
+        let m = 2 * n;
+        let mut out = vec![0u64; self.n];
+        for (i, &coeff) in a.iter().enumerate() {
+            let e = (i as u64 * g) % m;
+            if e < n {
+                out[e as usize] = coeff;
+            } else {
+                out[(e - n) as usize] = self.q.neg_mod(coeff);
+            }
+        }
+        out
+    }
+}
+
+/// Schoolbook negacyclic multiplication, `O(n^2)` — reference for testing.
+pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let p = q.mul_mod(ai, bj);
+            let k = i + j;
+            if k < n {
+                out[k] = q.add_mod(out[k], p);
+            } else {
+                out[k - n] = q.sub_mod(out[k - n], p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::generate_ntt_prime;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let q = Modulus::new(generate_ntt_prime(bits, n).unwrap()).unwrap();
+        NttTable::new(n, q).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let t = table(64, 30);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a: Vec<u64> = (0..64).map(|_| rng.random_range(0..t.modulus().value())).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        t.inverse(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_large_degree_and_modulus() {
+        let t = table(4096, 60);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a: Vec<u64> = (0..4096).map(|_| rng.random_range(0..t.modulus().value())).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        assert_ne!(a, b, "transform should not be identity");
+        t.inverse(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pointwise_mult_is_negacyclic_convolution() {
+        let t = table(32, 30);
+        let q = *t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..32).map(|_| rng.random_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..32).map(|_| rng.random_range(0..q.value())).collect();
+        let expect = negacyclic_mul_naive(&a, &b, &q);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul_mod(x, y)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn x_times_x_wraps_negatively() {
+        // (x^(n-1)) * x = x^n = -1 mod (x^n + 1).
+        let t = table(16, 30);
+        let q = *t.modulus();
+        let mut a = vec![0u64; 16];
+        a[15] = 1;
+        let mut b = vec![0u64; 16];
+        b[1] = 1;
+        let c = negacyclic_mul_naive(&a, &b, &q);
+        assert_eq!(c[0], q.value() - 1);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul_mod(x, y)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, c);
+    }
+
+    #[test]
+    fn forward_evaluates_at_odd_root_powers() {
+        // Check the documented layout: index j holds a(ψ^(2·brv(j)+1)).
+        let t = table(16, 30);
+        let q = *t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a: Vec<u64> = (0..16).map(|_| rng.random_range(0..q.value())).collect();
+        let mut f = a.clone();
+        t.forward(&mut f);
+        for j in 0..16 {
+            let e = 2 * bit_reverse(j, t.log_degree()) as u64 + 1;
+            let point = q.pow_mod(t.psi(), e);
+            let mut eval = 0u64;
+            for &c in a.iter().rev() {
+                eval = q.add_mod(q.mul_mod(eval, point), c);
+            }
+            assert_eq!(f[j], eval, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn galois_coeff_vs_ntt_permutation_agree() {
+        let t = table(32, 30);
+        let q = *t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<u64> = (0..32).map(|_| rng.random_range(0..q.value())).collect();
+        for g in [3u64, 9, 63, 5] {
+            // Path 1: automorphism in coefficient form, then NTT.
+            let mut path1 = t.apply_galois_coeff(&a, g);
+            t.forward(&mut path1);
+            // Path 2: NTT, then permutation.
+            let mut fa = a.clone();
+            t.forward(&mut fa);
+            let perm = t.galois_permutation(g);
+            let path2: Vec<u64> = (0..32).map(|j| fa[perm[j] as usize]).collect();
+            assert_eq!(path1, path2, "galois element {g}");
+        }
+    }
+
+    #[test]
+    fn galois_identity_element() {
+        let t = table(16, 30);
+        let perm = t.galois_permutation(1);
+        for (j, &p) in perm.iter().enumerate() {
+            assert_eq!(p as usize, j);
+        }
+    }
+
+    #[test]
+    fn butterfly_count_matches_formula() {
+        let t = table(1024, 30);
+        assert_eq!(t.butterflies(), 512 * 10);
+    }
+}

@@ -1,0 +1,507 @@
+//! BFV encryption parameters (Table II of the paper).
+//!
+//! | Parameter | Meaning |
+//! |-----------|---------|
+//! | `n`       | polynomial degree (slot vector length) |
+//! | `t`       | plaintext modulus |
+//! | `q`       | ciphertext modulus |
+//! | `W_dcmp`  | plaintext (weight) decomposition base |
+//! | `A_dcmp`  | ciphertext (activation) decomposition base |
+//! | `σ`       | std-dev of the encryption noise (fixed) |
+//!
+//! Parameters are built with [`BfvParamsBuilder`], which generates matching
+//! NTT-friendly primes, checks the 128-bit RLWE security table, and
+//! precomputes the NTT tables shared by every object in a session.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::arith::{generate_ntt_prime, generate_prime_congruent, Modulus};
+use crate::error::{Error, Result};
+use crate::ntt::NttTable;
+use crate::poly::decomposition_levels;
+
+/// Default encryption-noise standard deviation (SEAL's default).
+pub const DEFAULT_SIGMA: f64 = 3.2;
+
+/// Maximum `log2(q)` for 128-bit classical security with ternary secrets,
+/// per the Homomorphic Encryption Standard. Returns `None` for unsupported
+/// degrees.
+pub fn max_log_q_128(n: usize) -> Option<u32> {
+    match n {
+        1024 => Some(27),
+        2048 => Some(54),
+        4096 => Some(109),
+        8192 => Some(218),
+        16384 => Some(438),
+        32768 => Some(881),
+        _ => None,
+    }
+}
+
+/// Security enforcement policy for parameter construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecurityLevel {
+    /// Enforce the 128-bit table; construction fails otherwise.
+    #[default]
+    Bits128,
+    /// Skip the check (used for model sweeps over insecure corners, which
+    /// HE-PTune must still be able to *cost*, and for legacy baselines).
+    None,
+}
+
+/// Immutable, validated BFV parameter set plus precomputed NTT tables.
+///
+/// Cheap to clone (internally reference-counted); every ciphertext, key and
+/// evaluator in a session shares one instance.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::params::BfvParams;
+///
+/// # fn main() -> Result<(), cheetah_bfv::Error> {
+/// let params = BfvParams::builder()
+///     .degree(4096)
+///     .plain_bits(17)
+///     .cipher_bits(60)
+///     .build()?;
+/// assert_eq!(params.degree(), 4096);
+/// assert!(params.plain_modulus().value() % (2 * 4096) == 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct BfvParams {
+    inner: Arc<ParamsInner>,
+}
+
+struct ParamsInner {
+    n: usize,
+    t: Modulus,
+    q: Modulus,
+    w_dcmp: u64,
+    a_dcmp: u64,
+    sigma: f64,
+    delta: u64,
+    q_table: NttTable,
+    t_table: NttTable,
+    security: SecurityLevel,
+}
+
+impl fmt::Debug for BfvParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BfvParams")
+            .field("n", &self.inner.n)
+            .field("t", &self.inner.t.value())
+            .field("q", &self.inner.q.value())
+            .field("w_dcmp", &self.inner.w_dcmp)
+            .field("a_dcmp", &self.inner.a_dcmp)
+            .field("sigma", &self.inner.sigma)
+            .finish()
+    }
+}
+
+impl PartialEq for BfvParams {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.n == other.inner.n
+                && self.inner.t.value() == other.inner.t.value()
+                && self.inner.q.value() == other.inner.q.value()
+                && self.inner.w_dcmp == other.inner.w_dcmp
+                && self.inner.a_dcmp == other.inner.a_dcmp)
+    }
+}
+impl Eq for BfvParams {}
+
+impl BfvParams {
+    /// Starts building a parameter set.
+    pub fn builder() -> BfvParamsBuilder {
+        BfvParamsBuilder::new()
+    }
+
+    /// Polynomial degree `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Plaintext modulus `t`.
+    #[inline]
+    pub fn plain_modulus(&self) -> &Modulus {
+        &self.inner.t
+    }
+
+    /// Ciphertext modulus `q`.
+    #[inline]
+    pub fn cipher_modulus(&self) -> &Modulus {
+        &self.inner.q
+    }
+
+    /// Plaintext (weight) decomposition base `W_dcmp`.
+    #[inline]
+    pub fn w_dcmp(&self) -> u64 {
+        self.inner.w_dcmp
+    }
+
+    /// Ciphertext (activation) decomposition base `A_dcmp`.
+    #[inline]
+    pub fn a_dcmp(&self) -> u64 {
+        self.inner.a_dcmp
+    }
+
+    /// Encryption-noise standard deviation `σ`.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.inner.sigma
+    }
+
+    /// `Δ = floor(q / t)`, the plaintext scaling factor.
+    #[inline]
+    pub fn delta(&self) -> u64 {
+        self.inner.delta
+    }
+
+    /// NTT tables for the ciphertext modulus.
+    #[inline]
+    pub fn q_table(&self) -> &NttTable {
+        &self.inner.q_table
+    }
+
+    /// NTT tables for the plaintext modulus (used by the batch encoder).
+    #[inline]
+    pub fn t_table(&self) -> &NttTable {
+        &self.inner.t_table
+    }
+
+    /// Security policy the parameters were validated under.
+    #[inline]
+    pub fn security(&self) -> SecurityLevel {
+        self.inner.security
+    }
+
+    /// `l_ct = ceil(log_{A_dcmp}(q))` — ciphertext decomposition levels.
+    pub fn l_ct(&self) -> usize {
+        decomposition_levels(self.inner.q.value(), self.inner.a_dcmp)
+    }
+
+    /// `l_pt = ceil(log_{W_dcmp}(t))` — plaintext decomposition levels.
+    /// Equals 1 when `W_dcmp >= t` (no decomposition, the Sched-PA default).
+    pub fn l_pt(&self) -> usize {
+        if self.inner.w_dcmp >= self.inner.t.value() {
+            1
+        } else {
+            decomposition_levels(self.inner.t.value(), self.inner.w_dcmp)
+        }
+    }
+
+    /// Number of plaintext slots (equals the degree `n`; arranged as a
+    /// `2 × n/2` matrix for rotation purposes).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Slots per rotation row (`n / 2`).
+    #[inline]
+    pub fn row_size(&self) -> usize {
+        self.inner.n / 2
+    }
+
+    /// Fresh-ciphertext noise bound `2nB²` with `B = 6σ` (Table III).
+    pub fn fresh_noise_bound(&self) -> f64 {
+        let b = 6.0 * self.inner.sigma;
+        2.0 * self.inner.n as f64 * b * b
+    }
+
+    /// The noise ceiling `q / (2t)`: decryption succeeds while the noise
+    /// magnitude stays below this.
+    pub fn noise_ceiling(&self) -> f64 {
+        self.inner.q.value() as f64 / (2.0 * self.inner.t.value() as f64)
+    }
+
+    /// Errors unless `other` is the same parameter set.
+    pub fn check_same(&self, other: &BfvParams) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(Error::ParameterMismatch)
+        }
+    }
+}
+
+/// Builder for [`BfvParams`].
+///
+/// Prime moduli are generated from bit sizes (`plain_bits`, `cipher_bits`)
+/// unless exact values are supplied with [`BfvParamsBuilder::plain_modulus`] /
+/// [`BfvParamsBuilder::cipher_modulus`].
+#[derive(Debug, Clone)]
+pub struct BfvParamsBuilder {
+    n: usize,
+    plain_bits: u32,
+    cipher_bits: u32,
+    plain_modulus: Option<u64>,
+    cipher_modulus: Option<u64>,
+    w_dcmp: Option<u64>,
+    a_dcmp: u64,
+    sigma: f64,
+    security: SecurityLevel,
+}
+
+impl Default for BfvParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BfvParamsBuilder {
+    /// Creates a builder with Cheetah-flavored defaults
+    /// (`n = 4096`, 17-bit `t`, 60-bit `q`, `A_dcmp = 2^20`, no plaintext
+    /// decomposition, `σ = 3.2`).
+    pub fn new() -> Self {
+        Self {
+            n: 4096,
+            plain_bits: 17,
+            cipher_bits: 60,
+            plain_modulus: None,
+            cipher_modulus: None,
+            w_dcmp: None,
+            a_dcmp: 1 << 20,
+            sigma: DEFAULT_SIGMA,
+            security: SecurityLevel::default(),
+        }
+    }
+
+    /// Sets the polynomial degree `n` (power of two ≥ 8).
+    pub fn degree(&mut self, n: usize) -> &mut Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the plaintext modulus size in bits (a matching NTT prime is
+    /// generated).
+    pub fn plain_bits(&mut self, bits: u32) -> &mut Self {
+        self.plain_bits = bits;
+        self.plain_modulus = None;
+        self
+    }
+
+    /// Sets the ciphertext modulus size in bits (a matching NTT prime is
+    /// generated).
+    pub fn cipher_bits(&mut self, bits: u32) -> &mut Self {
+        self.cipher_bits = bits;
+        self.cipher_modulus = None;
+        self
+    }
+
+    /// Uses an exact plaintext modulus (must be an NTT prime for `n`).
+    pub fn plain_modulus(&mut self, t: u64) -> &mut Self {
+        self.plain_modulus = Some(t);
+        self
+    }
+
+    /// Uses an exact ciphertext modulus (must be an NTT prime for `n`).
+    pub fn cipher_modulus(&mut self, q: u64) -> &mut Self {
+        self.cipher_modulus = Some(q);
+        self
+    }
+
+    /// Sets the plaintext decomposition base `W_dcmp`. Values `>= t`
+    /// disable plaintext decomposition (`l_pt = 1`).
+    pub fn w_dcmp(&mut self, base: u64) -> &mut Self {
+        self.w_dcmp = Some(base);
+        self
+    }
+
+    /// Sets the ciphertext decomposition base `A_dcmp`.
+    pub fn a_dcmp(&mut self, base: u64) -> &mut Self {
+        self.a_dcmp = base;
+        self
+    }
+
+    /// Sets the encryption-noise standard deviation.
+    pub fn sigma(&mut self, sigma: f64) -> &mut Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Sets the security enforcement policy.
+    pub fn security(&mut self, level: SecurityLevel) -> &mut Self {
+        self.security = level;
+        self
+    }
+
+    /// Validates everything and builds the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidDegree`] for a bad `n`;
+    /// * [`Error::InsecureParameters`] when the 128-bit check fails;
+    /// * [`Error::NoNttPrime`] when prime generation fails;
+    /// * [`Error::InvalidDecompositionBase`] for bad bases.
+    pub fn build(&self) -> Result<BfvParams> {
+        if !self.n.is_power_of_two() || self.n < 8 {
+            return Err(Error::InvalidDegree(self.n));
+        }
+        let t_val = match self.plain_modulus {
+            Some(t) => t,
+            None => generate_ntt_prime(self.plain_bits, self.n)?,
+        };
+        let q_val = match self.cipher_modulus {
+            Some(q) => q,
+            None => {
+                // Prefer q ≡ 1 (mod 2n·t): with q mod t = 1 the BFV
+                // plaintext-multiplication rounding term (q mod t)·⌊mp/t⌋
+                // vanishes (Gazelle's modulus structure, which Table III's
+                // noise model assumes). Fall back to a plain NTT prime when
+                // the progression is too sparse for the requested size.
+                let step = (2 * self.n as u64).checked_mul(t_val);
+                match step {
+                    Some(s) => generate_prime_congruent(self.cipher_bits, s)
+                        .or_else(|_| generate_ntt_prime(self.cipher_bits, self.n))?,
+                    None => generate_ntt_prime(self.cipher_bits, self.n)?,
+                }
+            }
+        };
+        let q = Modulus::new(q_val)?;
+        let t = Modulus::new(t_val)?;
+        if self.security == SecurityLevel::Bits128 {
+            let max = max_log_q_128(self.n).ok_or(Error::InvalidDegree(self.n))?;
+            if q.bits() > max {
+                return Err(Error::InsecureParameters {
+                    n: self.n,
+                    log_q: q.bits(),
+                    max_log_q: max,
+                });
+            }
+        }
+        if !self.a_dcmp.is_power_of_two() || self.a_dcmp < 2 {
+            return Err(Error::InvalidDecompositionBase(self.a_dcmp));
+        }
+        let w_dcmp = self.w_dcmp.unwrap_or(t_val.next_power_of_two());
+        if !w_dcmp.is_power_of_two() || w_dcmp < 2 {
+            return Err(Error::InvalidDecompositionBase(w_dcmp));
+        }
+        let q_table = NttTable::new(self.n, q)?;
+        let t_table = NttTable::new(self.n, t)?;
+        Ok(BfvParams {
+            inner: Arc::new(ParamsInner {
+                n: self.n,
+                t,
+                q,
+                w_dcmp,
+                a_dcmp: self.a_dcmp,
+                sigma: self.sigma,
+                delta: q_val / t_val,
+                q_table,
+                t_table,
+                security: self.security,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_produce_valid_params() {
+        let p = BfvParams::builder().build().unwrap();
+        assert_eq!(p.degree(), 4096);
+        assert_eq!(p.cipher_modulus().bits(), 60);
+        assert_eq!(p.plain_modulus().bits(), 17);
+        assert_eq!(p.plain_modulus().value() % (2 * 4096), 1);
+        assert_eq!(p.cipher_modulus().value() % (2 * 4096), 1);
+        assert_eq!(p.delta(), p.cipher_modulus().value() / p.plain_modulus().value());
+    }
+
+    #[test]
+    fn security_check_enforced() {
+        // 60-bit q at n=2048 exceeds the 54-bit limit.
+        let err = BfvParams::builder()
+            .degree(2048)
+            .cipher_bits(60)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InsecureParameters { .. }));
+        // …but is allowed with enforcement off.
+        let p = BfvParams::builder()
+            .degree(2048)
+            .cipher_bits(60)
+            .security(SecurityLevel::None)
+            .build()
+            .unwrap();
+        assert_eq!(p.cipher_modulus().bits(), 60);
+    }
+
+    #[test]
+    fn decomposition_levels_exposed() {
+        let p = BfvParams::builder()
+            .degree(4096)
+            .cipher_bits(60)
+            .a_dcmp(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(p.l_ct(), 3);
+        // default w_dcmp >= t disables plaintext decomposition
+        assert_eq!(p.l_pt(), 1);
+        let p2 = BfvParams::builder()
+            .degree(4096)
+            .plain_bits(17)
+            .w_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        assert_eq!(p2.l_pt(), 3); // ceil(17/6)
+    }
+
+    #[test]
+    fn invalid_degree_rejected() {
+        assert!(matches!(
+            BfvParams::builder().degree(100).build(),
+            Err(Error::InvalidDegree(100))
+        ));
+        assert!(matches!(
+            BfvParams::builder().degree(4).build(),
+            Err(Error::InvalidDegree(4))
+        ));
+    }
+
+    #[test]
+    fn invalid_bases_rejected() {
+        assert!(matches!(
+            BfvParams::builder().a_dcmp(3).build(),
+            Err(Error::InvalidDecompositionBase(3))
+        ));
+        assert!(matches!(
+            BfvParams::builder().w_dcmp(6).build(),
+            Err(Error::InvalidDecompositionBase(6))
+        ));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = BfvParams::builder().build().unwrap();
+        let b = BfvParams::builder().build().unwrap();
+        assert_eq!(a, b);
+        let c = BfvParams::builder().degree(8192).cipher_bits(60).build().unwrap();
+        assert_ne!(a, c);
+        assert!(a.check_same(&b).is_ok());
+        assert!(a.check_same(&c).is_err());
+    }
+
+    #[test]
+    fn fresh_noise_and_ceiling_formulas() {
+        let p = BfvParams::builder().build().unwrap();
+        let b = 6.0 * p.sigma();
+        assert!((p.fresh_noise_bound() - 2.0 * 4096.0 * b * b).abs() < 1e-6);
+        assert!(p.noise_ceiling() > 0.0);
+    }
+
+    #[test]
+    fn max_log_q_table() {
+        assert_eq!(max_log_q_128(2048), Some(54));
+        assert_eq!(max_log_q_128(4096), Some(109));
+        assert_eq!(max_log_q_128(1000), None);
+    }
+}

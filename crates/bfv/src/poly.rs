@@ -1,0 +1,422 @@
+//! Polynomials in `Z_q[x]/(x^n + 1)` with explicit representation tracking.
+//!
+//! A [`Poly`] is always in one of two representations:
+//!
+//! * [`Representation::Coeff`] — the coefficient vector of the polynomial;
+//! * [`Representation::Eval`] — pointwise evaluations in the NTT domain
+//!   (bit-reversed order, see [`crate::ntt::NttTable`]).
+//!
+//! Cheetah keeps ciphertext polynomials in `Eval` form by default and drops
+//! to `Coeff` only for decomposition and decryption (§III-B), so the type
+//! tracks the representation and operations check it, turning latent domain
+//! mix-ups into immediate errors.
+
+use crate::arith::Modulus;
+use crate::error::{Error, Result};
+use crate::ntt::NttTable;
+
+/// Which domain a [`Poly`]'s data lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Coefficient form.
+    Coeff,
+    /// NTT (evaluation) form, bit-reversed order.
+    Eval,
+}
+
+impl Representation {
+    fn name(self) -> &'static str {
+        match self {
+            Representation::Coeff => "coefficient",
+            Representation::Eval => "evaluation",
+        }
+    }
+}
+
+/// A polynomial in `Z_q[x]/(x^n + 1)`.
+///
+/// All arithmetic requires both operands to share the modulus and the
+/// representation; use [`Poly::to_eval`] / [`Poly::to_coeff`] to convert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    data: Vec<u64>,
+    repr: Representation,
+}
+
+impl Poly {
+    /// The zero polynomial of degree `n` in the given representation.
+    pub fn zero(n: usize, repr: Representation) -> Self {
+        Self {
+            data: vec![0; n],
+            repr,
+        }
+    }
+
+    /// Wraps raw residues (must already be reduced mod `q`).
+    pub fn from_data(data: Vec<u64>, repr: Representation) -> Self {
+        Self { data, repr }
+    }
+
+    /// Builds a coefficient-form polynomial from signed coefficients.
+    pub fn from_signed(coeffs: &[i64], q: &Modulus) -> Self {
+        Self {
+            data: coeffs.iter().map(|&c| q.from_signed(c)).collect(),
+            repr: Representation::Coeff,
+        }
+    }
+
+    /// Degree bound `n` (the ring dimension, not the mathematical degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the polynomial has zero length (degenerate; normally false).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Current representation.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// Raw residues.
+    #[inline]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable raw residues. Callers must keep values reduced.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the polynomial, returning its residues.
+    pub fn into_data(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Checks the representation, erroring otherwise.
+    pub fn expect_repr(&self, expected: Representation) -> Result<()> {
+        if self.repr != expected {
+            return Err(Error::WrongRepresentation {
+                expected: expected.name(),
+                found: self.repr.name(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Converts to evaluation form in place (no-op if already there).
+    pub fn to_eval(&mut self, table: &NttTable) {
+        if self.repr == Representation::Coeff {
+            table.forward(&mut self.data);
+            self.repr = Representation::Eval;
+        }
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff(&mut self, table: &NttTable) {
+        if self.repr == Representation::Eval {
+            table.inverse(&mut self.data);
+            self.repr = Representation::Coeff;
+        }
+    }
+
+    /// `self += other` (element-wise mod `q`); representations must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] on a representation mismatch
+    /// and [`Error::ParameterMismatch`] on a length mismatch.
+    pub fn add_assign(&mut self, other: &Poly, q: &Modulus) -> Result<()> {
+        other.expect_repr(self.repr)?;
+        if self.len() != other.len() {
+            return Err(Error::ParameterMismatch);
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = q.add_mod(*a, b);
+        }
+        Ok(())
+    }
+
+    /// `self -= other` (element-wise mod `q`); representations must match.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Poly::add_assign`].
+    pub fn sub_assign(&mut self, other: &Poly, q: &Modulus) -> Result<()> {
+        other.expect_repr(self.repr)?;
+        if self.len() != other.len() {
+            return Err(Error::ParameterMismatch);
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = q.sub_mod(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Negates every residue in place.
+    pub fn negate(&mut self, q: &Modulus) {
+        for a in &mut self.data {
+            *a = q.neg_mod(*a);
+        }
+    }
+
+    /// `self *= other` pointwise; both must be in evaluation form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] unless both operands are in
+    /// evaluation form, or [`Error::ParameterMismatch`] on length mismatch.
+    pub fn mul_assign_pointwise(&mut self, other: &Poly, q: &Modulus) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        other.expect_repr(Representation::Eval)?;
+        if self.len() != other.len() {
+            return Err(Error::ParameterMismatch);
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = q.mul_mod(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Multiplies every residue by the scalar `c` mod `q`.
+    pub fn mul_scalar(&mut self, c: u64, q: &Modulus) {
+        let c = q.reduce(c);
+        for a in &mut self.data {
+            *a = q.mul_mod(*a, c);
+        }
+    }
+
+    /// Fused multiply-accumulate: `self += a * b` pointwise, all in
+    /// evaluation form. This is the inner loop of key switching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] unless all three polynomials
+    /// are in evaluation form.
+    pub fn fma_pointwise(&mut self, a: &Poly, b: &Poly, q: &Modulus) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        a.expect_repr(Representation::Eval)?;
+        b.expect_repr(Representation::Eval)?;
+        if self.len() != a.len() || self.len() != b.len() {
+            return Err(Error::ParameterMismatch);
+        }
+        for ((r, &x), &y) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *r = q.add_mod(*r, q.mul_mod(x, y));
+        }
+        Ok(())
+    }
+
+    /// Decomposes a coefficient-form polynomial into digit polynomials in
+    /// base `base` (a power of two): `self = Σ_i base^i · digits[i]`, with
+    /// every digit coefficient in `[0, base)`.
+    ///
+    /// This is the ciphertext decomposition of §III-B2: rotating with base
+    /// `A_dcmp` splits `c1` into `l_ct ≈ log_A(q)` small polynomials so that
+    /// key-switch noise grows by `l_ct·A·B·n/2` instead of `q`-scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] if not in coefficient form, or
+    /// [`Error::InvalidDecompositionBase`] for a bad base.
+    pub fn decompose(&self, base: u64, q: &Modulus) -> Result<Vec<Poly>> {
+        self.expect_repr(Representation::Coeff)?;
+        if base < 2 || !base.is_power_of_two() {
+            return Err(Error::InvalidDecompositionBase(base));
+        }
+        let levels = decomposition_levels(q.value(), base);
+        let log_base = base.trailing_zeros();
+        let mask = base - 1;
+        let mut digits =
+            vec![Poly::zero(self.len(), Representation::Coeff); levels];
+        for (i, &c) in self.data.iter().enumerate() {
+            let mut rem = c;
+            for digit in digits.iter_mut() {
+                digit.data[i] = rem & mask;
+                rem >>= log_base;
+            }
+            debug_assert_eq!(rem, 0, "coefficient exceeded base^levels");
+        }
+        Ok(digits)
+    }
+
+    /// Recomposes digit polynomials: `Σ_i base^i · digits[i] mod q`.
+    /// Inverse of [`Poly::decompose`] (up to reduction mod `q`).
+    pub fn recompose(digits: &[Poly], base: u64, q: &Modulus) -> Result<Poly> {
+        let n = digits.first().map_or(0, Poly::len);
+        let mut out = Poly::zero(n, Representation::Coeff);
+        let mut scale = 1u64;
+        for (level, d) in digits.iter().enumerate() {
+            d.expect_repr(Representation::Coeff)?;
+            for (o, &v) in out.data.iter_mut().zip(&d.data) {
+                *o = q.add_mod(*o, q.mul_mod(scale, q.reduce(v)));
+            }
+            if level + 1 < digits.len() {
+                scale = q.mul_mod(scale, q.reduce(base));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Largest centered absolute value of any coefficient
+    /// (coefficient-form only; used for noise measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] if in evaluation form.
+    pub fn inf_norm_centered(&self, q: &Modulus) -> Result<u64> {
+        self.expect_repr(Representation::Coeff)?;
+        Ok(self
+            .data
+            .iter()
+            .map(|&c| q.center(c).unsigned_abs())
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+/// Number of base-`base` digits needed to cover residues mod `q`:
+/// `l = ceil(log_base(q))`. The paper writes this as `l_ct ≈ log_A(q)` for
+/// ciphertexts and `l_pt ≈ log_W(t)` for plaintexts.
+pub fn decomposition_levels(q: u64, base: u64) -> usize {
+    assert!(base >= 2 && base.is_power_of_two());
+    let q_bits = 64 - q.leading_zeros();
+    let b_bits = base.trailing_zeros();
+    q_bits.div_ceil(b_bits) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::generate_ntt_prime;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, bits: u32) -> (Modulus, NttTable) {
+        let q = Modulus::new(generate_ntt_prime(bits, n).unwrap()).unwrap();
+        let table = NttTable::new(n, q).unwrap();
+        (q, table)
+    }
+
+    fn random_poly(n: usize, q: &Modulus, seed: u64) -> Poly {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Poly::from_data(
+            (0..n).map(|_| rng.random_range(0..q.value())).collect(),
+            Representation::Coeff,
+        )
+    }
+
+    #[test]
+    fn representation_mismatch_is_an_error() {
+        let (q, table) = setup(16, 30);
+        let mut a = random_poly(16, &q, 1);
+        let mut b = random_poly(16, &q, 2);
+        b.to_eval(&table);
+        assert!(matches!(
+            a.add_assign(&b, &q),
+            Err(Error::WrongRepresentation { .. })
+        ));
+        assert!(matches!(
+            a.mul_assign_pointwise(&b, &q),
+            Err(Error::WrongRepresentation { .. })
+        ));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips() {
+        let (q, _) = setup(32, 30);
+        let mut a = random_poly(32, &q, 3);
+        let orig = a.clone();
+        let b = random_poly(32, &q, 4);
+        a.add_assign(&b, &q).unwrap();
+        a.sub_assign(&b, &q).unwrap();
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn negate_twice_is_identity() {
+        let (q, _) = setup(32, 30);
+        let mut a = random_poly(32, &q, 5);
+        let orig = a.clone();
+        a.negate(&q);
+        a.negate(&q);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn decompose_recompose_roundtrip() {
+        let (q, _) = setup(64, 50);
+        let a = random_poly(64, &q, 6);
+        for base in [2u64, 4, 256, 1 << 16, 1 << 20] {
+            let digits = a.decompose(base, &q).unwrap();
+            assert_eq!(digits.len(), decomposition_levels(q.value(), base));
+            for d in &digits {
+                assert!(d.data().iter().all(|&v| v < base), "digit bound base={base}");
+            }
+            let back = Poly::recompose(&digits, base, &q).unwrap();
+            assert_eq!(back, a, "base {base}");
+        }
+    }
+
+    #[test]
+    fn decompose_rejects_bad_base() {
+        let (q, _) = setup(16, 30);
+        let a = random_poly(16, &q, 7);
+        assert!(matches!(
+            a.decompose(3, &q),
+            Err(Error::InvalidDecompositionBase(3))
+        ));
+        assert!(matches!(
+            a.decompose(1, &q),
+            Err(Error::InvalidDecompositionBase(1))
+        ));
+    }
+
+    #[test]
+    fn decomposition_levels_formula() {
+        assert_eq!(decomposition_levels((1 << 60) - 1, 1 << 20), 3);
+        assert_eq!(decomposition_levels((1 << 60) - 1, 1 << 16), 4);
+        assert_eq!(decomposition_levels(1 << 60, 1 << 20), 4); // 61 bits
+        assert_eq!(decomposition_levels(255, 16), 2);
+    }
+
+    #[test]
+    fn fma_matches_manual() {
+        let (q, table) = setup(32, 30);
+        let mut a = random_poly(32, &q, 8);
+        let mut b = random_poly(32, &q, 9);
+        a.to_eval(&table);
+        b.to_eval(&table);
+        let mut acc = Poly::zero(32, Representation::Eval);
+        acc.fma_pointwise(&a, &b, &q).unwrap();
+        let mut expect = a.clone();
+        expect.mul_assign_pointwise(&b, &q).unwrap();
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn inf_norm_centered_sees_negative_side() {
+        let (q, _) = setup(16, 30);
+        let mut a = Poly::zero(16, Representation::Coeff);
+        a.data_mut()[0] = q.value() - 5; // centered: -5
+        a.data_mut()[1] = 3;
+        assert_eq!(a.inf_norm_centered(&q).unwrap(), 5);
+    }
+
+    #[test]
+    fn eval_coeff_conversions_are_inverse() {
+        let (q, table) = setup(64, 40);
+        let a = random_poly(64, &q, 10);
+        let mut b = a.clone();
+        b.to_eval(&table);
+        assert_eq!(b.representation(), Representation::Eval);
+        b.to_eval(&table); // idempotent
+        b.to_coeff(&table);
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,162 @@
+//! Randomness for RLWE: ternary secrets, centered-binomial noise, and
+//! uniform polynomials.
+//!
+//! The encryption noise is drawn from a centered binomial distribution
+//! CBD(k) with `k = round(2σ²)`, giving variance `k/2 ≈ σ²` — the
+//! independent bounded discrete Gaussian (IBDG) the paper's statistical
+//! noise model assumes (§IV-B). CBD is bounded by construction
+//! (`|e| ≤ k`), which is what makes the `B = 6σ` worst-case bound of
+//! Table III sound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::arith::Modulus;
+use crate::poly::{Poly, Representation};
+
+/// Source of randomness for key generation and encryption.
+///
+/// Wraps a seedable PRNG so experiments are reproducible; production users
+/// would seed from the OS.
+#[derive(Debug)]
+pub struct BfvRng {
+    rng: StdRng,
+    cbd_k: u32,
+}
+
+impl BfvRng {
+    /// Creates a generator from a seed, with noise parameter derived from
+    /// `sigma` (CBD(k), `k = round(2σ²)`).
+    pub fn from_seed(seed: u64, sigma: f64) -> Self {
+        let cbd_k = (2.0 * sigma * sigma).round().max(1.0) as u32;
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cbd_k,
+        }
+    }
+
+    /// Creates a generator seeded from the OS entropy pool.
+    pub fn from_entropy(sigma: f64) -> Self {
+        let cbd_k = (2.0 * sigma * sigma).round().max(1.0) as u32;
+        Self {
+            rng: StdRng::from_os_rng(),
+            cbd_k,
+        }
+    }
+
+    /// The CBD parameter `k` in use.
+    pub fn cbd_k(&self) -> u32 {
+        self.cbd_k
+    }
+
+    /// Worst-case bound on a single noise sample (`|e| ≤ k`).
+    pub fn noise_bound(&self) -> u64 {
+        self.cbd_k as u64
+    }
+
+    /// Samples a uniform polynomial over `[0, q)` in the given
+    /// representation (uniform residues are uniform in either domain).
+    pub fn uniform_poly(&mut self, n: usize, q: &Modulus, repr: Representation) -> Poly {
+        let data = (0..n).map(|_| self.rng.random_range(0..q.value())).collect();
+        Poly::from_data(data, repr)
+    }
+
+    /// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`
+    /// (uniform), in coefficient form — the RLWE secret distribution.
+    pub fn ternary_poly(&mut self, n: usize, q: &Modulus) -> Poly {
+        let data = (0..n)
+            .map(|_| match self.rng.random_range(0..3u8) {
+                0 => 0,
+                1 => 1,
+                _ => q.value() - 1, // -1 mod q
+            })
+            .collect();
+        Poly::from_data(data, Representation::Coeff)
+    }
+
+    /// Samples one CBD(k) noise value in `[-k, k]`.
+    pub fn noise_sample(&mut self) -> i64 {
+        let k = self.cbd_k;
+        let mut acc: i64 = 0;
+        let mut remaining = k;
+        while remaining > 0 {
+            let chunk = remaining.min(32);
+            let mask = if chunk == 32 { u32::MAX } else { (1u32 << chunk) - 1 };
+            let a = (self.rng.next_u32() & mask).count_ones() as i64;
+            let b = (self.rng.next_u32() & mask).count_ones() as i64;
+            acc += a - b;
+            remaining -= chunk;
+        }
+        acc
+    }
+
+    /// Samples a noise polynomial (coefficient form).
+    pub fn noise_poly(&mut self, n: usize, q: &Modulus) -> Poly {
+        let data = (0..n).map(|_| q.from_signed(self.noise_sample())).collect();
+        Poly::from_data(data, Representation::Coeff)
+    }
+
+    /// Samples a uniform value in `[0, bound)` (used for masking in the
+    /// Gazelle protocol layer).
+    pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        self.rng.random_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Modulus {
+        Modulus::new(crate::arith::generate_ntt_prime(30, 1024).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ternary_values_are_ternary() {
+        let q = q();
+        let mut rng = BfvRng::from_seed(1, 3.2);
+        let p = rng.ternary_poly(1024, &q);
+        for &c in p.data() {
+            assert!(c == 0 || c == 1 || c == q.value() - 1);
+        }
+    }
+
+    #[test]
+    fn cbd_statistics_match_sigma() {
+        let mut rng = BfvRng::from_seed(2, 3.2);
+        assert_eq!(rng.cbd_k(), 20); // round(2 * 3.2^2) = round(20.48)
+        let samples: Vec<i64> = (0..20000).map(|_| rng.noise_sample()).collect();
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        // variance should be k/2 = 10 (close to sigma^2 = 10.24)
+        assert!((var - 10.0).abs() < 1.0, "var {var}");
+        let bound = rng.noise_bound() as i64;
+        assert!(samples.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_poly_in_range_and_seed_reproducible() {
+        let q = q();
+        let mut r1 = BfvRng::from_seed(42, 3.2);
+        let mut r2 = BfvRng::from_seed(42, 3.2);
+        let a = r1.uniform_poly(256, &q, Representation::Eval);
+        let b = r2.uniform_poly(256, &q, Representation::Eval);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&v| v < q.value()));
+    }
+
+    #[test]
+    fn large_sigma_uses_multiple_chunks() {
+        // sigma large enough that k > 32 exercises the chunked path.
+        let mut rng = BfvRng::from_seed(3, 6.0);
+        assert_eq!(rng.cbd_k(), 72);
+        let s: Vec<i64> = (0..5000).map(|_| rng.noise_sample()).collect();
+        let var: f64 = s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / s.len() as f64;
+        assert!((var - 36.0).abs() < 4.0, "var {var}");
+    }
+}

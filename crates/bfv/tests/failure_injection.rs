@@ -1,0 +1,170 @@
+//! Failure injection: the BFV engine must *detect* the failure modes the
+//! paper's models exist to avoid — noise-budget exhaustion, wrong keys,
+//! parameter mismatches — rather than silently returning garbage.
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, KeyGenerator,
+    SecurityLevel,
+};
+
+fn params(plain_bits: u32, cipher_bits: u32) -> BfvParams {
+    BfvParams::builder()
+        .degree(2048)
+        .plain_bits(plain_bits)
+        .cipher_bits(cipher_bits)
+        .a_dcmp(1 << 16)
+        .security(SecurityLevel::None)
+        .build()
+        .unwrap()
+}
+
+/// Chains plaintext multiplications until the budget is exhausted and
+/// checks that the decrypted value really goes wrong — the failure the
+/// noise model guards against is real, not theoretical. Note the measured
+/// budget is computed against the *nearest* plaintext multiple, so after
+/// true overflow it collapses to ~0 rather than going deeply negative;
+/// a collapsed budget (< 1 bit) is the failure signature.
+#[test]
+fn noise_exhaustion_is_detected_and_real() {
+    // Full-range (non-constant) multiplier polynomials consume ~20 bits of
+    // budget per multiplication; the chain dies after about two.
+    let p = params(16, 54);
+    let mut kg = KeyGenerator::from_seed(p.clone(), 1);
+    let pk = kg.public_key().unwrap();
+    let encoder = BatchEncoder::new(p.clone());
+    let mut enc = Encryptor::from_public_key(pk, 2);
+    let dec = Decryptor::new(kg.secret_key().clone());
+    let eval = Evaluator::new(p.clone());
+
+    let w_vals: Vec<u64> = (0..2048u64).map(|i| 3 + i % 97).collect();
+    let w = eval
+        .prepare_plaintext(&encoder.encode(&w_vals).unwrap())
+        .unwrap();
+    let mut ct = enc.encrypt(&encoder.encode(&[1]).unwrap()).unwrap();
+    let mut failed = false;
+    let mut expected: u64 = 1;
+    let t = p.plain_modulus();
+    for round in 0..8 {
+        ct = eval.mul_plain(&ct, &w).unwrap();
+        expected = t.mul_mod(expected, w_vals[0]);
+        let budget = dec.invariant_noise_budget(&ct).unwrap();
+        let out = encoder.decode(&dec.decrypt(&ct).unwrap());
+        if budget >= 2.0 {
+            assert_eq!(out[0], expected, "round {round}: budget {budget:.1}b but wrong value");
+        } else if out[0] != expected {
+            failed = true;
+            assert!(
+                budget < 2.0,
+                "round {round}: garbage with a healthy budget ({budget:.1}b)"
+            );
+            break;
+        }
+    }
+    assert!(failed, "budget never exhausted — q too wide for this test");
+    let _ = Error::NoiseBudgetExhausted; // referenced: decrypt_checked guards the <= 0 region
+}
+
+#[test]
+fn wrong_secret_key_decrypts_garbage() {
+    let p = params(16, 54);
+    let mut kg_a = KeyGenerator::from_seed(p.clone(), 10);
+    let kg_b = KeyGenerator::from_seed(p.clone(), 11);
+    let pk = kg_a.public_key().unwrap();
+    let encoder = BatchEncoder::new(p.clone());
+    let mut enc = Encryptor::from_public_key(pk, 12);
+    let ct = enc.encrypt(&encoder.encode(&[42]).unwrap()).unwrap();
+
+    let right = Decryptor::new(kg_a.secret_key().clone());
+    let wrong = Decryptor::new(kg_b.secret_key().clone());
+    assert_eq!(encoder.decode(&right.decrypt(&ct).unwrap())[0], 42);
+    // Wrong key: the phase is uniform, so the residual against the nearest
+    // plaintext multiple sits right at the decryption threshold (budget
+    // ~0 bits, vs ~20 for the right key) and the value is garbage.
+    let budget = wrong.invariant_noise_budget(&ct).unwrap();
+    assert!(budget < 1.0, "wrong-key budget {budget:.2} should be ~0");
+    assert!(right.invariant_noise_budget(&ct).unwrap() > 10.0);
+    assert_ne!(encoder.decode(&wrong.decrypt(&ct).unwrap())[0], 42);
+}
+
+#[test]
+fn transparent_zero_adds_nothing() {
+    let p = params(16, 54);
+    let mut kg = KeyGenerator::from_seed(p.clone(), 20);
+    let pk = kg.public_key().unwrap();
+    let encoder = BatchEncoder::new(p.clone());
+    let mut enc = Encryptor::from_public_key(pk, 21);
+    let dec = Decryptor::new(kg.secret_key().clone());
+    let eval = Evaluator::new(p.clone());
+
+    let ct = enc.encrypt(&encoder.encode(&[7, 8]).unwrap()).unwrap();
+    let zero = Ciphertext::transparent_zero(&p);
+    let sum = eval.add(&ct, &zero).unwrap();
+    let out = encoder.decode(&dec.decrypt_checked(&sum).unwrap());
+    assert_eq!(&out[..2], &[7, 8]);
+    // Noise unchanged (zero contributes none).
+    assert_eq!(
+        dec.invariant_noise(&sum).unwrap(),
+        dec.invariant_noise(&ct).unwrap()
+    );
+}
+
+#[test]
+fn security_enforcement_blocks_legacy_parameters() {
+    // Gazelle's real n=2048/q=60 violates the 128-bit table.
+    let err = BfvParams::builder()
+        .degree(2048)
+        .cipher_bits(60)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, Error::InsecureParameters { max_log_q: 54, .. }));
+}
+
+#[test]
+fn rotation_with_borrowed_keyset_from_other_session_fails_cleanly() {
+    // Galois keys from another secret key: decryption after such a rotate
+    // must be garbage (detected via budget), never a silent wrong answer
+    // accepted as valid.
+    let p = params(16, 54);
+    let mut kg_a = KeyGenerator::from_seed(p.clone(), 30);
+    let mut kg_b = KeyGenerator::from_seed(p.clone(), 31);
+    let pk = kg_a.public_key().unwrap();
+    let foreign_keys = kg_b.galois_keys_for_steps(&[1]).unwrap();
+
+    let encoder = BatchEncoder::new(p.clone());
+    let mut enc = Encryptor::from_public_key(pk, 32);
+    let dec = Decryptor::new(kg_a.secret_key().clone());
+    let eval = Evaluator::new(p.clone());
+
+    let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]).unwrap()).unwrap();
+    let rotated = eval.rotate_rows(&ct, 1, &foreign_keys).unwrap();
+    // Key-switch against the wrong key injects uniform noise: the budget
+    // collapses to ~0 and the decrypted slots are garbage.
+    let budget = dec.invariant_noise_budget(&rotated).unwrap();
+    assert!(
+        budget < 1.0,
+        "foreign-key rotation must destroy the ciphertext (budget {budget:.2})"
+    );
+    let out = encoder.decode(&dec.decrypt(&rotated).unwrap());
+    assert_ne!(&out[..3], &[2, 3, 4], "rotation must not silently succeed");
+}
+
+#[test]
+fn plaintext_overflow_wraps_mod_t() {
+    // Not a crash — mod-t wraparound is the *correct* HE semantics; the
+    // quantizer's job (cheetah-core) is to provision t so this never
+    // happens on real layer ranges.
+    let p = params(16, 54);
+    let t = p.plain_modulus().value();
+    let mut kg = KeyGenerator::from_seed(p.clone(), 40);
+    let pk = kg.public_key().unwrap();
+    let encoder = BatchEncoder::new(p.clone());
+    let mut enc = Encryptor::from_public_key(pk, 41);
+    let dec = Decryptor::new(kg.secret_key().clone());
+    let eval = Evaluator::new(p.clone());
+
+    let big = t - 1; // == -1 centered
+    let ct = enc.encrypt(&encoder.encode(&[big]).unwrap()).unwrap();
+    let doubled = eval.add(&ct, &ct).unwrap();
+    let out = encoder.decode(&dec.decrypt_checked(&doubled).unwrap());
+    assert_eq!(out[0], t - 2, "(-1) + (-1) = -2 mod t");
+}

@@ -1,0 +1,193 @@
+//! The integer-multiplication cost model of §IV-A.
+//!
+//! "HE-PTune's performance model analytically derives the total number of
+//! underlying integer multiplications per layer." Every HE operator reduces
+//! to modular multiplications and NTT butterflies:
+//!
+//! * a modular multiplication = 1 product + 5 Barrett-reduction
+//!   multiplications ([`MULTS_PER_MODMUL`]);
+//! * a Harvey butterfly = 3 multiplications ([`MULTS_PER_BUTTERFLY`]);
+//! * an `n`-point NTT = `(n/2)·log2 n` butterflies;
+//! * `HE_Mult` = 2 element-wise polynomial multiplications per plaintext
+//!   digit (`2n` modmuls × `l_pt`);
+//! * `HE_Rotate` = `2·l_ct` polynomial multiplications + `l_ct + 1` NTTs.
+//!
+//! These constants match the real engine: `cheetah-bfv`'s Barrett reduction
+//! performs exactly four partial products plus the `t·q` product, and its
+//! NTT uses three-multiplication Shoup butterflies.
+
+/// Integer multiplications per modular multiplication
+/// (1 operand product + 5 for Barrett reduction).
+pub const MULTS_PER_MODMUL: u64 = 6;
+
+/// Integer multiplications per NTT butterfly (Harvey).
+pub const MULTS_PER_BUTTERFLY: u64 = 3;
+
+/// Parameters the cost model needs from an HE configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeCostParams {
+    /// Polynomial degree `n`.
+    pub n: usize,
+    /// Plaintext decomposition levels `l_pt` (1 = no decomposition).
+    pub l_pt: usize,
+    /// Ciphertext decomposition levels `l_ct`.
+    pub l_ct: usize,
+}
+
+impl HeCostParams {
+    /// Integer multiplications in one `n`-point NTT:
+    /// `3 · (n/2) · log2(n)`.
+    pub fn ntt_mults(&self) -> u64 {
+        let n = self.n as u64;
+        MULTS_PER_BUTTERFLY * (n / 2) * n.ilog2() as u64
+    }
+
+    /// Integer multiplications in one `HE_Mult` (pt-ct with `l_pt` digits):
+    /// `l_pt · 2n` modular multiplications. No NTTs — Cheetah keeps
+    /// operands in the evaluation domain.
+    pub fn he_mult_mults(&self) -> u64 {
+        self.l_pt as u64 * 2 * self.n as u64 * MULTS_PER_MODMUL
+    }
+
+    /// Integer multiplications in one `HE_Rotate`:
+    /// `2·l_ct` polynomial multiplications (each `n` modmuls) plus
+    /// `l_ct + 1` NTTs.
+    pub fn he_rotate_mults(&self) -> u64 {
+        let poly_mults = 2 * self.l_ct as u64 * self.n as u64 * MULTS_PER_MODMUL;
+        let ntts = (self.l_ct as u64 + 1) * self.ntt_mults();
+        poly_mults + ntts
+    }
+
+    /// NTT invocations per `HE_Rotate` (`l_ct + 1`).
+    pub fn ntts_per_rotate(&self) -> u64 {
+        self.l_ct as u64 + 1
+    }
+}
+
+/// Kernel-level cost decomposition of a layer (or network): how many times
+/// each hot kernel of Fig. 7 runs, and the implied integer-mult totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelTally {
+    /// `HE_Mult` operator invocations.
+    pub he_mult: f64,
+    /// `HE_Rotate` operator invocations.
+    pub he_rotate: f64,
+    /// `HE_Add` operator invocations (no multiplications; tracked for the
+    /// Fig. 7 breakdown).
+    pub he_add: f64,
+    /// NTT invocations (all inside rotations in the Cheetah dataflow).
+    pub ntt: f64,
+}
+
+impl KernelTally {
+    /// Adds another tally.
+    pub fn accumulate(&mut self, other: &KernelTally) {
+        self.he_mult += other.he_mult;
+        self.he_rotate += other.he_rotate;
+        self.he_add += other.he_add;
+        self.ntt += other.ntt;
+    }
+
+    /// Total integer multiplications under the given HE parameters,
+    /// split by kernel: `(mult_kernel, rotate_kernel_excluding_ntt, ntt)`.
+    pub fn int_mults_by_kernel(&self, p: &HeCostParams) -> KernelMults {
+        let mult = self.he_mult * p.he_mult_mults() as f64;
+        let rotate_poly = self.he_rotate * (2 * p.l_ct as u64 * p.n as u64 * MULTS_PER_MODMUL) as f64;
+        let ntt = self.ntt * p.ntt_mults() as f64;
+        KernelMults {
+            he_mult: mult,
+            he_rotate: rotate_poly,
+            ntt,
+        }
+    }
+
+    /// Total integer multiplications under the given HE parameters.
+    pub fn total_int_mults(&self, p: &HeCostParams) -> f64 {
+        let k = self.int_mults_by_kernel(p);
+        k.he_mult + k.he_rotate + k.ntt
+    }
+}
+
+/// Integer-multiplication totals per kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelMults {
+    /// Inside `HE_Mult` (element-wise modular multiplication).
+    pub he_mult: f64,
+    /// Inside `HE_Rotate`, excluding its NTTs (key-switch inner products).
+    pub he_rotate: f64,
+    /// Inside NTTs.
+    pub ntt: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntt_mults_formula() {
+        let p = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 3,
+        };
+        assert_eq!(p.ntt_mults(), 3 * 2048 * 12);
+    }
+
+    #[test]
+    fn he_mult_scales_with_l_pt() {
+        let base = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 3,
+        };
+        let windowed = HeCostParams { l_pt: 3, ..base };
+        assert_eq!(windowed.he_mult_mults(), 3 * base.he_mult_mults());
+        assert_eq!(base.he_mult_mults(), 2 * 4096 * 6);
+    }
+
+    #[test]
+    fn rotate_cost_structure() {
+        let p = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 3,
+        };
+        let expect = 2 * 3 * 4096 * 6 + 4 * p.ntt_mults();
+        assert_eq!(p.he_rotate_mults(), expect);
+        assert_eq!(p.ntts_per_rotate(), 4);
+    }
+
+    #[test]
+    fn ntt_dominates_rotate_cost() {
+        // The Fig. 7 observation: NTT is the bottleneck inside rotations.
+        let p = HeCostParams {
+            n: 8192,
+            l_pt: 1,
+            l_ct: 3,
+        };
+        let ntts = (p.l_ct as u64 + 1) * p.ntt_mults();
+        let poly = p.he_rotate_mults() - ntts;
+        assert!(ntts > poly, "NTT {ntts} should exceed pointwise {poly}");
+    }
+
+    #[test]
+    fn tally_accumulation_and_totals() {
+        let p = HeCostParams {
+            n: 2048,
+            l_pt: 1,
+            l_ct: 2,
+        };
+        let mut t = KernelTally {
+            he_mult: 10.0,
+            he_rotate: 5.0,
+            he_add: 15.0,
+            ntt: 5.0 * p.ntts_per_rotate() as f64,
+        };
+        let t2 = t;
+        t.accumulate(&t2);
+        assert_eq!(t.he_mult, 20.0);
+        let k = t.int_mults_by_kernel(&p);
+        assert!(k.ntt > 0.0 && k.he_mult > 0.0 && k.he_rotate > 0.0);
+        assert!((t.total_int_mults(&p) - (k.he_mult + k.he_rotate + k.ntt)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,306 @@
+//! Homomorphic fully connected layers via the diagonal method, under
+//! either schedule.
+//!
+//! The weight matrix `W (n_o × n_i)` is split into `n_i` generalized
+//! diagonals `diag_k[j] = W[j mod n_o][(j+k) mod n_i]`; then
+//! `y_ext[j] = Σ_k rot(x, k) ⊙ diag_k` satisfies
+//! `y_ext[j] = (W·x)[j mod n_o]` — the matrix-vector product materializes
+//! replicated across the slots. The input is packed twice
+//! (`x ‖ x`) so plain row rotations realize rotations mod `n_i`.
+//!
+//! Sched-IA rotates `x` then multiplies; Sched-PA multiplies the fresh `x`
+//! by pre-shifted diagonals and rotates the partial products (Fig. 5).
+//!
+//! Constraints: `n_i` a power of two, `n_o ≤ n_i`, `2·n_i ≤ n/2`.
+
+use cheetah_bfv::{
+    BatchEncoder, Ciphertext, Error, Evaluator, GaloisKeys, Plaintext, PreparedPlaintext, Result,
+};
+use cheetah_nn::{FcSpec, Tensor};
+
+use crate::schedule::Schedule;
+
+/// A prepared homomorphic FC layer.
+#[derive(Debug)]
+pub struct HomFc {
+    spec: FcSpec,
+    schedule: Schedule,
+    /// Prepared diagonal plaintexts, index = rotation step `k`.
+    diagonals: Vec<PreparedPlaintext>,
+}
+
+impl HomFc {
+    /// Prepares the layer (encodes and NTT-transforms every diagonal).
+    ///
+    /// `weights` has shape `(no, ni)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyValues`] when `2·n_i` exceeds the row size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_i` is a power of two and `n_o ≤ n_i`, or on a
+    /// weight-shape mismatch.
+    pub fn new(
+        spec: &FcSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+    ) -> Result<Self> {
+        assert!(spec.ni.is_power_of_two(), "n_i must be a power of two");
+        assert!(spec.no <= spec.ni, "n_o must not exceed n_i");
+        assert_eq!(weights.shape(), &[spec.no, spec.ni], "weight shape mismatch");
+        if 2 * spec.ni > encoder.row_size() {
+            return Err(Error::TooManyValues {
+                given: 2 * spec.ni,
+                slots: encoder.row_size(),
+            });
+        }
+        let slots = encoder.slots();
+        let mut diagonals = Vec::with_capacity(spec.ni);
+        for k in 0..spec.ni {
+            let mut mask = vec![0i64; slots];
+            match schedule {
+                Schedule::InputAligned => {
+                    // Aligned to post-rotation positions j in [0, ni).
+                    for (j, slot) in mask.iter_mut().enumerate().take(spec.ni) {
+                        *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+                    }
+                }
+                Schedule::PartialAligned => {
+                    // Aligned to pre-rotation positions m in [k, ni + k):
+                    // after rotating left by k, position j reads m = j + k.
+                    for m in k..spec.ni + k {
+                        let j = m - k;
+                        mask[m] = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+                    }
+                }
+            }
+            let pt = encoder.encode_signed(&mask)?;
+            diagonals.push(eval.prepare_plaintext(&pt)?);
+        }
+        Ok(Self {
+            spec: spec.clone(),
+            schedule,
+            diagonals,
+        })
+    }
+
+    /// The layer spec.
+    pub fn spec(&self) -> &FcSpec {
+        &self.spec
+    }
+
+    /// Rotation steps the evaluation needs: `1..n_i`.
+    pub fn required_steps(spec: &FcSpec) -> Vec<i64> {
+        (1..spec.ni as i64).collect()
+    }
+
+    /// Packs an input vector replicated twice (`x ‖ x`) so row rotations
+    /// act as rotations mod `n_i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length mismatches the spec.
+    pub fn encode_input(
+        spec: &FcSpec,
+        input: &Tensor,
+        encoder: &BatchEncoder,
+    ) -> Result<Plaintext> {
+        assert_eq!(input.len(), spec.ni, "input length mismatch");
+        let mut doubled = Vec::with_capacity(2 * spec.ni);
+        doubled.extend_from_slice(input.data());
+        doubled.extend_from_slice(input.data());
+        encoder.encode_signed(&doubled)
+    }
+
+    /// Applies the layer; the output vector lands in slots `[0, n_o)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV evaluation errors.
+    pub fn apply(
+        &self,
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let mut acc: Option<Ciphertext> = None;
+        for (k, diag) in self.diagonals.iter().enumerate() {
+            let term = match self.schedule {
+                Schedule::InputAligned => {
+                    let aligned = if k == 0 {
+                        input.clone()
+                    } else {
+                        eval.rotate_rows(input, k as i64, keys)?
+                    };
+                    eval.mul_plain(&aligned, diag)?
+                }
+                Schedule::PartialAligned => {
+                    let prod = eval.mul_plain(input, diag)?;
+                    if k == 0 {
+                        prod
+                    } else {
+                        eval.rotate_rows(&prod, k as i64, keys)?
+                    }
+                }
+            };
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => eval.add(&prev, &term)?,
+            });
+        }
+        Ok(acc.expect("n_i >= 1"))
+    }
+
+    /// Extracts the output vector from decoded slots.
+    pub fn decode_output(&self, slots: &[i64]) -> Tensor {
+        Tensor::from_data(&[self.spec.no], slots[..self.spec.no].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
+    use cheetah_nn::inference::eval_linear;
+    use cheetah_nn::LinearLayer;
+    use rand::{Rng, SeedableRng};
+
+    fn spec(ni: usize, no: usize) -> FcSpec {
+        FcSpec {
+            name: "fc".into(),
+            ni,
+            no,
+        }
+    }
+
+    struct Ctx {
+        encoder: BatchEncoder,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        keys: GaloisKeys,
+    }
+
+    fn ctx(spec: &FcSpec) -> Ctx {
+        let params = BfvParams::builder()
+            .degree(4096)
+            .plain_bits(16)
+            .cipher_bits(60)
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 51);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&HomFc::required_steps(spec)).unwrap();
+        Ctx {
+            encoder: BatchEncoder::new(params.clone()),
+            enc: Encryptor::from_public_key(pk, 52),
+            dec: Decryptor::new(kg.secret_key().clone()),
+            eval: Evaluator::new(params),
+            keys,
+        }
+    }
+
+    fn check_fc(spec: &FcSpec, schedule: Schedule) {
+        let mut c = ctx(spec);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let weights = Tensor::from_data(
+            &[spec.no, spec.ni],
+            (0..spec.no * spec.ni)
+                .map(|_| rng.random_range(-5..=5))
+                .collect(),
+        );
+        let input = Tensor::from_data(
+            &[spec.ni],
+            (0..spec.ni).map(|_| rng.random_range(-9..=9)).collect(),
+        );
+        let expect = eval_linear(&LinearLayer::Fc(spec.clone()), &weights, &input);
+
+        let layer = HomFc::new(spec, &weights, &c.encoder, &c.eval, schedule).unwrap();
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(spec, &input, &c.encoder).unwrap())
+            .unwrap();
+        let out_ct = layer.apply(&ct, &c.eval, &c.keys).unwrap();
+        let budget = c.dec.invariant_noise_budget(&out_ct).unwrap();
+        assert!(budget > 0.0, "{schedule}: budget exhausted");
+        let slots = c.encoder.decode_signed(&c.dec.decrypt(&out_ct).unwrap());
+        assert_eq!(
+            layer.decode_output(&slots).data(),
+            expect.data(),
+            "{schedule} FC mismatch for ({}, {})",
+            spec.ni,
+            spec.no
+        );
+    }
+
+    #[test]
+    fn fc_square_both_schedules() {
+        check_fc(&spec(16, 16), Schedule::PartialAligned);
+        check_fc(&spec(16, 16), Schedule::InputAligned);
+    }
+
+    #[test]
+    fn fc_rectangular() {
+        check_fc(&spec(32, 10), Schedule::PartialAligned);
+        check_fc(&spec(32, 10), Schedule::InputAligned);
+    }
+
+    #[test]
+    fn fc_single_output() {
+        check_fc(&spec(8, 1), Schedule::PartialAligned);
+    }
+
+    #[test]
+    fn pa_noise_budget_at_least_ia() {
+        let s = spec(32, 8);
+        let mut c = ctx(&s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let weights = Tensor::from_data(
+            &[s.no, s.ni],
+            (0..s.no * s.ni).map(|_| rng.random_range(-5..=5)).collect(),
+        );
+        let input = Tensor::from_data(&[s.ni], (0..s.ni as i64).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        let pa = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned)
+            .unwrap()
+            .apply(&ct, &c.eval, &c.keys)
+            .unwrap();
+        let ia = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::InputAligned)
+            .unwrap()
+            .apply(&ct, &c.eval, &c.keys)
+            .unwrap();
+        let pa_budget = c.dec.invariant_noise_budget(&pa).unwrap();
+        let ia_budget = c.dec.invariant_noise_budget(&ia).unwrap();
+        assert!(pa_budget >= ia_budget, "PA {pa_budget:.1} vs IA {ia_budget:.1}");
+    }
+
+    #[test]
+    fn oversized_input_rejected() {
+        let s = spec(1024, 10); // 2*1024 = row size of n=2048? row=1024 -> too big
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(20)
+            .cipher_bits(54)
+            .build()
+            .unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let eval = Evaluator::new(params);
+        let weights = Tensor::zeros(&[10, 1024]);
+        assert!(matches!(
+            HomFc::new(&s, &weights, &encoder, &eval, Schedule::PartialAligned),
+            Err(Error::TooManyValues { .. })
+        ));
+    }
+}

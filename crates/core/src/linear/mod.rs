@@ -1,0 +1,11 @@
+//! Functional homomorphic linear layers on the real BFV engine: packed
+//! convolution (Fig. 4), FC via the diagonal method, and bare dot products
+//! under both schedules (Fig. 5).
+
+pub mod conv;
+pub mod dot;
+pub mod fc;
+
+pub use conv::HomConv2d;
+pub use dot::{dot_input_aligned, dot_partial_aligned};
+pub use fc::HomFc;

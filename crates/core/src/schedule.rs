@@ -1,0 +1,47 @@
+//! Dot-product schedules (§V, Fig. 5).
+
+use std::fmt;
+
+/// How HE dot products order rotations and multiplications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Input-aligned (prior art / Gazelle): rotate the input ciphertext to
+    /// the output slot *first*, then multiply. Multiplication acts on a
+    /// rotated (noisier) ciphertext, so noise grows as `ηM·(v0 + ηA)` —
+    /// which in practice forces plaintext decomposition (`l_pt > 1`).
+    InputAligned,
+    /// Partial-aligned (Cheetah's Sched-PA): multiply the *fresh* input
+    /// first, then rotate the partial product into place. Noise grows as
+    /// `ηM·v0 + ηA`, so no plaintext decomposition is needed
+    /// ("With Sched-PA, Cheetah avoids all plaintext decomposition", §V-C).
+    #[default]
+    PartialAligned,
+}
+
+impl Schedule {
+    /// Short display name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::InputAligned => "Sched-IA",
+            Schedule::PartialAligned => "Sched-PA",
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_partial_aligned() {
+        assert_eq!(Schedule::default(), Schedule::PartialAligned);
+        assert_eq!(Schedule::PartialAligned.to_string(), "Sched-PA");
+        assert_eq!(Schedule::InputAligned.label(), "Sched-IA");
+    }
+}

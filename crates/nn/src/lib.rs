@@ -1,0 +1,24 @@
+//! # cheetah-nn — DNN workloads for the Cheetah reproduction
+//!
+//! Layer descriptors with exactly the hyperparameters the paper's models
+//! consume (`(w, f_w, c_i, c_o)` for convolutions, `(n_i, n_o)` for FC —
+//! Table IV), the five benchmark networks of Fig. 6 (LeNet-300-100,
+//! LeNet-5, AlexNet, VGG16, ResNet50), and integer fixed-point plaintext
+//! inference used as the correctness reference for every HE result.
+//!
+//! ```
+//! use cheetah_nn::models;
+//!
+//! let net = models::resnet50();
+//! assert_eq!(net.linear_layers().len(), 54); // 53 convs + 1 FC
+//! ```
+
+pub mod inference;
+pub mod layer;
+pub mod models;
+pub mod tensor;
+
+pub use inference::{infer, random_input, InferenceTrace, Weights};
+pub use layer::{ConvSpec, FcSpec, Layer, LinearLayer};
+pub use models::Network;
+pub use tensor::Tensor;

@@ -1,0 +1,325 @@
+//! The model zoo: the five networks the paper evaluates (§IV-C, Fig. 6).
+//!
+//! * LeNet-300-100 and LeNet-5 (MNIST),
+//! * AlexNet, VGG16 and ResNet50 (ImageNet).
+//!
+//! Layer inventories follow the standard architectures; pooling layers use
+//! unpadded windows (ResNet's stem pool becomes 2×2/2 — a shape-preserving
+//! simplification documented in DESIGN.md).
+
+use crate::layer::{ConvSpec, Layer, LinearLayer};
+
+/// A sequential network with optional residual skip links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Model name (e.g. `"ResNet50"`).
+    pub name: String,
+    /// Input shape `(c, h, w)` for CNNs or `(n,)` for MLPs.
+    pub input_shape: Vec<usize>,
+    /// The layer list.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// All HE-evaluated linear layers in execution order (including
+    /// residual projection convolutions).
+    pub fn linear_layers(&self) -> Vec<LinearLayer> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Linear(l) => out.push(l.clone()),
+                Layer::ResidualAdd {
+                    projection: Some(p),
+                    ..
+                } => out.push(LinearLayer::Conv(p.clone())),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total plaintext MACs across linear layers.
+    pub fn total_macs(&self) -> u64 {
+        self.linear_layers().iter().map(LinearLayer::macs).sum()
+    }
+
+    /// Number of linear layers.
+    pub fn num_linear(&self) -> usize {
+        self.linear_layers().len()
+    }
+}
+
+/// LeNet-300-100: the 784–300–100–10 MLP of LeCun et al. (MNIST).
+pub fn lenet300() -> Network {
+    Network {
+        name: "LeNet-300-100".into(),
+        input_shape: vec![784],
+        layers: vec![
+            Layer::fc("fc1", 784, 300),
+            Layer::Relu,
+            Layer::fc("fc2", 300, 100),
+            Layer::Relu,
+            Layer::fc("fc3", 100, 10),
+        ],
+    }
+}
+
+/// LeNet-5 (Caffe variant, as used by Gazelle): two conv+pool stages then
+/// two FC layers (MNIST).
+pub fn lenet5() -> Network {
+    Network {
+        name: "LeNet5".into(),
+        input_shape: vec![1, 28, 28],
+        layers: vec![
+            Layer::conv("conv1", 28, 5, 1, 20, 1, 0), // -> 24x24x20
+            Layer::MaxPool { k: 2, stride: 2 },       // -> 12x12x20
+            Layer::Relu,
+            Layer::conv("conv2", 12, 5, 20, 50, 1, 0), // -> 8x8x50
+            Layer::MaxPool { k: 2, stride: 2 },        // -> 4x4x50
+            Layer::Relu,
+            Layer::Flatten,
+            Layer::fc("fc1", 800, 500),
+            Layer::Relu,
+            Layer::fc("fc2", 500, 10),
+        ],
+    }
+}
+
+/// AlexNet (ImageNet, 227×227 input): five conv layers and three FC layers.
+pub fn alexnet() -> Network {
+    Network {
+        name: "AlexNet".into(),
+        input_shape: vec![3, 227, 227],
+        layers: vec![
+            Layer::conv("conv0", 227, 11, 3, 96, 4, 0), // -> 55
+            Layer::Relu,
+            Layer::MaxPool { k: 3, stride: 2 }, // -> 27
+            Layer::conv("conv1", 27, 5, 96, 256, 1, 2), // -> 27
+            Layer::Relu,
+            Layer::MaxPool { k: 3, stride: 2 }, // -> 13
+            Layer::conv("conv2", 13, 3, 256, 384, 1, 1),
+            Layer::Relu,
+            Layer::conv("conv3", 13, 3, 384, 384, 1, 1),
+            Layer::Relu,
+            Layer::conv("conv4", 13, 3, 384, 256, 1, 1),
+            Layer::Relu,
+            Layer::MaxPool { k: 3, stride: 2 }, // -> 6
+            Layer::Flatten,                     // 9216
+            Layer::fc("fc5", 9216, 4096),
+            Layer::Relu,
+            Layer::fc("fc6", 4096, 4096),
+            Layer::Relu,
+            Layer::fc("fc7", 4096, 1000),
+        ],
+    }
+}
+
+/// VGG16 (ImageNet): thirteen 3×3 conv layers and three FC layers.
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    let mut w = 224usize;
+    let mut ci = 3usize;
+    let mut idx = 0usize;
+    for (block, (reps, co)) in [(2usize, 64usize), (2, 128), (3, 256), (3, 512), (3, 512)]
+        .into_iter()
+        .enumerate()
+    {
+        for r in 0..reps {
+            layers.push(Layer::conv(
+                &format!("conv{}_{}", block + 1, r + 1),
+                w,
+                3,
+                ci,
+                co,
+                1,
+                1,
+            ));
+            layers.push(Layer::Relu);
+            ci = co;
+            idx += 1;
+        }
+        layers.push(Layer::MaxPool { k: 2, stride: 2 });
+        w /= 2;
+    }
+    let _ = idx;
+    layers.push(Layer::Flatten); // 7*7*512 = 25088
+    layers.push(Layer::fc("fc6", 25088, 4096));
+    layers.push(Layer::Relu);
+    layers.push(Layer::fc("fc7", 4096, 4096));
+    layers.push(Layer::Relu);
+    layers.push(Layer::fc("fc8", 4096, 1000));
+    Network {
+        name: "VGG16".into(),
+        input_shape: vec![3, 224, 224],
+        layers,
+    }
+}
+
+/// ResNet50 (ImageNet): stem + 16 bottleneck blocks (3-4-6-3) + FC,
+/// 53 convolutions and one FC in total.
+pub fn resnet50() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    // Stem: 7x7/2 conv then pool to 56x56.
+    layers.push(Layer::conv("conv1", 224, 7, 3, 64, 2, 3)); // -> 112
+    layers.push(Layer::Relu);
+    layers.push(Layer::MaxPool { k: 2, stride: 2 }); // -> 56
+
+    let stages: [(usize, usize, usize, usize); 4] = [
+        // (blocks, mid, out, stride of first block)
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    let mut w = 56usize;
+    let mut in_c = 64usize;
+    for (stage_idx, (blocks, mid, out_c, first_stride)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let skip_from = layers.len() - 1; // output of previous layer
+            let name = |part: &str| format!("res{}_{}_{}", stage_idx + 2, b + 1, part);
+            // 1x1 reduce
+            layers.push(Layer::conv(&name("a"), w, 1, in_c, mid, 1, 0));
+            layers.push(Layer::Relu);
+            // 3x3 (carries the stride, ResNet v1.5)
+            layers.push(Layer::conv(&name("b"), w, 3, mid, mid, stride, 1));
+            layers.push(Layer::Relu);
+            let w_out = if stride == 2 { w / 2 } else { w };
+            // 1x1 expand
+            layers.push(Layer::conv(&name("c"), w_out, 1, mid, out_c, 1, 0));
+            // Skip connection (+ projection on the first block of a stage).
+            let projection = if b == 0 {
+                Some(ConvSpec {
+                    name: name("proj"),
+                    w,
+                    fw: 1,
+                    ci: in_c,
+                    co: out_c,
+                    stride,
+                    pad: 0,
+                })
+            } else {
+                None
+            };
+            layers.push(Layer::ResidualAdd {
+                from: skip_from,
+                projection,
+            });
+            layers.push(Layer::Relu);
+            in_c = out_c;
+            w = w_out;
+        }
+    }
+    layers.push(Layer::SumPool { k: 7, stride: 1 }); // global avg (sum) pool
+    layers.push(Layer::Flatten);
+    layers.push(Layer::fc("fc", 2048, 1000));
+    Network {
+        name: "ResNet50".into(),
+        input_shape: vec![3, 224, 224],
+        layers,
+    }
+}
+
+/// A small CNN used by tests and the end-to-end protocol example: shapes are
+/// tiny enough to run under real HE quickly but exercise conv, pool, FC and
+/// ReLU.
+pub fn tiny_cnn() -> Network {
+    Network {
+        name: "TinyCNN".into(),
+        input_shape: vec![1, 8, 8],
+        layers: vec![
+            Layer::conv("conv1", 8, 3, 1, 2, 1, 1), // -> 8x8x2
+            Layer::Relu,
+            Layer::MaxPool { k: 2, stride: 2 }, // -> 4x4x2
+            Layer::Flatten,
+            Layer::fc("fc1", 32, 16),
+            Layer::Relu,
+            Layer::fc("fc2", 16, 4),
+        ],
+    }
+}
+
+/// All five paper benchmarks, in Fig. 6 order.
+pub fn paper_benchmarks() -> Vec<Network> {
+    vec![lenet300(), lenet5(), alexnet(), vgg16(), resnet50()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet300_shapes() {
+        let net = lenet300();
+        assert_eq!(net.num_linear(), 3);
+        assert_eq!(net.total_macs(), 784 * 300 + 300 * 100 + 100 * 10);
+    }
+
+    #[test]
+    fn lenet5_shapes() {
+        let net = lenet5();
+        let lins = net.linear_layers();
+        assert_eq!(lins.len(), 4);
+        assert_eq!(lins[0].output_len(), 24 * 24 * 20);
+        assert_eq!(lins[1].output_len(), 8 * 8 * 50);
+        assert_eq!(lins[2].input_len(), 800);
+    }
+
+    #[test]
+    fn alexnet_layer_count_and_macs() {
+        let net = alexnet();
+        assert_eq!(net.num_linear(), 8); // 5 conv + 3 fc
+        // AlexNet is ~0.7 GMACs at 227 input.
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!((0.6..1.2).contains(&gmacs), "gmacs {gmacs}");
+    }
+
+    #[test]
+    fn vgg16_layer_count_and_macs() {
+        let net = vgg16();
+        assert_eq!(net.num_linear(), 16); // 13 conv + 3 fc
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // VGG16 is ~15.5 GMACs.
+        assert!((14.0..17.0).contains(&gmacs), "gmacs {gmacs}");
+    }
+
+    #[test]
+    fn resnet50_layer_count_and_macs() {
+        let net = resnet50();
+        assert_eq!(net.num_linear(), 54); // 53 conv + 1 fc
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // ResNet50 is ~4.1 GMACs.
+        assert!((3.5..4.7).contains(&gmacs), "gmacs {gmacs}");
+    }
+
+    #[test]
+    fn resnet50_stage_spatial_sizes() {
+        let net = resnet50();
+        let lins = net.linear_layers();
+        // First stage-2 conv sees 56x56; last stage-5 conv sees 7x7.
+        let first_stage = lins
+            .iter()
+            .find(|l| l.name() == "res2_1_a")
+            .unwrap();
+        if let crate::layer::LinearLayer::Conv(c) = first_stage {
+            assert_eq!(c.w, 56);
+        } else {
+            panic!("expected conv");
+        }
+        let last = lins.iter().find(|l| l.name() == "res5_3_c").unwrap();
+        if let crate::layer::LinearLayer::Conv(c) = last {
+            assert_eq!(c.w, 7);
+        } else {
+            panic!("expected conv");
+        }
+    }
+
+    #[test]
+    fn paper_benchmarks_order() {
+        let names: Vec<String> = paper_benchmarks().into_iter().map(|n| n.name).collect();
+        assert_eq!(
+            names,
+            ["LeNet-300-100", "LeNet5", "AlexNet", "VGG16", "ResNet50"]
+        );
+    }
+}

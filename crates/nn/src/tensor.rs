@@ -1,0 +1,354 @@
+//! A minimal integer tensor for fixed-point plaintext inference.
+//!
+//! HE inference in the Gazelle/Cheetah setting computes over integers mod
+//! `t`, so the plaintext reference works in `i64` fixed point — every HE
+//! result can be compared against it exactly (no float tolerance games).
+
+use std::fmt;
+
+/// Dense integer tensor in channel-major (`c`, `h`, `w`) layout.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_nn::tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3, 3]);
+/// assert_eq!(t.len(), 18);
+/// assert_eq!(t.shape(), &[2, 3, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<i64>,
+}
+
+impl Tensor {
+    /// All-zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "shape must be non-empty");
+        assert!(shape.iter().all(|&d| d > 0), "dimensions must be positive");
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0; shape.iter().product()],
+        }
+    }
+
+    /// Builds a tensor from data (length must match the shape product).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn from_data(shape: &[usize], data: Vec<i64>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "data length must match shape product"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable element access.
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Mutable element access.
+    pub fn data_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Reinterprets as a flat vector (consumes).
+    pub fn into_flat(mut self) -> Tensor {
+        let len = self.data.len();
+        self.shape = vec![len];
+        self
+    }
+
+    /// 3-D index `(c, y, x)`; requires a rank-3 tensor.
+    #[inline]
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> i64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Mutable 3-D access.
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut i64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Largest absolute value (0 for the all-zero tensor).
+    pub fn abs_max(&self) -> i64 {
+        self.data.iter().map(|v| v.abs()).max().unwrap_or(0)
+    }
+
+    /// Element-wise addition; shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+/// 2-D convolution with zero padding: input `(ci, h, w)`, weights
+/// `(co, ci, fh, fw)`, output `(co, ho, wo)`.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches or zero stride.
+pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 3, "conv2d input must be (ci,h,w)");
+    assert_eq!(weight.shape().len(), 4, "conv2d weight must be (co,ci,fh,fw)");
+    assert!(stride > 0, "stride must be positive");
+    let (ci, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (co, wci, fh, fw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(ci, wci, "channel mismatch");
+    let ho = (h + 2 * pad - fh) / stride + 1;
+    let wo = (w + 2 * pad - fw) / stride + 1;
+    let mut out = Tensor::zeros(&[co, ho, wo]);
+    let wdata = weight.data();
+    for oc in 0..co {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0i64;
+                for icc in 0..ci {
+                    for ky in 0..fh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..fw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let wv = wdata[((oc * ci + icc) * fh + ky) * fw + kx];
+                            acc += input.at3(icc, iy as usize, ix as usize) * wv;
+                        }
+                    }
+                }
+                *out.at3_mut(oc, oy, ox) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Fully connected layer: input length `ni`, weights `(no, ni)`,
+/// output length `no`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn fully_connected(input: &Tensor, weight: &Tensor) -> Tensor {
+    assert_eq!(weight.shape().len(), 2, "fc weight must be (no, ni)");
+    let ni = input.len();
+    let (no, wni) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(ni, wni, "fc dimension mismatch: input {ni} vs weight {wni}");
+    let mut out = Tensor::zeros(&[no]);
+    for o in 0..no {
+        let row = &weight.data()[o * ni..(o + 1) * ni];
+        out.data_mut()[o] = row
+            .iter()
+            .zip(input.data())
+            .map(|(&wv, &xv)| wv * xv)
+            .sum();
+    }
+    out
+}
+
+/// Element-wise ReLU.
+pub fn relu(input: &Tensor) -> Tensor {
+    Tensor {
+        shape: input.shape().to_vec(),
+        data: input.data().iter().map(|&v| v.max(0)).collect(),
+    }
+}
+
+/// Max pooling with square window `k`, stride `s` (rank-3 input).
+///
+/// # Panics
+///
+/// Panics unless the input is rank 3.
+pub fn max_pool(input: &Tensor, k: usize, s: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 3);
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let ho = (h - k) / s + 1;
+    let wo = (w - k) / s + 1;
+    let mut out = Tensor::zeros(&[c, ho, wo]);
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = i64::MIN;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        best = best.max(input.at3(ch, oy * s + ky, ox * s + kx));
+                    }
+                }
+                *out.at3_mut(ch, oy, ox) = best;
+            }
+        }
+    }
+    out
+}
+
+/// Sum ("average without division") pooling — division by `k²` would leave
+/// the fixed-point domain, so the reference keeps sums; the scale factor is
+/// tracked by the quantizer.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 3.
+pub fn sum_pool(input: &Tensor, k: usize, s: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 3);
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let ho = (h - k) / s + 1;
+    let wo = (w - k) / s + 1;
+    let mut out = Tensor::zeros(&[c, ho, wo]);
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0i64;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc += input.at3(ch, oy * s + ky, ox * s + kx);
+                    }
+                }
+                *out.at3_mut(ch, oy, ox) = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let input = Tensor::from_data(&[1, 3, 3], (1..=9).collect());
+        let weight = Tensor::from_data(&[1, 1, 1, 1], vec![1]);
+        let out = conv2d(&input, &weight, 1, 0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_3x3() {
+        // All-ones 3x3 kernel, 'same' padding: center = sum of all 9.
+        let input = Tensor::from_data(&[1, 3, 3], vec![1; 9]);
+        let weight = Tensor::from_data(&[1, 1, 3, 3], vec![1; 9]);
+        let out = conv2d(&input, &weight, 1, 1);
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        assert_eq!(out.at3(0, 1, 1), 9);
+        assert_eq!(out.at3(0, 0, 0), 4); // corner sees 2x2
+        assert_eq!(out.at3(0, 0, 1), 6); // edge sees 2x3
+    }
+
+    #[test]
+    fn conv2d_stride_and_channels() {
+        // 2 input channels, 3 output channels, stride 2.
+        let input = Tensor::from_data(&[2, 4, 4], (0..32).collect());
+        let weight = Tensor::from_data(&[3, 2, 2, 2], vec![1; 24]);
+        let out = conv2d(&input, &weight, 2, 0);
+        assert_eq!(out.shape(), &[3, 2, 2]);
+        // Each output = sum over both channels of a 2x2 patch.
+        let expect = (0 + 1 + 4 + 5) + (16 + 17 + 20 + 21);
+        assert_eq!(out.at3(0, 0, 0), expect);
+        assert_eq!(out.at3(1, 0, 0), expect); // same kernel weights
+    }
+
+    #[test]
+    fn fc_known_values() {
+        let input = Tensor::from_data(&[3], vec![1, 2, 3]);
+        let weight = Tensor::from_data(&[2, 3], vec![1, 0, 0, 1, 1, 1]);
+        let out = fully_connected(&input, &weight);
+        assert_eq!(out.data(), &[1, 6]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_data(&[4], vec![-5, 0, 3, -1]);
+        assert_eq!(relu(&t).data(), &[0, 0, 3, 0]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let t = Tensor::from_data(&[1, 4, 4], (0..16).collect());
+        let p = max_pool(&t, 2, 2);
+        assert_eq!(p.shape(), &[1, 2, 2]);
+        assert_eq!(p.data(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn sum_pool_2x2() {
+        let t = Tensor::from_data(&[1, 4, 4], vec![1; 16]);
+        let p = sum_pool(&t, 2, 2);
+        assert_eq!(p.data(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn add_and_abs_max() {
+        let a = Tensor::from_data(&[3], vec![-7, 2, 3]);
+        let b = Tensor::from_data(&[3], vec![1, 1, 1]);
+        assert_eq!(a.add(&b).data(), &[-6, 3, 4]);
+        assert_eq!(a.abs_max(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests on the plaintext reference ops — the ground truth every
+//! HE result is compared against must itself obey the algebra.
+
+use cheetah_nn::tensor::{conv2d, fully_connected, max_pool, relu, sum_pool, Tensor};
+use proptest::prelude::*;
+
+fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let len: usize = shape.iter().product();
+    proptest::collection::vec(-16i64..=16, len).prop_map(move |d| Tensor::from_data(shape, d))
+}
+
+proptest! {
+    #[test]
+    fn conv_is_linear_in_the_input(
+        a in arb_tensor(&[2, 6, 6]),
+        b in arb_tensor(&[2, 6, 6]),
+        w in arb_tensor(&[3, 2, 3, 3]),
+    ) {
+        // conv(a + b) == conv(a) + conv(b)
+        let lhs = conv2d(&a.add(&b), &w, 1, 1);
+        let rhs = conv2d(&a, &w, 1, 1).add(&conv2d(&b, &w, 1, 1));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_weights(
+        x in arb_tensor(&[1, 5, 5]),
+        w1 in arb_tensor(&[2, 1, 3, 3]),
+        w2 in arb_tensor(&[2, 1, 3, 3]),
+    ) {
+        let lhs = conv2d(&x, &w1.add(&w2), 1, 1);
+        let rhs = conv2d(&x, &w1, 1, 1).add(&conv2d(&x, &w2, 1, 1));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fc_matches_explicit_dot_products(
+        x in arb_tensor(&[8]),
+        w in arb_tensor(&[4, 8]),
+    ) {
+        let y = fully_connected(&x, &w);
+        for o in 0..4 {
+            let expect: i64 = (0..8).map(|i| w.data()[o * 8 + i] * x.data()[i]).sum();
+            prop_assert_eq!(y.data()[o], expect);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_dominates(x in arb_tensor(&[16])) {
+        let r = relu(&x);
+        prop_assert_eq!(relu(&r).clone(), r.clone());
+        for (&orig, &rect) in x.data().iter().zip(r.data()) {
+            prop_assert!(rect >= 0);
+            prop_assert!(rect >= orig);
+        }
+    }
+
+    #[test]
+    fn max_pool_dominates_sum_pool_mean(x in arb_tensor(&[1, 4, 4])) {
+        // max of a window >= mean of the window (sum / k²).
+        let mx = max_pool(&x, 2, 2);
+        let sm = sum_pool(&x, 2, 2);
+        for (&m, &s) in mx.data().iter().zip(sm.data()) {
+            prop_assert!(4 * m >= s, "4*{m} < {s}");
+        }
+    }
+
+    #[test]
+    fn strided_conv_subsamples_unit_kernel(x in arb_tensor(&[1, 6, 6])) {
+        // A 1x1 identity kernel with stride 2 is exactly subsampling.
+        let w = Tensor::from_data(&[1, 1, 1, 1], vec![1]);
+        let y = conv2d(&x, &w, 2, 0);
+        prop_assert_eq!(y.shape(), &[1, 3, 3]);
+        for oy in 0..3 {
+            for ox in 0..3 {
+                prop_assert_eq!(y.at3(0, oy, ox), x.at3(0, 2 * oy, 2 * ox));
+            }
+        }
+    }
+}

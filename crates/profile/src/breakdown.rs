@@ -1,0 +1,144 @@
+//! Network-level kernel time breakdown — Fig. 7(a).
+//!
+//! Combines HE-PTune's per-layer operator counts (Table IV) with measured
+//! per-kernel latencies ([`crate::kernels`]) to attribute total inference
+//! time across NTT / Rotate / Mult / Add / Other, the way the paper's SEAL
+//! profile does for ResNet50 (55.2 % / 31.8 % / 10.3 % / 2.2 % / 0.5 %).
+
+use cheetah_core::ptune::perf::layer_ops;
+use cheetah_core::ptune::DesignPoint;
+use cheetah_nn::LinearLayer;
+
+use crate::kernels::{KernelConfig, KernelTimer, KernelTimes};
+
+/// Seconds attributed to each hot kernel across a full inference.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// NTT time (including NTTs inside rotations, as in Fig. 7).
+    pub ntt_s: f64,
+    /// `HE_Rotate` time excluding its NTTs.
+    pub rotate_s: f64,
+    /// `HE_Mult` time.
+    pub mult_s: f64,
+    /// `HE_Add` time.
+    pub add_s: f64,
+    /// Construction/destruction and other bookkeeping.
+    pub other_s: f64,
+}
+
+impl Breakdown {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.ntt_s + self.rotate_s + self.mult_s + self.add_s + self.other_s
+    }
+
+    /// Percentage shares in Fig. 7 order (NTT, Rotate, Mult, Add, Other).
+    pub fn shares(&self) -> [f64; 5] {
+        let t = self.total_s().max(f64::MIN_POSITIVE);
+        [
+            self.ntt_s / t * 100.0,
+            self.rotate_s / t * 100.0,
+            self.mult_s / t * 100.0,
+            self.add_s / t * 100.0,
+            self.other_s / t * 100.0,
+        ]
+    }
+
+    /// Adds another breakdown (layer accumulation).
+    pub fn accumulate(&mut self, other: &Breakdown) {
+        self.ntt_s += other.ntt_s;
+        self.rotate_s += other.rotate_s;
+        self.mult_s += other.mult_s;
+        self.add_s += other.add_s;
+        self.other_s += other.other_s;
+    }
+}
+
+/// Computes one layer's breakdown under its tuned configuration.
+pub fn layer_breakdown(
+    layer: &LinearLayer,
+    point: &DesignPoint,
+    times: &KernelTimes,
+) -> Breakdown {
+    let l_pt = point.l_pt();
+    let l_ct = point.l_ct();
+    let ops = layer_ops(layer, point.n, l_pt);
+    let ntts_per_rotate = (l_ct + 1) as f64;
+    Breakdown {
+        ntt_s: ops.he_rotate * ntts_per_rotate * times.ntt_s,
+        rotate_s: ops.he_rotate * times.rotate_excl_ntt_s,
+        mult_s: ops.he_mult * times.mult_s,
+        add_s: ops.he_add * times.add_s,
+        other_s: (ops.he_mult + ops.he_rotate + ops.he_add) * times.other_s,
+    }
+}
+
+/// Computes the full-network breakdown for per-layer tuned configurations.
+pub fn network_breakdown(
+    tuned: &[(LinearLayer, DesignPoint)],
+    timer: &mut KernelTimer,
+) -> Breakdown {
+    let mut total = Breakdown::default();
+    for (layer, point) in tuned {
+        let times = timer.measure(KernelConfig {
+            n: point.n,
+            q_bits: point.q_bits,
+            a_dcmp_log2: point.a_dcmp_log2,
+        });
+        total.accumulate(&layer_breakdown(layer, point, &times));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::ptune::{tune_network, NoiseRegime, TuneSpace};
+    use cheetah_core::{QuantSpec, Schedule};
+    use cheetah_nn::models;
+
+    #[test]
+    fn lenet5_breakdown_is_ntt_dominated() {
+        // The Fig. 7 headline: NTT is the top kernel, adds are negligible.
+        let quant = QuantSpec::default();
+        let layers = models::lenet5().linear_layers();
+        let t_bits: Vec<u32> = layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let tuned = tune_network(
+            &layers,
+            &t_bits,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &TuneSpace::default(),
+        );
+        let mut timer = KernelTimer::new(3);
+        let b = network_breakdown(&tuned, &mut timer);
+        let shares = b.shares();
+        assert!(b.total_s() > 0.0);
+        assert!(
+            shares[0] > shares[3],
+            "NTT share {:.1}% should exceed Add share {:.1}%",
+            shares[0],
+            shares[3]
+        );
+        assert!(
+            shares[0] + shares[1] > 50.0,
+            "rotation machinery (NTT + rotate) should dominate: {shares:?}"
+        );
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulate_adds_componentwise() {
+        let a = Breakdown {
+            ntt_s: 1.0,
+            rotate_s: 2.0,
+            mult_s: 3.0,
+            add_s: 4.0,
+            other_s: 5.0,
+        };
+        let mut b = a;
+        b.accumulate(&a);
+        assert_eq!(b.total_s(), 2.0 * a.total_s());
+    }
+}

@@ -1,0 +1,221 @@
+//! Measured per-kernel latencies of the real BFV engine.
+//!
+//! The Fig. 7 profile multiplies *measured* kernel times by *modeled*
+//! kernel counts (Table IV), reproducing the paper's methodology at
+//! tractable scale: the paper ran the full 970-second ResNet50 inference
+//! under SEAL and attributed time with a profiler; we measure each hot
+//! kernel directly (they are the same kernels) and scale by the same
+//! per-layer counts its DSE uses.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    PreparedPlaintext, SecurityLevel,
+};
+
+/// Measured seconds per kernel invocation at one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTimes {
+    /// One forward/inverse NTT.
+    pub ntt_s: f64,
+    /// One `HE_Mult` (2 pointwise polynomial multiplications), `l_pt = 1`.
+    pub mult_s: f64,
+    /// One `HE_Add`.
+    pub add_s: f64,
+    /// One `HE_Rotate`, *excluding* its internal NTTs (they are attributed
+    /// to the NTT bucket, as in Fig. 7).
+    pub rotate_excl_ntt_s: f64,
+    /// One full `HE_Rotate` including NTTs.
+    pub rotate_total_s: f64,
+    /// Per-operation bookkeeping overhead (allocation/copy) — the "Other"
+    /// sliver of Fig. 7.
+    pub other_s: f64,
+}
+
+/// Key identifying a measurement configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelConfig {
+    /// Polynomial degree.
+    pub n: usize,
+    /// Ciphertext modulus bits.
+    pub q_bits: u32,
+    /// `log2(A_dcmp)` (sets `l_ct`, the rotate cost).
+    pub a_dcmp_log2: u32,
+}
+
+/// Lazily measures and caches kernel times per configuration.
+#[derive(Debug, Default)]
+pub struct KernelTimer {
+    cache: HashMap<KernelConfig, KernelTimes>,
+    /// Repetitions per measurement (higher = steadier).
+    pub reps: u32,
+}
+
+impl KernelTimer {
+    /// Creates a timer with the given repetition count.
+    pub fn new(reps: u32) -> Self {
+        Self {
+            cache: HashMap::new(),
+            reps: reps.max(1),
+        }
+    }
+
+    /// Measures (or returns cached) kernel times for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot be instantiated (no NTT prime).
+    pub fn measure(&mut self, cfg: KernelConfig) -> KernelTimes {
+        if let Some(t) = self.cache.get(&cfg) {
+            return *t;
+        }
+        let times = measure_kernels(cfg, self.reps);
+        self.cache.insert(cfg, times);
+        times
+    }
+}
+
+struct Bench {
+    params: BfvParams,
+    eval: Evaluator,
+    keys: GaloisKeys,
+    ct: Ciphertext,
+    ct2: Ciphertext,
+    pt: PreparedPlaintext,
+}
+
+fn setup(cfg: KernelConfig) -> Bench {
+    let params = BfvParams::builder()
+        .degree(cfg.n)
+        .plain_bits(17)
+        .cipher_bits(cfg.q_bits)
+        .a_dcmp(1u64 << cfg.a_dcmp_log2)
+        // Sweeps cover insecure corners too; the timer must still run them.
+        .security(SecurityLevel::None)
+        .build()
+        .expect("kernel-timing parameters must instantiate");
+    let mut kg = KeyGenerator::from_seed(params.clone(), 2024);
+    let pk = kg.public_key().expect("public key");
+    let keys = kg.galois_keys_for_steps(&[1]).expect("galois key");
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 7);
+    let eval = Evaluator::new(params.clone());
+    let values: Vec<u64> = (0..cfg.n as u64).collect();
+    let pt_raw = encoder.encode(&values).expect("encode");
+    let ct = enc.encrypt(&pt_raw).expect("encrypt");
+    let ct2 = enc.encrypt(&pt_raw).expect("encrypt");
+    let pt = eval.prepare_plaintext(&pt_raw).expect("prepare");
+    Bench {
+        params,
+        eval,
+        keys,
+        ct,
+        ct2,
+        pt,
+    }
+}
+
+fn time_loop<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    // One warmup.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
+    let b = setup(cfg);
+    let table = b.params.q_table();
+
+    let mut scratch: Vec<u64> = b.ct.c0().data().to_vec();
+    let ntt_s = time_loop(reps, || {
+        table.forward(&mut scratch);
+    });
+
+    let mult_s = time_loop(reps, || {
+        let _ = b.eval.mul_plain(&b.ct, &b.pt).expect("mult");
+    });
+
+    let add_s = time_loop(reps, || {
+        let _ = b.eval.add(&b.ct, &b.ct2).expect("add");
+    });
+
+    let rotate_total_s = time_loop(reps, || {
+        let _ = b.eval.rotate_rows(&b.ct, 1, &b.keys).expect("rotate");
+    });
+
+    // Attribute the rotate's internal NTTs to the NTT bucket (Fig. 7).
+    let ntts_in_rotate = (b.params.l_ct() + 1) as f64;
+    let rotate_excl_ntt_s = (rotate_total_s - ntts_in_rotate * ntt_s).max(rotate_total_s * 0.05);
+
+    let other_s = time_loop(reps, || {
+        let _ = b.ct.clone();
+    });
+
+    KernelTimes {
+        ntt_s,
+        mult_s,
+        add_s,
+        rotate_excl_ntt_s,
+        rotate_total_s,
+        other_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_times_are_sane() {
+        let mut timer = KernelTimer::new(3);
+        let t = timer.measure(KernelConfig {
+            n: 2048,
+            q_bits: 54,
+            a_dcmp_log2: 16,
+        });
+        assert!(t.ntt_s > 0.0);
+        assert!(t.add_s < t.mult_s, "add {:.2e} vs mult {:.2e}", t.add_s, t.mult_s);
+        assert!(
+            t.rotate_total_s > t.mult_s,
+            "rotate {:.2e} should dominate mult {:.2e}",
+            t.rotate_total_s,
+            t.mult_s
+        );
+        assert!(t.rotate_excl_ntt_s < t.rotate_total_s);
+    }
+
+    #[test]
+    fn cache_returns_identical_values() {
+        let mut timer = KernelTimer::new(2);
+        let cfg = KernelConfig {
+            n: 2048,
+            q_bits: 54,
+            a_dcmp_log2: 16,
+        };
+        let a = timer.measure(cfg);
+        let b = timer.measure(cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_degree_costs_more() {
+        let mut timer = KernelTimer::new(2);
+        let small = timer.measure(KernelConfig {
+            n: 2048,
+            q_bits: 54,
+            a_dcmp_log2: 16,
+        });
+        let big = timer.measure(KernelConfig {
+            n: 8192,
+            q_bits: 60,
+            a_dcmp_log2: 16,
+        });
+        assert!(big.ntt_s > small.ntt_s);
+        assert!(big.mult_s > small.mult_s);
+    }
+}

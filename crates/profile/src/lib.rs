@@ -1,0 +1,15 @@
+//! # cheetah-profile — HE inference profiling (§VI)
+//!
+//! Reproduces the paper's profiling study: measured per-kernel latencies of
+//! the real BFV engine ([`kernels`]), combined with HE-PTune operator
+//! counts into the Fig. 7(a) time breakdown ([`breakdown`]), and the
+//! Fig. 7(b) limit study deriving the per-kernel speedups hardware must
+//! deliver for plaintext-latency inference ([`limit`]).
+
+pub mod breakdown;
+pub mod kernels;
+pub mod limit;
+
+pub use breakdown::{layer_breakdown, network_breakdown, Breakdown};
+pub use kernels::{KernelConfig, KernelTimer, KernelTimes};
+pub use limit::{limit_study, Kernel, LimitStudy};

@@ -1,0 +1,194 @@
+//! The Fig. 7(b) limit study: how much speedup each HE kernel needs for
+//! plaintext-latency inference.
+//!
+//! The paper applies successive power-of-two speedup factors per kernel
+//! ("kernel speedup is applied successively where the run time from the
+//! most aggressive speedup factor is taken as the base for the next
+//! function") until total latency reaches the 100 ms plaintext target,
+//! ending at NTT 16384×, Rotate 8192×, Mult 4096×, Add 4096×. We implement
+//! the equivalent greedy: repeatedly double the factor of the kernel that
+//! currently dominates the runtime.
+
+use crate::breakdown::Breakdown;
+
+/// The four accelerated kernels, in Fig. 7 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Number-theoretic transform.
+    Ntt,
+    /// `HE_Rotate` (excluding NTTs).
+    Rotate,
+    /// `HE_Mult`.
+    Mult,
+    /// `HE_Add`.
+    Add,
+}
+
+impl Kernel {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Ntt => "NTT",
+            Kernel::Rotate => "Rotate",
+            Kernel::Mult => "Mult",
+            Kernel::Add => "Add",
+        }
+    }
+}
+
+/// Result of the limit study.
+#[derive(Debug, Clone)]
+pub struct LimitStudy {
+    /// Final power-of-two speedup factor per kernel
+    /// `(NTT, Rotate, Mult, Add)`.
+    pub factors: [(Kernel, u64); 4],
+    /// Latency after each doubling step `(kernel, factor, total_latency_s)`
+    /// — the Fig. 7(b) curve.
+    pub trajectory: Vec<(Kernel, u64, f64)>,
+    /// Latency after all factors are applied.
+    pub final_latency_s: f64,
+    /// The target that was requested.
+    pub target_s: f64,
+}
+
+impl LimitStudy {
+    /// The factor assigned to a kernel.
+    pub fn factor(&self, k: Kernel) -> u64 {
+        self.factors
+            .iter()
+            .find(|(kernel, _)| *kernel == k)
+            .map(|(_, f)| *f)
+            .expect("all four kernels present")
+    }
+}
+
+/// Runs the greedy successive-doubling limit study.
+///
+/// `other` time is assumed to scale with the most-accelerated kernel (it
+/// is construction/destruction attached to the same operators).
+///
+/// # Panics
+///
+/// Panics if `target_s <= 0`.
+pub fn limit_study(breakdown: &Breakdown, target_s: f64) -> LimitStudy {
+    assert!(target_s > 0.0, "target latency must be positive");
+    let base = [
+        (Kernel::Ntt, breakdown.ntt_s),
+        (Kernel::Rotate, breakdown.rotate_s),
+        (Kernel::Mult, breakdown.mult_s),
+        (Kernel::Add, breakdown.add_s),
+    ];
+    let mut factors: [(Kernel, u64); 4] = [
+        (Kernel::Ntt, 1),
+        (Kernel::Rotate, 1),
+        (Kernel::Mult, 1),
+        (Kernel::Add, 1),
+    ];
+    let mut trajectory = Vec::new();
+
+    let total = |factors: &[(Kernel, u64); 4]| -> f64 {
+        let mut t = 0.0;
+        let mut max_factor = 1u64;
+        for ((_, time), (_, f)) in base.iter().zip(factors.iter()) {
+            t += time / *f as f64;
+            max_factor = max_factor.max(*f);
+        }
+        // "Other" shrinks with the overall acceleration (same operators).
+        t + breakdown.other_s / max_factor as f64
+    };
+
+    let mut latency = total(&factors);
+    let max_steps = 400; // safety bound: 4 kernels x up to 2^100 would be absurd
+    let mut steps = 0;
+    while latency > target_s && steps < max_steps {
+        // Double the kernel currently dominating the residual runtime.
+        let (idx, _) = base
+            .iter()
+            .enumerate()
+            .map(|(i, (_, time))| (i, time / factors[i].1 as f64))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        factors[idx].1 *= 2;
+        latency = total(&factors);
+        trajectory.push((factors[idx].0, factors[idx].1, latency));
+        steps += 1;
+    }
+    LimitStudy {
+        factors,
+        trajectory,
+        final_latency_s: latency,
+        target_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's measured ResNet50 shares on a 970 s run.
+    #[allow(clippy::approx_constant)] // 0.318 is the paper's 31.8 %, not 1/π
+    fn paper_breakdown() -> Breakdown {
+        Breakdown {
+            ntt_s: 970.0 * 0.552,
+            rotate_s: 970.0 * 0.318,
+            mult_s: 970.0 * 0.103,
+            add_s: 970.0 * 0.022,
+            other_s: 970.0 * 0.005,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_factor_ordering() {
+        // Fig. 7(b): NTT 16384x, Rotate 8192x, Mult 4096x, Add 4096x. The
+        // paper's exact per-kernel stopping rule is not fully specified;
+        // the substantive claims we pin are the NTT headline factor, the
+        // ordering NTT >= Rotate >= Mult, and reaching the 100 ms target.
+        let study = limit_study(&paper_breakdown(), 0.1);
+        assert!(study.final_latency_s <= 0.1);
+        let ntt = study.factor(Kernel::Ntt);
+        let rot = study.factor(Kernel::Rotate);
+        let mult = study.factor(Kernel::Mult);
+        assert!(ntt >= rot, "NTT {ntt} >= Rotate {rot}");
+        assert!(rot >= mult, "Rotate {rot} >= Mult {mult}");
+        assert_eq!(ntt, 16384, "headline NTT factor");
+        assert!(
+            (8192..=16384).contains(&rot),
+            "Rotate factor {rot} should be within 2x of the paper's 8192"
+        );
+        assert!(
+            (2048..=8192).contains(&mult),
+            "Mult factor {mult} should be within 2x of the paper's 4096"
+        );
+    }
+
+    #[test]
+    fn four_orders_of_magnitude_needed() {
+        // §VI: HE inference is 3-4 orders of magnitude from plaintext even
+        // after the algorithmic optimizations.
+        let study = limit_study(&paper_breakdown(), 0.1);
+        let max = study.factors.iter().map(|(_, f)| *f).max().unwrap();
+        assert!(max >= 8192);
+    }
+
+    #[test]
+    fn trajectory_is_monotonically_decreasing() {
+        let study = limit_study(&paper_breakdown(), 0.1);
+        for w in study.trajectory.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn already_fast_needs_no_factors() {
+        let b = Breakdown {
+            ntt_s: 0.01,
+            rotate_s: 0.01,
+            mult_s: 0.01,
+            add_s: 0.01,
+            other_s: 0.0,
+        };
+        let study = limit_study(&b, 1.0);
+        assert!(study.trajectory.is_empty());
+        assert!(study.factors.iter().all(|(_, f)| *f == 1));
+    }
+}

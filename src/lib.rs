@@ -1,0 +1,50 @@
+//! # cheetah — a reproduction of the Cheetah system (HPCA 2021)
+//!
+//! *"Cheetah: Optimizing and Accelerating Homomorphic Encryption for
+//! Private Inference"* (Reagen et al., arXiv:2006.00505) built as a Rust
+//! workspace. This meta-crate re-exports the whole stack:
+//!
+//! * [`bfv`] — the BFV homomorphic-encryption engine (NTT, keys,
+//!   `HE_Add` / `HE_Mult` / `HE_Rotate`, noise measurement);
+//! * [`nn`] — DNN layer descriptors, the five benchmark models, and
+//!   fixed-point plaintext inference;
+//! * [`core`] — the paper's contribution: HE-PTune analytical models and
+//!   per-layer parameter tuning, plus the Sched-PA / Sched-IA schedules
+//!   (both analytical and on real ciphertexts);
+//! * [`protocol`] — the Gazelle-style client/cloud private-inference
+//!   round-trip with masking and a simulated garbled circuit;
+//! * [`profile`] — kernel profiling and the Fig. 7 limit study;
+//! * [`gpu`] — the Fig. 8 GPU batched-NTT study (SIMT model + threaded
+//!   host substitute);
+//! * [`accel`] — the accelerator architecture: HLS-style kernel cost
+//!   models, per-kernel DSE, and the PE/Lane simulator.
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-figure evaluation harness.
+//!
+//! ```
+//! use cheetah::bfv::{BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+//!
+//! # fn main() -> Result<(), cheetah::bfv::Error> {
+//! let params = BfvParams::builder().degree(4096).build()?;
+//! let mut keygen = KeyGenerator::from_seed(params.clone(), 1);
+//! let pk = keygen.public_key()?;
+//! let encoder = BatchEncoder::new(params.clone());
+//! let mut enc = Encryptor::from_public_key(pk, 2);
+//! let dec = Decryptor::new(keygen.secret_key().clone());
+//! let eval = Evaluator::new(params);
+//!
+//! let ct = enc.encrypt(&encoder.encode(&[21, 2])?)?;
+//! let twice = eval.add(&ct, &ct)?;
+//! assert_eq!(encoder.decode(&dec.decrypt_checked(&twice)?)[0], 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cheetah_accel as accel;
+pub use cheetah_bfv as bfv;
+pub use cheetah_core as core;
+pub use cheetah_gpu as gpu;
+pub use cheetah_nn as nn;
+pub use cheetah_profile as profile;
+pub use cheetah_protocol as protocol;

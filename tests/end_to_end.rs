@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the full stack from BFV ciphertexts up
+//! to the accelerator simulator, exercised together.
+
+use cheetah::accel::explore::{explore, ArchSweep};
+use cheetah::accel::workload::NetworkWork;
+use cheetah::accel::{AcceleratorConfig, Simulator, NODE_40NM, NODE_5NM};
+use cheetah::bfv::BfvParams;
+use cheetah::core::ptune::{tune_network, NoiseRegime, TuneSpace};
+use cheetah::core::speedup::evaluate_model;
+use cheetah::core::{QuantSpec, Schedule};
+use cheetah::nn::inference::{infer, random_input};
+use cheetah::nn::models;
+use cheetah::nn::Weights;
+use cheetah::profile::{limit_study, network_breakdown, KernelTimer};
+use cheetah::protocol::PrivateInferenceSession;
+
+fn tuned(net: &cheetah::nn::Network) -> Vec<(cheetah::nn::LinearLayer, cheetah::core::DesignPoint)> {
+    let quant = QuantSpec::default();
+    let layers = net.linear_layers();
+    let t_bits: Vec<u32> = layers
+        .iter()
+        .map(|l| quant.statistical_plain_bits(l))
+        .collect();
+    tune_network(
+        &layers,
+        &t_bits,
+        Schedule::PartialAligned,
+        NoiseRegime::Statistical,
+        &TuneSpace::default(),
+    )
+}
+
+#[test]
+fn private_inference_matches_plaintext_for_both_schedules() {
+    let net = models::tiny_cnn();
+    let weights = Weights::random(&net, 2, 808);
+    let input = random_input(&net.input_shape, 3, 809);
+    let expect = infer(&net, &weights, &input).output;
+
+    for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+        let params = BfvParams::builder()
+            .degree(4096)
+            .plain_bits(18)
+            .cipher_bits(60)
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        let mut session =
+            PrivateInferenceSession::new(&net, &weights, params, schedule, 4242).unwrap();
+        let (out, transcript) = session.run(&input).unwrap();
+        assert_eq!(out.data(), expect.data(), "{schedule}");
+        assert!(transcript.total_bytes() > 0);
+    }
+}
+
+#[test]
+fn tuning_profile_and_limit_study_compose() {
+    // HE-PTune -> measured kernel times -> breakdown -> limit study: the
+    // §IV -> §VI pipeline end to end on LeNet5.
+    let net = models::lenet5();
+    let tuned = tuned(&net);
+    let mut timer = KernelTimer::new(3);
+    let breakdown = network_breakdown(&tuned, &mut timer);
+    assert!(breakdown.total_s() > 0.0);
+
+    let study = limit_study(&breakdown, breakdown.total_s() / 1000.0);
+    assert!(study.final_latency_s <= breakdown.total_s() / 1000.0 * 1.001);
+    // NTT must need at least as much acceleration as the adds.
+    let ntt = study.factor(cheetah::profile::Kernel::Ntt);
+    let add = study.factor(cheetah::profile::Kernel::Add);
+    assert!(ntt >= add);
+}
+
+#[test]
+fn tuning_to_accelerator_pipeline() {
+    // HE-PTune -> workload -> simulator -> DSE: the §IV -> §VIII pipeline.
+    let net = models::lenet5();
+    let work = NetworkWork::from_tuned(&net.name, &tuned(&net));
+    let outcome = explore(&work, &ArchSweep::small(), NODE_5NM);
+    assert!(!outcome.frontier.is_empty());
+
+    // Simulating the same workload twice is deterministic.
+    let cfg = AcceleratorConfig::new(8, 64);
+    let a = Simulator::new(cfg).simulate(&work, NODE_40NM);
+    let b = Simulator::new(AcceleratorConfig::new(8, 64)).simulate(&work, NODE_40NM);
+    assert_eq!(a.latency_s, b.latency_s);
+    assert_eq!(a.area_mm2, b.area_mm2);
+}
+
+#[test]
+fn speedup_hierarchy_holds_for_every_benchmark() {
+    // Across all five models: Gazelle >= HE-PTune >= HE-PTune + Sched-PA
+    // in cost, i.e. speedups >= 1 and PA adds on top of PTune.
+    let quant = QuantSpec::default();
+    let space = TuneSpace::default();
+    for net in [models::lenet300(), models::lenet5(), models::alexnet()] {
+        let s = evaluate_model(&net, &quant, &space);
+        assert!(s.speedup_ptune() >= 1.0, "{}: {}", net.name, s.speedup_ptune());
+        assert!(
+            s.speedup_combined() >= s.speedup_ptune(),
+            "{}: combined {} < ptune {}",
+            net.name,
+            s.speedup_combined(),
+            s.speedup_ptune()
+        );
+    }
+}
+
+#[test]
+fn accelerator_beats_cpu_by_orders_of_magnitude() {
+    // The headline claim, end to end: the simulated accelerator runs the
+    // HE workload orders of magnitude faster than the measured CPU kernels
+    // would.
+    let net = models::lenet5();
+    let tuned = tuned(&net);
+    let mut timer = KernelTimer::new(3);
+    let cpu_s = network_breakdown(&tuned, &mut timer).total_s();
+
+    let work = NetworkWork::from_tuned(&net.name, &tuned);
+    let accel = Simulator::new(AcceleratorConfig::new(8, 64)).simulate(&work, NODE_5NM);
+    let speedup = cpu_s / accel.latency_s;
+    assert!(
+        speedup > 100.0,
+        "accelerator speedup over CPU only {speedup:.0}x (cpu {cpu_s:.2}s vs accel {:.4}s)",
+        accel.latency_s
+    );
+}
