@@ -241,7 +241,10 @@ mod tests {
     fn lane_area_is_dominated_by_transform_machinery() {
         let lane = lane();
         let (ntt_c, ntt_s, other) = lane.area_mm2();
-        assert!(ntt_c + ntt_s > other, "transforms {ntt_c}+{ntt_s} vs {other}");
+        assert!(
+            ntt_c + ntt_s > other,
+            "transforms {ntt_c}+{ntt_s} vs {other}"
+        );
     }
 
     #[test]

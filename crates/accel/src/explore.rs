@@ -95,8 +95,10 @@ mod tests {
     fn work(net: cheetah_nn::Network) -> NetworkWork {
         let quant = QuantSpec::default();
         let layers = net.linear_layers();
-        let t_bits: Vec<u32> =
-            layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let tuned = tune_network(
             &layers,
             &t_bits,

@@ -63,8 +63,8 @@ pub fn generality_study(
     }];
 
     for other in others {
-        let on_shared = Simulator::new(AcceleratorConfig::new(shared.0, shared.1))
-            .simulate(other, node);
+        let on_shared =
+            Simulator::new(AcceleratorConfig::new(shared.0, shared.1)).simulate(other, node);
         // The model's own ideal design at the same resource class: the
         // minimum-latency frontier design using no more power than the
         // model actually draws on the shared accelerator. Since the shared
@@ -103,8 +103,10 @@ mod tests {
     fn work(net: cheetah_nn::Network) -> NetworkWork {
         let quant = QuantSpec::default();
         let layers = net.linear_layers();
-        let t_bits: Vec<u32> =
-            layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let tuned = tune_network(
             &layers,
             &t_bits,

@@ -154,9 +154,12 @@ pub fn evaluate(design: &KernelDesign) -> KernelCost {
 
     // Work items and per-item datapath characteristics.
     let (work_items, unit_area, unit_energy, words_per_item) = match design.kind {
-        KernelKind::Ntt | KernelKind::Intt => {
-            ((n / 2.0) * log_n, BUTTERFLY_AREA_MM2, BUTTERFLY_ENERGY_J, 4.0)
-        }
+        KernelKind::Ntt | KernelKind::Intt => (
+            (n / 2.0) * log_n,
+            BUTTERFLY_AREA_MM2,
+            BUTTERFLY_ENERGY_J,
+            4.0,
+        ),
         KernelKind::SimdMult => (n, MODMUL_AREA_MM2, MODMUL_ENERGY_J, 3.0),
         KernelKind::SimdAdd => (n, SIMPLE_AREA_MM2, SIMPLE_ENERGY_J, 3.0),
         KernelKind::Swap => (n, SIMPLE_AREA_MM2, SIMPLE_ENERGY_J, 2.0),

@@ -138,15 +138,14 @@ impl Simulator {
         let waves_per_out_ct = partials.div_ceil(lanes);
         let reduction_s = (lanes as f64).log2().ceil().max(1.0) * lane.add_latency_s();
         let pe_rounds = work.out_cts.div_ceil(pes);
-        let latency_s = timing.fill_s()
-            + (pe_rounds * waves_per_out_ct) as f64 * interval
-            + reduction_s;
+        let latency_s =
+            timing.fill_s() + (pe_rounds * waves_per_out_ct) as f64 * interval + reduction_s;
 
         // Energy: real work only (activity factors), plus reduction adds.
         let total_partials = work.total_partials();
         let adds = total_partials; // one reduction add per partial
-        let energy_j = total_partials * lane.energy_per_partial_j(work.l_ct)
-            + adds * lane.add_energy_j();
+        let energy_j =
+            total_partials * lane.energy_per_partial_j(work.l_ct) + adds * lane.add_energy_j();
 
         // Utilizations.
         let busy = total_partials * interval;
@@ -247,12 +246,8 @@ impl Simulator {
         let energy_j = node.scale_power(energy40);
         let mean_lane_utilization =
             layers.iter().map(|l| l.lane_utilization).sum::<f64>() / layers.len().max(1) as f64;
-        let peak_io_utilization = layers
-            .iter()
-            .map(|l| l.io_utilization)
-            .fold(0.0, f64::max);
-        let network_io_utilization =
-            (layers.iter().map(|l| l.io_s).sum::<f64>() / t).min(1.0);
+        let peak_io_utilization = layers.iter().map(|l| l.io_utilization).fold(0.0, f64::max);
+        let network_io_utilization = (layers.iter().map(|l| l.io_s).sum::<f64>() / t).min(1.0);
         SimResult {
             pes: self.config.pes,
             lanes_per_pe: self.config.lanes_per_pe,
@@ -282,7 +277,10 @@ mod tests {
         let net = models::lenet5();
         let quant = QuantSpec::default();
         let layers = net.linear_layers();
-        let t_bits: Vec<u32> = layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let tuned = tune_network(
             &layers,
             &t_bits,
@@ -315,7 +313,10 @@ mod tests {
         let work = lenet5_work();
         let at40 = Simulator::new(AcceleratorConfig::new(4, 64)).simulate(&work, NODE_40NM);
         let at5 = Simulator::new(AcceleratorConfig::new(4, 64)).simulate(&work, NODE_5NM);
-        assert!((at5.latency_s - at40.latency_s).abs() < 1e-12, "latency is node-independent here");
+        assert!(
+            (at5.latency_s - at40.latency_s).abs() < 1e-12,
+            "latency is node-independent here"
+        );
         assert!((at5.power_w / at40.power_w - NODE_5NM.power_factor).abs() < 0.01);
         assert!((at5.area_mm2 / at40.area_mm2 - NODE_5NM.area_factor).abs() < 0.01);
     }
@@ -330,8 +331,10 @@ mod tests {
         let net = models::alexnet();
         let quant = QuantSpec::default();
         let layers = net.linear_layers();
-        let t_bits: Vec<u32> =
-            layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let tuned = tune_network(
             &layers,
             &t_bits,
@@ -360,8 +363,7 @@ mod tests {
             r.time.transforms,
             r.time.rotate_other
         );
-        let total =
-            r.time.transforms + r.time.mult + r.time.rotate_other + r.time.reduction;
+        let total = r.time.transforms + r.time.mult + r.time.rotate_other + r.time.reduction;
         assert!((total - 1.0).abs() < 0.05, "fractions sum to ~1: {total}");
     }
 

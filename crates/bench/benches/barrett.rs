@@ -17,9 +17,7 @@ fn bench_reduction(c: &mut Criterion) {
         bench.iter(|| q.mul_mod(black_box(a), black_box(b)))
     });
     group.bench_function("u128_rem", |bench| {
-        bench.iter(|| {
-            ((black_box(a) as u128 * black_box(b) as u128) % qv as u128) as u64
-        })
+        bench.iter(|| ((black_box(a) as u128 * black_box(b) as u128) % qv as u128) as u64)
     });
     let shoup = ShoupPrecomp::new(b, &q);
     group.bench_function("shoup_fixed_operand", |bench| {
@@ -30,7 +28,9 @@ fn bench_reduction(c: &mut Criterion) {
 
 fn bench_bulk_reduction(c: &mut Criterion) {
     let q = Modulus::new(generate_ntt_prime(60, 4096).unwrap()).unwrap();
-    let data: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9) % q.value()).collect();
+    let data: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % q.value())
+        .collect();
     let w = q.value() / 5 + 3;
     let shoup = ShoupPrecomp::new(w, &q);
 

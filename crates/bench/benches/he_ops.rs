@@ -50,13 +50,21 @@ fn bench_operators(c: &mut Criterion) {
     let ctx = ctx(20);
     let mut group = c.benchmark_group("he_op_n4096");
     group.bench_function("add", |b| {
-        b.iter(|| ctx.eval.add(black_box(&ctx.ct), black_box(&ctx.ct2)).unwrap())
+        b.iter(|| {
+            ctx.eval
+                .add(black_box(&ctx.ct), black_box(&ctx.ct2))
+                .unwrap()
+        })
     });
     group.bench_function("mul_plain", |b| {
         b.iter(|| ctx.eval.mul_plain(black_box(&ctx.ct), &ctx.pt).unwrap())
     });
     group.bench_function("rotate", |b| {
-        b.iter(|| ctx.eval.rotate_rows(black_box(&ctx.ct), 1, &ctx.keys).unwrap())
+        b.iter(|| {
+            ctx.eval
+                .rotate_rows(black_box(&ctx.ct), 1, &ctx.keys)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -65,11 +73,13 @@ fn bench_rotation_vs_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("rotate_by_a_dcmp");
     for a_log in [4u32, 8, 12, 20, 30] {
         let ctx = ctx(a_log);
-        group.bench_with_input(
-            BenchmarkId::new("a_dcmp_log2", a_log),
-            &a_log,
-            |b, _| b.iter(|| ctx.eval.rotate_rows(black_box(&ctx.ct), 1, &ctx.keys).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("a_dcmp_log2", a_log), &a_log, |b, _| {
+            b.iter(|| {
+                ctx.eval
+                    .rotate_rows(black_box(&ctx.ct), 1, &ctx.keys)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

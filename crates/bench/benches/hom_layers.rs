@@ -86,14 +86,18 @@ fn bench_hom_fc(c: &mut Criterion) {
         .unwrap();
     let mut kg = KeyGenerator::from_seed(params.clone(), 41);
     let pk = kg.public_key().unwrap();
-    let keys = kg.galois_keys_for_steps(&HomFc::required_steps(&spec)).unwrap();
+    let keys = kg
+        .galois_keys_for_steps(&HomFc::required_steps(&spec))
+        .unwrap();
     let encoder = BatchEncoder::new(params.clone());
     let mut enc = Encryptor::from_public_key(pk, 42);
     let eval = Evaluator::new(params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
     let weights = Tensor::from_data(
         &[spec.no, spec.ni],
-        (0..spec.no * spec.ni).map(|_| rng.random_range(-5..=5)).collect(),
+        (0..spec.no * spec.ni)
+            .map(|_| rng.random_range(-5..=5))
+            .collect(),
     );
     let input = Tensor::from_data(
         &[spec.ni],

@@ -1,0 +1,160 @@
+//! Machine-readable hot-path benchmark: emits `BENCH_he_ops.json` with
+//! ns/op for the three HE operators (allocating vs in-place/scratch
+//! variants) and the contiguous batched NTT (serial vs threaded), so the
+//! perf trajectory of the engine is trackable across PRs.
+//!
+//! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use cheetah_bfv::batch::PolyBatch;
+use cheetah_bfv::poly::Representation;
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    PreparedPlaintext, Scratch,
+};
+use cheetah_gpu::batched::batched_forward;
+
+/// Times `f` with an adaptive iteration count (~0.5 s budget after one
+/// calibration call) and returns mean ns/op.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = (500_000_000u128 / once).clamp(3, 20_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Ctx {
+    eval: Evaluator,
+    keys: GaloisKeys,
+    ct: Ciphertext,
+    ct2: Ciphertext,
+    pt: PreparedPlaintext,
+}
+
+fn ctx() -> Ctx {
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(17)
+        .cipher_bits(60)
+        .a_dcmp(1 << 20)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 11);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 12);
+    let eval = Evaluator::new(params.clone());
+    let values: Vec<u64> = (0..4096u64).collect();
+    let raw = encoder.encode(&values).unwrap();
+    let ct = enc.encrypt(&raw).unwrap();
+    let ct2 = enc.encrypt(&raw).unwrap();
+    let pt = eval.prepare_plaintext(&raw).unwrap();
+    Ctx {
+        eval,
+        keys,
+        ct,
+        ct2,
+        pt,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_he_ops.json".to_string());
+    let c = ctx();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // --- HE operators: allocating wrappers vs the zero-alloc hot path ---
+    let add_alloc = time_ns(|| {
+        black_box(c.eval.add(black_box(&c.ct), black_box(&c.ct2)).unwrap());
+    });
+    let mut work = c.ct.clone();
+    let add_assign = time_ns(|| {
+        c.eval
+            .add_assign(black_box(&mut work), black_box(&c.ct2))
+            .unwrap();
+    });
+
+    let mul_alloc = time_ns(|| {
+        black_box(c.eval.mul_plain(black_box(&c.ct), &c.pt).unwrap());
+    });
+    let mut work = c.ct.clone();
+    let mul_assign = time_ns(|| {
+        c.eval
+            .mul_plain_assign(black_box(&mut work), &c.pt)
+            .unwrap();
+    });
+
+    let rotate_alloc = time_ns(|| {
+        black_box(c.eval.rotate_rows(black_box(&c.ct), 1, &c.keys).unwrap());
+    });
+    let mut scratch: Scratch = c.eval.new_scratch();
+    let mut rot_out = Ciphertext::transparent_zero(c.eval.params());
+    let rotate_into = time_ns(|| {
+        c.eval
+            .rotate_rows_into(&mut rot_out, black_box(&c.ct), 1, &c.keys, &mut scratch)
+            .unwrap();
+    });
+
+    // --- Contiguous batched NTT, serial vs 4 threads ---
+    let (ntt_n, ntt_batch, ntt_threads) = (8192usize, 64usize, 4usize);
+    let q = cheetah_bfv::arith::Modulus::new(
+        cheetah_bfv::arith::generate_ntt_prime(50, ntt_n).unwrap(),
+    )
+    .unwrap();
+    let table = cheetah_bfv::ntt::NttTable::new(ntt_n, q).unwrap();
+    let base = PolyBatch::from_fn(ntt_batch, ntt_n, Representation::Coeff, |i, j| {
+        ((i * ntt_n + j) as u64).wrapping_mul(0x9e37_79b9) % q.value()
+    });
+    let mut best_serial = f64::INFINITY;
+    let mut best_parallel = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = base.clone();
+        let start = Instant::now();
+        batched_forward(&table, &mut b, 1);
+        best_serial = best_serial.min(start.elapsed().as_nanos() as f64);
+        let mut b = base.clone();
+        let start = Instant::now();
+        batched_forward(&table, &mut b, ntt_threads);
+        best_parallel = best_parallel.min(start.elapsed().as_nanos() as f64);
+    }
+    let ntt_speedup = best_serial / best_parallel;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"degree\": 4096,");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"ops_ns\": {{");
+    let _ = writeln!(json, "    \"add\": {add_alloc:.1},");
+    let _ = writeln!(json, "    \"add_assign\": {add_assign:.1},");
+    let _ = writeln!(json, "    \"mul_plain\": {mul_alloc:.1},");
+    let _ = writeln!(json, "    \"mul_plain_assign\": {mul_assign:.1},");
+    let _ = writeln!(json, "    \"rotate\": {rotate_alloc:.1},");
+    let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"batched_ntt\": {{");
+    let _ = writeln!(json, "    \"n\": {ntt_n},");
+    let _ = writeln!(json, "    \"batch\": {ntt_batch},");
+    let _ = writeln!(json, "    \"threads\": {ntt_threads},");
+    let _ = writeln!(json, "    \"serial_ns\": {best_serial:.0},");
+    let _ = writeln!(json, "    \"parallel_ns\": {best_parallel:.0},");
+    let _ = writeln!(json, "    \"speedup\": {ntt_speedup:.3}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_he_ops.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -39,7 +39,15 @@ fn main() {
     let mut speedups = Vec::new();
     println!(
         "{:<8} {:>6} {:>10} {:>9} | {:>10} {:>8} | {:>9} {:>9} {:>8}",
-        "layer", "points", "infeas%", "t(bits)", "opt MACs", "budget", "gzl MACs", "gzlbudget", "speedup"
+        "layer",
+        "points",
+        "infeas%",
+        "t(bits)",
+        "opt MACs",
+        "budget",
+        "gzl MACs",
+        "gzlbudget",
+        "speedup"
     );
     for (i, layer) in layers.iter().enumerate() {
         let t_bits = quant.statistical_plain_bits(layer);

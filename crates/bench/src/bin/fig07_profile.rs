@@ -40,7 +40,10 @@ fn main() {
         "modeled full-inference time on this host: {:.1} s (paper: 970 s on a Xeon E5-2667 for ResNet50)",
         b.total_s()
     );
-    println!("{:<8} {:>10} {:>8}   (paper, ResNet50)", "kernel", "seconds", "share");
+    println!(
+        "{:<8} {:>10} {:>8}   (paper, ResNet50)",
+        "kernel", "seconds", "share"
+    );
     for (name, secs, share, paper) in [
         ("NTT", b.ntt_s, shares[0], "55.2%"),
         ("Rotate", b.rotate_s, shares[1], "31.8%"),
@@ -68,6 +71,11 @@ fn main() {
     );
     println!("\ntrajectory (kernel doubled -> total latency):");
     for (kernel, factor, latency) in study.trajectory.iter().step_by(4) {
-        println!("  {:<8} -> {:>7}x   total {:>10.3} s", kernel.name(), factor, latency);
+        println!(
+            "  {:<8} -> {:>7}x   total {:>10.3} s",
+            kernel.name(),
+            factor,
+            latency
+        );
     }
 }

@@ -62,7 +62,10 @@ fn main() {
             .map(|c| c.get())
             .unwrap_or(1);
         println!("host has {cores} cores; saturation is expected near that count");
-        println!("{:>8} {:>12} {:>12} {:>9}", "batch", "seq (ms)", "par (ms)", "speedup");
+        println!(
+            "{:>8} {:>12} {:>12} {:>9}",
+            "batch", "seq (ms)", "par (ms)", "speedup"
+        );
         for batch in [1usize, 4, 16, 64, 256] {
             let p = measure_batched(16384, batch, cores, 7);
             println!(

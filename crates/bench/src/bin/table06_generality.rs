@@ -22,13 +22,7 @@ fn main() {
     let vgg = make(models::vgg16());
     let alex = make(models::alexnet());
 
-    let study = generality_study(
-        &resnet,
-        &[vgg, alex],
-        &ArchSweep::default(),
-        NODE_5NM,
-        0.1,
-    );
+    let study = generality_study(&resnet, &[vgg, alex], &ArchSweep::default(), NODE_5NM, 0.1);
 
     heading("Table VI — performance on the PT-ResNet50 accelerator");
     println!(
@@ -54,7 +48,5 @@ fn main() {
     println!(
         "\npaper: ResNet50 100ms/0% (8-512), VGG16 215ms/+59% (16-256), AlexNet 77ms/+28% (16-128)"
     );
-    println!(
-        "paper workload stats (Gazelle-era packing): OutCT 147K/422K/475K, Prt 50.5/595/337"
-    );
+    println!("paper workload stats (Gazelle-era packing): OutCT 147K/422K/475K, Prt 50.5/595/337");
 }

@@ -274,7 +274,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -343,7 +343,10 @@ fn is_prime_u128(n: u64) -> bool {
 /// Returns [`Error::NoNttPrime`] if no such prime exists below `2^bits`
 /// (possible only for tiny `bits`).
 pub fn generate_ntt_prime(bits: u32, n: usize) -> Result<u64> {
-    assert!(n.is_power_of_two(), "polynomial degree must be a power of 2");
+    assert!(
+        n.is_power_of_two(),
+        "polynomial degree must be a power of 2"
+    );
     generate_prime_congruent(bits, 2 * n as u64).map_err(|_| Error::NoNttPrime { bits, n })
 }
 
@@ -365,10 +368,7 @@ pub fn generate_prime_congruent(bits: u32, step: u64) -> Result<u64> {
     );
     let n_hint = (step / 2).max(1) as usize;
     if step >= 1u64 << bits {
-        return Err(Error::NoNttPrime {
-            bits,
-            n: n_hint,
-        });
+        return Err(Error::NoNttPrime { bits, n: n_hint });
     }
     // Largest candidate of the form k*step + 1 strictly below 2^bits.
     let top = (1u64 << bits) - 1;
@@ -416,7 +416,7 @@ pub fn generate_ntt_primes(bits: u32, n: usize, count: usize) -> Result<Vec<u64>
 /// Returns [`Error::NoPrimitiveRoot`] if `q ≢ 1 (mod 2n)`.
 pub fn primitive_root_2n(q: &Modulus, n: usize) -> Result<u64> {
     let m = 2 * n as u64;
-    if (q.value() - 1) % m != 0 {
+    if !(q.value() - 1).is_multiple_of(m) {
         return Err(Error::NoPrimitiveRoot {
             modulus: q.value(),
             order: m,
@@ -459,7 +459,7 @@ mod tests {
 
     #[test]
     fn barrett_matches_u128_remainder() {
-        let q = Modulus::new(0x3fff_ffff_0000_0001 % ((1 << 62) - 3) | 1).unwrap();
+        let q = Modulus::new(0x3fff_ffff_0000_0001).unwrap();
         let pairs = [
             (0u64, 0u64),
             (1, 1),

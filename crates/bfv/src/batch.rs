@@ -1,0 +1,279 @@
+//! Contiguous batched polynomial storage with thread-parallel NTTs.
+//!
+//! The seed's batched-NTT path operated on `Vec<Vec<u64>>` — one heap
+//! allocation per polynomial, scattered across the address space, which
+//! defeats hardware prefetching exactly where Cheetah's §IV performance
+//! model assumes streaming access. A [`PolyBatch`] stores `count`
+//! degree-`n` polynomials in **one contiguous `Vec<u64>`** with stride-`n`
+//! views, so a batch walks linearly through memory and splits into
+//! per-thread chunks with zero copying.
+//!
+//! Both transform directions are provided ([`PolyBatch::forward_ntt`],
+//! [`PolyBatch::inverse_ntt`]); each polynomial's transform is independent,
+//! so results are **bit-identical for every thread count** — a property the
+//! equivalence tests pin down. `cheetah-gpu`'s Fig. 8 host study is built
+//! on this type.
+
+use crate::ntt::NttTable;
+use crate::poly::Representation;
+
+/// `count` polynomials of degree `n` in one contiguous allocation.
+///
+/// All polynomials share one representation tag, as batches move through
+/// the NTT together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyBatch {
+    data: Vec<u64>,
+    n: usize,
+    repr: Representation,
+}
+
+impl PolyBatch {
+    /// A batch of `count` zero polynomials of degree `n`.
+    pub fn zero(count: usize, n: usize, repr: Representation) -> Self {
+        Self {
+            data: vec![0; count * n],
+            n,
+            repr,
+        }
+    }
+
+    /// Builds a batch from a generator: element `j` of polynomial `i` is
+    /// `f(i, j)`. Values must already be reduced mod the working modulus.
+    pub fn from_fn(
+        count: usize,
+        n: usize,
+        repr: Representation,
+        mut f: impl FnMut(usize, usize) -> u64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(count * n);
+        for i in 0..count {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { data, n, repr }
+    }
+
+    /// Builds a batch by copying equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<u64>], repr: Representation) -> Self {
+        let n = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "inconsistent row length in PolyBatch");
+            data.extend_from_slice(row);
+        }
+        Self { data, n, repr }
+    }
+
+    /// Number of polynomials in the batch.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.data.len().checked_div(self.n).unwrap_or(0)
+    }
+
+    /// Whether the batch holds no polynomials.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Polynomial degree `n` (the stride).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Shared representation of every polynomial in the batch.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// Read view of polynomial `i`.
+    #[inline]
+    pub fn poly(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable view of polynomial `i`. Callers must keep values reduced.
+    #[inline]
+    pub fn poly_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterator over stride-`n` read views.
+    pub fn polys(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.n)
+    }
+
+    /// Iterator over stride-`n` mutable views.
+    pub fn polys_mut(&mut self) -> impl Iterator<Item = &mut [u64]> {
+        self.data.chunks_exact_mut(self.n)
+    }
+
+    /// The whole contiguous storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Copies the batch back out into row vectors (interop/debug helper).
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        self.polys().map(<[u64]>::to_vec).collect()
+    }
+
+    /// Forward negacyclic NTT over every polynomial, split across up to
+    /// `threads` worker threads (`<= 1` runs inline). Each polynomial's
+    /// transform is independent, so the result is bit-identical for every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is not in coefficient form or the table degree
+    /// mismatches the stride.
+    pub fn forward_ntt(&mut self, table: &NttTable, threads: usize) {
+        assert_eq!(
+            self.repr,
+            Representation::Coeff,
+            "forward NTT needs coefficient form"
+        );
+        self.transform(table, threads, false);
+        self.repr = Representation::Eval;
+    }
+
+    /// Inverse negacyclic NTT over every polynomial (including the
+    /// `n^{-1}` scaling), split across up to `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is not in evaluation form or the table degree
+    /// mismatches the stride.
+    pub fn inverse_ntt(&mut self, table: &NttTable, threads: usize) {
+        assert_eq!(
+            self.repr,
+            Representation::Eval,
+            "inverse NTT needs evaluation form"
+        );
+        self.transform(table, threads, true);
+        self.repr = Representation::Coeff;
+    }
+
+    fn transform(&mut self, table: &NttTable, threads: usize, inverse: bool) {
+        assert_eq!(table.degree(), self.n, "NTT table degree mismatch");
+        let count = self.count();
+        let run = |p: &mut [u64]| {
+            if inverse {
+                table.inverse(p);
+            } else {
+                table.forward(p);
+            }
+        };
+        if threads <= 1 || count <= 1 {
+            for p in self.data.chunks_exact_mut(self.n) {
+                run(p);
+            }
+            return;
+        }
+        let per_worker = count.div_ceil(threads.min(count));
+        std::thread::scope(|scope| {
+            for chunk in self.data.chunks_mut(per_worker * self.n) {
+                scope.spawn(|| {
+                    for p in chunk.chunks_exact_mut(self.n) {
+                        run(p);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{generate_ntt_prime, Modulus};
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let q = Modulus::new(generate_ntt_prime(bits, n).unwrap()).unwrap();
+        NttTable::new(n, q).unwrap()
+    }
+
+    fn sample_batch(count: usize, n: usize, q: u64) -> PolyBatch {
+        PolyBatch::from_fn(count, n, Representation::Coeff, |i, j| {
+            ((i as u64 + 3).wrapping_mul(31).wrapping_add(j as u64 * 7)) % q
+        })
+    }
+
+    #[test]
+    fn matches_per_poly_ntt() {
+        let t = table(64, 30);
+        let q = t.modulus().value();
+        let mut batch = sample_batch(5, 64, q);
+        let rows = batch.to_rows();
+        batch.forward_ntt(&t, 1);
+        for (i, row) in rows.iter().enumerate() {
+            let mut expect = row.clone();
+            t.forward(&mut expect);
+            assert_eq!(batch.poly(i), &expect[..], "poly {i}");
+        }
+        assert_eq!(batch.representation(), Representation::Eval);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(128, 40);
+        let q = t.modulus().value();
+        let mut batch = sample_batch(7, 128, q);
+        let orig = batch.clone();
+        batch.forward_ntt(&t, 2);
+        assert_ne!(batch, orig);
+        batch.inverse_ntt(&t, 2);
+        assert_eq!(batch, orig);
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let t = table(256, 50);
+        let q = t.modulus().value();
+        let base = sample_batch(9, 256, q);
+        let mut serial = base.clone();
+        serial.forward_ntt(&t, 1);
+        for threads in [2, 3, 4, 16] {
+            let mut parallel = base.clone();
+            parallel.forward_ntt(&t, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_threads_clamp_to_count() {
+        let t = table(32, 30);
+        let q = t.modulus().value();
+        let mut batch = sample_batch(2, 32, q);
+        batch.forward_ntt(&t, 64); // more threads than polynomials
+        batch.inverse_ntt(&t, 64);
+        assert_eq!(batch, sample_batch(2, 32, q));
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient form")]
+    fn forward_rejects_eval_form() {
+        let t = table(32, 30);
+        let mut batch = PolyBatch::zero(1, 32, Representation::Eval);
+        batch.forward_ntt(&t, 1);
+    }
+
+    #[test]
+    fn contiguity_and_views() {
+        let mut batch = PolyBatch::zero(3, 8, Representation::Coeff);
+        batch.poly_mut(1)[0] = 42;
+        assert_eq!(batch.as_slice()[8], 42);
+        assert_eq!(batch.count(), 3);
+        assert_eq!(batch.degree(), 8);
+        assert_eq!(batch.polys().count(), 3);
+    }
+}

@@ -74,6 +74,20 @@ impl Ciphertext {
         (self.c0, self.c1)
     }
 
+    /// Copies another ciphertext's polynomials and noise into this one
+    /// without reallocating — the hot-path replacement for `clone` when a
+    /// reusable destination exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ (parameter sets are checked by the
+    /// evaluator entry points).
+    pub fn copy_from(&mut self, other: &Ciphertext) {
+        self.c0.copy_from(&other.c0);
+        self.c1.copy_from(&other.c1);
+        self.noise = other.noise;
+    }
+
     /// Parameter set.
     pub fn params(&self) -> &BfvParams {
         &self.params
@@ -134,7 +148,12 @@ mod tests {
 
     #[test]
     fn transparent_zero_has_no_noise() {
-        let params = BfvParams::builder().degree(1024).cipher_bits(27).plain_bits(16).build().unwrap();
+        let params = BfvParams::builder()
+            .degree(1024)
+            .cipher_bits(27)
+            .plain_bits(16)
+            .build()
+            .unwrap();
         let z = Ciphertext::transparent_zero(&params);
         assert_eq!(z.noise().bound_log2, f64::NEG_INFINITY);
         assert!(z.budget_bits().is_infinite());

@@ -335,7 +335,10 @@ mod tests {
         let mut enc_sk = Encryptor::from_secret_key(kg.secret_key().clone(), 9);
         let ct_pk = enc_pk.encrypt(&pt).unwrap();
         let ct_sk = enc_sk.encrypt(&pt).unwrap();
-        assert_eq!(encoder.decode(&dec.decrypt(&ct_sk).unwrap())[..3], [1, 2, 3]);
+        assert_eq!(
+            encoder.decode(&dec.decrypt(&ct_sk).unwrap())[..3],
+            [1, 2, 3]
+        );
         let noise_pk = dec.invariant_noise(&ct_pk).unwrap();
         let noise_sk = dec.invariant_noise(&ct_sk).unwrap();
         assert!(noise_sk <= noise_pk, "sk {noise_sk} vs pk {noise_pk}");

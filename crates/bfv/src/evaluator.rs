@@ -14,20 +14,50 @@
 //! (`l_ct + 1` NTTs total), then `2·l_ct` pointwise multiplications against
 //! the key-switch pairs — the exact counts HE-PTune charges (§IV-A).
 //!
-//! Operation counters ([`OpCounts`]) record how many of each kernel ran, so
-//! the profiling harness and the Table IV count model can be validated
+//! # The zero-allocation hot path
+//!
+//! Every operator comes in two forms:
+//!
+//! * an **in-place** form (`add_assign`, `sub_assign`, `negate_assign`,
+//!   `mul_plain_assign`, `mul_plain_accumulate`, `mul_scalar_assign`,
+//!   `add_plain_assign`, `apply_galois_into`, `rotate_rows_into`) that
+//!   mutates caller-owned ciphertexts and draws any temporaries from a
+//!   caller-owned [`Scratch`] pool — zero heap allocations at steady
+//!   state (proved by the counting-allocator test in `tests/zero_alloc.rs`);
+//! * the original **allocating** form, now a thin wrapper that clones the
+//!   input (or leases the evaluator's internal scratch pool) and delegates
+//!   to the in-place form, so both paths execute byte-identical kernels.
+//!
+//! The in-place family plus per-thread `Scratch` instances is what the
+//! thread-parallel linear layers in `cheetah-core` are built on.
+//!
+//! Operation counters ([`OpCounts`]) record how many of each kernel ran —
+//! atomically, so multi-threaded layer evaluation keeps exact accounting —
+//! and the profiling harness and the Table IV count model can be validated
 //! against the real engine.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::ciphertext::{Ciphertext, WindowedCiphertext};
 use crate::encoder::Plaintext;
 use crate::error::{Error, Result};
 use crate::keys::{element_for_step, GaloisKeys};
+use crate::noise::NoiseEstimate;
 use crate::params::BfvParams;
 use crate::poly::{Poly, Representation};
+use crate::scratch::Scratch;
 
 /// Running kernel-invocation counters (per evaluator).
+///
+/// Counters are updated atomically, so no invocation is ever lost under
+/// multi-threaded evaluation. `mul`, `rotate`, `ntt`, and `poly_mul` are
+/// structural — identical for any thread count. `add` reflects the
+/// accumulation *shape*: fused accumulators count one `HE_Add` per term
+/// (including the first, onto a transparent zero), and chunked parallel
+/// reduction adds one merge per extra chunk, so `add` can differ by
+/// `chunks − 1` between thread counts (pinned down by
+/// `crates/core/tests/parallel_equivalence.rs`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// `HE_Add` invocations (ct+ct or ct+pt).
@@ -83,6 +113,11 @@ impl PreparedPlaintext {
 
 /// The homomorphic evaluator.
 ///
+/// Shared-reference (`&Evaluator`) use is thread-safe: kernel counters are
+/// atomic and the internal scratch pool is mutex-guarded. For contention-free
+/// parallelism, give each worker thread its own [`Scratch`] and call the
+/// `*_assign` / `*_into` operations directly.
+///
 /// # Examples
 ///
 /// ```
@@ -108,23 +143,28 @@ impl PreparedPlaintext {
 #[derive(Debug)]
 pub struct Evaluator {
     params: BfvParams,
-    add_count: Cell<u64>,
-    mul_count: Cell<u64>,
-    rotate_count: Cell<u64>,
-    ntt_count: Cell<u64>,
-    poly_mul_count: Cell<u64>,
+    add_count: AtomicU64,
+    mul_count: AtomicU64,
+    rotate_count: AtomicU64,
+    ntt_count: AtomicU64,
+    poly_mul_count: AtomicU64,
+    /// Backs the allocating wrapper API; the in-place API takes a caller
+    /// scratch instead so worker threads never contend here.
+    scratch: Mutex<Scratch>,
 }
 
 impl Evaluator {
     /// Creates an evaluator for the parameter set.
     pub fn new(params: BfvParams) -> Self {
+        let n = params.degree();
         Self {
             params,
-            add_count: Cell::new(0),
-            mul_count: Cell::new(0),
-            rotate_count: Cell::new(0),
-            ntt_count: Cell::new(0),
-            poly_mul_count: Cell::new(0),
+            add_count: AtomicU64::new(0),
+            mul_count: AtomicU64::new(0),
+            rotate_count: AtomicU64::new(0),
+            ntt_count: AtomicU64::new(0),
+            poly_mul_count: AtomicU64::new(0),
+            scratch: Mutex::new(Scratch::new(n)),
         }
     }
 
@@ -133,25 +173,301 @@ impl Evaluator {
         &self.params
     }
 
+    /// A fresh scratch pool sized for this evaluator's parameters (one per
+    /// worker thread is the intended pattern).
+    pub fn new_scratch(&self) -> Scratch {
+        Scratch::new(self.params.degree())
+    }
+
     /// Snapshot of the kernel counters.
     pub fn op_counts(&self) -> OpCounts {
         OpCounts {
-            add: self.add_count.get(),
-            mul: self.mul_count.get(),
-            rotate: self.rotate_count.get(),
-            ntt: self.ntt_count.get(),
-            poly_mul: self.poly_mul_count.get(),
+            add: self.add_count.load(Ordering::Relaxed),
+            mul: self.mul_count.load(Ordering::Relaxed),
+            rotate: self.rotate_count.load(Ordering::Relaxed),
+            ntt: self.ntt_count.load(Ordering::Relaxed),
+            poly_mul: self.poly_mul_count.load(Ordering::Relaxed),
         }
     }
 
     /// Resets the kernel counters.
     pub fn reset_op_counts(&self) {
-        self.add_count.set(0);
-        self.mul_count.set(0);
-        self.rotate_count.set(0);
-        self.ntt_count.set(0);
-        self.poly_mul_count.set(0);
+        self.add_count.store(0, Ordering::Relaxed);
+        self.mul_count.store(0, Ordering::Relaxed);
+        self.rotate_count.store(0, Ordering::Relaxed);
+        self.ntt_count.store(0, Ordering::Relaxed);
+        self.poly_mul_count.store(0, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn count(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // In-place operations (the zero-allocation hot path)
+    // ------------------------------------------------------------------
+
+    /// `HE_Add` in place: `a += b` slot-wise. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(b.params())?;
+        let q = *self.params.cipher_modulus();
+        let noise = a.noise().add(b.noise());
+        {
+            let (c0, c1) = a.parts_mut();
+            c0.add_assign(b.c0(), &q)?;
+            c1.add_assign(b.c1(), &q)?;
+        }
+        a.set_noise(noise);
+        Self::count(&self.add_count, 1);
+        Ok(())
+    }
+
+    /// `a -= b` slot-wise, in place. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn sub_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(b.params())?;
+        let q = *self.params.cipher_modulus();
+        let noise = a.noise().add(b.noise());
+        {
+            let (c0, c1) = a.parts_mut();
+            c0.sub_assign(b.c0(), &q)?;
+            c1.sub_assign(b.c1(), &q)?;
+        }
+        a.set_noise(noise);
+        Self::count(&self.add_count, 1);
+        Ok(())
+    }
+
+    /// Slot-wise negation in place. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn negate_assign(&self, a: &mut Ciphertext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let (c0, c1) = a.parts_mut();
+        c0.negate(&q);
+        c1.negate(&q);
+        Ok(())
+    }
+
+    /// Adds a plaintext slot-wise in place: `a += Δ·pt`, lifting the
+    /// plaintext through a scratch polynomial. No allocation at steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign operands.
+    pub fn add_plain_assign(
+        &self,
+        a: &mut Ciphertext,
+        pt: &Plaintext,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(pt.params())?;
+        let q = *self.params.cipher_modulus();
+        let delta = self.params.delta() % q.value();
+        let mut dm = scratch.take_poly(Representation::Coeff);
+        for (dst, &m) in dm.data_mut().iter_mut().zip(pt.poly().data()) {
+            *dst = q.mul_mod(delta, m);
+        }
+        dm.to_eval(self.params.q_table());
+        Self::count(&self.ntt_count, 1);
+        let noise = a.noise().add_plain(pt.inf_norm());
+        let r = a.parts_mut().0.add_assign(&dm, &q);
+        scratch.put_poly(dm);
+        r?;
+        a.set_noise(noise);
+        Self::count(&self.add_count, 1);
+        Ok(())
+    }
+
+    /// `HE_Mult` (pt-ct) in place: `a ⊙= pt`. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn mul_plain_assign(&self, a: &mut Ciphertext, pt: &PreparedPlaintext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let noise = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
+        {
+            let (c0, c1) = a.parts_mut();
+            c0.mul_assign_pointwise(&pt.poly, &q)?;
+            c1.mul_assign_pointwise(&pt.poly, &q)?;
+        }
+        a.set_noise(noise);
+        Self::count(&self.mul_count, 1);
+        Self::count(&self.poly_mul_count, 2);
+        Ok(())
+    }
+
+    /// Fused multiply-accumulate: `acc += a ⊙ pt`, the inner loop of every
+    /// rotate-mul-accumulate linear layer. Equivalent to `mul_plain` +
+    /// `add` but with no intermediate ciphertext; counts one `HE_Mult`,
+    /// one `HE_Add`, and two pointwise multiplications. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn mul_plain_accumulate(
+        &self,
+        acc: &mut Ciphertext,
+        a: &Ciphertext,
+        pt: &PreparedPlaintext,
+    ) -> Result<()> {
+        self.params.check_same(acc.params())?;
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let term = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
+        let noise = acc.noise().add(&term);
+        {
+            let (c0, c1) = acc.parts_mut();
+            c0.fma_pointwise(a.c0(), &pt.poly, &q)?;
+            c1.fma_pointwise(a.c1(), &pt.poly, &q)?;
+        }
+        acc.set_noise(noise);
+        Self::count(&self.mul_count, 1);
+        Self::count(&self.add_count, 1);
+        Self::count(&self.poly_mul_count, 2);
+        Ok(())
+    }
+
+    /// Multiplies every slot by a scalar constant, in place. No allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    pub fn mul_scalar_assign(&self, a: &mut Ciphertext, c: u64) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let q = *self.params.cipher_modulus();
+        let t = self.params.plain_modulus();
+        let c_red = t.reduce(c);
+        let noise = a.noise().mul_plain(&self.params, 1, 2 * c_red.max(1));
+        {
+            let (c0, c1) = a.parts_mut();
+            c0.mul_scalar(c_red, &q);
+            c1.mul_scalar(c_red, &q);
+        }
+        a.set_noise(noise);
+        Ok(())
+    }
+
+    /// Applies the Galois automorphism `x ↦ x^g` + key switching, writing
+    /// into `out` and drawing all temporaries (the permuted `c1`, the
+    /// `l_ct` decomposition digits) from `scratch`. Zero allocations at
+    /// steady state.
+    ///
+    /// This is the full Lane datapath of Fig. 9c: permutation (free),
+    /// INTT(c1), `l_ct`-digit decomposition, `l_ct` NTTs, `2·l_ct`
+    /// pointwise multiply-accumulates, composition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingGaloisKey`] or [`Error::ParameterMismatch`].
+    pub fn apply_galois_into(
+        &self,
+        out: &mut Ciphertext,
+        a: &Ciphertext,
+        g: u64,
+        keys: &GaloisKeys,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(out.params())?;
+        let key = keys.get(g)?;
+
+        // The permuted c1 lives in a leased scratch buffer; run the key
+        // switch in a helper so every error path returns the lease to the
+        // pool before propagating.
+        let mut c1_g = scratch.take_poly(Representation::Eval);
+        let switched = self.galois_key_switch(out, a, key, &mut c1_g, scratch);
+        scratch.put_poly(c1_g);
+        switched?;
+
+        let l_ct = self.params.l_ct() as u64;
+        Self::count(&self.ntt_count, l_ct + 1);
+        Self::count(&self.poly_mul_count, 2 * l_ct);
+        Self::count(&self.rotate_count, 1);
+        out.set_noise(a.noise().rotate(&self.params));
+        Ok(())
+    }
+
+    /// The Lane datapath body of [`Evaluator::apply_galois_into`]:
+    /// permute, INTT, decompose, key-switch multiply-accumulate.
+    fn galois_key_switch(
+        &self,
+        out: &mut Ciphertext,
+        a: &Ciphertext,
+        key: &crate::keys::GaloisKey,
+        c1_g: &mut Poly,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        let q = *self.params.cipher_modulus();
+        let table = self.params.q_table();
+        let perm = key.permutation();
+
+        // 1. Permute both components in the evaluation domain (Swap
+        //    stage): c0 straight into the output, c1 into scratch for
+        //    decomposition (permute_from also stamps the Eval tag).
+        c1_g.permute_from(a.c1(), perm);
+        let (oc0, oc1) = out.parts_mut();
+        oc0.permute_from(a.c0(), perm);
+        // 2. INTT c1 for decomposition.
+        c1_g.to_coeff(table);
+        // 3. Decompose into l_ct digits (base A_dcmp).
+        let digits = scratch.digits_mut(self.params.l_ct());
+        c1_g.decompose_into(self.params.a_dcmp(), &q, digits)?;
+        // 4. NTT each digit; multiply-accumulate against the key pairs.
+        oc1.fill_zero();
+        oc1.set_representation(Representation::Eval);
+        for (digit, (k0, k1)) in digits.iter_mut().zip(key.pairs()) {
+            digit.to_eval(table);
+            oc0.fma_pointwise(digit, k0, &q)?;
+            oc1.fma_pointwise(digit, k1, &q)?;
+        }
+        Ok(())
+    }
+
+    /// `HE_Rotate` into a caller-owned output ciphertext (`steps == 0`
+    /// degenerates to a copy). Zero allocations at steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::rotate_rows`].
+    pub fn rotate_rows_into(
+        &self,
+        out: &mut Ciphertext,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &GaloisKeys,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        if steps == 0 {
+            self.params.check_same(a.params())?;
+            self.params.check_same(out.params())?;
+            out.copy_from(a);
+            return Ok(());
+        }
+        let g = element_for_step(self.params.degree(), steps)?;
+        self.apply_galois_into(out, a, g, keys, scratch)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocating wrappers (original API, delegating to the hot path)
+    // ------------------------------------------------------------------
 
     /// `HE_Add`: slot-wise ciphertext addition.
     ///
@@ -159,17 +475,8 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        self.params.check_same(b.params())?;
-        let q = *self.params.cipher_modulus();
         let mut out = a.clone();
-        {
-            let (c0, c1) = out.parts_mut();
-            c0.add_assign(b.c0(), &q)?;
-            c1.add_assign(b.c1(), &q)?;
-        }
-        out.set_noise(a.noise().add(b.noise()));
-        self.add_count.set(self.add_count.get() + 1);
+        self.add_assign(&mut out, b)?;
         Ok(out)
     }
 
@@ -179,17 +486,8 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        self.params.check_same(b.params())?;
-        let q = *self.params.cipher_modulus();
         let mut out = a.clone();
-        {
-            let (c0, c1) = out.parts_mut();
-            c0.sub_assign(b.c0(), &q)?;
-            c1.sub_assign(b.c1(), &q)?;
-        }
-        out.set_noise(a.noise().add(b.noise()));
-        self.add_count.set(self.add_count.get() + 1);
+        self.sub_assign(&mut out, b)?;
         Ok(out)
     }
 
@@ -199,14 +497,8 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
         let mut out = a.clone();
-        {
-            let (c0, c1) = out.parts_mut();
-            c0.negate(&q);
-            c1.negate(&q);
-        }
+        self.negate_assign(&mut out)?;
         Ok(out)
     }
 
@@ -216,23 +508,9 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign operands.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        self.params.check_same(pt.params())?;
-        let q = *self.params.cipher_modulus();
-        let delta = self.params.delta() % q.value();
-        let scaled: Vec<u64> = pt
-            .poly()
-            .data()
-            .iter()
-            .map(|&m| q.mul_mod(delta, m))
-            .collect();
-        let mut dm = Poly::from_data(scaled, Representation::Coeff);
-        dm.to_eval(self.params.q_table());
-        self.ntt_count.set(self.ntt_count.get() + 1);
         let mut out = a.clone();
-        out.parts_mut().0.add_assign(&dm, &q)?;
-        out.set_noise(a.noise().add_plain(pt.inf_norm()));
-        self.add_count.set(self.add_count.get() + 1);
+        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        self.add_plain_assign(&mut out, pt, &mut scratch)?;
         Ok(out)
     }
 
@@ -255,7 +533,7 @@ impl Evaluator {
             .collect();
         let mut poly = Poly::from_data(lifted, Representation::Coeff);
         poly.to_eval(self.params.q_table());
-        self.ntt_count.set(self.ntt_count.get() + 1);
+        Self::count(&self.ntt_count, 1);
         Ok(PreparedPlaintext { poly, inf_norm })
     }
 
@@ -268,17 +546,8 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &PreparedPlaintext) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
         let mut out = a.clone();
-        {
-            let (c0, c1) = out.parts_mut();
-            c0.mul_assign_pointwise(&pt.poly, &q)?;
-            c1.mul_assign_pointwise(&pt.poly, &q)?;
-        }
-        out.set_noise(a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm));
-        self.mul_count.set(self.mul_count.get() + 1);
-        self.poly_mul_count.set(self.poly_mul_count.get() + 2);
+        self.mul_plain_assign(&mut out, pt)?;
         Ok(out)
     }
 
@@ -295,8 +564,10 @@ impl Evaluator {
     /// `HE_Mult` with plaintext decomposition (Gazelle windowing): the
     /// weight plaintext is digit-decomposed in base `W_dcmp` and each digit
     /// multiplies the matching pre-scaled ciphertext from the client's
-    /// [`WindowedCiphertext`]. Costs `l_pt` polynomial multiplications;
-    /// noise grows by `≈ n·l_pt·W/2` instead of `n·t/2` (Table III).
+    /// [`WindowedCiphertext`], fused-accumulated into a single output
+    /// ciphertext through the scratch pool. Costs `l_pt` polynomial
+    /// multiplications; noise grows by `≈ n·l_pt·W/2` instead of `n·t/2`
+    /// (Table III).
     ///
     /// # Errors
     ///
@@ -311,42 +582,38 @@ impl Evaluator {
         if wct.base != self.params.w_dcmp() || wct.levels() != self.params.l_pt() {
             return Err(Error::ParameterMismatch);
         }
+        for ct in &wct.cts {
+            self.params.check_same(ct.params())?;
+        }
         let t = *self.params.plain_modulus();
         let q = *self.params.cipher_modulus();
-        let digits = pt.poly().decompose(wct.base, &t)?;
-        let mut acc: Option<Ciphertext> = None;
-        for (digit, ct) in digits.iter().zip(&wct.cts) {
-            self.params.check_same(ct.params())?;
-            // Digit coefficients are already < W <= t <= q: lift directly.
-            let mut dpoly = Poly::from_data(digit.data().to_vec(), Representation::Coeff);
-            dpoly.to_eval(self.params.q_table());
-            self.ntt_count.set(self.ntt_count.get() + 1);
-            let mut term = ct.clone();
-            {
-                let (c0, c1) = term.parts_mut();
-                c0.mul_assign_pointwise(&dpoly, &q)?;
-                c1.mul_assign_pointwise(&dpoly, &q)?;
+        let l_pt = wct.levels();
+
+        let mut out = Ciphertext::transparent_zero(&self.params);
+        let mut noise: Option<NoiseEstimate> = None;
+        {
+            let mut guard = self.scratch.lock().expect("scratch mutex poisoned");
+            let digits = guard.digits_mut(l_pt);
+            pt.poly().decompose_into(wct.base, &t, digits)?;
+            let (oc0, oc1) = out.parts_mut();
+            for (digit, ct) in digits.iter_mut().zip(&wct.cts) {
+                // Digit coefficients are already < W <= t <= q: lift
+                // directly into the evaluation domain.
+                digit.to_eval(self.params.q_table());
+                Self::count(&self.ntt_count, 1);
+                oc0.fma_pointwise(ct.c0(), digit, &q)?;
+                oc1.fma_pointwise(ct.c1(), digit, &q)?;
+                Self::count(&self.poly_mul_count, 2);
+                let term = ct.noise().mul_plain(&self.params, 1, wct.base);
+                noise = Some(match noise {
+                    None => term,
+                    Some(prev) => prev.add(&term),
+                });
             }
-            term.set_noise(ct.noise().mul_plain(&self.params, 1, wct.base));
-            self.poly_mul_count.set(self.poly_mul_count.get() + 2);
-            acc = Some(match acc {
-                None => term,
-                Some(prev) => {
-                    let q2 = q;
-                    let mut merged = prev;
-                    {
-                        let (c0, c1) = merged.parts_mut();
-                        c0.add_assign(term.c0(), &q2)?;
-                        c1.add_assign(term.c1(), &q2)?;
-                    }
-                    let noise = merged.noise().add(term.noise());
-                    merged.set_noise(noise);
-                    merged
-                }
-            });
         }
-        self.mul_count.set(self.mul_count.get() + wct.levels() as u64);
-        Ok(acc.expect("l_pt >= 1"))
+        Self::count(&self.mul_count, l_pt as u64);
+        out.set_noise(noise.expect("l_pt >= 1"));
+        Ok(out)
     }
 
     /// Multiplies every slot by a scalar constant.
@@ -355,17 +622,8 @@ impl Evaluator {
     ///
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn mul_scalar(&self, a: &Ciphertext, c: u64) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
-        let t = self.params.plain_modulus();
-        let c_red = t.reduce(c);
         let mut out = a.clone();
-        {
-            let (c0, c1) = out.parts_mut();
-            c0.mul_scalar(c_red, &q);
-            c1.mul_scalar(c_red, &q);
-        }
-        out.set_noise(a.noise().mul_plain(&self.params, 1, 2 * c_red.max(1)));
+        self.mul_scalar_assign(&mut out, c)?;
         Ok(out)
     }
 
@@ -376,12 +634,7 @@ impl Evaluator {
     /// [`Error::InvalidRotation`] for bad steps,
     /// [`Error::MissingGaloisKey`] if the key set lacks the element,
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
-    pub fn rotate_rows(
-        &self,
-        a: &Ciphertext,
-        steps: i64,
-        keys: &GaloisKeys,
-    ) -> Result<Ciphertext> {
+    pub fn rotate_rows(&self, a: &Ciphertext, steps: i64, keys: &GaloisKeys) -> Result<Ciphertext> {
         if steps == 0 {
             return Ok(a.clone());
         }
@@ -401,59 +654,19 @@ impl Evaluator {
 
     /// Applies the Galois automorphism `x ↦ x^g` followed by key switching.
     ///
-    /// This is the full Lane datapath of Fig. 9c: permutation (free),
-    /// INTT(c1), `l_ct`-digit decomposition, `l_ct` NTTs, `2·l_ct` pointwise
-    /// multiply-accumulates, composition.
-    ///
     /// # Errors
     ///
     /// [`Error::MissingGaloisKey`] or [`Error::ParameterMismatch`].
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, keys: &GaloisKeys) -> Result<Ciphertext> {
-        self.params.check_same(a.params())?;
-        let key = keys.get(g)?;
-        let q = *self.params.cipher_modulus();
-        let table = self.params.q_table();
-
-        // 1. Permute both components in the evaluation domain (Swap stage).
-        let perm = key.permutation();
-        let permute = |p: &Poly| -> Poly {
-            let d = p.data();
-            Poly::from_data(
-                perm.iter().map(|&i| d[i as usize]).collect(),
-                Representation::Eval,
-            )
-        };
-        let c0_g = permute(a.c0());
-        let mut c1_g = permute(a.c1());
-
-        // 2. INTT c1 for decomposition.
-        c1_g.to_coeff(table);
-        self.ntt_count.set(self.ntt_count.get() + 1);
-
-        // 3. Decompose into l_ct digits (base A_dcmp).
-        let digits = c1_g.decompose(self.params.a_dcmp(), &q)?;
-
-        // 4. NTT each digit; multiply-accumulate against the key pairs.
-        let mut c0_new = c0_g;
-        let mut c1_new = Poly::zero(self.params.degree(), Representation::Eval);
-        for (digit, (k0, k1)) in digits.into_iter().zip(key.pairs()) {
-            let mut d = digit;
-            d.to_eval(table);
-            self.ntt_count.set(self.ntt_count.get() + 1);
-            c0_new.fma_pointwise(&d, k0, &q)?;
-            c1_new.fma_pointwise(&d, k1, &q)?;
-            self.poly_mul_count.set(self.poly_mul_count.get() + 2);
-        }
-
-        let noise = a.noise().rotate(&self.params);
-        self.rotate_count.set(self.rotate_count.get() + 1);
-        let mut out = Ciphertext::new(c0_new, c1_new, self.params.clone(), noise);
-        out.set_noise(noise);
+        let mut out = Ciphertext::transparent_zero(&self.params);
+        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        self.apply_galois_into(&mut out, a, g, keys, &mut scratch)?;
         Ok(out)
     }
 
     /// Rotates by an arbitrary step using only power-of-two keys,
-    /// decomposing the step into a sum of powers (≤ log2(n/2) rotations).
+    /// decomposing the step into a sum of powers (≤ log2(n/2) rotations),
+    /// ping-ponging between two ciphertext buffers on the scratch path.
     /// Costs more noise than a single keyed rotation — used when key
     /// storage is constrained.
     ///
@@ -471,19 +684,21 @@ impl Evaluator {
         if remaining == 0 {
             return Ok(a.clone());
         }
-        let mut out = a.clone();
+        let mut cur = a.clone();
+        let mut tmp = Ciphertext::transparent_zero(&self.params);
+        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
         let mut bit = 1i64;
         while remaining > 0 {
             if remaining & 1 == 1 {
-                out = self.rotate_rows(&out, bit, keys)?;
+                self.rotate_rows_into(&mut tmp, &cur, bit, keys, &mut scratch)?;
+                std::mem::swap(&mut cur, &mut tmp);
             }
             remaining >>= 1;
             bit <<= 1;
         }
-        Ok(out)
+        Ok(cur)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,7 +779,10 @@ mod tests {
         let a: Vec<u64> = (1..=50).collect();
         let w: Vec<u64> = (1..=50).map(|i| 2 * i).collect();
         let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
-        let pw = c.eval.prepare_plaintext(&c.encoder.encode(&w).unwrap()).unwrap();
+        let pw = c
+            .eval
+            .prepare_plaintext(&c.encoder.encode(&w).unwrap())
+            .unwrap();
         let prod = c.eval.mul_plain(&ca, &pw).unwrap();
         let out = c.encoder.decode(&c.dec.decrypt_checked(&prod).unwrap());
         for i in 0..50 {
@@ -580,13 +798,18 @@ mod tests {
         let mut c = ctx(2048, &[]);
         let a: Vec<i64> = vec![3, -4, 5];
         let w: Vec<i64> = vec![-2, -3, 7];
-        let ca = c.enc.encrypt(&c.encoder.encode_signed(&a).unwrap()).unwrap();
+        let ca = c
+            .enc
+            .encrypt(&c.encoder.encode_signed(&a).unwrap())
+            .unwrap();
         let pw = c
             .eval
             .prepare_plaintext(&c.encoder.encode_signed(&w).unwrap())
             .unwrap();
         let prod = c.eval.mul_plain(&ca, &pw).unwrap();
-        let out = c.encoder.decode_signed(&c.dec.decrypt_checked(&prod).unwrap());
+        let out = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&prod).unwrap());
         assert_eq!(&out[..3], &[-6, 12, 35]);
     }
 
@@ -669,7 +892,9 @@ mod tests {
         let d2 = c.encoder.decode(&c.dec.decrypt_checked(&composed).unwrap());
         assert_eq!(d1, d2);
         // Composition uses more rotations => more noise.
-        assert!(c.dec.invariant_noise(&composed).unwrap() >= c.dec.invariant_noise(&direct).unwrap());
+        assert!(
+            c.dec.invariant_noise(&composed).unwrap() >= c.dec.invariant_noise(&direct).unwrap()
+        );
     }
 
     #[test]

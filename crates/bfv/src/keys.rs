@@ -200,9 +200,7 @@ impl KeyGenerator {
     pub fn public_key(&mut self) -> Result<PublicKey> {
         let q = *self.params.cipher_modulus();
         let n = self.params.degree();
-        let a = self
-            .rng
-            .uniform_poly(n, &q, Representation::Eval);
+        let a = self.rng.uniform_poly(n, &q, Representation::Eval);
         let mut e = self.rng.noise_poly(n, &q);
         e.to_eval(self.params.q_table());
         // pk0 = -(a*s + e)

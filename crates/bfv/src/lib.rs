@@ -44,6 +44,7 @@
 //! ```
 
 pub mod arith;
+pub mod batch;
 pub mod ciphertext;
 pub mod encoder;
 pub mod encryptor;
@@ -55,7 +56,9 @@ pub mod ntt;
 pub mod params;
 pub mod poly;
 pub mod sampling;
+pub mod scratch;
 
+pub use batch::PolyBatch;
 pub use ciphertext::{Ciphertext, WindowedCiphertext};
 pub use encoder::{BatchEncoder, Plaintext};
 pub use encryptor::{Decryptor, Encryptor};
@@ -64,3 +67,4 @@ pub use evaluator::{Evaluator, OpCounts, PreparedPlaintext};
 pub use keys::{GaloisKey, GaloisKeys, KeyGenerator, PublicKey, SecretKey};
 pub use noise::NoiseEstimate;
 pub use params::{BfvParams, BfvParamsBuilder, SecurityLevel};
+pub use scratch::Scratch;

@@ -149,7 +149,12 @@ mod tests {
     use super::*;
 
     fn params() -> BfvParams {
-        BfvParams::builder().degree(4096).cipher_bits(60).plain_bits(17).build().unwrap()
+        BfvParams::builder()
+            .degree(4096)
+            .cipher_bits(60)
+            .plain_bits(17)
+            .build()
+            .unwrap()
     }
 
     #[test]

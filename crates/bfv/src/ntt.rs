@@ -62,7 +62,10 @@ impl NttTable {
     /// Returns an error if `q` admits no primitive `2n`-th root of unity or
     /// if `n` is not invertible mod `q`.
     pub fn new(n: usize, q: Modulus) -> Result<Self> {
-        assert!(n.is_power_of_two() && n >= 8, "degree must be a power of two >= 8");
+        assert!(
+            n.is_power_of_two() && n >= 8,
+            "degree must be a power of two >= 8"
+        );
         let log_n = n.trailing_zeros();
         let psi = primitive_root_2n(&q, n)?;
         let psi_inv = q.inv_mod(psi)?;
@@ -204,8 +207,16 @@ impl NttTable {
             m = h;
         }
         for x in a.iter_mut() {
-            let v = self.n_inv.mul(if *x >= two_q { *x - two_q } else { *x } % q, &self.q);
-            *x = v;
+            // Lazy butterflies leave values < 2q; two conditional
+            // subtractions replace the old hardware division (`% q`).
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = self.n_inv.mul(v, &self.q);
         }
     }
 
@@ -296,7 +307,9 @@ mod tests {
     fn roundtrip_identity() {
         let t = table(64, 30);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let a: Vec<u64> = (0..64).map(|_| rng.random_range(0..t.modulus().value())).collect();
+        let a: Vec<u64> = (0..64)
+            .map(|_| rng.random_range(0..t.modulus().value()))
+            .collect();
         let mut b = a.clone();
         t.forward(&mut b);
         t.inverse(&mut b);
@@ -307,7 +320,9 @@ mod tests {
     fn roundtrip_large_degree_and_modulus() {
         let t = table(4096, 60);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let a: Vec<u64> = (0..4096).map(|_| rng.random_range(0..t.modulus().value())).collect();
+        let a: Vec<u64> = (0..4096)
+            .map(|_| rng.random_range(0..t.modulus().value()))
+            .collect();
         let mut b = a.clone();
         t.forward(&mut b);
         assert_ne!(a, b, "transform should not be identity");
@@ -363,14 +378,14 @@ mod tests {
         let a: Vec<u64> = (0..16).map(|_| rng.random_range(0..q.value())).collect();
         let mut f = a.clone();
         t.forward(&mut f);
-        for j in 0..16 {
+        for (j, &fj) in f.iter().enumerate() {
             let e = 2 * bit_reverse(j, t.log_degree()) as u64 + 1;
             let point = q.pow_mod(t.psi(), e);
             let mut eval = 0u64;
             for &c in a.iter().rev() {
                 eval = q.add_mod(q.mul_mod(eval, point), c);
             }
-            assert_eq!(f[j], eval, "slot {j}");
+            assert_eq!(fj, eval, "slot {j}");
         }
     }
 

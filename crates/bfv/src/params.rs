@@ -413,7 +413,10 @@ mod tests {
         assert_eq!(p.plain_modulus().bits(), 17);
         assert_eq!(p.plain_modulus().value() % (2 * 4096), 1);
         assert_eq!(p.cipher_modulus().value() % (2 * 4096), 1);
-        assert_eq!(p.delta(), p.cipher_modulus().value() / p.plain_modulus().value());
+        assert_eq!(
+            p.delta(),
+            p.cipher_modulus().value() / p.plain_modulus().value()
+        );
     }
 
     #[test]
@@ -484,7 +487,11 @@ mod tests {
         let a = BfvParams::builder().build().unwrap();
         let b = BfvParams::builder().build().unwrap();
         assert_eq!(a, b);
-        let c = BfvParams::builder().degree(8192).cipher_bits(60).build().unwrap();
+        let c = BfvParams::builder()
+            .degree(8192)
+            .cipher_bits(60)
+            .build()
+            .unwrap();
         assert_ne!(a, c);
         assert!(a.check_same(&b).is_ok());
         assert!(a.check_same(&c).is_err());

@@ -100,6 +100,48 @@ impl Poly {
         self.data
     }
 
+    /// Overwrites the representation tag without touching the residues.
+    ///
+    /// This is the escape hatch the scratch-reuse hot path needs to recycle
+    /// a buffer across domains; callers must ensure the data actually is in
+    /// the claimed representation, exactly as with [`Poly::from_data`].
+    #[inline]
+    pub fn set_representation(&mut self, repr: Representation) {
+        self.repr = repr;
+    }
+
+    /// Copies residues and representation from `other` without reallocating
+    /// (the derived `Clone` cannot reuse the destination buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn copy_from(&mut self, other: &Poly) {
+        self.data.copy_from_slice(&other.data);
+        self.repr = other.repr;
+    }
+
+    /// Fills `self` with the permutation `self[j] = src[perm[j]]` — the
+    /// evaluation-domain Galois automorphism — reusing this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn permute_from(&mut self, src: &Poly, perm: &[u32]) {
+        assert_eq!(self.data.len(), src.data.len());
+        assert_eq!(perm.len(), src.data.len());
+        let s = &src.data;
+        for (dst, &i) in self.data.iter_mut().zip(perm) {
+            *dst = s[i as usize];
+        }
+        self.repr = src.repr;
+    }
+
+    /// Zeroes every residue in place, keeping the representation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0);
+    }
+
     /// Checks the representation, erroring otherwise.
     pub fn expect_repr(&self, expected: Representation) -> Result<()> {
         if self.repr != expected {
@@ -226,15 +268,35 @@ impl Poly {
     /// Returns [`Error::WrongRepresentation`] if not in coefficient form, or
     /// [`Error::InvalidDecompositionBase`] for a bad base.
     pub fn decompose(&self, base: u64, q: &Modulus) -> Result<Vec<Poly>> {
+        let levels = decomposition_levels_checked(q.value(), base)?;
+        let mut digits = vec![Poly::zero(self.len(), Representation::Coeff); levels];
+        self.decompose_into(base, q, &mut digits)?;
+        Ok(digits)
+    }
+
+    /// Allocation-free variant of [`Poly::decompose`]: writes the digit
+    /// polynomials into `digits`, which must hold exactly
+    /// [`decomposition_levels`]`(q, base)` polynomials of matching length.
+    /// Digit buffers are fully overwritten (representation included), so
+    /// they may be dirty scratch from a previous operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongRepresentation`] if `self` is not in
+    /// coefficient form, [`Error::InvalidDecompositionBase`] for a bad
+    /// base, and [`Error::ParameterMismatch`] if `digits` has the wrong
+    /// shape.
+    pub fn decompose_into(&self, base: u64, q: &Modulus, digits: &mut [Poly]) -> Result<()> {
         self.expect_repr(Representation::Coeff)?;
-        if base < 2 || !base.is_power_of_two() {
-            return Err(Error::InvalidDecompositionBase(base));
+        let levels = decomposition_levels_checked(q.value(), base)?;
+        if digits.len() != levels || digits.iter().any(|d| d.len() != self.len()) {
+            return Err(Error::ParameterMismatch);
         }
-        let levels = decomposition_levels(q.value(), base);
         let log_base = base.trailing_zeros();
         let mask = base - 1;
-        let mut digits =
-            vec![Poly::zero(self.len(), Representation::Coeff); levels];
+        for digit in digits.iter_mut() {
+            digit.repr = Representation::Coeff;
+        }
         for (i, &c) in self.data.iter().enumerate() {
             let mut rem = c;
             for digit in digits.iter_mut() {
@@ -243,7 +305,7 @@ impl Poly {
             }
             debug_assert_eq!(rem, 0, "coefficient exceeded base^levels");
         }
-        Ok(digits)
+        Ok(())
     }
 
     /// Recomposes digit polynomials: `Σ_i base^i · digits[i] mod q`.
@@ -289,6 +351,15 @@ pub fn decomposition_levels(q: u64, base: u64) -> usize {
     let q_bits = 64 - q.leading_zeros();
     let b_bits = base.trailing_zeros();
     q_bits.div_ceil(b_bits) as usize
+}
+
+/// [`decomposition_levels`] with the base validated as an error instead of
+/// a panic (shared by the decompose entry points).
+fn decomposition_levels_checked(q: u64, base: u64) -> Result<usize> {
+    if base < 2 || !base.is_power_of_two() {
+        return Err(Error::InvalidDecompositionBase(base));
+    }
+    Ok(decomposition_levels(q, base))
 }
 
 #[cfg(test)]
@@ -356,7 +427,10 @@ mod tests {
             let digits = a.decompose(base, &q).unwrap();
             assert_eq!(digits.len(), decomposition_levels(q.value(), base));
             for d in &digits {
-                assert!(d.data().iter().all(|&v| v < base), "digit bound base={base}");
+                assert!(
+                    d.data().iter().all(|&v| v < base),
+                    "digit bound base={base}"
+                );
             }
             let back = Poly::recompose(&digits, base, &q).unwrap();
             assert_eq!(back, a, "base {base}");

@@ -57,7 +57,9 @@ impl BfvRng {
     /// Samples a uniform polynomial over `[0, q)` in the given
     /// representation (uniform residues are uniform in either domain).
     pub fn uniform_poly(&mut self, n: usize, q: &Modulus, repr: Representation) -> Poly {
-        let data = (0..n).map(|_| self.rng.random_range(0..q.value())).collect();
+        let data = (0..n)
+            .map(|_| self.rng.random_range(0..q.value()))
+            .collect();
         Poly::from_data(data, repr)
     }
 
@@ -81,7 +83,11 @@ impl BfvRng {
         let mut remaining = k;
         while remaining > 0 {
             let chunk = remaining.min(32);
-            let mask = if chunk == 32 { u32::MAX } else { (1u32 << chunk) - 1 };
+            let mask = if chunk == 32 {
+                u32::MAX
+            } else {
+                (1u32 << chunk) - 1
+            };
             let a = (self.rng.next_u32() & mask).count_ones() as i64;
             let b = (self.rng.next_u32() & mask).count_ones() as i64;
             acc += a - b;

@@ -1,0 +1,120 @@
+//! Reusable scratch memory for the evaluator hot path.
+//!
+//! Every allocating seed-era evaluator operation cloned one or two full
+//! degree-`n` polynomials per call; at Cheetah parameters (`n = 4096`,
+//! 60-bit `q`) that is 64 KiB of fresh heap per `HE_Add`. A [`Scratch`]
+//! owns a small pool of degree-`n` buffers plus a persistent set of digit
+//! polynomials for the key-switch decomposition, so the in-place operation
+//! family (`Evaluator::add_assign`, `Evaluator::mul_plain_assign`,
+//! `Evaluator::apply_galois_into`, …) performs **zero heap allocations
+//! after warmup** — verified by the counting-allocator test in
+//! `crates/bfv/tests/zero_alloc.rs`.
+//!
+//! Threading model: a `Scratch` is deliberately *not* shared. Each worker
+//! thread owns one (they are cheap once warm), which is how the parallel
+//! linear layers in `cheetah-core` scale without lock contention. The
+//! [`crate::Evaluator`] also keeps one internal pool behind a mutex to
+//! back the legacy allocating API.
+
+use crate::poly::{Poly, Representation};
+
+/// A pool of reusable degree-`n` polynomial buffers.
+///
+/// `take_poly`/`put_poly` lease buffers in LIFO order; `digits_mut` exposes
+/// a persistent slice of digit polynomials for base decompositions. All
+/// buffers keep their capacity across uses, so steady-state operation
+/// never touches the allocator.
+#[derive(Debug)]
+pub struct Scratch {
+    n: usize,
+    free: Vec<Vec<u64>>,
+    digits: Vec<Poly>,
+}
+
+impl Scratch {
+    /// Creates an empty pool for degree-`n` polynomials. Buffers are
+    /// allocated lazily on first use and reused afterwards.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            free: Vec::new(),
+            digits: Vec::new(),
+        }
+    }
+
+    /// Polynomial degree this pool serves.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Leases a polynomial with arbitrary (dirty) contents in the given
+    /// representation. Return it with [`Scratch::put_poly`] when done.
+    pub fn take_poly(&mut self, repr: Representation) -> Poly {
+        let buf = self.free.pop().unwrap_or_else(|| vec![0; self.n]);
+        debug_assert_eq!(buf.len(), self.n);
+        Poly::from_data(buf, repr)
+    }
+
+    /// Returns a leased polynomial's buffer to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial's length does not match the pool degree.
+    pub fn put_poly(&mut self, poly: Poly) {
+        let buf = poly.into_data();
+        assert_eq!(buf.len(), self.n, "foreign buffer returned to scratch");
+        self.free.push(buf);
+    }
+
+    /// A persistent slice of `count` digit polynomials (coefficient form,
+    /// contents dirty). Grown on first use, reused afterwards; the borrow
+    /// ends before any other pool method is needed again.
+    pub fn digits_mut(&mut self, count: usize) -> &mut [Poly] {
+        while self.digits.len() < count {
+            self.digits.push(Poly::zero(self.n, Representation::Coeff));
+        }
+        &mut self.digits[..count]
+    }
+
+    /// Number of pooled free buffers (diagnostic).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_and_return_reuses_buffers() {
+        let mut s = Scratch::new(16);
+        let a = s.take_poly(Representation::Coeff);
+        let ptr = a.data().as_ptr();
+        s.put_poly(a);
+        assert_eq!(s.pooled(), 1);
+        let b = s.take_poly(Representation::Eval);
+        assert_eq!(b.data().as_ptr(), ptr, "buffer must be recycled");
+        assert_eq!(b.representation(), Representation::Eval);
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn digits_grow_once_and_persist() {
+        let mut s = Scratch::new(8);
+        let d = s.digits_mut(3);
+        assert_eq!(d.len(), 3);
+        d[0].data_mut()[0] = 7;
+        let d2 = s.digits_mut(2);
+        assert_eq!(d2[0].data()[0], 7, "digit storage persists");
+        assert_eq!(s.digits_mut(3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign buffer")]
+    fn rejects_foreign_buffer() {
+        let mut s = Scratch::new(8);
+        s.put_poly(Poly::zero(4, Representation::Coeff));
+    }
+}

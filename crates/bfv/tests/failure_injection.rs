@@ -50,7 +50,10 @@ fn noise_exhaustion_is_detected_and_real() {
         let budget = dec.invariant_noise_budget(&ct).unwrap();
         let out = encoder.decode(&dec.decrypt(&ct).unwrap());
         if budget >= 2.0 {
-            assert_eq!(out[0], expected, "round {round}: budget {budget:.1}b but wrong value");
+            assert_eq!(
+                out[0], expected,
+                "round {round}: budget {budget:.1}b but wrong value"
+            );
         } else if out[0] != expected {
             failed = true;
             assert!(
@@ -116,7 +119,10 @@ fn security_enforcement_blocks_legacy_parameters() {
         .cipher_bits(60)
         .build()
         .unwrap_err();
-    assert!(matches!(err, Error::InsecureParameters { max_log_q: 54, .. }));
+    assert!(matches!(
+        err,
+        Error::InsecureParameters { max_log_q: 54, .. }
+    ));
 }
 
 #[test]

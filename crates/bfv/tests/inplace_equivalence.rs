@@ -1,0 +1,192 @@
+//! Equivalence properties for the zero-allocation hot path:
+//!
+//! * every in-place evaluator operation must be **bit-identical** to an
+//!   independent reference built from the (unchanged, seed-era) `Poly`
+//!   primitives;
+//! * reusing a dirty [`Scratch`] across operations must never change a
+//!   result;
+//! * the contiguous [`PolyBatch`] NTT must be bit-identical across thread
+//!   counts and against the per-polynomial `NttTable` path.
+
+use cheetah_bfv::arith::{generate_ntt_prime, Modulus};
+use cheetah_bfv::batch::PolyBatch;
+use cheetah_bfv::ntt::NttTable;
+use cheetah_bfv::poly::Representation;
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    Scratch,
+};
+use proptest::prelude::*;
+
+struct Ctx {
+    params: BfvParams,
+    encoder: BatchEncoder,
+    enc: Encryptor,
+    dec: Decryptor,
+    eval: Evaluator,
+    keys: GaloisKeys,
+}
+
+fn ctx(seed: u64) -> Ctx {
+    let params = BfvParams::builder()
+        .degree(2048)
+        .plain_bits(16)
+        .cipher_bits(54)
+        .a_dcmp(1 << 16)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), seed);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&[1, 2, 3]).unwrap();
+    Ctx {
+        params: params.clone(),
+        encoder: BatchEncoder::new(params.clone()),
+        enc: Encryptor::from_public_key(pk, seed ^ 0x5eed),
+        dec: Decryptor::new(kg.secret_key().clone()),
+        eval: Evaluator::new(params),
+        keys,
+    }
+}
+
+/// Strict bit-equality on the ciphertext polynomials.
+fn assert_polys_eq(a: &Ciphertext, b: &Ciphertext) {
+    assert_eq!(a.c0().data(), b.c0().data(), "c0 residues differ");
+    assert_eq!(a.c1().data(), b.c1().data(), "c1 residues differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn add_assign_matches_poly_reference(
+        seed in any::<u64>(),
+        a in proptest::collection::vec(0u64..65536, 8),
+        b in proptest::collection::vec(0u64..65536, 8),
+    ) {
+        let mut c = ctx(seed);
+        let q = *c.params.cipher_modulus();
+        let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
+        let cb = c.enc.encrypt(&c.encoder.encode(&b).unwrap()).unwrap();
+
+        // Reference: seed-era Poly primitives, untouched by this PR.
+        let mut ref0 = ca.c0().clone();
+        let mut ref1 = ca.c1().clone();
+        ref0.add_assign(cb.c0(), &q).unwrap();
+        ref1.add_assign(cb.c1(), &q).unwrap();
+
+        let mut inplace = ca.clone();
+        c.eval.add_assign(&mut inplace, &cb).unwrap();
+        prop_assert_eq!(inplace.c0().data(), ref0.data());
+        prop_assert_eq!(inplace.c1().data(), ref1.data());
+
+        // Wrapper and in-place must agree bit-for-bit.
+        let wrapper = c.eval.add(&ca, &cb).unwrap();
+        assert_polys_eq(&wrapper, &inplace);
+
+        // And sub_assign must invert add_assign exactly.
+        c.eval.sub_assign(&mut inplace, &cb).unwrap();
+        assert_polys_eq(&inplace, &ca);
+    }
+
+    #[test]
+    fn mul_plain_assign_matches_poly_reference(
+        seed in any::<u64>(),
+        a in proptest::collection::vec(0u64..65536, 8),
+        w in proptest::collection::vec(0u64..65536, 8),
+    ) {
+        let mut c = ctx(seed);
+        let q = *c.params.cipher_modulus();
+        let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
+        let pw = c.eval.prepare_plaintext(&c.encoder.encode(&w).unwrap()).unwrap();
+
+        let mut ref0 = ca.c0().clone();
+        let mut ref1 = ca.c1().clone();
+        ref0.mul_assign_pointwise(pw.poly(), &q).unwrap();
+        ref1.mul_assign_pointwise(pw.poly(), &q).unwrap();
+
+        let mut inplace = ca.clone();
+        c.eval.mul_plain_assign(&mut inplace, &pw).unwrap();
+        prop_assert_eq!(inplace.c0().data(), ref0.data());
+        prop_assert_eq!(inplace.c1().data(), ref1.data());
+
+        let wrapper = c.eval.mul_plain(&ca, &pw).unwrap();
+        assert_polys_eq(&wrapper, &inplace);
+
+        // Fused accumulate == mul then add, bit-for-bit.
+        let mut fused = ca.clone();
+        c.eval.mul_plain_accumulate(&mut fused, &ca, &pw).unwrap();
+        let explicit = c.eval.add(&ca, &c.eval.mul_plain(&ca, &pw).unwrap()).unwrap();
+        assert_polys_eq(&fused, &explicit);
+    }
+
+    #[test]
+    fn rotate_into_is_deterministic_under_dirty_scratch(
+        seed in any::<u64>(),
+        step in 1i64..4,
+    ) {
+        let mut c = ctx(seed);
+        let vals: Vec<u64> = (0..64u64).collect();
+        let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+
+        // Wrapper (fresh internal scratch each lock) vs caller scratch
+        // reused twice in a row, third call after unrelated traffic.
+        let wrapper = c.eval.rotate_rows(&ct, step, &c.keys).unwrap();
+        let mut scratch: Scratch = c.eval.new_scratch();
+        let mut out1 = Ciphertext::transparent_zero(&c.params);
+        c.eval.rotate_rows_into(&mut out1, &ct, step, &c.keys, &mut scratch).unwrap();
+        assert_polys_eq(&out1, &wrapper);
+
+        let mut out2 = Ciphertext::transparent_zero(&c.params);
+        c.eval.add_plain_assign(&mut out2, &c.encoder.encode(&vals).unwrap(), &mut scratch).unwrap();
+        c.eval.rotate_rows_into(&mut out2, &ct, step, &c.keys, &mut scratch).unwrap();
+        assert_polys_eq(&out2, &wrapper);
+
+        // Decryption agrees with the slot-shift semantics (step < 4, so
+        // slots 0..16 read from within the 64 populated values).
+        let out = c.encoder.decode(&c.dec.decrypt_checked(&out2).unwrap());
+        for i in 0..16 {
+            prop_assert_eq!(out[i], vals[i + step as usize]);
+        }
+    }
+
+    #[test]
+    fn batch_ntt_threads_bit_identical(seed in any::<u64>(), log_n in 5u32..9) {
+        let n = 1usize << log_n;
+        let q = Modulus::new(generate_ntt_prime(45, n).unwrap()).unwrap();
+        let table = NttTable::new(n, q).unwrap();
+        let base = PolyBatch::from_fn(6, n, Representation::Coeff, |i, j| {
+            seed.wrapping_mul(0x9e3779b9).wrapping_add((i * n + j) as u64) % q.value()
+        });
+
+        // Reference: the scalar per-polynomial NTT path.
+        let mut expect = base.to_rows();
+        for row in &mut expect {
+            table.forward(row);
+        }
+
+        for threads in [1usize, 2, 4, 7] {
+            let mut batch = base.clone();
+            batch.forward_ntt(&table, threads);
+            for (i, row) in expect.iter().enumerate() {
+                prop_assert_eq!(batch.poly(i), &row[..], "threads={} poly={}", threads, i);
+            }
+            batch.inverse_ntt(&table, threads);
+            prop_assert_eq!(&batch, &base, "roundtrip threads={}", threads);
+        }
+    }
+}
+
+#[test]
+fn composed_rotation_matches_direct_on_scratch_path() {
+    let mut c = ctx(12345);
+    let vals: Vec<u64> = (0..c.encoder.row_size() as u64).collect();
+    let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+    let mut kg = KeyGenerator::from_seed(c.params.clone(), 12345);
+    let _ = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&[1, 2, 4, 8, 11]).unwrap();
+    let direct = c.eval.rotate_rows(&ct, 11, &keys).unwrap();
+    let composed = c.eval.rotate_rows_composed(&ct, 11, &keys).unwrap();
+    let d1 = c.encoder.decode(&c.dec.decrypt_checked(&direct).unwrap());
+    let d2 = c.encoder.decode(&c.dec.decrypt_checked(&composed).unwrap());
+    assert_eq!(d1, d2);
+}

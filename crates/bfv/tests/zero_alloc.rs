@@ -1,0 +1,127 @@
+//! Proof of the zero-allocation hot path: a counting global allocator
+//! wraps `System`, and after one warmup pass each in-place evaluator
+//! operation must execute with **zero** heap allocations.
+//!
+//! This is the acceptance criterion of the scratch-pool refactor: the
+//! steady-state cost of `HE_Add` / `HE_Mult` / `HE_Rotate` is arithmetic
+//! only, never allocator traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator, Scratch,
+};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_inplace_ops_do_not_allocate() {
+    let params = BfvParams::builder()
+        .degree(2048)
+        .plain_bits(16)
+        .cipher_bits(54)
+        .a_dcmp(1 << 16)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 99);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(&[1, 2]).unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 7);
+    let dec = Decryptor::new(kg.secret_key().clone());
+    let eval = Evaluator::new(params.clone());
+
+    let vals: Vec<u64> = (0..100).collect();
+    let pt = encoder.encode(&vals).unwrap();
+    let prepared = eval.prepare_plaintext(&pt).unwrap();
+    let base = enc.encrypt(&pt).unwrap();
+    let other = enc.encrypt(&pt).unwrap();
+
+    let mut scratch: Scratch = eval.new_scratch();
+    let mut work = base.clone();
+    let mut rot = Ciphertext::transparent_zero(&params);
+
+    let run_all = |work: &mut Ciphertext, rot: &mut Ciphertext, scratch: &mut Scratch| {
+        eval.add_assign(work, &other).unwrap();
+        eval.sub_assign(work, &other).unwrap();
+        eval.negate_assign(work).unwrap();
+        eval.negate_assign(work).unwrap();
+        eval.mul_plain_assign(work, &prepared).unwrap();
+        eval.mul_plain_accumulate(work, &other, &prepared).unwrap();
+        eval.mul_scalar_assign(work, 3).unwrap();
+        eval.add_plain_assign(work, &pt, scratch).unwrap();
+        eval.rotate_rows_into(rot, work, 1, &keys, scratch).unwrap();
+        eval.rotate_rows_into(rot, work, 0, &keys, scratch).unwrap();
+        eval.apply_galois_into(rot, work, 3, &keys, scratch)
+            .unwrap();
+    };
+
+    // Warmup: populates the scratch pool (temporary poly + l_ct digits).
+    run_all(&mut work, &mut rot, &mut scratch);
+
+    // Steady state: not a single trip to the allocator.
+    let before = allocations();
+    for _ in 0..5 {
+        run_all(&mut work, &mut rot, &mut scratch);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "in-place evaluator ops allocated {} times at steady state",
+        after - before
+    );
+
+    // The ciphertext still decrypts (values are garbage arithmetic, but
+    // the pipeline must stay structurally sound).
+    let _ = dec.decrypt(&rot).unwrap();
+}
+
+#[test]
+fn allocating_wrappers_still_work_and_count() {
+    let params = BfvParams::builder()
+        .degree(2048)
+        .plain_bits(16)
+        .cipher_bits(54)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), 5);
+    let pk = kg.public_key().unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 6);
+    let eval = Evaluator::new(params);
+
+    let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]).unwrap()).unwrap();
+    let before = allocations();
+    let _sum = eval.add(&ct, &ct).unwrap();
+    assert!(
+        allocations() > before,
+        "allocating wrapper must clone its input"
+    );
+}

@@ -70,7 +70,14 @@ pub fn tune_global(
                     let mut probe = None;
                     for layer in layers {
                         let point = evaluate_point(
-                            layer, t_bits, n, q_bits, a_log, w_log, space.sigma, schedule,
+                            layer,
+                            t_bits,
+                            n,
+                            q_bits,
+                            a_log,
+                            w_log,
+                            space.sigma,
+                            schedule,
                             regime,
                         );
                         if !point.feasible() {
@@ -82,10 +89,7 @@ pub fn tune_global(
                     }
                     let Some(point) = probe else { continue };
                     let total: f64 = costs.iter().sum();
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| total < b.total_cost())
-                    {
+                    if best.as_ref().is_none_or(|b| total < b.total_cost()) {
                         best = Some(GlobalConfig {
                             point,
                             layer_costs: costs,
@@ -112,11 +116,7 @@ pub fn tune_global(
 /// provisioning *style* stays Gazelle's even when the size must grow.
 ///
 /// Returns `None` only if no escalation level is feasible.
-pub fn gazelle_config(
-    layers: &[LinearLayer],
-    t_bits: u32,
-    sigma: f64,
-) -> Option<GlobalConfig> {
+pub fn gazelle_config(layers: &[LinearLayer], t_bits: u32, sigma: f64) -> Option<GlobalConfig> {
     let t_bits = t_bits.max(20);
     for n in [2048usize, 4096, 8192, 16384] {
         let point = DesignPoint {

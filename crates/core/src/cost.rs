@@ -92,7 +92,8 @@ impl KernelTally {
     /// split by kernel: `(mult_kernel, rotate_kernel_excluding_ntt, ntt)`.
     pub fn int_mults_by_kernel(&self, p: &HeCostParams) -> KernelMults {
         let mult = self.he_mult * p.he_mult_mults() as f64;
-        let rotate_poly = self.he_rotate * (2 * p.l_ct as u64 * p.n as u64 * MULTS_PER_MODMUL) as f64;
+        let rotate_poly =
+            self.he_rotate * (2 * p.l_ct as u64 * p.n as u64 * MULTS_PER_MODMUL) as f64;
         let ntt = self.ntt * p.ntt_mults() as f64;
         KernelMults {
             he_mult: mult,

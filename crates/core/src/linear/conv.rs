@@ -23,6 +23,7 @@ use cheetah_bfv::{
 };
 use cheetah_nn::{ConvSpec, Tensor};
 
+use crate::linear::parallel::{default_threads, map_chunks, merge_partial_vecs};
 use crate::schedule::Schedule;
 
 /// A prepared homomorphic convolution layer.
@@ -60,7 +61,11 @@ impl HomConv2d {
     ) -> Result<Self> {
         assert_eq!(spec.stride, 1, "HomConv2d supports stride 1");
         assert_eq!(spec.fw % 2, 1, "filter width must be odd");
-        assert_eq!(spec.pad, spec.fw / 2, "HomConv2d computes 'same' convolutions");
+        assert_eq!(
+            spec.pad,
+            spec.fw / 2,
+            "HomConv2d computes 'same' convolutions"
+        );
         assert_eq!(
             weights.shape(),
             &[spec.co, spec.ci, spec.fw, spec.fw],
@@ -154,6 +159,10 @@ impl HomConv2d {
     /// Applies the convolution: one output ciphertext per output channel,
     /// each holding its `w × w` output image in slots `[0, w²)`.
     ///
+    /// Runs the rotation + mul-accumulate loops across
+    /// [`default_threads`] worker threads; see
+    /// [`HomConv2d::apply_threaded`] for an explicit thread count.
+    ///
     /// # Errors
     ///
     /// Propagates BFV evaluation errors (missing Galois keys, parameter
@@ -164,9 +173,34 @@ impl HomConv2d {
         eval: &Evaluator,
         keys: &GaloisKeys,
     ) -> Result<Vec<Ciphertext>> {
+        self.apply_threaded(input, eval, keys, default_threads())
+    }
+
+    /// [`HomConv2d::apply`] with an explicit worker-thread count
+    /// (`threads <= 1` runs fully inline). The per-tap work — rotations in
+    /// Sched-IA, multiply-then-rotate partials in Sched-PA — is split into
+    /// contiguous tap chunks, one scratch-owning worker per chunk, and the
+    /// per-chunk partial sums are merged in chunk order. Residues mod `q`
+    /// are exact, so the decrypted result is identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV evaluation errors (missing Galois keys, parameter
+    /// mismatches).
+    pub fn apply_threaded(
+        &self,
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Vec<Ciphertext>> {
+        // The scratch-reuse hot path copies the input into evaluator-owned
+        // buffers, so foreign ciphertexts must be rejected up front.
+        eval.params().check_same(input.params())?;
         match self.schedule {
-            Schedule::InputAligned => self.apply_input_aligned(input, eval, keys),
-            Schedule::PartialAligned => self.apply_partial_aligned(input, eval, keys),
+            Schedule::InputAligned => self.apply_input_aligned(input, eval, keys, threads),
+            Schedule::PartialAligned => self.apply_partial_aligned(input, eval, keys, threads),
         }
     }
 
@@ -175,30 +209,31 @@ impl HomConv2d {
         input: &Ciphertext,
         eval: &Evaluator,
         keys: &GaloisKeys,
+        threads: usize,
     ) -> Result<Vec<Ciphertext>> {
-        // Rotate the input once per tap (shared across output channels)…
-        let mut rotated = Vec::with_capacity(self.offsets.len());
-        for &k in &self.offsets {
-            rotated.push(if k == 0 {
-                input.clone()
-            } else {
-                eval.rotate_rows(input, k, keys)?
-            });
-        }
-        // …then multiply the rotated inputs per output channel.
-        let mut outputs = Vec::with_capacity(self.spec.co);
-        for per_tap in &self.masks {
-            let mut acc: Option<Ciphertext> = None;
-            for (rot, mask) in rotated.iter().zip(per_tap) {
-                let term = eval.mul_plain(rot, mask)?;
-                acc = Some(match acc {
-                    None => term,
-                    Some(prev) => eval.add(&prev, &term)?,
-                });
+        let co = self.spec.co;
+        // One fork for the whole layer: each worker owns a tap chunk,
+        // rotates the input once per tap (shared across output channels,
+        // reusing a single rotation buffer + scratch), and fuse-
+        // accumulates straight into its per-channel partial sums — the
+        // rotated ciphertexts are never materialized as a batch.
+        let partials = map_chunks(self.offsets.len(), threads, |range| {
+            let mut scratch = eval.new_scratch();
+            let mut rot = Ciphertext::transparent_zero(eval.params());
+            let mut accs = vec![Ciphertext::transparent_zero(eval.params()); co];
+            for (tap, &k) in range.clone().zip(&self.offsets[range]) {
+                eval.rotate_rows_into(&mut rot, input, k, keys, &mut scratch)?;
+                for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
+                    eval.mul_plain_accumulate(acc, &rot, &per_tap[tap])?;
+                }
             }
-            outputs.push(self.reduce_channels(acc.expect("at least one tap"), eval, keys)?);
-        }
-        Ok(outputs)
+            Ok(accs)
+        })?;
+        let merged = merge_partial_vecs(partials, eval)?;
+        merged
+            .into_iter()
+            .map(|acc| self.reduce_channels(acc, eval, keys))
+            .collect()
     }
 
     fn apply_partial_aligned(
@@ -206,27 +241,33 @@ impl HomConv2d {
         input: &Ciphertext,
         eval: &Evaluator,
         keys: &GaloisKeys,
+        threads: usize,
     ) -> Result<Vec<Ciphertext>> {
-        let mut outputs = Vec::with_capacity(self.spec.co);
-        for per_tap in &self.masks {
-            let mut acc: Option<Ciphertext> = None;
-            for (&k, mask) in self.offsets.iter().zip(per_tap) {
-                // Multiply the *fresh* input first…
-                let prod = eval.mul_plain(input, mask)?;
-                // …then rotate the partial into alignment.
-                let aligned = if k == 0 {
-                    prod
-                } else {
-                    eval.rotate_rows(&prod, k, keys)?
-                };
-                acc = Some(match acc {
-                    None => aligned,
-                    Some(prev) => eval.add(&prev, &aligned)?,
-                });
+        let co = self.spec.co;
+        // One fork for the whole layer; per-worker buffers are reused
+        // across every (tap, channel) pair in the chunk.
+        let partials = map_chunks(self.offsets.len(), threads, |range| {
+            let mut scratch = eval.new_scratch();
+            let mut prod = Ciphertext::transparent_zero(eval.params());
+            let mut aligned = Ciphertext::transparent_zero(eval.params());
+            let mut accs = vec![Ciphertext::transparent_zero(eval.params()); co];
+            for (tap, &k) in range.clone().zip(&self.offsets[range]) {
+                for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
+                    // Multiply the *fresh* input first…
+                    prod.copy_from(input);
+                    eval.mul_plain_assign(&mut prod, &per_tap[tap])?;
+                    // …then rotate the partial into alignment.
+                    eval.rotate_rows_into(&mut aligned, &prod, k, keys, &mut scratch)?;
+                    eval.add_assign(acc, &aligned)?;
+                }
             }
-            outputs.push(self.reduce_channels(acc.expect("at least one tap"), eval, keys)?);
-        }
-        Ok(outputs)
+            Ok(accs)
+        })?;
+        let merged = merge_partial_vecs(partials, eval)?;
+        merged
+            .into_iter()
+            .map(|acc| self.reduce_channels(acc, eval, keys))
+            .collect()
     }
 
     /// Sums the per-channel partial blocks into block 0.
@@ -382,11 +423,7 @@ mod tests {
         let mut c = ctx(spec);
         let weights = random_weights(spec, 1);
         let input = random_input(spec, 2);
-        let expect = eval_linear(
-            &LinearLayer::Conv(spec.clone()),
-            &weights,
-            &input,
-        );
+        let expect = eval_linear(&LinearLayer::Conv(spec.clone()), &weights, &input);
 
         let layer = HomConv2d::new(spec, &weights, &c.encoder, &c.eval, schedule).unwrap();
         let ct = c

@@ -140,12 +140,19 @@ mod tests {
         let w: Vec<i64> = (0..d as i64).map(|i| 2 * i - 9).collect();
         let expect: i64 = x.iter().zip(&w).map(|(&a, &b)| a * b).sum();
 
-        let ct = c.enc.encrypt(&c.encoder.encode_signed(&x).unwrap()).unwrap();
+        let ct = c
+            .enc
+            .encrypt(&c.encoder.encode_signed(&x).unwrap())
+            .unwrap();
         let pa = dot_partial_aligned(&ct, &w, &c.encoder, &c.eval, &c.keys).unwrap();
         let ia = dot_input_aligned(&ct, &w, &c.encoder, &c.eval, &c.keys).unwrap();
 
-        let pa_out = c.encoder.decode_signed(&c.dec.decrypt_checked(&pa).unwrap());
-        let ia_out = c.encoder.decode_signed(&c.dec.decrypt_checked(&ia).unwrap());
+        let pa_out = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&pa).unwrap());
+        let ia_out = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&ia).unwrap());
         assert_eq!(pa_out[0], expect);
         assert_eq!(ia_out[0], expect);
     }
@@ -157,7 +164,10 @@ mod tests {
         let mut c = ctx(d);
         let x: Vec<i64> = (1..=d as i64).collect();
         let w: Vec<i64> = (1..=d as i64).collect();
-        let ct = c.enc.encrypt(&c.encoder.encode_signed(&x).unwrap()).unwrap();
+        let ct = c
+            .enc
+            .encrypt(&c.encoder.encode_signed(&x).unwrap())
+            .unwrap();
         let pa = dot_partial_aligned(&ct, &w, &c.encoder, &c.eval, &c.keys).unwrap();
         let ia = dot_input_aligned(&ct, &w, &c.encoder, &c.eval, &c.keys).unwrap();
         let pa_budget = c.dec.invariant_noise_budget(&pa).unwrap();

@@ -18,6 +18,7 @@ use cheetah_bfv::{
 };
 use cheetah_nn::{FcSpec, Tensor};
 
+use crate::linear::parallel::{default_threads, map_chunks, merge_partials};
 use crate::schedule::Schedule;
 
 /// A prepared homomorphic FC layer.
@@ -51,7 +52,11 @@ impl HomFc {
     ) -> Result<Self> {
         assert!(spec.ni.is_power_of_two(), "n_i must be a power of two");
         assert!(spec.no <= spec.ni, "n_o must not exceed n_i");
-        assert_eq!(weights.shape(), &[spec.no, spec.ni], "weight shape mismatch");
+        assert_eq!(
+            weights.shape(),
+            &[spec.no, spec.ni],
+            "weight shape mismatch"
+        );
         if 2 * spec.ni > encoder.row_size() {
             return Err(Error::TooManyValues {
                 given: 2 * spec.ni,
@@ -72,9 +77,8 @@ impl HomFc {
                 Schedule::PartialAligned => {
                     // Aligned to pre-rotation positions m in [k, ni + k):
                     // after rotating left by k, position j reads m = j + k.
-                    for m in k..spec.ni + k {
-                        let j = m - k;
-                        mask[m] = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+                    for (j, slot) in mask[k..spec.ni + k].iter_mut().enumerate() {
+                        *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
                     }
                 }
             }
@@ -122,6 +126,9 @@ impl HomFc {
 
     /// Applies the layer; the output vector lands in slots `[0, n_o)`.
     ///
+    /// Runs the rotation + mul-accumulate loop across [`default_threads`]
+    /// worker threads; see [`HomFc::apply_threaded`] for an explicit count.
+    ///
     /// # Errors
     ///
     /// Propagates BFV evaluation errors.
@@ -131,32 +138,56 @@ impl HomFc {
         eval: &Evaluator,
         keys: &GaloisKeys,
     ) -> Result<Ciphertext> {
-        let mut acc: Option<Ciphertext> = None;
-        for (k, diag) in self.diagonals.iter().enumerate() {
-            let term = match self.schedule {
+        self.apply_threaded(input, eval, keys, default_threads())
+    }
+
+    /// [`HomFc::apply`] with an explicit worker-thread count
+    /// (`threads <= 1` runs fully inline). The diagonal index range is
+    /// split into contiguous chunks, one scratch-owning worker per chunk;
+    /// per-chunk partial sums merge in chunk order, so residues — and the
+    /// decrypted output — are identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV evaluation errors.
+    pub fn apply_threaded(
+        &self,
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Ciphertext> {
+        // The scratch-reuse hot path copies the input into evaluator-owned
+        // buffers, so foreign ciphertexts must be rejected up front.
+        eval.params().check_same(input.params())?;
+        let partials = map_chunks(self.diagonals.len(), threads, |range| {
+            let mut scratch = eval.new_scratch();
+            let mut acc = Ciphertext::transparent_zero(eval.params());
+            let mut tmp = Ciphertext::transparent_zero(eval.params());
+            match self.schedule {
                 Schedule::InputAligned => {
-                    let aligned = if k == 0 {
-                        input.clone()
-                    } else {
-                        eval.rotate_rows(input, k as i64, keys)?
-                    };
-                    eval.mul_plain(&aligned, diag)?
-                }
-                Schedule::PartialAligned => {
-                    let prod = eval.mul_plain(input, diag)?;
-                    if k == 0 {
-                        prod
-                    } else {
-                        eval.rotate_rows(&prod, k as i64, keys)?
+                    for (k, diag) in range.clone().zip(&self.diagonals[range]) {
+                        // Rotate the input into alignment, then fuse the
+                        // multiply into the accumulator.
+                        eval.rotate_rows_into(&mut tmp, input, k as i64, keys, &mut scratch)?;
+                        eval.mul_plain_accumulate(&mut acc, &tmp, diag)?;
                     }
                 }
-            };
-            acc = Some(match acc {
-                None => term,
-                Some(prev) => eval.add(&prev, &term)?,
-            });
-        }
-        Ok(acc.expect("n_i >= 1"))
+                Schedule::PartialAligned => {
+                    let mut prod = Ciphertext::transparent_zero(eval.params());
+                    for (k, diag) in range.clone().zip(&self.diagonals[range]) {
+                        // Multiply the *fresh* input, then rotate the
+                        // partial product into alignment.
+                        prod.copy_from(input);
+                        eval.mul_plain_assign(&mut prod, diag)?;
+                        eval.rotate_rows_into(&mut tmp, &prod, k as i64, keys, &mut scratch)?;
+                        eval.add_assign(&mut acc, &tmp)?;
+                    }
+                }
+            }
+            Ok(acc)
+        })?;
+        merge_partials(partials, eval)
     }
 
     /// Extracts the output vector from decoded slots.
@@ -199,7 +230,9 @@ mod tests {
             .unwrap();
         let mut kg = KeyGenerator::from_seed(params.clone(), 51);
         let pk = kg.public_key().unwrap();
-        let keys = kg.galois_keys_for_steps(&HomFc::required_steps(spec)).unwrap();
+        let keys = kg
+            .galois_keys_for_steps(&HomFc::required_steps(spec))
+            .unwrap();
         Ctx {
             encoder: BatchEncoder::new(params.clone()),
             enc: Encryptor::from_public_key(pk, 52),
@@ -283,7 +316,10 @@ mod tests {
             .unwrap();
         let pa_budget = c.dec.invariant_noise_budget(&pa).unwrap();
         let ia_budget = c.dec.invariant_noise_budget(&ia).unwrap();
-        assert!(pa_budget >= ia_budget, "PA {pa_budget:.1} vs IA {ia_budget:.1}");
+        assert!(
+            pa_budget >= ia_budget,
+            "PA {pa_budget:.1} vs IA {ia_budget:.1}"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 pub mod conv;
 pub mod dot;
 pub mod fc;
+pub mod parallel;
 
 pub use conv::HomConv2d;
 pub use dot::{dot_input_aligned, dot_partial_aligned};

@@ -1,0 +1,146 @@
+//! Chunked fork/join helper for the thread-parallel linear layers.
+//!
+//! Both [`super::HomConv2d`] and [`super::HomFc`] are rotate-mul-accumulate
+//! loops whose iterations (one per rotation step) are independent until the
+//! final accumulation. [`map_chunks`] splits the step range into contiguous
+//! chunks, runs one worker per chunk via `crossbeam::scope`, and returns
+//! the per-chunk results **in chunk order**, so the caller's merge is
+//! deterministic: residue arithmetic mod `q` is exact and order-independent,
+//! and the (float) noise-estimate fold always happens in the same order for
+//! a given thread count.
+//!
+//! Each worker owns a private [`cheetah_bfv::Scratch`], so the steady-state
+//! loop bodies run with zero heap allocation and zero lock contention.
+
+use cheetah_bfv::{Ciphertext, Evaluator, Result};
+use std::ops::Range;
+
+/// Number of worker threads the linear layers use by default: the
+/// machine's available parallelism (1 on a single-core host, which makes
+/// the default path identical to the serial one).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..count` into up to `threads` contiguous chunks, runs `work`
+/// on each chunk (in parallel when `threads > 1`), and returns the chunk
+/// results in chunk order.
+///
+/// # Errors
+///
+/// Propagates the first failing chunk's error (in chunk order).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn map_chunks<T, F>(count: usize, threads: usize, work: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Result<T> + Sync,
+{
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, count);
+    let chunk = count.div_ceil(threads);
+    let ranges: Vec<Range<usize>> = (0..count)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(count))
+        .collect();
+    if threads == 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    crossbeam::scope(|scope| {
+        for (slot, range) in slots.iter_mut().zip(ranges) {
+            let work = &work;
+            scope.spawn(move |_| *slot = Some(work(range)));
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker completed"))
+        .collect()
+}
+
+/// Folds per-chunk partial accumulators into one ciphertext, in chunk
+/// order (deterministic for a fixed thread count).
+///
+/// # Errors
+///
+/// Propagates evaluator errors.
+///
+/// # Panics
+///
+/// Panics on an empty partial list (chunking never produces one for a
+/// non-empty step range).
+pub fn merge_partials(partials: Vec<Ciphertext>, eval: &Evaluator) -> Result<Ciphertext> {
+    let mut iter = partials.into_iter();
+    let mut acc = iter.next().expect("at least one partial accumulator");
+    for p in iter {
+        eval.add_assign(&mut acc, &p)?;
+    }
+    Ok(acc)
+}
+
+/// Column-wise [`merge_partials`]: folds `partials[chunk][slot]` into one
+/// accumulator per slot (used by conv layers, one slot per output
+/// channel), in chunk order.
+///
+/// # Errors
+///
+/// Propagates evaluator errors.
+///
+/// # Panics
+///
+/// Panics if chunks disagree on the slot count or no chunks exist.
+pub fn merge_partial_vecs(
+    partials: Vec<Vec<Ciphertext>>,
+    eval: &Evaluator,
+) -> Result<Vec<Ciphertext>> {
+    let mut iter = partials.into_iter();
+    let mut accs = iter.next().expect("at least one partial chunk");
+    for chunk in iter {
+        assert_eq!(chunk.len(), accs.len(), "ragged partial chunk");
+        for (acc, p) in accs.iter_mut().zip(&chunk) {
+            eval.add_assign(acc, p)?;
+        }
+    }
+    Ok(accs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_results_arrive_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = map_chunks(10, threads, |r| Ok(r.collect::<Vec<_>>())).unwrap();
+            let flat: Vec<usize> = out.into_iter().flatten().collect();
+            assert_eq!(flat, (0..10).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let out: Vec<Vec<usize>> = map_chunks(0, 4, |r| Ok(r.collect())).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = map_chunks(8, 4, |range| {
+            if range.contains(&5) {
+                Err(cheetah_bfv::Error::ParameterMismatch)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+}

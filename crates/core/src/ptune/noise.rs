@@ -288,7 +288,12 @@ mod tests {
         let p = params();
         let layer = conv();
         let wc = layer_noise(&layer, &p, Schedule::PartialAligned, NoiseRegime::WorstCase);
-        let st = layer_noise(&layer, &p, Schedule::PartialAligned, NoiseRegime::Statistical);
+        let st = layer_noise(
+            &layer,
+            &p,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+        );
         assert!(
             st.budget_bits > wc.budget_bits + 3.0,
             "statistical {} vs worst {}",
@@ -322,7 +327,12 @@ mod tests {
     fn budget_moves_with_q() {
         let p = params();
         let layer = conv();
-        let wide = layer_noise(&layer, &p, Schedule::PartialAligned, NoiseRegime::Statistical);
+        let wide = layer_noise(
+            &layer,
+            &p,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+        );
         let narrow = layer_noise(
             &layer,
             &HeNoiseParams { q_bits: 40, ..p },

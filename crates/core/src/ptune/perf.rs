@@ -106,17 +106,17 @@ pub fn fc_ops_scheduled(f: &FcSpec, n: usize, l_pt: usize, schedule: Schedule) -
     let he_mult = l_pt * ni * no / nf;
     let he_rotate = rot_scale
         * if nf >= ni && nf >= no {
-        (ni * no / nf - 1.0).max(0.0) + (nf / no).max(1.0).log2()
-    } else if nf >= ni {
-        // n >= ni, n < no
-        (ni - 1.0) * no / nf
-    } else if nf >= no {
-        // n < ni, n >= no
-        (no + (nf / no).max(1.0).log2()) * ni / nf
-    } else {
-        // n < ni, n < no
-        (nf - 1.0) * ni * no / (nf * nf)
-    };
+            (ni * no / nf - 1.0).max(0.0) + (nf / no).max(1.0).log2()
+        } else if nf >= ni {
+            // n >= ni, n < no
+            (ni - 1.0) * no / nf
+        } else if nf >= no {
+            // n < ni, n >= no
+            (no + (nf / no).max(1.0).log2()) * ni / nf
+        } else {
+            // n < ni, n < no
+            (nf - 1.0) * ni * no / (nf * nf)
+        };
     OpModel {
         he_mult,
         he_rotate,
@@ -230,15 +230,27 @@ mod tests {
         let ops_small = conv_ops(&c, 2048, 1);
         let ops_big = conv_ops(&c, 8192, 1);
         assert!(ops_big.he_mult < ops_small.he_mult);
-        let p_small = HeCostParams { n: 2048, l_pt: 1, l_ct: 3 };
-        let p_big = HeCostParams { n: 8192, l_pt: 1, l_ct: 3 };
+        let p_small = HeCostParams {
+            n: 2048,
+            l_pt: 1,
+            l_ct: 3,
+        };
+        let p_big = HeCostParams {
+            n: 8192,
+            l_pt: 1,
+            l_ct: 3,
+        };
         assert!(p_big.he_rotate_mults() > p_small.he_rotate_mults());
     }
 
     #[test]
     fn int_mults_consistent_with_tally() {
         let m = conv_ops(&conv(16, 3, 4, 8), 2048, 1);
-        let p = HeCostParams { n: 2048, l_pt: 1, l_ct: 2 };
+        let p = HeCostParams {
+            n: 2048,
+            l_pt: 1,
+            l_ct: 2,
+        };
         let tally = m.tally(&p);
         assert_eq!(tally.ntt, m.he_rotate * 3.0);
         assert!((m.int_mults(&p) - tally.total_int_mults(&p)).abs() < 1e-9);

@@ -128,6 +128,10 @@ impl TuneOutcome {
 }
 
 /// Evaluates a single configuration of the space for a layer.
+///
+/// The argument list mirrors the paper's parameter tuple `(n, q, t, A, W)`
+/// plus the evaluation context — a struct would only obscure the mapping.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_point(
     layer: &LinearLayer,
     t_bits: u32,
@@ -187,11 +191,17 @@ pub fn tune_layer(
             for &a_log in &space.a_dcmp_log2 {
                 for &w_log in &space.w_dcmp_log2 {
                     let point = evaluate_point(
-                        layer, t_bits, n, q_bits, a_log, w_log, space.sigma, schedule, regime,
+                        layer,
+                        t_bits,
+                        n,
+                        q_bits,
+                        a_log,
+                        w_log,
+                        space.sigma,
+                        schedule,
+                        regime,
                     );
-                    if point.feasible()
-                        && best.is_none_or(|b| point.int_mults < b.int_mults)
-                    {
+                    if point.feasible() && best.is_none_or(|b| point.int_mults < b.int_mults) {
                         best = Some(point);
                     }
                     points.push(point);
@@ -287,12 +297,24 @@ mod tests {
         // Sched-PA's noise headroom must buy a cheaper (or equal) config.
         let layer = mid_conv();
         let space = TuneSpace::default();
-        let pa = tune_layer(&layer, 18, Schedule::PartialAligned, NoiseRegime::Statistical, &space)
-            .best
-            .unwrap();
-        let ia = tune_layer(&layer, 18, Schedule::InputAligned, NoiseRegime::Statistical, &space)
-            .best
-            .unwrap();
+        let pa = tune_layer(
+            &layer,
+            18,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &space,
+        )
+        .best
+        .unwrap();
+        let ia = tune_layer(
+            &layer,
+            18,
+            Schedule::InputAligned,
+            NoiseRegime::Statistical,
+            &space,
+        )
+        .best
+        .unwrap();
         assert!(pa.int_mults <= ia.int_mults);
     }
 
@@ -300,15 +322,26 @@ mod tests {
     fn statistical_regime_beats_worst_case_cost() {
         let layer = mid_conv();
         let space = TuneSpace::default();
-        let stat =
-            tune_layer(&layer, 18, Schedule::PartialAligned, NoiseRegime::Statistical, &space)
-                .best
-                .unwrap();
-        let worst =
-            tune_layer(&layer, 18, Schedule::PartialAligned, NoiseRegime::WorstCase, &space).best;
-        match worst {
-            Some(w) => assert!(stat.int_mults <= w.int_mults),
-            None => {} // worst-case may simply have no feasible point
+        let stat = tune_layer(
+            &layer,
+            18,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &space,
+        )
+        .best
+        .unwrap();
+        let worst = tune_layer(
+            &layer,
+            18,
+            Schedule::PartialAligned,
+            NoiseRegime::WorstCase,
+            &space,
+        )
+        .best;
+        // Worst-case may simply have no feasible point.
+        if let Some(w) = worst {
+            assert!(stat.int_mults <= w.int_mults);
         }
     }
 
@@ -316,7 +349,10 @@ mod tests {
     fn resnet50_all_layers_tunable() {
         let quant = crate::quant::QuantSpec::default();
         let layers = models::resnet50().linear_layers();
-        let t_bits: Vec<u32> = layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let space = TuneSpace::default();
         let tuned = tune_network(
             &layers,

@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn lenet5_speedups_exceed_one() {
-        let s = evaluate_model(&models::lenet5(), &QuantSpec::default(), &TuneSpace::default());
+        let s = evaluate_model(
+            &models::lenet5(),
+            &QuantSpec::default(),
+            &TuneSpace::default(),
+        );
         assert!(s.speedup_ptune() >= 1.0, "ptune {}", s.speedup_ptune());
         assert!(
             s.speedup_combined() >= s.speedup_ptune(),
@@ -135,7 +139,11 @@ mod tests {
     fn alexnet_combined_speedup_is_large() {
         // The paper's ImageNet models see the biggest wins (Fig. 6 shows
         // 10-80x). Shape check: combined speedup well above 2x.
-        let s = evaluate_model(&models::alexnet(), &QuantSpec::default(), &TuneSpace::default());
+        let s = evaluate_model(
+            &models::alexnet(),
+            &QuantSpec::default(),
+            &TuneSpace::default(),
+        );
         assert!(
             s.speedup_combined() > 2.0,
             "combined speedup only {:.2}",

@@ -1,0 +1,218 @@
+//! Parallel-vs-serial equivalence for the homomorphic linear layers:
+//! `apply_threaded(…, N)` must decrypt to exactly the tensor that
+//! `apply_threaded(…, 1)` (the serial path) produces, for both schedules.
+//! Residue arithmetic mod `q` is exact, so the chunked accumulation order
+//! cannot change the decrypted result — these tests pin that down on the
+//! real engine.
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+};
+use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::schedule::Schedule;
+use cheetah_nn::{ConvSpec, FcSpec, Tensor};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+struct Ctx {
+    encoder: BatchEncoder,
+    enc: Encryptor,
+    dec: Decryptor,
+    eval: Evaluator,
+    keys: GaloisKeys,
+}
+
+fn ctx(steps: &[i64], seed: u64) -> Ctx {
+    let params = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(16)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let mut kg = KeyGenerator::from_seed(params.clone(), seed);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(steps).unwrap();
+    Ctx {
+        encoder: BatchEncoder::new(params.clone()),
+        enc: Encryptor::from_public_key(pk, seed ^ 1),
+        dec: Decryptor::new(kg.secret_key().clone()),
+        eval: Evaluator::new(params),
+        keys,
+    }
+}
+
+fn conv_spec(w: usize, fw: usize, ci: usize, co: usize) -> ConvSpec {
+    ConvSpec {
+        name: "par-test".into(),
+        w,
+        fw,
+        ci,
+        co,
+        stride: 1,
+        pad: fw / 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn conv_parallel_decrypts_identically(seed in any::<u64>(), threads in 2usize..6) {
+        let spec = conv_spec(8, 3, 2, 2);
+        let mut c = ctx(&HomConv2d::required_steps(&spec), seed % 1000 + 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = Tensor::from_data(
+            &[spec.co, spec.ci, spec.fw, spec.fw],
+            (0..spec.co * spec.ci * spec.fw * spec.fw)
+                .map(|_| rng.random_range(-4..=4))
+                .collect(),
+        );
+        let input = Tensor::from_data(
+            &[spec.ci, spec.w, spec.w],
+            (0..spec.ci * spec.w * spec.w)
+                .map(|_| rng.random_range(-8..=8))
+                .collect(),
+        );
+
+        for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+            let layer = HomConv2d::new(&spec, &weights, &c.encoder, &c.eval, schedule).unwrap();
+            let ct = c
+                .enc
+                .encrypt(&HomConv2d::encode_input(&spec, &input, &c.encoder).unwrap())
+                .unwrap();
+            let serial = layer.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+            let parallel = layer.apply_threaded(&ct, &c.eval, &c.keys, threads).unwrap();
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (o, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                let ds = c.encoder.decode_signed(&c.dec.decrypt(s).unwrap());
+                let dp = c.encoder.decode_signed(&c.dec.decrypt(p).unwrap());
+                prop_assert_eq!(&ds, &dp, "{} channel {} differs at {} threads", schedule, o, threads);
+                // Residues themselves must match: chunked accumulation is
+                // exact mod q, not just up to decryption.
+                prop_assert_eq!(s.c0().data(), p.c0().data());
+                prop_assert_eq!(s.c1().data(), p.c1().data());
+            }
+        }
+    }
+
+    #[test]
+    fn fc_parallel_decrypts_identically(seed in any::<u64>(), threads in 2usize..6) {
+        let spec = FcSpec { name: "fc-par".into(), ni: 16, no: 8 };
+        let mut c = ctx(&HomFc::required_steps(&spec), seed % 1000 + 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = Tensor::from_data(
+            &[spec.no, spec.ni],
+            (0..spec.no * spec.ni).map(|_| rng.random_range(-5..=5)).collect(),
+        );
+        let input = Tensor::from_data(
+            &[spec.ni],
+            (0..spec.ni).map(|_| rng.random_range(-9..=9)).collect(),
+        );
+
+        for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+            let layer = HomFc::new(&spec, &weights, &c.encoder, &c.eval, schedule).unwrap();
+            let ct = c
+                .enc
+                .encrypt(&HomFc::encode_input(&spec, &input, &c.encoder).unwrap())
+                .unwrap();
+            let serial = layer.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+            let parallel = layer.apply_threaded(&ct, &c.eval, &c.keys, threads).unwrap();
+            let ds = c.encoder.decode_signed(&c.dec.decrypt(&serial).unwrap());
+            let dp = c.encoder.decode_signed(&c.dec.decrypt(&parallel).unwrap());
+            prop_assert_eq!(&ds[..spec.no], &dp[..spec.no], "{} differs", schedule);
+            prop_assert_eq!(serial.c0().data(), parallel.c0().data());
+            prop_assert_eq!(serial.c1().data(), parallel.c1().data());
+        }
+    }
+}
+
+/// Exact op-count accounting must survive multi-threaded evaluation: the
+/// atomic counters see every kernel exactly once regardless of interleaving.
+#[test]
+fn op_counts_exact_across_threads() {
+    let spec = FcSpec {
+        name: "fc-counts".into(),
+        ni: 16,
+        no: 8,
+    };
+    let mut c = ctx(&HomFc::required_steps(&spec), 77);
+    let weights = Tensor::from_data(&[spec.no, spec.ni], vec![1; spec.no * spec.ni]);
+    let input = Tensor::from_data(&[spec.ni], (0..spec.ni as i64).collect());
+    let layer = HomFc::new(
+        &spec,
+        &weights,
+        &c.encoder,
+        &c.eval,
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+    let ct = c
+        .enc
+        .encrypt(&HomFc::encode_input(&spec, &input, &c.encoder).unwrap())
+        .unwrap();
+
+    c.eval.reset_op_counts();
+    let _ = layer.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+    let serial = c.eval.op_counts();
+
+    c.eval.reset_op_counts();
+    let _ = layer.apply_threaded(&ct, &c.eval, &c.keys, 4).unwrap();
+    let parallel = c.eval.op_counts();
+
+    // Rotations, multiplications, NTTs, and pointwise products are
+    // structural (independent of chunking); only the merge adds differ by
+    // the number of extra partial-sum folds (chunks - 1 extra HE_Adds).
+    assert_eq!(serial.rotate, parallel.rotate);
+    assert_eq!(serial.mul, parallel.mul);
+    assert_eq!(serial.ntt, parallel.ntt);
+    assert_eq!(serial.poly_mul, parallel.poly_mul);
+    assert_eq!(parallel.add - serial.add, 3, "4 chunks -> 3 merge adds");
+}
+
+/// Foreign-parameter inputs must be rejected before the copy-based hot
+/// path touches them (the copy would otherwise run arithmetic mod the
+/// wrong `q` and return garbage with `Ok`).
+#[test]
+fn foreign_parameter_input_is_rejected() {
+    let spec = FcSpec {
+        name: "fc-foreign".into(),
+        ni: 8,
+        no: 4,
+    };
+    let c = ctx(&HomFc::required_steps(&spec), 13);
+    let weights = Tensor::from_data(&[spec.no, spec.ni], vec![1; spec.no * spec.ni]);
+    let layer = HomFc::new(
+        &spec,
+        &weights,
+        &c.encoder,
+        &c.eval,
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+
+    // Same degree, different cipher modulus -> foreign parameter set.
+    let foreign = BfvParams::builder()
+        .degree(4096)
+        .plain_bits(16)
+        .cipher_bits(59)
+        .build()
+        .unwrap();
+    let mut fkg = KeyGenerator::from_seed(foreign.clone(), 14);
+    let fpk = fkg.public_key().unwrap();
+    let mut fenc = Encryptor::from_public_key(fpk, 15);
+    let fencoder = BatchEncoder::new(foreign);
+    let input = Tensor::from_data(&[spec.ni], (0..spec.ni as i64).collect());
+    let foreign_ct = fenc
+        .encrypt(&HomFc::encode_input(&spec, &input, &fencoder).unwrap())
+        .unwrap();
+
+    for threads in [1, 4] {
+        assert!(
+            layer
+                .apply_threaded(&foreign_ct, &c.eval, &c.keys, threads)
+                .is_err(),
+            "foreign ciphertext accepted at {threads} threads"
+        );
+    }
+}

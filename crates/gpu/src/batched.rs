@@ -6,37 +6,39 @@
 //! exists here: host threads. Saturation lands at ~core-count instead of
 //! ~120×, which is exactly the point — batch parallelism saturates at the
 //! width of whatever parallel substrate executes it.
+//!
+//! Storage is a [`PolyBatch`]: all polynomials in **one contiguous
+//! allocation** with stride-`n` views, so worker threads stream through
+//! disjoint memory ranges instead of chasing per-polynomial heap pointers
+//! (the seed's `Vec<Vec<u64>>` layout). Both transform directions are
+//! measured; outputs are bit-identical to the serial path for any thread
+//! count.
 
 use std::time::Instant;
 
 use cheetah_bfv::arith::{generate_ntt_prime, Modulus};
+use cheetah_bfv::batch::PolyBatch;
 use cheetah_bfv::ntt::NttTable;
+use cheetah_bfv::poly::Representation;
 
-/// Executes `batch` independent `n`-point forward NTTs across `threads`
-/// worker threads. Returns the transformed polynomials.
+/// Executes every forward NTT in the batch across up to `threads` worker
+/// threads (contiguous storage, stride-`n` chunking).
 ///
 /// # Panics
 ///
-/// Panics if `polys` have inconsistent lengths.
-pub fn batched_forward(table: &NttTable, polys: &mut [Vec<u64>], threads: usize) {
-    let threads = threads.max(1);
-    if threads == 1 || polys.len() <= 1 {
-        for p in polys.iter_mut() {
-            table.forward(p);
-        }
-        return;
-    }
-    let chunk = polys.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for slice in polys.chunks_mut(chunk) {
-            scope.spawn(move |_| {
-                for p in slice {
-                    table.forward(p);
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+/// Panics if the batch is not in coefficient form or mismatches the table.
+pub fn batched_forward(table: &NttTable, batch: &mut PolyBatch, threads: usize) {
+    batch.forward_ntt(table, threads.max(1));
+}
+
+/// Executes every inverse NTT in the batch across up to `threads` worker
+/// threads.
+///
+/// # Panics
+///
+/// Panics if the batch is not in evaluation form or mismatches the table.
+pub fn batched_inverse(table: &NttTable, batch: &mut PolyBatch, threads: usize) {
+    batch.inverse_ntt(table, threads.max(1));
 }
 
 /// One measured point of the threaded-NTT sweep.
@@ -62,19 +64,15 @@ pub struct MeasuredPoint {
 pub fn measure_batched(n: usize, batch: usize, threads: usize, seed: u64) -> MeasuredPoint {
     let q = Modulus::new(generate_ntt_prime(50, n).expect("ntt prime")).expect("modulus");
     let table = NttTable::new(n, q).expect("ntt table");
-    let make_batch = || -> Vec<Vec<u64>> {
-        (0..batch)
-            .map(|i| {
-                (0..n)
-                    .map(|j| (seed.wrapping_mul(31).wrapping_add((i * n + j) as u64)) % q.value())
-                    .collect()
-            })
-            .collect()
+    let make_batch = || {
+        PolyBatch::from_fn(batch, n, Representation::Coeff, |i, j| {
+            seed.wrapping_mul(31).wrapping_add((i * n + j) as u64) % q.value()
+        })
     };
 
-    let best = |workers: usize| -> (f64, Vec<Vec<u64>>) {
+    let best = |workers: usize| -> (f64, PolyBatch) {
         let mut best_time = f64::INFINITY;
-        let mut out = Vec::new();
+        let mut out = PolyBatch::zero(0, n, Representation::Eval);
         for _ in 0..3 {
             let mut data = make_batch();
             let start = Instant::now();
@@ -117,6 +115,19 @@ mod tests {
     fn single_thread_is_identity_path() {
         let p = measure_batched(512, 4, 1, 7);
         assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_through_batch_api() {
+        let q = Modulus::new(generate_ntt_prime(50, 256).unwrap()).unwrap();
+        let table = NttTable::new(256, q).unwrap();
+        let mut batch = PolyBatch::from_fn(6, 256, Representation::Coeff, |i, j| {
+            ((i * 977 + j * 31) as u64) % q.value()
+        });
+        let orig = batch.clone();
+        batched_forward(&table, &mut batch, 4);
+        batched_inverse(&table, &mut batch, 4);
+        assert_eq!(batch, orig);
     }
 
     #[test]

@@ -13,5 +13,5 @@
 pub mod batched;
 pub mod simt;
 
-pub use batched::{batched_forward, measure_batched, MeasuredPoint};
+pub use batched::{batched_forward, batched_inverse, measure_batched, MeasuredPoint};
 pub use simt::{figure8_sweep, model_batched_ntt, CpuSpec, GpuSpec, NttPoint};

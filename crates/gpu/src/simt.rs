@@ -107,7 +107,8 @@ pub fn model_batched_ntt(gpu: &GpuSpec, cpu: &CpuSpec, n: usize, batch: usize) -
 
     // Compute roofline.
     let peak_instr_rate = gpu.sms as f64 * gpu.cores_per_sm as f64 * gpu.clock_ghz * 1e9;
-    let effective_rate = peak_instr_rate * (occupancy / gpu.occupancy_cap).min(1.0)
+    let effective_rate = peak_instr_rate
+        * (occupancy / gpu.occupancy_cap).min(1.0)
         * gpu.occupancy_cap
         * gpu.exec_efficiency
         / gpu.instrs_per_modmul;

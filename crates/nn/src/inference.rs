@@ -110,7 +110,10 @@ pub fn infer(net: &Network, weights: &Weights, input: &Tensor) -> InferenceTrace
             Layer::SumPool { k, stride } => sum_pool(&act, *k, *stride),
             Layer::Flatten => act.clone().into_flat(),
             Layer::ResidualAdd { from, projection } => {
-                assert!(*from < activations.len(), "residual link must point backward");
+                assert!(
+                    *from < activations.len(),
+                    "residual link must point backward"
+                );
                 let skip = &activations[*from];
                 let skip = match projection {
                     Some(p) => {
@@ -185,11 +188,7 @@ mod tests {
         let trace = infer(&net, &weights, &input);
         assert_eq!(trace.output.shape(), &[10]);
         // Output magnitudes must be bounded by dot-length * products.
-        for (l, &m) in net
-            .linear_layers()
-            .iter()
-            .zip(&trace.linear_out_magnitudes)
-        {
+        for (l, &m) in net.linear_layers().iter().zip(&trace.linear_out_magnitudes) {
             assert!(m >= 0);
             let bound = l.dot_length() as i64 * 2 * 4 * 20; // slack for relu'd activations
             assert!(m <= bound.max(1) * 100, "layer {} magnitude {m}", l.name());
@@ -212,7 +211,7 @@ mod tests {
         // validate residual plumbing without a 4-GMAC pass in debug mode.
         let full = resnet50();
         let mut layers = full.layers[..10].to_vec(); // stem + first block + relu
-        // Rescale stem conv to a 16x16 input.
+                                                     // Rescale stem conv to a 16x16 input.
         if let Layer::Linear(LinearLayer::Conv(c)) = &mut layers[0] {
             c.w = 16;
         }
@@ -221,7 +220,8 @@ mod tests {
             match l {
                 Layer::Linear(LinearLayer::Conv(c)) => c.w = 4,
                 Layer::ResidualAdd {
-                    projection: Some(p), ..
+                    projection: Some(p),
+                    ..
                 } => p.w = 4,
                 _ => {}
             }
@@ -277,9 +277,6 @@ mod tests {
         let w2 = Weights::random(&net, 3, 42);
         let i1 = random_input(&net.input_shape, 5, 43);
         let i2 = random_input(&net.input_shape, 5, 43);
-        assert_eq!(
-            infer(&net, &w1, &i1).output,
-            infer(&net, &w2, &i2).output
-        );
+        assert_eq!(infer(&net, &w1, &i1).output, infer(&net, &w2, &i2).output);
     }
 }

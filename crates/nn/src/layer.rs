@@ -192,7 +192,15 @@ pub enum Layer {
 
 impl Layer {
     /// Convenience constructor for a conv layer.
-    pub fn conv(name: &str, w: usize, fw: usize, ci: usize, co: usize, stride: usize, pad: usize) -> Self {
+    pub fn conv(
+        name: &str,
+        w: usize,
+        fw: usize,
+        ci: usize,
+        co: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Layer::Linear(LinearLayer::Conv(ConvSpec {
             name: name.to_owned(),
             w,

@@ -93,7 +93,7 @@ pub fn alexnet() -> Network {
         layers: vec![
             Layer::conv("conv0", 227, 11, 3, 96, 4, 0), // -> 55
             Layer::Relu,
-            Layer::MaxPool { k: 3, stride: 2 }, // -> 27
+            Layer::MaxPool { k: 3, stride: 2 },         // -> 27
             Layer::conv("conv1", 27, 5, 96, 256, 1, 2), // -> 27
             Layer::Relu,
             Layer::MaxPool { k: 3, stride: 2 }, // -> 13
@@ -269,7 +269,7 @@ mod tests {
     fn alexnet_layer_count_and_macs() {
         let net = alexnet();
         assert_eq!(net.num_linear(), 8); // 5 conv + 3 fc
-        // AlexNet is ~0.7 GMACs at 227 input.
+                                         // AlexNet is ~0.7 GMACs at 227 input.
         let gmacs = net.total_macs() as f64 / 1e9;
         assert!((0.6..1.2).contains(&gmacs), "gmacs {gmacs}");
     }
@@ -297,10 +297,7 @@ mod tests {
         let net = resnet50();
         let lins = net.linear_layers();
         // First stage-2 conv sees 56x56; last stage-5 conv sees 7x7.
-        let first_stage = lins
-            .iter()
-            .find(|l| l.name() == "res2_1_a")
-            .unwrap();
+        let first_stage = lins.iter().find(|l| l.name() == "res2_1_a").unwrap();
         if let crate::layer::LinearLayer::Conv(c) = first_stage {
             assert_eq!(c.w, 56);
         } else {

@@ -141,7 +141,11 @@ impl fmt::Display for Tensor {
 /// Panics on rank/shape mismatches or zero stride.
 pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
     assert_eq!(input.shape().len(), 3, "conv2d input must be (ci,h,w)");
-    assert_eq!(weight.shape().len(), 4, "conv2d weight must be (co,ci,fh,fw)");
+    assert_eq!(
+        weight.shape().len(),
+        4,
+        "conv2d weight must be (co,ci,fh,fw)"
+    );
     assert!(stride > 0, "stride must be positive");
     let (ci, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let (co, wci, fh, fw) = (
@@ -196,11 +200,7 @@ pub fn fully_connected(input: &Tensor, weight: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[no]);
     for o in 0..no {
         let row = &weight.data()[o * ni..(o + 1) * ni];
-        out.data_mut()[o] = row
-            .iter()
-            .zip(input.data())
-            .map(|(&wv, &xv)| wv * xv)
-            .sum();
+        out.data_mut()[o] = row.iter().zip(input.data()).map(|(&wv, &xv)| wv * xv).sum();
     }
     out
 }
@@ -302,7 +302,7 @@ mod tests {
         let out = conv2d(&input, &weight, 2, 0);
         assert_eq!(out.shape(), &[3, 2, 2]);
         // Each output = sum over both channels of a 2x2 patch.
-        let expect = (0 + 1 + 4 + 5) + (16 + 17 + 20 + 21);
+        let expect = (1 + 4 + 5) + (16 + 17 + 20 + 21);
         assert_eq!(out.at3(0, 0, 0), expect);
         assert_eq!(out.at3(1, 0, 0), expect); // same kernel weights
     }

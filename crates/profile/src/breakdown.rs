@@ -55,11 +55,7 @@ impl Breakdown {
 }
 
 /// Computes one layer's breakdown under its tuned configuration.
-pub fn layer_breakdown(
-    layer: &LinearLayer,
-    point: &DesignPoint,
-    times: &KernelTimes,
-) -> Breakdown {
+pub fn layer_breakdown(layer: &LinearLayer, point: &DesignPoint, times: &KernelTimes) -> Breakdown {
     let l_pt = point.l_pt();
     let l_ct = point.l_ct();
     let ops = layer_ops(layer, point.n, l_pt);
@@ -102,7 +98,10 @@ mod tests {
         // The Fig. 7 headline: NTT is the top kernel, adds are negligible.
         let quant = QuantSpec::default();
         let layers = models::lenet5().linear_layers();
-        let t_bits: Vec<u32> = layers.iter().map(|l| quant.statistical_plain_bits(l)).collect();
+        let t_bits: Vec<u32> = layers
+            .iter()
+            .map(|l| quant.statistical_plain_bits(l))
+            .collect();
         let tuned = tune_network(
             &layers,
             &t_bits,

@@ -179,7 +179,12 @@ mod tests {
             a_dcmp_log2: 16,
         });
         assert!(t.ntt_s > 0.0);
-        assert!(t.add_s < t.mult_s, "add {:.2e} vs mult {:.2e}", t.add_s, t.mult_s);
+        assert!(
+            t.add_s < t.mult_s,
+            "add {:.2e} vs mult {:.2e}",
+            t.add_s,
+            t.mult_s
+        );
         assert!(
             t.rotate_total_s > t.mult_s,
             "rotate {:.2e} should dominate mult {:.2e}",

@@ -203,7 +203,11 @@ impl PrivateInferenceSession {
     /// a layer overflows its noise budget.
     pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Transcript)> {
         let mut transcript = Transcript::new();
-        transcript.record(Direction::ClientToCloud, "setup: pk + galois keys", self.setup_bytes);
+        transcript.record(
+            Direction::ClientToCloud,
+            "setup: pk + galois keys",
+            self.setup_bytes,
+        );
 
         let t_mod = *self.params.plain_modulus();
         let half_t = (t_mod.value() / 2) as i64;
@@ -447,7 +451,7 @@ mod tests {
         .unwrap();
         let (_, transcript) = session.run(&input).unwrap();
         // setup + (up, down, gc) per linear layer.
-        assert!(transcript.messages().len() >= 1 + 3 * 3);
+        assert!(transcript.messages().len() > 3 * 3);
         assert!(transcript.upload_bytes() > 0);
         assert!(transcript.download_bytes() > 0);
     }

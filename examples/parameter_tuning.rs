@@ -25,10 +25,9 @@ fn main() {
         "layer", "t bits", "n", "q", "A", "W", "l_ct", "cost(mults)", "budget"
     );
 
-    let mut shown = 0;
     let mut total_cost = 0.0;
     let mut no_window_layers = 0;
-    for layer in &layers {
+    for (layer_idx, layer) in layers.iter().enumerate() {
         let t_bits = quant.statistical_plain_bits(layer);
         let outcome = tune_layer(
             layer,
@@ -43,7 +42,7 @@ fn main() {
             no_window_layers += 1;
         }
         // Print a representative sample (first 10 + every 8th after).
-        if shown < 10 || shown % 8 == 0 {
+        if layer_idx < 10 || layer_idx % 8 == 0 {
             println!(
                 "{:<14} {:>7} | {:>6} {:>4} 2^{:<2} {:>8} {:>8} | {:>12.3e} {:>7.1}b",
                 layer.name(),
@@ -61,7 +60,6 @@ fn main() {
                 best.budget_bits,
             );
         }
-        shown += 1;
     }
     println!(
         "\ntotal tuned cost: {:.3e} integer multiplications",

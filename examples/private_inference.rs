@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = tiny_cnn();
     let weights = Weights::random(&net, 2, 2024);
     let input = random_input(&net.input_shape, 3, 4);
-    println!("model: {} ({} linear layers)", net.name, net.linear_layers().len());
+    println!(
+        "model: {} ({} linear layers)",
+        net.name,
+        net.linear_layers().len()
+    );
 
     // HE session parameters: wide enough t for the network's worst-case
     // integer range, q ≡ 1 (mod 2n·t).
@@ -35,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The reference plaintext inference the client could NOT run (it does
     // not know the weights) — used here only to verify exactness.
     let expected = infer(&net, &weights, &input).output;
-    assert_eq!(output.data(), expected.data(), "private inference must be exact");
+    assert_eq!(
+        output.data(),
+        expected.data(),
+        "private inference must be exact"
+    );
 
     println!("\nprediction (4 logits): {:?}", output.data());
     println!("matches plaintext inference exactly ✓");

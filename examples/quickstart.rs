@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cheetah::bfv::{
-    BatchEncoder, BfvParams, Decryptor, Encryptor, Error, Evaluator, KeyGenerator,
-};
+use cheetah::bfv::{BatchEncoder, BfvParams, Decryptor, Encryptor, Error, Evaluator, KeyGenerator};
 
 fn main() -> Result<(), Error> {
     // Table II parameters: n = 4096, 17-bit t, 60-bit q (128-bit secure),
@@ -76,9 +74,13 @@ fn main() -> Result<(), Error> {
     // Note how the worst-case model goes negative while measurement shows
     // ample headroom — the over-provisioning §IV-B's statistical model
     // eliminates.
-    println!("\nslot 0 after rotate = {} (expect {})", out[0], 2 * 101 * 2);
-    for i in 0..9 {
-        assert_eq!(out[i], 2 * (100 + i as u64 + 1) * (i as u64 + 2));
+    println!(
+        "\nslot 0 after rotate = {} (expect {})",
+        out[0],
+        2 * 101 * 2
+    );
+    for (i, &slot) in out.iter().enumerate().take(9) {
+        assert_eq!(slot, 2 * (100 + i as u64 + 1) * (i as u64 + 2));
     }
     println!("all slots verified against plaintext computation ✓");
     Ok(())

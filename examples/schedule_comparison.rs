@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<26} {:>9.1}b {:>9.1}b",
         "remaining noise budget", pa_budget, ia_budget
     );
-    println!("{:<26} {:>10} {:>10}", "HE_Mult count", pa_ops.mul, ia_ops.mul);
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "HE_Mult count", pa_ops.mul, ia_ops.mul
+    );
     println!(
         "{:<26} {:>10} {:>10}",
         "HE_Rotate count", pa_ops.rotate, ia_ops.rotate

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 verify.
+#
+#   ./scripts/check.sh          # everything
+#   ./scripts/check.sh quick    # skip the release build (debug tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> tier-1: cargo build --release"
+    cargo build --release
+fi
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "OK"

@@ -1,0 +1,103 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (see `shims/README.md`).
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| …); … })` surface is
+//! provided — structured fork/join over borrowed data, which is all this
+//! workspace uses crossbeam for.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries a child-thread panic payload.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; `spawn` borrows from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> ScopeResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. As in crossbeam, the closure receives
+        /// the scope so workers can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; joins all spawned threads before returning.
+    ///
+    /// Unlike `std::thread::scope`, child panics are captured and returned
+    /// as `Err` (crossbeam semantics) rather than propagated — except
+    /// panics from *unjoined* threads, which std re-raises at scope exit
+    /// and we convert into the `Err` payload via `catch_unwind`.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        super::scope(|s| {
+            let (lo, hi) = partial.split_at_mut(1);
+            let d = &data;
+            s.spawn(move |_| lo[0] = d[..2].iter().sum());
+            s.spawn(move |_| hi[0] = d[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(partial, [3, 7]);
+    }
+
+    #[test]
+    fn child_panic_is_captured() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            let out = &out;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    out.store(99, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(out.load(std::sync::atomic::Ordering::SeqCst), 99);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`'s derive macros (see `shims/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no call sites
+//! serialize anything yet), so these derives expand to nothing. When a
+//! real registry is available, swapping this shim for the real `serde`
+//! re-enables the generated impls without touching any source file.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -22,6 +22,34 @@
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/src/bin/` for the per-figure evaluation harness.
 //!
+//! ## The hot path
+//!
+//! Cheetah's thesis (§IV) is that private inference is decided by the cost
+//! of three HE kernels — NTTs, pointwise multiply-accumulate, and
+//! key-switching. The software engine keeps those kernels on a
+//! zero-allocation, thread-parallel path:
+//!
+//! * **In-place evaluator ops** — [`bfv::Evaluator`] exposes
+//!   `add_assign` / `sub_assign` / `mul_plain_assign` /
+//!   `mul_plain_accumulate` / `apply_galois_into` / `rotate_rows_into`,
+//!   which draw temporaries from a reusable [`bfv::Scratch`] pool and
+//!   perform **zero heap allocations at steady state** (enforced by a
+//!   counting-allocator test). The classic allocating API still exists as
+//!   thin wrappers over the same kernels.
+//! * **Contiguous batches** — [`bfv::PolyBatch`] stores a batch of
+//!   polynomials in one contiguous allocation with stride-`n` views and
+//!   runs forward/inverse NTTs across worker threads, bit-identically to
+//!   the serial path for any thread count.
+//! * **Parallel linear layers** — `core`'s `HomConv2d` / `HomFc` split
+//!   their rotate-mul-accumulate loops into per-thread chunks (each worker
+//!   owns a `Scratch`), merge partial sums deterministically, and keep
+//!   exact kernel accounting via the evaluator's atomic [`bfv::OpCounts`].
+//!
+//! `cargo run --release -p cheetah-bench --bin bench_he_ops` emits
+//! `BENCH_he_ops.json` with ns/op for the three operators (allocating vs
+//! in-place) and the batched NTT, making the perf trajectory
+//! machine-readable across PRs.
+//!
 //! ```
 //! use cheetah::bfv::{BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
 //!

@@ -14,7 +14,9 @@ use cheetah::nn::Weights;
 use cheetah::profile::{limit_study, network_breakdown, KernelTimer};
 use cheetah::protocol::PrivateInferenceSession;
 
-fn tuned(net: &cheetah::nn::Network) -> Vec<(cheetah::nn::LinearLayer, cheetah::core::DesignPoint)> {
+fn tuned(
+    net: &cheetah::nn::Network,
+) -> Vec<(cheetah::nn::LinearLayer, cheetah::core::DesignPoint)> {
     let quant = QuantSpec::default();
     let layers = net.linear_layers();
     let t_bits: Vec<u32> = layers
@@ -95,7 +97,12 @@ fn speedup_hierarchy_holds_for_every_benchmark() {
     let space = TuneSpace::default();
     for net in [models::lenet300(), models::lenet5(), models::alexnet()] {
         let s = evaluate_model(&net, &quant, &space);
-        assert!(s.speedup_ptune() >= 1.0, "{}: {}", net.name, s.speedup_ptune());
+        assert!(
+            s.speedup_ptune() >= 1.0,
+            "{}: {}",
+            net.name,
+            s.speedup_ptune()
+        );
         assert!(
             s.speedup_combined() >= s.speedup_ptune(),
             "{}: combined {} < ptune {}",

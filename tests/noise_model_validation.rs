@@ -112,7 +112,10 @@ fn statistical_estimate_is_tight_but_safe() {
 #[test]
 fn rotation_noise_accumulates_additively() {
     let mut s = session(4096, 17, 60, 8, 5150);
-    let ct = s.enc.encrypt(&s.encoder.encode(&[1, 2, 3, 4]).unwrap()).unwrap();
+    let ct = s
+        .enc
+        .encrypt(&s.encoder.encode(&[1, 2, 3, 4]).unwrap())
+        .unwrap();
     let mut noise = Vec::new();
     let mut cur = ct;
     for _ in 0..6 {
@@ -147,6 +150,12 @@ fn per_operator_budget_consumption_ordering() {
     let mul_cost = b0 - s.dec.invariant_noise_budget(&after_mul).unwrap();
 
     assert!(add_cost <= 1.5, "add cost {add_cost:.2} bits");
-    assert!(mul_cost > rot_cost, "mul {mul_cost:.1} vs rot {rot_cost:.1}");
-    assert!(mul_cost > 10.0, "mul should consume many bits: {mul_cost:.1}");
+    assert!(
+        mul_cost > rot_cost,
+        "mul {mul_cost:.1} vs rot {rot_cost:.1}"
+    );
+    assert!(
+        mul_cost > 10.0,
+        "mul should consume many bits: {mul_cost:.1}"
+    );
 }
