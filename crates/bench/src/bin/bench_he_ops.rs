@@ -1,9 +1,14 @@
 //! Machine-readable hot-path benchmark: emits `BENCH_he_ops.json` with
 //! ns/op for the three HE operators (allocating vs in-place/scratch
-//! variants) and the contiguous batched NTT (serial vs threaded), so the
-//! perf trajectory of the engine is trackable across PRs.
+//! variants), the contiguous batched NTT (serial vs threaded), and a
+//! per-limb-count section (1/2/3-limb RNS chains) so the cost of the
+//! modulus chain is trackable across PRs.
 //!
 //! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
+//!
+//! Set `BENCH_SMOKE=1` for CI smoke mode: the measurement budget drops to
+//! milliseconds per op; numbers are noisy but the emitted JSON keys are
+//! identical, which is what `scripts/check.sh` gates on.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -17,13 +22,18 @@ use cheetah_bfv::{
 };
 use cheetah_gpu::batched::batched_forward;
 
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Times `f` with an adaptive iteration count (~0.5 s budget after one
-/// calibration call) and returns mean ns/op.
+/// calibration call; ~5 ms in smoke mode) and returns mean ns/op.
 fn time_ns(mut f: impl FnMut()) -> f64 {
+    let budget: u128 = if smoke() { 5_000_000 } else { 500_000_000 };
     let start = Instant::now();
     f();
     let once = start.elapsed().as_nanos().max(1);
-    let iters = (500_000_000u128 / once).clamp(3, 20_000) as u64;
+    let iters = (budget / once).clamp(3, 20_000) as u64;
     let start = Instant::now();
     for _ in 0..iters {
         f();
@@ -39,21 +49,15 @@ struct Ctx {
     pt: PreparedPlaintext,
 }
 
-fn ctx() -> Ctx {
-    let params = BfvParams::builder()
-        .degree(4096)
-        .plain_bits(17)
-        .cipher_bits(60)
-        .a_dcmp(1 << 20)
-        .build()
-        .unwrap();
+fn ctx_for(params: BfvParams) -> Ctx {
     let mut kg = KeyGenerator::from_seed(params.clone(), 11);
     let pk = kg.public_key().unwrap();
     let keys = kg.galois_keys_for_steps(&[1]).unwrap();
     let encoder = BatchEncoder::new(params.clone());
     let mut enc = Encryptor::from_public_key(pk, 12);
     let eval = Evaluator::new(params.clone());
-    let values: Vec<u64> = (0..4096u64).collect();
+    let t = params.plain_modulus().value();
+    let values: Vec<u64> = (0..4096u64).map(|v| v % t).collect();
     let raw = encoder.encode(&values).unwrap();
     let ct = enc.encrypt(&raw).unwrap();
     let ct2 = enc.encrypt(&raw).unwrap();
@@ -65,6 +69,44 @@ fn ctx() -> Ctx {
         ct2,
         pt,
     }
+}
+
+fn ctx() -> Ctx {
+    ctx_for(
+        BfvParams::builder()
+            .degree(4096)
+            .plain_bits(17)
+            .cipher_bits(60)
+            .a_dcmp(1 << 20)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// add/mul/rotate ns for one limb-count preset, using the in-place ops.
+fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64) {
+    let limbs = params.limbs();
+    let c = ctx_for(params);
+    let mut work = c.ct.clone();
+    let add = time_ns(|| {
+        c.eval
+            .add_assign(black_box(&mut work), black_box(&c.ct2))
+            .unwrap();
+    });
+    let mut work = c.ct.clone();
+    let mul = time_ns(|| {
+        c.eval
+            .mul_plain_assign(black_box(&mut work), &c.pt)
+            .unwrap();
+    });
+    let mut scratch: Scratch = c.eval.new_scratch();
+    let mut out = Ciphertext::transparent_zero(c.eval.params());
+    let rotate = time_ns(|| {
+        c.eval
+            .rotate_rows_into(&mut out, black_box(&c.ct), 1, &c.keys, &mut scratch)
+            .unwrap();
+    });
+    (limbs, add, mul, rotate)
 }
 
 fn main() {
@@ -108,8 +150,22 @@ fn main() {
             .unwrap();
     });
 
+    // --- Per-limb-count RNS points: 1/2/3-limb chains at n = 4096 ---
+    let limb_points: Vec<(usize, f64, f64, f64)> = [
+        BfvParams::preset_single_60(4096).unwrap(),
+        BfvParams::preset_rns_2x30(4096).unwrap(),
+        BfvParams::preset_rns_3x36(4096).unwrap(),
+    ]
+    .into_iter()
+    .map(per_limb_point)
+    .collect();
+
     // --- Contiguous batched NTT, serial vs 4 threads ---
-    let (ntt_n, ntt_batch, ntt_threads) = (8192usize, 64usize, 4usize);
+    let (ntt_n, ntt_batch, ntt_threads) = if smoke() {
+        (2048usize, 8usize, 4usize)
+    } else {
+        (8192usize, 64usize, 4usize)
+    };
     let q = cheetah_bfv::arith::Modulus::new(
         cheetah_bfv::arith::generate_ntt_prime(50, ntt_n).unwrap(),
     )
@@ -143,6 +199,14 @@ fn main() {
     let _ = writeln!(json, "    \"mul_plain_assign\": {mul_assign:.1},");
     let _ = writeln!(json, "    \"rotate\": {rotate_alloc:.1},");
     let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"per_limb_ns\": {{");
+    for (idx, (limbs, add, mul, rotate)) in limb_points.iter().enumerate() {
+        let trail = if idx + 1 < limb_points.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"l{limbs}_add\": {add:.1},");
+        let _ = writeln!(json, "    \"l{limbs}_mul\": {mul:.1},");
+        let _ = writeln!(json, "    \"l{limbs}_rotate\": {rotate:.1}{trail}");
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_ntt\": {{");
     let _ = writeln!(json, "    \"n\": {ntt_n},");

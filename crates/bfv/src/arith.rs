@@ -255,6 +255,165 @@ impl ShoupPrecomp {
     }
 }
 
+/// Maximum number of RNS limbs a [`CrtBasis`] supports. The composed value
+/// must fit `u128`, which already caps realistic chains at four ~30-bit or
+/// two ~61-bit limbs; 8 leaves headroom for many-small-prime experiments.
+pub const MAX_RNS_LIMBS: usize = 8;
+
+/// A Chinese-remainder basis over pairwise-coprime word-sized primes, with
+/// the Garner (mixed-radix) constants precomputed.
+///
+/// This is the arithmetic core of the RNS modulus chain: a big ciphertext
+/// modulus `Q = q_0 · q_1 · … · q_{l-1}` is never materialized per
+/// coefficient — residues live in machine words per limb — and only
+/// decryption and digit decomposition cross limbs, via
+/// [`CrtBasis::compose`]. Composition runs Garner's algorithm entirely in
+/// single-word Barrett arithmetic ([`Modulus::mul_mod`] /
+/// [`Modulus::sub_mod`]); the only 128-bit work is the final mixed-radix
+/// Horner accumulation, which is exact because construction guarantees
+/// `Q < 2^127`.
+///
+/// # Examples
+///
+/// ```
+/// use cheetah_bfv::arith::{CrtBasis, Modulus};
+///
+/// # fn main() -> Result<(), cheetah_bfv::Error> {
+/// let basis = CrtBasis::new(&[Modulus::new(17)?, Modulus::new(19)?])?;
+/// let v = 200u128;
+/// let residues = basis.decompose(v);
+/// assert_eq!(residues, vec![200 % 17, 200 % 19]);
+/// assert_eq!(basis.compose(&residues), v);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrtBasis {
+    moduli: Vec<Modulus>,
+    /// `inv[j][i] = q_i^{-1} mod q_j` for `i < j` (Garner constants).
+    inv: Vec<Vec<u64>>,
+    big_q: u128,
+    total_bits: u32,
+}
+
+impl CrtBasis {
+    /// Builds the basis and precomputes the Garner inverses.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidLimbCount`] for an empty or oversized limb list;
+    /// * [`Error::ModulusChainTooLarge`] if `Π q_i >= 2^127`;
+    /// * [`Error::NotInvertible`] if two limbs share a factor (e.g.
+    ///   duplicate primes).
+    pub fn new(moduli: &[Modulus]) -> Result<Self> {
+        if moduli.is_empty() || moduli.len() > MAX_RNS_LIMBS {
+            return Err(Error::InvalidLimbCount {
+                limbs: moduli.len(),
+            });
+        }
+        let mut big_q: u128 = 1;
+        for q in moduli {
+            big_q = big_q
+                .checked_mul(q.value() as u128)
+                .filter(|&p| p < 1u128 << 127)
+                .ok_or(Error::ModulusChainTooLarge {
+                    total_bits: 128,
+                    max_bits: 127,
+                })?;
+        }
+        let total_bits = 128 - big_q.leading_zeros();
+        let mut inv = Vec::with_capacity(moduli.len());
+        for (j, qj) in moduli.iter().enumerate() {
+            let mut row = Vec::with_capacity(j);
+            for qi in &moduli[..j] {
+                row.push(qj.inv_mod(qi.value())?);
+            }
+            inv.push(row);
+        }
+        Ok(Self {
+            moduli: moduli.to_vec(),
+            inv,
+            big_q,
+            total_bits,
+        })
+    }
+
+    /// The limb moduli, in chain order.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of limbs `l`.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// The composed modulus `Q = Π q_i`.
+    #[inline]
+    pub fn big_q(&self) -> u128 {
+        self.big_q
+    }
+
+    /// `ceil(log2(Q))`-ish: the bit width of `Q`.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// CRT composition: maps per-limb residues back to the unique value in
+    /// `[0, Q)`. Garner's mixed-radix algorithm — `O(l²)` single-word
+    /// Barrett multiplications per call, no 128-bit modular reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the limb count (callers pass
+    /// buffers shaped by this basis).
+    pub fn compose(&self, residues: &[u64]) -> u128 {
+        let l = self.moduli.len();
+        assert_eq!(residues.len(), l, "residue count != limb count");
+        // Mixed-radix digits: y_j = (…((x_j − y_0)·q_0⁻¹ − y_1)·q_1⁻¹ …).
+        let mut y = [0u64; MAX_RNS_LIMBS];
+        y[0] = residues[0];
+        for j in 1..l {
+            let qj = &self.moduli[j];
+            let mut t = residues[j];
+            for (&yi, &inv) in y[..j].iter().zip(&self.inv[j]) {
+                t = qj.mul_mod(qj.sub_mod(t, qj.reduce(yi)), inv);
+            }
+            y[j] = t;
+        }
+        // Horner over the mixed radix: v = y_0 + q_0·(y_1 + q_1·(y_2 + …)).
+        let mut v: u128 = y[l - 1] as u128;
+        for i in (0..l - 1).rev() {
+            v = v * self.moduli[i].value() as u128 + y[i] as u128;
+        }
+        v
+    }
+
+    /// CRT decomposition of `v < Q` into per-limb residues (Barrett per
+    /// limb), writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the limb count.
+    pub fn decompose_into(&self, v: u128, out: &mut [u64]) {
+        assert_eq!(out.len(), self.moduli.len(), "output count != limb count");
+        debug_assert!(v < self.big_q);
+        for (o, q) in out.iter_mut().zip(&self.moduli) {
+            *o = q.reduce_u128(v);
+        }
+    }
+
+    /// Allocating variant of [`CrtBasis::decompose_into`].
+    pub fn decompose(&self, v: u128) -> Vec<u64> {
+        let mut out = vec![0u64; self.moduli.len()];
+        self.decompose_into(v, &mut out);
+        out
+    }
+}
+
 /// Extended Euclidean algorithm: returns `(g, x, y)` with `a*x + b*y = g`.
 pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
     if b == 0 {
@@ -575,6 +734,55 @@ mod tests {
         let psi = primitive_root_2n(&q, n).unwrap();
         assert_eq!(q.pow_mod(psi, n as u64), p - 1);
         assert_eq!(q.pow_mod(psi, 2 * n as u64), 1);
+    }
+
+    #[test]
+    fn crt_compose_decompose_roundtrip() {
+        let moduli = [
+            Modulus::new(generate_ntt_prime(30, 1024).unwrap()).unwrap(),
+            Modulus::new(generate_ntt_prime(31, 1024).unwrap()).unwrap(),
+            Modulus::new(generate_ntt_prime(36, 1024).unwrap()).unwrap(),
+        ];
+        let basis = CrtBasis::new(&moduli).unwrap();
+        let q = basis.big_q();
+        for v in [0u128, 1, 2, q / 2, q - 1, 0x1234_5678_9abc_def0] {
+            let residues = basis.decompose(v);
+            for (r, m) in residues.iter().zip(&moduli) {
+                assert_eq!(*r as u128, v % m.value() as u128);
+            }
+            assert_eq!(basis.compose(&residues), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn crt_single_limb_is_identity() {
+        let q = Modulus::new(generate_ntt_prime(50, 2048).unwrap()).unwrap();
+        let basis = CrtBasis::new(&[q]).unwrap();
+        assert_eq!(basis.total_bits(), 50);
+        assert_eq!(basis.compose(&[12345]), 12345);
+        assert_eq!(basis.decompose(12345), vec![12345]);
+    }
+
+    #[test]
+    fn crt_rejects_bad_bases() {
+        assert!(matches!(
+            CrtBasis::new(&[]),
+            Err(Error::InvalidLimbCount { limbs: 0 })
+        ));
+        let q = Modulus::new(65537).unwrap();
+        // Duplicate limbs share every factor: no Garner inverse exists.
+        assert!(matches!(
+            CrtBasis::new(&[q, q]),
+            Err(Error::NotInvertible { .. })
+        ));
+        // Three 61-bit limbs overflow the u128 composition budget.
+        let big = Modulus::new((1u64 << 61) - 1).unwrap();
+        let big2 = Modulus::new((1u64 << 61) - 31).unwrap();
+        let big3 = Modulus::new((1u64 << 61) - 129).unwrap();
+        assert!(matches!(
+            CrtBasis::new(&[big, big2, big3]),
+            Err(Error::ModulusChainTooLarge { .. })
+        ));
     }
 
     #[test]

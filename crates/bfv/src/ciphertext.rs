@@ -2,22 +2,24 @@
 
 use crate::noise::NoiseEstimate;
 use crate::params::BfvParams;
-use crate::poly::{Poly, Representation};
+use crate::poly::Representation;
+use crate::rns::RnsPoly;
 
-/// A BFV ciphertext: a pair of polynomials in evaluation (NTT) form.
+/// A BFV ciphertext: a pair of RNS polynomials in evaluation (NTT) form.
 ///
 /// Cheetah keeps ciphertexts in the evaluation domain by default and only
 /// drops to coefficient form inside `HE_Rotate`'s decomposition and at
 /// decryption (§III-B "Polynomial Representations") — this type enforces
-/// that convention.
+/// that convention. Each component stores one limb plane per prime in the
+/// parameter set's [`crate::rns::ModulusChain`].
 ///
 /// Every ciphertext carries a live [`NoiseEstimate`] updated by each
 /// operation, so the Table III model can be compared against measured noise
 /// at any point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ciphertext {
-    c0: Poly,
-    c1: Poly,
+    c0: RnsPoly,
+    c1: RnsPoly,
     params: BfvParams,
     noise: NoiseEstimate,
 }
@@ -28,12 +30,15 @@ impl Ciphertext {
     ///
     /// # Panics
     ///
-    /// Panics if either polynomial is in coefficient form or sizes mismatch.
-    pub fn new(c0: Poly, c1: Poly, params: BfvParams, noise: NoiseEstimate) -> Self {
+    /// Panics if either polynomial is in coefficient form or its shape does
+    /// not match the parameter set's chain.
+    pub fn new(c0: RnsPoly, c1: RnsPoly, params: BfvParams, noise: NoiseEstimate) -> Self {
         assert_eq!(c0.representation(), Representation::Eval);
         assert_eq!(c1.representation(), Representation::Eval);
-        assert_eq!(c0.len(), params.degree());
-        assert_eq!(c1.len(), params.degree());
+        assert_eq!(c0.degree(), params.degree());
+        assert_eq!(c1.degree(), params.degree());
+        assert_eq!(c0.limbs(), params.limbs());
+        assert_eq!(c1.limbs(), params.limbs());
         Self {
             c0,
             c1,
@@ -45,32 +50,31 @@ impl Ciphertext {
     /// An encryption of zero with zero noise (additive identity; useful as
     /// an accumulator seed). Marked transparent: it offers no security.
     pub fn transparent_zero(params: &BfvParams) -> Self {
-        let n = params.degree();
         Self {
-            c0: Poly::zero(n, Representation::Eval),
-            c1: Poly::zero(n, Representation::Eval),
+            c0: RnsPoly::zero(params.chain(), Representation::Eval),
+            c1: RnsPoly::zero(params.chain(), Representation::Eval),
             params: params.clone(),
             noise: NoiseEstimate::zero(),
         }
     }
 
     /// First component.
-    pub fn c0(&self) -> &Poly {
+    pub fn c0(&self) -> &RnsPoly {
         &self.c0
     }
 
     /// Second component.
-    pub fn c1(&self) -> &Poly {
+    pub fn c1(&self) -> &RnsPoly {
         &self.c1
     }
 
     /// Mutable components (for the evaluator).
-    pub(crate) fn parts_mut(&mut self) -> (&mut Poly, &mut Poly) {
+    pub(crate) fn parts_mut(&mut self) -> (&mut RnsPoly, &mut RnsPoly) {
         (&mut self.c0, &mut self.c1)
     }
 
     /// Consumes into components.
-    pub fn into_parts(self) -> (Poly, Poly) {
+    pub fn into_parts(self) -> (RnsPoly, RnsPoly) {
         (self.c0, self.c1)
     }
 
@@ -80,7 +84,7 @@ impl Ciphertext {
     ///
     /// # Panics
     ///
-    /// Panics if the degrees differ (parameter sets are checked by the
+    /// Panics if the shapes differ (parameter sets are checked by the
     /// evaluator entry points).
     pub fn copy_from(&mut self, other: &Ciphertext) {
         self.c0.copy_from(&other.c0);
@@ -91,6 +95,11 @@ impl Ciphertext {
     /// Parameter set.
     pub fn params(&self) -> &BfvParams {
         &self.params
+    }
+
+    /// Number of RNS limbs per component.
+    pub fn limbs(&self) -> usize {
+        self.c0.limbs()
     }
 
     /// Current model-tracked noise estimate.
@@ -108,10 +117,11 @@ impl Ciphertext {
         self.noise.budget_bits_worst(&self.params)
     }
 
-    /// Serialized size in bytes (two polynomials of `n` 8-byte words) —
-    /// used by the protocol layer for communication accounting.
+    /// Serialized size in bytes: two components of `l_limbs · n` 8-byte
+    /// words each — communication accounting in the protocol layer scales
+    /// with the actual limb count of the chain.
     pub fn byte_size(&self) -> usize {
-        2 * self.params.degree() * 8
+        2 * self.limbs() * self.params.degree() * 8
     }
 }
 
@@ -158,5 +168,19 @@ mod tests {
         assert_eq!(z.noise().bound_log2, f64::NEG_INFINITY);
         assert!(z.budget_bits().is_infinite());
         assert_eq!(z.byte_size(), 2 * 1024 * 8);
+    }
+
+    #[test]
+    fn byte_size_scales_with_limb_count() {
+        let p2 = BfvParams::preset_rns_2x30(4096).unwrap();
+        let p3 = BfvParams::preset_rns_3x36(4096).unwrap();
+        assert_eq!(
+            Ciphertext::transparent_zero(&p2).byte_size(),
+            2 * 2 * 4096 * 8
+        );
+        assert_eq!(
+            Ciphertext::transparent_zero(&p3).byte_size(),
+            2 * 3 * 4096 * 8
+        );
     }
 }

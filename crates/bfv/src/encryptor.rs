@@ -1,4 +1,11 @@
 //! Encryption and decryption, including exact noise measurement.
+//!
+//! All ciphertext arithmetic is limb-parallel over the RNS chain;
+//! decryption is the one place limbs are CRT-composed back into exact
+//! `[0, Q)` values (per coefficient, via Garner composition) before the
+//! `round(t·c/Q)` scaling — so a 1-limb chain reproduces the historical
+//! single-modulus rounding bit-for-bit, and longer chains get exact
+//! wide-modulus decryption without any big-integer polynomial arithmetic.
 
 use crate::arith::Modulus;
 use crate::ciphertext::{Ciphertext, WindowedCiphertext};
@@ -8,6 +15,7 @@ use crate::keys::{PublicKey, SecretKey};
 use crate::noise::NoiseEstimate;
 use crate::params::BfvParams;
 use crate::poly::{decomposition_levels, Poly, Representation};
+use crate::rns::RnsPoly;
 use crate::sampling::BfvRng;
 
 /// Encrypts plaintexts under a public key (asymmetric) or secret key
@@ -59,17 +67,8 @@ impl Encryptor {
     /// different parameters.
     pub fn encrypt(&mut self, pt: &Plaintext) -> Result<Ciphertext> {
         self.params.check_same(pt.params())?;
-        // Δ·m, lifted to R_q in coefficient form.
-        let delta = self.params.delta();
-        let q = *self.params.cipher_modulus();
-        let scaled: Vec<u64> = pt
-            .poly()
-            .data()
-            .iter()
-            .map(|&m| q.mul_mod(delta % q.value(), m))
-            .collect();
-        let mut dm = Poly::from_data(scaled, Representation::Coeff);
-        dm.to_eval(self.params.q_table());
+        let mut dm = self.params.lift_scaled(pt.poly().data());
+        dm.to_eval(self.params.chain());
         if let Some(pk) = &self.pk {
             self.encrypt_with_pk(dm, pk.clone())
         } else {
@@ -77,24 +76,22 @@ impl Encryptor {
         }
     }
 
-    fn encrypt_with_pk(&mut self, dm: Poly, pk: PublicKey) -> Result<Ciphertext> {
-        let q = *self.params.cipher_modulus();
-        let n = self.params.degree();
-        let table = self.params.q_table();
-        let mut u = self.rng.ternary_poly(n, &q);
-        u.to_eval(table);
-        let mut e0 = self.rng.noise_poly(n, &q);
-        e0.to_eval(table);
-        let mut e1 = self.rng.noise_poly(n, &q);
-        e1.to_eval(table);
+    fn encrypt_with_pk(&mut self, dm: RnsPoly, pk: PublicKey) -> Result<Ciphertext> {
+        let chain = self.params.chain().clone();
+        let mut u = self.rng.ternary_rns(&chain);
+        u.to_eval(&chain);
+        let mut e0 = self.rng.noise_rns(&chain);
+        e0.to_eval(&chain);
+        let mut e1 = self.rng.noise_rns(&chain);
+        e1.to_eval(&chain);
 
         let mut c0 = pk.pk0().clone();
-        c0.mul_assign_pointwise(&u, &q)?;
-        c0.add_assign(&e0, &q)?;
-        c0.add_assign(&dm, &q)?;
+        c0.mul_assign_pointwise(&u, &chain)?;
+        c0.add_assign(&e0, &chain)?;
+        c0.add_assign(&dm, &chain)?;
         let mut c1 = pk.pk1().clone();
-        c1.mul_assign_pointwise(&u, &q)?;
-        c1.add_assign(&e1, &q)?;
+        c1.mul_assign_pointwise(&u, &chain)?;
+        c1.add_assign(&e1, &chain)?;
         Ok(Ciphertext::new(
             c0,
             c1,
@@ -103,20 +100,18 @@ impl Encryptor {
         ))
     }
 
-    fn encrypt_with_sk(&mut self, dm: Poly) -> Result<Ciphertext> {
-        let q = *self.params.cipher_modulus();
-        let n = self.params.degree();
-        let table = self.params.q_table();
+    fn encrypt_with_sk(&mut self, dm: RnsPoly) -> Result<Ciphertext> {
+        let chain = self.params.chain().clone();
         let sk = self.sk.as_ref().expect("sk encryptor");
-        let a = self.rng.uniform_poly(n, &q, Representation::Eval);
-        let mut e = self.rng.noise_poly(n, &q);
-        e.to_eval(table);
+        let a = self.rng.uniform_rns(&chain, Representation::Eval);
+        let mut e = self.rng.noise_rns(&chain);
+        e.to_eval(&chain);
         // c0 = -(a*s) + e + Δm; c1 = a
         let mut c0 = a.clone();
-        c0.mul_assign_pointwise(sk.poly(), &q)?;
-        c0.negate(&q);
-        c0.add_assign(&e, &q)?;
-        c0.add_assign(&dm, &q)?;
+        c0.mul_assign_pointwise(sk.poly(), &chain)?;
+        c0.negate(&chain);
+        c0.add_assign(&e, &chain)?;
+        c0.add_assign(&dm, &chain)?;
         Ok(Ciphertext::new(
             c0,
             a,
@@ -184,7 +179,9 @@ impl Decryptor {
         &self.params
     }
 
-    /// Decrypts to a plaintext: `m = round(t·(c0 + c1·s)/q) mod t`.
+    /// Decrypts to a plaintext: `m = round(t·(c0 + c1·s)/Q) mod t`, with
+    /// each coefficient CRT-composed across limbs before the exact integer
+    /// rounding.
     ///
     /// # Errors
     ///
@@ -193,18 +190,19 @@ impl Decryptor {
     /// [`Decryptor::invariant_noise_budget`] to check.
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext> {
         self.params.check_same(ct.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let t = self.params.plain_modulus();
         let phase = self.phase(ct)?;
-        let qv = q.value() as u128;
+        let qv = chain.big_q();
         let tv = t.value() as u128;
         let half_q = qv / 2;
-        let coeffs: Vec<u64> = phase
-            .data()
-            .iter()
-            .map(|&c| {
-                // round(t*c/q) mod t, in exact integer arithmetic.
-                let num = tv * c as u128 + half_q;
+        let n = self.params.degree();
+        let coeffs: Vec<u64> = (0..n)
+            .map(|j| {
+                // round(t*c/Q) mod t, in exact integer arithmetic (the
+                // chain builder guarantees t*Q + Q/2 fits u128).
+                let c = phase.compose_coeff(chain, j);
+                let num = tv * c + half_q;
                 ((num / qv) % tv) as u64
             })
             .collect();
@@ -215,36 +213,31 @@ impl Decryptor {
     }
 
     /// `c0 + c1·s` in coefficient form — the decryption phase.
-    fn phase(&self, ct: &Ciphertext) -> Result<Poly> {
-        let q = *self.params.cipher_modulus();
+    fn phase(&self, ct: &Ciphertext) -> Result<RnsPoly> {
+        let chain = self.params.chain();
         let mut acc = ct.c1().clone();
-        acc.mul_assign_pointwise(self.sk.poly(), &q)?;
-        acc.add_assign(ct.c0(), &q)?;
-        acc.to_coeff(self.params.q_table());
+        acc.mul_assign_pointwise(self.sk.poly(), chain)?;
+        acc.add_assign(ct.c0(), chain)?;
+        acc.to_coeff(chain);
         Ok(acc)
     }
 
     /// The exact invariant-noise magnitude `||c0 + c1·s − Δ·m||_∞`
-    /// (centered), the ground truth the Table III model bounds.
+    /// (centered against `Q`), the ground truth the Table III model bounds.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
-    pub fn invariant_noise(&self, ct: &Ciphertext) -> Result<u64> {
-        let q = *self.params.cipher_modulus();
+    pub fn invariant_noise(&self, ct: &Ciphertext) -> Result<u128> {
+        let chain = self.params.chain();
         let m = self.decrypt(ct)?;
-        let delta = self.params.delta();
-        let mut dm_data = vec![0u64; self.params.degree()];
-        for (o, &c) in dm_data.iter_mut().zip(m.poly().data()) {
-            *o = q.mul_mod(delta % q.value(), c);
-        }
+        let dm = self.params.lift_scaled(m.poly().data());
         let mut v = self.phase(ct)?;
-        let dm = Poly::from_data(dm_data, Representation::Coeff);
-        v.sub_assign(&dm, &q)?;
-        v.inf_norm_centered(&q)
+        v.sub_assign(&dm, chain)?;
+        v.inf_norm_centered(chain)
     }
 
-    /// Remaining noise budget in bits: `log2(q/(2t)) − log2(noise)`.
+    /// Remaining noise budget in bits: `log2(Q/(2t)) − log2(noise)`.
     ///
     /// The measurement is taken against the *nearest* plaintext multiple,
     /// so once noise truly overflows the budget collapses to ≈ 0 (it can
@@ -299,6 +292,10 @@ mod tests {
             .cipher_bits(if n >= 4096 { 60 } else { 54 })
             .build()
             .unwrap();
+        setup_with(params)
+    }
+
+    fn setup_with(params: BfvParams) -> (BfvParams, BatchEncoder, Encryptor, Decryptor) {
         let mut kg = KeyGenerator::from_seed(params.clone(), 99);
         let pk = kg.public_key().unwrap();
         let enc = Encryptor::from_public_key(pk, 7);
@@ -315,6 +312,40 @@ mod tests {
         let ct = enc.encrypt(&pt).unwrap();
         let out = dec.decrypt_checked(&ct).unwrap();
         assert_eq!(encoder.decode(&out), encoder.decode(&pt));
+    }
+
+    #[test]
+    fn multi_limb_encrypt_decrypt_roundtrip() {
+        for params in [
+            BfvParams::preset_rns_2x30(4096).unwrap(),
+            BfvParams::preset_rns_3x36(4096).unwrap(),
+        ] {
+            let limbs = params.limbs();
+            let (_, encoder, mut enc, dec) = setup_with(params);
+            let values: Vec<u64> = (0..4096u64).map(|i| i * 31 % 65537).collect();
+            let pt = encoder.encode(&values).unwrap();
+            let ct = enc.encrypt(&pt).unwrap();
+            assert_eq!(ct.limbs(), limbs);
+            let out = dec.decrypt_checked(&ct).unwrap();
+            assert_eq!(encoder.decode(&out), encoder.decode(&pt), "limbs={limbs}");
+        }
+    }
+
+    #[test]
+    fn deeper_chains_have_deeper_budgets() {
+        let (_, enc1, mut e1, d1) = setup_with(BfvParams::preset_single_60(4096).unwrap());
+        let (_, _, mut e3, d3) = setup_with(BfvParams::preset_rns_3x36(4096).unwrap());
+        let pt1 = enc1.encode(&[1, 2, 3]).unwrap();
+        let b1 = d1
+            .invariant_noise_budget(&e1.encrypt(&pt1).unwrap())
+            .unwrap();
+        let enc3 = BatchEncoder::new(d3.params().clone());
+        let pt3 = enc3.encode(&[1, 2, 3]).unwrap();
+        let b3 = d3
+            .invariant_noise_budget(&e3.encrypt(&pt3).unwrap())
+            .unwrap();
+        // 108-bit Q vs 60-bit Q: ~48 extra bits of budget.
+        assert!(b3 > b1 + 40.0, "single {b1:.1} vs 3x36 {b3:.1}");
     }
 
     #[test]

@@ -67,6 +67,20 @@ pub enum Error {
     NoiseBudgetExhausted,
     /// The decomposition base must be a power of two ≥ 2.
     InvalidDecompositionBase(u64),
+    /// A modulus chain must have between 1 and `MAX_RNS_LIMBS` limbs.
+    InvalidLimbCount {
+        /// Limb count supplied.
+        limbs: usize,
+    },
+    /// The composed modulus chain exceeds what exact CRT arithmetic
+    /// supports (`Q` itself, and `t·Q` during decryption rounding, must
+    /// fit 128 bits).
+    ModulusChainTooLarge {
+        /// Bits of the composed modulus (with the plaintext margin).
+        total_bits: u32,
+        /// Maximum supported bits.
+        max_bits: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -106,6 +120,16 @@ impl fmt::Display for Error {
             Error::InvalidDecompositionBase(b) => {
                 write!(f, "decomposition base {b} must be a power of two >= 2")
             }
+            Error::InvalidLimbCount { limbs } => {
+                write!(f, "modulus chain needs 1..=8 limbs, got {limbs}")
+            }
+            Error::ModulusChainTooLarge {
+                total_bits,
+                max_bits,
+            } => write!(
+                f,
+                "modulus chain spans {total_bits} bits, exceeding the {max_bits}-bit exact-CRT limit"
+            ),
         }
     }
 }

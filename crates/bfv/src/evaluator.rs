@@ -45,7 +45,8 @@ use crate::error::{Error, Result};
 use crate::keys::{element_for_step, GaloisKeys};
 use crate::noise::NoiseEstimate;
 use crate::params::BfvParams;
-use crate::poly::{Poly, Representation};
+use crate::poly::Representation;
+use crate::rns::{digits_from_coeffs, RnsPoly};
 use crate::scratch::Scratch;
 
 /// Running kernel-invocation counters (per evaluator).
@@ -67,10 +68,12 @@ pub struct OpCounts {
     pub mul: u64,
     /// `HE_Rotate` invocations.
     pub rotate: u64,
-    /// Forward + inverse NTT invocations.
+    /// Forward + inverse NTT invocations. Counted structurally (one per
+    /// polynomial transform): an RNS transform runs `l_limbs` limb-plane
+    /// NTTs but counts once, so counts are chain-length invariant.
     pub ntt: u64,
     /// Pointwise polynomial multiplications (2 per `HE_Mult` digit,
-    /// `2·l_ct` per rotate).
+    /// `2·l_ct` per rotate; each spans every limb plane).
     pub poly_mul: u64,
 }
 
@@ -87,21 +90,22 @@ impl OpCounts {
     }
 }
 
-/// A plaintext pre-lifted to `R_q` and NTT-transformed, ready for repeated
-/// multiplication (exposes the intermediate per C-INTERMEDIATE; weight
-/// polynomials are reused across many ciphertexts in a conv layer).
+/// A plaintext pre-lifted to `R_Q` (every limb plane) and NTT-transformed,
+/// ready for repeated multiplication (exposes the intermediate per
+/// C-INTERMEDIATE; weight polynomials are reused across many ciphertexts in
+/// a conv layer).
 #[derive(Debug, Clone)]
 pub struct PreparedPlaintext {
-    /// Evaluation-form polynomial mod `q` (centered lift of the mod-`t`
-    /// coefficients).
-    poly: Poly,
+    /// Evaluation-form RNS polynomial (centered lift of the mod-`t`
+    /// coefficients into every limb).
+    poly: RnsPoly,
     /// `||pt||_∞` of the centered coefficients (drives noise growth).
     inf_norm: u64,
 }
 
 impl PreparedPlaintext {
     /// The evaluation-form polynomial.
-    pub fn poly(&self) -> &Poly {
+    pub fn poly(&self) -> &RnsPoly {
         &self.poly
     }
 
@@ -156,7 +160,7 @@ pub struct Evaluator {
 impl Evaluator {
     /// Creates an evaluator for the parameter set.
     pub fn new(params: BfvParams) -> Self {
-        let n = params.degree();
+        let (n, limbs) = (params.degree(), params.limbs());
         Self {
             params,
             add_count: AtomicU64::new(0),
@@ -164,7 +168,7 @@ impl Evaluator {
             rotate_count: AtomicU64::new(0),
             ntt_count: AtomicU64::new(0),
             poly_mul_count: AtomicU64::new(0),
-            scratch: Mutex::new(Scratch::new(n)),
+            scratch: Mutex::new(Scratch::new(n, limbs)),
         }
     }
 
@@ -176,7 +180,7 @@ impl Evaluator {
     /// A fresh scratch pool sized for this evaluator's parameters (one per
     /// worker thread is the intended pattern).
     pub fn new_scratch(&self) -> Scratch {
-        Scratch::new(self.params.degree())
+        Scratch::new(self.params.degree(), self.params.limbs())
     }
 
     /// Snapshot of the kernel counters.
@@ -216,12 +220,12 @@ impl Evaluator {
     pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(b.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let noise = a.noise().add(b.noise());
         {
             let (c0, c1) = a.parts_mut();
-            c0.add_assign(b.c0(), &q)?;
-            c1.add_assign(b.c1(), &q)?;
+            c0.add_assign(b.c0(), chain)?;
+            c1.add_assign(b.c1(), chain)?;
         }
         a.set_noise(noise);
         Self::count(&self.add_count, 1);
@@ -236,12 +240,12 @@ impl Evaluator {
     pub fn sub_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(b.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let noise = a.noise().add(b.noise());
         {
             let (c0, c1) = a.parts_mut();
-            c0.sub_assign(b.c0(), &q)?;
-            c1.sub_assign(b.c1(), &q)?;
+            c0.sub_assign(b.c0(), chain)?;
+            c1.sub_assign(b.c1(), chain)?;
         }
         a.set_noise(noise);
         Self::count(&self.add_count, 1);
@@ -255,10 +259,10 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn negate_assign(&self, a: &mut Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let (c0, c1) = a.parts_mut();
-        c0.negate(&q);
-        c1.negate(&q);
+        c0.negate(chain);
+        c1.negate(chain);
         Ok(())
     }
 
@@ -277,16 +281,13 @@ impl Evaluator {
     ) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(pt.params())?;
-        let q = *self.params.cipher_modulus();
-        let delta = self.params.delta() % q.value();
+        let chain = self.params.chain();
         let mut dm = scratch.take_poly(Representation::Coeff);
-        for (dst, &m) in dm.data_mut().iter_mut().zip(pt.poly().data()) {
-            *dst = q.mul_mod(delta, m);
-        }
-        dm.to_eval(self.params.q_table());
+        self.params.lift_scaled_into(pt.poly().data(), &mut dm);
+        dm.to_eval(chain);
         Self::count(&self.ntt_count, 1);
         let noise = a.noise().add_plain(pt.inf_norm());
-        let r = a.parts_mut().0.add_assign(&dm, &q);
+        let r = a.parts_mut().0.add_assign(&dm, chain);
         scratch.put_poly(dm);
         r?;
         a.set_noise(noise);
@@ -301,12 +302,12 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn mul_plain_assign(&self, a: &mut Ciphertext, pt: &PreparedPlaintext) -> Result<()> {
         self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let noise = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
         {
             let (c0, c1) = a.parts_mut();
-            c0.mul_assign_pointwise(&pt.poly, &q)?;
-            c1.mul_assign_pointwise(&pt.poly, &q)?;
+            c0.mul_assign_pointwise(&pt.poly, chain)?;
+            c1.mul_assign_pointwise(&pt.poly, chain)?;
         }
         a.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -330,13 +331,13 @@ impl Evaluator {
     ) -> Result<()> {
         self.params.check_same(acc.params())?;
         self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let term = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
         let noise = acc.noise().add(&term);
         {
             let (c0, c1) = acc.parts_mut();
-            c0.fma_pointwise(a.c0(), &pt.poly, &q)?;
-            c1.fma_pointwise(a.c1(), &pt.poly, &q)?;
+            c0.fma_pointwise(a.c0(), &pt.poly, chain)?;
+            c1.fma_pointwise(a.c1(), &pt.poly, chain)?;
         }
         acc.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -352,14 +353,14 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn mul_scalar_assign(&self, a: &mut Ciphertext, c: u64) -> Result<()> {
         self.params.check_same(a.params())?;
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let t = self.params.plain_modulus();
         let c_red = t.reduce(c);
         let noise = a.noise().mul_plain(&self.params, 1, 2 * c_red.max(1));
         {
             let (c0, c1) = a.parts_mut();
-            c0.mul_scalar(c_red, &q);
-            c1.mul_scalar(c_red, &q);
+            c0.mul_scalar(c_red, chain);
+            c1.mul_scalar(c_red, chain);
         }
         a.set_noise(noise);
         Ok(())
@@ -412,11 +413,10 @@ impl Evaluator {
         out: &mut Ciphertext,
         a: &Ciphertext,
         key: &crate::keys::GaloisKey,
-        c1_g: &mut Poly,
+        c1_g: &mut RnsPoly,
         scratch: &mut Scratch,
     ) -> Result<()> {
-        let q = *self.params.cipher_modulus();
-        let table = self.params.q_table();
+        let chain = self.params.chain();
         let perm = key.permutation();
 
         // 1. Permute both components in the evaluation domain (Swap
@@ -425,18 +425,19 @@ impl Evaluator {
         c1_g.permute_from(a.c1(), perm);
         let (oc0, oc1) = out.parts_mut();
         oc0.permute_from(a.c0(), perm);
-        // 2. INTT c1 for decomposition.
-        c1_g.to_coeff(table);
-        // 3. Decompose into l_ct digits (base A_dcmp).
+        // 2. INTT c1 for decomposition (one inverse pass per limb plane).
+        c1_g.to_coeff(chain);
+        // 3. Decompose into l_ct digits over the composed modulus (base
+        //    A_dcmp; limbs are CRT-composed per coefficient).
         let digits = scratch.digits_mut(self.params.l_ct());
-        c1_g.decompose_into(self.params.a_dcmp(), &q, digits)?;
+        c1_g.decompose_into(self.params.a_dcmp(), chain, digits)?;
         // 4. NTT each digit; multiply-accumulate against the key pairs.
         oc1.fill_zero();
         oc1.set_representation(Representation::Eval);
         for (digit, (k0, k1)) in digits.iter_mut().zip(key.pairs()) {
-            digit.to_eval(table);
-            oc0.fma_pointwise(digit, k0, &q)?;
-            oc1.fma_pointwise(digit, k1, &q)?;
+            digit.to_eval(chain);
+            oc0.fma_pointwise(digit, k0, chain)?;
+            oc1.fma_pointwise(digit, k1, chain)?;
         }
         Ok(())
     }
@@ -523,16 +524,11 @@ impl Evaluator {
     pub fn prepare_plaintext(&self, pt: &Plaintext) -> Result<PreparedPlaintext> {
         self.params.check_same(pt.params())?;
         let t = self.params.plain_modulus();
-        let q = self.params.cipher_modulus();
+        let chain = self.params.chain();
         let inf_norm = pt.inf_norm().max(1);
-        let lifted: Vec<u64> = pt
-            .poly()
-            .data()
-            .iter()
-            .map(|&c| q.from_signed(t.center(c)))
-            .collect();
-        let mut poly = Poly::from_data(lifted, Representation::Coeff);
-        poly.to_eval(self.params.q_table());
+        let centered: Vec<i64> = pt.poly().data().iter().map(|&c| t.center(c)).collect();
+        let mut poly = RnsPoly::from_signed(&centered, chain);
+        poly.to_eval(chain);
         Self::count(&self.ntt_count, 1);
         Ok(PreparedPlaintext { poly, inf_norm })
     }
@@ -585,8 +581,7 @@ impl Evaluator {
         for ct in &wct.cts {
             self.params.check_same(ct.params())?;
         }
-        let t = *self.params.plain_modulus();
-        let q = *self.params.cipher_modulus();
+        let chain = self.params.chain();
         let l_pt = wct.levels();
 
         let mut out = Ciphertext::transparent_zero(&self.params);
@@ -594,15 +589,16 @@ impl Evaluator {
         {
             let mut guard = self.scratch.lock().expect("scratch mutex poisoned");
             let digits = guard.digits_mut(l_pt);
-            pt.poly().decompose_into(wct.base, &t, digits)?;
+            // Digit coefficients are < W <= t < every q_i: replicate each
+            // digit across the limb planes and lift directly into the
+            // evaluation domain.
+            digits_from_coeffs(pt.poly().data(), wct.base, chain, digits)?;
             let (oc0, oc1) = out.parts_mut();
             for (digit, ct) in digits.iter_mut().zip(&wct.cts) {
-                // Digit coefficients are already < W <= t <= q: lift
-                // directly into the evaluation domain.
-                digit.to_eval(self.params.q_table());
+                digit.to_eval(chain);
                 Self::count(&self.ntt_count, 1);
-                oc0.fma_pointwise(ct.c0(), digit, &q)?;
-                oc1.fma_pointwise(ct.c1(), digit, &q)?;
+                oc0.fma_pointwise(ct.c0(), digit, chain)?;
+                oc1.fma_pointwise(ct.c1(), digit, chain)?;
                 Self::count(&self.poly_mul_count, 2);
                 let term = ct.noise().mul_plain(&self.params, 1, wct.base);
                 noise = Some(match noise {

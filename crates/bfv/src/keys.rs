@@ -1,28 +1,31 @@
 //! Key material: secret key, public key, and Galois (rotation) keys.
 //!
 //! Galois keys embed the ciphertext decomposition base `A_dcmp`
-//! (Table II): each key holds `l_ct = ceil(log_A q)` RLWE samples of
-//! `A^i · s(x^g)`, so applying a rotation costs `2·l_ct` polynomial
-//! multiplications and `l_ct + 1` NTTs — exactly the counts the Cheetah
-//! performance model charges per `HE_Rotate` (§IV-A).
+//! (Table II): each key holds `l_ct = ceil(log_A Q)` RLWE samples of
+//! `A^i · s(x^g)` over the full modulus chain, so applying a rotation costs
+//! `2·l_ct` polynomial multiplications and `l_ct + 1` NTT passes (each a
+//! limb-parallel transform) — exactly the counts the Cheetah performance
+//! model charges per `HE_Rotate` (§IV-A).
 
 use std::collections::HashMap;
 
 use crate::error::{Error, Result};
 use crate::params::BfvParams;
-use crate::poly::{Poly, Representation};
+use crate::poly::Representation;
+use crate::rns::RnsPoly;
 use crate::sampling::BfvRng;
 
-/// The RLWE secret key: a ternary polynomial, stored in evaluation form.
+/// The RLWE secret key: a ternary polynomial lifted into every limb plane,
+/// stored in evaluation form.
 #[derive(Debug, Clone)]
 pub struct SecretKey {
-    s: Poly,
+    s: RnsPoly,
     params: BfvParams,
 }
 
 impl SecretKey {
     /// The secret polynomial in evaluation form.
-    pub fn poly(&self) -> &Poly {
+    pub fn poly(&self) -> &RnsPoly {
         &self.s
     }
 
@@ -35,19 +38,19 @@ impl SecretKey {
 /// The public encryption key `(pk0, pk1) = (−(a·s + e), a)`.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
-    pk0: Poly,
-    pk1: Poly,
+    pk0: RnsPoly,
+    pk1: RnsPoly,
     params: BfvParams,
 }
 
 impl PublicKey {
     /// First component `−(a·s + e)`, evaluation form.
-    pub fn pk0(&self) -> &Poly {
+    pub fn pk0(&self) -> &RnsPoly {
         &self.pk0
     }
 
     /// Second component `a`, evaluation form.
-    pub fn pk1(&self) -> &Poly {
+    pub fn pk1(&self) -> &RnsPoly {
         &self.pk1
     }
 
@@ -59,20 +62,21 @@ impl PublicKey {
 
 /// One key-switching key: `l_ct` pairs
 /// `(−(a_i·s + e_i) + A^i·s(x^g), a_i)` in evaluation form, plus the cached
-/// slot permutation realizing `x ↦ x^g` on NTT-form data.
+/// slot permutation realizing `x ↦ x^g` on NTT-form data (the permutation
+/// depends only on `n`, so one table serves every limb plane).
 #[derive(Debug, Clone)]
 pub struct GaloisKey {
     /// The Galois element `g` (odd).
     pub element: u64,
     /// Key-switch pairs, one per decomposition digit.
-    pairs: Vec<(Poly, Poly)>,
+    pairs: Vec<(RnsPoly, RnsPoly)>,
     /// NTT-domain permutation for `x ↦ x^g`.
     perm: Vec<u32>,
 }
 
 impl GaloisKey {
     /// Key-switch pairs (`l_ct` of them).
-    pub fn pairs(&self) -> &[(Poly, Poly)] {
+    pub fn pairs(&self) -> &[(RnsPoly, RnsPoly)] {
         &self.pairs
     }
 
@@ -121,9 +125,9 @@ impl GaloisKeys {
     }
 
     /// Serialized size in bytes (for protocol accounting): each key holds
-    /// `l_ct` pairs of degree-`n` polynomials.
+    /// `l_ct` pairs of `l_limbs · n`-word polynomials.
     pub fn byte_size(&self, params: &BfvParams) -> usize {
-        self.keys.len() * params.l_ct() * 2 * params.degree() * 8
+        self.keys.len() * params.l_ct() * 2 * params.limbs() * params.degree() * 8
     }
 
     fn insert(&mut self, key: GaloisKey) {
@@ -172,9 +176,8 @@ impl KeyGenerator {
     }
 
     fn sample_secret(params: &BfvParams, rng: &mut BfvRng) -> SecretKey {
-        let q = params.cipher_modulus();
-        let mut s = rng.ternary_poly(params.degree(), q);
-        s.to_eval(params.q_table());
+        let mut s = rng.ternary_rns(params.chain());
+        s.to_eval(params.chain());
         SecretKey {
             s,
             params: params.clone(),
@@ -198,16 +201,15 @@ impl KeyGenerator {
     /// Propagates polynomial arithmetic errors (cannot occur for matched
     /// parameters).
     pub fn public_key(&mut self) -> Result<PublicKey> {
-        let q = *self.params.cipher_modulus();
-        let n = self.params.degree();
-        let a = self.rng.uniform_poly(n, &q, Representation::Eval);
-        let mut e = self.rng.noise_poly(n, &q);
-        e.to_eval(self.params.q_table());
+        let chain = self.params.chain().clone();
+        let a = self.rng.uniform_rns(&chain, Representation::Eval);
+        let mut e = self.rng.noise_rns(&chain);
+        e.to_eval(&chain);
         // pk0 = -(a*s + e)
         let mut pk0 = a.clone();
-        pk0.mul_assign_pointwise(self.sk.poly(), &q)?;
-        pk0.add_assign(&e, &q)?;
-        pk0.negate(&q);
+        pk0.mul_assign_pointwise(self.sk.poly(), &chain)?;
+        pk0.add_assign(&e, &chain)?;
+        pk0.negate(&chain);
         Ok(PublicKey {
             pk0,
             pk1: a,
@@ -222,37 +224,39 @@ impl KeyGenerator {
     ///
     /// Propagates arithmetic errors; `g` must be odd (panics otherwise).
     pub fn galois_key(&mut self, g: u64) -> Result<GaloisKey> {
-        let q = *self.params.cipher_modulus();
-        let n = self.params.degree();
-        let table = self.params.q_table();
+        let chain = self.params.chain().clone();
         let a_base = self.params.a_dcmp();
         let l_ct = self.params.l_ct();
 
-        // s(x^g) in evaluation form, via the NTT-domain permutation.
-        let perm = table.galois_permutation(g);
-        let s_data = self.sk.poly().data();
-        let s_g = Poly::from_data(
-            perm.iter().map(|&p| s_data[p as usize]).collect(),
-            Representation::Eval,
-        );
+        // s(x^g) in evaluation form, via the NTT-domain permutation (one
+        // permutation table drives every limb plane).
+        let perm = chain.table(0).galois_permutation(g);
+        let mut s_g = RnsPoly::zero(&chain, Representation::Eval);
+        s_g.permute_from(self.sk.poly(), &perm);
 
         let mut pairs = Vec::with_capacity(l_ct);
-        let mut scale = 1u64; // A^i mod q
-        for i in 0..l_ct {
-            let a_i = self.rng.uniform_poly(n, &q, Representation::Eval);
-            let mut e_i = self.rng.noise_poly(n, &q);
-            e_i.to_eval(table);
-            // k0 = -(a_i*s + e_i) + A^i * s(x^g)
+        // scale[i] = A^level mod q_i, advanced per level.
+        let mut scale: Vec<u64> = vec![1; chain.limbs()];
+        for level in 0..l_ct {
+            let a_i = self.rng.uniform_rns(&chain, Representation::Eval);
+            let mut e_i = self.rng.noise_rns(&chain);
+            e_i.to_eval(&chain);
+            // k0 = -(a_i*s + e_i) + A^level * s(x^g)
             let mut k0 = a_i.clone();
-            k0.mul_assign_pointwise(self.sk.poly(), &q)?;
-            k0.add_assign(&e_i, &q)?;
-            k0.negate(&q);
+            k0.mul_assign_pointwise(self.sk.poly(), &chain)?;
+            k0.add_assign(&e_i, &chain)?;
+            k0.negate(&chain);
             let mut scaled_sg = s_g.clone();
-            scaled_sg.mul_scalar(scale, &q);
-            k0.add_assign(&scaled_sg, &q)?;
+            for (i, &sc) in scale.iter().enumerate() {
+                crate::poly::mul_scalar_slice(scaled_sg.limb_mut(i), sc, chain.modulus(i));
+            }
+            k0.add_assign(&scaled_sg, &chain)?;
             pairs.push((k0, a_i));
-            if i + 1 < l_ct {
-                scale = q.mul_mod(scale, q.reduce(a_base));
+            if level + 1 < l_ct {
+                for (i, sc) in scale.iter_mut().enumerate() {
+                    let q = chain.modulus(i);
+                    *sc = q.mul_mod(*sc, q.reduce(a_base));
+                }
             }
         }
         Ok(GaloisKey {
@@ -369,10 +373,11 @@ mod tests {
         let p = params();
         let kg = KeyGenerator::from_seed(p.clone(), 1);
         let mut s = kg.secret_key().poly().clone();
-        s.to_coeff(p.q_table());
-        let q = p.cipher_modulus();
-        for &c in s.data() {
-            assert!(c == 0 || c == 1 || c == q.value() - 1);
+        s.to_coeff(p.chain());
+        for (i, q) in p.chain().moduli().iter().enumerate() {
+            for &c in s.limb(i) {
+                assert!(c == 0 || c == 1 || c == q.value() - 1);
+            }
         }
     }
 
@@ -382,17 +387,34 @@ mod tests {
         let p = params();
         let mut kg = KeyGenerator::from_seed(p.clone(), 2);
         let pk = kg.public_key().unwrap();
-        let q = *p.cipher_modulus();
+        let chain = p.chain();
         let mut check = pk.pk1().clone();
         check
-            .mul_assign_pointwise(kg.secret_key().poly(), &q)
+            .mul_assign_pointwise(kg.secret_key().poly(), chain)
             .unwrap();
-        check.add_assign(pk.pk0(), &q).unwrap();
-        check.to_coeff(p.q_table());
-        let norm = check.inf_norm_centered(&q).unwrap();
+        check.add_assign(pk.pk0(), chain).unwrap();
+        check.to_coeff(chain);
+        let norm = check.inf_norm_centered(chain).unwrap();
         // |e| <= CBD bound = round(2*sigma^2) = 20 or so.
         assert!(norm <= 64, "pk residual too large: {norm}");
         assert!(norm > 0, "error should be nonzero");
+    }
+
+    #[test]
+    fn multi_limb_public_key_is_rlwe_sample() {
+        let p = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 8);
+        let pk = kg.public_key().unwrap();
+        let chain = p.chain();
+        let mut check = pk.pk1().clone();
+        check
+            .mul_assign_pointwise(kg.secret_key().poly(), chain)
+            .unwrap();
+        check.add_assign(pk.pk0(), chain).unwrap();
+        check.to_coeff(chain);
+        let norm = check.inf_norm_centered(chain).unwrap();
+        assert!(norm <= 64, "pk residual too large across limbs: {norm}");
+        assert!(norm > 0);
     }
 
     #[test]
@@ -439,6 +461,19 @@ mod tests {
         assert!(keys.len() >= 10);
         assert!(keys.contains(kg.element_for_row_swap()));
         assert!(keys.byte_size(&p) > 0);
+    }
+
+    #[test]
+    fn key_byte_size_scales_with_limbs() {
+        let p1 = BfvParams::preset_single_60(4096).unwrap();
+        let p2 = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg1 = KeyGenerator::from_seed(p1.clone(), 6);
+        let mut kg2 = KeyGenerator::from_seed(p2.clone(), 6);
+        let k1 = kg1.galois_keys_for_steps(&[1]).unwrap();
+        let k2 = kg2.galois_keys_for_steps(&[1]).unwrap();
+        // Same total log2(Q) = 60, same A_dcmp => same l_ct; double the
+        // limbs => double the serialized bytes.
+        assert_eq!(k2.byte_size(&p2), 2 * k1.byte_size(&p1));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod noise;
 pub mod ntt;
 pub mod params;
 pub mod poly;
+pub mod rns;
 pub mod sampling;
 pub mod scratch;
 
@@ -67,4 +68,5 @@ pub use evaluator::{Evaluator, OpCounts, PreparedPlaintext};
 pub use keys::{GaloisKey, GaloisKeys, KeyGenerator, PublicKey, SecretKey};
 pub use noise::NoiseEstimate;
 pub use params::{BfvParams, BfvParamsBuilder, SecurityLevel};
+pub use rns::{ModulusChain, RnsPoly};
 pub use scratch::Scratch;

@@ -87,18 +87,27 @@ impl NoiseEstimate {
     }
 
     /// Noise after plaintext multiplication with decomposition
-    /// (Table III: `n·l_pt·W_dcmp·v/2`).
+    /// (Table III: `n·l_pt·W_dcmp·v/2`), plus the scaling-rounding term.
     ///
     /// `l_pt = 1` and `W = 2·||pt||` models the undecomposed case.
+    ///
+    /// Because `Δ·t = Q − (Q mod t)`, multiplying `Δm + v` by a lifted
+    /// plaintext also injects `−(Q mod t)·⌊mw/t⌋`: effectively the factor
+    /// acts on `v + (Q mod t)` rather than `v` alone. The default
+    /// single-limb generator picks `Q ≡ 1 (mod t)` so the term is ±1 and
+    /// invisible; multi-limb chains cannot always satisfy the congruence,
+    /// so the model charges it explicitly (`r` below).
     pub fn mul_plain(&self, params: &BfvParams, l_pt: usize, w_base: u64) -> Self {
         let n = params.degree() as f64;
+        let r = params.q_mod_t().max(1) as f64;
         let factor = n * l_pt as f64 * w_base as f64 / 2.0;
         // Variance: each output coefficient is a sum of n products of noise
-        // with plaintext digits uniform in [0, W): E[w²] ≈ W²/3.
+        // with plaintext digits uniform in [0, W): E[w²] ≈ W²/3. The
+        // rounding digits are ~uniform in [0, r): variance r²/12.
         let var_factor = n * l_pt as f64 * (w_base as f64 * w_base as f64) / 3.0;
         Self {
-            bound_log2: self.bound_log2 + factor.log2(),
-            variance_log2: self.variance_log2 + var_factor.log2(),
+            bound_log2: log2_sum(self.bound_log2, r.log2()) + factor.log2(),
+            variance_log2: log2_sum(self.variance_log2, (r * r / 12.0).log2()) + var_factor.log2(),
         }
     }
 

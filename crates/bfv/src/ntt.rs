@@ -14,6 +14,9 @@
 //! pass is ever needed, and it is the layout assumed by
 //! [`crate::encoder::BatchEncoder`] and the Galois slot permutations.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::arith::{bit_reverse, primitive_root_2n, Modulus, ShoupPrecomp};
 use crate::error::Result;
 
@@ -98,6 +101,30 @@ impl NttTable {
             n_inv,
             psi,
         })
+    }
+
+    /// Memoized variant of [`NttTable::new`]: tables are cached per
+    /// `(modulus, n)` process-wide, so multi-limb parameter sets (and
+    /// repeated [`crate::params::BfvParams`] builds over the same primes)
+    /// pay the `O(n)` root-power precompute once and share one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NttTable::new`]; failures are not cached.
+    pub fn cached(n: usize, q: Modulus) -> Result<Arc<Self>> {
+        type TableCache = Mutex<HashMap<(u64, usize), Arc<NttTable>>>;
+        static CACHE: OnceLock<TableCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(t) = cache.lock().expect("ntt cache").get(&(q.value(), n)) {
+            return Ok(Arc::clone(t));
+        }
+        // Build outside the lock: construction is the expensive part.
+        let table = Arc::new(Self::new(n, q)?);
+        let mut guard = cache.lock().expect("ntt cache");
+        let entry = guard
+            .entry((q.value(), n))
+            .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
     }
 
     /// Polynomial degree `n`.
@@ -421,5 +448,16 @@ mod tests {
     fn butterfly_count_matches_formula() {
         let t = table(1024, 30);
         assert_eq!(t.butterflies(), 512 * 10);
+    }
+
+    #[test]
+    fn cached_tables_are_shared_per_modulus_and_degree() {
+        let q = Modulus::new(generate_ntt_prime(30, 512).unwrap()).unwrap();
+        let a = NttTable::cached(512, q).unwrap();
+        let b = NttTable::cached(512, q).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same (q, n) must share");
+        let q2 = Modulus::new(generate_ntt_prime(31, 512).unwrap()).unwrap();
+        let c = NttTable::cached(512, q2).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "different q must not");
     }
 }

@@ -1,25 +1,67 @@
-//! BFV encryption parameters (Table II of the paper).
+//! BFV encryption parameters over an RNS modulus chain.
 //!
 //! | Parameter | Meaning |
 //! |-----------|---------|
 //! | `n`       | polynomial degree (slot vector length) |
 //! | `t`       | plaintext modulus |
-//! | `q`       | ciphertext modulus |
+//! | `q_0…q_{l-1}` | the ciphertext modulus chain, `Q = Π q_i` |
 //! | `W_dcmp`  | plaintext (weight) decomposition base |
 //! | `A_dcmp`  | ciphertext (activation) decomposition base |
 //! | `σ`       | std-dev of the encryption noise (fixed) |
 //!
-//! Parameters are built with [`BfvParamsBuilder`], which generates matching
-//! NTT-friendly primes, checks the 128-bit RLWE security table, and
-//! precomputes the NTT tables shared by every object in a session.
+//! The ciphertext modulus is a [`ModulusChain`] of word-sized CRT primes:
+//! every ciphertext polynomial stores one residue plane per limb
+//! ([`crate::rns::RnsPoly`]) and all hot kernels run limb-parallel in
+//! machine words. A chain of length 1 reproduces the historical
+//! single-modulus engine bit-for-bit; longer chains unlock `log2(Q)` far
+//! past one word (the paper's deep-network noise budgets) while keeping
+//! every multiplication a 64-bit Barrett op.
+//!
+//! Parameters are built with [`BfvParamsBuilder`]:
+//!
+//! ```
+//! use cheetah_bfv::params::BfvParams;
+//!
+//! # fn main() -> Result<(), cheetah_bfv::Error> {
+//! // Single limb (the classic Cheetah point): one generated 60-bit prime.
+//! let single = BfvParams::builder().degree(4096).cipher_bits(60).build()?;
+//! assert_eq!(single.limbs(), 1);
+//!
+//! // Multi-limb: exact primes via `.moduli([...])`, or generated sizes
+//! // via `.moduli_bits(&[30, 30])`.
+//! let two = BfvParams::builder()
+//!     .degree(4096)
+//!     .plain_bits(17)
+//!     .moduli_bits(&[30, 30])
+//!     .build()?;
+//! assert_eq!(two.limbs(), 2);
+//! assert_eq!(two.chain().total_bits(), 60);
+//!
+//! let explicit = BfvParams::builder()
+//!     .degree(4096)
+//!     .moduli(two.chain().moduli().iter().map(|m| m.value()).collect::<Vec<_>>())
+//!     .build()?;
+//! assert_eq!(explicit.chain(), two.chain());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The builder generates matching NTT-friendly primes, checks the 128-bit
+//! RLWE security table against the *total* `log2(Q)`, and shares memoized
+//! NTT tables per `(prime, n)` across every parameter set in the process.
+//!
+//! Ready-made presets for the limb counts the benches track:
+//! [`BfvParams::preset_single_60`], [`BfvParams::preset_rns_2x30`],
+//! [`BfvParams::preset_rns_3x36`] (see [`BfvParams::presets`]).
 
 use std::fmt;
 use std::sync::Arc;
 
-use crate::arith::{generate_ntt_prime, generate_prime_congruent, Modulus};
+use crate::arith::{generate_ntt_prime, generate_ntt_primes, generate_prime_congruent, Modulus};
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
 use crate::poly::decomposition_levels;
+use crate::rns::{ModulusChain, RnsPoly};
 
 /// Default encryption-noise standard deviation (SEAL's default).
 pub const DEFAULT_SIGMA: f64 = 3.2;
@@ -79,13 +121,19 @@ pub struct BfvParams {
 struct ParamsInner {
     n: usize,
     t: Modulus,
-    q: Modulus,
+    chain: ModulusChain,
     w_dcmp: u64,
     a_dcmp: u64,
     sigma: f64,
-    delta: u64,
-    q_table: NttTable,
-    t_table: NttTable,
+    /// `Δ = floor(Q / t)`, exact.
+    delta: u128,
+    /// `Δ mod q_i` per limb — the per-plane plaintext scaling factor.
+    delta_mod: Vec<u64>,
+    /// `Q mod t` — the plaintext-multiplication rounding residue. The
+    /// single-limb generator drives this to 1 (Gazelle congruence); for
+    /// multi-limb chains it is a genuine noise term the model charges.
+    q_mod_t: u64,
+    t_table: Arc<NttTable>,
     security: SecurityLevel,
 }
 
@@ -94,7 +142,16 @@ impl fmt::Debug for BfvParams {
         f.debug_struct("BfvParams")
             .field("n", &self.inner.n)
             .field("t", &self.inner.t.value())
-            .field("q", &self.inner.q.value())
+            .field(
+                "moduli",
+                &self
+                    .inner
+                    .chain
+                    .moduli()
+                    .iter()
+                    .map(Modulus::value)
+                    .collect::<Vec<_>>(),
+            )
             .field("w_dcmp", &self.inner.w_dcmp)
             .field("a_dcmp", &self.inner.a_dcmp)
             .field("sigma", &self.inner.sigma)
@@ -107,7 +164,7 @@ impl PartialEq for BfvParams {
         Arc::ptr_eq(&self.inner, &other.inner)
             || (self.inner.n == other.inner.n
                 && self.inner.t.value() == other.inner.t.value()
-                && self.inner.q.value() == other.inner.q.value()
+                && self.inner.chain == other.inner.chain
                 && self.inner.w_dcmp == other.inner.w_dcmp
                 && self.inner.a_dcmp == other.inner.a_dcmp)
     }
@@ -118,6 +175,69 @@ impl BfvParams {
     /// Starts building a parameter set.
     pub fn builder() -> BfvParamsBuilder {
         BfvParamsBuilder::new()
+    }
+
+    /// The classic single-limb Cheetah point: one 60-bit prime, 17-bit `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (e.g. insecure degree).
+    pub fn preset_single_60(n: usize) -> Result<BfvParams> {
+        Self::builder()
+            .degree(n)
+            .plain_bits(17)
+            .cipher_bits(60)
+            .build()
+    }
+
+    /// Two-limb chain of distinct 30-bit primes (`log2 Q = 60`) — the
+    /// single-60 noise ceiling exercised through genuine multi-limb CRT
+    /// arithmetic. Uses a 16-bit `t`: a 30-bit limb cannot satisfy the
+    /// Gazelle congruence `q ≡ 1 (mod 2n·t)`, so the multiplication
+    /// rounding term `(Q mod t)·⌊mw/t⌋` is live and the smaller plaintext
+    /// modulus keeps its headroom.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors.
+    pub fn preset_rns_2x30(n: usize) -> Result<BfvParams> {
+        // Smallest t with an NTT prime for the degree: 16 bits up to
+        // n = 4096; n = 8192 needs t ≡ 1 (mod 16384), first hit 65537.
+        let plain_bits = if n >= 8192 { 17 } else { 16 };
+        Self::builder()
+            .degree(n)
+            .plain_bits(plain_bits)
+            .moduli_bits(&[30, 30])
+            .build()
+    }
+
+    /// Three-limb chain of distinct 36-bit primes (`log2 Q = 108`) — a
+    /// deep noise budget out of reach of any single machine word, still
+    /// 128-bit secure at `n = 4096`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors.
+    pub fn preset_rns_3x36(n: usize) -> Result<BfvParams> {
+        Self::builder()
+            .degree(n)
+            .plain_bits(17)
+            .moduli_bits(&[36, 36, 36])
+            .build()
+    }
+
+    /// All named presets at degree `n`, as `(name, params)` pairs — the
+    /// grid the per-limb benches and CRT proptests iterate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors from any preset.
+    pub fn presets(n: usize) -> Result<Vec<(&'static str, BfvParams)>> {
+        Ok(vec![
+            ("single_60", Self::preset_single_60(n)?),
+            ("rns_2x30", Self::preset_rns_2x30(n)?),
+            ("rns_3x36", Self::preset_rns_3x36(n)?),
+        ])
     }
 
     /// Polynomial degree `n`.
@@ -132,10 +252,16 @@ impl BfvParams {
         &self.inner.t
     }
 
-    /// Ciphertext modulus `q`.
+    /// The ciphertext modulus chain.
     #[inline]
-    pub fn cipher_modulus(&self) -> &Modulus {
-        &self.inner.q
+    pub fn chain(&self) -> &ModulusChain {
+        &self.inner.chain
+    }
+
+    /// Number of RNS limbs `l` in the ciphertext modulus.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.inner.chain.limbs()
     }
 
     /// Plaintext (weight) decomposition base `W_dcmp`.
@@ -156,16 +282,54 @@ impl BfvParams {
         self.inner.sigma
     }
 
-    /// `Δ = floor(q / t)`, the plaintext scaling factor.
+    /// `Δ = floor(Q / t)`, the plaintext scaling factor (exact).
     #[inline]
-    pub fn delta(&self) -> u64 {
+    pub fn delta(&self) -> u128 {
         self.inner.delta
     }
 
-    /// NTT tables for the ciphertext modulus.
+    /// `Δ mod q_i` — the per-limb image of the scaling factor.
     #[inline]
-    pub fn q_table(&self) -> &NttTable {
-        &self.inner.q_table
+    pub fn delta_mod(&self, limb: usize) -> u64 {
+        self.inner.delta_mod[limb]
+    }
+
+    /// `Q mod t` — the residue driving the plaintext-multiplication
+    /// rounding term `(Q mod t)·⌊mw/t⌋`. Equals 1 whenever the chain
+    /// satisfies the Gazelle congruence `Q ≡ 1 (mod t)` (always true for
+    /// the default generated single limb).
+    #[inline]
+    pub fn q_mod_t(&self) -> u64 {
+        self.inner.q_mod_t
+    }
+
+    /// Writes `Δ·m` lifted into every limb plane of `out` (coefficient
+    /// form): `out[i][j] = (Δ mod q_i)·m_j mod q_i`, exact because
+    /// `Δ·m < Q`. The one Δ-scaling implementation shared by encryption,
+    /// plaintext addition, and noise measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len() != n` or `out` has a foreign shape.
+    pub fn lift_scaled_into(&self, msg: &[u64], out: &mut RnsPoly) {
+        assert_eq!(msg.len(), self.inner.n);
+        assert_eq!(out.degree(), self.inner.n);
+        assert_eq!(out.limbs(), self.limbs());
+        out.set_representation(crate::poly::Representation::Coeff);
+        for i in 0..self.limbs() {
+            let q_i = *self.chain().modulus(i);
+            let delta_i = self.delta_mod(i);
+            for (dst, &m) in out.limb_mut(i).iter_mut().zip(msg) {
+                *dst = q_i.mul_mod(delta_i, m);
+            }
+        }
+    }
+
+    /// Allocating variant of [`BfvParams::lift_scaled_into`].
+    pub fn lift_scaled(&self, msg: &[u64]) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.chain(), crate::poly::Representation::Coeff);
+        self.lift_scaled_into(msg, &mut out);
+        out
     }
 
     /// NTT tables for the plaintext modulus (used by the batch encoder).
@@ -180,9 +344,10 @@ impl BfvParams {
         self.inner.security
     }
 
-    /// `l_ct = ceil(log_{A_dcmp}(q))` — ciphertext decomposition levels.
+    /// `l_ct = ceil(log_{A_dcmp}(Q))` — ciphertext decomposition levels
+    /// over the *composed* modulus.
     pub fn l_ct(&self) -> usize {
-        decomposition_levels(self.inner.q.value(), self.inner.a_dcmp)
+        self.inner.chain.decomposition_levels(self.inner.a_dcmp)
     }
 
     /// `l_pt = ceil(log_{W_dcmp}(t))` — plaintext decomposition levels.
@@ -214,13 +379,15 @@ impl BfvParams {
         2.0 * self.inner.n as f64 * b * b
     }
 
-    /// The noise ceiling `q / (2t)`: decryption succeeds while the noise
+    /// The noise ceiling `Q / (2t)`: decryption succeeds while the noise
     /// magnitude stays below this.
     pub fn noise_ceiling(&self) -> f64 {
-        self.inner.q.value() as f64 / (2.0 * self.inner.t.value() as f64)
+        self.inner.chain.big_q() as f64 / (2.0 * self.inner.t.value() as f64)
     }
 
-    /// Errors unless `other` is the same parameter set.
+    /// Errors unless `other` is the same parameter set (degree, plaintext
+    /// modulus, modulus chain, and decomposition bases all match) —
+    /// ciphertexts from a foreign chain are rejected here.
     pub fn check_same(&self, other: &BfvParams) -> Result<()> {
         if self == other {
             Ok(())
@@ -232,16 +399,20 @@ impl BfvParams {
 
 /// Builder for [`BfvParams`].
 ///
-/// Prime moduli are generated from bit sizes (`plain_bits`, `cipher_bits`)
-/// unless exact values are supplied with [`BfvParamsBuilder::plain_modulus`] /
-/// [`BfvParamsBuilder::cipher_modulus`].
+/// The ciphertext modulus chain comes from, in order of precedence:
+/// exact limb values ([`BfvParamsBuilder::moduli`]), generated per-limb
+/// bit sizes ([`BfvParamsBuilder::moduli_bits`]), an exact single modulus
+/// ([`BfvParamsBuilder::cipher_modulus`]), or a generated single prime of
+/// [`BfvParamsBuilder::cipher_bits`] bits (the default, preferring the
+/// Gazelle congruence `q ≡ 1 (mod 2n·t)`).
 #[derive(Debug, Clone)]
 pub struct BfvParamsBuilder {
     n: usize,
     plain_bits: u32,
     cipher_bits: u32,
     plain_modulus: Option<u64>,
-    cipher_modulus: Option<u64>,
+    moduli: Option<Vec<u64>>,
+    moduli_bits: Option<Vec<u32>>,
     w_dcmp: Option<u64>,
     a_dcmp: u64,
     sigma: f64,
@@ -256,15 +427,16 @@ impl Default for BfvParamsBuilder {
 
 impl BfvParamsBuilder {
     /// Creates a builder with Cheetah-flavored defaults
-    /// (`n = 4096`, 17-bit `t`, 60-bit `q`, `A_dcmp = 2^20`, no plaintext
-    /// decomposition, `σ = 3.2`).
+    /// (`n = 4096`, 17-bit `t`, one 60-bit limb, `A_dcmp = 2^20`, no
+    /// plaintext decomposition, `σ = 3.2`).
     pub fn new() -> Self {
         Self {
             n: 4096,
             plain_bits: 17,
             cipher_bits: 60,
             plain_modulus: None,
-            cipher_modulus: None,
+            moduli: None,
+            moduli_bits: None,
             w_dcmp: None,
             a_dcmp: 1 << 20,
             sigma: DEFAULT_SIGMA,
@@ -286,11 +458,12 @@ impl BfvParamsBuilder {
         self
     }
 
-    /// Sets the ciphertext modulus size in bits (a matching NTT prime is
-    /// generated).
+    /// Single-limb chain of a generated prime with this many bits
+    /// (clears any previously set multi-limb configuration).
     pub fn cipher_bits(&mut self, bits: u32) -> &mut Self {
         self.cipher_bits = bits;
-        self.cipher_modulus = None;
+        self.moduli = None;
+        self.moduli_bits = None;
         self
     }
 
@@ -300,9 +473,25 @@ impl BfvParamsBuilder {
         self
     }
 
-    /// Uses an exact ciphertext modulus (must be an NTT prime for `n`).
+    /// Single-limb chain with an exact modulus (must be an NTT prime for
+    /// `n`). Equivalent to `.moduli([q])`.
     pub fn cipher_modulus(&mut self, q: u64) -> &mut Self {
-        self.cipher_modulus = Some(q);
+        self.moduli(vec![q])
+    }
+
+    /// Exact modulus chain: pairwise-distinct NTT primes for `n`, in
+    /// order.
+    pub fn moduli(&mut self, values: impl Into<Vec<u64>>) -> &mut Self {
+        self.moduli = Some(values.into());
+        self.moduli_bits = None;
+        self
+    }
+
+    /// Generated modulus chain: one distinct NTT prime per requested bit
+    /// size (equal sizes yield distinct primes).
+    pub fn moduli_bits(&mut self, bits: &[u32]) -> &mut Self {
+        self.moduli_bits = Some(bits.to_vec());
+        self.moduli = None;
         self
     }
 
@@ -331,14 +520,58 @@ impl BfvParamsBuilder {
         self
     }
 
+    /// Resolves the limb values for the chain.
+    fn resolve_moduli(&self, t_val: u64) -> Result<Vec<u64>> {
+        if let Some(values) = &self.moduli {
+            return Ok(values.clone());
+        }
+        if let Some(bits) = &self.moduli_bits {
+            if bits.is_empty() {
+                return Err(Error::InvalidLimbCount { limbs: 0 });
+            }
+            // Equal bit sizes must still yield distinct primes: generate a
+            // pool per distinct size and hand primes out in request order.
+            let mut values = vec![0u64; bits.len()];
+            let mut sizes: Vec<u32> = bits.clone();
+            sizes.sort_unstable();
+            sizes.dedup();
+            for b in sizes {
+                let count = bits.iter().filter(|&&x| x == b).count();
+                let mut pool = generate_ntt_primes(b, self.n, count)?.into_iter();
+                for (slot, &bit) in values.iter_mut().zip(bits.iter()) {
+                    if bit == b {
+                        *slot = pool.next().expect("pool sized to request count");
+                    }
+                }
+            }
+            return Ok(values);
+        }
+        // Single generated limb: prefer q ≡ 1 (mod 2n·t) — with
+        // q mod t = 1 the BFV plaintext-multiplication rounding term
+        // (q mod t)·⌊mp/t⌋ vanishes (Gazelle's modulus structure, which
+        // Table III's noise model assumes). Fall back to a plain NTT prime
+        // when the progression is too sparse for the requested size.
+        let step = (2 * self.n as u64).checked_mul(t_val);
+        let q = match step {
+            Some(s) => generate_prime_congruent(self.cipher_bits, s)
+                .or_else(|_| generate_ntt_prime(self.cipher_bits, self.n))?,
+            None => generate_ntt_prime(self.cipher_bits, self.n)?,
+        };
+        Ok(vec![q])
+    }
+
     /// Validates everything and builds the parameter set.
     ///
     /// # Errors
     ///
     /// * [`Error::InvalidDegree`] for a bad `n`;
-    /// * [`Error::InsecureParameters`] when the 128-bit check fails;
+    /// * [`Error::InsecureParameters`] when the 128-bit check fails for the
+    ///   total `log2(Q)`;
     /// * [`Error::NoNttPrime`] when prime generation fails;
-    /// * [`Error::InvalidDecompositionBase`] for bad bases.
+    /// * [`Error::InvalidDecompositionBase`] for bad bases (including an
+    ///   `A_dcmp` at least as large as a limb);
+    /// * [`Error::InvalidLimbCount`] / [`Error::ModulusChainTooLarge`] /
+    ///   [`Error::NotInvertible`] for malformed chains.
     pub fn build(&self) -> Result<BfvParams> {
         if !self.n.is_power_of_two() || self.n < 8 {
             return Err(Error::InvalidDegree(self.n));
@@ -347,53 +580,57 @@ impl BfvParamsBuilder {
             Some(t) => t,
             None => generate_ntt_prime(self.plain_bits, self.n)?,
         };
-        let q_val = match self.cipher_modulus {
-            Some(q) => q,
-            None => {
-                // Prefer q ≡ 1 (mod 2n·t): with q mod t = 1 the BFV
-                // plaintext-multiplication rounding term (q mod t)·⌊mp/t⌋
-                // vanishes (Gazelle's modulus structure, which Table III's
-                // noise model assumes). Fall back to a plain NTT prime when
-                // the progression is too sparse for the requested size.
-                let step = (2 * self.n as u64).checked_mul(t_val);
-                match step {
-                    Some(s) => generate_prime_congruent(self.cipher_bits, s)
-                        .or_else(|_| generate_ntt_prime(self.cipher_bits, self.n))?,
-                    None => generate_ntt_prime(self.cipher_bits, self.n)?,
-                }
-            }
-        };
-        let q = Modulus::new(q_val)?;
         let t = Modulus::new(t_val)?;
+        let limb_values = self.resolve_moduli(t_val)?;
+        let chain = ModulusChain::new(self.n, &limb_values)?;
+        // The plaintext modulus must fit inside every limb (plaintexts and
+        // digits are lifted limb-wise), and exact CRT decryption needs
+        // t·Q + Q/2 to fit u128.
+        if chain.moduli().iter().any(|q| q.value() <= t_val) {
+            return Err(Error::InvalidModulus(t_val));
+        }
+        if chain.total_bits() + t.bits() + 1 > 127 {
+            return Err(Error::ModulusChainTooLarge {
+                total_bits: chain.total_bits() + t.bits() + 1,
+                max_bits: 127,
+            });
+        }
         if self.security == SecurityLevel::Bits128 {
             let max = max_log_q_128(self.n).ok_or(Error::InvalidDegree(self.n))?;
-            if q.bits() > max {
+            if chain.total_bits() > max {
                 return Err(Error::InsecureParameters {
                     n: self.n,
-                    log_q: q.bits(),
+                    log_q: chain.total_bits(),
                     max_log_q: max,
                 });
             }
         }
-        if !self.a_dcmp.is_power_of_two() || self.a_dcmp < 2 {
-            return Err(Error::InvalidDecompositionBase(self.a_dcmp));
-        }
+        chain.check_decomposition_base(self.a_dcmp)?;
+        // The plaintext window base is decomposed limb-wise too (windowed
+        // multiplication lifts its digits into every plane), so it gets the
+        // same per-limb bound — rejecting here turns a mid-inference
+        // runtime error into a build-time one.
         let w_dcmp = self.w_dcmp.unwrap_or(t_val.next_power_of_two());
-        if !w_dcmp.is_power_of_two() || w_dcmp < 2 {
-            return Err(Error::InvalidDecompositionBase(w_dcmp));
-        }
-        let q_table = NttTable::new(self.n, q)?;
-        let t_table = NttTable::new(self.n, t)?;
+        chain.check_decomposition_base(w_dcmp)?;
+        let t_table = NttTable::cached(self.n, t)?;
+        let delta = chain.big_q() / t_val as u128;
+        let delta_mod = chain
+            .moduli()
+            .iter()
+            .map(|q| q.reduce_u128(delta))
+            .collect();
+        let q_mod_t = (chain.big_q() % t_val as u128) as u64;
         Ok(BfvParams {
             inner: Arc::new(ParamsInner {
                 n: self.n,
                 t,
-                q,
+                chain,
                 w_dcmp,
                 a_dcmp: self.a_dcmp,
                 sigma: self.sigma,
-                delta: q_val / t_val,
-                q_table,
+                delta,
+                delta_mod,
+                q_mod_t,
                 t_table,
                 security: self.security,
             }),
@@ -409,22 +646,35 @@ mod tests {
     fn builder_defaults_produce_valid_params() {
         let p = BfvParams::builder().build().unwrap();
         assert_eq!(p.degree(), 4096);
-        assert_eq!(p.cipher_modulus().bits(), 60);
+        assert_eq!(p.limbs(), 1);
+        assert_eq!(p.chain().total_bits(), 60);
         assert_eq!(p.plain_modulus().bits(), 17);
         assert_eq!(p.plain_modulus().value() % (2 * 4096), 1);
-        assert_eq!(p.cipher_modulus().value() % (2 * 4096), 1);
+        assert_eq!(p.chain().modulus(0).value() % (2 * 4096), 1);
         assert_eq!(
             p.delta(),
-            p.cipher_modulus().value() / p.plain_modulus().value()
+            p.chain().big_q() / p.plain_modulus().value() as u128
+        );
+        assert_eq!(
+            p.delta_mod(0),
+            (p.delta() % p.chain().modulus(0).value() as u128) as u64
         );
     }
 
     #[test]
-    fn security_check_enforced() {
+    fn security_check_enforced_on_total_bits() {
         // 60-bit q at n=2048 exceeds the 54-bit limit.
         let err = BfvParams::builder()
             .degree(2048)
             .cipher_bits(60)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InsecureParameters { .. }));
+        // Two 30-bit limbs also total 60 bits: same rejection.
+        let err = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .moduli_bits(&[30, 30])
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::InsecureParameters { .. }));
@@ -435,7 +685,36 @@ mod tests {
             .security(SecurityLevel::None)
             .build()
             .unwrap();
-        assert_eq!(p.cipher_modulus().bits(), 60);
+        assert_eq!(p.chain().total_bits(), 60);
+    }
+
+    #[test]
+    fn multi_limb_chains_build_with_distinct_primes() {
+        for n in [4096usize, 8192] {
+            let p = BfvParams::preset_rns_2x30(n).unwrap();
+            assert_eq!(p.limbs(), 2);
+            let q0 = p.chain().modulus(0).value();
+            let q1 = p.chain().modulus(1).value();
+            assert_ne!(q0, q1);
+            assert_eq!(q0 % (2 * n as u64), 1);
+            assert_eq!(q1 % (2 * n as u64), 1);
+            assert_eq!(p.chain().total_bits(), 60);
+
+            let p3 = BfvParams::preset_rns_3x36(n).unwrap();
+            assert_eq!(p3.limbs(), 3);
+            assert_eq!(p3.chain().total_bits(), 108);
+            let values: Vec<u64> = p3.chain().moduli().iter().map(Modulus::value).collect();
+            let mut dedup = values.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "limbs must be distinct: {values:?}");
+        }
+    }
+
+    #[test]
+    fn presets_enumerate_limb_counts() {
+        let presets = BfvParams::presets(4096).unwrap();
+        let limb_counts: Vec<usize> = presets.iter().map(|(_, p)| p.limbs()).collect();
+        assert_eq!(limb_counts, vec![1, 2, 3]);
     }
 
     #[test]
@@ -456,6 +735,10 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(p2.l_pt(), 3); // ceil(17/6)
+
+        // Multi-limb: l_ct covers the composed modulus.
+        let p3 = BfvParams::preset_rns_3x36(4096).unwrap();
+        assert_eq!(p3.l_ct(), 108usize.div_ceil(20));
     }
 
     #[test]
@@ -480,10 +763,21 @@ mod tests {
             BfvParams::builder().w_dcmp(6).build(),
             Err(Error::InvalidDecompositionBase(6))
         ));
+        // A_dcmp must stay below every limb: 2^20 >= a 30-bit limb is fine,
+        // but 2^30 is not.
+        assert!(matches!(
+            BfvParams::builder()
+                .degree(4096)
+                .plain_bits(17)
+                .moduli_bits(&[30, 30])
+                .a_dcmp(1 << 30)
+                .build(),
+            Err(Error::InvalidDecompositionBase(_))
+        ));
     }
 
     #[test]
-    fn equality_is_structural() {
+    fn equality_is_structural_and_chain_aware() {
         let a = BfvParams::builder().build().unwrap();
         let b = BfvParams::builder().build().unwrap();
         assert_eq!(a, b);
@@ -495,6 +789,11 @@ mod tests {
         assert_ne!(a, c);
         assert!(a.check_same(&b).is_ok());
         assert!(a.check_same(&c).is_err());
+        // Same total bits, different limb structure: still foreign.
+        let d = BfvParams::preset_rns_2x30(4096).unwrap();
+        let e = BfvParams::preset_single_60(4096).unwrap();
+        assert_ne!(d, e);
+        assert!(d.check_same(&e).is_err());
     }
 
     #[test]
@@ -503,6 +802,21 @@ mod tests {
         let b = 6.0 * p.sigma();
         assert!((p.fresh_noise_bound() - 2.0 * 4096.0 * b * b).abs() < 1e-6);
         assert!(p.noise_ceiling() > 0.0);
+        // Multi-limb ceiling reflects the composed modulus.
+        let p3 = BfvParams::preset_rns_3x36(4096).unwrap();
+        assert!(p3.noise_ceiling().log2() > 85.0);
+    }
+
+    #[test]
+    fn ntt_tables_are_memoized_across_builds() {
+        let a = BfvParams::preset_rns_2x30(4096).unwrap();
+        let b = BfvParams::preset_rns_2x30(4096).unwrap();
+        for i in 0..2 {
+            assert!(
+                Arc::ptr_eq(&a.chain().tables()[i], &b.chain().tables()[i]),
+                "limb {i} table must come from the process-wide cache"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,55 @@ use crate::arith::Modulus;
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
 
+// ---------------------------------------------------------------------
+// Slice-level scalar kernels, shared by `Poly` (single modulus) and
+// `crate::rns::RnsPoly` (invoked once per limb plane). These are the
+// element-wise loops everything in the engine bottoms out in.
+// ---------------------------------------------------------------------
+
+pub(crate) fn add_assign_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = q.add_mod(*x, y);
+    }
+}
+
+pub(crate) fn sub_assign_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = q.sub_mod(*x, y);
+    }
+}
+
+pub(crate) fn negate_slice(a: &mut [u64], q: &Modulus) {
+    for x in a.iter_mut() {
+        *x = q.neg_mod(*x);
+    }
+}
+
+pub(crate) fn mul_pointwise_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = q.mul_mod(*x, y);
+    }
+}
+
+pub(crate) fn mul_scalar_slice(a: &mut [u64], c: u64, q: &Modulus) {
+    let c = q.reduce(c);
+    for x in a.iter_mut() {
+        *x = q.mul_mod(*x, c);
+    }
+}
+
+pub(crate) fn fma_pointwise_slice(r: &mut [u64], a: &[u64], b: &[u64], q: &Modulus) {
+    for ((x, &y), &z) in r.iter_mut().zip(a).zip(b) {
+        *x = q.add_mod(*x, q.mul_mod(y, z));
+    }
+}
+
+pub(crate) fn permute_slice(dst: &mut [u64], src: &[u64], perm: &[u32]) {
+    for (d, &i) in dst.iter_mut().zip(perm) {
+        *d = src[i as usize];
+    }
+}
+
 /// Which domain a [`Poly`]'s data lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Representation {
@@ -130,10 +179,7 @@ impl Poly {
     pub fn permute_from(&mut self, src: &Poly, perm: &[u32]) {
         assert_eq!(self.data.len(), src.data.len());
         assert_eq!(perm.len(), src.data.len());
-        let s = &src.data;
-        for (dst, &i) in self.data.iter_mut().zip(perm) {
-            *dst = s[i as usize];
-        }
+        permute_slice(&mut self.data, &src.data, perm);
         self.repr = src.repr;
     }
 
@@ -180,9 +226,7 @@ impl Poly {
         if self.len() != other.len() {
             return Err(Error::ParameterMismatch);
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = q.add_mod(*a, b);
-        }
+        add_assign_slice(&mut self.data, &other.data, q);
         Ok(())
     }
 
@@ -196,17 +240,13 @@ impl Poly {
         if self.len() != other.len() {
             return Err(Error::ParameterMismatch);
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = q.sub_mod(*a, b);
-        }
+        sub_assign_slice(&mut self.data, &other.data, q);
         Ok(())
     }
 
     /// Negates every residue in place.
     pub fn negate(&mut self, q: &Modulus) {
-        for a in &mut self.data {
-            *a = q.neg_mod(*a);
-        }
+        negate_slice(&mut self.data, q);
     }
 
     /// `self *= other` pointwise; both must be in evaluation form.
@@ -221,18 +261,13 @@ impl Poly {
         if self.len() != other.len() {
             return Err(Error::ParameterMismatch);
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = q.mul_mod(*a, b);
-        }
+        mul_pointwise_slice(&mut self.data, &other.data, q);
         Ok(())
     }
 
     /// Multiplies every residue by the scalar `c` mod `q`.
     pub fn mul_scalar(&mut self, c: u64, q: &Modulus) {
-        let c = q.reduce(c);
-        for a in &mut self.data {
-            *a = q.mul_mod(*a, c);
-        }
+        mul_scalar_slice(&mut self.data, c, q);
     }
 
     /// Fused multiply-accumulate: `self += a * b` pointwise, all in
@@ -249,9 +284,7 @@ impl Poly {
         if self.len() != a.len() || self.len() != b.len() {
             return Err(Error::ParameterMismatch);
         }
-        for ((r, &x), &y) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
-            *r = q.add_mod(*r, q.mul_mod(x, y));
-        }
+        fma_pointwise_slice(&mut self.data, &a.data, &b.data, q);
         Ok(())
     }
 

@@ -1,0 +1,784 @@
+//! The RNS modulus chain: multi-limb ciphertext arithmetic.
+//!
+//! Cheetah's larger-`q` regimes (deep noise budgets, ResNet50-scale key
+//! switching) need a ciphertext modulus far past one machine word. Instead
+//! of big-integer coefficients, the engine follows the residue-number-system
+//! design every production BFV library uses: `Q = q_0 · q_1 · … · q_{l-1}`
+//! for word-sized NTT primes `q_i`, and a polynomial mod `Q` is stored as
+//! `l` *limb planes* — its residues mod each `q_i`. Every element-wise
+//! kernel (add, multiply, NTT, Galois permutation) then runs limb-by-limb
+//! in plain `u64` Barrett arithmetic; only decryption and base-`A` digit
+//! decomposition ever cross limbs, via [`crate::arith::CrtBasis`].
+//!
+//! Two types implement this:
+//!
+//! * [`ModulusChain`] — the ordered CRT primes with their per-limb
+//!   [`NttTable`]s (memoized process-wide) and the Garner composition
+//!   constants. Owned by [`crate::params::BfvParams`]; shared by every
+//!   object in a session.
+//! * [`RnsPoly`] — `l` limb planes in **one contiguous allocation** with
+//!   stride-`n` views (the `PolyBatch` layout from the batched-NTT work),
+//!   so limb loops stream linearly through memory.
+//!
+//! A chain of length 1 is bit-identical to the historical single-modulus
+//! engine: every kernel degenerates to exactly the scalar loop the old
+//! `Poly` ran, which is the migration guarantee the equivalence proptests
+//! in `tests/rns_equivalence.rs` pin down.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::arith::{CrtBasis, Modulus};
+use crate::error::{Error, Result};
+use crate::ntt::NttTable;
+use crate::poly::{
+    add_assign_slice, fma_pointwise_slice, mul_pointwise_slice, mul_scalar_slice, negate_slice,
+    permute_slice, sub_assign_slice, Representation,
+};
+
+/// An ordered chain of CRT primes with per-limb NTT tables and the
+/// cross-limb (Garner/CRT) constants.
+///
+/// Cheap to clone (internally reference-counted). Two chains compare equal
+/// iff they have the same degree and the same primes in the same order —
+/// the compatibility predicate every [`RnsPoly`] operation enforces.
+#[derive(Clone)]
+pub struct ModulusChain {
+    inner: Arc<ChainInner>,
+}
+
+struct ChainInner {
+    n: usize,
+    tables: Vec<Arc<NttTable>>,
+    crt: CrtBasis,
+}
+
+impl fmt::Debug for ModulusChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModulusChain")
+            .field("n", &self.inner.n)
+            .field(
+                "moduli",
+                &self.moduli().iter().map(Modulus::value).collect::<Vec<_>>(),
+            )
+            .field("total_bits", &self.total_bits())
+            .finish()
+    }
+}
+
+impl PartialEq for ModulusChain {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.n == other.inner.n && self.moduli() == other.moduli())
+    }
+}
+impl Eq for ModulusChain {}
+
+impl ModulusChain {
+    /// Builds a chain for degree `n` from prime limb values (each must be
+    /// an NTT prime for `n`, pairwise distinct).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidLimbCount`] / [`Error::ModulusChainTooLarge`] /
+    ///   [`Error::NotInvertible`] from [`CrtBasis::new`];
+    /// * [`Error::InvalidModulus`] for out-of-range limb values;
+    /// * [`Error::NoPrimitiveRoot`] when a limb is not `≡ 1 (mod 2n)`.
+    pub fn new(n: usize, limb_values: &[u64]) -> Result<Self> {
+        let moduli: Vec<Modulus> = limb_values
+            .iter()
+            .map(|&q| Modulus::new(q))
+            .collect::<Result<_>>()?;
+        let crt = CrtBasis::new(&moduli)?;
+        let tables: Vec<Arc<NttTable>> = moduli
+            .iter()
+            .map(|&q| NttTable::cached(n, q))
+            .collect::<Result<_>>()?;
+        Ok(Self {
+            inner: Arc::new(ChainInner { n, tables, crt }),
+        })
+    }
+
+    /// Polynomial degree `n` every limb plane has.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Number of limbs `l`.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.inner.crt.limbs()
+    }
+
+    /// Limb modulus `q_i`.
+    #[inline]
+    pub fn modulus(&self, i: usize) -> &Modulus {
+        &self.inner.crt.moduli()[i]
+    }
+
+    /// All limb moduli, in chain order.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        self.inner.crt.moduli()
+    }
+
+    /// NTT tables for limb `i`.
+    #[inline]
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.inner.tables[i]
+    }
+
+    /// The shared (memoized) table handles, one per limb.
+    #[inline]
+    pub fn tables(&self) -> &[Arc<NttTable>] {
+        &self.inner.tables
+    }
+
+    /// The CRT basis backing cross-limb composition.
+    #[inline]
+    pub fn crt(&self) -> &CrtBasis {
+        &self.inner.crt
+    }
+
+    /// The composed ciphertext modulus `Q = Π q_i` (exact; `< 2^127`).
+    #[inline]
+    pub fn big_q(&self) -> u128 {
+        self.inner.crt.big_q()
+    }
+
+    /// Bit width of `Q` — the `log q` every noise-budget and
+    /// decomposition-level formula consumes.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        self.inner.crt.total_bits()
+    }
+
+    /// `ceil(log_base(Q))`: base-`base` digits needed to cover `[0, Q)`.
+    /// For one limb this is exactly the historical `decomposition_levels`.
+    pub fn decomposition_levels(&self, base: u64) -> usize {
+        assert!(base >= 2 && base.is_power_of_two());
+        let b_bits = base.trailing_zeros();
+        self.total_bits().div_ceil(b_bits) as usize
+    }
+
+    /// Validates a digit-decomposition base against this chain: it must be
+    /// a power of two ≥ 2 and strictly below every limb (digits are lifted
+    /// limb-wise, so they must be valid residues everywhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDecompositionBase`] otherwise.
+    pub fn check_decomposition_base(&self, base: u64) -> Result<()> {
+        if base < 2 || !base.is_power_of_two() || self.moduli().iter().any(|q| base >= q.value()) {
+            return Err(Error::InvalidDecompositionBase(base));
+        }
+        Ok(())
+    }
+
+    /// Errors unless `other` is the same chain (degree and primes).
+    pub fn check_same(&self, other: &ModulusChain) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(Error::ParameterMismatch)
+        }
+    }
+
+    fn check_poly(&self, p: &RnsPoly) -> Result<()> {
+        if p.limbs() != self.limbs() || p.degree() != self.degree() {
+            return Err(Error::ParameterMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// A polynomial in `Z_Q[x]/(x^n + 1)` stored as `l` contiguous limb planes
+/// (limb-major, stride `n`), with one representation tag shared by every
+/// plane — limbs always move through the NTT together.
+///
+/// The API mirrors the scalar [`crate::poly::Poly`]; every operation takes
+/// the [`ModulusChain`] the polynomial belongs to and loops the matching
+/// scalar kernel over the limb planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    data: Vec<u64>,
+    n: usize,
+    limbs: usize,
+    repr: Representation,
+}
+
+impl RnsPoly {
+    /// The zero polynomial for a chain, in the given representation.
+    pub fn zero(chain: &ModulusChain, repr: Representation) -> Self {
+        Self::zero_with(chain.limbs(), chain.degree(), repr)
+    }
+
+    /// The zero polynomial with explicit shape (scratch-pool constructor).
+    pub fn zero_with(limbs: usize, n: usize, repr: Representation) -> Self {
+        Self {
+            data: vec![0; limbs * n],
+            n,
+            limbs,
+            repr,
+        }
+    }
+
+    /// Wraps a raw limb-major buffer of length `limbs · n` (values must be
+    /// reduced per limb).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not `limbs · n`.
+    pub fn from_data(data: Vec<u64>, limbs: usize, n: usize, repr: Representation) -> Self {
+        assert_eq!(data.len(), limbs * n, "buffer must be limbs * n words");
+        Self {
+            data,
+            n,
+            limbs,
+            repr,
+        }
+    }
+
+    /// Builds a polynomial where limb `i`, coefficient `j` is `f(i, j)`
+    /// (values must already be reduced mod `q_i`).
+    pub fn from_fn(
+        chain: &ModulusChain,
+        repr: Representation,
+        mut f: impl FnMut(usize, usize) -> u64,
+    ) -> Self {
+        let (l, n) = (chain.limbs(), chain.degree());
+        let mut data = Vec::with_capacity(l * n);
+        for i in 0..l {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self {
+            data,
+            n,
+            limbs: l,
+            repr,
+        }
+    }
+
+    /// Lifts signed coefficients into every limb plane (coefficient form):
+    /// the CRT image of the centered integer vector.
+    pub fn from_signed(coeffs: &[i64], chain: &ModulusChain) -> Self {
+        Self::from_fn(chain, Representation::Coeff, |i, j| {
+            chain.modulus(i).from_signed(coeffs[j])
+        })
+    }
+
+    /// Lifts small unsigned coefficients (each `< min q_i`) into every limb
+    /// plane (coefficient form).
+    pub fn from_small_unsigned(coeffs: &[u64], chain: &ModulusChain) -> Self {
+        Self::from_fn(chain, Representation::Coeff, |i, j| {
+            chain.modulus(i).reduce(coeffs[j])
+        })
+    }
+
+    /// Number of limb planes.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.limbs
+    }
+
+    /// Degree bound `n` (the per-limb stride).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Current representation (shared by all limbs).
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// Overwrites the representation tag without touching residues (the
+    /// scratch-reuse escape hatch, as on `Poly`).
+    #[inline]
+    pub fn set_representation(&mut self, repr: Representation) {
+        self.repr = repr;
+    }
+
+    /// The whole contiguous limb-major storage.
+    #[inline]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable contiguous storage. Callers must keep limbs reduced.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the polynomial, returning its storage.
+    pub fn into_data(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Read view of limb plane `i`.
+    #[inline]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable view of limb plane `i`.
+    #[inline]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterator over stride-`n` limb views.
+    pub fn limb_planes(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.n)
+    }
+
+    /// Zeroes every residue in place, keeping the representation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Copies residues and representation from `other` without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn copy_from(&mut self, other: &RnsPoly) {
+        self.data.copy_from_slice(&other.data);
+        self.repr = other.repr;
+    }
+
+    /// Applies the evaluation-domain slot permutation limb-by-limb:
+    /// `self[limb][j] = src[limb][perm[j]]` (the Galois automorphism; the
+    /// permutation depends only on `n`, so one table serves every limb).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn permute_from(&mut self, src: &RnsPoly, perm: &[u32]) {
+        assert_eq!(self.data.len(), src.data.len());
+        assert_eq!(self.n, src.n);
+        assert_eq!(perm.len(), self.n);
+        for (dst, s) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(src.data.chunks_exact(self.n))
+        {
+            permute_slice(dst, s, perm);
+        }
+        self.repr = src.repr;
+    }
+
+    /// Checks the representation, erroring otherwise.
+    pub fn expect_repr(&self, expected: Representation) -> Result<()> {
+        if self.repr != expected {
+            return Err(Error::WrongRepresentation {
+                expected: repr_name(expected),
+                found: repr_name(self.repr),
+            });
+        }
+        Ok(())
+    }
+
+    /// Converts to evaluation form in place, one NTT per limb plane
+    /// (no-op if already there).
+    pub fn to_eval(&mut self, chain: &ModulusChain) {
+        if self.repr == Representation::Coeff {
+            for (i, plane) in self.data.chunks_exact_mut(self.n).enumerate() {
+                chain.table(i).forward(plane);
+            }
+            self.repr = Representation::Eval;
+        }
+    }
+
+    /// Converts to coefficient form in place, one inverse NTT per limb
+    /// plane (no-op if already there).
+    pub fn to_coeff(&mut self, chain: &ModulusChain) {
+        if self.repr == Representation::Eval {
+            for (i, plane) in self.data.chunks_exact_mut(self.n).enumerate() {
+                chain.table(i).inverse(plane);
+            }
+            self.repr = Representation::Coeff;
+        }
+    }
+
+    fn check_binary(&self, other: &RnsPoly, chain: &ModulusChain) -> Result<()> {
+        chain.check_poly(self)?;
+        chain.check_poly(other)?;
+        other.expect_repr(self.repr)
+    }
+
+    /// `self += other` limb-wise.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] on a representation mismatch,
+    /// [`Error::ParameterMismatch`] on a shape/chain mismatch.
+    pub fn add_assign(&mut self, other: &RnsPoly, chain: &ModulusChain) -> Result<()> {
+        self.check_binary(other, chain)?;
+        for (i, (a, b)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(other.limb_planes())
+            .enumerate()
+        {
+            add_assign_slice(a, b, chain.modulus(i));
+        }
+        Ok(())
+    }
+
+    /// `self -= other` limb-wise.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsPoly::add_assign`].
+    pub fn sub_assign(&mut self, other: &RnsPoly, chain: &ModulusChain) -> Result<()> {
+        self.check_binary(other, chain)?;
+        for (i, (a, b)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(other.limb_planes())
+            .enumerate()
+        {
+            sub_assign_slice(a, b, chain.modulus(i));
+        }
+        Ok(())
+    }
+
+    /// Negates every residue limb-wise in place.
+    pub fn negate(&mut self, chain: &ModulusChain) {
+        for (i, a) in self.data.chunks_exact_mut(self.n).enumerate() {
+            negate_slice(a, chain.modulus(i));
+        }
+    }
+
+    /// `self *= other` pointwise limb-wise; both must be in evaluation
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] unless both operands are in
+    /// evaluation form, [`Error::ParameterMismatch`] on a shape mismatch.
+    pub fn mul_assign_pointwise(&mut self, other: &RnsPoly, chain: &ModulusChain) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        self.check_binary(other, chain)?;
+        for (i, (a, b)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(other.limb_planes())
+            .enumerate()
+        {
+            mul_pointwise_slice(a, b, chain.modulus(i));
+        }
+        Ok(())
+    }
+
+    /// Multiplies every residue by the small scalar `c` (reduced per limb).
+    pub fn mul_scalar(&mut self, c: u64, chain: &ModulusChain) {
+        for (i, a) in self.data.chunks_exact_mut(self.n).enumerate() {
+            mul_scalar_slice(a, c, chain.modulus(i));
+        }
+    }
+
+    /// Fused multiply-accumulate: `self += a * b` pointwise limb-wise, all
+    /// in evaluation form — the key-switch inner loop.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] unless all three are in evaluation
+    /// form, [`Error::ParameterMismatch`] on a shape mismatch.
+    pub fn fma_pointwise(&mut self, a: &RnsPoly, b: &RnsPoly, chain: &ModulusChain) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        a.expect_repr(Representation::Eval)?;
+        b.expect_repr(Representation::Eval)?;
+        chain.check_poly(self)?;
+        chain.check_poly(a)?;
+        chain.check_poly(b)?;
+        for (i, ((r, x), y)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(a.limb_planes())
+            .zip(b.limb_planes())
+            .enumerate()
+        {
+            fma_pointwise_slice(r, x, y, chain.modulus(i));
+        }
+        Ok(())
+    }
+
+    /// CRT-composes coefficient `idx` across limbs into its value in
+    /// `[0, Q)` (coefficient or evaluation index, caller's semantics).
+    pub fn compose_coeff(&self, chain: &ModulusChain, idx: usize) -> u128 {
+        let mut residues = [0u64; crate::arith::MAX_RNS_LIMBS];
+        for (r, plane) in residues[..self.limbs]
+            .iter_mut()
+            .zip(self.data.chunks_exact(self.n))
+        {
+            *r = plane[idx];
+        }
+        chain.crt().compose(&residues[..self.limbs])
+    }
+
+    /// Decomposes a coefficient-form polynomial into base-`base` digit
+    /// polynomials covering the *composed* value: per coefficient, limbs
+    /// are CRT-composed (Garner, single-word Barrett) and the `[0, Q)`
+    /// value is split into `l_ct = ceil(log_base Q)` digits; each digit
+    /// `< base` is replicated across the limb planes of `digits[d]`.
+    ///
+    /// This is the §III-B2 ciphertext decomposition generalized to the
+    /// chain; for one limb it degenerates to exactly the historical
+    /// word-shift extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] if not in coefficient form,
+    /// [`Error::InvalidDecompositionBase`] for a bad base (it must also be
+    /// `<` every limb so digits are valid residues), and
+    /// [`Error::ParameterMismatch`] if `digits` has the wrong shape.
+    pub fn decompose_into(
+        &self,
+        base: u64,
+        chain: &ModulusChain,
+        digits: &mut [RnsPoly],
+    ) -> Result<()> {
+        self.expect_repr(Representation::Coeff)?;
+        chain.check_poly(self)?;
+        if base < 2 || !base.is_power_of_two() || chain.moduli().iter().any(|q| base >= q.value()) {
+            return Err(Error::InvalidDecompositionBase(base));
+        }
+        let levels = chain.decomposition_levels(base);
+        if digits.len() != levels {
+            return Err(Error::ParameterMismatch);
+        }
+        for d in digits.iter_mut() {
+            chain.check_poly(d)?;
+            d.repr = Representation::Coeff;
+        }
+        let log_base = base.trailing_zeros();
+        let mask = (base - 1) as u128;
+        let l = self.limbs;
+        for j in 0..self.n {
+            let mut rem = self.compose_coeff(chain, j);
+            for digit in digits.iter_mut() {
+                let v = (rem & mask) as u64;
+                for i in 0..l {
+                    digit.data[i * digit.n + j] = v;
+                }
+                rem >>= log_base;
+            }
+            debug_assert_eq!(rem, 0, "coefficient exceeded base^levels");
+        }
+        Ok(())
+    }
+
+    /// Largest centered absolute value of any composed coefficient
+    /// (`|c|` against `Q/2`; coefficient form only) — the exact noise
+    /// measurement primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] if in evaluation form.
+    pub fn inf_norm_centered(&self, chain: &ModulusChain) -> Result<u128> {
+        self.expect_repr(Representation::Coeff)?;
+        let q = chain.big_q();
+        let half = q / 2;
+        let mut max = 0u128;
+        for j in 0..self.n {
+            let c = self.compose_coeff(chain, j);
+            let mag = if c > half { q - c } else { c };
+            max = max.max(mag);
+        }
+        Ok(max)
+    }
+}
+
+/// Fills base-`base` digit polynomials directly from small single-modulus
+/// coefficients (each `< base^levels`, e.g. a plaintext mod `t`): digit
+/// `d` of coefficient `j` is replicated across every limb plane of
+/// `digits[d]`. Used by windowed plaintext multiplication, where the digit
+/// source lives mod `t` rather than mod `Q`.
+///
+/// # Errors
+///
+/// [`Error::InvalidDecompositionBase`] for a bad base and
+/// [`Error::ParameterMismatch`] if shapes mismatch (`digits` must hold
+/// `ceil(log_base t)`-style levels chosen by the caller).
+pub fn digits_from_coeffs(
+    coeffs: &[u64],
+    base: u64,
+    chain: &ModulusChain,
+    digits: &mut [RnsPoly],
+) -> Result<()> {
+    chain.check_decomposition_base(base)?;
+    if coeffs.len() != chain.degree() || digits.is_empty() {
+        return Err(Error::ParameterMismatch);
+    }
+    for d in digits.iter_mut() {
+        chain.check_poly(d)?;
+        d.repr = Representation::Coeff;
+    }
+    let log_base = base.trailing_zeros();
+    let mask = base - 1;
+    let (l, n) = (chain.limbs(), chain.degree());
+    // `digits` must cover every coefficient: base^digits.len() > max coeff.
+    // (Shift width is capped at 63 so huge level counts don't overflow.)
+    let covered_bits = (log_base as usize * digits.len()).min(64) as u32;
+    let max_coeff = coeffs.iter().copied().max().unwrap_or(0);
+    if covered_bits < 64 && max_coeff >> covered_bits != 0 {
+        return Err(Error::ParameterMismatch);
+    }
+    for (j, &c) in coeffs.iter().enumerate() {
+        let mut rem = c;
+        for digit in digits.iter_mut() {
+            let v = rem & mask;
+            for i in 0..l {
+                digit.data[i * n + j] = v;
+            }
+            rem >>= log_base;
+        }
+        debug_assert_eq!(rem, 0, "coefficient exceeded base^levels");
+    }
+    Ok(())
+}
+
+fn repr_name(r: Representation) -> &'static str {
+    match r {
+        Representation::Coeff => "coefficient",
+        Representation::Eval => "evaluation",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::generate_ntt_primes;
+    use crate::poly::Poly;
+
+    /// Chain of `bits.len()` distinct primes (homogeneous sizes in tests).
+    fn chain(n: usize, bits: &[u32]) -> ModulusChain {
+        let values = generate_ntt_primes(bits[0], n, bits.len()).unwrap();
+        ModulusChain::new(n, &values).unwrap()
+    }
+
+    #[test]
+    fn chain_equality_is_structural() {
+        let a = chain(64, &[30, 30]);
+        let b = chain(64, &[30, 30]);
+        let c = chain(64, &[36]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.check_same(&b).is_ok());
+        assert!(a.check_same(&c).is_err());
+    }
+
+    #[test]
+    fn single_limb_ops_match_poly_kernels() {
+        let ch = chain(64, &[50]);
+        let q = *ch.modulus(0);
+        let vals_a: Vec<u64> = (0..64).map(|i| (i as u64 * 977 + 13) % q.value()).collect();
+        let vals_b: Vec<u64> = (0..64).map(|i| (i as u64 * 31 + 7) % q.value()).collect();
+
+        let mut r = RnsPoly::from_data(vals_a.clone(), 1, 64, Representation::Coeff);
+        let rb = RnsPoly::from_data(vals_b.clone(), 1, 64, Representation::Coeff);
+        let mut p = Poly::from_data(vals_a, Representation::Coeff);
+        let pb = Poly::from_data(vals_b, Representation::Coeff);
+
+        r.add_assign(&rb, &ch).unwrap();
+        p.add_assign(&pb, &q).unwrap();
+        assert_eq!(r.limb(0), p.data());
+
+        r.to_eval(&ch);
+        p.to_eval(ch.table(0));
+        assert_eq!(r.limb(0), p.data());
+
+        r.to_coeff(&ch);
+        p.to_coeff(ch.table(0));
+        assert_eq!(r.limb(0), p.data());
+
+        r.negate(&ch);
+        p.negate(&q);
+        assert_eq!(r.limb(0), p.data());
+    }
+
+    #[test]
+    fn multi_limb_roundtrip_through_ntt() {
+        let ch = chain(128, &[30, 30]);
+        let a = RnsPoly::from_fn(&ch, Representation::Coeff, |i, j| {
+            ((i * 997 + j * 31 + 5) as u64) % ch.modulus(i).value()
+        });
+        let mut b = a.clone();
+        b.to_eval(&ch);
+        assert_ne!(a, b);
+        b.to_coeff(&ch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decompose_digits_recompose_to_value() {
+        let ch = chain(32, &[30, 30]);
+        let a = RnsPoly::from_fn(&ch, Representation::Coeff, |i, j| {
+            ((i * 12345 + j * 678 + 9) as u64) % ch.modulus(i).value()
+        });
+        let base = 1u64 << 16;
+        let levels = ch.decomposition_levels(base);
+        assert_eq!(levels, ch.total_bits().div_ceil(16) as usize);
+        let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
+        a.decompose_into(base, &ch, &mut digits).unwrap();
+        // Σ base^d · digit_d must CRT-compose back to the coefficient.
+        for j in 0..32 {
+            let mut v: u128 = 0;
+            for d in (0..levels).rev() {
+                v = (v << 16) + digits[d].limb(0)[j] as u128;
+            }
+            assert_eq!(v, a.compose_coeff(&ch, j), "coeff {j}");
+        }
+    }
+
+    #[test]
+    fn decompose_rejects_base_at_least_a_limb() {
+        let ch = chain(32, &[30]);
+        let a = RnsPoly::zero(&ch, Representation::Coeff);
+        let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); 1];
+        assert!(matches!(
+            a.decompose_into(1 << 30, &ch, &mut digits),
+            Err(Error::InvalidDecompositionBase(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_shapes_are_rejected() {
+        let ch2 = chain(32, &[30, 30]);
+        let ch1 = chain(32, &[36]);
+        let mut a = RnsPoly::zero(&ch2, Representation::Eval);
+        let b = RnsPoly::zero(&ch1, Representation::Eval);
+        assert!(matches!(
+            a.add_assign(&b, &ch2),
+            Err(Error::ParameterMismatch)
+        ));
+        assert!(matches!(
+            a.mul_assign_pointwise(&b, &ch2),
+            Err(Error::ParameterMismatch)
+        ));
+    }
+
+    #[test]
+    fn inf_norm_sees_big_negative_side() {
+        let ch = chain(32, &[30, 30]);
+        let q = ch.big_q();
+        // Set coefficient 0 to Q − 5 (centered: −5) across limbs.
+        let mut a = RnsPoly::zero(&ch, Representation::Coeff);
+        let mut residues = [0u64; crate::arith::MAX_RNS_LIMBS];
+        ch.crt().decompose_into(q - 5, &mut residues[..2]);
+        for (i, &r) in residues[..2].iter().enumerate() {
+            a.limb_mut(i)[0] = r;
+        }
+        a.limb_mut(0)[1] = 3;
+        a.limb_mut(1)[1] = 3;
+        assert_eq!(a.inf_norm_centered(&ch).unwrap(), 5);
+    }
+}

@@ -13,6 +13,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use crate::arith::Modulus;
 use crate::poly::{Poly, Representation};
+use crate::rns::{ModulusChain, RnsPoly};
 
 /// Source of randomness for key generation and encryption.
 ///
@@ -107,6 +108,43 @@ impl BfvRng {
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         self.rng.random_range(0..bound)
     }
+
+    // ------------------------------------------------------------------
+    // RNS variants: one sample stream drives every limb plane.
+    // ------------------------------------------------------------------
+
+    /// Samples a polynomial uniform over `[0, Q)` in RNS form: each limb
+    /// plane is drawn uniformly mod its own prime, which by CRT is exactly
+    /// uniform mod the composed `Q`. For a 1-limb chain the draw sequence
+    /// is identical to [`BfvRng::uniform_poly`].
+    pub fn uniform_rns(&mut self, chain: &ModulusChain, repr: Representation) -> RnsPoly {
+        RnsPoly::from_fn(chain, repr, |i, _| {
+            self.rng.random_range(0..chain.modulus(i).value())
+        })
+    }
+
+    /// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`
+    /// (uniform), lifted into every limb plane (coefficient form) — the
+    /// RLWE secret distribution over the chain. One trit is drawn per
+    /// coefficient, exactly as in [`BfvRng::ternary_poly`].
+    pub fn ternary_rns(&mut self, chain: &ModulusChain) -> RnsPoly {
+        let trits: Vec<i64> = (0..chain.degree())
+            .map(|_| match self.rng.random_range(0..3u8) {
+                0 => 0,
+                1 => 1,
+                _ => -1,
+            })
+            .collect();
+        RnsPoly::from_signed(&trits, chain)
+    }
+
+    /// Samples a CBD(k) noise polynomial lifted into every limb plane
+    /// (coefficient form). One noise value is drawn per coefficient,
+    /// exactly as in [`BfvRng::noise_poly`].
+    pub fn noise_rns(&mut self, chain: &ModulusChain) -> RnsPoly {
+        let samples: Vec<i64> = (0..chain.degree()).map(|_| self.noise_sample()).collect();
+        RnsPoly::from_signed(&samples, chain)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +192,38 @@ mod tests {
         let b = r2.uniform_poly(256, &q, Representation::Eval);
         assert_eq!(a, b);
         assert!(a.data().iter().all(|&v| v < q.value()));
+    }
+
+    #[test]
+    fn single_limb_rns_sampling_matches_poly_sampling() {
+        let q = q();
+        let chain = ModulusChain::new(1024, &[q.value()]).unwrap();
+        let mut scalar = BfvRng::from_seed(77, 3.2);
+        let mut rns = BfvRng::from_seed(77, 3.2);
+
+        let a = scalar.uniform_poly(1024, &q, Representation::Eval);
+        let b = rns.uniform_rns(&chain, Representation::Eval);
+        assert_eq!(a.data(), b.limb(0));
+
+        let a = scalar.ternary_poly(1024, &q);
+        let b = rns.ternary_rns(&chain);
+        assert_eq!(a.data(), b.limb(0));
+
+        let a = scalar.noise_poly(1024, &q);
+        let b = rns.noise_rns(&chain);
+        assert_eq!(a.data(), b.limb(0));
+    }
+
+    #[test]
+    fn multi_limb_planes_agree_on_signed_lift() {
+        let values = crate::arith::generate_ntt_primes(30, 512, 2).unwrap();
+        let chain = ModulusChain::new(512, &values).unwrap();
+        let mut rng = BfvRng::from_seed(5, 3.2);
+        let s = rng.ternary_rns(&chain);
+        let (q0, q1) = (chain.modulus(0), chain.modulus(1));
+        for j in 0..512 {
+            assert_eq!(q0.center(s.limb(0)[j]), q1.center(s.limb(1)[j]));
+        }
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Reusable scratch memory for the evaluator hot path.
 //!
 //! Every allocating seed-era evaluator operation cloned one or two full
-//! degree-`n` polynomials per call; at Cheetah parameters (`n = 4096`,
-//! 60-bit `q`) that is 64 KiB of fresh heap per `HE_Add`. A [`Scratch`]
-//! owns a small pool of degree-`n` buffers plus a persistent set of digit
-//! polynomials for the key-switch decomposition, so the in-place operation
-//! family (`Evaluator::add_assign`, `Evaluator::mul_plain_assign`,
+//! ciphertext polynomials per call; at Cheetah parameters (`n = 4096`,
+//! one 60-bit limb) that is 64 KiB of fresh heap per `HE_Add`, and the
+//! cost scales with the limb count of the RNS chain. A [`Scratch`] owns a
+//! small pool of `l·n`-word [`RnsPoly`] buffers plus a persistent set of
+//! digit polynomials for the key-switch decomposition, so the in-place
+//! operation family (`Evaluator::add_assign`, `Evaluator::mul_plain_assign`,
 //! `Evaluator::apply_galois_into`, …) performs **zero heap allocations
 //! after warmup** — verified by the counting-allocator test in
 //! `crates/bfv/tests/zero_alloc.rs`.
@@ -16,9 +17,10 @@
 //! [`crate::Evaluator`] also keeps one internal pool behind a mutex to
 //! back the legacy allocating API.
 
-use crate::poly::{Poly, Representation};
+use crate::poly::Representation;
+use crate::rns::RnsPoly;
 
-/// A pool of reusable degree-`n` polynomial buffers.
+/// A pool of reusable `limbs · n`-word polynomial buffers.
 ///
 /// `take_poly`/`put_poly` lease buffers in LIFO order; `digits_mut` exposes
 /// a persistent slice of digit polynomials for base decompositions. All
@@ -27,16 +29,18 @@ use crate::poly::{Poly, Representation};
 #[derive(Debug)]
 pub struct Scratch {
     n: usize,
+    limbs: usize,
     free: Vec<Vec<u64>>,
-    digits: Vec<Poly>,
+    digits: Vec<RnsPoly>,
 }
 
 impl Scratch {
-    /// Creates an empty pool for degree-`n` polynomials. Buffers are
-    /// allocated lazily on first use and reused afterwards.
-    pub fn new(n: usize) -> Self {
+    /// Creates an empty pool for `limbs`-limb, degree-`n` polynomials.
+    /// Buffers are allocated lazily on first use and reused afterwards.
+    pub fn new(n: usize, limbs: usize) -> Self {
         Self {
             n,
+            limbs,
             free: Vec::new(),
             digits: Vec::new(),
         }
@@ -48,31 +52,46 @@ impl Scratch {
         self.n
     }
 
+    /// Limb count this pool serves.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.limbs
+    }
+
     /// Leases a polynomial with arbitrary (dirty) contents in the given
     /// representation. Return it with [`Scratch::put_poly`] when done.
-    pub fn take_poly(&mut self, repr: Representation) -> Poly {
-        let buf = self.free.pop().unwrap_or_else(|| vec![0; self.n]);
-        debug_assert_eq!(buf.len(), self.n);
-        Poly::from_data(buf, repr)
+    pub fn take_poly(&mut self, repr: Representation) -> RnsPoly {
+        let words = self.limbs * self.n;
+        let buf = self.free.pop().unwrap_or_else(|| vec![0; words]);
+        debug_assert_eq!(buf.len(), words);
+        RnsPoly::from_data(buf, self.limbs, self.n, repr)
     }
 
     /// Returns a leased polynomial's buffer to the pool.
     ///
     /// # Panics
     ///
-    /// Panics if the polynomial's length does not match the pool degree.
-    pub fn put_poly(&mut self, poly: Poly) {
+    /// Panics if the polynomial's shape does not match the pool.
+    pub fn put_poly(&mut self, poly: RnsPoly) {
         let buf = poly.into_data();
-        assert_eq!(buf.len(), self.n, "foreign buffer returned to scratch");
+        assert_eq!(
+            buf.len(),
+            self.limbs * self.n,
+            "foreign buffer returned to scratch"
+        );
         self.free.push(buf);
     }
 
     /// A persistent slice of `count` digit polynomials (coefficient form,
     /// contents dirty). Grown on first use, reused afterwards; the borrow
     /// ends before any other pool method is needed again.
-    pub fn digits_mut(&mut self, count: usize) -> &mut [Poly] {
+    pub fn digits_mut(&mut self, count: usize) -> &mut [RnsPoly] {
         while self.digits.len() < count {
-            self.digits.push(Poly::zero(self.n, Representation::Coeff));
+            self.digits.push(RnsPoly::zero_with(
+                self.limbs,
+                self.n,
+                Representation::Coeff,
+            ));
         }
         &mut self.digits[..count]
     }
@@ -89,8 +108,10 @@ mod tests {
 
     #[test]
     fn lease_and_return_reuses_buffers() {
-        let mut s = Scratch::new(16);
+        let mut s = Scratch::new(16, 2);
         let a = s.take_poly(Representation::Coeff);
+        assert_eq!(a.limbs(), 2);
+        assert_eq!(a.degree(), 16);
         let ptr = a.data().as_ptr();
         s.put_poly(a);
         assert_eq!(s.pooled(), 1);
@@ -102,7 +123,7 @@ mod tests {
 
     #[test]
     fn digits_grow_once_and_persist() {
-        let mut s = Scratch::new(8);
+        let mut s = Scratch::new(8, 1);
         let d = s.digits_mut(3);
         assert_eq!(d.len(), 3);
         d[0].data_mut()[0] = 7;
@@ -114,7 +135,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "foreign buffer")]
     fn rejects_foreign_buffer() {
-        let mut s = Scratch::new(8);
-        s.put_poly(Poly::zero(4, Representation::Coeff));
+        let mut s = Scratch::new(8, 2);
+        s.put_poly(RnsPoly::zero_with(1, 8, Representation::Coeff));
     }
 }

@@ -11,7 +11,7 @@
 use cheetah_bfv::arith::{generate_ntt_prime, Modulus};
 use cheetah_bfv::batch::PolyBatch;
 use cheetah_bfv::ntt::NttTable;
-use cheetah_bfv::poly::Representation;
+use cheetah_bfv::poly::{Poly, Representation};
 use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
     Scratch,
@@ -48,10 +48,16 @@ fn ctx(seed: u64) -> Ctx {
     }
 }
 
-/// Strict bit-equality on the ciphertext polynomials.
+/// Strict bit-equality on the ciphertext polynomials (all limb planes).
 fn assert_polys_eq(a: &Ciphertext, b: &Ciphertext) {
     assert_eq!(a.c0().data(), b.c0().data(), "c0 residues differ");
     assert_eq!(a.c1().data(), b.c1().data(), "c1 residues differ");
+}
+
+/// Extracts limb plane 0 as a seed-era scalar `Poly` (the 1-limb chains in
+/// these tests make that the whole ciphertext component).
+fn limb0(p: &cheetah_bfv::RnsPoly) -> Poly {
+    Poly::from_data(p.limb(0).to_vec(), p.representation())
 }
 
 proptest! {
@@ -64,15 +70,16 @@ proptest! {
         b in proptest::collection::vec(0u64..65536, 8),
     ) {
         let mut c = ctx(seed);
-        let q = *c.params.cipher_modulus();
+        let q = *c.params.chain().modulus(0);
         let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
         let cb = c.enc.encrypt(&c.encoder.encode(&b).unwrap()).unwrap();
 
-        // Reference: seed-era Poly primitives, untouched by this PR.
-        let mut ref0 = ca.c0().clone();
-        let mut ref1 = ca.c1().clone();
-        ref0.add_assign(cb.c0(), &q).unwrap();
-        ref1.add_assign(cb.c1(), &q).unwrap();
+        // Reference: seed-era scalar Poly primitives on limb plane 0 (the
+        // only limb of this chain).
+        let mut ref0 = limb0(ca.c0());
+        let mut ref1 = limb0(ca.c1());
+        ref0.add_assign(&limb0(cb.c0()), &q).unwrap();
+        ref1.add_assign(&limb0(cb.c1()), &q).unwrap();
 
         let mut inplace = ca.clone();
         c.eval.add_assign(&mut inplace, &cb).unwrap();
@@ -95,14 +102,14 @@ proptest! {
         w in proptest::collection::vec(0u64..65536, 8),
     ) {
         let mut c = ctx(seed);
-        let q = *c.params.cipher_modulus();
+        let q = *c.params.chain().modulus(0);
         let ca = c.enc.encrypt(&c.encoder.encode(&a).unwrap()).unwrap();
         let pw = c.eval.prepare_plaintext(&c.encoder.encode(&w).unwrap()).unwrap();
 
-        let mut ref0 = ca.c0().clone();
-        let mut ref1 = ca.c1().clone();
-        ref0.mul_assign_pointwise(pw.poly(), &q).unwrap();
-        ref1.mul_assign_pointwise(pw.poly(), &q).unwrap();
+        let mut ref0 = limb0(ca.c0());
+        let mut ref1 = limb0(ca.c1());
+        ref0.mul_assign_pointwise(&limb0(pw.poly()), &q).unwrap();
+        ref1.mul_assign_pointwise(&limb0(pw.poly()), &q).unwrap();
 
         let mut inplace = ca.clone();
         c.eval.mul_plain_assign(&mut inplace, &pw).unwrap();

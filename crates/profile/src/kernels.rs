@@ -129,9 +129,11 @@ fn time_loop<F: FnMut()>(reps: u32, mut f: F) -> f64 {
 
 fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
     let b = setup(cfg);
-    let table = b.params.q_table();
+    // One limb-plane transform of the first chain limb — the scalar NTT
+    // unit the Fig. 7 attribution multiplies by modeled counts.
+    let table = b.params.chain().table(0);
 
-    let mut scratch: Vec<u64> = b.ct.c0().data().to_vec();
+    let mut scratch: Vec<u64> = b.ct.c0().limb(0).to_vec();
     let ntt_s = time_loop(reps, || {
         table.forward(&mut scratch);
     });

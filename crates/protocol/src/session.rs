@@ -24,7 +24,7 @@
 
 use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
-    KeyGenerator, Plaintext, Result,
+    KeyGenerator, Plaintext, Result, Scratch,
 };
 use cheetah_core::linear::{HomConv2d, HomFc};
 use cheetah_core::Schedule;
@@ -116,6 +116,10 @@ pub struct PrivateInferenceSession {
     decryptor: Decryptor,
     hom_layers: Vec<HomLayer>,
     mask_rng: StdRng,
+    /// Session-owned scratch pool backing the in-place evaluator calls of
+    /// the protocol loop — steady-state rounds never touch the allocator
+    /// for mask removal or re-masking.
+    scratch: Scratch,
     /// Setup bytes (keys), recorded once.
     setup_bytes: usize,
 }
@@ -178,7 +182,9 @@ impl PrivateInferenceSession {
         steps.sort_unstable();
         steps.dedup();
         let keys = keygen.galois_keys_for_steps(&steps)?;
-        let setup_bytes = keys.byte_size(&params) + 2 * params.degree() * 8;
+        // Keys plus the public key: all sized by the actual limb count.
+        let setup_bytes = keys.byte_size(&params) + 2 * params.limbs() * params.degree() * 8;
+        let scratch = evaluator.new_scratch();
 
         Ok(Self {
             net: net.clone(),
@@ -189,6 +195,7 @@ impl PrivateInferenceSession {
             decryptor: Decryptor::new(keygen.secret_key().clone()),
             hom_layers,
             mask_rng: StdRng::seed_from_u64(seed ^ 0xa5a5),
+            scratch,
             params,
             setup_bytes,
         })
@@ -227,26 +234,26 @@ impl PrivateInferenceSession {
 
                     // 1. Client: pack + encrypt the masked activation.
                     let packed = hom.pack(&client_act, &self.encoder)?;
-                    let ct = self.encryptor.encrypt(&packed)?;
+                    let mut ct = self.encryptor.encrypt(&packed)?;
                     transcript.record(
                         Direction::ClientToCloud,
                         format!("enc activations L{linear_idx}"),
                         ct.byte_size(),
                     );
 
-                    // 2. Cloud: remove its own previous mask homomorphically.
-                    let ct_clean = match &cloud_mask {
-                        Some(r) => {
-                            let neg: Vec<i64> = r.data().iter().map(|&v| -v).collect();
-                            let neg_t = Tensor::from_data(r.shape(), neg);
-                            let neg_packed = hom.pack(&neg_t, &self.encoder)?;
-                            self.evaluator.add_plain(&ct, &neg_packed)?
-                        }
-                        None => ct,
-                    };
+                    // 2. Cloud: remove its own previous mask homomorphically
+                    // — in place, drawing the Δ·mask temporary from the
+                    // session scratch pool.
+                    if let Some(r) = &cloud_mask {
+                        let neg: Vec<i64> = r.data().iter().map(|&v| -v).collect();
+                        let neg_t = Tensor::from_data(r.shape(), neg);
+                        let neg_packed = hom.pack(&neg_t, &self.encoder)?;
+                        self.evaluator
+                            .add_plain_assign(&mut ct, &neg_packed, &mut self.scratch)?;
+                    }
 
                     // Cloud: HE linear layer.
-                    let outputs = hom.apply(&ct_clean, &self.evaluator, &self.keys)?;
+                    let outputs = hom.apply(&ct, &self.evaluator, &self.keys)?;
 
                     // Cloud: fresh output mask r (skipped on the final layer
                     // — the prediction belongs to the client).
@@ -261,9 +268,10 @@ impl PrivateInferenceSession {
                         Tensor::from_data(&out_shape, data)
                     };
                     let mask_pts = hom.pack_output_mask(&mask, &self.encoder)?;
-                    let mut masked_cts = Vec::with_capacity(outputs.len());
-                    for (out_ct, m_pt) in outputs.iter().zip(&mask_pts) {
-                        masked_cts.push(self.evaluator.add_plain(out_ct, m_pt)?);
+                    let mut masked_cts = outputs;
+                    for (out_ct, m_pt) in masked_cts.iter_mut().zip(&mask_pts) {
+                        self.evaluator
+                            .add_plain_assign(out_ct, m_pt, &mut self.scratch)?;
                     }
                     let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
                     transcript.record(
@@ -389,6 +397,21 @@ mod tests {
             .unwrap()
     }
 
+    /// Same degree/A as [`session_params`], but the 60-bit ciphertext
+    /// modulus is a genuine 2-limb RNS chain of distinct 30-bit primes.
+    /// `t` drops to 16 bits: 30-bit limbs cannot satisfy the Gazelle
+    /// congruence, so the live `(Q mod t)` multiplication rounding term
+    /// needs the extra headroom (tiny-CNN activations fit easily).
+    fn session_params_2_limb() -> BfvParams {
+        BfvParams::builder()
+            .degree(4096)
+            .plain_bits(16)
+            .moduli_bits(&[30, 30])
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn tiny_cnn_private_inference_matches_plaintext() {
         let net = tiny_cnn();
@@ -408,6 +431,52 @@ mod tests {
         assert_eq!(output.data(), expect.data(), "private != plaintext");
         assert!(transcript.total_bytes() > 0);
         assert_eq!(transcript.rounds(), 4); // setup + 3 linear layers
+    }
+
+    #[test]
+    fn two_limb_chain_private_inference_matches_plaintext() {
+        // The RNS migration acceptance path: encrypt → conv → decrypt end
+        // to end through the session on a genuine 2-limb chain, with
+        // transcript bytes reflecting the limb count.
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 51);
+        let input = random_input(&net.input_shape, 3, 52);
+        let expect = infer(&net, &weights, &input).output;
+
+        let params = session_params_2_limb();
+        assert_eq!(params.limbs(), 2);
+        let mut session =
+            PrivateInferenceSession::new(&net, &weights, params, Schedule::PartialAligned, 77)
+                .unwrap();
+        let (output, transcript) = session.run(&input).unwrap();
+        assert_eq!(output.data(), expect.data(), "2-limb private != plaintext");
+
+        // Every ciphertext message carries 2 limbs: activation uploads are
+        // exactly twice the single-limb size (2 components · 2 limbs ·
+        // n · 8 bytes), and the single-limb session's are half that.
+        let mut single = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            session_params(),
+            Schedule::PartialAligned,
+            77,
+        )
+        .unwrap();
+        let (_, transcript_1) = single.run(&input).unwrap();
+        let act_bytes = |t: &Transcript| -> Vec<usize> {
+            t.messages()
+                .iter()
+                .filter(|m| m.label.contains("enc activations"))
+                .map(|m| m.bytes)
+                .collect()
+        };
+        let up2 = act_bytes(&transcript);
+        let up1 = act_bytes(&transcript_1);
+        assert_eq!(up2.len(), up1.len());
+        for (b2, b1) in up2.iter().zip(&up1) {
+            assert_eq!(*b2, 2 * b1, "2-limb upload must be twice 1-limb");
+            assert_eq!(*b2, 2 * 2 * 4096 * 8);
+        }
     }
 
     #[test]

@@ -14,13 +14,15 @@ fn main() -> Result<(), Error> {
         .cipher_bits(60)
         .a_dcmp(1 << 20)
         .build()?;
+    let chain = params.chain();
     println!(
-        "parameters: n={}, t={} ({} bits), q={} ({} bits), Δ=q/t={}",
+        "parameters: n={}, t={} ({} bits), Q={:?} ({} limbs, {} bits), Δ=Q/t={}",
         params.degree(),
         params.plain_modulus().value(),
         params.plain_modulus().bits(),
-        params.cipher_modulus().value(),
-        params.cipher_modulus().bits(),
+        chain.moduli().iter().map(|m| m.value()).collect::<Vec<_>>(),
+        params.limbs(),
+        chain.total_bits(),
         params.delta()
     );
 

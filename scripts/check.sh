@@ -15,6 +15,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> tier-1: cargo build --release"
     cargo build --release
+
+    echo "==> bench_he_ops smoke (JSON key regression gate)"
+    smoke_json=$(mktemp /tmp/bench_he_ops.XXXXXX.json)
+    BENCH_SMOKE=1 cargo run --release -q -p cheetah-bench --bin bench_he_ops "$smoke_json" >/dev/null
+    # Every key present in the committed BENCH_he_ops.json must still be
+    # emitted — losing a key means the bench silently dropped coverage.
+    json_keys() { grep -o '"[a-zA-Z0-9_]*":' "$1" | sort -u; }
+    missing=$(comm -23 <(json_keys BENCH_he_ops.json) <(json_keys "$smoke_json"))
+    if [[ -n "$missing" ]]; then
+        echo "FAIL: bench_he_ops no longer emits these BENCH_he_ops.json keys:"
+        echo "$missing"
+        rm -f "$smoke_json"
+        exit 1
+    fi
+    rm -f "$smoke_json"
 fi
 
 echo "==> tier-1: cargo test -q"
