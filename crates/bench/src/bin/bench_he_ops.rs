@@ -17,8 +17,8 @@ use std::time::Instant;
 use cheetah_bfv::batch::PolyBatch;
 use cheetah_bfv::poly::Representation;
 use cheetah_bfv::{
-    BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
-    PreparedPlaintext, Scratch,
+    BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, HoistedDecomposition,
+    KeyGenerator, PreparedPlaintext, Scratch,
 };
 use cheetah_gpu::batched::batched_forward;
 
@@ -83,8 +83,11 @@ fn ctx() -> Ctx {
     )
 }
 
-/// add/mul/rotate ns for one limb-count preset, using the in-place ops.
-fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64) {
+/// add/mul/rotate/rotate_hoisted ns for one limb-count preset, using the
+/// in-place ops. `rotate_hoisted` is the marginal cost of one extra
+/// rotation of an already-hoisted set — permutations + key-switch
+/// multiply-accumulates, zero NTTs.
+fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64, f64) {
     let limbs = params.limbs();
     let c = ctx_for(params);
     let mut work = c.ct.clone();
@@ -106,7 +109,23 @@ fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64) {
             .rotate_rows_into(&mut out, black_box(&c.ct), 1, &c.keys, &mut scratch)
             .unwrap();
     });
-    (limbs, add, mul, rotate)
+    let mut hoisted = HoistedDecomposition::empty(c.eval.params());
+    c.eval
+        .hoist_into(&mut hoisted, &c.ct, &mut scratch)
+        .unwrap();
+    let rotate_hoisted = time_ns(|| {
+        c.eval
+            .rotate_hoisted_into(
+                &mut out,
+                black_box(&c.ct),
+                &hoisted,
+                1,
+                &c.keys,
+                &mut scratch,
+            )
+            .unwrap();
+    });
+    (limbs, add, mul, rotate, rotate_hoisted)
 }
 
 fn main() {
@@ -150,8 +169,28 @@ fn main() {
             .unwrap();
     });
 
+    // --- Hoisted rotation: the one-time hoist and the per-step replay ---
+    let mut hoisted = HoistedDecomposition::empty(c.eval.params());
+    let hoist = time_ns(|| {
+        c.eval
+            .hoist_into(&mut hoisted, black_box(&c.ct), &mut scratch)
+            .unwrap();
+    });
+    let rotate_hoisted = time_ns(|| {
+        c.eval
+            .rotate_hoisted_into(
+                &mut rot_out,
+                black_box(&c.ct),
+                &hoisted,
+                1,
+                &c.keys,
+                &mut scratch,
+            )
+            .unwrap();
+    });
+
     // --- Per-limb-count RNS points: 1/2/3-limb chains at n = 4096 ---
-    let limb_points: Vec<(usize, f64, f64, f64)> = [
+    let limb_points: Vec<(usize, f64, f64, f64, f64)> = [
         BfvParams::preset_single_60(4096).unwrap(),
         BfvParams::preset_rns_2x30(4096).unwrap(),
         BfvParams::preset_rns_3x36(4096).unwrap(),
@@ -198,14 +237,20 @@ fn main() {
     let _ = writeln!(json, "    \"mul_plain\": {mul_alloc:.1},");
     let _ = writeln!(json, "    \"mul_plain_assign\": {mul_assign:.1},");
     let _ = writeln!(json, "    \"rotate\": {rotate_alloc:.1},");
-    let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1}");
+    let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1},");
+    let _ = writeln!(json, "    \"hoist\": {hoist:.1},");
+    let _ = writeln!(json, "    \"rotate_hoisted\": {rotate_hoisted:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"per_limb_ns\": {{");
-    for (idx, (limbs, add, mul, rotate)) in limb_points.iter().enumerate() {
+    for (idx, (limbs, add, mul, rotate, rotate_hoisted)) in limb_points.iter().enumerate() {
         let trail = if idx + 1 < limb_points.len() { "," } else { "" };
         let _ = writeln!(json, "    \"l{limbs}_add\": {add:.1},");
         let _ = writeln!(json, "    \"l{limbs}_mul\": {mul:.1},");
-        let _ = writeln!(json, "    \"l{limbs}_rotate\": {rotate:.1}{trail}");
+        let _ = writeln!(json, "    \"l{limbs}_rotate\": {rotate:.1},");
+        let _ = writeln!(
+            json,
+            "    \"l{limbs}_rotate_hoisted\": {rotate_hoisted:.1}{trail}"
+        );
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_ntt\": {{");

@@ -292,6 +292,12 @@ pub struct CrtBasis {
     moduli: Vec<Modulus>,
     /// `inv[j][i] = q_i^{-1} mod q_j` for `i < j` (Garner constants).
     inv: Vec<Vec<u64>>,
+    /// `qhat[i][k] = q̂_i mod q_k` with `q̂_i = Q / q_i` — the CRT
+    /// interpolation weights, per limb plane (RNS key-switch constants).
+    qhat: Vec<Vec<u64>>,
+    /// `qhat_inv[i] = q̂_i^{-1} mod q_i` — the per-limb normalizer of the
+    /// RNS decomposition `c ≡ Σ_i q̂_i·[q̂_i^{-1}·c]_{q_i} (mod Q)`.
+    qhat_inv: Vec<u64>,
     big_q: u128,
     total_bits: u32,
 }
@@ -330,9 +336,31 @@ impl CrtBasis {
             }
             inv.push(row);
         }
+        // q̂_i = Π_{m≠i} q_m, materialized only as residues per limb plane
+        // (word arithmetic; never the big integer).
+        let mut qhat = Vec::with_capacity(moduli.len());
+        let mut qhat_inv = Vec::with_capacity(moduli.len());
+        for i in 0..moduli.len() {
+            let row: Vec<u64> = moduli
+                .iter()
+                .map(|qk| {
+                    let mut acc = 1u64 % qk.value();
+                    for (m, qm) in moduli.iter().enumerate() {
+                        if m != i {
+                            acc = qk.mul_mod(acc, qk.reduce(qm.value()));
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            qhat_inv.push(moduli[i].inv_mod(row[i])?);
+            qhat.push(row);
+        }
         Ok(Self {
             moduli: moduli.to_vec(),
             inv,
+            qhat,
+            qhat_inv,
             big_q,
             total_bits,
         })
@@ -360,6 +388,21 @@ impl CrtBasis {
     #[inline]
     pub fn total_bits(&self) -> u32 {
         self.total_bits
+    }
+
+    /// `q̂_i mod q_k` with `q̂_i = Q / q_i` — the CRT interpolation weight
+    /// of limb `i` seen from limb plane `k`.
+    #[inline]
+    pub fn qhat_mod(&self, i: usize, k: usize) -> u64 {
+        self.qhat[i][k]
+    }
+
+    /// `q̂_i^{-1} mod q_i` — normalizer for the per-limb RNS decomposition
+    /// `c ≡ Σ_i q̂_i·[q̂_i^{-1}·c]_{q_i} (mod Q)`. Equals 1 for a
+    /// single-limb basis.
+    #[inline]
+    pub fn qhat_inv(&self, i: usize) -> u64 {
+        self.qhat_inv[i]
     }
 
     /// CRT composition: maps per-limb residues back to the unique value in
@@ -752,6 +795,39 @@ mod tests {
             }
             assert_eq!(basis.compose(&residues), v, "v = {v}");
         }
+    }
+
+    #[test]
+    fn qhat_constants_interpolate_crt() {
+        let moduli = [
+            Modulus::new(generate_ntt_prime(30, 1024).unwrap()).unwrap(),
+            Modulus::new(generate_ntt_prime(31, 1024).unwrap()).unwrap(),
+            Modulus::new(generate_ntt_prime(36, 1024).unwrap()).unwrap(),
+        ];
+        let basis = CrtBasis::new(&moduli).unwrap();
+        let v = basis.big_q() - 12345;
+        let residues = basis.decompose(v);
+        // v ≡ Σ_i q̂_i · [q̂_i^{-1}·v]_{q_i}  (mod q_k) for every plane k.
+        for (k, qk) in moduli.iter().enumerate() {
+            let mut acc = 0u64;
+            for (i, qi) in moduli.iter().enumerate() {
+                let norm = qi.mul_mod(residues[i], basis.qhat_inv(i));
+                acc = qk.add_mod(acc, qk.mul_mod(qk.reduce(norm), basis.qhat_mod(i, k)));
+            }
+            assert_eq!(acc, residues[k], "plane {k}");
+        }
+        // q̂_i mod q_i is invertible and q̂_i·q̂_i^{-1} ≡ 1.
+        for (i, qi) in moduli.iter().enumerate() {
+            assert_eq!(qi.mul_mod(basis.qhat_mod(i, i), basis.qhat_inv(i)), 1);
+        }
+    }
+
+    #[test]
+    fn qhat_single_limb_is_trivial() {
+        let q = Modulus::new(generate_ntt_prime(50, 2048).unwrap()).unwrap();
+        let basis = CrtBasis::new(&[q]).unwrap();
+        assert_eq!(basis.qhat_mod(0, 0), 1);
+        assert_eq!(basis.qhat_inv(0), 1);
     }
 
     #[test]

@@ -8,11 +8,29 @@
 //!   slot rotation via Galois automorphism + key switching with ciphertext
 //!   decomposition (noise adds `l_ct·A·B·n/2`).
 //!
-//! `HE_Rotate` is implemented exactly as the paper's Lane datapath
-//! (Fig. 9c): permute in the evaluation domain (free), INTT the `c1`
-//! component, decompose into `l_ct` digits, NTT each digit back
-//! (`l_ct + 1` NTTs total), then `2·l_ct` pointwise multiplications against
-//! the key-switch pairs — the exact counts HE-PTune charges (§IV-A).
+//! `HE_Rotate` is implemented as the paper's Lane datapath (Fig. 9c) with
+//! RNS-native key switching: permute in the evaluation domain (free), INTT
+//! the `c1` component, decompose **per limb** into
+//! `l_ct = Σ_i ceil(log_A q_i)` digits (`[q̂_i^{-1}·c1]_{q_i}` split in
+//! base `A`; one Barrett multiplication per residue, no CRT composition),
+//! NTT each digit back, then `2·l_ct` pointwise multiplications against
+//! the (limb, digit)-indexed key-switch pairs. NTT work is
+//! `(l_ct + 1)·l_limbs` plane transforms — the counts the corrected
+//! HE-PTune model charges (§IV-A).
+//!
+//! # Hoisting
+//!
+//! Rotating one ciphertext by many steps (conv tap sets, rotate-and-sum
+//! reductions over a fixed input) shares all of the INTT + decompose + NTT
+//! work: [`Evaluator::hoist`] performs it once, and
+//! [`Evaluator::rotate_hoisted_into`] replays any number of rotations from
+//! the cached evaluation-form digits — per extra rotation only the slot
+//! permutations and `2·l_ct` multiply-accumulates remain. Correctness:
+//! `φ_g` is a ring automorphism, so
+//! `Σ_j φ_g(D_j(c1))·A^j·q̂_i·φ_g(s) = φ_g(c1·s)` even though digit
+//! extraction itself does not commute with `φ_g`; the hoisted result is
+//! not bit-identical to the non-hoisted one but decrypts identically with
+//! the same noise bound.
 //!
 //! # The zero-allocation hot path
 //!
@@ -68,9 +86,12 @@ pub struct OpCounts {
     pub mul: u64,
     /// `HE_Rotate` invocations.
     pub rotate: u64,
-    /// Forward + inverse NTT invocations. Counted structurally (one per
-    /// polynomial transform): an RNS transform runs `l_limbs` limb-plane
-    /// NTTs but counts once, so counts are chain-length invariant.
+    /// Forward + inverse NTT **plane transforms**: an RNS polynomial
+    /// transform runs one `n`-point NTT per limb plane and counts
+    /// `l_limbs` here, so multi-limb chains report their true NTT work
+    /// (the seed-era structural count under-reported it by a factor of
+    /// `l_limbs`). One `HE_Rotate` contributes `(l_ct + 1)·l_limbs`; a
+    /// hoisted rotation set contributes that once for the whole set.
     pub ntt: u64,
     /// Pointwise polynomial multiplications (2 per `HE_Mult` digit,
     /// `2·l_ct` per rotate; each spans every limb plane).
@@ -113,6 +134,61 @@ impl PreparedPlaintext {
     pub fn inf_norm(&self) -> u64 {
         self.inf_norm
     }
+}
+
+/// The rotation-invariant precomputation of `HE_Rotate` for one
+/// ciphertext: the evaluation-form per-limb digit decomposition of its
+/// `c1` component (see [`Evaluator::hoist`]).
+///
+/// Read-only once built, so one instance can be shared across worker
+/// threads replaying different rotation steps of the same set.
+#[derive(Debug, Clone)]
+pub struct HoistedDecomposition {
+    params: BfvParams,
+    /// Evaluation-form digit polynomials, limb-major (matching
+    /// [`crate::keys::GaloisKey::pairs`]).
+    digits: Vec<RnsPoly>,
+    /// Sampled fingerprint of the source `c1`, so a replay against the
+    /// wrong (or since-mutated) ciphertext fails loudly instead of
+    /// splicing foreign key-switch digits onto an unrelated `c0`.
+    source_tag: u64,
+}
+
+impl HoistedDecomposition {
+    /// An empty decomposition for the parameter set; fill it with
+    /// [`Evaluator::hoist_into`]. Digit storage is allocated on first use
+    /// and recycled afterwards.
+    pub fn empty(params: &BfvParams) -> Self {
+        Self {
+            params: params.clone(),
+            digits: Vec::new(),
+            source_tag: 0,
+        }
+    }
+
+    /// Number of cached digit polynomials (`l_ct` once filled).
+    pub fn levels(&self) -> usize {
+        self.digits.len()
+    }
+}
+
+/// Strided FNV-1a sample of a polynomial's residues (~64 probes): cheap
+/// enough for every hoisted replay, and ciphertext components are
+/// uniform-looking, so any two distinct ones collide with negligible
+/// probability.
+fn source_fingerprint(p: &RnsPoly) -> u64 {
+    let data = p.data();
+    let stride = (data.len() / 64).max(1);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |w: u64| {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(data.len() as u64);
+    for &w in data.iter().step_by(stride) {
+        mix(w);
+    }
+    mix(*data.last().expect("polynomials are never empty"));
+    h
 }
 
 /// The homomorphic evaluator.
@@ -285,7 +361,7 @@ impl Evaluator {
         let mut dm = scratch.take_poly(Representation::Coeff);
         self.params.lift_scaled_into(pt.poly().data(), &mut dm);
         dm.to_eval(chain);
-        Self::count(&self.ntt_count, 1);
+        Self::count(&self.ntt_count, chain.limbs() as u64);
         let noise = a.noise().add_plain(pt.inf_norm());
         let r = a.parts_mut().0.add_assign(&dm, chain);
         scratch.put_poly(dm);
@@ -371,9 +447,10 @@ impl Evaluator {
     /// `l_ct` decomposition digits) from `scratch`. Zero allocations at
     /// steady state.
     ///
-    /// This is the full Lane datapath of Fig. 9c: permutation (free),
-    /// INTT(c1), `l_ct`-digit decomposition, `l_ct` NTTs, `2·l_ct`
-    /// pointwise multiply-accumulates, composition.
+    /// This is the full Lane datapath of Fig. 9c with RNS-native key
+    /// switching: permutation (free), INTT(c1), per-limb `q̂_i`-digit
+    /// decomposition (limb-local `u64` arithmetic only), `l_ct` digit
+    /// NTTs, `2·l_ct` pointwise multiply-accumulates.
     ///
     /// # Errors
     ///
@@ -399,7 +476,8 @@ impl Evaluator {
         switched?;
 
         let l_ct = self.params.l_ct() as u64;
-        Self::count(&self.ntt_count, l_ct + 1);
+        let limbs = self.params.limbs() as u64;
+        Self::count(&self.ntt_count, (l_ct + 1) * limbs);
         Self::count(&self.poly_mul_count, 2 * l_ct);
         Self::count(&self.rotate_count, 1);
         out.set_noise(a.noise().rotate(&self.params));
@@ -407,7 +485,7 @@ impl Evaluator {
     }
 
     /// The Lane datapath body of [`Evaluator::apply_galois_into`]:
-    /// permute, INTT, decompose, key-switch multiply-accumulate.
+    /// permute, INTT, per-limb decompose, key-switch multiply-accumulate.
     fn galois_key_switch(
         &self,
         out: &mut Ciphertext,
@@ -427,11 +505,12 @@ impl Evaluator {
         oc0.permute_from(a.c0(), perm);
         // 2. INTT c1 for decomposition (one inverse pass per limb plane).
         c1_g.to_coeff(chain);
-        // 3. Decompose into l_ct digits over the composed modulus (base
-        //    A_dcmp; limbs are CRT-composed per coefficient).
+        // 3. RNS-native decomposition: limb i's residues are normalized by
+        //    q̂_i^{-1} and split into base-A digits — never composed.
         let digits = scratch.digits_mut(self.params.l_ct());
-        c1_g.decompose_into(self.params.a_dcmp(), chain, digits)?;
-        // 4. NTT each digit; multiply-accumulate against the key pairs.
+        c1_g.rns_decompose_into(self.params.a_dcmp(), chain, digits)?;
+        // 4. NTT each digit; multiply-accumulate against the (limb, digit)
+        //    key pairs (same limb-major order as the decomposition).
         oc1.fill_zero();
         oc1.set_representation(Representation::Eval);
         for (digit, (k0, k1)) in digits.iter_mut().zip(key.pairs()) {
@@ -442,8 +521,10 @@ impl Evaluator {
         Ok(())
     }
 
-    /// `HE_Rotate` into a caller-owned output ciphertext (`steps == 0`
-    /// degenerates to a copy). Zero allocations at steady state.
+    /// `HE_Rotate` into a caller-owned output ciphertext. Steps wrap
+    /// around the row (`steps ≡ 0 (mod n/2)` degenerates to a copy), the
+    /// same semantics as [`Evaluator::rotate_rows_composed`]. Zero
+    /// allocations at steady state.
     ///
     /// # Errors
     ///
@@ -456,7 +537,7 @@ impl Evaluator {
         keys: &GaloisKeys,
         scratch: &mut Scratch,
     ) -> Result<()> {
-        if steps == 0 {
+        if steps.rem_euclid(self.params.row_size() as i64) == 0 {
             self.params.check_same(a.params())?;
             self.params.check_same(out.params())?;
             out.copy_from(a);
@@ -464,6 +545,162 @@ impl Evaluator {
         }
         let g = element_for_step(self.params.degree(), steps)?;
         self.apply_galois_into(out, a, g, keys, scratch)
+    }
+
+    // ------------------------------------------------------------------
+    // Hoisted rotation sets
+    // ------------------------------------------------------------------
+
+    /// Precomputes the rotation-invariant part of `HE_Rotate` for a
+    /// ciphertext: INTT of `c1`, the per-limb digit decomposition, and the
+    /// digit NTTs — the `(l_ct + 1)·l_limbs` plane transforms that
+    /// otherwise repeat for every step of a rotation *set*.
+    ///
+    /// Pass the result to [`Evaluator::rotate_hoisted_into`] (with the
+    /// *same* source ciphertext) for each step; each rotation then costs
+    /// only slot permutations and `2·l_ct` multiply-accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for a foreign ciphertext.
+    pub fn hoist(&self, a: &Ciphertext) -> Result<HoistedDecomposition> {
+        let mut hoisted = HoistedDecomposition::empty(&self.params);
+        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        self.hoist_into(&mut hoisted, a, &mut scratch)?;
+        Ok(hoisted)
+    }
+
+    /// [`Evaluator::hoist`] into a reusable [`HoistedDecomposition`] (its
+    /// digit storage is recycled; zero allocations at steady state), with
+    /// the INTT temporary leased from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for a foreign ciphertext.
+    pub fn hoist_into(
+        &self,
+        hoisted: &mut HoistedDecomposition,
+        a: &Ciphertext,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let chain = self.params.chain();
+        let l_ct = self.params.l_ct();
+        hoisted.params = self.params.clone();
+        if hoisted.digits.len() != l_ct
+            || hoisted
+                .digits
+                .first()
+                .is_some_and(|d| d.limbs() != chain.limbs() || d.degree() != chain.degree())
+        {
+            hoisted.digits = vec![RnsPoly::zero(chain, Representation::Coeff); l_ct];
+        }
+        // Invalidate the tag up front: should any step below fail, the
+        // stale digits must not pass the replay fingerprint check.
+        hoisted.source_tag = 0;
+        let mut c1 = scratch.take_poly(Representation::Eval);
+        c1.copy_from(a.c1());
+        c1.to_coeff(chain);
+        let decomposed = c1.rns_decompose_into(self.params.a_dcmp(), chain, &mut hoisted.digits);
+        scratch.put_poly(c1);
+        decomposed?;
+        for digit in &mut hoisted.digits {
+            digit.to_eval(chain);
+        }
+        hoisted.source_tag = source_fingerprint(a.c1());
+        let limbs = self.params.limbs() as u64;
+        Self::count(&self.ntt_count, (l_ct as u64 + 1) * limbs);
+        Ok(())
+    }
+
+    /// `HE_Rotate` from a hoisted decomposition: applies the Galois slot
+    /// permutation to the cached evaluation-form digits and
+    /// multiply-accumulates against the key pairs — **zero NTTs**. `a`
+    /// must be the ciphertext `hoisted` was built from (its `c0` and noise
+    /// estimate are consumed here; enforced by a sampled fingerprint of
+    /// its `c1`). Steps wrap around the row; a multiple
+    /// of the row degenerates to a copy. Zero allocations at steady state.
+    ///
+    /// The result decrypts identically to [`Evaluator::rotate_rows_into`]
+    /// (automorphisms commute with the reconstruction
+    /// `Σ φ(D_j(c1))·A^j·q̂_i·φ(s) = φ(c1·s)`) but is not bit-identical to
+    /// it: the key-switch digits are permuted after extraction instead of
+    /// before.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRotation`], [`Error::MissingGaloisKey`], or
+    /// [`Error::ParameterMismatch`] (including a `hoisted` built for a
+    /// foreign parameter set).
+    pub fn rotate_hoisted_into(
+        &self,
+        out: &mut Ciphertext,
+        a: &Ciphertext,
+        hoisted: &HoistedDecomposition,
+        steps: i64,
+        keys: &GaloisKeys,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(out.params())?;
+        self.params.check_same(&hoisted.params)?;
+        // The decomposition must have been built from *this* ciphertext's
+        // c1 (and the ciphertext not mutated since): splicing a foreign
+        // hoist onto `a.c0` would decrypt to garbage while carrying a
+        // valid-looking noise estimate.
+        if hoisted.digits.len() != self.params.l_ct()
+            || hoisted.source_tag != source_fingerprint(a.c1())
+        {
+            return Err(Error::ParameterMismatch);
+        }
+        if steps.rem_euclid(self.params.row_size() as i64) == 0 {
+            out.copy_from(a);
+            return Ok(());
+        }
+        let g = element_for_step(self.params.degree(), steps)?;
+        let key = keys.get(g)?;
+        let chain = self.params.chain();
+        let perm = key.permutation();
+
+        let (oc0, oc1) = out.parts_mut();
+        oc0.permute_from(a.c0(), perm);
+        oc1.fill_zero();
+        oc1.set_representation(Representation::Eval);
+        let mut permuted = scratch.take_poly(Representation::Eval);
+        let mut fma = || -> Result<()> {
+            for (digit, (k0, k1)) in hoisted.digits.iter().zip(key.pairs()) {
+                permuted.permute_from(digit, perm);
+                oc0.fma_pointwise(&permuted, k0, chain)?;
+                oc1.fma_pointwise(&permuted, k1, chain)?;
+            }
+            Ok(())
+        };
+        let r = fma();
+        scratch.put_poly(permuted);
+        r?;
+
+        Self::count(&self.poly_mul_count, 2 * self.params.l_ct() as u64);
+        Self::count(&self.rotate_count, 1);
+        out.set_noise(a.noise().rotate(&self.params));
+        Ok(())
+    }
+
+    /// Allocating wrapper over [`Evaluator::rotate_hoisted_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::rotate_hoisted_into`].
+    pub fn rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        hoisted: &HoistedDecomposition,
+        steps: i64,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let mut out = Ciphertext::transparent_zero(&self.params);
+        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        self.rotate_hoisted_into(&mut out, a, hoisted, steps, keys, &mut scratch)?;
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -529,7 +766,7 @@ impl Evaluator {
         let centered: Vec<i64> = pt.poly().data().iter().map(|&c| t.center(c)).collect();
         let mut poly = RnsPoly::from_signed(&centered, chain);
         poly.to_eval(chain);
-        Self::count(&self.ntt_count, 1);
+        Self::count(&self.ntt_count, chain.limbs() as u64);
         Ok(PreparedPlaintext { poly, inf_norm })
     }
 
@@ -596,7 +833,7 @@ impl Evaluator {
             let (oc0, oc1) = out.parts_mut();
             for (digit, ct) in digits.iter_mut().zip(&wct.cts) {
                 digit.to_eval(chain);
-                Self::count(&self.ntt_count, 1);
+                Self::count(&self.ntt_count, chain.limbs() as u64);
                 oc0.fma_pointwise(ct.c0(), digit, chain)?;
                 oc1.fma_pointwise(ct.c1(), digit, chain)?;
                 Self::count(&self.poly_mul_count, 2);
@@ -625,13 +862,17 @@ impl Evaluator {
 
     /// `HE_Rotate`: rotates row slots left by `steps` (negative = right).
     ///
+    /// Steps wrap around the row: `steps` and `steps mod (n/2)` are the
+    /// same rotation (so `row + 1` behaves like `1`, and any multiple of
+    /// the row is the identity) — the same semantics as
+    /// [`Evaluator::rotate_rows_composed`].
+    ///
     /// # Errors
     ///
-    /// [`Error::InvalidRotation`] for bad steps,
     /// [`Error::MissingGaloisKey`] if the key set lacks the element,
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn rotate_rows(&self, a: &Ciphertext, steps: i64, keys: &GaloisKeys) -> Result<Ciphertext> {
-        if steps == 0 {
+        if steps.rem_euclid(self.params.row_size() as i64) == 0 {
             return Ok(a.clone());
         }
         let g = element_for_step(self.params.degree(), steps)?;
@@ -665,6 +906,9 @@ impl Evaluator {
     /// ping-ponging between two ciphertext buffers on the scratch path.
     /// Costs more noise than a single keyed rotation — used when key
     /// storage is constrained.
+    ///
+    /// Steps wrap around the row, exactly as in
+    /// [`Evaluator::rotate_rows`].
     ///
     /// # Errors
     ///
@@ -952,9 +1196,145 @@ mod tests {
         let _ = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
         let counts = c.eval.op_counts();
         let l_ct = c.params.l_ct() as u64;
+        let limbs = c.params.limbs() as u64;
         assert_eq!(counts.rotate, 1);
-        assert_eq!(counts.ntt, l_ct + 1, "l_ct + 1 NTTs per rotate");
+        assert_eq!(
+            counts.ntt,
+            (l_ct + 1) * limbs,
+            "(l_ct + 1)·limbs NTT plane transforms per rotate"
+        );
         assert_eq!(counts.poly_mul, 2 * l_ct, "2 l_ct muls per rotate");
+    }
+
+    #[test]
+    fn op_counts_scale_with_limb_planes() {
+        // The seed-era counter charged l_ct + 1 per rotate regardless of
+        // the chain length, under-reporting multi-limb NTT work by a
+        // factor of `limbs`. Plane counting fixes that.
+        let params = BfvParams::preset_rns_3x36(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 71);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 72);
+        let eval = Evaluator::new(params.clone());
+        let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]).unwrap()).unwrap();
+
+        eval.reset_op_counts();
+        let _ = eval.rotate_rows(&ct, 1, &keys).unwrap();
+        let counts = eval.op_counts();
+        let l_ct = params.l_ct() as u64;
+        assert_eq!(params.limbs(), 3);
+        assert_eq!(counts.ntt, (l_ct + 1) * 3);
+        assert_eq!(counts.poly_mul, 2 * l_ct);
+    }
+
+    #[test]
+    fn hoisted_rotation_matches_direct_and_shares_one_decomposition() {
+        for params in [
+            BfvParams::preset_single_60(4096).unwrap(),
+            BfvParams::preset_rns_2x30(4096).unwrap(),
+            BfvParams::preset_rns_3x36(4096).unwrap(),
+        ] {
+            let mut kg = KeyGenerator::from_seed(params.clone(), 81);
+            let pk = kg.public_key().unwrap();
+            let steps = [1i64, 2, 5, -3];
+            let keys = kg.galois_keys_for_steps(&steps).unwrap();
+            let encoder = BatchEncoder::new(params.clone());
+            let mut enc = Encryptor::from_public_key(pk, 82);
+            let dec = Decryptor::new(kg.secret_key().clone());
+            let eval = Evaluator::new(params.clone());
+            let vals: Vec<u64> = (0..200).map(|i| i * 13 % 997).collect();
+            let ct = enc.encrypt(&encoder.encode(&vals).unwrap()).unwrap();
+
+            eval.reset_op_counts();
+            let hoisted = eval.hoist(&ct).unwrap();
+            let after_hoist = eval.op_counts();
+            let l_ct = params.l_ct() as u64;
+            let limbs = params.limbs() as u64;
+            assert_eq!(
+                after_hoist.ntt,
+                (l_ct + 1) * limbs,
+                "hoist = one rotation's worth of plane transforms"
+            );
+
+            for &s in &steps {
+                let direct = eval.rotate_rows(&ct, s, &keys).unwrap();
+                let via_hoist = eval.rotate_hoisted(&ct, &hoisted, s, &keys).unwrap();
+                let d1 = encoder.decode(&dec.decrypt_checked(&direct).unwrap());
+                let d2 = encoder.decode(&dec.decrypt_checked(&via_hoist).unwrap());
+                assert_eq!(d1, d2, "step {s}, limbs {limbs}");
+                assert_eq!(direct.noise().bound_log2, via_hoist.noise().bound_log2);
+            }
+
+            // The k-element set paid for exactly one INTT + decompose:
+            // only the k direct rotations added NTT plane transforms.
+            let total = eval.op_counts();
+            let expected_direct = steps.len() as u64 * (l_ct + 1) * limbs;
+            assert_eq!(
+                total.ntt - after_hoist.ntt,
+                expected_direct,
+                "hoisted replays must add zero NTT work"
+            );
+            assert_eq!(total.rotate, 2 * steps.len() as u64);
+        }
+    }
+
+    #[test]
+    fn hoisted_replay_rejects_foreign_source_ciphertext() {
+        let mut c = ctx(2048, &[1]);
+        let ct_a = c.enc.encrypt(&c.encoder.encode(&[1, 2]).unwrap()).unwrap();
+        let ct_b = c.enc.encrypt(&c.encoder.encode(&[3, 4]).unwrap()).unwrap();
+        let hoisted = c.eval.hoist(&ct_a).unwrap();
+        // Replaying A's decomposition against B must fail loudly, not
+        // splice A's key-switch digits onto B's c0.
+        assert!(matches!(
+            c.eval.rotate_hoisted(&ct_b, &hoisted, 1, &c.keys),
+            Err(Error::ParameterMismatch)
+        ));
+        // And mutating the source after hoisting invalidates the replay.
+        let mut mutated = ct_a.clone();
+        c.eval.add_assign(&mut mutated, &ct_b).unwrap();
+        assert!(matches!(
+            c.eval.rotate_hoisted(&mutated, &hoisted, 1, &c.keys),
+            Err(Error::ParameterMismatch)
+        ));
+        // The genuine source still works.
+        assert!(c.eval.rotate_hoisted(&ct_a, &hoisted, 1, &c.keys).is_ok());
+    }
+
+    #[test]
+    fn rotation_steps_wrap_around_the_row() {
+        // steps = row + 1 must behave exactly like steps = 1 on the
+        // direct, scratch, composed, and hoisted paths.
+        let mut c = ctx(2048, &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        let row = c.params.row_size() as i64;
+        let vals: Vec<u64> = (0..row as u64).collect();
+        let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
+
+        let by_one = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
+        let wrapped = c.eval.rotate_rows(&ct, row + 1, &c.keys).unwrap();
+        assert_eq!(by_one.c0().data(), wrapped.c0().data());
+        assert_eq!(by_one.c1().data(), wrapped.c1().data());
+
+        let composed = c.eval.rotate_rows_composed(&ct, row + 1, &c.keys).unwrap();
+        let d1 = c.encoder.decode(&c.dec.decrypt_checked(&by_one).unwrap());
+        let d2 = c.encoder.decode(&c.dec.decrypt_checked(&composed).unwrap());
+        assert_eq!(d1, d2);
+
+        // Multiples of the row are the identity everywhere.
+        let ident = c.eval.rotate_rows(&ct, row, &c.keys).unwrap();
+        assert_eq!(ident.c0().data(), ct.c0().data());
+        let ident = c.eval.rotate_rows_composed(&ct, -row, &c.keys).unwrap();
+        assert_eq!(ident.c0().data(), ct.c0().data());
+
+        let hoisted = c.eval.hoist(&ct).unwrap();
+        let h1 = c
+            .eval
+            .rotate_hoisted(&ct, &hoisted, row + 1, &c.keys)
+            .unwrap();
+        let dh = c.encoder.decode(&c.dec.decrypt_checked(&h1).unwrap());
+        assert_eq!(d1, dh);
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Key material: secret key, public key, and Galois (rotation) keys.
 //!
 //! Galois keys embed the ciphertext decomposition base `A_dcmp`
-//! (Table II): each key holds `l_ct = ceil(log_A Q)` RLWE samples of
-//! `A^i · s(x^g)` over the full modulus chain, so applying a rotation costs
-//! `2·l_ct` polynomial multiplications and `l_ct + 1` NTT passes (each a
-//! limb-parallel transform) — exactly the counts the Cheetah performance
-//! model charges per `HE_Rotate` (§IV-A).
+//! (Table II) and are indexed per **(limb, digit)** for the RNS-native
+//! key switch: pair `(i, d)` is an RLWE sample of `A^d · q̂_i · s(x^g)`
+//! (with `q̂_i = Q/q_i`), so the evaluator can pair it with the limb-local
+//! digit `[A^{-d}-ish slice of q̂_i^{-1}·c1]_{q_i}` without ever
+//! CRT-composing a coefficient. A key holds
+//! `l_ct = Σ_i ceil(log_A q_i)` pairs (flat, limb-major); applying a
+//! rotation costs `2·l_ct` polynomial multiplications and
+//! `(l_ct + 1)·l_limbs` NTT plane transforms — the counts the corrected
+//! Cheetah performance model charges per `HE_Rotate` (§IV-A). For a
+//! single limb `q̂_0 = 1` and everything degenerates bit-for-bit to the
+//! historical composed `A^d·s(x^g)` key shape.
 
 use std::collections::HashMap;
 
@@ -60,22 +66,26 @@ impl PublicKey {
     }
 }
 
-/// One key-switching key: `l_ct` pairs
-/// `(−(a_i·s + e_i) + A^i·s(x^g), a_i)` in evaluation form, plus the cached
+/// One key-switching key: `l_ct = Σ_i ceil(log_A q_i)` pairs
+/// `(−(a·s + e) + A^d·q̂_i·s(x^g), a)` in evaluation form — indexed per
+/// (limb `i`, digit `d`), stored flat in limb-major order to match the
+/// digit order [`RnsPoly::rns_decompose_into`] emits — plus the cached
 /// slot permutation realizing `x ↦ x^g` on NTT-form data (the permutation
 /// depends only on `n`, so one table serves every limb plane).
 #[derive(Debug, Clone)]
 pub struct GaloisKey {
     /// The Galois element `g` (odd).
     pub element: u64,
-    /// Key-switch pairs, one per decomposition digit.
+    /// Key-switch pairs, one per (limb, digit), flat in limb-major order.
     pairs: Vec<(RnsPoly, RnsPoly)>,
     /// NTT-domain permutation for `x ↦ x^g`.
     perm: Vec<u32>,
 }
 
 impl GaloisKey {
-    /// Key-switch pairs (`l_ct` of them).
+    /// Key-switch pairs: `l_ct` of them, one per (limb, digit) in
+    /// limb-major order (limb 0's digits first). For a single limb this is
+    /// the historical per-digit shape.
     pub fn pairs(&self) -> &[(RnsPoly, RnsPoly)] {
         &self.pairs
     }
@@ -218,7 +228,9 @@ impl KeyGenerator {
     }
 
     /// Generates the Galois key for element `g` with the parameter set's
-    /// ciphertext decomposition base.
+    /// ciphertext decomposition base: one RLWE pair per (limb, digit) of
+    /// the RNS-native decomposition, pair `(i, d)` encrypting
+    /// `A^d·q̂_i·s(x^g)`.
     ///
     /// # Errors
     ///
@@ -226,7 +238,7 @@ impl KeyGenerator {
     pub fn galois_key(&mut self, g: u64) -> Result<GaloisKey> {
         let chain = self.params.chain().clone();
         let a_base = self.params.a_dcmp();
-        let l_ct = self.params.l_ct();
+        let limbs = chain.limbs();
 
         // s(x^g) in evaluation form, via the NTT-domain permutation (one
         // permutation table drives every limb plane).
@@ -234,28 +246,33 @@ impl KeyGenerator {
         let mut s_g = RnsPoly::zero(&chain, Representation::Eval);
         s_g.permute_from(self.sk.poly(), &perm);
 
-        let mut pairs = Vec::with_capacity(l_ct);
-        // scale[i] = A^level mod q_i, advanced per level.
-        let mut scale: Vec<u64> = vec![1; chain.limbs()];
-        for level in 0..l_ct {
-            let a_i = self.rng.uniform_rns(&chain, Representation::Eval);
-            let mut e_i = self.rng.noise_rns(&chain);
-            e_i.to_eval(&chain);
-            // k0 = -(a_i*s + e_i) + A^level * s(x^g)
-            let mut k0 = a_i.clone();
-            k0.mul_assign_pointwise(self.sk.poly(), &chain)?;
-            k0.add_assign(&e_i, &chain)?;
-            k0.negate(&chain);
-            let mut scaled_sg = s_g.clone();
-            for (i, &sc) in scale.iter().enumerate() {
-                crate::poly::mul_scalar_slice(scaled_sg.limb_mut(i), sc, chain.modulus(i));
-            }
-            k0.add_assign(&scaled_sg, &chain)?;
-            pairs.push((k0, a_i));
-            if level + 1 < l_ct {
-                for (i, sc) in scale.iter_mut().enumerate() {
-                    let q = chain.modulus(i);
-                    *sc = q.mul_mod(*sc, q.reduce(a_base));
+        let mut pairs = Vec::with_capacity(self.params.l_ct());
+        for i in 0..limbs {
+            // scale[k] = A^d·q̂_i mod q_k, advanced per digit. For one limb
+            // q̂_0 = 1, so this replays the historical A^d progression (and
+            // the RNG stream order is unchanged: one sample pair per digit).
+            let mut scale: Vec<u64> = (0..limbs).map(|k| chain.crt().qhat_mod(i, k)).collect();
+            let levels_i = chain.limb_decomposition_levels(a_base, i);
+            for digit in 0..levels_i {
+                let a_d = self.rng.uniform_rns(&chain, Representation::Eval);
+                let mut e_d = self.rng.noise_rns(&chain);
+                e_d.to_eval(&chain);
+                // k0 = -(a_d*s + e_d) + A^digit · q̂_i · s(x^g)
+                let mut k0 = a_d.clone();
+                k0.mul_assign_pointwise(self.sk.poly(), &chain)?;
+                k0.add_assign(&e_d, &chain)?;
+                k0.negate(&chain);
+                let mut scaled_sg = s_g.clone();
+                for (k, &sc) in scale.iter().enumerate() {
+                    crate::poly::mul_scalar_slice(scaled_sg.limb_mut(k), sc, chain.modulus(k));
+                }
+                k0.add_assign(&scaled_sg, &chain)?;
+                pairs.push((k0, a_d));
+                if digit + 1 < levels_i {
+                    for (k, sc) in scale.iter_mut().enumerate() {
+                        let q = chain.modulus(k);
+                        *sc = q.mul_mod(*sc, q.reduce(a_base));
+                    }
                 }
             }
         }
@@ -337,20 +354,35 @@ impl KeyGenerator {
 /// Computes the Galois element `3^k mod 2n` realizing a left row-rotation
 /// by `steps` (negative steps rotate right).
 ///
+/// Steps wrap around the row: any `steps` with the same
+/// `steps mod (n/2)` maps to the same element, so `row + 1` rotates like
+/// `1` — the shared semantics of [`crate::Evaluator::rotate_rows`] and
+/// [`crate::Evaluator::rotate_rows_composed`]. Computed by
+/// square-and-multiply (`O(log k)` word multiplications, not the `O(k)`
+/// scan that used to cost up to `n/2 − 1` iterations per lookup).
+///
 /// # Errors
 ///
-/// Returns [`Error::InvalidRotation`] if `steps` is zero or out of range
-/// `(-n/2, n/2)`.
+/// Returns [`Error::InvalidRotation`] if `steps ≡ 0 (mod n/2)` — the
+/// identity rotation has no Galois element (callers special-case it).
 pub fn element_for_step(n: usize, steps: i64) -> Result<u64> {
     let row = (n / 2) as i64;
-    if steps == 0 || steps <= -row || steps >= row {
+    let k = steps.rem_euclid(row) as u64;
+    if k == 0 {
         return Err(Error::InvalidRotation(steps));
     }
-    let k = steps.rem_euclid(row) as u64;
     let m = 2 * n as u64;
+    // 3^k mod m by square-and-multiply; operands < 2n ≤ 2^63 so the
+    // widening product fits u128.
     let mut g = 1u64;
-    for _ in 0..k {
-        g = g * 3 % m;
+    let mut base = 3u64 % m;
+    let mut e = k;
+    while e > 0 {
+        if e & 1 == 1 {
+            g = ((g as u128 * base as u128) % m as u128) as u64;
+        }
+        base = ((base as u128 * base as u128) % m as u128) as u64;
+        e >>= 1;
     }
     Ok(g)
 }
@@ -428,9 +460,47 @@ mod tests {
             element_for_step(8, -1).unwrap(),
             element_for_step(8, 3).unwrap()
         );
+        // multiples of the row are the identity: no element.
         assert!(element_for_step(8, 0).is_err());
         assert!(element_for_step(8, 4).is_err());
         assert!(element_for_step(8, -4).is_err());
+        assert!(element_for_step(8, 8).is_err());
+        // everything else wraps around the row.
+        assert_eq!(
+            element_for_step(8, 5).unwrap(),
+            element_for_step(8, 1).unwrap()
+        );
+        assert_eq!(
+            element_for_step(8, -5).unwrap(),
+            element_for_step(8, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn element_for_step_matches_iterative_form_across_full_range() {
+        // Pin the square-and-multiply against the historical O(k) scan for
+        // every step the row supports, at the largest supported degree.
+        for n in [1024usize, 8192] {
+            let row = n / 2;
+            let m = 2 * n as u64;
+            let mut g_iter = 1u64;
+            for k in 1..row {
+                g_iter = g_iter * 3 % m;
+                assert_eq!(
+                    element_for_step(n, k as i64).unwrap(),
+                    g_iter,
+                    "n={n} k={k}"
+                );
+            }
+            // And through the wrap-around on a few offsets.
+            for k in [1i64, 7, (row - 1) as i64] {
+                assert_eq!(
+                    element_for_step(n, k + row as i64).unwrap(),
+                    element_for_step(n, k).unwrap(),
+                    "n={n} wrapped k={k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -464,16 +534,61 @@ mod tests {
     }
 
     #[test]
-    fn key_byte_size_scales_with_limbs() {
+    fn key_byte_size_scales_with_limbs_and_digits() {
         let p1 = BfvParams::preset_single_60(4096).unwrap();
         let p2 = BfvParams::preset_rns_2x30(4096).unwrap();
         let mut kg1 = KeyGenerator::from_seed(p1.clone(), 6);
         let mut kg2 = KeyGenerator::from_seed(p2.clone(), 6);
         let k1 = kg1.galois_keys_for_steps(&[1]).unwrap();
         let k2 = kg2.galois_keys_for_steps(&[1]).unwrap();
-        // Same total log2(Q) = 60, same A_dcmp => same l_ct; double the
-        // limbs => double the serialized bytes.
-        assert_eq!(k2.byte_size(&p2), 2 * k1.byte_size(&p1));
+        // Per-limb decomposition: one 60-bit limb carries ceil(60/20) = 3
+        // digits; two 30-bit limbs carry 2·ceil(30/20) = 4 digits, each
+        // over twice the planes.
+        assert_eq!(k1.byte_size(&p1), 3 * 2 * 4096 * 8);
+        assert_eq!(k2.byte_size(&p2), 4 * 2 * 2 * 4096 * 8);
+    }
+
+    #[test]
+    fn multi_limb_pairs_are_rlwe_samples_of_scaled_secret() {
+        // Every pair (i, d) must satisfy k0 + k1·s = A^d·q̂_i·s(x^g) + e
+        // with small e — the invariant the RNS-native key switch consumes.
+        let p = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 10);
+        let g = kg.element_for_step(1).unwrap();
+        let key = kg.galois_key(g).unwrap();
+        let chain = p.chain();
+        assert_eq!(key.pairs().len(), p.l_ct());
+
+        let mut s_g = RnsPoly::zero(chain, Representation::Eval);
+        s_g.permute_from(kg.secret_key().poly(), key.permutation());
+
+        let mut idx = 0;
+        for i in 0..chain.limbs() {
+            let levels_i = chain.limb_decomposition_levels(p.a_dcmp(), i);
+            for d in 0..levels_i {
+                let (k0, k1) = &key.pairs()[idx];
+                // residual = k0 + k1·s − A^d·q̂_i·s(x^g) must be small.
+                let mut residual = k1.clone();
+                residual
+                    .mul_assign_pointwise(kg.secret_key().poly(), chain)
+                    .unwrap();
+                residual.add_assign(k0, chain).unwrap();
+                let mut scaled = s_g.clone();
+                for (k, q) in chain.moduli().iter().enumerate() {
+                    let mut sc = chain.crt().qhat_mod(i, k);
+                    for _ in 0..d {
+                        sc = q.mul_mod(sc, q.reduce(p.a_dcmp()));
+                    }
+                    crate::poly::mul_scalar_slice(scaled.limb_mut(k), sc, q);
+                }
+                residual.sub_assign(&scaled, chain).unwrap();
+                residual.to_coeff(chain);
+                let norm = residual.inf_norm_centered(chain).unwrap();
+                assert!(norm <= 64, "pair ({i},{d}) residual too large: {norm}");
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, key.pairs().len());
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl NoiseEstimate {
     }
 
     /// Noise after `HE_Rotate` (Table III: `v + l_ct·A_dcmp·B·n/2`).
+    ///
+    /// Under the RNS-native key switch `l_ct = Σ_i ceil(log_A q_i)` counts
+    /// the *per-limb* digits: each digit `< A` multiplies one fresh key
+    /// error polynomial, so the additive term is the digit count times
+    /// `A·B·n/2` exactly as in the composed-base analysis — only the digit
+    /// count changed (and for one limb it did not). The same bound covers
+    /// hoisted rotations: permuting digits after extraction leaves every
+    /// `|digit| < A` and the per-digit error fresh.
     pub fn rotate(&self, params: &BfvParams) -> Self {
         let n = params.degree() as f64;
         let b = 6.0 * params.sigma();

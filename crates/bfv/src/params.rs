@@ -344,10 +344,13 @@ impl BfvParams {
         self.inner.security
     }
 
-    /// `l_ct = ceil(log_{A_dcmp}(Q))` — ciphertext decomposition levels
-    /// over the *composed* modulus.
+    /// `l_ct = Σ_i ceil(log_{A_dcmp}(q_i))` — ciphertext decomposition
+    /// digits of the RNS-native (per-limb `q̂_i`) key switch: the number of
+    /// key-switch pairs each Galois key carries and of digit polynomials
+    /// one `HE_Rotate` processes. For a single limb this equals the
+    /// historical composed `ceil(log_A Q)`.
     pub fn l_ct(&self) -> usize {
-        self.inner.chain.decomposition_levels(self.inner.a_dcmp)
+        self.inner.chain.rns_decomposition_levels(self.inner.a_dcmp)
     }
 
     /// `l_pt = ceil(log_{W_dcmp}(t))` — plaintext decomposition levels.
@@ -736,9 +739,12 @@ mod tests {
             .unwrap();
         assert_eq!(p2.l_pt(), 3); // ceil(17/6)
 
-        // Multi-limb: l_ct covers the composed modulus.
+        // Multi-limb: l_ct sums the per-limb digit counts of the
+        // RNS-native decomposition (3 limbs × ceil(36/20) digits).
         let p3 = BfvParams::preset_rns_3x36(4096).unwrap();
-        assert_eq!(p3.l_ct(), 108usize.div_ceil(20));
+        assert_eq!(p3.l_ct(), 3 * 36usize.div_ceil(20));
+        let p2 = BfvParams::preset_rns_2x30(4096).unwrap();
+        assert_eq!(p2.l_ct(), 2 * 30usize.div_ceil(20));
     }
 
     #[test]

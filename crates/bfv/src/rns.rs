@@ -154,12 +154,32 @@ impl ModulusChain {
         self.inner.crt.total_bits()
     }
 
-    /// `ceil(log_base(Q))`: base-`base` digits needed to cover `[0, Q)`.
-    /// For one limb this is exactly the historical `decomposition_levels`.
+    /// `ceil(log_base(Q))`: base-`base` digits needed to cover `[0, Q)`
+    /// over the *composed* modulus. For one limb this is exactly the
+    /// historical `decomposition_levels`; multi-limb key switching uses the
+    /// per-limb [`ModulusChain::rns_decomposition_levels`] instead.
     pub fn decomposition_levels(&self, base: u64) -> usize {
         assert!(base >= 2 && base.is_power_of_two());
         let b_bits = base.trailing_zeros();
         self.total_bits().div_ceil(b_bits) as usize
+    }
+
+    /// `ceil(log_base(q_i))`: base-`base` digits needed to cover limb `i`'s
+    /// residue range `[0, q_i)` in the RNS-native decomposition.
+    pub fn limb_decomposition_levels(&self, base: u64, i: usize) -> usize {
+        assert!(base >= 2 && base.is_power_of_two());
+        let b_bits = base.trailing_zeros();
+        self.modulus(i).bits().div_ceil(b_bits) as usize
+    }
+
+    /// Total digit count `Σ_i ceil(log_base(q_i))` of the per-limb
+    /// (`q̂_i`) RNS decomposition — the number of key-switch pairs a Galois
+    /// key carries and the digit polynomials one `HE_Rotate` processes.
+    /// Equals [`ModulusChain::decomposition_levels`] for a single limb.
+    pub fn rns_decomposition_levels(&self, base: u64) -> usize {
+        (0..self.limbs())
+            .map(|i| self.limb_decomposition_levels(base, i))
+            .sum()
     }
 
     /// Validates a digit-decomposition base against this chain: it must be
@@ -576,6 +596,67 @@ impl RnsPoly {
         Ok(())
     }
 
+    /// RNS-native (per-limb `q̂_i`) digit decomposition — the key-switch
+    /// decomposition that never leaves limb-local `u64` arithmetic.
+    ///
+    /// Writes `Σ_i ceil(log_base q_i)` digit polynomials, ordered
+    /// limb-major: for limb `i`, coefficient `j`, the normalized residue
+    /// `v = [q̂_i^{-1}·c]_{q_i}` (one Barrett multiplication) is split into
+    /// base-`base` digits, each replicated across every limb plane of its
+    /// digit polynomial. Correctness rests on the CRT interpolation
+    /// `c ≡ Σ_i q̂_i·v_i (mod Q)`, so pairing digit `(i, d)` with a key
+    /// that encrypts `base^d·q̂_i·s(x^g)` reconstructs `c·s(x^g)` exactly —
+    /// no Garner composition, no 128-bit arithmetic anywhere.
+    ///
+    /// For one limb `q̂_0 = 1`, and this degenerates to exactly the
+    /// historical word-shift extraction (bit-identical digits).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] if not in coefficient form,
+    /// [`Error::InvalidDecompositionBase`] for a bad base, and
+    /// [`Error::ParameterMismatch`] if `digits` has the wrong shape.
+    pub fn rns_decompose_into(
+        &self,
+        base: u64,
+        chain: &ModulusChain,
+        digits: &mut [RnsPoly],
+    ) -> Result<()> {
+        self.expect_repr(Representation::Coeff)?;
+        chain.check_poly(self)?;
+        chain.check_decomposition_base(base)?;
+        if digits.len() != chain.rns_decomposition_levels(base) {
+            return Err(Error::ParameterMismatch);
+        }
+        for d in digits.iter_mut() {
+            chain.check_poly(d)?;
+            d.repr = Representation::Coeff;
+        }
+        let log_base = base.trailing_zeros();
+        let mask = base - 1;
+        let (l, n) = (self.limbs, self.n);
+        let mut first = 0;
+        for i in 0..l {
+            let q_i = chain.modulus(i);
+            let inv = chain.crt().qhat_inv(i);
+            let levels_i = chain.limb_decomposition_levels(base, i);
+            let limb_digits = &mut digits[first..first + levels_i];
+            for j in 0..n {
+                let mut rem = q_i.mul_mod(self.data[i * n + j], inv);
+                for digit in limb_digits.iter_mut() {
+                    let v = rem & mask;
+                    for k in 0..l {
+                        digit.data[k * n + j] = v;
+                    }
+                    rem >>= log_base;
+                }
+                debug_assert_eq!(rem, 0, "residue exceeded base^levels");
+            }
+            first += levels_i;
+        }
+        Ok(())
+    }
+
     /// Largest centered absolute value of any composed coefficient
     /// (`|c|` against `Q/2`; coefficient form only) — the exact noise
     /// measurement primitive.
@@ -737,6 +818,74 @@ mod tests {
             }
             assert_eq!(v, a.compose_coeff(&ch, j), "coeff {j}");
         }
+    }
+
+    #[test]
+    fn rns_decompose_reconstructs_on_every_plane() {
+        // Σ_{i,d} base^d·q̂_i·digit_{i,d} must reproduce the original
+        // residue on every limb plane — verified entirely in word
+        // arithmetic, the same congruences key switching relies on.
+        for bits in [&[30u32, 30][..], &[30, 31, 36][..], &[50][..]] {
+            let ch = chain(32, bits);
+            let a = RnsPoly::from_fn(&ch, Representation::Coeff, |i, j| {
+                ((i * 5231 + j * 877 + 3) as u64) % ch.modulus(i).value()
+            });
+            let base = 1u64 << 16;
+            let total = ch.rns_decomposition_levels(base);
+            assert_eq!(
+                total,
+                (0..ch.limbs())
+                    .map(|i| ch.limb_decomposition_levels(base, i))
+                    .sum::<usize>()
+            );
+            let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); total];
+            a.rns_decompose_into(base, &ch, &mut digits).unwrap();
+            for j in 0..32 {
+                for (k, q_k) in ch.moduli().iter().enumerate() {
+                    let mut acc = 0u64;
+                    let mut d = 0;
+                    for i in 0..ch.limbs() {
+                        let mut weight = ch.crt().qhat_mod(i, k);
+                        for _ in 0..ch.limb_decomposition_levels(base, i) {
+                            acc = q_k.add_mod(acc, q_k.mul_mod(digits[d].limb(k)[j], weight));
+                            weight = q_k.mul_mod(weight, q_k.reduce(base));
+                            d += 1;
+                        }
+                    }
+                    assert_eq!(acc, a.limb(k)[j], "bits={bits:?} coeff {j} plane {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rns_decompose_single_limb_matches_composed() {
+        // One limb: the per-limb path is bit-identical to the composed
+        // Garner extraction (q̂_0 = 1).
+        let ch = chain(32, &[50]);
+        let a = RnsPoly::from_fn(&ch, Representation::Coeff, |_, j| {
+            (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % ch.modulus(0).value()
+        });
+        let base = 1u64 << 20;
+        let levels = ch.decomposition_levels(base);
+        assert_eq!(levels, ch.rns_decomposition_levels(base));
+        let mut composed = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
+        let mut per_limb = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
+        a.decompose_into(base, &ch, &mut composed).unwrap();
+        a.rns_decompose_into(base, &ch, &mut per_limb).unwrap();
+        assert_eq!(composed, per_limb);
+    }
+
+    #[test]
+    fn rns_decompose_rejects_wrong_digit_count() {
+        let ch = chain(32, &[30, 30]);
+        let a = RnsPoly::zero(&ch, Representation::Coeff);
+        let total = ch.rns_decomposition_levels(1 << 16);
+        let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); total - 1];
+        assert!(matches!(
+            a.rns_decompose_into(1 << 16, &ch, &mut digits),
+            Err(Error::ParameterMismatch)
+        ));
     }
 
     #[test]

@@ -84,7 +84,9 @@ impl Scratch {
 
     /// A persistent slice of `count` digit polynomials (coefficient form,
     /// contents dirty). Grown on first use, reused afterwards; the borrow
-    /// ends before any other pool method is needed again.
+    /// ends before any other pool method is needed again. The key switch
+    /// sizes this with `BfvParams::l_ct()` — the per-limb RNS digit count
+    /// `Σ_i ceil(log_A q_i)`, each digit spanning every limb plane.
     pub fn digits_mut(&mut self, count: usize) -> &mut [RnsPoly] {
         while self.digits.len() < count {
             self.digits.push(RnsPoly::zero_with(

@@ -10,7 +10,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cheetah_bfv::{
-    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator, Scratch,
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, HoistedDecomposition,
+    KeyGenerator, Scratch,
 };
 
 struct CountingAlloc;
@@ -66,8 +67,12 @@ fn steady_state_inplace_ops_do_not_allocate() {
     let mut scratch: Scratch = eval.new_scratch();
     let mut work = base.clone();
     let mut rot = Ciphertext::transparent_zero(&params);
+    let mut hoisted = HoistedDecomposition::empty(&params);
 
-    let run_all = |work: &mut Ciphertext, rot: &mut Ciphertext, scratch: &mut Scratch| {
+    let run_all = |work: &mut Ciphertext,
+                   rot: &mut Ciphertext,
+                   hoisted: &mut HoistedDecomposition,
+                   scratch: &mut Scratch| {
         eval.add_assign(work, &other).unwrap();
         eval.sub_assign(work, &other).unwrap();
         eval.negate_assign(work).unwrap();
@@ -80,15 +85,21 @@ fn steady_state_inplace_ops_do_not_allocate() {
         eval.rotate_rows_into(rot, work, 0, &keys, scratch).unwrap();
         eval.apply_galois_into(rot, work, 3, &keys, scratch)
             .unwrap();
+        eval.hoist_into(hoisted, work, scratch).unwrap();
+        eval.rotate_hoisted_into(rot, work, hoisted, 1, &keys, scratch)
+            .unwrap();
+        eval.rotate_hoisted_into(rot, work, hoisted, 2, &keys, scratch)
+            .unwrap();
     };
 
-    // Warmup: populates the scratch pool (temporary poly + l_ct digits).
-    run_all(&mut work, &mut rot, &mut scratch);
+    // Warmup: populates the scratch pool (temporary poly + l_ct digits)
+    // and the hoisted digit storage.
+    run_all(&mut work, &mut rot, &mut hoisted, &mut scratch);
 
     // Steady state: not a single trip to the allocator.
     let before = allocations();
     for _ in 0..5 {
-        run_all(&mut work, &mut rot, &mut scratch);
+        run_all(&mut work, &mut rot, &mut hoisted, &mut scratch);
     }
     let after = allocations();
     assert_eq!(

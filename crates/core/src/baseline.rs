@@ -168,6 +168,8 @@ pub fn layer_costs_under(layers: &[LinearLayer], point: &DesignPoint) -> Vec<f64
         n: point.n,
         l_pt: point.l_pt(),
         l_ct: point.l_ct(),
+        // DesignPoint sweeps single-word ciphertext moduli (q_bits ≤ 62).
+        limbs: 1,
     };
     layers
         .iter()

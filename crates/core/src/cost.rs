@@ -9,12 +9,16 @@
 //! * a Harvey butterfly = 3 multiplications ([`MULTS_PER_BUTTERFLY`]);
 //! * an `n`-point NTT = `(n/2)·log2 n` butterflies;
 //! * `HE_Mult` = 2 element-wise polynomial multiplications per plaintext
-//!   digit (`2n` modmuls × `l_pt`);
-//! * `HE_Rotate` = `2·l_ct` polynomial multiplications + `l_ct + 1` NTTs.
+//!   digit, each spanning every limb plane (`2n·l_limbs` modmuls × `l_pt`);
+//! * `HE_Rotate` = `2·l_ct` polynomial multiplications +
+//!   `(l_ct + 1)·l_limbs` NTT **plane transforms** — an RNS polynomial
+//!   transform runs one `n`-point NTT per limb, so multi-limb chains do
+//!   `l_limbs×` the NTT work the seed-era model charged.
 //!
 //! These constants match the real engine: `cheetah-bfv`'s Barrett reduction
-//! performs exactly four partial products plus the `t·q` product, and its
-//! NTT uses three-multiplication Shoup butterflies.
+//! performs exactly four partial products plus the `t·q` product, its NTT
+//! uses three-multiplication Shoup butterflies, and its `OpCounts::ntt`
+//! counter tallies the same plane transforms this model predicts.
 
 /// Integer multiplications per modular multiplication
 /// (1 operand product + 5 for Barrett reduction).
@@ -30,12 +34,17 @@ pub struct HeCostParams {
     pub n: usize,
     /// Plaintext decomposition levels `l_pt` (1 = no decomposition).
     pub l_pt: usize,
-    /// Ciphertext decomposition levels `l_ct`.
+    /// Ciphertext decomposition levels `l_ct` (total per-limb digits
+    /// `Σ_i ceil(log_A q_i)` for an RNS chain).
     pub l_ct: usize,
+    /// RNS limb count `l_limbs` of the ciphertext modulus (1 for the
+    /// classic single-word `q`). Every polynomial transform and pointwise
+    /// multiplication spans this many planes.
+    pub limbs: usize,
 }
 
 impl HeCostParams {
-    /// Integer multiplications in one `n`-point NTT:
+    /// Integer multiplications in one `n`-point NTT plane transform:
     /// `3 · (n/2) · log2(n)`.
     pub fn ntt_mults(&self) -> u64 {
         let n = self.n as u64;
@@ -43,24 +52,30 @@ impl HeCostParams {
     }
 
     /// Integer multiplications in one `HE_Mult` (pt-ct with `l_pt` digits):
-    /// `l_pt · 2n` modular multiplications. No NTTs — Cheetah keeps
-    /// operands in the evaluation domain.
+    /// `l_pt · 2n · l_limbs` modular multiplications (pointwise products
+    /// run on every limb plane). No NTTs — Cheetah keeps operands in the
+    /// evaluation domain.
     pub fn he_mult_mults(&self) -> u64 {
-        self.l_pt as u64 * 2 * self.n as u64 * MULTS_PER_MODMUL
+        self.l_pt as u64 * 2 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL
     }
 
     /// Integer multiplications in one `HE_Rotate`:
-    /// `2·l_ct` polynomial multiplications (each `n` modmuls) plus
-    /// `l_ct + 1` NTTs.
+    /// `2·l_ct` polynomial multiplications (each `n·l_limbs` modmuls) plus
+    /// `(l_ct + 1)·l_limbs` NTT plane transforms.
     pub fn he_rotate_mults(&self) -> u64 {
-        let poly_mults = 2 * self.l_ct as u64 * self.n as u64 * MULTS_PER_MODMUL;
-        let ntts = (self.l_ct as u64 + 1) * self.ntt_mults();
+        let poly_mults =
+            2 * self.l_ct as u64 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL;
+        let ntts = self.ntts_per_rotate() * self.ntt_mults();
         poly_mults + ntts
     }
 
-    /// NTT invocations per `HE_Rotate` (`l_ct + 1`).
+    /// NTT plane transforms per `HE_Rotate`: `(l_ct + 1)·l_limbs`. The
+    /// seed-era model charged `l_ct + 1` regardless of the chain length,
+    /// under-counting multi-limb NTT work by a factor of `l_limbs` (each
+    /// digit's forward transform and the `c1` inverse transform touch
+    /// every limb plane).
     pub fn ntts_per_rotate(&self) -> u64 {
-        self.l_ct as u64 + 1
+        (self.l_ct as u64 + 1) * self.limbs as u64
     }
 }
 
@@ -75,7 +90,8 @@ pub struct KernelTally {
     /// `HE_Add` operator invocations (no multiplications; tracked for the
     /// Fig. 7 breakdown).
     pub he_add: f64,
-    /// NTT invocations (all inside rotations in the Cheetah dataflow).
+    /// NTT plane transforms (all inside rotations in the Cheetah
+    /// dataflow): `(l_ct + 1)·l_limbs` per rotation.
     pub ntt: f64,
 }
 
@@ -92,8 +108,8 @@ impl KernelTally {
     /// split by kernel: `(mult_kernel, rotate_kernel_excluding_ntt, ntt)`.
     pub fn int_mults_by_kernel(&self, p: &HeCostParams) -> KernelMults {
         let mult = self.he_mult * p.he_mult_mults() as f64;
-        let rotate_poly =
-            self.he_rotate * (2 * p.l_ct as u64 * p.n as u64 * MULTS_PER_MODMUL) as f64;
+        let rotate_poly = self.he_rotate
+            * (2 * p.l_ct as u64 * p.n as u64 * p.limbs as u64 * MULTS_PER_MODMUL) as f64;
         let ntt = self.ntt * p.ntt_mults() as f64;
         KernelMults {
             he_mult: mult,
@@ -130,6 +146,7 @@ mod tests {
             n: 4096,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         assert_eq!(p.ntt_mults(), 3 * 2048 * 12);
     }
@@ -140,6 +157,7 @@ mod tests {
             n: 4096,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         let windowed = HeCostParams { l_pt: 3, ..base };
         assert_eq!(windowed.he_mult_mults(), 3 * base.he_mult_mults());
@@ -152,10 +170,31 @@ mod tests {
             n: 4096,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         let expect = 2 * 3 * 4096 * 6 + 4 * p.ntt_mults();
         assert_eq!(p.he_rotate_mults(), expect);
         assert_eq!(p.ntts_per_rotate(), 4);
+    }
+
+    #[test]
+    fn multi_limb_chains_scale_plane_counts() {
+        // The op-count bugfix: each digit NTT and the c1 INTT transform
+        // every limb plane, so a 3-limb chain does 3x the plane
+        // transforms (and 3x the pointwise work) of a 1-limb chain with
+        // the same digit count.
+        let single = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 6,
+            limbs: 1,
+        };
+        let three = HeCostParams { limbs: 3, ..single };
+        assert_eq!(three.ntts_per_rotate(), 3 * single.ntts_per_rotate());
+        assert_eq!(three.he_rotate_mults(), 3 * single.he_rotate_mults());
+        assert_eq!(three.he_mult_mults(), 3 * single.he_mult_mults());
+        // The per-plane transform cost itself is limb-independent.
+        assert_eq!(three.ntt_mults(), single.ntt_mults());
     }
 
     #[test]
@@ -165,6 +204,7 @@ mod tests {
             n: 8192,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         let ntts = (p.l_ct as u64 + 1) * p.ntt_mults();
         let poly = p.he_rotate_mults() - ntts;
@@ -177,6 +217,7 @@ mod tests {
             n: 2048,
             l_pt: 1,
             l_ct: 2,
+            limbs: 1,
         };
         let mut t = KernelTally {
             he_mult: 10.0,

@@ -19,7 +19,8 @@
 //! `c_i·w² ≤ n/2` (all input channels in one ciphertext row).
 
 use cheetah_bfv::{
-    BatchEncoder, Ciphertext, Error, Evaluator, GaloisKeys, Plaintext, PreparedPlaintext, Result,
+    BatchEncoder, Ciphertext, Error, Evaluator, GaloisKeys, HoistedDecomposition, Plaintext,
+    PreparedPlaintext, Result, Scratch,
 };
 use cheetah_nn::{ConvSpec, Tensor};
 
@@ -212,6 +213,16 @@ impl HomConv2d {
         threads: usize,
     ) -> Result<Vec<Ciphertext>> {
         let co = self.spec.co;
+        // Every tap rotates the *same* input ciphertext, so the INTT +
+        // digit decomposition is hoisted once for the whole tap set (the
+        // read-only result is shared by all workers) and each tap pays
+        // only permutations + key-switch multiply-accumulates. A 1×1
+        // filter has only the zero-offset tap and skips the hoist
+        // entirely.
+        let hoisted = match self.offsets.iter().any(|&k| k != 0) {
+            true => Some(eval.hoist(input)?),
+            false => None,
+        };
         // One fork for the whole layer: each worker owns a tap chunk,
         // rotates the input once per tap (shared across output channels,
         // reusing a single rotation buffer + scratch), and fuse-
@@ -222,18 +233,23 @@ impl HomConv2d {
             let mut rot = Ciphertext::transparent_zero(eval.params());
             let mut accs = vec![Ciphertext::transparent_zero(eval.params()); co];
             for (tap, &k) in range.clone().zip(&self.offsets[range]) {
-                eval.rotate_rows_into(&mut rot, input, k, keys, &mut scratch)?;
+                let src: &Ciphertext = match &hoisted {
+                    Some(h) => {
+                        eval.rotate_hoisted_into(&mut rot, input, h, k, keys, &mut scratch)?;
+                        &rot
+                    }
+                    // Zero-offset-only tap set: accumulate straight from
+                    // the unrotated input, no copy.
+                    None => input,
+                };
                 for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
-                    eval.mul_plain_accumulate(acc, &rot, &per_tap[tap])?;
+                    eval.mul_plain_accumulate(acc, src, &per_tap[tap])?;
                 }
             }
             Ok(accs)
         })?;
         let merged = merge_partial_vecs(partials, eval)?;
-        merged
-            .into_iter()
-            .map(|acc| self.reduce_channels(acc, eval, keys))
-            .collect()
+        self.reduce_all_channels(merged, eval, keys)
     }
 
     fn apply_partial_aligned(
@@ -264,33 +280,63 @@ impl HomConv2d {
             Ok(accs)
         })?;
         let merged = merge_partial_vecs(partials, eval)?;
-        merged
-            .into_iter()
-            .map(|acc| self.reduce_channels(acc, eval, keys))
+        self.reduce_all_channels(merged, eval, keys)
+    }
+
+    /// Sums the per-channel partial blocks of every output channel into
+    /// block 0, on the scratch path (no allocating `rotate_rows`/`add`
+    /// wrappers). One scratch pool, rotation buffer, and hoisted-digit
+    /// store serve all `co` reductions, so the whole pass stays
+    /// allocation-free after the first channel warms the buffers.
+    fn reduce_all_channels(
+        &self,
+        accs: Vec<Ciphertext>,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>> {
+        let ci = self.spec.ci;
+        if ci == 1 {
+            return Ok(accs);
+        }
+        let mut scratch = eval.new_scratch();
+        let mut rotated = Ciphertext::transparent_zero(eval.params());
+        let mut hoisted = HoistedDecomposition::empty(eval.params());
+        accs.into_iter()
+            .map(|acc| {
+                self.reduce_channels(acc, eval, keys, &mut scratch, &mut rotated, &mut hoisted)
+            })
             .collect()
     }
 
-    /// Sums the per-channel partial blocks into block 0.
+    /// One output channel's reduction: the power-of-two ladder is a
+    /// dependent chain and reuses the shared rotation buffer; the general
+    /// case rotates the *same* base ciphertext `ci − 1` times, so its
+    /// decomposition is hoisted once for the whole stride set (into the
+    /// shared digit store).
     fn reduce_channels(
         &self,
         mut acc: Ciphertext,
         eval: &Evaluator,
         keys: &GaloisKeys,
+        scratch: &mut Scratch,
+        rotated: &mut Ciphertext,
+        hoisted: &mut HoistedDecomposition,
     ) -> Result<Ciphertext> {
         let w2 = (self.spec.w * self.spec.w) as i64;
         let ci = self.spec.ci;
         if ci.is_power_of_two() {
             let mut half = ci as i64 / 2;
             while half >= 1 {
-                let rotated = eval.rotate_rows(&acc, half * w2, keys)?;
-                acc = eval.add(&acc, &rotated)?;
+                eval.rotate_rows_into(rotated, &acc, half * w2, keys, scratch)?;
+                eval.add_assign(&mut acc, rotated)?;
                 half /= 2;
             }
         } else {
             let base = acc.clone();
+            eval.hoist_into(hoisted, &base, scratch)?;
             for c in 1..ci as i64 {
-                let rotated = eval.rotate_rows(&base, c * w2, keys)?;
-                acc = eval.add(&acc, &rotated)?;
+                eval.rotate_hoisted_into(rotated, &base, hoisted, c * w2, keys, scratch)?;
+                eval.add_assign(&mut acc, rotated)?;
             }
         }
         Ok(acc)
@@ -457,6 +503,32 @@ mod tests {
     }
 
     #[test]
+    fn conv_1x1_skips_the_hoist() {
+        // A 1×1 filter has only the zero-offset tap: the IA path must not
+        // pay a hoist (or any rotation) for the tap loop — only the
+        // channel reduction rotates.
+        let s = spec(8, 1, 2, 2);
+        check_conv(&s, Schedule::InputAligned);
+        let mut c = ctx(&s);
+        let weights = random_weights(&s, 8);
+        let input = random_input(&s, 9);
+        let layer =
+            HomConv2d::new(&s, &weights, &c.encoder, &c.eval, Schedule::InputAligned).unwrap();
+        let ct = c
+            .enc
+            .encrypt(&HomConv2d::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        c.eval.reset_op_counts();
+        let _ = layer.apply(&ct, &c.eval, &c.keys).unwrap();
+        let counts = c.eval.op_counts();
+        let params = c.eval.params();
+        let planes = (params.l_ct() as u64 + 1) * params.limbs() as u64;
+        // co · log2(ci) ladder rotations, nothing else.
+        assert_eq!(counts.rotate, 2);
+        assert_eq!(counts.ntt, 2 * planes, "no hoist for a 1×1 tap set");
+    }
+
+    #[test]
     fn conv_3x3_multi_channel_power_of_two() {
         let s = spec(8, 3, 4, 2);
         check_conv(&s, Schedule::PartialAligned);
@@ -531,6 +603,24 @@ mod tests {
             "functional mults {} vs model {:.1}",
             counts.mul,
             model.he_mult
+        );
+
+        // NTT reconciliation against the corrected plane-transform model.
+        // Per-rotation the engine would do (l_ct + 1)·limbs transforms;
+        // with the tap set hoisted the layer pays exactly one hoist for
+        // all fw² taps plus one non-hoisted rotation per ladder step of
+        // each output channel's power-of-two reduction.
+        let params = c.eval.params();
+        let planes = (params.l_ct() as u64 + 1) * params.limbs() as u64;
+        let ladder = (s.co * s.ci.ilog2() as usize) as u64;
+        assert_eq!(counts.ntt, planes * (1 + ladder), "hoisted NTT structure");
+        // The uncorrected per-rotation accounting would have charged every
+        // rotation a full decomposition; hoisting must beat it.
+        assert!(
+            counts.ntt < counts.rotate * planes,
+            "hoisting saved nothing: {} NTT planes for {} rotations",
+            counts.ntt,
+            counts.rotate
         );
     }
 

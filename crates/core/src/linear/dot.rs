@@ -13,6 +13,23 @@
 
 use cheetah_bfv::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, Result};
 
+/// Shared scratch buffers for the dot-product loops: one rotation target
+/// plus a per-call [`cheetah_bfv::Scratch`], so the reductions run on the
+/// evaluator's zero-allocation path instead of the allocating wrappers.
+struct RotateScratch {
+    scratch: cheetah_bfv::Scratch,
+    rotated: Ciphertext,
+}
+
+impl RotateScratch {
+    fn new(eval: &Evaluator) -> Self {
+        Self {
+            scratch: eval.new_scratch(),
+            rotated: Ciphertext::transparent_zero(eval.params()),
+        }
+    }
+}
+
 /// Rotation steps [`dot_partial_aligned`] needs for length-`d` inputs.
 pub fn pa_required_steps(d: usize) -> Vec<i64> {
     assert!(d.is_power_of_two(), "dot length must be a power of two");
@@ -51,11 +68,13 @@ pub fn dot_partial_aligned(
     let w_pt = encoder.encode_signed(weights)?;
     let prepared = eval.prepare_plaintext(&w_pt)?;
     let mut acc = eval.mul_plain(ct, &prepared)?;
-    // log2(d) rotate-and-add reduction.
+    // log2(d) rotate-and-add reduction on the scratch path (a dependent
+    // chain: each rotation reads the freshly accumulated ciphertext).
+    let mut rs = RotateScratch::new(eval);
     let mut s = d / 2;
     while s >= 1 {
-        let rotated = eval.rotate_rows(&acc, s as i64, keys)?;
-        acc = eval.add(&acc, &rotated)?;
+        eval.rotate_rows_into(&mut rs.rotated, &acc, s as i64, keys, &mut rs.scratch)?;
+        eval.add_assign(&mut acc, &rs.rotated)?;
         s /= 2;
     }
     Ok(acc)
@@ -63,6 +82,10 @@ pub fn dot_partial_aligned(
 
 /// Sched-IA dot product: `rotate the input first, then multiply`
 /// (prior-art ordering, Fig. 5 left).
+///
+/// All `d − 1` rotations act on the same fresh input, so its INTT + digit
+/// decomposition is hoisted once for the whole set and each alignment
+/// pays only permutations + key-switch multiply-accumulates.
 ///
 /// # Errors
 ///
@@ -75,26 +98,34 @@ pub fn dot_input_aligned(
     keys: &GaloisKeys,
 ) -> Result<Ciphertext> {
     let slots = encoder.slots();
-    let mut acc: Option<Ciphertext> = None;
-    for (i, &w) in weights.iter().enumerate() {
-        // Align x[i] with slot 0...
-        let aligned = if i == 0 {
-            ct.clone()
-        } else {
-            eval.rotate_rows(ct, i as i64, keys)?
-        };
-        // ...then multiply by w placed at slot 0 only.
+    let mut acc = Ciphertext::transparent_zero(eval.params());
+    // Multiply by w placed at slot 0 only, fused into the accumulator.
+    let accumulate = |acc: &mut Ciphertext, aligned: &Ciphertext, w: i64| -> Result<()> {
         let mut mask = vec![0i64; slots];
         mask[0] = w;
         let w_pt = encoder.encode_signed(&mask)?;
         let prepared = eval.prepare_plaintext(&w_pt)?;
-        let term = eval.mul_plain(&aligned, &prepared)?;
-        acc = Some(match acc {
-            None => term,
-            Some(prev) => eval.add(&prev, &term)?,
-        });
+        eval.mul_plain_accumulate(acc, aligned, &prepared)
+    };
+    // x[0] is already aligned: no rotation, and no hoist at all when the
+    // dot product is a single term.
+    accumulate(&mut acc, ct, weights[0])?;
+    if weights.len() > 1 {
+        let hoisted = eval.hoist(ct)?;
+        let mut rs = RotateScratch::new(eval);
+        for (i, &w) in weights.iter().enumerate().skip(1) {
+            eval.rotate_hoisted_into(
+                &mut rs.rotated,
+                ct,
+                &hoisted,
+                i as i64,
+                keys,
+                &mut rs.scratch,
+            )?;
+            accumulate(&mut acc, &rs.rotated, w)?;
+        }
     }
-    Ok(acc.expect("dot length >= 1"))
+    Ok(acc)
 }
 
 #[cfg(test)]

@@ -234,11 +234,13 @@ mod tests {
             n: 2048,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         let p_big = HeCostParams {
             n: 8192,
             l_pt: 1,
             l_ct: 3,
+            limbs: 1,
         };
         assert!(p_big.he_rotate_mults() > p_small.he_rotate_mults());
     }
@@ -250,6 +252,7 @@ mod tests {
             n: 2048,
             l_pt: 1,
             l_ct: 2,
+            limbs: 1,
         };
         let tally = m.tally(&p);
         assert_eq!(tally.ntt, m.he_rotate * 3.0);

@@ -154,7 +154,13 @@ pub fn evaluate_point(
     let l_pt = noise_params.l_pt();
     let l_ct = noise_params.l_ct();
     let noise = layer_noise(layer, &noise_params, schedule, regime);
-    let cost_params = HeCostParams { n, l_pt, l_ct };
+    // The tuner sweeps single-word ciphertext moduli (q_bits ≤ 62).
+    let cost_params = HeCostParams {
+        n,
+        l_pt,
+        l_ct,
+        limbs: 1,
+    };
     let int_mults = layer_ops_scheduled(layer, n, l_pt, schedule).int_mults(&cost_params);
     DesignPoint {
         n,

@@ -67,7 +67,8 @@ proptest! {
     fn int_mults_monotone_in_decomposition_levels(c in arb_conv()) {
         // More decomposition levels never make a layer cheaper.
         let layer = LinearLayer::Conv(c);
-        let base = HeCostParams { n: 4096, l_pt: 1, l_ct: 3 };
+        let base = HeCostParams { n: 4096, l_pt: 1, l_ct: 3,
+            limbs: 1, };
         let deeper_ct = HeCostParams { l_ct: 8, ..base };
         let cost = |p: &HeCostParams, l_pt: usize| layer_ops(&layer, p.n, l_pt).int_mults(p);
         prop_assert!(cost(&deeper_ct, 1) >= cost(&base, 1));

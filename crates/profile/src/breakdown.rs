@@ -5,6 +5,7 @@
 //! time across NTT / Rotate / Mult / Add / Other, the way the paper's SEAL
 //! profile does for ResNet50 (55.2 % / 31.8 % / 10.3 % / 2.2 % / 0.5 %).
 
+use cheetah_core::cost::HeCostParams;
 use cheetah_core::ptune::perf::layer_ops;
 use cheetah_core::ptune::DesignPoint;
 use cheetah_nn::LinearLayer;
@@ -57,9 +58,17 @@ impl Breakdown {
 /// Computes one layer's breakdown under its tuned configuration.
 pub fn layer_breakdown(layer: &LinearLayer, point: &DesignPoint, times: &KernelTimes) -> Breakdown {
     let l_pt = point.l_pt();
-    let l_ct = point.l_ct();
     let ops = layer_ops(layer, point.n, l_pt);
-    let ntts_per_rotate = (l_ct + 1) as f64;
+    // Plane-transform count via the shared cost model (DesignPoint sweeps
+    // single-word moduli, so limbs = 1 — but the formula stays in one
+    // place instead of re-deriving `l_ct + 1` here).
+    let cost = HeCostParams {
+        n: point.n,
+        l_pt,
+        l_ct: point.l_ct(),
+        limbs: 1,
+    };
+    let ntts_per_rotate = cost.ntts_per_rotate() as f64;
     Breakdown {
         ntt_s: ops.he_rotate * ntts_per_rotate * times.ntt_s,
         rotate_s: ops.he_rotate * times.rotate_excl_ntt_s,

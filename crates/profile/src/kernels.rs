@@ -150,8 +150,9 @@ fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
         let _ = b.eval.rotate_rows(&b.ct, 1, &b.keys).expect("rotate");
     });
 
-    // Attribute the rotate's internal NTTs to the NTT bucket (Fig. 7).
-    let ntts_in_rotate = (b.params.l_ct() + 1) as f64;
+    // Attribute the rotate's internal NTT plane transforms to the NTT
+    // bucket (Fig. 7): (l_ct + 1) transforms per limb plane.
+    let ntts_in_rotate = ((b.params.l_ct() + 1) * b.params.limbs()) as f64;
     let rotate_excl_ntt_s = (rotate_total_s - ntts_in_rotate * ntt_s).max(rotate_total_s * 0.05);
 
     let other_s = time_loop(reps, || {

@@ -107,6 +107,57 @@ fn statistical_estimate_is_tight_but_safe() {
     );
 }
 
+/// The RNS-native key-switch noise term: the model now charges
+/// `l_ct·A·B·n/2` with `l_ct = Σ_i ceil(log_A q_i)` per-limb digits. The
+/// measured invariant noise must stay below the model bound for every
+/// preset (1, 2, and 3 limbs), on both the direct and the hoisted rotation
+/// paths, including a chain of rotations.
+#[test]
+fn rotate_noise_model_bounds_measurement_for_every_preset() {
+    for (name, params) in BfvParams::presets(4096).unwrap() {
+        let mut kg = KeyGenerator::from_seed(params.clone(), 4242);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&[1, 2, 3]).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 4243);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params.clone());
+
+        let values: Vec<u64> = (0..256).map(|i| i * 3 % 500).collect();
+        let ct = enc.encrypt(&encoder.encode(&values).unwrap()).unwrap();
+
+        let check = |label: &str, c: &cheetah::bfv::Ciphertext| {
+            let measured = dec.invariant_noise(c).unwrap() as f64;
+            let bound = c.noise().bound_log2;
+            assert!(
+                measured.max(1.0).log2() <= bound + 1e-9,
+                "{name} {label}: measured 2^{:.1} > bound 2^{:.1}",
+                measured.log2(),
+                bound
+            );
+        };
+
+        let direct = eval.rotate_rows(&ct, 1, &keys).unwrap();
+        check("rotate", &direct);
+
+        let hoisted = eval.hoist(&ct).unwrap();
+        for step in [1i64, 2, 3] {
+            let h = eval.rotate_hoisted(&ct, &hoisted, step, &keys).unwrap();
+            check("rotate_hoisted", &h);
+            // Model charges the same per-rotation additive term on both
+            // paths.
+            assert_eq!(h.noise().bound_log2, direct.noise().bound_log2);
+        }
+
+        // A dependent chain keeps accumulating the additive term.
+        let mut cur = direct;
+        for _ in 0..3 {
+            cur = eval.rotate_rows(&cur, 2, &keys).unwrap();
+            check("rotate chain", &cur);
+        }
+    }
+}
+
 /// Repeated rotations accumulate additive noise roughly linearly — the
 /// Table III structure, observed on real ciphertexts.
 #[test]
