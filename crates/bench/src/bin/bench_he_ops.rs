@@ -2,7 +2,10 @@
 //! ns/op for the three HE operators (allocating vs in-place/scratch
 //! variants), the contiguous batched NTT (serial vs threaded), and a
 //! per-limb-count section (1/2/3-limb RNS chains) so the cost of the
-//! modulus chain is trackable across PRs.
+//! modulus chain is trackable across PRs. Multi-limb presets also report
+//! the leveled primitives — `l{2,3}_mod_switch` (dropping a limb) and
+//! `l{2,3}_rotate_level1` (rotating after one drop) — demonstrating that
+//! reduced-level rotations are measurably cheaper than full-level ones.
 //!
 //! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
 //!
@@ -83,13 +86,27 @@ fn ctx() -> Ctx {
     )
 }
 
-/// add/mul/rotate/rotate_hoisted ns for one limb-count preset, using the
-/// in-place ops. `rotate_hoisted` is the marginal cost of one extra
-/// rotation of an already-hoisted set — permutations + key-switch
-/// multiply-accumulates, zero NTTs.
-fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64, f64) {
+/// Per-preset timings, using the in-place ops. `rotate_hoisted` is the
+/// marginal cost of one extra rotation of an already-hoisted set —
+/// permutations + key-switch multiply-accumulates, zero NTTs. Multi-limb
+/// presets also time the leveled primitives: `mod_switch` (one dropped
+/// limb, including the copy into the reusable output) and
+/// `rotate_level1` (a rotation after one drop — fewer live planes, fewer
+/// digits — the measurable payoff of leveled evaluation).
+struct LimbPoint {
+    limbs: usize,
+    add: f64,
+    mul: f64,
+    rotate: f64,
+    rotate_hoisted: f64,
+    /// `Some((mod_switch_ns, rotate_level1_ns))` for chains with a level
+    /// to drop to.
+    leveled: Option<(f64, f64)>,
+}
+
+fn per_limb_point(params: BfvParams) -> LimbPoint {
     let limbs = params.limbs();
-    let c = ctx_for(params);
+    let c = ctx_for(params.clone());
     let mut work = c.ct.clone();
     let add = time_ns(|| {
         c.eval
@@ -125,7 +142,29 @@ fn per_limb_point(params: BfvParams) -> (usize, f64, f64, f64, f64) {
             )
             .unwrap();
     });
-    (limbs, add, mul, rotate, rotate_hoisted)
+    let leveled = (params.max_level() >= 1).then(|| {
+        let mut switched = Ciphertext::transparent_zero(c.eval.params());
+        let mod_switch = time_ns(|| {
+            c.eval
+                .mod_switch_to_next_into(&mut switched, black_box(&c.ct))
+                .unwrap();
+        });
+        let mut low_out = Ciphertext::transparent_zero_at(c.eval.params(), 1);
+        let rotate_level1 = time_ns(|| {
+            c.eval
+                .rotate_rows_into(&mut low_out, black_box(&switched), 1, &c.keys, &mut scratch)
+                .unwrap();
+        });
+        (mod_switch, rotate_level1)
+    });
+    LimbPoint {
+        limbs,
+        add,
+        mul,
+        rotate,
+        rotate_hoisted,
+        leveled,
+    }
 }
 
 fn main() {
@@ -189,8 +228,19 @@ fn main() {
             .unwrap();
     });
 
+    // --- Modulus switching: one dropped limb on a 2-limb chain ---
+    let mod_switch = {
+        let c2 = ctx_for(BfvParams::preset_rns_2x30(4096).unwrap());
+        let mut switched = Ciphertext::transparent_zero(c2.eval.params());
+        time_ns(|| {
+            c2.eval
+                .mod_switch_to_next_into(&mut switched, black_box(&c2.ct))
+                .unwrap();
+        })
+    };
+
     // --- Per-limb-count RNS points: 1/2/3-limb chains at n = 4096 ---
-    let limb_points: Vec<(usize, f64, f64, f64, f64)> = [
+    let limb_points: Vec<LimbPoint> = [
         BfvParams::preset_single_60(4096).unwrap(),
         BfvParams::preset_rns_2x30(4096).unwrap(),
         BfvParams::preset_rns_3x36(4096).unwrap(),
@@ -239,18 +289,34 @@ fn main() {
     let _ = writeln!(json, "    \"rotate\": {rotate_alloc:.1},");
     let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1},");
     let _ = writeln!(json, "    \"hoist\": {hoist:.1},");
-    let _ = writeln!(json, "    \"rotate_hoisted\": {rotate_hoisted:.1}");
+    let _ = writeln!(json, "    \"rotate_hoisted\": {rotate_hoisted:.1},");
+    let _ = writeln!(json, "    \"mod_switch\": {mod_switch:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"per_limb_ns\": {{");
-    for (idx, (limbs, add, mul, rotate, rotate_hoisted)) in limb_points.iter().enumerate() {
+    for (idx, p) in limb_points.iter().enumerate() {
+        let limbs = p.limbs;
         let trail = if idx + 1 < limb_points.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"l{limbs}_add\": {add:.1},");
-        let _ = writeln!(json, "    \"l{limbs}_mul\": {mul:.1},");
-        let _ = writeln!(json, "    \"l{limbs}_rotate\": {rotate:.1},");
-        let _ = writeln!(
-            json,
-            "    \"l{limbs}_rotate_hoisted\": {rotate_hoisted:.1}{trail}"
-        );
+        let _ = writeln!(json, "    \"l{limbs}_add\": {:.1},", p.add);
+        let _ = writeln!(json, "    \"l{limbs}_mul\": {:.1},", p.mul);
+        let _ = writeln!(json, "    \"l{limbs}_rotate\": {:.1},", p.rotate);
+        match p.leveled {
+            Some((ms, r1)) => {
+                let _ = writeln!(
+                    json,
+                    "    \"l{limbs}_rotate_hoisted\": {:.1},",
+                    p.rotate_hoisted
+                );
+                let _ = writeln!(json, "    \"l{limbs}_mod_switch\": {ms:.1},");
+                let _ = writeln!(json, "    \"l{limbs}_rotate_level1\": {r1:.1}{trail}");
+            }
+            None => {
+                let _ = writeln!(
+                    json,
+                    "    \"l{limbs}_rotate_hoisted\": {:.1}{trail}",
+                    p.rotate_hoisted
+                );
+            }
+        }
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_ntt\": {{");

@@ -584,6 +584,36 @@ pub fn generate_prime_congruent(bits: u32, step: u64) -> Result<u64> {
     Err(Error::NoNttPrime { bits, n: n_hint })
 }
 
+/// Finds several distinct primes `p < 2^bits` with `p ≡ 1 (mod step)`,
+/// largest first — the pool generator behind fully congruent multi-limb
+/// chains (`step = 2n·t` keeps every chain prefix `≡ 1 (mod t)`).
+///
+/// # Errors
+///
+/// Returns [`Error::NoNttPrime`] if fewer than `count` such primes exist
+/// at this size (congruent progressions get sparse fast; callers fall back
+/// to plain NTT primes).
+pub fn generate_primes_congruent(bits: u32, step: u64, count: usize) -> Result<Vec<u64>> {
+    let n_hint = (step / 2).max(1) as usize;
+    let mut primes = Vec::with_capacity(count);
+    let mut candidate = generate_prime_congruent(bits, step)?;
+    primes.push(candidate);
+    while primes.len() < count {
+        if candidate <= step {
+            return Err(Error::NoNttPrime { bits, n: n_hint });
+        }
+        candidate -= step;
+        if candidate >> (bits - 1) != 1 {
+            // Left the size class: no further candidate can qualify.
+            return Err(Error::NoNttPrime { bits, n: n_hint });
+        }
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+    }
+    Ok(primes)
+}
+
 /// Finds several distinct NTT primes of the given size (used for sweeps).
 ///
 /// # Errors

@@ -10,8 +10,17 @@ use crate::rns::RnsPoly;
 /// Cheetah keeps ciphertexts in the evaluation domain by default and only
 /// drops to coefficient form inside `HE_Rotate`'s decomposition and at
 /// decryption (§III-B "Polynomial Representations") — this type enforces
-/// that convention. Each component stores one limb plane per prime in the
-/// parameter set's [`crate::rns::ModulusChain`].
+/// that convention.
+///
+/// Each component stores one limb plane per **live** prime of the
+/// parameter set's [`crate::rns::ModulusChain`]: a ciphertext carries a
+/// [`Ciphertext::level`] counting how many limbs
+/// [`crate::Evaluator::mod_switch_to_next`] has dropped. Fresh encryptions
+/// are level 0 (the full chain); every dropped limb shrinks the
+/// ciphertext's storage, wire size, and the cost of every subsequent
+/// operation. Operands of a binary operation must share a level — the
+/// evaluator rejects mixed-level pairs with
+/// [`crate::Error::LevelMismatch`].
 ///
 /// Every ciphertext carries a live [`NoiseEstimate`] updated by each
 /// operation, so the Table III model can be compared against measured noise
@@ -26,19 +35,26 @@ pub struct Ciphertext {
 
 impl Ciphertext {
     /// Assembles a ciphertext from its components. Both polynomials must be
-    /// in evaluation form.
+    /// in evaluation form; their (shared) limb count may be any live
+    /// prefix of the chain — `params.limbs()` planes is level 0, fewer is
+    /// a deeper level.
     ///
     /// # Panics
     ///
     /// Panics if either polynomial is in coefficient form or its shape does
-    /// not match the parameter set's chain.
+    /// not match a live prefix of the parameter set's chain.
     pub fn new(c0: RnsPoly, c1: RnsPoly, params: BfvParams, noise: NoiseEstimate) -> Self {
         assert_eq!(c0.representation(), Representation::Eval);
         assert_eq!(c1.representation(), Representation::Eval);
         assert_eq!(c0.degree(), params.degree());
         assert_eq!(c1.degree(), params.degree());
-        assert_eq!(c0.limbs(), params.limbs());
-        assert_eq!(c1.limbs(), params.limbs());
+        assert_eq!(c0.limbs(), c1.limbs());
+        assert!(
+            c0.limbs() >= 1 && c0.limbs() <= params.limbs(),
+            "component limb count {} outside the chain's 1..={}",
+            c0.limbs(),
+            params.limbs()
+        );
         Self {
             c0,
             c1,
@@ -48,11 +64,23 @@ impl Ciphertext {
     }
 
     /// An encryption of zero with zero noise (additive identity; useful as
-    /// an accumulator seed). Marked transparent: it offers no security.
+    /// an accumulator seed) at level 0. Marked transparent: it offers no
+    /// security.
     pub fn transparent_zero(params: &BfvParams) -> Self {
+        Self::transparent_zero_at(params, 0)
+    }
+
+    /// [`Ciphertext::transparent_zero`] at an explicit level — the
+    /// accumulator seed matching modulus-switched operands (binary
+    /// operations require equal levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a level past `params.max_level()`.
+    pub fn transparent_zero_at(params: &BfvParams, level: usize) -> Self {
         Self {
-            c0: RnsPoly::zero(params.chain(), Representation::Eval),
-            c1: RnsPoly::zero(params.chain(), Representation::Eval),
+            c0: RnsPoly::zero(params.chain_at(level), Representation::Eval),
+            c1: RnsPoly::zero(params.chain_at(level), Representation::Eval),
             params: params.clone(),
             noise: NoiseEstimate::zero(),
         }
@@ -97,9 +125,32 @@ impl Ciphertext {
         &self.params
     }
 
-    /// Number of RNS limbs per component.
+    /// Number of **live** RNS limbs per component (shrinks as limbs are
+    /// dropped; alias of [`Ciphertext::live_limbs`]).
     pub fn limbs(&self) -> usize {
         self.c0.limbs()
+    }
+
+    /// Live limbs per component: `params.limbs() - level`.
+    pub fn live_limbs(&self) -> usize {
+        self.c0.limbs()
+    }
+
+    /// The ciphertext's level: how many limbs have been dropped from the
+    /// chain (0 = fresh/full). Binary evaluator operations require equal
+    /// levels; precomputations ([`crate::PreparedPlaintext`],
+    /// [`crate::HoistedDecomposition`]) carry their own level alongside.
+    pub fn level(&self) -> usize {
+        self.params.limbs() - self.c0.limbs()
+    }
+
+    /// Resizes both components to `live` limb planes, reusing retained
+    /// capacity (grown planes are zeroed, truncation keeps the live
+    /// prefix). Evaluator plumbing for reusable output buffers whose level
+    /// follows the operand's.
+    pub(crate) fn resize_live_limbs(&mut self, live: usize) {
+        self.c0.resize_limbs(live);
+        self.c1.resize_limbs(live);
     }
 
     /// Current model-tracked noise estimate.
@@ -112,16 +163,18 @@ impl Ciphertext {
         self.noise = noise;
     }
 
-    /// Remaining worst-case noise budget in bits (model, not measurement).
+    /// Remaining worst-case noise budget in bits (model, not measurement),
+    /// against this ciphertext's own level ceiling `Q_ℓ/(2t)`.
     pub fn budget_bits(&self) -> f64 {
-        self.noise.budget_bits_worst(&self.params)
+        self.noise.budget_bits_worst_at(&self.params, self.level())
     }
 
-    /// Serialized size in bytes: two components of `l_limbs · n` 8-byte
-    /// words each — communication accounting in the protocol layer scales
-    /// with the actual limb count of the chain.
+    /// Serialized size in bytes: two components of `live_limbs · n` 8-byte
+    /// words each. Communication accounting in the protocol layer scales
+    /// with the **live** limb count, so a modulus-switched ciphertext
+    /// shrinks on the wire exactly as it does in memory.
     pub fn byte_size(&self) -> usize {
-        2 * self.limbs() * self.params.degree() * 8
+        2 * self.live_limbs() * self.params.degree() * 8
     }
 }
 

@@ -179,9 +179,11 @@ impl Decryptor {
         &self.params
     }
 
-    /// Decrypts to a plaintext: `m = round(t·(c0 + c1·s)/Q) mod t`, with
-    /// each coefficient CRT-composed across limbs before the exact integer
-    /// rounding.
+    /// Decrypts to a plaintext: `m = round(t·(c0 + c1·s)/Q_ℓ) mod t`, with
+    /// each coefficient CRT-composed across the ciphertext's **live**
+    /// limbs before the exact integer rounding. Modulus-switched
+    /// ciphertexts decrypt against their level's `Q_ℓ` and `Δ_ℓ` — dropped
+    /// limbs never re-enter the computation.
     ///
     /// # Errors
     ///
@@ -190,7 +192,8 @@ impl Decryptor {
     /// [`Decryptor::invariant_noise_budget`] to check.
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext> {
         self.params.check_same(ct.params())?;
-        let chain = self.params.chain();
+        let level = ct.level();
+        let chain = self.params.chain_at(level);
         let t = self.params.plain_modulus();
         let phase = self.phase(ct)?;
         let qv = chain.big_q();
@@ -199,8 +202,9 @@ impl Decryptor {
         let n = self.params.degree();
         let coeffs: Vec<u64> = (0..n)
             .map(|j| {
-                // round(t*c/Q) mod t, in exact integer arithmetic (the
-                // chain builder guarantees t*Q + Q/2 fits u128).
+                // round(t*c/Q_ℓ) mod t, in exact integer arithmetic (the
+                // chain builder guarantees t*Q + Q/2 fits u128, and every
+                // Q_ℓ divides Q).
                 let c = phase.compose_coeff(chain, j);
                 let num = tv * c + half_q;
                 ((num / qv) % tv) as u64
@@ -212,32 +216,37 @@ impl Decryptor {
         )
     }
 
-    /// `c0 + c1·s` in coefficient form — the decryption phase.
+    /// `c0 + c1·s` in coefficient form — the decryption phase, over the
+    /// ciphertext's live limbs (the secret key's full-chain lift is read
+    /// as a live-plane prefix).
     fn phase(&self, ct: &Ciphertext) -> Result<RnsPoly> {
-        let chain = self.params.chain();
+        let chain = self.params.chain_at(ct.level());
         let mut acc = ct.c1().clone();
-        acc.mul_assign_pointwise(self.sk.poly(), chain)?;
+        acc.mul_assign_pointwise_prefix(self.sk.poly(), chain)?;
         acc.add_assign(ct.c0(), chain)?;
         acc.to_coeff(chain);
         Ok(acc)
     }
 
-    /// The exact invariant-noise magnitude `||c0 + c1·s − Δ·m||_∞`
-    /// (centered against `Q`), the ground truth the Table III model bounds.
+    /// The exact invariant-noise magnitude `||c0 + c1·s − Δ_ℓ·m||_∞`
+    /// (centered against the live `Q_ℓ`), the ground truth the Table III
+    /// model bounds.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn invariant_noise(&self, ct: &Ciphertext) -> Result<u128> {
-        let chain = self.params.chain();
+        let level = ct.level();
+        let chain = self.params.chain_at(level);
         let m = self.decrypt(ct)?;
-        let dm = self.params.lift_scaled(m.poly().data());
+        let dm = self.params.lift_scaled_at(m.poly().data(), level);
         let mut v = self.phase(ct)?;
         v.sub_assign(&dm, chain)?;
         v.inf_norm_centered(chain)
     }
 
-    /// Remaining noise budget in bits: `log2(Q/(2t)) − log2(noise)`.
+    /// Remaining noise budget in bits: `log2(Q_ℓ/(2t)) − log2(noise)`,
+    /// against the ciphertext's own level ceiling.
     ///
     /// The measurement is taken against the *nearest* plaintext multiple,
     /// so once noise truly overflows the budget collapses to ≈ 0 (it can
@@ -249,7 +258,7 @@ impl Decryptor {
     /// Returns [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> Result<f64> {
         let noise = self.invariant_noise(ct)? as f64;
-        let ceiling = self.params.noise_ceiling();
+        let ceiling = self.params.noise_ceiling_at(ct.level());
         Ok(ceiling.log2() - noise.max(1.0).log2())
     }
 

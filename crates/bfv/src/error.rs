@@ -61,6 +61,27 @@ pub enum Error {
     },
     /// A rotation step is out of range for the slot geometry.
     InvalidRotation(i64),
+    /// Two operands (or an operand and a precomputation) live at different
+    /// levels of the modulus chain. Levels count *dropped* limbs, so the
+    /// shallower operand must be modulus-switched down (or the deeper
+    /// precomputation rebuilt) before they can meet.
+    LevelMismatch {
+        /// Level of the primary operand.
+        expected: usize,
+        /// Level of the offending operand.
+        found: usize,
+    },
+    /// A modulus-switch target level is invalid: above the chain's deepest
+    /// level, or shallower than the ciphertext already is (limbs cannot be
+    /// re-grown).
+    InvalidLevel {
+        /// The requested level.
+        requested: usize,
+        /// The ciphertext's current level.
+        current: usize,
+        /// The deepest level the chain supports (`limbs - 1`).
+        max: usize,
+    },
     /// Required Galois key for this element is missing.
     MissingGaloisKey(u64),
     /// Decryption noise exceeded the budget; plaintext unrecoverable.
@@ -111,6 +132,20 @@ impl fmt::Display for Error {
                 write!(f, "{given} values exceed the {slots} available slots")
             }
             Error::InvalidRotation(k) => write!(f, "rotation step {k} out of range"),
+            Error::LevelMismatch { expected, found } => write!(
+                f,
+                "operands live at different levels of the modulus chain \
+                 (expected level {expected}, found level {found})"
+            ),
+            Error::InvalidLevel {
+                requested,
+                current,
+                max,
+            } => write!(
+                f,
+                "cannot modulus-switch to level {requested} from level {current} \
+                 (chain supports levels 0..={max})"
+            ),
             Error::MissingGaloisKey(g) => {
                 write!(f, "no Galois key generated for element {g}")
             }

@@ -1,4 +1,5 @@
-//! Homomorphic evaluation: the three BFV operators of §III-B1.
+//! Homomorphic evaluation: the three BFV operators of §III-B1, plus
+//! modulus switching.
 //!
 //! * [`Evaluator::add`] — SIMD addition (noise adds);
 //! * [`Evaluator::mul_plain`] / [`Evaluator::mul_plain_windowed`] — SIMD
@@ -6,7 +7,14 @@
 //!   `≤ n·l_pt·W/2`);
 //! * [`Evaluator::rotate_rows`] / [`Evaluator::rotate_columns`] — packed
 //!   slot rotation via Galois automorphism + key switching with ciphertext
-//!   decomposition (noise adds `l_ct·A·B·n/2`).
+//!   decomposition (noise adds `l_ct·A·B·n/2`);
+//! * [`Evaluator::mod_switch_to_next`] / [`Evaluator::mod_switch_to`] —
+//!   drops live limbs of the RNS chain once the noise budget allows,
+//!   shrinking every subsequent operation (and the wire format) to the
+//!   live-limb count. Every operator here is **level-aware**: it runs over
+//!   the live planes of its operands, demands equal operand levels
+//!   ([`Error::LevelMismatch`] otherwise), and reusable outputs follow
+//!   their operand's level.
 //!
 //! `HE_Rotate` is implemented as the paper's Lane datapath (Fig. 9c) with
 //! RNS-native key switching: permute in the evaluation domain (free), INTT
@@ -87,15 +95,20 @@ pub struct OpCounts {
     /// `HE_Rotate` invocations.
     pub rotate: u64,
     /// Forward + inverse NTT **plane transforms**: an RNS polynomial
-    /// transform runs one `n`-point NTT per limb plane and counts
-    /// `l_limbs` here, so multi-limb chains report their true NTT work
+    /// transform runs one `n`-point NTT per **live** limb plane and counts
+    /// that many here, so multi-limb chains report their true NTT work
     /// (the seed-era structural count under-reported it by a factor of
-    /// `l_limbs`). One `HE_Rotate` contributes `(l_ct + 1)·l_limbs`; a
-    /// hoisted rotation set contributes that once for the whole set.
+    /// `l_limbs`) and modulus-switched ciphertexts report their reduced
+    /// work. One `HE_Rotate` at level `ℓ` contributes
+    /// `(l_ct(ℓ) + 1)·live_limbs`; a hoisted rotation set contributes that
+    /// once for the whole set.
     pub ntt: u64,
     /// Pointwise polynomial multiplications (2 per `HE_Mult` digit,
-    /// `2·l_ct` per rotate; each spans every limb plane).
+    /// `2·l_ct(ℓ)` per rotate; each spans every live limb plane).
     pub poly_mul: u64,
+    /// `HE_ModSwitch` invocations (one per dropped limb, whichever entry
+    /// point dropped it).
+    pub mod_switch: u64,
 }
 
 impl OpCounts {
@@ -107,21 +120,31 @@ impl OpCounts {
             rotate: self.rotate - earlier.rotate,
             ntt: self.ntt - earlier.ntt,
             poly_mul: self.poly_mul - earlier.poly_mul,
+            mod_switch: self.mod_switch - earlier.mod_switch,
         }
     }
 }
 
-/// A plaintext pre-lifted to `R_Q` (every limb plane) and NTT-transformed,
-/// ready for repeated multiplication (exposes the intermediate per
-/// C-INTERMEDIATE; weight polynomials are reused across many ciphertexts in
-/// a conv layer).
+/// A plaintext pre-lifted to `R_Q` (one plane per live limb of its level)
+/// and NTT-transformed, ready for repeated multiplication (exposes the
+/// intermediate per C-INTERMEDIATE; weight polynomials are reused across
+/// many ciphertexts in a conv layer).
+///
+/// Carries the level it was prepared at. Because limb planes are
+/// independent, a preparation at level `ℓ` serves any ciphertext at level
+/// `ℓ` **or deeper** — the evaluator reads the live-plane prefix and
+/// ignores the surplus. A ciphertext *shallower* than the preparation is
+/// rejected with [`Error::LevelMismatch`] (the dropped planes cannot be
+/// regrown). Level-0 preparations (the default) therefore work everywhere.
 #[derive(Debug, Clone)]
 pub struct PreparedPlaintext {
     /// Evaluation-form RNS polynomial (centered lift of the mod-`t`
-    /// coefficients into every limb).
+    /// coefficients into every live limb).
     poly: RnsPoly,
     /// `||pt||_∞` of the centered coefficients (drives noise growth).
     inf_norm: u64,
+    /// Level the plaintext was prepared at (0 = full chain).
+    level: usize,
 }
 
 impl PreparedPlaintext {
@@ -133,6 +156,12 @@ impl PreparedPlaintext {
     /// Centered infinity norm of the plaintext.
     pub fn inf_norm(&self) -> u64 {
         self.inf_norm
+    }
+
+    /// Level this plaintext was prepared at; usable for ciphertexts at
+    /// this level or deeper.
+    pub fn level(&self) -> usize {
+        self.level
     }
 }
 
@@ -148,6 +177,9 @@ pub struct HoistedDecomposition {
     /// Evaluation-form digit polynomials, limb-major (matching
     /// [`crate::keys::GaloisKey::pairs`]).
     digits: Vec<RnsPoly>,
+    /// Level of the source ciphertext: the digits cover its live limbs
+    /// only, so a replay requires the exact same level.
+    level: usize,
     /// Sampled fingerprint of the source `c1`, so a replay against the
     /// wrong (or since-mutated) ciphertext fails loudly instead of
     /// splicing foreign key-switch digits onto an unrelated `c0`.
@@ -162,13 +194,21 @@ impl HoistedDecomposition {
         Self {
             params: params.clone(),
             digits: Vec::new(),
+            level: 0,
             source_tag: 0,
         }
     }
 
-    /// Number of cached digit polynomials (`l_ct` once filled).
+    /// Number of cached digit polynomials (`l_ct` of the source's level,
+    /// once filled).
     pub fn levels(&self) -> usize {
         self.digits.len()
+    }
+
+    /// Level of the ciphertext this decomposition was hoisted from;
+    /// replays require an operand at exactly this level.
+    pub fn level(&self) -> usize {
+        self.level
     }
 }
 
@@ -228,6 +268,7 @@ pub struct Evaluator {
     rotate_count: AtomicU64,
     ntt_count: AtomicU64,
     poly_mul_count: AtomicU64,
+    mod_switch_count: AtomicU64,
     /// Backs the allocating wrapper API; the in-place API takes a caller
     /// scratch instead so worker threads never contend here.
     scratch: Mutex<Scratch>,
@@ -244,6 +285,7 @@ impl Evaluator {
             rotate_count: AtomicU64::new(0),
             ntt_count: AtomicU64::new(0),
             poly_mul_count: AtomicU64::new(0),
+            mod_switch_count: AtomicU64::new(0),
             scratch: Mutex::new(Scratch::new(n, limbs)),
         }
     }
@@ -267,6 +309,7 @@ impl Evaluator {
             rotate: self.rotate_count.load(Ordering::Relaxed),
             ntt: self.ntt_count.load(Ordering::Relaxed),
             poly_mul: self.poly_mul_count.load(Ordering::Relaxed),
+            mod_switch: self.mod_switch_count.load(Ordering::Relaxed),
         }
     }
 
@@ -277,11 +320,43 @@ impl Evaluator {
         self.rotate_count.store(0, Ordering::Relaxed);
         self.ntt_count.store(0, Ordering::Relaxed);
         self.poly_mul_count.store(0, Ordering::Relaxed);
+        self.mod_switch_count.store(0, Ordering::Relaxed);
     }
 
     #[inline]
     fn count(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Errors unless both operands live at the same level.
+    #[inline]
+    fn check_levels(expected: usize, found: usize) -> Result<()> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(Error::LevelMismatch { expected, found })
+        }
+    }
+
+    /// Errors unless a prepared plaintext's level serves a ciphertext at
+    /// `ct_level` (preparations apply at their own level or deeper).
+    #[inline]
+    fn check_prepared(pt: &PreparedPlaintext, ct_level: usize) -> Result<()> {
+        if pt.level <= ct_level {
+            Ok(())
+        } else {
+            Err(Error::LevelMismatch {
+                expected: ct_level,
+                found: pt.level,
+            })
+        }
+    }
+
+    /// Resizes a reusable output ciphertext to `live` planes (retained
+    /// capacity makes this allocation-free at steady state).
+    #[inline]
+    fn ensure_live(out: &mut Ciphertext, live: usize) {
+        out.resize_live_limbs(live);
     }
 
     // ------------------------------------------------------------------
@@ -292,11 +367,13 @@ impl Evaluator {
     ///
     /// # Errors
     ///
-    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts,
+    /// [`Error::LevelMismatch`] when the operands' levels differ.
     pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(b.params())?;
-        let chain = self.params.chain();
+        Self::check_levels(a.level(), b.level())?;
+        let chain = self.params.chain_at(a.level());
         let noise = a.noise().add(b.noise());
         {
             let (c0, c1) = a.parts_mut();
@@ -312,11 +389,12 @@ impl Evaluator {
     ///
     /// # Errors
     ///
-    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    /// Same conditions as [`Evaluator::add_assign`].
     pub fn sub_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(b.params())?;
-        let chain = self.params.chain();
+        Self::check_levels(a.level(), b.level())?;
+        let chain = self.params.chain_at(a.level());
         let noise = a.noise().add(b.noise());
         {
             let (c0, c1) = a.parts_mut();
@@ -335,16 +413,16 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn negate_assign(&self, a: &mut Ciphertext) -> Result<()> {
         self.params.check_same(a.params())?;
-        let chain = self.params.chain();
+        let chain = self.params.chain_at(a.level());
         let (c0, c1) = a.parts_mut();
         c0.negate(chain);
         c1.negate(chain);
         Ok(())
     }
 
-    /// Adds a plaintext slot-wise in place: `a += Δ·pt`, lifting the
-    /// plaintext through a scratch polynomial. No allocation at steady
-    /// state.
+    /// Adds a plaintext slot-wise in place: `a += Δ_ℓ·pt`, lifting the
+    /// plaintext into `a`'s live planes through a scratch polynomial. No
+    /// allocation at steady state.
     ///
     /// # Errors
     ///
@@ -357,11 +435,13 @@ impl Evaluator {
     ) -> Result<()> {
         self.params.check_same(a.params())?;
         self.params.check_same(pt.params())?;
-        let chain = self.params.chain();
-        let mut dm = scratch.take_poly(Representation::Coeff);
+        let level = a.level();
+        let live = a.live_limbs();
+        let chain = self.params.chain_at(level);
+        let mut dm = scratch.take_poly_limbs(live, Representation::Coeff);
         self.params.lift_scaled_into(pt.poly().data(), &mut dm);
         dm.to_eval(chain);
-        Self::count(&self.ntt_count, chain.limbs() as u64);
+        Self::count(&self.ntt_count, live as u64);
         let noise = a.noise().add_plain(pt.inf_norm());
         let r = a.parts_mut().0.add_assign(&dm, chain);
         scratch.put_poly(dm);
@@ -371,19 +451,26 @@ impl Evaluator {
         Ok(())
     }
 
-    /// `HE_Mult` (pt-ct) in place: `a ⊙= pt`. No allocation.
+    /// `HE_Mult` (pt-ct) in place: `a ⊙= pt`, over `a`'s live planes. No
+    /// allocation.
     ///
     /// # Errors
     ///
-    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts,
+    /// [`Error::LevelMismatch`] when the plaintext was prepared deeper
+    /// than the ciphertext.
     pub fn mul_plain_assign(&self, a: &mut Ciphertext, pt: &PreparedPlaintext) -> Result<()> {
         self.params.check_same(a.params())?;
-        let chain = self.params.chain();
-        let noise = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
+        let level = a.level();
+        Self::check_prepared(pt, level)?;
+        let chain = self.params.chain_at(level);
+        let noise = a
+            .noise()
+            .mul_plain_at(&self.params, level, 1, 2 * pt.inf_norm);
         {
             let (c0, c1) = a.parts_mut();
-            c0.mul_assign_pointwise(&pt.poly, chain)?;
-            c1.mul_assign_pointwise(&pt.poly, chain)?;
+            c0.mul_assign_pointwise_prefix(&pt.poly, chain)?;
+            c1.mul_assign_pointwise_prefix(&pt.poly, chain)?;
         }
         a.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -398,7 +485,9 @@ impl Evaluator {
     ///
     /// # Errors
     ///
-    /// [`Error::ParameterMismatch`] for foreign ciphertexts.
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts,
+    /// [`Error::LevelMismatch`] when `acc` and `a` disagree on level or
+    /// the plaintext was prepared deeper than the operands.
     pub fn mul_plain_accumulate(
         &self,
         acc: &mut Ciphertext,
@@ -407,13 +496,18 @@ impl Evaluator {
     ) -> Result<()> {
         self.params.check_same(acc.params())?;
         self.params.check_same(a.params())?;
-        let chain = self.params.chain();
-        let term = a.noise().mul_plain(&self.params, 1, 2 * pt.inf_norm);
+        let level = a.level();
+        Self::check_levels(acc.level(), level)?;
+        Self::check_prepared(pt, level)?;
+        let chain = self.params.chain_at(level);
+        let term = a
+            .noise()
+            .mul_plain_at(&self.params, level, 1, 2 * pt.inf_norm);
         let noise = acc.noise().add(&term);
         {
             let (c0, c1) = acc.parts_mut();
-            c0.fma_pointwise(a.c0(), &pt.poly, chain)?;
-            c1.fma_pointwise(a.c1(), &pt.poly, chain)?;
+            c0.fma_pointwise_prefix(a.c0(), &pt.poly, chain)?;
+            c1.fma_pointwise_prefix(a.c1(), &pt.poly, chain)?;
         }
         acc.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -429,10 +523,13 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign ciphertexts.
     pub fn mul_scalar_assign(&self, a: &mut Ciphertext, c: u64) -> Result<()> {
         self.params.check_same(a.params())?;
-        let chain = self.params.chain();
+        let level = a.level();
+        let chain = self.params.chain_at(level);
         let t = self.params.plain_modulus();
         let c_red = t.reduce(c);
-        let noise = a.noise().mul_plain(&self.params, 1, 2 * c_red.max(1));
+        let noise = a
+            .noise()
+            .mul_plain_at(&self.params, level, 1, 2 * c_red.max(1));
         {
             let (c0, c1) = a.parts_mut();
             c0.mul_scalar(c_red, chain);
@@ -444,13 +541,17 @@ impl Evaluator {
 
     /// Applies the Galois automorphism `x ↦ x^g` + key switching, writing
     /// into `out` and drawing all temporaries (the permuted `c1`, the
-    /// `l_ct` decomposition digits) from `scratch`. Zero allocations at
-    /// steady state.
+    /// `l_ct(ℓ)` decomposition digits) from `scratch`. `out` follows `a`'s
+    /// level. Zero allocations at steady state (within one level).
     ///
     /// This is the full Lane datapath of Fig. 9c with RNS-native key
-    /// switching: permutation (free), INTT(c1), per-limb `q̂_i`-digit
-    /// decomposition (limb-local `u64` arithmetic only), `l_ct` digit
-    /// NTTs, `2·l_ct` pointwise multiply-accumulates.
+    /// switching over the **live** limbs only: permutation (free),
+    /// INTT(c1), per-live-limb `q̂_i`-digit decomposition (limb-local
+    /// `u64` arithmetic, full-chain normalizers so level-0 keys apply
+    /// verbatim), `l_ct(ℓ)` digit NTTs, `2·l_ct(ℓ)` pointwise
+    /// multiply-accumulates against the limb-major key-pair *prefix*.
+    /// At a reduced level every stage shrinks: `(l_ct(ℓ) + 1)·live`
+    /// NTT plane transforms instead of `(l_ct + 1)·limbs`.
     ///
     /// # Errors
     ///
@@ -466,26 +567,29 @@ impl Evaluator {
         self.params.check_same(a.params())?;
         self.params.check_same(out.params())?;
         let key = keys.get(g)?;
+        let level = a.level();
+        let live = a.live_limbs();
+        Self::ensure_live(out, live);
 
         // The permuted c1 lives in a leased scratch buffer; run the key
         // switch in a helper so every error path returns the lease to the
         // pool before propagating.
-        let mut c1_g = scratch.take_poly(Representation::Eval);
+        let mut c1_g = scratch.take_poly_limbs(live, Representation::Eval);
         let switched = self.galois_key_switch(out, a, key, &mut c1_g, scratch);
         scratch.put_poly(c1_g);
         switched?;
 
-        let l_ct = self.params.l_ct() as u64;
-        let limbs = self.params.limbs() as u64;
-        Self::count(&self.ntt_count, (l_ct + 1) * limbs);
+        let l_ct = self.params.l_ct_at(level) as u64;
+        Self::count(&self.ntt_count, (l_ct + 1) * live as u64);
         Self::count(&self.poly_mul_count, 2 * l_ct);
         Self::count(&self.rotate_count, 1);
-        out.set_noise(a.noise().rotate(&self.params));
+        out.set_noise(a.noise().rotate_at(&self.params, level));
         Ok(())
     }
 
     /// The Lane datapath body of [`Evaluator::apply_galois_into`]:
-    /// permute, INTT, per-limb decompose, key-switch multiply-accumulate.
+    /// permute, INTT, per-live-limb decompose, key-switch
+    /// multiply-accumulate against the key-pair prefix.
     fn galois_key_switch(
         &self,
         out: &mut Ciphertext,
@@ -494,7 +598,12 @@ impl Evaluator {
         c1_g: &mut RnsPoly,
         scratch: &mut Scratch,
     ) -> Result<()> {
+        let level = a.level();
+        let live = a.live_limbs();
+        // The *full* chain drives the decomposition: its q̂_i^{-1}
+        // normalizers are what pair live-limb digits with level-0 keys.
         let chain = self.params.chain();
+        let level_chain = self.params.chain_at(level);
         let perm = key.permutation();
 
         // 1. Permute both components in the evaluation domain (Swap
@@ -503,20 +612,22 @@ impl Evaluator {
         c1_g.permute_from(a.c1(), perm);
         let (oc0, oc1) = out.parts_mut();
         oc0.permute_from(a.c0(), perm);
-        // 2. INTT c1 for decomposition (one inverse pass per limb plane).
+        // 2. INTT c1 for decomposition (one inverse pass per live plane).
         c1_g.to_coeff(chain);
-        // 3. RNS-native decomposition: limb i's residues are normalized by
-        //    q̂_i^{-1} and split into base-A digits — never composed.
-        let digits = scratch.digits_mut(self.params.l_ct());
+        // 3. RNS-native decomposition over the live limbs: limb i's
+        //    residues are normalized by the full-chain q̂_i^{-1} and split
+        //    into base-A digits — never composed.
+        let digits = scratch.digits_mut_limbs(self.params.l_ct_at(level), live);
         c1_g.rns_decompose_into(self.params.a_dcmp(), chain, digits)?;
         // 4. NTT each digit; multiply-accumulate against the (limb, digit)
-        //    key pairs (same limb-major order as the decomposition).
+        //    key pairs — the limb-major order means the live limbs' pairs
+        //    are exactly the list's prefix, read over live planes only.
         oc1.fill_zero();
         oc1.set_representation(Representation::Eval);
         for (digit, (k0, k1)) in digits.iter_mut().zip(key.pairs()) {
-            digit.to_eval(chain);
-            oc0.fma_pointwise(digit, k0, chain)?;
-            oc1.fma_pointwise(digit, k1, chain)?;
+            digit.to_eval(level_chain);
+            oc0.fma_pointwise_prefix(digit, k0, level_chain)?;
+            oc1.fma_pointwise_prefix(digit, k1, level_chain)?;
         }
         Ok(())
     }
@@ -540,11 +651,128 @@ impl Evaluator {
         if steps.rem_euclid(self.params.row_size() as i64) == 0 {
             self.params.check_same(a.params())?;
             self.params.check_same(out.params())?;
+            Self::ensure_live(out, a.live_limbs());
             out.copy_from(a);
             return Ok(());
         }
         let g = element_for_step(self.params.degree(), steps)?;
         self.apply_galois_into(out, a, g, keys, scratch)
+    }
+
+    // ------------------------------------------------------------------
+    // Modulus switching: limb dropping as a first-class primitive
+    // ------------------------------------------------------------------
+
+    /// `HE_ModSwitch` in place: drops `a`'s last live limb, rescaling the
+    /// ciphertext from `Q_ℓ` to `Q_{ℓ+1} = Q_ℓ/q_drop` with the exact
+    /// `round(q_drop⁻¹·…)` correction per remaining residue
+    /// ([`crate::rns::ModulusChain::mod_switch_in_place`]). Noise divides
+    /// by `q_drop` (plus a small rounding term —
+    /// [`NoiseEstimate::mod_switch`]), the ceiling divides by the same
+    /// factor, and **every subsequent operation gets cheaper**: rotations
+    /// at the new level run `(l_ct(ℓ+1) + 1)·live` NTT plane transforms
+    /// and `2·l_ct(ℓ+1)` pointwise multiplications, storage and wire size
+    /// drop to `2·live·n·8` bytes.
+    ///
+    /// Costs `2·(2·live − 1)` NTT plane transforms (INTT every live plane,
+    /// NTT back the survivors, per component). No allocation — the drop is
+    /// a truncation of limb-major storage.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign ciphertexts,
+    /// [`Error::InvalidLevel`] when `a` is already at the deepest level
+    /// (one live limb).
+    pub fn mod_switch_to_next_assign(&self, a: &mut Ciphertext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let level = a.level();
+        if level >= self.params.max_level() {
+            return Err(Error::InvalidLevel {
+                requested: level + 1,
+                current: level,
+                max: self.params.max_level(),
+            });
+        }
+        let chain = self.params.chain();
+        let live = a.live_limbs();
+        let noise = a.noise().mod_switch(&self.params, level);
+        {
+            let (c0, c1) = a.parts_mut();
+            for comp in [c0, c1] {
+                comp.to_coeff(chain);
+                chain.mod_switch_in_place(comp)?;
+                comp.to_eval(chain);
+            }
+        }
+        a.set_noise(noise);
+        Self::count(&self.ntt_count, 2 * (2 * live as u64 - 1));
+        Self::count(&self.mod_switch_count, 1);
+        Ok(())
+    }
+
+    /// `HE_ModSwitch` into a caller-owned output ciphertext (which follows
+    /// `a`'s new level; retained capacity keeps this allocation-free at
+    /// steady state).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::mod_switch_to_next_assign`].
+    pub fn mod_switch_to_next_into(&self, out: &mut Ciphertext, a: &Ciphertext) -> Result<()> {
+        self.params.check_same(a.params())?;
+        self.params.check_same(out.params())?;
+        Self::ensure_live(out, a.live_limbs());
+        out.copy_from(a);
+        self.mod_switch_to_next_assign(out)
+    }
+
+    /// Allocating `HE_ModSwitch`: returns `a` with its last live limb
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::mod_switch_to_next_assign`].
+    pub fn mod_switch_to_next(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        let mut out = a.clone();
+        self.mod_switch_to_next_assign(&mut out)?;
+        Ok(out)
+    }
+
+    /// Switches a ciphertext down to an exact target level (repeated
+    /// [`Evaluator::mod_switch_to_next_assign`]; a no-op when already
+    /// there). Pair with [`NoiseEstimate::recommended_level`] to drop as
+    /// many limbs as the remaining noise budget allows.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidLevel`] when `level` is shallower than the
+    /// ciphertext's current level (limbs cannot be re-grown) or past the
+    /// chain's deepest level; [`Error::ParameterMismatch`] for foreign
+    /// ciphertexts.
+    pub fn mod_switch_to(&self, a: &Ciphertext, level: usize) -> Result<Ciphertext> {
+        let mut out = a.clone();
+        self.mod_switch_to_assign(&mut out, level)?;
+        Ok(out)
+    }
+
+    /// In-place [`Evaluator::mod_switch_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::mod_switch_to`].
+    pub fn mod_switch_to_assign(&self, a: &mut Ciphertext, level: usize) -> Result<()> {
+        self.params.check_same(a.params())?;
+        let current = a.level();
+        if level < current || level > self.params.max_level() {
+            return Err(Error::InvalidLevel {
+                requested: level,
+                current,
+                max: self.params.max_level(),
+            });
+        }
+        for _ in current..level {
+            self.mod_switch_to_next_assign(a)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -584,32 +812,35 @@ impl Evaluator {
         scratch: &mut Scratch,
     ) -> Result<()> {
         self.params.check_same(a.params())?;
+        let level = a.level();
+        let live = a.live_limbs();
         let chain = self.params.chain();
-        let l_ct = self.params.l_ct();
+        let level_chain = self.params.chain_at(level);
+        let l_ct = self.params.l_ct_at(level);
         hoisted.params = self.params.clone();
+        hoisted.level = level;
         if hoisted.digits.len() != l_ct
             || hoisted
                 .digits
                 .first()
-                .is_some_and(|d| d.limbs() != chain.limbs() || d.degree() != chain.degree())
+                .is_some_and(|d| d.limbs() != live || d.degree() != chain.degree())
         {
-            hoisted.digits = vec![RnsPoly::zero(chain, Representation::Coeff); l_ct];
+            hoisted.digits = vec![RnsPoly::zero(level_chain, Representation::Coeff); l_ct];
         }
         // Invalidate the tag up front: should any step below fail, the
         // stale digits must not pass the replay fingerprint check.
         hoisted.source_tag = 0;
-        let mut c1 = scratch.take_poly(Representation::Eval);
+        let mut c1 = scratch.take_poly_limbs(live, Representation::Eval);
         c1.copy_from(a.c1());
         c1.to_coeff(chain);
         let decomposed = c1.rns_decompose_into(self.params.a_dcmp(), chain, &mut hoisted.digits);
         scratch.put_poly(c1);
         decomposed?;
         for digit in &mut hoisted.digits {
-            digit.to_eval(chain);
+            digit.to_eval(level_chain);
         }
         hoisted.source_tag = source_fingerprint(a.c1());
-        let limbs = self.params.limbs() as u64;
-        Self::count(&self.ntt_count, (l_ct as u64 + 1) * limbs);
+        Self::count(&self.ntt_count, (l_ct as u64 + 1) * live as u64);
         Ok(())
     }
 
@@ -629,9 +860,11 @@ impl Evaluator {
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidRotation`], [`Error::MissingGaloisKey`], or
+    /// [`Error::InvalidRotation`], [`Error::MissingGaloisKey`],
+    /// [`Error::LevelMismatch`] when the decomposition was hoisted at a
+    /// different level than `a` now lives at, or
     /// [`Error::ParameterMismatch`] (including a `hoisted` built for a
-    /// foreign parameter set).
+    /// foreign parameter set or ciphertext).
     pub fn rotate_hoisted_into(
         &self,
         out: &mut Ciphertext,
@@ -644,34 +877,38 @@ impl Evaluator {
         self.params.check_same(a.params())?;
         self.params.check_same(out.params())?;
         self.params.check_same(&hoisted.params)?;
+        let level = a.level();
+        let live = a.live_limbs();
+        Self::check_levels(level, hoisted.level)?;
         // The decomposition must have been built from *this* ciphertext's
         // c1 (and the ciphertext not mutated since): splicing a foreign
         // hoist onto `a.c0` would decrypt to garbage while carrying a
         // valid-looking noise estimate.
-        if hoisted.digits.len() != self.params.l_ct()
+        if hoisted.digits.len() != self.params.l_ct_at(level)
             || hoisted.source_tag != source_fingerprint(a.c1())
         {
             return Err(Error::ParameterMismatch);
         }
+        Self::ensure_live(out, live);
         if steps.rem_euclid(self.params.row_size() as i64) == 0 {
             out.copy_from(a);
             return Ok(());
         }
         let g = element_for_step(self.params.degree(), steps)?;
         let key = keys.get(g)?;
-        let chain = self.params.chain();
+        let level_chain = self.params.chain_at(level);
         let perm = key.permutation();
 
         let (oc0, oc1) = out.parts_mut();
         oc0.permute_from(a.c0(), perm);
         oc1.fill_zero();
         oc1.set_representation(Representation::Eval);
-        let mut permuted = scratch.take_poly(Representation::Eval);
+        let mut permuted = scratch.take_poly_limbs(live, Representation::Eval);
         let mut fma = || -> Result<()> {
             for (digit, (k0, k1)) in hoisted.digits.iter().zip(key.pairs()) {
                 permuted.permute_from(digit, perm);
-                oc0.fma_pointwise(&permuted, k0, chain)?;
-                oc1.fma_pointwise(&permuted, k1, chain)?;
+                oc0.fma_pointwise_prefix(&permuted, k0, level_chain)?;
+                oc1.fma_pointwise_prefix(&permuted, k1, level_chain)?;
             }
             Ok(())
         };
@@ -679,9 +916,9 @@ impl Evaluator {
         scratch.put_poly(permuted);
         r?;
 
-        Self::count(&self.poly_mul_count, 2 * self.params.l_ct() as u64);
+        Self::count(&self.poly_mul_count, 2 * self.params.l_ct_at(level) as u64);
         Self::count(&self.rotate_count, 1);
-        out.set_noise(a.noise().rotate(&self.params));
+        out.set_noise(a.noise().rotate_at(&self.params, level));
         Ok(())
     }
 
@@ -752,22 +989,44 @@ impl Evaluator {
         Ok(out)
     }
 
-    /// Lifts a plaintext to `R_q` (centered) and NTT-transforms it for
-    /// repeated multiplication.
+    /// Lifts a plaintext to `R_Q` (centered) and NTT-transforms it for
+    /// repeated multiplication, at level 0 — usable against ciphertexts at
+    /// any level (the evaluator reads the live-plane prefix).
     ///
     /// # Errors
     ///
     /// [`Error::ParameterMismatch`] for foreign plaintexts.
     pub fn prepare_plaintext(&self, pt: &Plaintext) -> Result<PreparedPlaintext> {
+        self.prepare_plaintext_at(pt, 0)
+    }
+
+    /// [`Evaluator::prepare_plaintext`] at an explicit level: lifts into
+    /// the live planes only, paying `live` instead of `limbs` NTT plane
+    /// transforms. Worth it when a plaintext is prepared fresh for the
+    /// reduced-level tail of a network; a level-0 preparation remains the
+    /// universal choice for reusable weights.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ParameterMismatch`] for foreign plaintexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a level past `params.max_level()`.
+    pub fn prepare_plaintext_at(&self, pt: &Plaintext, level: usize) -> Result<PreparedPlaintext> {
         self.params.check_same(pt.params())?;
         let t = self.params.plain_modulus();
-        let chain = self.params.chain();
+        let chain = self.params.chain_at(level);
         let inf_norm = pt.inf_norm().max(1);
         let centered: Vec<i64> = pt.poly().data().iter().map(|&c| t.center(c)).collect();
         let mut poly = RnsPoly::from_signed(&centered, chain);
         poly.to_eval(chain);
         Self::count(&self.ntt_count, chain.limbs() as u64);
-        Ok(PreparedPlaintext { poly, inf_norm })
+        Ok(PreparedPlaintext {
+            poly,
+            inf_norm,
+            level,
+        })
     }
 
     /// `HE_Mult` (pt-ct, no decomposition): slot-wise multiplication by a
@@ -815,29 +1074,32 @@ impl Evaluator {
         if wct.base != self.params.w_dcmp() || wct.levels() != self.params.l_pt() {
             return Err(Error::ParameterMismatch);
         }
+        let level = wct.cts.first().map_or(0, Ciphertext::level);
         for ct in &wct.cts {
             self.params.check_same(ct.params())?;
+            Self::check_levels(level, ct.level())?;
         }
-        let chain = self.params.chain();
+        let chain = self.params.chain_at(level);
+        let live = chain.limbs();
         let l_pt = wct.levels();
 
-        let mut out = Ciphertext::transparent_zero(&self.params);
+        let mut out = Ciphertext::transparent_zero_at(&self.params, level);
         let mut noise: Option<NoiseEstimate> = None;
         {
             let mut guard = self.scratch.lock().expect("scratch mutex poisoned");
-            let digits = guard.digits_mut(l_pt);
+            let digits = guard.digits_mut_limbs(l_pt, live);
             // Digit coefficients are < W <= t < every q_i: replicate each
-            // digit across the limb planes and lift directly into the
+            // digit across the live limb planes and lift directly into the
             // evaluation domain.
             digits_from_coeffs(pt.poly().data(), wct.base, chain, digits)?;
             let (oc0, oc1) = out.parts_mut();
             for (digit, ct) in digits.iter_mut().zip(&wct.cts) {
                 digit.to_eval(chain);
-                Self::count(&self.ntt_count, chain.limbs() as u64);
+                Self::count(&self.ntt_count, live as u64);
                 oc0.fma_pointwise(ct.c0(), digit, chain)?;
                 oc1.fma_pointwise(ct.c1(), digit, chain)?;
                 Self::count(&self.poly_mul_count, 2);
-                let term = ct.noise().mul_plain(&self.params, 1, wct.base);
+                let term = ct.noise().mul_plain_at(&self.params, level, 1, wct.base);
                 noise = Some(match noise {
                     None => term,
                     Some(prev) => prev.add(&term),
@@ -1335,6 +1597,140 @@ mod tests {
             .unwrap();
         let dh = c.encoder.decode(&c.dec.decrypt_checked(&h1).unwrap());
         assert_eq!(d1, dh);
+    }
+
+    #[test]
+    fn mod_switch_preserves_decryption_and_shrinks_rotation() {
+        // The leveled-evaluation acceptance path on the 3x36 preset:
+        // switch down one level, decryption is preserved, and a rotation
+        // at level 1 runs (l_ct(1) + 1)·live plane transforms — strictly
+        // fewer than at level 0.
+        let params = BfvParams::preset_rns_3x36(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 61);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 62);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params.clone());
+
+        let vals: Vec<u64> = (0..300).map(|i| i * 7 % 1000).collect();
+        let ct = enc.encrypt(&encoder.encode(&vals).unwrap()).unwrap();
+        assert_eq!(ct.level(), 0);
+        let full_bytes = ct.byte_size();
+
+        let switched = eval.mod_switch_to_next(&ct).unwrap();
+        assert_eq!(switched.level(), 1);
+        assert_eq!(switched.live_limbs(), 2);
+        assert_eq!(switched.byte_size(), 2 * 2 * 4096 * 8);
+        assert!(switched.byte_size() < full_bytes, "must shrink on the wire");
+        let out = encoder.decode(&dec.decrypt_checked(&switched).unwrap());
+        assert_eq!(&out[..300], &vals[..], "decryption preserved");
+        // Measured noise stays under the transition model's bound.
+        let measured = dec.invariant_noise(&switched).unwrap() as f64;
+        assert!(measured.max(1.0).log2() <= switched.noise().bound_log2 + 1e-9);
+
+        // Rotation at the reduced level: strictly less NTT work.
+        eval.reset_op_counts();
+        let rot_full = eval.rotate_rows(&ct, 1, &keys).unwrap();
+        let full_counts = eval.op_counts();
+        eval.reset_op_counts();
+        let rot_low = eval.rotate_rows(&switched, 1, &keys).unwrap();
+        let low_counts = eval.op_counts();
+        let l_ct_full = params.l_ct() as u64;
+        let l_ct_low = params.l_ct_at(1) as u64;
+        assert_eq!(full_counts.ntt, (l_ct_full + 1) * 3);
+        assert_eq!(low_counts.ntt, (l_ct_low + 1) * 2);
+        assert!(low_counts.ntt < full_counts.ntt);
+        assert_eq!(low_counts.poly_mul, 2 * l_ct_low);
+        assert!(l_ct_low < l_ct_full, "fewer digits at the reduced level");
+        // Both rotations decrypt to the same (shifted) slots.
+        let a = encoder.decode(&dec.decrypt_checked(&rot_full).unwrap());
+        let b = encoder.decode(&dec.decrypt_checked(&rot_low).unwrap());
+        assert_eq!(a, b);
+
+        // Hoisted replays work at the reduced level too.
+        let hoisted = eval.hoist(&switched).unwrap();
+        assert_eq!(hoisted.level(), 1);
+        let hr = eval.rotate_hoisted(&switched, &hoisted, 1, &keys).unwrap();
+        assert_eq!(
+            encoder.decode(&dec.decrypt_checked(&hr).unwrap()),
+            b,
+            "hoisted reduced-level rotate diverged"
+        );
+
+        // mod_switch_to walks multiple levels; deepest level errors out.
+        let bottom = eval.mod_switch_to(&ct, params.max_level()).unwrap();
+        assert_eq!(bottom.live_limbs(), 1);
+        assert!(matches!(
+            eval.mod_switch_to_next(&bottom),
+            Err(Error::InvalidLevel { .. })
+        ));
+        // Switching "up" is refused.
+        assert!(matches!(
+            eval.mod_switch_to(&switched, 0),
+            Err(Error::InvalidLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn level_mismatch_is_a_typed_error_not_a_panic() {
+        let params = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 63);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 64);
+        let eval = Evaluator::new(params.clone());
+
+        let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]).unwrap()).unwrap();
+        let low = eval.mod_switch_to_next(&ct).unwrap();
+
+        // ct + low: mixed levels.
+        let mut work = ct.clone();
+        assert!(matches!(
+            eval.add_assign(&mut work, &low),
+            Err(Error::LevelMismatch {
+                expected: 0,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            eval.sub_assign(&mut work, &low),
+            Err(Error::LevelMismatch { .. })
+        ));
+        // Accumulator at full level, operand switched.
+        let pw = eval
+            .prepare_plaintext(&encoder.encode(&[5]).unwrap())
+            .unwrap();
+        let mut acc = Ciphertext::transparent_zero(&params);
+        assert!(matches!(
+            eval.mul_plain_accumulate(&mut acc, &low, &pw),
+            Err(Error::LevelMismatch { .. })
+        ));
+        // A plaintext prepared at level 1 cannot serve a level-0 operand…
+        let deep_pw = eval
+            .prepare_plaintext_at(&encoder.encode(&[5]).unwrap(), 1)
+            .unwrap();
+        assert_eq!(deep_pw.level(), 1);
+        let mut full = ct.clone();
+        assert!(matches!(
+            eval.mul_plain_assign(&mut full, &deep_pw),
+            Err(Error::LevelMismatch { .. })
+        ));
+        // …but serves a switched one, identically to the level-0 prep.
+        let mut a = low.clone();
+        eval.mul_plain_assign(&mut a, &deep_pw).unwrap();
+        let mut b = low.clone();
+        eval.mul_plain_assign(&mut b, &pw).unwrap();
+        assert_eq!(a.c0().data(), b.c0().data());
+        assert_eq!(a.c1().data(), b.c1().data());
+        // A hoist taken at level 0 cannot replay against the switched ct.
+        let hoisted = eval.hoist(&ct).unwrap();
+        assert!(matches!(
+            eval.rotate_hoisted(&low, &hoisted, 1, &keys),
+            Err(Error::LevelMismatch { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,43 @@
 //! domain, as Cheetah does, and every ciphertext carries a live Table-III
 //! noise estimate that tests reconcile against exact measured noise.
 //!
+//! ## Leveled evaluation
+//!
+//! The ciphertext modulus is an RNS chain `Q = q_0 ⋯ q_{l-1}`, and
+//! ciphertexts carry a **level**: the number of limbs
+//! [`Evaluator::mod_switch_to_next`] has dropped from the tail of the
+//! chain. The lifecycle:
+//!
+//! * **Level 0** — fresh encryptions; all `l` limbs live. A 1-limb chain
+//!   is level-0-only (there is nothing to drop;
+//!   `mod_switch_to_next` returns [`Error::InvalidLevel`]).
+//! * **Switching** — dropping limb `q_drop` divides the invariant noise by
+//!   `q_drop` (exact `round(q_drop⁻¹·…)` per remaining residue) at the
+//!   price of a small additive rounding term
+//!   ([`NoiseEstimate::mod_switch`]). The ceiling `Q_ℓ/2t` shrinks by the
+//!   same factor, so the *budget* is nearly preserved — what the switch
+//!   buys is **cost**: every subsequent operation runs over the live
+//!   planes only. A rotation at level `ℓ` performs
+//!   `(l_ct(ℓ) + 1)·live` NTT plane transforms and `2·l_ct(ℓ)` pointwise
+//!   multiplications instead of the level-0 `(l_ct + 1)·l` and `2·l_ct`,
+//!   storage and wire bytes drop to `2·live·n·8`, and existing Galois
+//!   keys keep working (the limb-major key-pair list is consumed as a
+//!   prefix — no key regeneration).
+//! * **When to switch** — once enough budget has been burned that the
+//!   remaining circuit fits under a smaller ceiling:
+//!   [`NoiseEstimate::recommended_level`] walks the transition model and
+//!   returns the deepest safe level for an
+//!   [`Evaluator::mod_switch_to`] call. Chains whose limbs satisfy
+//!   `q_i ≡ 1 (mod t)` (the builder prefers them when such primes exist)
+//!   switch nearly free of rounding drift; incongruent chains pay up to
+//!   `Q_ℓ mod t`, which is why a 30-bit limb over a 16-bit `t` cannot
+//!   drop to a single limb while 36-bit limbs over a 17-bit `t` can.
+//!
+//! Operands of every binary operation must share a level (typed
+//! [`Error::LevelMismatch`] otherwise); [`PreparedPlaintext`]s apply at
+//! their preparation level or deeper, while [`HoistedDecomposition`]s
+//! replay only at the exact level they were hoisted at.
+//!
 //! ## Quick start
 //!
 //! ```

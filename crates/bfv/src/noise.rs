@@ -87,19 +87,25 @@ impl NoiseEstimate {
     }
 
     /// Noise after plaintext multiplication with decomposition
-    /// (Table III: `n·l_pt·W_dcmp·v/2`), plus the scaling-rounding term.
+    /// (Table III: `n·l_pt·W_dcmp·v/2`), plus the scaling-rounding term,
+    /// at level 0.
+    pub fn mul_plain(&self, params: &BfvParams, l_pt: usize, w_base: u64) -> Self {
+        self.mul_plain_at(params, 0, l_pt, w_base)
+    }
+
+    /// Noise after plaintext multiplication at a level.
     ///
     /// `l_pt = 1` and `W = 2·||pt||` models the undecomposed case.
     ///
-    /// Because `Δ·t = Q − (Q mod t)`, multiplying `Δm + v` by a lifted
-    /// plaintext also injects `−(Q mod t)·⌊mw/t⌋`: effectively the factor
-    /// acts on `v + (Q mod t)` rather than `v` alone. The default
-    /// single-limb generator picks `Q ≡ 1 (mod t)` so the term is ±1 and
-    /// invisible; multi-limb chains cannot always satisfy the congruence,
-    /// so the model charges it explicitly (`r` below).
-    pub fn mul_plain(&self, params: &BfvParams, l_pt: usize, w_base: u64) -> Self {
+    /// Because `Δ_ℓ·t = Q_ℓ − (Q_ℓ mod t)`, multiplying `Δ_ℓ·m + v` by a
+    /// lifted plaintext also injects `−(Q_ℓ mod t)·⌊mw/t⌋`: effectively
+    /// the factor acts on `v + (Q_ℓ mod t)` rather than `v` alone. The
+    /// congruent generators drive `Q_ℓ mod t` to 1 where a prime of the
+    /// right shape exists; otherwise the model charges the live residue of
+    /// the ciphertext's level (`r` below).
+    pub fn mul_plain_at(&self, params: &BfvParams, level: usize, l_pt: usize, w_base: u64) -> Self {
         let n = params.degree() as f64;
-        let r = params.q_mod_t().max(1) as f64;
+        let r = params.q_mod_t_at(level).max(1) as f64;
         let factor = n * l_pt as f64 * w_base as f64 / 2.0;
         // Variance: each output coefficient is a sum of n products of noise
         // with plaintext digits uniform in [0, W): E[w²] ≈ W²/3. The
@@ -111,19 +117,26 @@ impl NoiseEstimate {
         }
     }
 
-    /// Noise after `HE_Rotate` (Table III: `v + l_ct·A_dcmp·B·n/2`).
-    ///
-    /// Under the RNS-native key switch `l_ct = Σ_i ceil(log_A q_i)` counts
-    /// the *per-limb* digits: each digit `< A` multiplies one fresh key
-    /// error polynomial, so the additive term is the digit count times
-    /// `A·B·n/2` exactly as in the composed-base analysis — only the digit
-    /// count changed (and for one limb it did not). The same bound covers
-    /// hoisted rotations: permuting digits after extraction leaves every
-    /// `|digit| < A` and the per-digit error fresh.
+    /// Noise after a level-0 `HE_Rotate` (Table III:
+    /// `v + l_ct·A_dcmp·B·n/2`).
     pub fn rotate(&self, params: &BfvParams) -> Self {
+        self.rotate_at(params, 0)
+    }
+
+    /// Noise after `HE_Rotate` at a level.
+    ///
+    /// Under the RNS-native key switch `l_ct(ℓ) = Σ_{live i} ceil(log_A q_i)`
+    /// counts the *per-live-limb* digits: each digit `< A` multiplies one
+    /// fresh key error polynomial, so the additive term is the live digit
+    /// count times `A·B·n/2` exactly as in the composed-base analysis.
+    /// Dropped limbs contribute neither digits nor error terms — rotation
+    /// noise shrinks together with its cost. The same bound covers hoisted
+    /// rotations: permuting digits after extraction leaves every
+    /// `|digit| < A` and the per-digit error fresh.
+    pub fn rotate_at(&self, params: &BfvParams, level: usize) -> Self {
         let n = params.degree() as f64;
         let b = 6.0 * params.sigma();
-        let l_ct = params.l_ct() as f64;
+        let l_ct = params.l_ct_at(level) as f64;
         let a = params.a_dcmp() as f64;
         let additive = l_ct * a * b * n / 2.0;
         // Variance of the key-switch term: l_ct·n digits, each a product of
@@ -135,17 +148,91 @@ impl NoiseEstimate {
         }
     }
 
-    /// Remaining noise budget in bits under the worst-case model:
-    /// `log2(q/2t) − log2(bound)`. Negative means decryption may fail.
+    /// Noise after modulus-switching from `from_level` to `from_level + 1`
+    /// (dropping live limb `q_drop`).
+    ///
+    /// The switch divides the invariant noise by `q_drop` and injects two
+    /// rounding terms:
+    ///
+    /// * coefficient rounding `e₀ + e₁·s` with `|·| ≤ (n + 1)/2` for a
+    ///   ternary secret;
+    /// * the Δ-drift `(ρ/q_drop)·m` with
+    ///   `ρ = (q_drop·Δ' − Δ)·t/…`, bounded by `(Q' mod t) + 1`: switching
+    ///   rescales `Δ_ℓ` to `q_drop·Δ_{ℓ+1} + ρ` and the remainder rides on
+    ///   the message. Fully congruent chains (`Q_ℓ ≡ 1 (mod t)` at every
+    ///   level) reduce the drift to ~1; incongruent ones pay up to the
+    ///   live residue — which is why a 30-bit limb over a 16-bit `t`
+    ///   cannot drop to one limb, while 36-bit limbs over a 17-bit `t`
+    ///   can.
+    ///
+    /// The bound is `v/q_drop + (Q' mod t) + 1 + (n + 1)/2`; tests pin
+    /// measured noise under it for every preset.
+    pub fn mod_switch(&self, params: &BfvParams, from_level: usize) -> Self {
+        let live = params.live_limbs_at(from_level);
+        assert!(live >= 2, "no limb left to drop below level {from_level}");
+        let q_drop = params.chain().modulus(live - 1).value() as f64;
+        let n = params.degree() as f64;
+        let drift = params.q_mod_t_at(from_level + 1).max(1) as f64;
+        let additive = drift + 1.0 + (n + 1.0) / 2.0;
+        // Variance: rounding errors are ~uniform(±1/2) per coefficient
+        // (var 1/12), e₁·s sums ~2n/3 of them; the drift digit is
+        // ~uniform in [0, drift) (var drift²/12).
+        let add_var = drift * drift / 12.0 + (1.0 + 2.0 * n / 3.0) / 12.0;
+        Self {
+            bound_log2: log2_sum(self.bound_log2 - q_drop.log2(), additive.log2()),
+            variance_log2: log2_sum(self.variance_log2 - 2.0 * q_drop.log2(), add_var.log2()),
+        }
+    }
+
+    /// Remaining noise budget in bits under the worst-case model at level
+    /// 0: `log2(Q/2t) − log2(bound)`. Negative means decryption may fail.
     pub fn budget_bits_worst(&self, params: &BfvParams) -> f64 {
-        params.noise_ceiling().log2() - self.bound_log2
+        self.budget_bits_worst_at(params, 0)
+    }
+
+    /// Worst-case budget against a level's ceiling `Q_ℓ/(2t)` — the bound
+    /// must describe a ciphertext *at that level* for the comparison to
+    /// mean anything.
+    pub fn budget_bits_worst_at(&self, params: &BfvParams, level: usize) -> f64 {
+        params.noise_ceiling_at(level).log2() - self.bound_log2
     }
 
     /// Remaining noise budget in bits under the statistical model with the
-    /// 1e-10 failure target: `log2(q/2t) − log2(c·σ_Y)`.
+    /// 1e-10 failure target at level 0: `log2(Q/2t) − log2(c·σ_Y)`.
     pub fn budget_bits_statistical(&self, params: &BfvParams) -> f64 {
+        self.budget_bits_statistical_at(params, 0)
+    }
+
+    /// Statistical budget against a level's ceiling.
+    pub fn budget_bits_statistical_at(&self, params: &BfvParams, level: usize) -> f64 {
         let sigma_log2 = self.variance_log2 / 2.0;
-        params.noise_ceiling().log2() - (sigma_log2 + FAILURE_SCALE.log2())
+        params.noise_ceiling_at(level).log2() - (sigma_log2 + FAILURE_SCALE.log2())
+    }
+
+    /// The deepest level this estimate can be modulus-switched to while
+    /// keeping at least `margin_bits` of worst-case budget: walks
+    /// [`NoiseEstimate::mod_switch`] transitions from `from_level` down
+    /// the chain and stops before the first level that would dip under the
+    /// margin. Returns `from_level` itself when no switch is safe — the
+    /// caller can always use the answer directly as a
+    /// [`crate::Evaluator::mod_switch_to`] target.
+    pub fn recommended_level(
+        &self,
+        params: &BfvParams,
+        from_level: usize,
+        margin_bits: f64,
+    ) -> usize {
+        let mut est = *self;
+        let mut level = from_level;
+        while level < params.max_level() {
+            let next = est.mod_switch(params, level);
+            if next.budget_bits_worst_at(params, level + 1) < margin_bits {
+                break;
+            }
+            est = next;
+            level += 1;
+        }
+        level
     }
 }
 

@@ -57,7 +57,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::arith::{generate_ntt_prime, generate_ntt_primes, generate_prime_congruent, Modulus};
+use crate::arith::{
+    generate_ntt_prime, generate_ntt_primes, generate_prime_congruent, generate_primes_congruent,
+    Modulus,
+};
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
 use crate::poly::decomposition_levels;
@@ -121,20 +124,33 @@ pub struct BfvParams {
 struct ParamsInner {
     n: usize,
     t: Modulus,
-    chain: ModulusChain,
+    /// Per-level scaling data, indexed by *level* (= dropped-limb count):
+    /// `levels[0]` is the full chain, `levels[l]` the prefix with the last
+    /// `l` limbs dropped. A chain of `k` limbs has `k` levels, `0..=k-1`.
+    levels: Vec<LevelData>,
     w_dcmp: u64,
     a_dcmp: u64,
     sigma: f64,
-    /// `Δ = floor(Q / t)`, exact.
-    delta: u128,
-    /// `Δ mod q_i` per limb — the per-plane plaintext scaling factor.
-    delta_mod: Vec<u64>,
-    /// `Q mod t` — the plaintext-multiplication rounding residue. The
-    /// single-limb generator drives this to 1 (Gazelle congruence); for
-    /// multi-limb chains it is a genuine noise term the model charges.
-    q_mod_t: u64,
     t_table: Arc<NttTable>,
     security: SecurityLevel,
+}
+
+/// The per-level view of the modulus chain: the live prefix
+/// `Q_ℓ = q_0 ⋯ q_{k-1-ℓ}` with its plaintext-scaling constants. Everything
+/// a ciphertext at level `ℓ` (with `ℓ` limbs dropped) operates against.
+struct LevelData {
+    /// The live prefix as a chain of its own (tables shared with the full
+    /// chain through the process-wide cache).
+    chain: ModulusChain,
+    /// `Δ_ℓ = floor(Q_ℓ / t)`, exact.
+    delta: u128,
+    /// `Δ_ℓ mod q_i` per live limb — the per-plane scaling factor.
+    delta_mod: Vec<u64>,
+    /// `Q_ℓ mod t` — the plaintext-multiplication rounding residue at this
+    /// level, and (for level `ℓ+1`) the dominant modulus-switch rounding
+    /// drift. The congruent generator drives it to 1 whenever a prime of
+    /// the right shape exists.
+    q_mod_t: u64,
 }
 
 impl fmt::Debug for BfvParams {
@@ -145,8 +161,7 @@ impl fmt::Debug for BfvParams {
             .field(
                 "moduli",
                 &self
-                    .inner
-                    .chain
+                    .chain()
                     .moduli()
                     .iter()
                     .map(Modulus::value)
@@ -164,7 +179,7 @@ impl PartialEq for BfvParams {
         Arc::ptr_eq(&self.inner, &other.inner)
             || (self.inner.n == other.inner.n
                 && self.inner.t.value() == other.inner.t.value()
-                && self.inner.chain == other.inner.chain
+                && self.chain() == other.chain()
                 && self.inner.w_dcmp == other.inner.w_dcmp
                 && self.inner.a_dcmp == other.inner.a_dcmp)
     }
@@ -252,16 +267,58 @@ impl BfvParams {
         &self.inner.t
     }
 
-    /// The ciphertext modulus chain.
+    /// The full (level-0) ciphertext modulus chain.
     #[inline]
     pub fn chain(&self) -> &ModulusChain {
-        &self.inner.chain
+        &self.inner.levels[0].chain
     }
 
-    /// Number of RNS limbs `l` in the ciphertext modulus.
+    /// Number of RNS limbs `l` in the full ciphertext modulus.
     #[inline]
     pub fn limbs(&self) -> usize {
-        self.inner.chain.limbs()
+        self.chain().limbs()
+    }
+
+    /// Number of levels the chain supports (= its limb count): a
+    /// ciphertext can live at levels `0..levels()`, level `ℓ` having
+    /// dropped the last `ℓ` limbs.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.inner.levels.len()
+    }
+
+    /// The deepest level (`limbs - 1`): one live limb. A 1-limb chain is
+    /// level-0-only.
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.inner.levels.len() - 1
+    }
+
+    /// Live limbs at a level: `limbs - level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a level past [`BfvParams::max_level`].
+    #[inline]
+    pub fn live_limbs_at(&self, level: usize) -> usize {
+        assert!(level < self.levels(), "level {level} out of range");
+        self.limbs() - level
+    }
+
+    /// The live prefix chain at a level (`chain_at(0)` is the full chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a level past [`BfvParams::max_level`].
+    #[inline]
+    pub fn chain_at(&self, level: usize) -> &ModulusChain {
+        &self.inner.levels[level].chain
+    }
+
+    /// The composed live modulus `Q_ℓ` at a level.
+    #[inline]
+    pub fn big_q_at(&self, level: usize) -> u128 {
+        self.inner.levels[level].chain.big_q()
     }
 
     /// Plaintext (weight) decomposition base `W_dcmp`.
@@ -282,52 +339,87 @@ impl BfvParams {
         self.inner.sigma
     }
 
-    /// `Δ = floor(Q / t)`, the plaintext scaling factor (exact).
+    /// `Δ = floor(Q / t)`, the level-0 plaintext scaling factor (exact).
     #[inline]
     pub fn delta(&self) -> u128 {
-        self.inner.delta
+        self.inner.levels[0].delta
     }
 
-    /// `Δ mod q_i` — the per-limb image of the scaling factor.
+    /// `Δ_ℓ = floor(Q_ℓ / t)` — the scaling factor at a level. Modulus
+    /// switching rescales ciphertexts from `Δ_ℓ` to `Δ_{ℓ+1}` exactly, so
+    /// decryption at level `ℓ` divides by `Q_ℓ`, not `Q`.
+    #[inline]
+    pub fn delta_at(&self, level: usize) -> u128 {
+        self.inner.levels[level].delta
+    }
+
+    /// `Δ mod q_i` — the per-limb image of the level-0 scaling factor.
     #[inline]
     pub fn delta_mod(&self, limb: usize) -> u64 {
-        self.inner.delta_mod[limb]
+        self.inner.levels[0].delta_mod[limb]
+    }
+
+    /// `Δ_ℓ mod q_i` for a live limb at a level.
+    #[inline]
+    pub fn delta_mod_at(&self, level: usize, limb: usize) -> u64 {
+        self.inner.levels[level].delta_mod[limb]
     }
 
     /// `Q mod t` — the residue driving the plaintext-multiplication
     /// rounding term `(Q mod t)·⌊mw/t⌋`. Equals 1 whenever the chain
     /// satisfies the Gazelle congruence `Q ≡ 1 (mod t)` (always true for
-    /// the default generated single limb).
+    /// the default generated single limb; multi-limb generated chains get
+    /// it when congruent primes of the requested sizes exist).
     #[inline]
     pub fn q_mod_t(&self) -> u64 {
-        self.inner.q_mod_t
+        self.inner.levels[0].q_mod_t
     }
 
-    /// Writes `Δ·m` lifted into every limb plane of `out` (coefficient
-    /// form): `out[i][j] = (Δ mod q_i)·m_j mod q_i`, exact because
-    /// `Δ·m < Q`. The one Δ-scaling implementation shared by encryption,
-    /// plaintext addition, and noise measurement.
+    /// `Q_ℓ mod t` at a level: the multiplication rounding residue there,
+    /// and the dominant rounding drift a switch *onto* level `ℓ` injects
+    /// (the `(ρ/q_drop)·m` term with `|ρ/q_drop| ≲ (Q_ℓ mod t)/t`).
+    #[inline]
+    pub fn q_mod_t_at(&self, level: usize) -> u64 {
+        self.inner.levels[level].q_mod_t
+    }
+
+    /// Writes `Δ_ℓ·m` lifted into every *live* limb plane of `out`
+    /// (coefficient form): `out[i][j] = (Δ_ℓ mod q_i)·m_j mod q_i`, exact
+    /// because `Δ_ℓ·m < Q_ℓ`. The level is inferred from `out`'s limb
+    /// count, so one implementation serves encryption (level 0), plaintext
+    /// addition at any level, and noise measurement.
     ///
     /// # Panics
     ///
-    /// Panics if `msg.len() != n` or `out` has a foreign shape.
+    /// Panics if `msg.len() != n` or `out` has a foreign shape (wrong
+    /// degree, or more limbs than the chain).
     pub fn lift_scaled_into(&self, msg: &[u64], out: &mut RnsPoly) {
         assert_eq!(msg.len(), self.inner.n);
         assert_eq!(out.degree(), self.inner.n);
-        assert_eq!(out.limbs(), self.limbs());
+        let live = out.limbs();
+        assert!(
+            live >= 1 && live <= self.limbs(),
+            "foreign limb count {live}"
+        );
+        let level = self.limbs() - live;
         out.set_representation(crate::poly::Representation::Coeff);
-        for i in 0..self.limbs() {
+        for i in 0..live {
             let q_i = *self.chain().modulus(i);
-            let delta_i = self.delta_mod(i);
+            let delta_i = self.delta_mod_at(level, i);
             for (dst, &m) in out.limb_mut(i).iter_mut().zip(msg) {
                 *dst = q_i.mul_mod(delta_i, m);
             }
         }
     }
 
-    /// Allocating variant of [`BfvParams::lift_scaled_into`].
+    /// Allocating variant of [`BfvParams::lift_scaled_into`] (level 0).
     pub fn lift_scaled(&self, msg: &[u64]) -> RnsPoly {
-        let mut out = RnsPoly::zero(self.chain(), crate::poly::Representation::Coeff);
+        self.lift_scaled_at(msg, 0)
+    }
+
+    /// Allocating [`BfvParams::lift_scaled_into`] at an explicit level.
+    pub fn lift_scaled_at(&self, msg: &[u64], level: usize) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.chain_at(level), crate::poly::Representation::Coeff);
         self.lift_scaled_into(msg, &mut out);
         out
     }
@@ -347,10 +439,20 @@ impl BfvParams {
     /// `l_ct = Σ_i ceil(log_{A_dcmp}(q_i))` — ciphertext decomposition
     /// digits of the RNS-native (per-limb `q̂_i`) key switch: the number of
     /// key-switch pairs each Galois key carries and of digit polynomials
-    /// one `HE_Rotate` processes. For a single limb this equals the
-    /// historical composed `ceil(log_A Q)`.
+    /// one level-0 `HE_Rotate` processes. For a single limb this equals
+    /// the historical composed `ceil(log_A Q)`.
     pub fn l_ct(&self) -> usize {
-        self.inner.chain.rns_decomposition_levels(self.inner.a_dcmp)
+        self.l_ct_at(0)
+    }
+
+    /// Digit count of a key switch at a level: the sum over *live* limbs
+    /// only, `Σ_{i<limbs-ℓ} ceil(log_A q_i)`. Dropped limbs contribute no
+    /// digits, which is why rotations get cheaper as the circuit burns
+    /// budget — the Galois key's limb-major pair list is simply consumed
+    /// as a prefix.
+    pub fn l_ct_at(&self, level: usize) -> usize {
+        self.chain_at(level)
+            .rns_decomposition_levels(self.inner.a_dcmp)
     }
 
     /// `l_pt = ceil(log_{W_dcmp}(t))` — plaintext decomposition levels.
@@ -382,10 +484,18 @@ impl BfvParams {
         2.0 * self.inner.n as f64 * b * b
     }
 
-    /// The noise ceiling `Q / (2t)`: decryption succeeds while the noise
-    /// magnitude stays below this.
+    /// The level-0 noise ceiling `Q / (2t)`: decryption succeeds while the
+    /// noise magnitude stays below this.
     pub fn noise_ceiling(&self) -> f64 {
-        self.inner.chain.big_q() as f64 / (2.0 * self.inner.t.value() as f64)
+        self.noise_ceiling_at(0)
+    }
+
+    /// The noise ceiling `Q_ℓ / (2t)` at a level. Switching divides noise
+    /// by the dropped limb but also lowers this ceiling by the same
+    /// factor, so the budget is (nearly) preserved — what shrinks is every
+    /// subsequent operation's cost.
+    pub fn noise_ceiling_at(&self, level: usize) -> f64 {
+        self.big_q_at(level) as f64 / (2.0 * self.inner.t.value() as f64)
     }
 
     /// Errors unless `other` is the same parameter set (degree, plaintext
@@ -534,13 +644,27 @@ impl BfvParamsBuilder {
             }
             // Equal bit sizes must still yield distinct primes: generate a
             // pool per distinct size and hand primes out in request order.
+            // Each size class prefers primes ≡ 1 (mod 2n·t): a fully
+            // congruent chain keeps Q_ℓ ≡ 1 (mod t) at *every* level, which
+            // kills both the multiplication rounding term and the dominant
+            // modulus-switch drift. Sizes whose congruent progression is
+            // too sparse fall back to plain NTT primes (e.g. 30-bit limbs
+            // at n = 4096 — the 2x30 preset's documented regime).
             let mut values = vec![0u64; bits.len()];
             let mut sizes: Vec<u32> = bits.clone();
             sizes.sort_unstable();
             sizes.dedup();
+            let congruent_step = (2 * self.n as u64).checked_mul(t_val);
             for b in sizes {
                 let count = bits.iter().filter(|&&x| x == b).count();
-                let mut pool = generate_ntt_primes(b, self.n, count)?.into_iter();
+                let congruent = congruent_step
+                    .map(|s| generate_primes_congruent(b, s, count))
+                    .and_then(std::result::Result::ok);
+                let pool = match congruent {
+                    Some(pool) => pool,
+                    None => generate_ntt_primes(b, self.n, count)?,
+                };
+                let mut pool = pool.into_iter();
                 for (slot, &bit) in values.iter_mut().zip(bits.iter()) {
                     if bit == b {
                         *slot = pool.next().expect("pool sized to request count");
@@ -616,24 +740,36 @@ impl BfvParamsBuilder {
         let w_dcmp = self.w_dcmp.unwrap_or(t_val.next_power_of_two());
         chain.check_decomposition_base(w_dcmp)?;
         let t_table = NttTable::cached(self.n, t)?;
-        let delta = chain.big_q() / t_val as u128;
-        let delta_mod = chain
-            .moduli()
-            .iter()
-            .map(|q| q.reduce_u128(delta))
-            .collect();
-        let q_mod_t = (chain.big_q() % t_val as u128) as u64;
+        // One LevelData per level: level ℓ keeps the first `limbs - ℓ`
+        // limbs. Level 0 reuses the already-built full chain; the prefix
+        // chains share NTT tables through the process-wide cache, so the
+        // extra cost is the (tiny) per-prefix CRT constant set.
+        let mut levels = Vec::with_capacity(chain.limbs());
+        for level in 0..chain.limbs() {
+            let live = chain.limbs() - level;
+            let sub = if level == 0 {
+                chain.clone()
+            } else {
+                ModulusChain::new(self.n, &limb_values[..live])?
+            };
+            let delta = sub.big_q() / t_val as u128;
+            let delta_mod = sub.moduli().iter().map(|q| q.reduce_u128(delta)).collect();
+            let q_mod_t = (sub.big_q() % t_val as u128) as u64;
+            levels.push(LevelData {
+                chain: sub,
+                delta,
+                delta_mod,
+                q_mod_t,
+            });
+        }
         Ok(BfvParams {
             inner: Arc::new(ParamsInner {
                 n: self.n,
                 t,
-                chain,
+                levels,
                 w_dcmp,
                 a_dcmp: self.a_dcmp,
                 sigma: self.sigma,
-                delta,
-                delta_mod,
-                q_mod_t,
                 t_table,
                 security: self.security,
             }),

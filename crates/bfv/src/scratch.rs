@@ -4,12 +4,19 @@
 //! ciphertext polynomials per call; at Cheetah parameters (`n = 4096`,
 //! one 60-bit limb) that is 64 KiB of fresh heap per `HE_Add`, and the
 //! cost scales with the limb count of the RNS chain. A [`Scratch`] owns a
-//! small pool of `l·n`-word [`RnsPoly`] buffers plus a persistent set of
-//! digit polynomials for the key-switch decomposition, so the in-place
+//! small pool of [`RnsPoly`] buffers plus a persistent set of digit
+//! polynomials for the key-switch decomposition, so the in-place
 //! operation family (`Evaluator::add_assign`, `Evaluator::mul_plain_assign`,
 //! `Evaluator::apply_galois_into`, …) performs **zero heap allocations
 //! after warmup** — verified by the counting-allocator test in
 //! `crates/bfv/tests/zero_alloc.rs`.
+//!
+//! The pool is **level-aware**: modulus-switched ciphertexts carry fewer
+//! live limb planes, so buffers are pooled per live-limb count
+//! ([`Scratch::take_poly_limbs`]) and the digit store reshapes when the
+//! working level changes. Steady state within one level — the common case,
+//! since a linear layer runs entirely at the level its input was switched
+//! to — still never touches the allocator.
 //!
 //! Threading model: a `Scratch` is deliberately *not* shared. Each worker
 //! thread owns one (they are cheap once warm), which is how the parallel
@@ -20,29 +27,37 @@
 use crate::poly::Representation;
 use crate::rns::RnsPoly;
 
-/// A pool of reusable `limbs · n`-word polynomial buffers.
+/// A pool of reusable polynomial buffers for degree-`n` chains of up to
+/// `limbs` planes.
 ///
-/// `take_poly`/`put_poly` lease buffers in LIFO order; `digits_mut` exposes
-/// a persistent slice of digit polynomials for base decompositions. All
+/// `take_poly`/`take_poly_limbs`/`put_poly` lease buffers in LIFO order
+/// per live-limb count; `digits_mut`/`digits_mut_limbs` expose a
+/// persistent slice of digit polynomials for base decompositions. All
 /// buffers keep their capacity across uses, so steady-state operation
 /// never touches the allocator.
 #[derive(Debug)]
 pub struct Scratch {
     n: usize,
     limbs: usize,
-    free: Vec<Vec<u64>>,
+    /// `free[k-1]`: pooled buffers of `k · n` words (live-limb count `k`).
+    free: Vec<Vec<Vec<u64>>>,
     digits: Vec<RnsPoly>,
+    /// Live-limb count the digit store is currently shaped for.
+    digit_limbs: usize,
 }
 
 impl Scratch {
-    /// Creates an empty pool for `limbs`-limb, degree-`n` polynomials.
-    /// Buffers are allocated lazily on first use and reused afterwards.
+    /// Creates an empty pool for up-to-`limbs`-limb, degree-`n`
+    /// polynomials. Buffers are allocated lazily on first use and reused
+    /// afterwards.
     pub fn new(n: usize, limbs: usize) -> Self {
+        assert!(limbs >= 1, "a chain has at least one limb");
         Self {
             n,
             limbs,
-            free: Vec::new(),
+            free: vec![Vec::new(); limbs],
             digits: Vec::new(),
+            digit_limbs: limbs,
         }
     }
 
@@ -52,55 +67,91 @@ impl Scratch {
         self.n
     }
 
-    /// Limb count this pool serves.
+    /// Maximum limb count this pool serves (the chain's level-0 width).
     #[inline]
     pub fn limbs(&self) -> usize {
         self.limbs
     }
 
-    /// Leases a polynomial with arbitrary (dirty) contents in the given
-    /// representation. Return it with [`Scratch::put_poly`] when done.
+    /// Leases a full-width (level-0) polynomial with arbitrary (dirty)
+    /// contents in the given representation. Return it with
+    /// [`Scratch::put_poly`] when done.
     pub fn take_poly(&mut self, repr: Representation) -> RnsPoly {
-        let words = self.limbs * self.n;
-        let buf = self.free.pop().unwrap_or_else(|| vec![0; words]);
-        debug_assert_eq!(buf.len(), words);
-        RnsPoly::from_data(buf, self.limbs, self.n, repr)
+        self.take_poly_limbs(self.limbs, repr)
     }
 
-    /// Returns a leased polynomial's buffer to the pool.
+    /// Leases a polynomial with `limbs` live planes (a reduced level's
+    /// shape), dirty contents, in the given representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limbs` is outside `1..=self.limbs()`.
+    pub fn take_poly_limbs(&mut self, limbs: usize, repr: Representation) -> RnsPoly {
+        assert!(
+            limbs >= 1 && limbs <= self.limbs,
+            "live limb count {limbs} outside this pool's 1..={}",
+            self.limbs
+        );
+        let words = limbs * self.n;
+        let buf = self.free[limbs - 1].pop().unwrap_or_else(|| vec![0; words]);
+        debug_assert_eq!(buf.len(), words);
+        RnsPoly::from_data(buf, limbs, self.n, repr)
+    }
+
+    /// Returns a leased polynomial's buffer to the pool (any live-limb
+    /// count this pool serves).
     ///
     /// # Panics
     ///
     /// Panics if the polynomial's shape does not match the pool.
     pub fn put_poly(&mut self, poly: RnsPoly) {
-        let buf = poly.into_data();
-        assert_eq!(
-            buf.len(),
-            self.limbs * self.n,
+        let limbs = poly.limbs();
+        assert!(
+            poly.degree() == self.n && limbs >= 1 && limbs <= self.limbs,
             "foreign buffer returned to scratch"
         );
-        self.free.push(buf);
+        let buf = poly.into_data();
+        debug_assert_eq!(buf.len(), limbs * self.n);
+        self.free[limbs - 1].push(buf);
     }
 
-    /// A persistent slice of `count` digit polynomials (coefficient form,
-    /// contents dirty). Grown on first use, reused afterwards; the borrow
-    /// ends before any other pool method is needed again. The key switch
-    /// sizes this with `BfvParams::l_ct()` — the per-limb RNS digit count
-    /// `Σ_i ceil(log_A q_i)`, each digit spanning every limb plane.
+    /// A persistent slice of `count` full-width digit polynomials
+    /// (coefficient form, contents dirty). See
+    /// [`Scratch::digits_mut_limbs`].
     pub fn digits_mut(&mut self, count: usize) -> &mut [RnsPoly] {
+        self.digits_mut_limbs(count, self.limbs)
+    }
+
+    /// A persistent slice of `count` digit polynomials of `limbs` live
+    /// planes (coefficient form, contents dirty). Grown on first use and
+    /// reused afterwards; changing the live-limb count reshapes the store
+    /// (one allocation per level change, not per operation). The key
+    /// switch sizes this with `BfvParams::l_ct_at(level)` — the live
+    /// per-limb RNS digit count `Σ_i ceil(log_A q_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limbs` is outside `1..=self.limbs()`.
+    pub fn digits_mut_limbs(&mut self, count: usize, limbs: usize) -> &mut [RnsPoly] {
+        assert!(
+            limbs >= 1 && limbs <= self.limbs,
+            "live limb count {limbs} outside this pool's 1..={}",
+            self.limbs
+        );
+        if self.digit_limbs != limbs {
+            self.digits.clear();
+            self.digit_limbs = limbs;
+        }
         while self.digits.len() < count {
-            self.digits.push(RnsPoly::zero_with(
-                self.limbs,
-                self.n,
-                Representation::Coeff,
-            ));
+            self.digits
+                .push(RnsPoly::zero_with(limbs, self.n, Representation::Coeff));
         }
         &mut self.digits[..count]
     }
 
-    /// Number of pooled free buffers (diagnostic).
+    /// Number of pooled free buffers across all sizes (diagnostic).
     pub fn pooled(&self) -> usize {
-        self.free.len()
+        self.free.iter().map(Vec::len).sum()
     }
 }
 
@@ -124,6 +175,24 @@ mod tests {
     }
 
     #[test]
+    fn pools_are_per_live_limb_count() {
+        let mut s = Scratch::new(8, 3);
+        let full = s.take_poly(Representation::Coeff);
+        let reduced = s.take_poly_limbs(2, Representation::Coeff);
+        assert_eq!(full.limbs(), 3);
+        assert_eq!(reduced.limbs(), 2);
+        let reduced_ptr = reduced.data().as_ptr();
+        s.put_poly(full);
+        s.put_poly(reduced);
+        assert_eq!(s.pooled(), 2);
+        // Re-leasing at 2 limbs must recycle the 2-limb buffer, not slice
+        // the 3-limb one.
+        let again = s.take_poly_limbs(2, Representation::Eval);
+        assert_eq!(again.data().as_ptr(), reduced_ptr);
+        assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
     fn digits_grow_once_and_persist() {
         let mut s = Scratch::new(8, 1);
         let d = s.digits_mut(3);
@@ -135,9 +204,19 @@ mod tests {
     }
 
     #[test]
+    fn digit_store_reshapes_on_level_change() {
+        let mut s = Scratch::new(8, 2);
+        let d = s.digits_mut_limbs(2, 2);
+        assert_eq!(d[0].limbs(), 2);
+        let d = s.digits_mut_limbs(2, 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].limbs(), 1, "digits reshape to the live level");
+    }
+
+    #[test]
     #[should_panic(expected = "foreign buffer")]
     fn rejects_foreign_buffer() {
         let mut s = Scratch::new(8, 2);
-        s.put_poly(RnsPoly::zero_with(1, 8, Representation::Coeff));
+        s.put_poly(RnsPoly::zero_with(3, 8, Representation::Coeff));
     }
 }

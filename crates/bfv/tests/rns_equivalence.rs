@@ -17,10 +17,8 @@
 use std::sync::OnceLock;
 
 use cheetah_bfv::poly::{Poly, Representation};
-use cheetah_bfv::sampling::BfvRng;
 use cheetah_bfv::{
-    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
-    RnsPoly,
+    BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator, RnsPoly,
 };
 use proptest::prelude::*;
 
@@ -208,87 +206,22 @@ fn evaluator_rejects_foreign_chain_ciphertexts() {
     ));
 }
 
-/// Multi-limb rotation under the RNS-native key switch decrypts to the
-/// same slots as the seed-era composed-base key switch. The old path no
-/// longer exists in the engine, so it is replayed here from public
-/// primitives: composed keys `(−(a·s + e) + A^level·s(x^g), a)` built over
-/// the full chain, Garner (compose-then-split) digit extraction via
-/// `RnsPoly::decompose_into`, and the Lane multiply-accumulate.
+/// The RNS-native key switch agrees with the seed-era composed-base key
+/// switch. The composed-base replay needs the Garner `decompose_into`,
+/// which is test-support-only now — the agreement test lives next to it in
+/// `rns.rs` (`multi_limb_rotate_matches_composed_base_reference`). What
+/// remains here is the public-API half of that guarantee: the hoisted
+/// replay decrypts identically to the direct rotation for every preset.
 #[test]
-fn multi_limb_rotate_matches_composed_base_reference() {
+fn multi_limb_hoisted_rotate_matches_direct() {
     for (name, params) in BfvParams::presets(4096).unwrap() {
         let mut c = ctx(params.clone(), 21);
-        let chain = params.chain();
         let vals: Vec<u64> = (0..100).map(|i| (i * 31 + 7) % 1000).collect();
         let ct = c.enc.encrypt(&c.encoder.encode(&vals).unwrap()).unwrap();
 
-        // Engine path: RNS-native per-limb key switching.
         let rotated = c.eval.rotate_rows(&ct, 1, &c.keys).unwrap();
-
-        // Reference path: composed-base key switching. Keys come from an
-        // independent RNG stream — only the *decrypted slots* can match,
-        // which is exactly the old-vs-new guarantee being pinned. The
-        // secret key is deterministic from the seed alone.
-        let kg = KeyGenerator::from_seed(params.clone(), 21);
-        let s = kg.secret_key().poly().clone();
-        let g = cheetah_bfv::keys::element_for_step(params.degree(), 1).unwrap();
-        let perm = chain.table(0).galois_permutation(g);
-        let mut s_g = RnsPoly::zero(chain, Representation::Eval);
-        s_g.permute_from(&s, &perm);
-
-        let a_base = params.a_dcmp();
-        let l_cmp = chain.decomposition_levels(a_base);
-        let mut rng = BfvRng::from_seed(0xc0de, params.sigma());
-        let mut pairs: Vec<(RnsPoly, RnsPoly)> = Vec::with_capacity(l_cmp);
-        let mut scale: Vec<u64> = vec![1; chain.limbs()];
-        for level in 0..l_cmp {
-            let a = rng.uniform_rns(chain, Representation::Eval);
-            let mut e = rng.noise_rns(chain);
-            e.to_eval(chain);
-            let mut k0 = a.clone();
-            k0.mul_assign_pointwise(&s, chain).unwrap();
-            k0.add_assign(&e, chain).unwrap();
-            k0.negate(chain);
-            let mut scaled = s_g.clone();
-            for (i, &sc) in scale.iter().enumerate() {
-                let q = chain.modulus(i);
-                let plane: Vec<u64> = scaled.limb(i).iter().map(|&x| q.mul_mod(x, sc)).collect();
-                scaled.limb_mut(i).copy_from_slice(&plane);
-            }
-            k0.add_assign(&scaled, chain).unwrap();
-            pairs.push((k0, a));
-            if level + 1 < l_cmp {
-                for (i, sc) in scale.iter_mut().enumerate() {
-                    let q = chain.modulus(i);
-                    *sc = q.mul_mod(*sc, q.reduce(a_base));
-                }
-            }
-        }
-
-        // Old Lane datapath: permute, INTT, Garner compose-then-split.
-        let mut ref_c0 = RnsPoly::zero(chain, Representation::Eval);
-        ref_c0.permute_from(ct.c0(), &perm);
-        let mut c1_g = RnsPoly::zero(chain, Representation::Eval);
-        c1_g.permute_from(ct.c1(), &perm);
-        c1_g.to_coeff(chain);
-        let mut digits = vec![RnsPoly::zero(chain, Representation::Coeff); l_cmp];
-        c1_g.decompose_into(a_base, chain, &mut digits).unwrap();
-        let mut ref_c1 = RnsPoly::zero(chain, Representation::Eval);
-        for (digit, (k0, k1)) in digits.iter_mut().zip(&pairs) {
-            digit.to_eval(chain);
-            ref_c0.fma_pointwise(digit, k0, chain).unwrap();
-            ref_c1.fma_pointwise(digit, k1, chain).unwrap();
-        }
-        let reference = Ciphertext::new(ref_c0, ref_c1, params.clone(), *rotated.noise());
-
         let engine_slots = c.encoder.decode(&c.dec.decrypt_checked(&rotated).unwrap());
-        let reference_slots = c.encoder.decode(&c.dec.decrypt(&reference).unwrap());
-        assert_eq!(
-            engine_slots, reference_slots,
-            "{name}: RNS-native vs composed-base key switch diverged"
-        );
 
-        // And the hoisted replay agrees as well.
         let hoisted = c.eval.hoist(&ct).unwrap();
         let via_hoist = c.eval.rotate_hoisted(&ct, &hoisted, 1, &c.keys).unwrap();
         let hoist_slots = c

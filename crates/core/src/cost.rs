@@ -44,6 +44,25 @@ pub struct HeCostParams {
 }
 
 impl HeCostParams {
+    /// Cost parameters of a real parameter set **at a level** of its
+    /// modulus chain: `level` limbs dropped leaves `limbs - level` live
+    /// planes and the live digit count `l_ct(level)`. Level 0 reproduces
+    /// the full-chain costs; deeper levels are how the model prices the
+    /// cheaper tail of a leveled circuit (every entry below scales with
+    /// the live counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a level past the chain's deepest.
+    pub fn for_bfv(params: &cheetah_bfv::BfvParams, level: usize) -> Self {
+        Self {
+            n: params.degree(),
+            l_pt: params.l_pt(),
+            l_ct: params.l_ct_at(level),
+            limbs: params.live_limbs_at(level),
+        }
+    }
+
     /// Integer multiplications in one `n`-point NTT plane transform:
     /// `3 · (n/2) · log2(n)`.
     pub fn ntt_mults(&self) -> u64 {
@@ -195,6 +214,26 @@ mod tests {
         assert_eq!(three.he_mult_mults(), 3 * single.he_mult_mults());
         // The per-plane transform cost itself is limb-independent.
         assert_eq!(three.ntt_mults(), single.ntt_mults());
+    }
+
+    #[test]
+    fn per_level_accounting_matches_live_counts() {
+        // Level 1 of the 3x36 preset: two live limbs, the live digit
+        // prefix — strictly cheaper rotations than level 0, and exactly
+        // the counts the engine's OpCounts reports at that level.
+        let params = cheetah_bfv::BfvParams::preset_rns_3x36(4096).unwrap();
+        let full = HeCostParams::for_bfv(&params, 0);
+        let lvl1 = HeCostParams::for_bfv(&params, 1);
+        assert_eq!(full.limbs, 3);
+        assert_eq!(full.l_ct, params.l_ct());
+        assert_eq!(lvl1.limbs, 2);
+        assert_eq!(lvl1.l_ct, params.l_ct_at(1));
+        assert!(lvl1.ntts_per_rotate() < full.ntts_per_rotate());
+        assert!(lvl1.he_rotate_mults() < full.he_rotate_mults());
+        assert!(lvl1.he_mult_mults() < full.he_mult_mults());
+        // Deepest level: one live limb.
+        let bottom = HeCostParams::for_bfv(&params, params.max_level());
+        assert_eq!(bottom.limbs, 1);
     }
 
     #[test]

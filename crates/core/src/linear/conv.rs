@@ -117,6 +117,55 @@ impl HomConv2d {
         self.schedule
     }
 
+    /// Conservative Table-III prediction of the layer's output noise when
+    /// evaluated at `level` on an input with the given estimate: every tap
+    /// is charged the worst mask norm and (for IA) a rotation, then the
+    /// channel reduction's rotate-and-add terms are added. Upper-bounds
+    /// the estimate the engine tracks through [`HomConv2d::apply`], so a
+    /// positive predicted budget at a level means the layer can safely run
+    /// there — the planning query behind leveled sessions.
+    pub fn noise_after(
+        &self,
+        input: &cheetah_bfv::NoiseEstimate,
+        params: &cheetah_bfv::BfvParams,
+        level: usize,
+    ) -> cheetah_bfv::NoiseEstimate {
+        let max_norm = self
+            .masks
+            .iter()
+            .flatten()
+            .map(PreparedPlaintext::inf_norm)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        // All fw² taps accumulate one schedule-ordered rotate-mul term.
+        let mut acc = crate::linear::accumulated_term_noise(
+            input,
+            params,
+            level,
+            self.schedule,
+            max_norm,
+            self.offsets.len(),
+        );
+        // Channel reduction: a log ladder doubles-and-rotates for
+        // power-of-two ci, otherwise ci − 1 hoisted rotations of the
+        // partial sum accumulate onto it.
+        let ci = self.spec.ci;
+        if ci.is_power_of_two() {
+            let mut half = ci / 2;
+            while half >= 1 {
+                acc = acc.add(&acc.rotate_at(params, level));
+                half /= 2;
+            }
+        } else {
+            let rotated = acc.rotate_at(params, level);
+            for _ in 1..ci {
+                acc = acc.add(&rotated);
+            }
+        }
+        acc
+    }
+
     /// Rotation steps the evaluation needs (generate Galois keys for
     /// these): all tap offsets plus the channel-reduction strides.
     pub fn required_steps(spec: &ConvSpec) -> Vec<i64> {
@@ -213,6 +262,7 @@ impl HomConv2d {
         threads: usize,
     ) -> Result<Vec<Ciphertext>> {
         let co = self.spec.co;
+        let level = input.level();
         // Every tap rotates the *same* input ciphertext, so the INTT +
         // digit decomposition is hoisted once for the whole tap set (the
         // read-only result is shared by all workers) and each tap pays
@@ -228,10 +278,12 @@ impl HomConv2d {
         // reusing a single rotation buffer + scratch), and fuse-
         // accumulates straight into its per-channel partial sums — the
         // rotated ciphertexts are never materialized as a batch.
+        // Accumulators follow the input's level: a modulus-switched input
+        // runs the whole layer over its live limbs only.
         let partials = map_chunks(self.offsets.len(), threads, |range| {
             let mut scratch = eval.new_scratch();
-            let mut rot = Ciphertext::transparent_zero(eval.params());
-            let mut accs = vec![Ciphertext::transparent_zero(eval.params()); co];
+            let mut rot = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut accs = vec![Ciphertext::transparent_zero_at(eval.params(), level); co];
             for (tap, &k) in range.clone().zip(&self.offsets[range]) {
                 let src: &Ciphertext = match &hoisted {
                     Some(h) => {
@@ -260,13 +312,15 @@ impl HomConv2d {
         threads: usize,
     ) -> Result<Vec<Ciphertext>> {
         let co = self.spec.co;
+        let level = input.level();
         // One fork for the whole layer; per-worker buffers are reused
-        // across every (tap, channel) pair in the chunk.
+        // across every (tap, channel) pair in the chunk, all at the
+        // input's level.
         let partials = map_chunks(self.offsets.len(), threads, |range| {
             let mut scratch = eval.new_scratch();
-            let mut prod = Ciphertext::transparent_zero(eval.params());
-            let mut aligned = Ciphertext::transparent_zero(eval.params());
-            let mut accs = vec![Ciphertext::transparent_zero(eval.params()); co];
+            let mut prod = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut aligned = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut accs = vec![Ciphertext::transparent_zero_at(eval.params(), level); co];
             for (tap, &k) in range.clone().zip(&self.offsets[range]) {
                 for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
                     // Multiply the *fresh* input first…
@@ -622,6 +676,80 @@ mod tests {
             counts.ntt,
             counts.rotate
         );
+    }
+
+    #[test]
+    fn conv_runs_at_reduced_level_with_less_ntt_work() {
+        // A modulus-switched input drives the whole layer over its live
+        // limbs: same decrypted output, strictly fewer NTT plane
+        // transforms than the full-level run — and within the noise bound
+        // the per-level model predicts.
+        // Three 36-bit limbs: level 1 leaves two live limbs — a 55-bit
+        // ceiling, far above the layer's noise, while a single 36-bit limb
+        // could not hold a conv layer (the planner knows; this test picks
+        // the level by hand, so it picks the safe one).
+        let s = spec(8, 3, 2, 2);
+        let params = BfvParams::builder()
+            .degree(4096)
+            .plain_bits(16)
+            .moduli_bits(&[36, 36, 36])
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 43);
+        let pk = kg.public_key().unwrap();
+        let keys = kg
+            .galois_keys_for_steps(&HomConv2d::required_steps(&s))
+            .unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 44);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params.clone());
+
+        let weights = random_weights(&s, 10);
+        let input = random_input(&s, 11);
+        let expect = eval_linear(&LinearLayer::Conv(s.clone()), &weights, &input);
+        let layer = HomConv2d::new(&s, &weights, &encoder, &eval, Schedule::InputAligned).unwrap();
+        let ct = enc
+            .encrypt(&HomConv2d::encode_input(&s, &input, &encoder).unwrap())
+            .unwrap();
+
+        eval.reset_op_counts();
+        let full_out = layer.apply(&ct, &eval, &keys).unwrap();
+        let full_counts = eval.op_counts();
+
+        let switched = eval.mod_switch_to_next(&ct).unwrap();
+        assert_eq!(switched.level(), 1);
+        eval.reset_op_counts();
+        let low_out = layer.apply(&switched, &eval, &keys).unwrap();
+        let low_counts = eval.op_counts();
+        assert!(
+            low_counts.ntt < full_counts.ntt,
+            "reduced level must do less NTT work: {} vs {}",
+            low_counts.ntt,
+            full_counts.ntt
+        );
+
+        let predicted = layer.noise_after(switched.noise(), &params, 1);
+        for (o, (a, b)) in full_out.iter().zip(&low_out).enumerate() {
+            assert_eq!(b.level(), 1, "outputs stay at the input's level");
+            let da = encoder.decode_signed(&dec.decrypt_checked(a).unwrap());
+            let db = encoder.decode_signed(&dec.decrypt_checked(b).unwrap());
+            assert_eq!(
+                layer.decode_output(&da).data(),
+                layer.decode_output(&db).data(),
+                "channel {o} diverged at the reduced level"
+            );
+            assert_eq!(
+                layer.decode_output(&db).data(),
+                (0..s.w * s.w)
+                    .map(|i| expect.data()[o * s.w * s.w + i])
+                    .collect::<Vec<_>>(),
+                "channel {o} wrong"
+            );
+            // The engine-tracked noise stays under the planner's model.
+            assert!(b.noise().bound_log2 <= predicted.bound_log2 + 1e-9);
+        }
     }
 
     #[test]

@@ -98,7 +98,9 @@ pub fn dot_input_aligned(
     keys: &GaloisKeys,
 ) -> Result<Ciphertext> {
     let slots = encoder.slots();
-    let mut acc = Ciphertext::transparent_zero(eval.params());
+    // The accumulator follows the input's level (modulus-switched inputs
+    // run the alignment set over their live limbs only).
+    let mut acc = Ciphertext::transparent_zero_at(eval.params(), ct.level());
     // Multiply by w placed at slot 0 only, fused into the accumulator.
     let accumulate = |acc: &mut Ciphertext, aligned: &Ciphertext, w: i64| -> Result<()> {
         let mut mask = vec![0i64; slots];

@@ -97,6 +97,33 @@ impl HomFc {
         &self.spec
     }
 
+    /// Conservative Table-III prediction of the layer's output noise at
+    /// `level` (see `HomConv2d::noise_after`): `n_i` diagonal terms, each
+    /// charged the worst diagonal norm and one rotation in schedule order.
+    /// Upper-bounds the engine-tracked estimate of [`HomFc::apply`].
+    pub fn noise_after(
+        &self,
+        input: &cheetah_bfv::NoiseEstimate,
+        params: &cheetah_bfv::BfvParams,
+        level: usize,
+    ) -> cheetah_bfv::NoiseEstimate {
+        let max_norm = self
+            .diagonals
+            .iter()
+            .map(PreparedPlaintext::inf_norm)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        crate::linear::accumulated_term_noise(
+            input,
+            params,
+            level,
+            self.schedule,
+            max_norm,
+            self.diagonals.len(),
+        )
+    }
+
     /// Rotation steps the evaluation needs: `1..n_i`.
     pub fn required_steps(spec: &FcSpec) -> Vec<i64> {
         (1..spec.ni as i64).collect()
@@ -160,10 +187,13 @@ impl HomFc {
         // The scratch-reuse hot path copies the input into evaluator-owned
         // buffers, so foreign ciphertexts must be rejected up front.
         eval.params().check_same(input.params())?;
+        let level = input.level();
+        // Accumulators follow the input's level: a modulus-switched input
+        // runs the whole layer over its live limbs only.
         let partials = map_chunks(self.diagonals.len(), threads, |range| {
             let mut scratch = eval.new_scratch();
-            let mut acc = Ciphertext::transparent_zero(eval.params());
-            let mut tmp = Ciphertext::transparent_zero(eval.params());
+            let mut acc = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut tmp = Ciphertext::transparent_zero_at(eval.params(), level);
             match self.schedule {
                 Schedule::InputAligned => {
                     for (k, diag) in range.clone().zip(&self.diagonals[range]) {
@@ -174,7 +204,7 @@ impl HomFc {
                     }
                 }
                 Schedule::PartialAligned => {
-                    let mut prod = Ciphertext::transparent_zero(eval.params());
+                    let mut prod = Ciphertext::transparent_zero_at(eval.params(), level);
                     for (k, diag) in range.clone().zip(&self.diagonals[range]) {
                         // Multiply the *fresh* input, then rotate the
                         // partial product into alignment.

@@ -10,3 +10,37 @@ pub mod parallel;
 pub use conv::HomConv2d;
 pub use dot::{dot_input_aligned, dot_partial_aligned};
 pub use fc::HomFc;
+
+use crate::schedule::Schedule;
+use cheetah_bfv::{BfvParams, NoiseEstimate};
+
+/// The shared core of the layers' `noise_after` planning models: one
+/// rotate-mul term per rotation step in schedule order (§V — IA rotates
+/// the input first and multiplies the noisier result, PA multiplies fresh
+/// and rotates the partial), charged the layer's worst plaintext norm and
+/// accumulated `terms` times. Zero-step terms skip their rotation in the
+/// engine; the rotated term bounds them, keeping the model conservative.
+pub(crate) fn accumulated_term_noise(
+    input: &NoiseEstimate,
+    params: &BfvParams,
+    level: usize,
+    schedule: Schedule,
+    max_norm: u64,
+    terms: usize,
+) -> NoiseEstimate {
+    let term = match schedule {
+        Schedule::InputAligned => {
+            input
+                .rotate_at(params, level)
+                .mul_plain_at(params, level, 1, 2 * max_norm)
+        }
+        Schedule::PartialAligned => input
+            .mul_plain_at(params, level, 1, 2 * max_norm)
+            .rotate_at(params, level),
+    };
+    let mut acc = term;
+    for _ in 1..terms {
+        acc = acc.add(&term);
+    }
+    acc
+}

@@ -151,8 +151,10 @@ fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
     });
 
     // Attribute the rotate's internal NTT plane transforms to the NTT
-    // bucket (Fig. 7): (l_ct + 1) transforms per limb plane.
-    let ntts_in_rotate = ((b.params.l_ct() + 1) * b.params.limbs()) as f64;
+    // bucket (Fig. 7), via the shared per-level cost model (kernel timing
+    // runs at level 0; leveled circuits scale by the live counts).
+    let ntts_in_rotate =
+        cheetah_core::cost::HeCostParams::for_bfv(&b.params, 0).ntts_per_rotate() as f64;
     let rotate_excl_ntt_s = (rotate_total_s - ntts_in_rotate * ntt_s).max(rotate_total_s * 0.05);
 
     let other_s = time_loop(reps, || {

@@ -24,7 +24,7 @@
 
 use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
-    KeyGenerator, Plaintext, Result, Scratch,
+    KeyGenerator, NoiseEstimate, Plaintext, Result, Scratch,
 };
 use cheetah_core::linear::{HomConv2d, HomFc};
 use cheetah_core::Schedule;
@@ -35,6 +35,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::transcript::{garbled_circuit_bytes, Direction, Transcript};
 
+/// Worst-case budget (bits) the leveled-evaluation planner keeps in hand
+/// when choosing how many limbs to drop before a layer.
+const LEVEL_PLAN_MARGIN_BITS: f64 = 2.0;
+
 /// A prepared homomorphic linear layer plus its packing rules.
 enum HomLayer {
     Conv(HomConv2d),
@@ -42,6 +46,40 @@ enum HomLayer {
 }
 
 impl HomLayer {
+    /// Table-III prediction of the layer's output noise at a level
+    /// (conservative; upper-bounds the engine-tracked estimate).
+    fn noise_after(
+        &self,
+        input: &NoiseEstimate,
+        params: &BfvParams,
+        level: usize,
+    ) -> NoiseEstimate {
+        match self {
+            HomLayer::Conv(c) => c.noise_after(input, params, level),
+            HomLayer::Fc(f) => f.noise_after(input, params, level),
+        }
+    }
+
+    /// The deepest level this layer can run at for an input with the
+    /// given noise estimate: walks the modulus-switch transitions down
+    /// the chain and keeps the deepest level whose *predicted output*
+    /// still clears the planning margin. Returns 0 (full chain) when no
+    /// switch is safe — dropping limbs is purely an optimization, never a
+    /// correctness requirement.
+    fn plan_level(&self, input: &NoiseEstimate, params: &BfvParams) -> usize {
+        let mut best = 0;
+        let mut est = *input;
+        for level in 0..params.levels() {
+            if level > 0 {
+                est = est.mod_switch(params, level - 1);
+            }
+            let out = self.noise_after(&est, params, level);
+            if out.budget_bits_worst_at(params, level) >= LEVEL_PLAN_MARGIN_BITS {
+                best = level;
+            }
+        }
+        best
+    }
     fn pack(&self, t: &Tensor, encoder: &BatchEncoder) -> Result<Plaintext> {
         match self {
             HomLayer::Conv(c) => HomConv2d::encode_input(c.spec(), t, encoder),
@@ -252,6 +290,16 @@ impl PrivateInferenceSession {
                             .add_plain_assign(&mut ct, &neg_packed, &mut self.scratch)?;
                     }
 
+                    // Cloud: drop the limbs this layer's noise no longer
+                    // needs — the whole layer (rotations, multiplications,
+                    // and the masked download below) then runs over the
+                    // live limbs only. Multi-limb chains are *faster*
+                    // mid-circuit, not just roomier.
+                    let target = hom.plan_level(ct.noise(), &self.params);
+                    if target > ct.level() {
+                        self.evaluator.mod_switch_to_assign(&mut ct, target)?;
+                    }
+
                     // Cloud: HE linear layer.
                     let outputs = hom.apply(&ct, &self.evaluator, &self.keys)?;
 
@@ -274,9 +322,10 @@ impl PrivateInferenceSession {
                             .add_plain_assign(out_ct, m_pt, &mut self.scratch)?;
                     }
                     let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
+                    let out_level = masked_cts.first().map_or(0, Ciphertext::level);
                     transcript.record(
                         Direction::CloudToClient,
-                        format!("enc masked outputs L{linear_idx}"),
+                        format!("enc masked outputs L{linear_idx} lvl{out_level}"),
                         dl_bytes,
                     );
 
@@ -476,6 +525,67 @@ mod tests {
         for (b2, b1) in up2.iter().zip(&up1) {
             assert_eq!(*b2, 2 * b1, "2-limb upload must be twice 1-limb");
             assert_eq!(*b2, 2 * 2 * 4096 * 8);
+        }
+    }
+
+    /// A 3-limb chain with the session's low decomposition base: deep
+    /// enough that the planner can drop a limb before every layer.
+    fn session_params_3_limb() -> BfvParams {
+        BfvParams::builder()
+            .degree(4096)
+            .plain_bits(17)
+            .moduli_bits(&[36, 36, 36])
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn leveled_session_drops_limbs_and_matches_plaintext() {
+        // The first feature where multi-limb chains are *faster*
+        // mid-circuit rather than just roomier: a tiny CNN's noise never
+        // needs the full 108-bit ceiling, so the cloud modulus-switches
+        // each layer's input down and runs the layer — and ships the
+        // masked outputs — over fewer live limbs.
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 71);
+        let input = random_input(&net.input_shape, 3, 72);
+        let expect = infer(&net, &weights, &input).output;
+
+        let params = session_params_3_limb();
+        assert_eq!(params.limbs(), 3);
+        let mut session =
+            PrivateInferenceSession::new(&net, &weights, params, Schedule::PartialAligned, 77)
+                .unwrap();
+        let (output, transcript) = session.run(&input).unwrap();
+        assert_eq!(output.data(), expect.data(), "leveled private != plaintext");
+
+        // Uploads stay full-level (the client always encrypts fresh)…
+        for m in transcript
+            .messages()
+            .iter()
+            .filter(|m| m.label.contains("enc activations"))
+        {
+            assert_eq!(m.bytes, 2 * 3 * 4096 * 8, "{}", m.label);
+        }
+        // …while every masked download left level 0: the layers ran — and
+        // shipped — at a reduced level, each ciphertext a whole number of
+        // live-limb pairs strictly below the full-level size.
+        let downloads: Vec<_> = transcript
+            .messages()
+            .iter()
+            .filter(|m| m.label.contains("enc masked outputs"))
+            .collect();
+        assert!(!downloads.is_empty());
+        for m in &downloads {
+            assert!(
+                m.label.contains("lvl1") || m.label.contains("lvl2"),
+                "layer stayed at full level: {}",
+                m.label
+            );
+            // A whole number of live-limb ciphertexts (2 components ·
+            // ≤2 live limbs · n · 8 bytes each).
+            assert_eq!(m.bytes % (2 * 4096 * 8), 0);
         }
     }
 

@@ -158,6 +158,63 @@ fn rotate_noise_model_bounds_measurement_for_every_preset() {
     }
 }
 
+/// The `mod_switch` transition of the noise model: dropping a limb divides
+/// the invariant noise by the dropped prime and adds the rounding terms
+/// (`(Q' mod t) + 1 + (n+1)/2`). Measured noise must stay below the model
+/// bound at *every* level of every multi-limb preset, through an operator
+/// chain — and the bound must actually fall when a limb is dropped from a
+/// worked ciphertext (the noise really does shrink with the modulus).
+#[test]
+fn mod_switch_noise_model_bounds_measurement_for_every_preset() {
+    for (name, params) in BfvParams::presets(4096).unwrap() {
+        if params.max_level() == 0 {
+            continue; // single-limb: level-0-only
+        }
+        let mut kg = KeyGenerator::from_seed(params.clone(), 6060);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&[1]).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, 6061);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params.clone());
+
+        let vals: Vec<u64> = (0..128).map(|i| i * 17 % 4000).collect();
+        let ct = enc.encrypt(&encoder.encode(&vals).unwrap()).unwrap();
+        let w = enc_weights(&eval, &encoder);
+        let worked = eval
+            .rotate_rows(&eval.mul_plain(&ct, &w).unwrap(), 1, &keys)
+            .unwrap();
+        let before = dec.invariant_noise(&worked).unwrap() as f64;
+
+        let mut cur = worked;
+        for level in 1..params.levels() {
+            cur = eval.mod_switch_to_next(&cur).unwrap();
+            assert_eq!(cur.level(), level);
+            let measured = dec.invariant_noise(&cur).unwrap() as f64;
+            let bound = cur.noise().bound_log2;
+            assert!(
+                measured.max(1.0).log2() <= bound + 1e-9,
+                "{name} level {level}: measured 2^{:.1} > bound 2^{:.1}",
+                measured.log2(),
+                bound
+            );
+            // The dropped limb really divides the noise: measured noise
+            // falls well below the pre-switch measurement once the limb's
+            // ~30+ bits are gone (rounding terms are orders smaller).
+            assert!(
+                measured < before,
+                "{name} level {level}: switch did not shrink noise \
+                 ({measured:.3e} vs {before:.3e})"
+            );
+        }
+    }
+}
+
+fn enc_weights(eval: &Evaluator, encoder: &BatchEncoder) -> cheetah::bfv::PreparedPlaintext {
+    eval.prepare_plaintext(&encoder.encode(&[7; 128]).unwrap())
+        .unwrap()
+}
+
 /// Repeated rotations accumulate additive noise roughly linearly — the
 /// Table III structure, observed on real ciphertexts.
 #[test]
