@@ -5,7 +5,12 @@
 //! modulus chain is trackable across PRs. Multi-limb presets also report
 //! the leveled primitives — `l{2,3}_mod_switch` (dropping a limb) and
 //! `l{2,3}_rotate_level1` (rotating after one drop) — demonstrating that
-//! reduced-level rotations are measurably cheaper than full-level ones.
+//! reduced-level rotations are measurably cheaper than full-level ones —
+//! and the FC-layer pair `l{2,3}_fc_bsgs` vs `l{2,3}_fc_diag` (plus
+//! `_level1` variants): the Baby-Step-Giant-Step reshape against the
+//! legacy diagonal method on the same weights, the headline win of the
+//! hoistable-rotation-set work (`scripts/check.sh` fails a committed full
+//! run where BSGS does not beat the diagonal path on the 3-limb preset).
 //!
 //! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
 //!
@@ -23,7 +28,10 @@ use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, HoistedDecomposition,
     KeyGenerator, PreparedPlaintext, Scratch,
 };
+use cheetah_core::linear::HomFc;
+use cheetah_core::Schedule;
 use cheetah_gpu::batched::batched_forward;
+use cheetah_nn::{FcSpec, Tensor};
 
 fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -167,6 +175,76 @@ fn per_limb_point(params: BfvParams) -> LimbPoint {
     }
 }
 
+/// FC-layer timings on one multi-limb preset: the BSGS reshape vs the
+/// legacy diagonal path, on the same weights and keys, at level 0 and
+/// after one modulus switch. Decryption is not on the timed path, so the
+/// preset's default decomposition base is fine — only the rotation
+/// structure is under test.
+struct FcPoint {
+    limbs: usize,
+    diag: f64,
+    bsgs: f64,
+    diag_level1: f64,
+    bsgs_level1: f64,
+}
+
+fn fc_point(params: BfvParams) -> FcPoint {
+    let ni = if smoke() { 32 } else { 64 };
+    let spec = FcSpec {
+        name: "bench-fc".into(),
+        ni,
+        no: ni / 4,
+    };
+    let mut kg = KeyGenerator::from_seed(params.clone(), 21);
+    let pk = kg.public_key().unwrap();
+    let keys = kg
+        .galois_keys_for_steps(&HomFc::required_steps(&spec))
+        .unwrap();
+    let encoder = BatchEncoder::new(params.clone());
+    let mut enc = Encryptor::from_public_key(pk, 22);
+    let eval = Evaluator::new(params.clone());
+    let weights = Tensor::from_data(
+        &[spec.no, spec.ni],
+        (0..spec.no * spec.ni).map(|i| (i % 5) as i64 - 2).collect(),
+    );
+    let input = Tensor::from_data(&[spec.ni], (0..spec.ni as i64).collect());
+    let ct = enc
+        .encrypt(&HomFc::encode_input(&spec, &input, &encoder).unwrap())
+        .unwrap();
+    let ct_level1 = eval.mod_switch_to(&ct, 1).unwrap();
+
+    let bsgs = HomFc::new(&spec, &weights, &encoder, &eval, Schedule::PartialAligned).unwrap();
+    assert!(
+        bsgs.plan().is_some(),
+        "d = {ni} must auto-select a BSGS plan"
+    );
+    let diag = HomFc::with_plan(
+        &spec,
+        &weights,
+        &encoder,
+        &eval,
+        Schedule::PartialAligned,
+        None,
+    )
+    .unwrap();
+    let time_fc = |layer: &HomFc, input: &Ciphertext| {
+        time_ns(|| {
+            black_box(
+                layer
+                    .apply_threaded(black_box(input), &eval, &keys, 1)
+                    .unwrap(),
+            );
+        })
+    };
+    FcPoint {
+        limbs: params.limbs(),
+        diag: time_fc(&diag, &ct),
+        bsgs: time_fc(&bsgs, &ct),
+        diag_level1: time_fc(&diag, &ct_level1),
+        bsgs_level1: time_fc(&bsgs, &ct_level1),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -249,6 +327,15 @@ fn main() {
     .map(per_limb_point)
     .collect();
 
+    // --- FC layers: BSGS vs diagonal on the multi-limb presets ---
+    let fc_points: Vec<FcPoint> = [
+        BfvParams::preset_rns_2x30(4096).unwrap(),
+        BfvParams::preset_rns_3x36(4096).unwrap(),
+    ]
+    .into_iter()
+    .map(fc_point)
+    .collect();
+
     // --- Contiguous batched NTT, serial vs 4 threads ---
     let (ntt_n, ntt_batch, ntt_threads) = if smoke() {
         (2048usize, 8usize, 4usize)
@@ -317,6 +404,24 @@ fn main() {
                 );
             }
         }
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fc_layer_ns\": {{");
+    for (idx, p) in fc_points.iter().enumerate() {
+        let limbs = p.limbs;
+        let trail = if idx + 1 < fc_points.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"l{limbs}_fc_diag\": {:.1},", p.diag);
+        let _ = writeln!(json, "    \"l{limbs}_fc_bsgs\": {:.1},", p.bsgs);
+        let _ = writeln!(
+            json,
+            "    \"l{limbs}_fc_diag_level1\": {:.1},",
+            p.diag_level1
+        );
+        let _ = writeln!(
+            json,
+            "    \"l{limbs}_fc_bsgs_level1\": {:.1}{trail}",
+            p.bsgs_level1
+        );
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_ntt\": {{");

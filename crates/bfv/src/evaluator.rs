@@ -922,6 +922,41 @@ impl Evaluator {
         Ok(())
     }
 
+    /// The baby-step primitive of BSGS layers: hoists `a` once (into the
+    /// reusable `hoisted`) and replays the whole rotation `steps` set,
+    /// writing `outs[i] = rot(a, steps[i])`. `outs` is resized to
+    /// `steps.len()` (retained entries keep their capacity, so a reused
+    /// output set is allocation-free at steady state within one level);
+    /// steps that are multiples of the row degenerate to copies of `a`.
+    ///
+    /// Total NTT bill: `(l_ct(ℓ) + 1)·live` plane transforms for the hoist
+    /// — independent of the number of steps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::hoist_into`] and
+    /// [`Evaluator::rotate_hoisted_into`]; on error `outs` may be
+    /// partially written.
+    pub fn rotate_set_hoisted_into(
+        &self,
+        outs: &mut Vec<Ciphertext>,
+        a: &Ciphertext,
+        steps: &[i64],
+        keys: &GaloisKeys,
+        hoisted: &mut HoistedDecomposition,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        self.hoist_into(hoisted, a, scratch)?;
+        outs.truncate(steps.len());
+        while outs.len() < steps.len() {
+            outs.push(Ciphertext::transparent_zero_at(&self.params, a.level()));
+        }
+        for (out, &step) in outs.iter_mut().zip(steps) {
+            self.rotate_hoisted_into(out, a, hoisted, step, keys, scratch)?;
+        }
+        Ok(())
+    }
+
     /// Allocating wrapper over [`Evaluator::rotate_hoisted_into`].
     ///
     /// # Errors

@@ -753,65 +753,6 @@ impl RnsPoly {
         chain.crt().compose(&residues[..self.limbs])
     }
 
-    /// Decomposes a coefficient-form polynomial into base-`base` digit
-    /// polynomials covering the *composed* value: per coefficient, limbs
-    /// are CRT-composed (Garner, single-word Barrett) and the `[0, Q)`
-    /// value is split into `l_ct = ceil(log_base Q)` digits; each digit
-    /// `< base` is replicated across the limb planes of `digits[d]`.
-    ///
-    /// This is the §III-B2 ciphertext decomposition generalized to the
-    /// chain; for one limb it degenerates to exactly the historical
-    /// word-shift extraction.
-    ///
-    /// Test-support only since the RNS-native key switch (PR 3): nothing in
-    /// the library composes coefficients on an evaluation path anymore, and
-    /// this reference implementation survives purely so the old-vs-new
-    /// agreement tests below can replay the seed-era composed-base key
-    /// switch against the per-limb one.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::WrongRepresentation`] if not in coefficient form,
-    /// [`Error::InvalidDecompositionBase`] for a bad base (it must also be
-    /// `<` every limb so digits are valid residues), and
-    /// [`Error::ParameterMismatch`] if `digits` has the wrong shape.
-    #[cfg(test)]
-    pub(crate) fn decompose_into(
-        &self,
-        base: u64,
-        chain: &ModulusChain,
-        digits: &mut [RnsPoly],
-    ) -> Result<()> {
-        self.expect_repr(Representation::Coeff)?;
-        chain.check_poly(self)?;
-        if base < 2 || !base.is_power_of_two() || chain.moduli().iter().any(|q| base >= q.value()) {
-            return Err(Error::InvalidDecompositionBase(base));
-        }
-        let levels = chain.decomposition_levels(base);
-        if digits.len() != levels {
-            return Err(Error::ParameterMismatch);
-        }
-        for d in digits.iter_mut() {
-            chain.check_poly(d)?;
-            d.repr = Representation::Coeff;
-        }
-        let log_base = base.trailing_zeros();
-        let mask = (base - 1) as u128;
-        let l = self.limbs;
-        for j in 0..self.n {
-            let mut rem = self.compose_coeff(chain, j);
-            for digit in digits.iter_mut() {
-                let v = (rem & mask) as u64;
-                for i in 0..l {
-                    digit.data[i * digit.n + j] = v;
-                }
-                rem >>= log_base;
-            }
-            debug_assert_eq!(rem, 0, "coefficient exceeded base^levels");
-        }
-        Ok(())
-    }
-
     /// RNS-native (per-limb `q̂_i`) digit decomposition — the key-switch
     /// decomposition that never leaves limb-local `u64` arithmetic.
     ///
@@ -1033,6 +974,32 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Test-local composed-base digit extraction — the seed-era reference
+    /// the retired `RnsPoly::decompose_into` implemented, replayed through
+    /// the library's [`RnsPoly::compose_coeff`] helper: CRT-compose each
+    /// coefficient and split the `[0, Q)` value into base digits, each
+    /// replicated across every limb plane.
+    fn composed_base_digits(p: &RnsPoly, base: u64, chain: &ModulusChain) -> Vec<RnsPoly> {
+        assert!(base >= 2 && base.is_power_of_two(), "bad reference base");
+        assert_eq!(p.representation(), Representation::Coeff);
+        let levels = chain.decomposition_levels(base);
+        let mut digits = vec![RnsPoly::zero(chain, Representation::Coeff); levels];
+        let log_base = base.trailing_zeros();
+        let mask = (base - 1) as u128;
+        for j in 0..p.degree() {
+            let mut rem = p.compose_coeff(chain, j);
+            for digit in digits.iter_mut() {
+                let v = (rem & mask) as u64;
+                for i in 0..chain.limbs() {
+                    digit.limb_mut(i)[j] = v;
+                }
+                rem >>= log_base;
+            }
+            assert_eq!(rem, 0, "coefficient exceeded base^levels");
+        }
+        digits
+    }
+
     #[test]
     fn decompose_digits_recompose_to_value() {
         let ch = chain(32, &[30, 30]);
@@ -1042,8 +1009,7 @@ mod tests {
         let base = 1u64 << 16;
         let levels = ch.decomposition_levels(base);
         assert_eq!(levels, ch.total_bits().div_ceil(16) as usize);
-        let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
-        a.decompose_into(base, &ch, &mut digits).unwrap();
+        let digits = composed_base_digits(&a, base, &ch);
         // Σ base^d · digit_d must CRT-compose back to the coefficient.
         for j in 0..32 {
             let mut v: u128 = 0;
@@ -1103,9 +1069,8 @@ mod tests {
         let base = 1u64 << 20;
         let levels = ch.decomposition_levels(base);
         assert_eq!(levels, ch.rns_decomposition_levels(base));
-        let mut composed = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
         let mut per_limb = vec![RnsPoly::zero(&ch, Representation::Coeff); levels];
-        a.decompose_into(base, &ch, &mut composed).unwrap();
+        let composed = composed_base_digits(&a, base, &ch);
         a.rns_decompose_into(base, &ch, &mut per_limb).unwrap();
         assert_eq!(composed, per_limb);
     }
@@ -1128,7 +1093,7 @@ mod tests {
         let a = RnsPoly::zero(&ch, Representation::Coeff);
         let mut digits = vec![RnsPoly::zero(&ch, Representation::Coeff); 1];
         assert!(matches!(
-            a.decompose_into(1 << 30, &ch, &mut digits),
+            a.rns_decompose_into(1 << 30, &ch, &mut digits),
             Err(Error::InvalidDecompositionBase(_))
         ));
     }
@@ -1151,12 +1116,14 @@ mod tests {
 
     /// Multi-limb rotation under the RNS-native key switch decrypts to the
     /// same slots as the seed-era composed-base key switch. The old path
-    /// no longer exists in the library surface (the Garner
-    /// `decompose_into` above is test-support only), so it is replayed
-    /// here: composed keys `(−(a·s + e) + A^level·s(x^g), a)` built over
-    /// the full chain, Garner (compose-then-split) digit extraction, and
-    /// the Lane multiply-accumulate. Moved from `tests/rns_equivalence.rs`
-    /// when `decompose_into` left the public API.
+    /// no longer exists anywhere in the library (the Garner
+    /// `RnsPoly::decompose_into` is fully retired), so it is replayed here
+    /// from the [`composed_base_digits`] test helper over
+    /// [`RnsPoly::compose_coeff`]: composed keys
+    /// `(−(a·s + e) + A^level·s(x^g), a)` built over the full chain,
+    /// Garner (compose-then-split) digit extraction, and the Lane
+    /// multiply-accumulate. Moved from `tests/rns_equivalence.rs` when
+    /// `decompose_into` left the public API.
     #[test]
     fn multi_limb_rotate_matches_composed_base_reference() {
         use crate::ciphertext::Ciphertext;
@@ -1223,15 +1190,17 @@ mod tests {
                 }
             }
 
-            // Old Lane datapath: permute, INTT, Garner compose-then-split.
+            // Old Lane datapath: permute, INTT, Garner compose-then-split
+            // (via the test-local composed-base reference — the in-library
+            // Garner `decompose_into` is retired).
             let key = keys.get(g).unwrap();
             let mut ref_c0 = RnsPoly::zero(chain, Representation::Eval);
             ref_c0.permute_from(ct.c0(), key.permutation());
             let mut c1_g = RnsPoly::zero(chain, Representation::Eval);
             c1_g.permute_from(ct.c1(), key.permutation());
             c1_g.to_coeff(chain);
-            let mut digits = vec![RnsPoly::zero(chain, Representation::Coeff); l_cmp];
-            c1_g.decompose_into(a_base, chain, &mut digits).unwrap();
+            let mut digits = composed_base_digits(&c1_g, a_base, chain);
+            assert_eq!(digits.len(), l_cmp);
             let mut ref_c1 = RnsPoly::zero(chain, Representation::Eval);
             for (digit, (k0, k1)) in digits.iter_mut().zip(&pairs) {
                 digit.to_eval(chain);

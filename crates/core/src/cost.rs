@@ -93,8 +93,52 @@ impl HeCostParams {
     /// under-counting multi-limb NTT work by a factor of `l_limbs` (each
     /// digit's forward transform and the `c1` inverse transform touch
     /// every limb plane).
+    ///
+    /// This is the **direct** (non-hoisted) price. A rotation *set* over
+    /// one source ciphertext pays [`HeCostParams::ntts_per_hoist`] once
+    /// and [`HeCostParams::ntts_per_rotate_hoisted`] (zero) per step —
+    /// the split that makes BSGS layers priceable.
     pub fn ntts_per_rotate(&self) -> u64 {
         (self.l_ct as u64 + 1) * self.limbs as u64
+    }
+
+    /// NTT plane transforms in one hoist (`Evaluator::hoist`): the INTT of
+    /// `c1` plus the `l_ct` digit forward transforms — `(l_ct + 1)·l_limbs`,
+    /// identical to one direct rotation's transform bill, paid **once** for
+    /// an entire same-source rotation set.
+    pub fn ntts_per_hoist(&self) -> u64 {
+        (self.l_ct as u64 + 1) * self.limbs as u64
+    }
+
+    /// NTT plane transforms in one hoisted replay
+    /// (`Evaluator::rotate_hoisted_into`): zero — only slot permutations
+    /// and the key-switch inner products remain.
+    pub fn ntts_per_rotate_hoisted(&self) -> u64 {
+        0
+    }
+
+    /// Integer multiplications in one **hoisted** `HE_Rotate` replay:
+    /// the `2·l_ct` key-switch pointwise products (each `n·l_limbs`
+    /// modmuls), no NTTs.
+    pub fn he_rotate_hoisted_mults(&self) -> u64 {
+        2 * self.l_ct as u64 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL
+    }
+
+    /// Integer multiplications in one hoist: pure NTT plane-transform work.
+    pub fn hoist_mults(&self) -> u64 {
+        self.ntts_per_hoist() * self.ntt_mults()
+    }
+
+    /// Rotation-side integer multiplications of a BSGS rotation set with
+    /// `baby` hoisted baby steps and `giant` direct giant steps: one hoist
+    /// (when any baby step rotates), `baby − 1` replays (step 0 is free),
+    /// and `giant − 1` direct rotations (group 0 is unrotated). This is
+    /// what [`crate::linear::BsgsPlan::choose`] minimizes.
+    pub fn bsgs_rotation_mults(&self, baby: usize, giant: usize) -> u64 {
+        let hoist = if baby > 1 { self.hoist_mults() } else { 0 };
+        hoist
+            + (baby as u64).saturating_sub(1) * self.he_rotate_hoisted_mults()
+            + (giant as u64).saturating_sub(1) * self.he_rotate_mults()
     }
 }
 
@@ -234,6 +278,39 @@ mod tests {
         // Deepest level: one live limb.
         let bottom = HeCostParams::for_bfv(&params, params.max_level());
         assert_eq!(bottom.limbs, 1);
+    }
+
+    #[test]
+    fn hoisted_direct_split_prices_bsgs_sets() {
+        let p = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 10,
+            limbs: 2,
+        };
+        // The hoist costs exactly one direct rotation's transform bill;
+        // replays cost its pointwise bill and zero NTTs.
+        assert_eq!(p.ntts_per_hoist(), p.ntts_per_rotate());
+        assert_eq!(p.ntts_per_rotate_hoisted(), 0);
+        assert_eq!(
+            p.hoist_mults() + p.he_rotate_hoisted_mults(),
+            p.he_rotate_mults()
+        );
+        // A √d × √d BSGS set is strictly cheaper than d direct rotations
+        // for any nontrivial d.
+        let d = 64;
+        let direct = (d as u64 - 1) * p.he_rotate_mults();
+        let bsgs = p.bsgs_rotation_mults(8, 8);
+        assert!(bsgs < direct, "BSGS {bsgs} must beat direct {direct}");
+        // Degenerate plans price as their non-BSGS equivalents.
+        assert_eq!(
+            p.bsgs_rotation_mults(1, d),
+            (d as u64 - 1) * p.he_rotate_mults()
+        );
+        assert_eq!(
+            p.bsgs_rotation_mults(d, 1),
+            p.hoist_mults() + (d as u64 - 1) * p.he_rotate_hoisted_mults()
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod schedule;
 pub mod speedup;
 
 pub use cost::{HeCostParams, KernelMults, KernelTally};
+pub use linear::{BsgsPlan, ReducePlan};
 pub use ptune::{DesignPoint, NoiseRegime, TuneSpace};
 pub use quant::QuantSpec;
 pub use schedule::Schedule;

@@ -24,7 +24,9 @@ use cheetah_bfv::{
 };
 use cheetah_nn::{ConvSpec, Tensor};
 
+use crate::cost::HeCostParams;
 use crate::linear::parallel::{default_threads, map_chunks, merge_partial_vecs};
+use crate::linear::{rotate_sum_noise, rotate_sum_reduce, ReducePlan};
 use crate::schedule::Schedule;
 
 /// A prepared homomorphic convolution layer.
@@ -36,6 +38,11 @@ pub struct HomConv2d {
     masks: Vec<Vec<PreparedPlaintext>>,
     /// Per-tap rotation offsets `dy·w + dx`.
     offsets: Vec<i64>,
+    /// How the cross-channel rotate-and-sum reduction runs, chosen from
+    /// the parameter set's hoisted/direct rotation pricing: the doubling
+    /// ladder is a dependent chain (one full rotation per level), the
+    /// BSGS reshape turns it into two hoistable replay sets.
+    reduce_plan: ReducePlan,
 }
 
 impl HomConv2d {
@@ -99,12 +106,19 @@ impl HomConv2d {
             }
             masks.push(per_tap);
         }
+        let reduce_plan = ReducePlan::choose(spec.ci, &HeCostParams::for_bfv(eval.params(), 0));
         Ok(Self {
             spec: spec.clone(),
             schedule,
             masks,
             offsets,
+            reduce_plan,
         })
+    }
+
+    /// The channel-reduction plan in use.
+    pub fn reduce_plan(&self) -> ReducePlan {
+        self.reduce_plan
     }
 
     /// The layer spec.
@@ -139,7 +153,7 @@ impl HomConv2d {
             .unwrap_or(1)
             .max(1);
         // All fw² taps accumulate one schedule-ordered rotate-mul term.
-        let mut acc = crate::linear::accumulated_term_noise(
+        let acc = crate::linear::accumulated_term_noise(
             input,
             params,
             level,
@@ -147,23 +161,9 @@ impl HomConv2d {
             max_norm,
             self.offsets.len(),
         );
-        // Channel reduction: a log ladder doubles-and-rotates for
-        // power-of-two ci, otherwise ci − 1 hoisted rotations of the
-        // partial sum accumulate onto it.
-        let ci = self.spec.ci;
-        if ci.is_power_of_two() {
-            let mut half = ci / 2;
-            while half >= 1 {
-                acc = acc.add(&acc.rotate_at(params, level));
-                half /= 2;
-            }
-        } else {
-            let rotated = acc.rotate_at(params, level);
-            for _ in 1..ci {
-                acc = acc.add(&rotated);
-            }
-        }
-        acc
+        // Channel reduction under the chosen plan: the doubling ladder
+        // compounds, the BSGS reshape is two flat replay sums.
+        rotate_sum_noise(&acc, params, level, self.spec.ci, self.reduce_plan)
     }
 
     /// Rotation steps the evaluation needs (generate Galois keys for
@@ -362,14 +362,16 @@ impl HomConv2d {
             .collect()
     }
 
-    /// One output channel's reduction: the power-of-two ladder is a
-    /// dependent chain and reuses the shared rotation buffer; the general
-    /// case rotates the *same* base ciphertext `ci − 1` times, so its
-    /// decomposition is hoisted once for the whole stride set (into the
-    /// shared digit store).
+    /// One output channel's reduction, under the layer's [`ReducePlan`]:
+    /// the doubling ladder is a dependent chain and reuses the shared
+    /// rotation buffer; a BSGS plan rotates the *same* base (then the same
+    /// inner sum) repeatedly, so each stage's decomposition is hoisted
+    /// once for its whole replay set (into the shared digit store). Every
+    /// plan computes the identical sum, so the decrypted channel is the
+    /// same whichever is chosen.
     fn reduce_channels(
         &self,
-        mut acc: Ciphertext,
+        acc: Ciphertext,
         eval: &Evaluator,
         keys: &GaloisKeys,
         scratch: &mut Scratch,
@@ -377,23 +379,17 @@ impl HomConv2d {
         hoisted: &mut HoistedDecomposition,
     ) -> Result<Ciphertext> {
         let w2 = (self.spec.w * self.spec.w) as i64;
-        let ci = self.spec.ci;
-        if ci.is_power_of_two() {
-            let mut half = ci as i64 / 2;
-            while half >= 1 {
-                eval.rotate_rows_into(rotated, &acc, half * w2, keys, scratch)?;
-                eval.add_assign(&mut acc, rotated)?;
-                half /= 2;
-            }
-        } else {
-            let base = acc.clone();
-            eval.hoist_into(hoisted, &base, scratch)?;
-            for c in 1..ci as i64 {
-                eval.rotate_hoisted_into(rotated, &base, hoisted, c * w2, keys, scratch)?;
-                eval.add_assign(&mut acc, rotated)?;
-            }
-        }
-        Ok(acc)
+        rotate_sum_reduce(
+            acc,
+            w2,
+            self.spec.ci,
+            self.reduce_plan,
+            eval,
+            keys,
+            scratch,
+            rotated,
+            hoisted,
+        )
     }
 
     /// Extracts the output image of channel `o` from a decrypted/decoded
@@ -662,12 +658,23 @@ mod tests {
         // NTT reconciliation against the corrected plane-transform model.
         // Per-rotation the engine would do (l_ct + 1)·limbs transforms;
         // with the tap set hoisted the layer pays exactly one hoist for
-        // all fw² taps plus one non-hoisted rotation per ladder step of
-        // each output channel's power-of-two reduction.
+        // all fw² taps plus, per output channel, the reduce plan's bill:
+        // one full rotation per ladder level, or one hoist per BSGS stage.
         let params = c.eval.params();
         let planes = (params.l_ct() as u64 + 1) * params.limbs() as u64;
-        let ladder = (s.co * s.ci.ilog2() as usize) as u64;
-        assert_eq!(counts.ntt, planes * (1 + ladder), "hoisted NTT structure");
+        let per_channel = match layer.reduce_plan() {
+            crate::linear::ReducePlan::Ladder => s.ci.ilog2() as u64,
+            crate::linear::ReducePlan::Bsgs { s: bs, g } => u64::from(bs > 1) + u64::from(g > 1),
+        };
+        assert_eq!(
+            counts.ntt,
+            planes * (1 + s.co as u64 * per_channel),
+            "hoisted NTT structure under {:?}",
+            layer.reduce_plan()
+        );
+        // The reduce plan must have left the dependent ladder behind for
+        // ci = 4: strictly fewer reduction NTTs than the log2(ci) ladder.
+        assert!(per_channel < s.ci.ilog2() as u64 + 1);
         // The uncorrected per-rotation accounting would have charged every
         // rotation a full decomposition; hoisting must beat it.
         assert!(

@@ -2,8 +2,9 @@
 //! real BFV engine.
 //!
 //! * [`dot_partial_aligned`] (Sched-PA): one multiplication on the *fresh*
-//!   input, then a log-depth rotate-and-sum reduction. Noise
-//!   `≈ ηM·v0 + log(d)·ηA`.
+//!   input, then a rotate-and-sum reduction — the doubling ladder or its
+//!   BSGS reshape, whichever the cost model prices cheaper (every plan
+//!   computes the identical sum). Noise `≈ ηM·v0 + log(d)·ηA`.
 //! * [`dot_input_aligned`] (Sched-IA): rotate the input to align each
 //!   element with slot 0, then multiply — every multiplication sees a
 //!   rotated (noisier) ciphertext. Noise `≈ d·ηM·(v0 + ηA)`.
@@ -11,7 +12,10 @@
 //! Both produce the exact dot product in slot 0; the noise gap is what
 //! Sched-PA converts into cheaper HE parameters.
 
-use cheetah_bfv::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, Result};
+use cheetah_bfv::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, HoistedDecomposition, Result};
+
+use crate::cost::HeCostParams;
+use crate::linear::{rotate_sum_reduce, ReducePlan};
 
 /// Shared scratch buffers for the dot-product loops: one rotation target
 /// plus a per-call [`cheetah_bfv::Scratch`], so the reductions run on the
@@ -30,16 +34,24 @@ impl RotateScratch {
     }
 }
 
-/// Rotation steps [`dot_partial_aligned`] needs for length-`d` inputs.
+/// Rotation steps [`dot_partial_aligned`] may need for length-`d` inputs
+/// when the parameter set is not known yet: `1..d`, a superset of every
+/// reduction plan's steps (ladder strides are the powers of two below
+/// `d`; BSGS baby and giant strides are arbitrary multiples below `d`).
+/// With the parameter set in hand, [`pa_plan_steps`] returns the exact —
+/// `O(log d)` or `O(√d)` — set the chosen plan performs.
 pub fn pa_required_steps(d: usize) -> Vec<i64> {
     assert!(d.is_power_of_two(), "dot length must be a power of two");
-    let mut steps = Vec::new();
-    let mut s = d / 2;
-    while s >= 1 {
-        steps.push(s as i64);
-        s /= 2;
-    }
-    steps
+    (1..d as i64).collect()
+}
+
+/// The exact rotation steps [`dot_partial_aligned`] performs for
+/// length-`d` inputs under `params`: the reduction plan is chosen
+/// deterministically from the parameter set's level-0 cost model, so keys
+/// generated for these steps (and nothing more) always suffice.
+pub fn pa_plan_steps(d: usize, params: &cheetah_bfv::BfvParams) -> Vec<i64> {
+    assert!(d.is_power_of_two(), "dot length must be a power of two");
+    ReducePlan::choose(d, &HeCostParams::for_bfv(params, 0)).steps(d, 1)
 }
 
 /// Rotation steps [`dot_input_aligned`] needs for length-`d` inputs.
@@ -67,17 +79,28 @@ pub fn dot_partial_aligned(
     // One multiplication against the fresh input.
     let w_pt = encoder.encode_signed(weights)?;
     let prepared = eval.prepare_plaintext(&w_pt)?;
-    let mut acc = eval.mul_plain(ct, &prepared)?;
-    // log2(d) rotate-and-add reduction on the scratch path (a dependent
-    // chain: each rotation reads the freshly accumulated ciphertext).
+    let acc = eval.mul_plain(ct, &prepared)?;
+    // Rotate-and-sum reduction on the scratch path, under the plan the
+    // cost model picks for this parameter set: the doubling ladder is a
+    // dependent chain (each rotation reads the fresh accumulator); the
+    // BSGS reshape replaces it with two hoistable same-source replay
+    // sets. Chosen from the level-0 cost so the step set is deterministic
+    // per parameter set ([`pa_plan_steps`]) regardless of the input's
+    // current level.
+    let plan = ReducePlan::choose(d, &HeCostParams::for_bfv(eval.params(), 0));
     let mut rs = RotateScratch::new(eval);
-    let mut s = d / 2;
-    while s >= 1 {
-        eval.rotate_rows_into(&mut rs.rotated, &acc, s as i64, keys, &mut rs.scratch)?;
-        eval.add_assign(&mut acc, &rs.rotated)?;
-        s /= 2;
-    }
-    Ok(acc)
+    let mut hoisted = HoistedDecomposition::empty(eval.params());
+    rotate_sum_reduce(
+        acc,
+        1,
+        d,
+        plan,
+        eval,
+        keys,
+        &mut rs.scratch,
+        &mut rs.rotated,
+        &mut hoisted,
+    )
 }
 
 /// Sched-IA dot product: `rotate the input first, then multiply`
@@ -215,7 +238,95 @@ mod tests {
 
     #[test]
     fn pa_step_helper() {
-        assert_eq!(pa_required_steps(8), vec![4, 2, 1]);
+        // The PA step set is now a plan superset: any ladder stride or
+        // BSGS baby/giant stride the cost model may pick lives in [1, d).
+        assert_eq!(pa_required_steps(8), vec![1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(ia_required_steps(4), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pa_plan_steps_suffice_and_beat_the_superset() {
+        // Keys generated for exactly the plan's steps (no superset) must
+        // carry a full PA dot product — and stay well below the d − 1
+        // superset size.
+        let d = 16usize;
+        let params = cheetah_bfv::BfvParams::builder()
+            .degree(4096)
+            .plain_bits(16)
+            .cipher_bits(60)
+            .a_dcmp(1 << 6)
+            .build()
+            .unwrap();
+        let steps = pa_plan_steps(d, &params);
+        assert!(
+            steps.len() < d - 1,
+            "plan steps {steps:?} should undercut the 1..d superset"
+        );
+        let mut kg = cheetah_bfv::KeyGenerator::from_seed(params.clone(), 61);
+        let pk = kg.public_key().unwrap();
+        let keys = kg.galois_keys_for_steps(&steps).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = cheetah_bfv::Encryptor::from_public_key(pk, 62);
+        let dec = cheetah_bfv::Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(params);
+
+        let x: Vec<i64> = (0..d as i64).map(|i| i - 5).collect();
+        let w: Vec<i64> = (0..d as i64).map(|i| 2 * i - 3).collect();
+        let ct = enc.encrypt(&encoder.encode_signed(&x).unwrap()).unwrap();
+        let out = dot_partial_aligned(&ct, &w, &encoder, &eval, &keys).unwrap();
+        let slots = encoder.decode_signed(&dec.decrypt_checked(&out).unwrap());
+        let expect: i64 = x.iter().zip(&w).map(|(&a, &b)| a * b).sum();
+        assert_eq!(slots[0], expect);
+    }
+
+    #[test]
+    fn pa_reduction_plans_agree_with_ladder() {
+        // The BSGS reshape of the rotate-and-sum must produce the exact
+        // ladder result in every slot, not just slot 0.
+        let d = 16;
+        let mut c = ctx(d);
+        let x: Vec<i64> = (0..d as i64).map(|i| 3 * i - 11).collect();
+        let w: Vec<i64> = (0..d as i64).map(|i| i - 4).collect();
+        let ct = c
+            .enc
+            .encrypt(&c.encoder.encode_signed(&x).unwrap())
+            .unwrap();
+        let prepared = c
+            .eval
+            .prepare_plaintext(&c.encoder.encode_signed(&w).unwrap())
+            .unwrap();
+        let prod = c.eval.mul_plain(&ct, &prepared).unwrap();
+
+        let mut results = Vec::new();
+        for plan in [
+            ReducePlan::Ladder,
+            ReducePlan::Bsgs { s: 4, g: 4 },
+            ReducePlan::Bsgs { s: 16, g: 1 },
+            ReducePlan::Bsgs { s: 2, g: 8 },
+        ] {
+            let mut rs = RotateScratch::new(&c.eval);
+            let mut hoisted = HoistedDecomposition::empty(c.eval.params());
+            let out = rotate_sum_reduce(
+                prod.clone(),
+                1,
+                d,
+                plan,
+                &c.eval,
+                &c.keys,
+                &mut rs.scratch,
+                &mut rs.rotated,
+                &mut hoisted,
+            )
+            .unwrap();
+            results.push(
+                c.encoder
+                    .decode_signed(&c.dec.decrypt_checked(&out).unwrap()),
+            );
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "reduction plans diverged");
+        }
+        let expect: i64 = x.iter().zip(&w).map(|(&a, &b)| a * b).sum();
+        assert_eq!(results[0][0], expect);
     }
 }

@@ -1,5 +1,6 @@
 //! Homomorphic fully connected layers via the diagonal method, under
-//! either schedule.
+//! either schedule — reshaped into Baby-Step-Giant-Step rotation sets when
+//! the cost model says the split wins.
 //!
 //! The weight matrix `W (n_o × n_i)` is split into `n_i` generalized
 //! diagonals `diag_k[j] = W[j mod n_o][(j+k) mod n_i]`; then
@@ -8,30 +9,70 @@
 //! replicated across the slots. The input is packed twice
 //! (`x ‖ x`) so plain row rotations realize rotations mod `n_i`.
 //!
+//! # The BSGS reshape
+//!
+//! Writing `k = u·b + v` (`v < b` baby, `u < g` giant, `b·g ≥ n_i`):
+//!
+//! ```text
+//! y = Σ_u rot( Σ_v rot(x, v) ⊙ rot⁻ᵘᵇ(diag_{ub+v}), u·b )
+//! ```
+//!
+//! The `b − 1` baby rotations all read the *input*, so one hoist
+//! ([`Evaluator::hoist_into`]) covers the whole set; the giant-step
+//! pre-rotation of each diagonal happens on the plaintext mask at
+//! preparation time (free); only the `g − 1` giant rotations of the group
+//! inner sums pay full NTT bills. Rotation plane transforms drop from
+//! `O(d·l_ct)` (one full rotation per diagonal) to `O(√d·l_ct)` (one hoist
+//! plus `g − 1 ≈ √d` rotations). The plan is chosen per layer from
+//! [`HeCostParams`]; tiny layers keep the plain diagonal path.
+//!
 //! Sched-IA rotates `x` then multiplies; Sched-PA multiplies the fresh `x`
 //! by pre-shifted diagonals and rotates the partial products (Fig. 5).
+//! The BSGS path subsumes both: `b = d` is hoisted Sched-IA, `b = 1` is
+//! Sched-PA; its decrypted output is identical to either in every slot.
 //!
 //! Constraints: `n_i` a power of two, `n_o ≤ n_i`, `2·n_i ≤ n/2`.
 
 use cheetah_bfv::{
-    BatchEncoder, Ciphertext, Error, Evaluator, GaloisKeys, Plaintext, PreparedPlaintext, Result,
+    BatchEncoder, Ciphertext, Error, Evaluator, GaloisKeys, HoistedDecomposition, Plaintext,
+    PreparedPlaintext, Result,
 };
 use cheetah_nn::{FcSpec, Tensor};
 
+use crate::cost::HeCostParams;
 use crate::linear::parallel::{default_threads, map_chunks, merge_partials};
+use crate::linear::BsgsPlan;
 use crate::schedule::Schedule;
+
+/// The prepared weight material: either the legacy per-step diagonals or
+/// the BSGS group layout with giant-step pre-rotated masks.
+#[derive(Debug)]
+enum FcKernel {
+    /// Legacy diagonal method: `diagonals[k]` multiplies rotation step `k`
+    /// in schedule order.
+    Diagonal(Vec<PreparedPlaintext>),
+    /// BSGS: `groups[u][v]` multiplies baby rotation `v` inside giant
+    /// group `u` (diagonal `k = u·b + v`; the last group may be short when
+    /// `b·g > d`).
+    Bsgs {
+        plan: BsgsPlan,
+        groups: Vec<Vec<PreparedPlaintext>>,
+    },
+}
 
 /// A prepared homomorphic FC layer.
 #[derive(Debug)]
 pub struct HomFc {
     spec: FcSpec,
     schedule: Schedule,
-    /// Prepared diagonal plaintexts, index = rotation step `k`.
-    diagonals: Vec<PreparedPlaintext>,
+    kernel: FcKernel,
 }
 
 impl HomFc {
-    /// Prepares the layer (encodes and NTT-transforms every diagonal).
+    /// Prepares the layer (encodes and NTT-transforms every diagonal),
+    /// choosing the rotation plan from the parameter set's cost model:
+    /// a [`BsgsPlan`] where the hoisted split beats the diagonal path,
+    /// the plain diagonal method otherwise (tiny `n_i`).
     ///
     /// `weights` has shape `(no, ni)`.
     ///
@@ -50,6 +91,30 @@ impl HomFc {
         eval: &Evaluator,
         schedule: Schedule,
     ) -> Result<Self> {
+        let plan = BsgsPlan::choose(spec.ni, &HeCostParams::for_bfv(eval.params(), 0));
+        Self::with_plan(spec, weights, encoder, eval, schedule, plan)
+    }
+
+    /// [`HomFc::new`] with an explicit rotation plan: `Some(plan)` forces
+    /// the BSGS split (`plan.b·plan.g ≥ n_i`; padded tail diagonals are
+    /// skipped), `None` forces the legacy schedule-ordered diagonal path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyValues`] when `2·n_i` exceeds the row size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`HomFc::new`] conditions, or when a forced plan does
+    /// not cover every diagonal (`b·g < n_i`) or has a zero dimension.
+    pub fn with_plan(
+        spec: &FcSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+        plan: Option<BsgsPlan>,
+    ) -> Result<Self> {
         assert!(spec.ni.is_power_of_two(), "n_i must be a power of two");
         assert!(spec.no <= spec.ni, "n_o must not exceed n_i");
         assert_eq!(
@@ -64,31 +129,71 @@ impl HomFc {
             });
         }
         let slots = encoder.slots();
-        let mut diagonals = Vec::with_capacity(spec.ni);
-        for k in 0..spec.ni {
-            let mut mask = vec![0i64; slots];
-            match schedule {
-                Schedule::InputAligned => {
-                    // Aligned to post-rotation positions j in [0, ni).
-                    for (j, slot) in mask.iter_mut().enumerate().take(spec.ni) {
-                        *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+        let kernel = match plan {
+            None => {
+                let mut diagonals = Vec::with_capacity(spec.ni);
+                for k in 0..spec.ni {
+                    let mut mask = vec![0i64; slots];
+                    match schedule {
+                        Schedule::InputAligned => {
+                            // Aligned to post-rotation positions j in [0, ni).
+                            for (j, slot) in mask.iter_mut().enumerate().take(spec.ni) {
+                                *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+                            }
+                        }
+                        Schedule::PartialAligned => {
+                            // Aligned to pre-rotation positions m in [k, ni + k):
+                            // after rotating left by k, position j reads m = j + k.
+                            for (j, slot) in mask[k..spec.ni + k].iter_mut().enumerate() {
+                                *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
+                            }
+                        }
                     }
+                    let pt = encoder.encode_signed(&mask)?;
+                    diagonals.push(eval.prepare_plaintext(&pt)?);
                 }
-                Schedule::PartialAligned => {
-                    // Aligned to pre-rotation positions m in [k, ni + k):
-                    // after rotating left by k, position j reads m = j + k.
-                    for (j, slot) in mask[k..spec.ni + k].iter_mut().enumerate() {
-                        *slot = weights.data()[(j % spec.no) * spec.ni + (j + k) % spec.ni];
-                    }
-                }
+                FcKernel::Diagonal(diagonals)
             }
-            let pt = encoder.encode_signed(&mask)?;
-            diagonals.push(eval.prepare_plaintext(&pt)?);
-        }
+            Some(plan) => {
+                assert!(plan.b >= 1 && plan.g >= 1, "degenerate BSGS plan");
+                assert!(
+                    plan.b * plan.g >= spec.ni,
+                    "plan ({}, {}) does not cover {} diagonals",
+                    plan.b,
+                    plan.g,
+                    spec.ni
+                );
+                let mut groups = Vec::with_capacity(plan.g);
+                for u in 0..plan.g {
+                    let shift = u * plan.b;
+                    if shift >= spec.ni {
+                        break; // fully padded trailing group
+                    }
+                    let width = plan.b.min(spec.ni - shift);
+                    let mut per_group = Vec::with_capacity(width);
+                    for v in 0..width {
+                        // Diagonal k = u·b + v, pre-rotated right by the
+                        // giant step: support [shift, shift + ni), aligned
+                        // so that after the giant rotation by `shift` the
+                        // output position j reads weight row j mod no and
+                        // the baby-rotated input slot (p + v) mod ni.
+                        let mut mask = vec![0i64; slots];
+                        for (off, slot) in mask[shift..shift + spec.ni].iter_mut().enumerate() {
+                            *slot = weights.data()
+                                [(off % spec.no) * spec.ni + (off + shift + v) % spec.ni];
+                        }
+                        let pt = encoder.encode_signed(&mask)?;
+                        per_group.push(eval.prepare_plaintext(&pt)?);
+                    }
+                    groups.push(per_group);
+                }
+                FcKernel::Bsgs { plan, groups }
+            }
+        };
         Ok(Self {
             spec: spec.clone(),
             schedule,
-            diagonals,
+            kernel,
         })
     }
 
@@ -97,36 +202,76 @@ impl HomFc {
         &self.spec
     }
 
+    /// The BSGS plan in use, or `None` on the legacy diagonal path.
+    pub fn plan(&self) -> Option<BsgsPlan> {
+        match &self.kernel {
+            FcKernel::Diagonal(_) => None,
+            FcKernel::Bsgs { plan, .. } => Some(*plan),
+        }
+    }
+
+    /// Worst prepared-mask infinity norm (drives the noise model).
+    fn max_norm(&self) -> u64 {
+        let it: Box<dyn Iterator<Item = &PreparedPlaintext>> = match &self.kernel {
+            FcKernel::Diagonal(d) => Box::new(d.iter()),
+            FcKernel::Bsgs { groups, .. } => Box::new(groups.iter().flatten()),
+        };
+        it.map(PreparedPlaintext::inf_norm)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// Conservative Table-III prediction of the layer's output noise at
-    /// `level` (see `HomConv2d::noise_after`): `n_i` diagonal terms, each
-    /// charged the worst diagonal norm and one rotation in schedule order.
-    /// Upper-bounds the engine-tracked estimate of [`HomFc::apply`].
+    /// `level` (see `HomConv2d::noise_after`). On the diagonal path: `n_i`
+    /// terms, each charged the worst diagonal norm and one rotation in
+    /// schedule order. On the BSGS path:
+    /// [`cheetah_bfv::NoiseEstimate::bsgs_matvec_at`] — `g` groups of `b`
+    /// rotate-mul inner terms plus one giant rotation each, **not** `n_i`
+    /// sequential rotate-adds. Upper-bounds the engine-tracked estimate of
+    /// [`HomFc::apply`].
     pub fn noise_after(
         &self,
         input: &cheetah_bfv::NoiseEstimate,
         params: &cheetah_bfv::BfvParams,
         level: usize,
     ) -> cheetah_bfv::NoiseEstimate {
-        let max_norm = self
-            .diagonals
-            .iter()
-            .map(PreparedPlaintext::inf_norm)
-            .max()
-            .unwrap_or(1)
-            .max(1);
-        crate::linear::accumulated_term_noise(
-            input,
-            params,
-            level,
-            self.schedule,
-            max_norm,
-            self.diagonals.len(),
-        )
+        let max_norm = self.max_norm();
+        match &self.kernel {
+            FcKernel::Diagonal(diagonals) => crate::linear::accumulated_term_noise(
+                input,
+                params,
+                level,
+                self.schedule,
+                max_norm,
+                diagonals.len(),
+            ),
+            FcKernel::Bsgs { plan, .. } => {
+                input.bsgs_matvec_at(params, level, plan.b, plan.g, 2 * max_norm)
+            }
+        }
     }
 
-    /// Rotation steps the evaluation needs: `1..n_i`.
+    /// Rotation steps the evaluation may need: `1..n_i`. A superset of
+    /// every plan's steps (baby steps `1..b` and giant steps `u·b` are all
+    /// below `n_i`); use [`HomFc::rotation_steps`] on a prepared layer for
+    /// the exact plan-specific set.
     pub fn required_steps(spec: &FcSpec) -> Vec<i64> {
         (1..spec.ni as i64).collect()
+    }
+
+    /// The exact rotation steps this prepared layer performs: every
+    /// nonzero diagonal step on the legacy path, baby steps `1..b` plus
+    /// giant steps `b, 2b, …` under a BSGS plan.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        match &self.kernel {
+            FcKernel::Diagonal(diagonals) => (1..diagonals.len() as i64).collect(),
+            FcKernel::Bsgs { plan, groups } => {
+                let mut steps: Vec<i64> = (1..plan.b as i64).collect();
+                steps.extend((1..groups.len() as i64).map(|u| u * plan.b as i64));
+                steps
+            }
+        }
     }
 
     /// Packs an input vector replicated twice (`x ‖ x`) so row rotations
@@ -169,8 +314,9 @@ impl HomFc {
     }
 
     /// [`HomFc::apply`] with an explicit worker-thread count
-    /// (`threads <= 1` runs fully inline). The diagonal index range is
-    /// split into contiguous chunks, one scratch-owning worker per chunk;
+    /// (`threads <= 1` runs fully inline). The work range — diagonal steps
+    /// on the legacy path, giant-step groups under a BSGS plan — is split
+    /// into contiguous chunks, one scratch-owning worker per chunk;
     /// per-chunk partial sums merge in chunk order, so residues — and the
     /// decrypted output — are identical for every thread count.
     ///
@@ -187,16 +333,34 @@ impl HomFc {
         // The scratch-reuse hot path copies the input into evaluator-owned
         // buffers, so foreign ciphertexts must be rejected up front.
         eval.params().check_same(input.params())?;
+        match &self.kernel {
+            FcKernel::Diagonal(diagonals) => {
+                self.apply_diagonal(diagonals, input, eval, keys, threads)
+            }
+            FcKernel::Bsgs { plan, groups } => {
+                self.apply_bsgs(*plan, groups, input, eval, keys, threads)
+            }
+        }
+    }
+
+    fn apply_diagonal(
+        &self,
+        diagonals: &[PreparedPlaintext],
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Ciphertext> {
         let level = input.level();
         // Accumulators follow the input's level: a modulus-switched input
         // runs the whole layer over its live limbs only.
-        let partials = map_chunks(self.diagonals.len(), threads, |range| {
+        let partials = map_chunks(diagonals.len(), threads, |range| {
             let mut scratch = eval.new_scratch();
             let mut acc = Ciphertext::transparent_zero_at(eval.params(), level);
             let mut tmp = Ciphertext::transparent_zero_at(eval.params(), level);
             match self.schedule {
                 Schedule::InputAligned => {
-                    for (k, diag) in range.clone().zip(&self.diagonals[range]) {
+                    for (k, diag) in range.clone().zip(&diagonals[range]) {
                         // Rotate the input into alignment, then fuse the
                         // multiply into the accumulator.
                         eval.rotate_rows_into(&mut tmp, input, k as i64, keys, &mut scratch)?;
@@ -205,7 +369,7 @@ impl HomFc {
                 }
                 Schedule::PartialAligned => {
                     let mut prod = Ciphertext::transparent_zero_at(eval.params(), level);
-                    for (k, diag) in range.clone().zip(&self.diagonals[range]) {
+                    for (k, diag) in range.clone().zip(&diagonals[range]) {
                         // Multiply the *fresh* input, then rotate the
                         // partial product into alignment.
                         prod.copy_from(input);
@@ -215,6 +379,73 @@ impl HomFc {
                     }
                 }
             }
+            Ok(acc)
+        })?;
+        merge_partials(partials, eval)
+    }
+
+    /// The BSGS evaluation: hoist the input once, replay the `b − 1` baby
+    /// rotations into a shared read-only set, then fan the giant-step
+    /// groups across workers — each group fuses its inner sum from the
+    /// baby set and pays exactly one direct rotation.
+    fn apply_bsgs(
+        &self,
+        plan: BsgsPlan,
+        groups: &[Vec<PreparedPlaintext>],
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Ciphertext> {
+        let level = input.level();
+        // Baby set: babies[v] = rot(input, v). One hoist serves the whole
+        // set; the step-0 replay degenerates to a copy of the input.
+        let mut scratch = eval.new_scratch();
+        let mut babies: Vec<Ciphertext> = Vec::new();
+        if plan.b > 1 {
+            let steps: Vec<i64> = (0..plan.b as i64).collect();
+            let mut hoisted = HoistedDecomposition::empty(eval.params());
+            eval.rotate_set_hoisted_into(
+                &mut babies,
+                input,
+                &steps,
+                keys,
+                &mut hoisted,
+                &mut scratch,
+            )?;
+        } else {
+            babies.push(input.clone());
+        }
+        let babies = &babies;
+        let partials = map_chunks(groups.len(), threads, |range| {
+            let mut scratch = eval.new_scratch();
+            let mut acc = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut rotated = scratch.take_ct(eval.params(), level);
+            for (u, masks) in range.clone().zip(&groups[range]) {
+                // Group accumulator leased (zeroed) from the per-level
+                // pool and returned after its sum folds into the partial,
+                // so every group past the first recycles the same buffer.
+                // (An early error drops the worker-local pool wholesale,
+                // so the lease needs no cleanup on that path.)
+                let mut inner = scratch.take_ct(eval.params(), level);
+                for (baby, mask) in babies.iter().zip(masks) {
+                    eval.mul_plain_accumulate(&mut inner, baby, mask)?;
+                }
+                if u == 0 {
+                    eval.add_assign(&mut acc, &inner)?;
+                } else {
+                    eval.rotate_rows_into(
+                        &mut rotated,
+                        &inner,
+                        (u * plan.b) as i64,
+                        keys,
+                        &mut scratch,
+                    )?;
+                    eval.add_assign(&mut acc, &rotated)?;
+                }
+                scratch.put_ct(inner);
+            }
+            scratch.put_ct(rotated);
             Ok(acc)
         })?;
         merge_partials(partials, eval)
@@ -323,6 +554,112 @@ mod tests {
     }
 
     #[test]
+    fn bsgs_plan_is_chosen_and_reduces_rotation_ntts() {
+        // d = 32 diagonals: the auto-chosen plan must split, perform
+        // b + g − 2 rotations, and pay NTT planes for one hoist plus the
+        // g − 1 giant steps only — the O(√d) plane-transform headline,
+        // pinned against OpCounts.
+        let s = spec(32, 8);
+        let mut c = ctx(&s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let weights = Tensor::from_data(
+            &[s.no, s.ni],
+            (0..s.no * s.ni).map(|_| rng.random_range(-5..=5)).collect(),
+        );
+        let input = Tensor::from_data(&[s.ni], (0..s.ni as i64).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+
+        let bsgs = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned).unwrap();
+        let plan = bsgs.plan().expect("d = 32 must pick a BSGS plan");
+        assert!(plan.b > 1 && plan.g > 1, "√d split expected, got {plan:?}");
+
+        let params = c.eval.params();
+        let planes = (params.l_ct() as u64 + 1) * params.limbs() as u64;
+        c.eval.reset_op_counts();
+        let out = bsgs.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let counts = c.eval.op_counts();
+        assert_eq!(counts.rotate as usize, plan.rotations());
+        assert_eq!(
+            counts.ntt,
+            planes * plan.g as u64,
+            "one hoist + (g−1) giant rotations worth of plane transforms"
+        );
+
+        // The legacy diagonal path pays a full rotation per diagonal.
+        let diag = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::InputAligned,
+            None,
+        )
+        .unwrap();
+        c.eval.reset_op_counts();
+        let out_diag = diag.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let diag_counts = c.eval.op_counts();
+        assert_eq!(diag_counts.ntt, planes * (s.ni as u64 - 1));
+        assert!(counts.ntt < diag_counts.ntt / 4, "BSGS must slash NTT work");
+
+        // And both decrypt to identical slots.
+        let a = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&out).unwrap());
+        let b = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&out_diag).unwrap());
+        assert_eq!(a, b, "BSGS and diagonal outputs diverged");
+    }
+
+    #[test]
+    fn forced_padding_plan_matches_diagonal_path() {
+        // b·g = 15 > d = 8: the padded tail group is skipped; output must
+        // still match the legacy path slot for slot.
+        let s = spec(8, 4);
+        let mut c = ctx(&s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let weights = Tensor::from_data(
+            &[s.no, s.ni],
+            (0..s.no * s.ni).map(|_| rng.random_range(-5..=5)).collect(),
+        );
+        let input = Tensor::from_data(&[s.ni], (0..s.ni as i64).map(|i| i - 3).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        let forced = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::PartialAligned,
+            Some(BsgsPlan { b: 3, g: 5 }),
+        )
+        .unwrap();
+        let legacy = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::PartialAligned,
+            None,
+        )
+        .unwrap();
+        let a = forced.apply(&ct, &c.eval, &c.keys).unwrap();
+        let b = legacy.apply(&ct, &c.eval, &c.keys).unwrap();
+        assert_eq!(
+            c.encoder.decode_signed(&c.dec.decrypt_checked(&a).unwrap()),
+            c.encoder.decode_signed(&c.dec.decrypt_checked(&b).unwrap())
+        );
+        // The padded plan performs (b−1) + (groups−1) rotations with
+        // groups = ceil(d/b) = 3 live groups.
+        assert_eq!(forced.rotation_steps(), vec![1, 2, 3, 6]);
+    }
+
+    #[test]
     fn pa_noise_budget_at_least_ia() {
         let s = spec(32, 8);
         let mut c = ctx(&s);
@@ -336,14 +673,28 @@ mod tests {
             .enc
             .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
             .unwrap();
-        let pa = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned)
-            .unwrap()
-            .apply(&ct, &c.eval, &c.keys)
-            .unwrap();
-        let ia = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::InputAligned)
-            .unwrap()
-            .apply(&ct, &c.eval, &c.keys)
-            .unwrap();
+        let pa = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::PartialAligned,
+            None,
+        )
+        .unwrap()
+        .apply(&ct, &c.eval, &c.keys)
+        .unwrap();
+        let ia = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::InputAligned,
+            None,
+        )
+        .unwrap()
+        .apply(&ct, &c.eval, &c.keys)
+        .unwrap();
         let pa_budget = c.dec.invariant_noise_budget(&pa).unwrap();
         let ia_budget = c.dec.invariant_noise_budget(&ia).unwrap();
         assert!(

@@ -163,11 +163,20 @@ fn op_counts_exact_across_threads() {
     // Rotations, multiplications, NTTs, and pointwise products are
     // structural (independent of chunking); only the merge adds differ by
     // the number of extra partial-sum folds (chunks - 1 extra HE_Adds).
+    // The parallel work range is the layer's plan: giant-step groups under
+    // BSGS, diagonal steps on the legacy path.
     assert_eq!(serial.rotate, parallel.rotate);
     assert_eq!(serial.mul, parallel.mul);
     assert_eq!(serial.ntt, parallel.ntt);
     assert_eq!(serial.poly_mul, parallel.poly_mul);
-    assert_eq!(parallel.add - serial.add, 3, "4 chunks -> 3 merge adds");
+    let work_items = layer.plan().map_or(spec.ni, |p| p.g);
+    let chunks = 4.min(work_items) as u64;
+    assert_eq!(
+        parallel.add - serial.add,
+        chunks - 1,
+        "{chunks} chunks -> {} merge adds",
+        chunks - 1
+    );
 }
 
 /// Foreign-parameter inputs must be rejected before the copy-based hot

@@ -29,6 +29,13 @@ pub struct KernelTimes {
     pub rotate_excl_ntt_s: f64,
     /// One full `HE_Rotate` including NTTs.
     pub rotate_total_s: f64,
+    /// One hoist (`Evaluator::hoist_into`): the INTT + decompose + digit
+    /// NTT precomputation a same-source rotation set shares.
+    pub hoist_s: f64,
+    /// One hoisted rotation replay (`Evaluator::rotate_hoisted_into`):
+    /// permutations + key-switch inner products, zero NTTs — the marginal
+    /// cost of each extra baby step in a BSGS layer.
+    pub rotate_hoisted_s: f64,
     /// Per-operation bookkeeping overhead (allocation/copy) — the "Other"
     /// sliver of Fig. 7.
     pub other_s: f64,
@@ -150,6 +157,23 @@ fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
         let _ = b.eval.rotate_rows(&b.ct, 1, &b.keys).expect("rotate");
     });
 
+    // Hoisted-rotation split: the one-time hoist and the per-step replay —
+    // what BSGS layers (b − 1 replays + g − 1 direct rotations) are priced
+    // from.
+    let mut scratch = b.eval.new_scratch();
+    let mut hoisted = cheetah_bfv::HoistedDecomposition::empty(&b.params);
+    let hoist_s = time_loop(reps, || {
+        b.eval
+            .hoist_into(&mut hoisted, &b.ct, &mut scratch)
+            .expect("hoist");
+    });
+    let mut replay_out = Ciphertext::transparent_zero(&b.params);
+    let rotate_hoisted_s = time_loop(reps, || {
+        b.eval
+            .rotate_hoisted_into(&mut replay_out, &b.ct, &hoisted, 1, &b.keys, &mut scratch)
+            .expect("hoisted replay");
+    });
+
     // Attribute the rotate's internal NTT plane transforms to the NTT
     // bucket (Fig. 7), via the shared per-level cost model (kernel timing
     // runs at level 0; leveled circuits scale by the live counts).
@@ -167,6 +191,8 @@ fn measure_kernels(cfg: KernelConfig, reps: u32) -> KernelTimes {
         add_s,
         rotate_excl_ntt_s,
         rotate_total_s,
+        hoist_s,
+        rotate_hoisted_s,
         other_s,
     }
 }
@@ -197,6 +223,15 @@ mod tests {
             t.mult_s
         );
         assert!(t.rotate_excl_ntt_s < t.rotate_total_s);
+        // A hoisted replay skips every NTT: it must be measurably cheaper
+        // than a full rotation (the BSGS pricing premise).
+        assert!(
+            t.rotate_hoisted_s < t.rotate_total_s,
+            "replay {:.2e} vs rotate {:.2e}",
+            t.rotate_hoisted_s,
+            t.rotate_total_s
+        );
+        assert!(t.hoist_s > 0.0);
     }
 
     #[test]

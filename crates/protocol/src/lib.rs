@@ -14,5 +14,5 @@
 pub mod session;
 pub mod transcript;
 
-pub use session::PrivateInferenceSession;
+pub use session::{LayerReport, PrivateInferenceSession};
 pub use transcript::{Direction, Transcript};

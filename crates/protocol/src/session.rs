@@ -46,6 +46,29 @@ enum HomLayer {
 }
 
 impl HomLayer {
+    /// Rotation steps this prepared layer needs Galois keys for. Conv
+    /// layers use the static tap/stride superset (it already covers every
+    /// reduce plan); FC layers report their exact BSGS (or diagonal) plan
+    /// steps, so a BSGS session generates `O(√d)` keys per FC layer
+    /// instead of `d − 1`.
+    fn rotation_steps(&self) -> Vec<i64> {
+        match self {
+            HomLayer::Conv(c) => HomConv2d::required_steps(c.spec()),
+            HomLayer::Fc(f) => f.rotation_steps(),
+        }
+    }
+
+    /// Human-readable rotation-plan label for transcripts and reports.
+    fn plan_label(&self) -> String {
+        match self {
+            HomLayer::Conv(c) => format!("conv reduce {:?}", c.reduce_plan()),
+            HomLayer::Fc(f) => match f.plan() {
+                Some(p) => format!("fc bsgs b={} g={}", p.b, p.g),
+                None => "fc diag".to_string(),
+            },
+        }
+    }
+
     /// Table-III prediction of the layer's output noise at a level
     /// (conservative; upper-bounds the engine-tracked estimate).
     fn noise_after(
@@ -63,9 +86,14 @@ impl HomLayer {
     /// The deepest level this layer can run at for an input with the
     /// given noise estimate: walks the modulus-switch transitions down
     /// the chain and keeps the deepest level whose *predicted output*
-    /// still clears the planning margin. Returns 0 (full chain) when no
-    /// switch is safe — dropping limbs is purely an optimization, never a
-    /// correctness requirement.
+    /// still clears the planning margin under the **statistical** (IBDG)
+    /// budget — the §IV-B provisioning rule HE-PTune uses (failure
+    /// probability below 1e-10). The worst-case bound would pin BSGS FC
+    /// layers at full level: their baby steps are rotate-then-multiply, so
+    /// the Table-III bound pays the key-switch additive inside the
+    /// multiplication even though the measured noise sits far below it.
+    /// Returns 0 (full chain) when no switch is safe — dropping limbs is
+    /// purely an optimization, never a correctness requirement.
     fn plan_level(&self, input: &NoiseEstimate, params: &BfvParams) -> usize {
         let mut best = 0;
         let mut est = *input;
@@ -74,7 +102,7 @@ impl HomLayer {
                 est = est.mod_switch(params, level - 1);
             }
             let out = self.noise_after(&est, params, level);
-            if out.budget_bits_worst_at(params, level) >= LEVEL_PLAN_MARGIN_BITS {
+            if out.budget_bits_statistical_at(params, level) >= LEVEL_PLAN_MARGIN_BITS {
                 best = level;
             }
         }
@@ -139,6 +167,33 @@ impl HomLayer {
     }
 }
 
+/// Per-linear-layer record of the last [`PrivateInferenceSession::run`]:
+/// the rotation plan, the level the layer ran at, and the three noise
+/// views that must nest — `measured ≤ tracked ≤ predicted` — for the
+/// whole-protocol conformance pin.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Linear-layer index.
+    pub layer: usize,
+    /// Rotation-plan label (`fc bsgs b=.. g=..`, `fc diag`,
+    /// `conv reduce ..`).
+    pub plan: String,
+    /// Level the layer ran (and shipped) at.
+    pub level: usize,
+    /// The planning model's output bound
+    /// (`noise_after` of the switched input), log2.
+    pub predicted_bound_log2: f64,
+    /// Worst engine-tracked noise bound across the layer's output
+    /// ciphertexts (before masking), log2.
+    pub tracked_bound_log2: f64,
+    /// Worst *measured* invariant noise across the layer's output
+    /// ciphertexts (before masking), log2. `None` unless
+    /// [`PrivateInferenceSession::enable_noise_measurement`] was called —
+    /// measuring costs one true decryption per output ciphertext, which
+    /// does not belong on the production inference path.
+    pub measured_noise_log2: Option<f64>,
+}
+
 /// End-to-end private inference for a small sequential network.
 ///
 /// # Examples
@@ -160,6 +215,11 @@ pub struct PrivateInferenceSession {
     scratch: Scratch,
     /// Setup bytes (keys), recorded once.
     setup_bytes: usize,
+    /// Per-layer plan/noise records of the last [`PrivateInferenceSession::run`].
+    layer_reports: Vec<LayerReport>,
+    /// Whether runs measure true invariant noise for the reports
+    /// (conformance instrumentation; off by default).
+    measure_noise: bool,
 }
 
 impl PrivateInferenceSession {
@@ -186,15 +246,15 @@ impl PrivateInferenceSession {
         let encoder = BatchEncoder::new(params.clone());
         let evaluator = Evaluator::new(params.clone());
 
-        // Collect every rotation step any layer needs.
-        let mut steps = Vec::new();
+        // Prepare every linear layer, then collect exactly the rotation
+        // steps the prepared layers' plans need (a BSGS FC layer needs
+        // O(√d) keys, not d − 1).
         let mut hom_layers = Vec::new();
         let mut linear_idx = 0usize;
         for layer in &net.layers {
             if let Layer::Linear(lin) = layer {
                 match lin {
                     LinearLayer::Conv(c) => {
-                        steps.extend(HomConv2d::required_steps(c));
                         hom_layers.push(HomLayer::Conv(HomConv2d::new(
                             c,
                             weights.layer(linear_idx),
@@ -204,7 +264,6 @@ impl PrivateInferenceSession {
                         )?));
                     }
                     LinearLayer::Fc(f) => {
-                        steps.extend(HomFc::required_steps(f));
                         hom_layers.push(HomLayer::Fc(HomFc::new(
                             f,
                             weights.layer(linear_idx),
@@ -217,6 +276,10 @@ impl PrivateInferenceSession {
                 linear_idx += 1;
             }
         }
+        let mut steps: Vec<i64> = hom_layers
+            .iter()
+            .flat_map(HomLayer::rotation_steps)
+            .collect();
         steps.sort_unstable();
         steps.dedup();
         let keys = keygen.galois_keys_for_steps(&steps)?;
@@ -236,7 +299,26 @@ impl PrivateInferenceSession {
             scratch,
             params,
             setup_bytes,
+            layer_reports: Vec::new(),
+            measure_noise: false,
         })
+    }
+
+    /// Per-layer plan and noise records of the most recent
+    /// [`PrivateInferenceSession::run`] (empty before the first run). The
+    /// conformance suite asserts `measured ≤ tracked ≤ predicted` for
+    /// every layer.
+    pub fn layer_reports(&self) -> &[LayerReport] {
+        &self.layer_reports
+    }
+
+    /// Makes subsequent runs measure each layer's true invariant noise
+    /// into [`LayerReport::measured_noise_log2`]. This is conformance
+    /// instrumentation — the session plays both protocol parties, so it
+    /// *can* decrypt pre-mask outputs — and it costs one real decryption
+    /// per output ciphertext per layer, so it stays off by default.
+    pub fn enable_noise_measurement(&mut self) {
+        self.measure_noise = true;
     }
 
     /// Runs a full private inference. Returns the prediction tensor and
@@ -247,6 +329,7 @@ impl PrivateInferenceSession {
     /// Propagates BFV errors, including [`Error::NoiseBudgetExhausted`] if
     /// a layer overflows its noise budget.
     pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Transcript)> {
+        self.layer_reports.clear();
         let mut transcript = Transcript::new();
         transcript.record(
             Direction::ClientToCloud,
@@ -301,7 +384,31 @@ impl PrivateInferenceSession {
                     }
 
                     // Cloud: HE linear layer.
+                    let predicted = hom.noise_after(ct.noise(), &self.params, ct.level());
                     let outputs = hom.apply(&ct, &self.evaluator, &self.keys)?;
+
+                    // Conformance record. Tracked/predicted bounds are
+                    // free; the *measured* invariant noise needs a real
+                    // decryption per ciphertext, so it is only taken when
+                    // instrumentation is enabled.
+                    let mut tracked = f64::NEG_INFINITY;
+                    let mut measured = None;
+                    for out_ct in &outputs {
+                        tracked = tracked.max(out_ct.noise().bound_log2);
+                        if self.measure_noise {
+                            let m = self.decryptor.invariant_noise(out_ct)?;
+                            let m = (m.max(1) as f64).log2();
+                            measured = Some(measured.map_or(m, |prev: f64| prev.max(m)));
+                        }
+                    }
+                    self.layer_reports.push(LayerReport {
+                        layer: linear_idx,
+                        plan: hom.plan_label(),
+                        level: ct.level(),
+                        predicted_bound_log2: predicted.bound_log2,
+                        tracked_bound_log2: tracked,
+                        measured_noise_log2: measured,
+                    });
 
                     // Cloud: fresh output mask r (skipped on the final layer
                     // — the prediction belongs to the client).

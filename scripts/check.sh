@@ -30,6 +30,23 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
     rm -f "$smoke_json"
+
+    echo "==> BSGS regression gate (committed non-smoke BENCH_he_ops.json)"
+    # The committed JSON is a full (non-smoke) run: the BSGS FC layer must
+    # beat the diagonal path on the 3-limb preset, else the headline
+    # optimization has regressed. (Smoke-run numbers are too noisy to
+    # gate, so the check reads the committed file.)
+    json_val() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+    fc_diag=$(json_val BENCH_he_ops.json l3_fc_diag)
+    fc_bsgs=$(json_val BENCH_he_ops.json l3_fc_bsgs)
+    if [[ -z "$fc_diag" || -z "$fc_bsgs" ]]; then
+        echo "FAIL: BENCH_he_ops.json lacks l3_fc_diag / l3_fc_bsgs"
+        exit 1
+    fi
+    if ! awk -v b="$fc_bsgs" -v d="$fc_diag" 'BEGIN { exit !(b < d) }'; then
+        echo "FAIL: committed l3_fc_bsgs ($fc_bsgs ns) is not faster than l3_fc_diag ($fc_diag ns)"
+        exit 1
+    fi
 fi
 
 echo "==> tier-1: cargo test -q"

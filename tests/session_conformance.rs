@@ -1,0 +1,208 @@
+//! End-to-end conformance suite: the first whole-protocol correctness pin
+//! (until now only per-op paths were pinned).
+//!
+//! The tiny-CNN [`PrivateInferenceSession`] runs on all three preset
+//! modulus chains (single 60-bit / 2×30 / 3×36, with the session's
+//! `A = 2^6` decomposition base), and for each run the suite asserts:
+//!
+//! * the decrypted prediction equals a cleartext reference network
+//!   **bit-exactly**;
+//! * every ciphertext message in the transcript matches the
+//!   `2·live·n·8`-byte accounting at its recorded level (uploads are
+//!   always full-chain; masked downloads shrink with the planned level);
+//! * every linear layer's *measured* invariant noise sits under the
+//!   engine-tracked estimate, which sits under the layer's `noise_after`
+//!   planning bound — `measured ≤ tracked ≤ predicted`, per layer, per
+//!   preset chain.
+
+use cheetah::bfv::BfvParams;
+use cheetah::core::Schedule;
+use cheetah::nn::inference::{infer, random_input};
+use cheetah::nn::models::tiny_cnn;
+use cheetah::nn::Weights;
+use cheetah::protocol::PrivateInferenceSession;
+
+const N: usize = 4096;
+
+/// The three preset chains, instantiated with the session's decomposition
+/// base (`A = 2^6`; the named `BfvParams::preset_*` constructors keep the
+/// builder default `A = 2^20`, whose key-switch additive would exhaust a
+/// 32-diagonal FC layer on the 60-bit chains) and the plaintext moduli the
+/// session tests established per chain.
+fn preset_chains() -> Vec<(&'static str, BfvParams)> {
+    let single_60 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(18)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    // 30-bit limbs cannot satisfy the Gazelle congruence, so the live
+    // `(Q mod t)` rounding term needs the 16-bit t's headroom.
+    let rns_2x30 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(16)
+        .moduli_bits(&[30, 30])
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let rns_3x36 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(17)
+        .moduli_bits(&[36, 36, 36])
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    vec![
+        ("single_60", single_60),
+        ("rns_2x30", rns_2x30),
+        ("rns_3x36", rns_3x36),
+    ]
+}
+
+/// Ciphertexts per masked download of linear layer `i` of the tiny CNN:
+/// the conv layer ships one ciphertext per output channel, FC layers one.
+fn cts_per_download(layer: usize) -> usize {
+    match layer {
+        0 => 2, // conv1: co = 2
+        _ => 1,
+    }
+}
+
+/// Parses the `lvlN` suffix of a masked-download label.
+fn level_of(label: &str) -> usize {
+    let idx = label.find("lvl").expect("download labels carry a level");
+    label[idx + 3..].trim().parse().expect("level parses")
+}
+
+#[test]
+fn tiny_cnn_conformance_on_all_preset_chains() {
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 2024);
+    let input = random_input(&net.input_shape, 3, 2025);
+    let expect = infer(&net, &weights, &input).output;
+
+    for (name, params) in preset_chains() {
+        let limbs = params.limbs();
+        let mut session = PrivateInferenceSession::new(
+            &net,
+            &weights,
+            params.clone(),
+            Schedule::PartialAligned,
+            7,
+        )
+        .unwrap();
+        // Conformance instrumentation: measure true invariant noise per
+        // layer (off by default — it costs a decryption per ciphertext).
+        session.enable_noise_measurement();
+        let (output, transcript) = session.run(&input).unwrap();
+
+        // 1. Bit-exact against the cleartext reference network.
+        assert_eq!(
+            output.data(),
+            expect.data(),
+            "{name}: private inference diverged from cleartext reference"
+        );
+
+        // 2. Transcript byte totals match the 2·live·n·8 accounting.
+        let mut uploads = 0;
+        let mut downloads = 0;
+        let mut accounted = 0usize;
+        for m in transcript.messages() {
+            if m.label.contains("enc activations") {
+                // Clients always encrypt fresh: full-chain uploads.
+                assert_eq!(
+                    m.bytes,
+                    2 * limbs * N * 8,
+                    "{name}: upload accounting for {}",
+                    m.label
+                );
+                uploads += 1;
+                accounted += m.bytes;
+            } else if m.label.contains("enc masked outputs") {
+                let level = level_of(&m.label);
+                assert!(level < limbs, "{name}: level out of range in {}", m.label);
+                let live = limbs - level;
+                assert_eq!(
+                    m.bytes,
+                    cts_per_download(downloads) * 2 * live * N * 8,
+                    "{name}: download accounting for {}",
+                    m.label
+                );
+                downloads += 1;
+                accounted += m.bytes;
+            }
+        }
+        assert_eq!(uploads, 3, "{name}: one upload per linear layer");
+        assert_eq!(downloads, 3, "{name}: one download per linear layer");
+        assert!(
+            accounted <= transcript.total_bytes(),
+            "{name}: ciphertext bytes exceed the recorded total"
+        );
+        assert_eq!(transcript.rounds(), 4, "{name}: setup + 3 linear layers");
+
+        // 3. Per-layer noise conformance: measured ≤ tracked ≤ predicted.
+        let reports = session.layer_reports();
+        assert_eq!(reports.len(), 3, "{name}: one report per linear layer");
+        for r in reports {
+            let measured = r
+                .measured_noise_log2
+                .expect("noise measurement was enabled");
+            assert!(
+                measured <= r.tracked_bound_log2 + 1e-9,
+                "{name} L{}: measured 2^{measured:.1} above engine-tracked 2^{:.1}",
+                r.layer,
+                r.tracked_bound_log2
+            );
+            assert!(
+                r.tracked_bound_log2 <= r.predicted_bound_log2 + 1e-9,
+                "{name} L{} ({}): engine-tracked 2^{:.1} above planned 2^{:.1}",
+                r.layer,
+                r.plan,
+                r.tracked_bound_log2,
+                r.predicted_bound_log2
+            );
+            // FC layers must be running the BSGS reshape (d = 32 and 16).
+            if r.layer > 0 {
+                assert!(
+                    r.plan.contains("bsgs"),
+                    "{name} L{}: expected a BSGS plan, got {}",
+                    r.layer,
+                    r.plan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_chain_ships_reduced_levels_with_consistent_reports() {
+    // On the 3×36 chain the statistical planner drops every layer at least
+    // one level; the reports and the transcript must agree on the level.
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 4048);
+    let input = random_input(&net.input_shape, 3, 4049);
+    let (_, params) = preset_chains().pop().unwrap();
+    assert_eq!(params.limbs(), 3);
+
+    let mut session =
+        PrivateInferenceSession::new(&net, &weights, params, Schedule::PartialAligned, 11).unwrap();
+    let (output, transcript) = session.run(&input).unwrap();
+    assert_eq!(output.data(), infer(&net, &weights, &input).output.data());
+
+    let download_levels: Vec<usize> = transcript
+        .messages()
+        .iter()
+        .filter(|m| m.label.contains("enc masked outputs"))
+        .map(|m| level_of(&m.label))
+        .collect();
+    let report_levels: Vec<usize> = session.layer_reports().iter().map(|r| r.level).collect();
+    assert_eq!(
+        download_levels, report_levels,
+        "transcript/report level skew"
+    );
+    assert!(
+        report_levels.iter().all(|&l| l >= 1),
+        "every tiny-CNN layer fits below full level on the 3×36 chain: {report_levels:?}"
+    );
+}
