@@ -34,10 +34,52 @@ pub struct Ciphertext {
 }
 
 impl Ciphertext {
-    /// Assembles a ciphertext from its components. Both polynomials must be
-    /// in evaluation form; their (shared) limb count may be any live
-    /// prefix of the chain — `params.limbs()` planes is level 0, fewer is
-    /// a deeper level.
+    /// Assembles a ciphertext from its components, returning typed errors
+    /// instead of panicking — the constructor for attacker-reachable
+    /// boundaries (wire decoding validates shapes through here before any
+    /// arithmetic runs). Both polynomials must be in evaluation form;
+    /// their (shared) limb count may be any live prefix of the chain —
+    /// `params.limbs()` planes is level 0, fewer is a deeper level.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::WrongRepresentation`] for coefficient-form
+    /// components, [`crate::Error::ParameterMismatch`] for a foreign
+    /// degree or mismatched component shapes,
+    /// [`crate::Error::InvalidLevel`] for a limb count outside the
+    /// chain's `1..=limbs`.
+    pub fn try_new(
+        c0: RnsPoly,
+        c1: RnsPoly,
+        params: BfvParams,
+        noise: NoiseEstimate,
+    ) -> crate::error::Result<Self> {
+        c0.expect_repr(Representation::Eval)?;
+        c1.expect_repr(Representation::Eval)?;
+        if c0.degree() != params.degree()
+            || c1.degree() != params.degree()
+            || c0.limbs() != c1.limbs()
+        {
+            return Err(crate::error::Error::ParameterMismatch);
+        }
+        if c0.limbs() < 1 || c0.limbs() > params.limbs() {
+            // A limb count past the chain implies a (nonsensical) negative
+            // level; report the out-of-range level the count maps to.
+            return Err(crate::error::Error::InvalidLevel {
+                requested: params.limbs().saturating_sub(c0.limbs()),
+                current: 0,
+                max: params.max_level(),
+            });
+        }
+        Ok(Self {
+            c0,
+            c1,
+            params,
+            noise,
+        })
+    }
+
+    /// [`Ciphertext::try_new`] for trusted internal callers.
     ///
     /// # Panics
     ///

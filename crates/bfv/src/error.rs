@@ -82,8 +82,17 @@ pub enum Error {
         /// The deepest level the chain supports (`limbs - 1`).
         max: usize,
     },
-    /// Required Galois key for this element is missing.
-    MissingGaloisKey(u64),
+    /// Required Galois key is missing from the provided key set.
+    MissingGaloisKey {
+        /// The Galois element whose key is absent.
+        element: u64,
+        /// The rotation step that needed the element, when the lookup came
+        /// from a step-based rotation (`None` for raw element lookups).
+        step: Option<i64>,
+    },
+    /// A Galois element is structurally invalid for this degree: it must
+    /// be odd and lie in `1..2n`.
+    InvalidGaloisElement(u64),
     /// Decryption noise exceeded the budget; plaintext unrecoverable.
     NoiseBudgetExhausted,
     /// The decomposition base must be a power of two ≥ 2.
@@ -102,6 +111,27 @@ pub enum Error {
         /// Maximum supported bits.
         max_bits: u32,
     },
+    /// A wire-format message failed structural validation (length, magic,
+    /// version, header fields, or canonical residues) before any
+    /// arithmetic touched it.
+    Malformed {
+        /// What was being decoded (`"ciphertext"`, `"public key"`, …).
+        what: &'static str,
+        /// Which structural invariant failed.
+        reason: String,
+    },
+    /// A wire message was produced under a different parameter chain than
+    /// the session's (degree / plaintext modulus / modulus chain /
+    /// decomposition bases fingerprint mismatch).
+    ChainMismatch {
+        /// Fingerprint of the session's parameter chain.
+        expected: u64,
+        /// Fingerprint carried by the message header.
+        found: u64,
+    },
+    /// The operation reached a feature this engine does not implement
+    /// (returned instead of panicking at the protocol boundary).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -146,8 +176,15 @@ impl fmt::Display for Error {
                 "cannot modulus-switch to level {requested} from level {current} \
                  (chain supports levels 0..={max})"
             ),
-            Error::MissingGaloisKey(g) => {
-                write!(f, "no Galois key generated for element {g}")
+            Error::MissingGaloisKey { element, step } => match step {
+                Some(s) => write!(
+                    f,
+                    "no Galois key for rotation step {s} (element {element})"
+                ),
+                None => write!(f, "no Galois key generated for element {element}"),
+            },
+            Error::InvalidGaloisElement(g) => {
+                write!(f, "Galois element {g} must be odd and lie in 1..2n")
             }
             Error::NoiseBudgetExhausted => {
                 write!(f, "noise budget exhausted; decryption would fail")
@@ -165,6 +202,15 @@ impl fmt::Display for Error {
                 f,
                 "modulus chain spans {total_bits} bits, exceeding the {max_bits}-bit exact-CRT limit"
             ),
+            Error::Malformed { what, reason } => {
+                write!(f, "malformed {what} on the wire: {reason}")
+            }
+            Error::ChainMismatch { expected, found } => write!(
+                f,
+                "wire message from a foreign parameter chain \
+                 (fingerprint {found:#018x}, session expects {expected:#018x})"
+            ),
+            Error::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }

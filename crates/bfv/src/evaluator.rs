@@ -227,7 +227,7 @@ fn source_fingerprint(p: &RnsPoly) -> u64 {
     for &w in data.iter().step_by(stride) {
         mix(w);
     }
-    mix(*data.last().expect("polynomials are never empty"));
+    mix(data.last().copied().unwrap_or(0));
     h
 }
 
@@ -326,6 +326,33 @@ impl Evaluator {
     #[inline]
     fn count(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Locks the internal scratch pool. A poisoned mutex only means some
+    /// other thread panicked while holding the lease; pooled buffers carry
+    /// no invariants beyond shape (contents are dirty by contract), so the
+    /// lock is recovered rather than propagating the panic through every
+    /// public entry point.
+    fn scratch_guard(&self) -> std::sync::MutexGuard<'_, Scratch> {
+        self.scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Tags a [`Error::MissingGaloisKey`] from an element lookup with the
+    /// rotation step that needed it, so protocol-level callers see the
+    /// step they asked for rather than a bare Galois element.
+    fn attach_step(e: Error, steps: i64) -> Error {
+        match e {
+            Error::MissingGaloisKey {
+                element,
+                step: None,
+            } => Error::MissingGaloisKey {
+                element,
+                step: Some(steps),
+            },
+            other => other,
+        }
     }
 
     /// Errors unless both operands live at the same level.
@@ -657,6 +684,7 @@ impl Evaluator {
         }
         let g = element_for_step(self.params.degree(), steps)?;
         self.apply_galois_into(out, a, g, keys, scratch)
+            .map_err(|e| Self::attach_step(e, steps))
     }
 
     // ------------------------------------------------------------------
@@ -793,7 +821,7 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for a foreign ciphertext.
     pub fn hoist(&self, a: &Ciphertext) -> Result<HoistedDecomposition> {
         let mut hoisted = HoistedDecomposition::empty(&self.params);
-        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        let mut scratch = self.scratch_guard();
         self.hoist_into(&mut hoisted, a, &mut scratch)?;
         Ok(hoisted)
     }
@@ -895,7 +923,7 @@ impl Evaluator {
             return Ok(());
         }
         let g = element_for_step(self.params.degree(), steps)?;
-        let key = keys.get(g)?;
+        let key = keys.get(g).map_err(|e| Self::attach_step(e, steps))?;
         let level_chain = self.params.chain_at(level);
         let perm = key.permutation();
 
@@ -970,7 +998,7 @@ impl Evaluator {
         keys: &GaloisKeys,
     ) -> Result<Ciphertext> {
         let mut out = Ciphertext::transparent_zero(&self.params);
-        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        let mut scratch = self.scratch_guard();
         self.rotate_hoisted_into(&mut out, a, hoisted, steps, keys, &mut scratch)?;
         Ok(out)
     }
@@ -1019,7 +1047,7 @@ impl Evaluator {
     /// [`Error::ParameterMismatch`] for foreign operands.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
         let mut out = a.clone();
-        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        let mut scratch = self.scratch_guard();
         self.add_plain_assign(&mut out, pt, &mut scratch)?;
         Ok(out)
     }
@@ -1121,7 +1149,7 @@ impl Evaluator {
         let mut out = Ciphertext::transparent_zero_at(&self.params, level);
         let mut noise: Option<NoiseEstimate> = None;
         {
-            let mut guard = self.scratch.lock().expect("scratch mutex poisoned");
+            let mut guard = self.scratch_guard();
             let digits = guard.digits_mut_limbs(l_pt, live);
             // Digit coefficients are < W <= t < every q_i: replicate each
             // digit across the live limb planes and lift directly into the
@@ -1142,7 +1170,8 @@ impl Evaluator {
             }
         }
         Self::count(&self.mul_count, l_pt as u64);
-        out.set_noise(noise.expect("l_pt >= 1"));
+        // l_pt >= 1 by construction, but the boundary never panics on it.
+        out.set_noise(noise.unwrap_or_else(NoiseEstimate::zero));
         Ok(out)
     }
 
@@ -1174,6 +1203,7 @@ impl Evaluator {
         }
         let g = element_for_step(self.params.degree(), steps)?;
         self.apply_galois(a, g, keys)
+            .map_err(|e| Self::attach_step(e, steps))
     }
 
     /// Swaps the two slot rows (`x ↦ x^{2n−1}`).
@@ -1193,7 +1223,7 @@ impl Evaluator {
     /// [`Error::MissingGaloisKey`] or [`Error::ParameterMismatch`].
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, keys: &GaloisKeys) -> Result<Ciphertext> {
         let mut out = Ciphertext::transparent_zero(&self.params);
-        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        let mut scratch = self.scratch_guard();
         self.apply_galois_into(&mut out, a, g, keys, &mut scratch)?;
         Ok(out)
     }
@@ -1223,7 +1253,7 @@ impl Evaluator {
         }
         let mut cur = a.clone();
         let mut tmp = Ciphertext::transparent_zero(&self.params);
-        let mut scratch = self.scratch.lock().expect("scratch mutex poisoned");
+        let mut scratch = self.scratch_guard();
         let mut bit = 1i64;
         while remaining > 0 {
             if remaining & 1 == 1 {
@@ -1440,7 +1470,7 @@ mod tests {
         let ct = c.enc.encrypt(&c.encoder.encode(&[1]).unwrap()).unwrap();
         assert!(matches!(
             c.eval.rotate_rows(&ct, 7, &c.keys),
-            Err(Error::MissingGaloisKey(_))
+            Err(Error::MissingGaloisKey { .. })
         ));
     }
 

@@ -64,6 +64,17 @@ impl PublicKey {
     pub fn params(&self) -> &BfvParams {
         &self.params
     }
+
+    /// Assembles a public key from validated parts (wire decoding).
+    pub(crate) fn from_parts(pk0: RnsPoly, pk1: RnsPoly, params: BfvParams) -> Self {
+        Self { pk0, pk1, params }
+    }
+
+    /// Serialized size in bytes (for protocol accounting): two full-width
+    /// components of `l_limbs · n` 8-byte words.
+    pub fn byte_size(&self) -> usize {
+        2 * self.params.limbs() * self.params.degree() * 8
+    }
 }
 
 /// One key-switching key: `l_ct = Σ_i ceil(log_A q_i)` pairs
@@ -94,6 +105,17 @@ impl GaloisKey {
     pub fn permutation(&self) -> &[u32] {
         &self.perm
     }
+
+    /// Assembles a key from validated parts (wire decoding). The caller
+    /// guarantees the pair list is `l_ct` long with chain-shaped
+    /// polynomials and `perm` is the element's permutation table.
+    pub(crate) fn from_parts(element: u64, pairs: Vec<(RnsPoly, RnsPoly)>, perm: Vec<u32>) -> Self {
+        Self {
+            element,
+            pairs,
+            perm,
+        }
+    }
 }
 
 /// A set of Galois keys indexed by Galois element.
@@ -109,9 +131,29 @@ impl GaloisKeys {
     ///
     /// Returns [`Error::MissingGaloisKey`] if absent.
     pub fn get(&self, element: u64) -> Result<&GaloisKey> {
-        self.keys
-            .get(&element)
-            .ok_or(Error::MissingGaloisKey(element))
+        self.keys.get(&element).ok_or(Error::MissingGaloisKey {
+            element,
+            step: None,
+        })
+    }
+
+    /// Looks up the key realizing a row rotation by `steps` at degree `n`.
+    ///
+    /// The error carries the *step* alongside the Galois element, so a
+    /// session asking for a rotation its plan-exact keygen never produced
+    /// gets a diagnosable [`Error::MissingGaloisKey`] instead of a bare
+    /// element number (or, historically, a panic deeper in the stack).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidRotation`] for an identity step,
+    /// [`Error::MissingGaloisKey`] (with `step` set) if absent.
+    pub fn get_for_step(&self, n: usize, steps: i64) -> Result<&GaloisKey> {
+        let element = element_for_step(n, steps)?;
+        self.keys.get(&element).ok_or(Error::MissingGaloisKey {
+            element,
+            step: Some(steps),
+        })
     }
 
     /// Whether a key for this element exists.
@@ -140,7 +182,7 @@ impl GaloisKeys {
         self.keys.len() * params.l_ct() * 2 * params.limbs() * params.degree() * 8
     }
 
-    fn insert(&mut self, key: GaloisKey) {
+    pub(crate) fn insert(&mut self, key: GaloisKey) {
         self.keys.insert(key.element, key);
     }
 }
@@ -234,8 +276,11 @@ impl KeyGenerator {
     ///
     /// # Errors
     ///
-    /// Propagates arithmetic errors; `g` must be odd (panics otherwise).
+    /// Returns [`Error::InvalidGaloisElement`] unless `g` is odd and lies
+    /// in `1..2n` (the automorphism group `x ↦ x^g` of the 2n-th
+    /// cyclotomic); propagates arithmetic errors otherwise.
     pub fn galois_key(&mut self, g: u64) -> Result<GaloisKey> {
+        check_galois_element(self.params.degree(), g)?;
         let chain = self.params.chain().clone();
         let a_base = self.params.a_dcmp();
         let limbs = chain.limbs();
@@ -365,6 +410,17 @@ impl KeyGenerator {
 ///
 /// Returns [`Error::InvalidRotation`] if `steps ≡ 0 (mod n/2)` — the
 /// identity rotation has no Galois element (callers special-case it).
+/// Errors unless `g` is a valid Galois element for degree `n`: odd and in
+/// `1..2n`. Shared by key generation and wire decoding, so a malformed
+/// element is rejected before any permutation table is built.
+pub fn check_galois_element(n: usize, g: u64) -> Result<()> {
+    if g % 2 == 1 && g >= 1 && g < 2 * n as u64 {
+        Ok(())
+    } else {
+        Err(Error::InvalidGaloisElement(g))
+    }
+}
+
 pub fn element_for_step(n: usize, steps: i64) -> Result<u64> {
     let row = (n / 2) as i64;
     let k = steps.rem_euclid(row) as u64;
@@ -594,7 +650,46 @@ mod tests {
     #[test]
     fn missing_key_error() {
         let keys = GaloisKeys::default();
-        assert!(matches!(keys.get(3), Err(Error::MissingGaloisKey(3))));
+        assert!(matches!(
+            keys.get(3),
+            Err(Error::MissingGaloisKey {
+                element: 3,
+                step: None
+            })
+        ));
         assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn missing_key_for_step_names_the_step() {
+        let keys = GaloisKeys::default();
+        let g = element_for_step(1024, 5).unwrap();
+        match keys.get_for_step(1024, 5) {
+            Err(Error::MissingGaloisKey { element, step }) => {
+                assert_eq!(element, g);
+                assert_eq!(step, Some(5));
+            }
+            other => panic!("expected MissingGaloisKey, got {other:?}"),
+        }
+        // Identity steps have no element at all.
+        assert!(matches!(
+            keys.get_for_step(1024, 0),
+            Err(Error::InvalidRotation(0))
+        ));
+    }
+
+    #[test]
+    fn invalid_galois_elements_are_rejected() {
+        let p = params();
+        let mut kg = KeyGenerator::from_seed(p, 9);
+        assert!(matches!(
+            kg.galois_key(4),
+            Err(Error::InvalidGaloisElement(4))
+        ));
+        assert!(matches!(
+            kg.galois_key(2 * 1024 + 1),
+            Err(Error::InvalidGaloisElement(_))
+        ));
+        assert!(kg.galois_key(3).is_ok());
     }
 }

@@ -95,6 +95,7 @@ pub mod poly;
 pub mod rns;
 pub mod sampling;
 pub mod scratch;
+pub mod wire;
 
 pub use batch::PolyBatch;
 pub use ciphertext::{Ciphertext, WindowedCiphertext};
@@ -107,3 +108,9 @@ pub use noise::NoiseEstimate;
 pub use params::{BfvParams, BfvParamsBuilder, SecurityLevel};
 pub use rns::{ModulusChain, RnsPoly};
 pub use scratch::Scratch;
+pub use wire::{
+    chain_fingerprint, ciphertext_wire_bytes, decode_ciphertext, decode_galois_keys,
+    decode_plaintext_mask, decode_public_key, encode_ciphertext, encode_galois_keys,
+    encode_plaintext_mask, encode_public_key, galois_keys_wire_bytes, plaintext_mask_wire_bytes,
+    public_key_wire_bytes, split_ciphertext_messages, HEADER_BYTES,
+};

@@ -1,0 +1,908 @@
+//! Validated wire format for everything that crosses the protocol
+//! boundary.
+//!
+//! Every message is a canonical little-endian encoding with a fixed
+//! 24-byte header:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `b"CHWF"` |
+//! | 4      | 2    | format version (`u16`, currently 1) |
+//! | 6      | 1    | message kind |
+//! | 7      | 1    | reserved (ignored on decode) |
+//! | 8      | 8    | parameter-chain fingerprint (`u64`) |
+//! | 16     | 4    | level (dropped-limb count, `u32`) |
+//! | 20     | 4    | live limb planes per polynomial (`u32`) |
+//!
+//! followed by the message payload: polynomial words in limb-major
+//! little-endian order. A level-`ℓ` ciphertext's payload is exactly the
+//! `2·live·n·8` bytes the transcript accounting has always charged —
+//! the header is the only framing overhead.
+//!
+//! `decode_*` enforces, in order and **before any arithmetic**: length,
+//! magic/version/kind, fingerprint match against the session's
+//! [`BfvParams`] ([`crate::Error::ChainMismatch`]), level validity
+//! ([`crate::Error::InvalidLevel`]), header self-consistency, and
+//! canonical residues (`c < q_i` on every limb plane,
+//! [`crate::Error::Malformed`]). What validation cannot see — a payload
+//! bit flip that stays canonical, swapped components, a level lie with a
+//! matching truncated payload — lands in a structurally valid but
+//! *cryptographically dead* ciphertext whose measured noise budget
+//! collapses, so [`crate::Decryptor::decrypt_checked`] catches it as
+//! [`crate::Error::NoiseBudgetExhausted`]. The fault-injection harness in
+//! `cheetah-protocol` pins that two-layer contract: every corruption is
+//! either *detected* (typed error) or *provably harmless* (bit-identical
+//! decrypt); there is no third outcome.
+//!
+//! Noise estimates are deliberately **not** serialized: they are model
+//! state, and trusting a peer's claimed noise would let a lying client
+//! steer the server's level planner. [`decode_ciphertext`] attaches the
+//! fresh-encryption estimate — exact for the only thing an honest client
+//! sends (fresh encryptions), conservative bookkeeping for everything
+//! else (receivers about to decrypt measure the real thing anyway).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::ciphertext::Ciphertext;
+use crate::encoder::Plaintext;
+use crate::error::{Error, Result};
+use crate::keys::{check_galois_element, GaloisKey, GaloisKeys, PublicKey};
+use crate::noise::NoiseEstimate;
+use crate::params::BfvParams;
+use crate::poly::{Poly, Representation};
+use crate::rns::RnsPoly;
+
+/// Wire magic: the first four bytes of every message.
+pub const MAGIC: [u8; 4] = *b"CHWF";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_BYTES: usize = 24;
+
+/// Byte offset of the version field (fault-injection targets).
+pub const OFF_VERSION: usize = 4;
+/// Byte offset of the kind field.
+pub const OFF_KIND: usize = 6;
+/// Byte offset of the reserved byte (ignored on decode — the designed
+/// *harmless* corruption target).
+pub const OFF_RESERVED: usize = 7;
+/// Byte offset of the chain fingerprint.
+pub const OFF_FINGERPRINT: usize = 8;
+/// Byte offset of the level field.
+pub const OFF_LEVEL: usize = 16;
+/// Byte offset of the live-limb-count field.
+pub const OFF_LIVE_LIMBS: usize = 20;
+
+/// Message kinds carried in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// A BFV ciphertext (two evaluation-form polynomials).
+    Ciphertext = 1,
+    /// A public key (two full-width evaluation-form polynomials).
+    PublicKey = 2,
+    /// A Galois key set.
+    GaloisKeys = 3,
+    /// A packed plaintext mask (one mod-`t` coefficient polynomial).
+    PlaintextMask = 4,
+}
+
+impl Kind {
+    fn from_u8(v: u8) -> Option<Kind> {
+        match v {
+            1 => Some(Kind::Ciphertext),
+            2 => Some(Kind::PublicKey),
+            3 => Some(Kind::GaloisKeys),
+            4 => Some(Kind::PlaintextMask),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a parameter chain: degree, plaintext modulus,
+/// every limb prime in order, and both decomposition bases. Two sessions
+/// agree on ciphertext semantics iff their fingerprints match (modulo the
+/// 64-bit collision bound).
+pub fn chain_fingerprint(params: &BfvParams) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |w: u64| {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(params.degree() as u64);
+    mix(params.plain_modulus().value());
+    mix(params.limbs() as u64);
+    for q in params.chain().moduli() {
+        mix(q.value());
+    }
+    mix(params.a_dcmp());
+    mix(params.w_dcmp());
+    h
+}
+
+fn malformed(what: &'static str, reason: String) -> Error {
+    Error::Malformed { what, reason }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer / validating reader
+// ---------------------------------------------------------------------
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_words(out: &mut Vec<u8>, words: &[u64]) {
+    out.reserve(words.len() * 8);
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn write_header(out: &mut Vec<u8>, kind: Kind, fingerprint: u64, level: usize, live: usize) {
+    out.extend_from_slice(&MAGIC);
+    push_u16(out, VERSION);
+    out.push(kind as u8);
+    out.push(0); // reserved
+    push_u64(out, fingerprint);
+    push_u32(out, level as u32);
+    push_u32(out, live as u32);
+}
+
+/// A bounds-checked cursor over a received buffer. Every read returns a
+/// typed error on underrun — nothing in this module indexes past a length
+/// it has not proven.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(malformed(
+                self.what,
+                format!(
+                    "truncated: needed {} bytes at offset {}, message has {}",
+                    n,
+                    self.pos,
+                    self.buf.len()
+                ),
+            )),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let s = self.take(2)?;
+        let mut w = [0u8; 2];
+        w.copy_from_slice(s);
+        Ok(u16::from_le_bytes(w))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        let mut w = [0u8; 4];
+        w.copy_from_slice(s);
+        Ok(u32::from_le_bytes(w))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(s);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    fn words(&mut self, count: usize) -> Result<Vec<u64>> {
+        let s = self.take(count * 8)?;
+        let mut out = Vec::with_capacity(count);
+        let mut w = [0u8; 8];
+        for chunk in s.chunks_exact(8) {
+            w.copy_from_slice(chunk);
+            out.push(u64::from_le_bytes(w));
+        }
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Validated header fields.
+struct Header {
+    level: usize,
+    live: usize,
+}
+
+/// Reads and validates the common header: magic, version, kind,
+/// fingerprint against `params`, level validity, and live-limb
+/// consistency with the level.
+fn read_header(r: &mut Reader<'_>, kind: Kind, params: &BfvParams) -> Result<Header> {
+    let what = r.what;
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(malformed(what, format!("bad magic {magic:02x?}")));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(malformed(
+            what,
+            format!("unsupported format version {version} (this engine speaks {VERSION})"),
+        ));
+    }
+    let kind_byte = r.take(1)?[0];
+    match Kind::from_u8(kind_byte) {
+        Some(k) if k == kind => {}
+        Some(k) => {
+            return Err(malformed(
+                what,
+                format!("message kind {k:?} where {kind:?} was expected"),
+            ))
+        }
+        None => return Err(malformed(what, format!("unknown message kind {kind_byte}"))),
+    }
+    let _reserved = r.take(1)?; // ignored: compat padding
+    let found = r.u64()?;
+    let expected = chain_fingerprint(params);
+    if found != expected {
+        return Err(Error::ChainMismatch { expected, found });
+    }
+    let level = r.u32()? as usize;
+    if level >= params.levels() {
+        return Err(Error::InvalidLevel {
+            requested: level,
+            current: 0,
+            max: params.max_level(),
+        });
+    }
+    let live = r.u32()? as usize;
+    if live != params.live_limbs_at(level) {
+        return Err(malformed(
+            what,
+            format!(
+                "header claims {live} live limbs at level {level}; the chain has {}",
+                params.live_limbs_at(level)
+            ),
+        ));
+    }
+    Ok(Header { level, live })
+}
+
+/// Errors unless every word of every live limb plane is a canonical
+/// residue (`< q_i`). Runs before the words reach any arithmetic.
+fn check_canonical(
+    words: &[u64],
+    params: &BfvParams,
+    live: usize,
+    what: &'static str,
+) -> Result<()> {
+    let n = params.degree();
+    for i in 0..live {
+        let q = params.chain().modulus(i).value();
+        let plane = words
+            .get(i * n..(i + 1) * n)
+            .ok_or_else(|| malformed(what, format!("limb plane {i} missing from payload")))?;
+        if let Some(j) = plane.iter().position(|&w| w >= q) {
+            return Err(malformed(
+                what,
+                format!(
+                    "non-canonical residue {} >= q_{i} = {q} at coefficient {j}",
+                    plane[j]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one evaluation-form polynomial of `live` planes, canonical-checks
+/// it, and assembles the `RnsPoly`.
+fn read_poly(
+    r: &mut Reader<'_>,
+    params: &BfvParams,
+    live: usize,
+    repr: Representation,
+) -> Result<RnsPoly> {
+    let n = params.degree();
+    let words = r.words(live * n)?;
+    check_canonical(&words, params, live, r.what)?;
+    Ok(RnsPoly::from_data(words, live, n, repr))
+}
+
+/// Errors unless the message has been consumed exactly — trailing bytes
+/// are as malformed as missing ones.
+fn expect_consumed(r: &Reader<'_>) -> Result<()> {
+    if r.remaining() != 0 {
+        return Err(malformed(
+            r.what,
+            format!("{} trailing bytes after payload", r.remaining()),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Ciphertexts
+// ---------------------------------------------------------------------
+
+/// Exact encoded size of a level-`level` ciphertext:
+/// header + the `2·live·n·8` payload the transcript accounting charges.
+pub fn ciphertext_wire_bytes(params: &BfvParams, level: usize) -> usize {
+    HEADER_BYTES + 2 * params.live_limbs_at(level) * params.degree() * 8
+}
+
+/// Encodes a ciphertext canonically: header, then `c0` and `c1` words in
+/// limb-major little-endian order.
+pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let params = ct.params();
+    let mut out = Vec::with_capacity(ciphertext_wire_bytes(params, ct.level()));
+    write_header(
+        &mut out,
+        Kind::Ciphertext,
+        chain_fingerprint(params),
+        ct.level(),
+        ct.live_limbs(),
+    );
+    push_words(&mut out, ct.c0().data());
+    push_words(&mut out, ct.c1().data());
+    out
+}
+
+/// Decodes and fully validates a ciphertext against the session's
+/// parameters. See the module docs for the check order; nothing is
+/// constructed before every check passes.
+///
+/// The returned ciphertext carries the fresh-encryption noise estimate
+/// (estimates are never trusted from the wire).
+///
+/// # Errors
+///
+/// [`Error::Malformed`], [`Error::ChainMismatch`], or
+/// [`Error::InvalidLevel`].
+pub fn decode_ciphertext(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext> {
+    let what = "ciphertext";
+    let mut r = Reader::new(bytes, what);
+    let h = read_header(&mut r, Kind::Ciphertext, params)?;
+    let expect = ciphertext_wire_bytes(params, h.level);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!(
+                "level {} needs exactly {expect} bytes, message has {}",
+                h.level,
+                bytes.len()
+            ),
+        ));
+    }
+    let c0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    let c1 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    expect_consumed(&r)?;
+    Ciphertext::try_new(c0, c1, params.clone(), NoiseEstimate::fresh(params))
+}
+
+/// Splits a buffer of back-to-back ciphertext messages into individual
+/// message slices, using each header's level field to compute the exact
+/// message length. Only the *framing* is derived here — every slice must
+/// still pass [`decode_ciphertext`]'s full validation, so a corrupted
+/// level field either misframes into a slice that fails validation or
+/// errors right here.
+///
+/// # Errors
+///
+/// [`Error::Malformed`] for a truncated header or payload,
+/// [`Error::InvalidLevel`] for a level past the chain.
+pub fn split_ciphertext_messages<'a>(bytes: &'a [u8], params: &BfvParams) -> Result<Vec<&'a [u8]>> {
+    let what = "ciphertext bundle";
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let header = bytes.get(pos..pos + HEADER_BYTES).ok_or_else(|| {
+            malformed(
+                what,
+                format!("truncated header at offset {pos} of {}", bytes.len()),
+            )
+        })?;
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&header[OFF_LEVEL..OFF_LEVEL + 4]);
+        let level = u32::from_le_bytes(w) as usize;
+        if level >= params.levels() {
+            return Err(Error::InvalidLevel {
+                requested: level,
+                current: 0,
+                max: params.max_level(),
+            });
+        }
+        let len = ciphertext_wire_bytes(params, level);
+        let msg = bytes.get(pos..pos + len).ok_or_else(|| {
+            malformed(
+                what,
+                format!(
+                    "message at offset {pos} claims {len} bytes, {} remain",
+                    bytes.len() - pos
+                ),
+            )
+        })?;
+        out.push(msg);
+        pos += len;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Public keys
+// ---------------------------------------------------------------------
+
+/// Exact encoded size of a public key.
+pub fn public_key_wire_bytes(params: &BfvParams) -> usize {
+    HEADER_BYTES + 2 * params.limbs() * params.degree() * 8
+}
+
+/// Encodes a public key (always full-width, level 0).
+pub fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
+    let params = pk.params();
+    let mut out = Vec::with_capacity(public_key_wire_bytes(params));
+    write_header(
+        &mut out,
+        Kind::PublicKey,
+        chain_fingerprint(params),
+        0,
+        params.limbs(),
+    );
+    push_words(&mut out, pk.pk0().data());
+    push_words(&mut out, pk.pk1().data());
+    out
+}
+
+/// Decodes and validates a public key.
+///
+/// # Errors
+///
+/// [`Error::Malformed`], [`Error::ChainMismatch`], or
+/// [`Error::InvalidLevel`].
+pub fn decode_public_key(bytes: &[u8], params: &BfvParams) -> Result<PublicKey> {
+    let what = "public key";
+    let mut r = Reader::new(bytes, what);
+    let h = read_header(&mut r, Kind::PublicKey, params)?;
+    if h.level != 0 {
+        return Err(malformed(
+            what,
+            format!(
+                "public keys are level-0 objects, header claims level {}",
+                h.level
+            ),
+        ));
+    }
+    let expect = public_key_wire_bytes(params);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!("needs exactly {expect} bytes, message has {}", bytes.len()),
+        ));
+    }
+    let pk0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    let pk1 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    expect_consumed(&r)?;
+    Ok(PublicKey::from_parts(pk0, pk1, params.clone()))
+}
+
+// ---------------------------------------------------------------------
+// Galois key sets
+// ---------------------------------------------------------------------
+
+/// Exact encoded size of a `count`-key Galois key set: header, key count,
+/// one element word per key, plus the `count·l_ct·2·limbs·n·8` key
+/// material [`GaloisKeys::byte_size`] charges.
+pub fn galois_keys_wire_bytes(params: &BfvParams, count: usize) -> usize {
+    HEADER_BYTES + 4 + count * 8 + count * params.l_ct() * 2 * params.limbs() * params.degree() * 8
+}
+
+/// Encodes a Galois key set canonically: keys are emitted in ascending
+/// element order (the `HashMap` iteration order never reaches the wire),
+/// each as its element followed by `l_ct` key-switch pairs. Slot
+/// permutations are not serialized — they are a pure function of the
+/// element and are rebuilt on decode.
+pub fn encode_galois_keys(keys: &GaloisKeys, params: &BfvParams) -> Vec<u8> {
+    let mut elements: Vec<u64> = keys.elements().collect();
+    elements.sort_unstable();
+    let mut out = Vec::with_capacity(galois_keys_wire_bytes(params, elements.len()));
+    write_header(
+        &mut out,
+        Kind::GaloisKeys,
+        chain_fingerprint(params),
+        0,
+        params.limbs(),
+    );
+    push_u32(&mut out, elements.len() as u32);
+    for g in elements {
+        // The element came from the set itself; a failed lookup cannot
+        // happen, but the encoder stays panic-free regardless.
+        let Ok(key) = keys.get(g) else { continue };
+        push_u64(&mut out, g);
+        for (k0, k1) in key.pairs() {
+            push_words(&mut out, k0.data());
+            push_words(&mut out, k1.data());
+        }
+    }
+    out
+}
+
+/// Decodes and validates a Galois key set: every element must be a valid
+/// odd automorphism exponent, every pair polynomial canonical. Slot
+/// permutations are rebuilt from the validated elements.
+///
+/// # Errors
+///
+/// [`Error::Malformed`], [`Error::ChainMismatch`],
+/// [`Error::InvalidLevel`], or [`Error::InvalidGaloisElement`].
+pub fn decode_galois_keys(bytes: &[u8], params: &BfvParams) -> Result<GaloisKeys> {
+    let what = "galois keys";
+    let mut r = Reader::new(bytes, what);
+    let h = read_header(&mut r, Kind::GaloisKeys, params)?;
+    if h.level != 0 {
+        return Err(malformed(
+            what,
+            format!(
+                "key sets are level-0 objects, header claims level {}",
+                h.level
+            ),
+        ));
+    }
+    let count = r.u32()? as usize;
+    let expect = galois_keys_wire_bytes(params, count);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!(
+                "{count} keys need exactly {expect} bytes, message has {}",
+                bytes.len()
+            ),
+        ));
+    }
+    let l_ct = params.l_ct();
+    let mut out = GaloisKeys::default();
+    for _ in 0..count {
+        let g = r.u64()?;
+        check_galois_element(params.degree(), g)?;
+        let mut pairs = Vec::with_capacity(l_ct);
+        for _ in 0..l_ct {
+            let k0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+            let k1 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+            pairs.push((k0, k1));
+        }
+        let perm = params.chain().table(0).galois_permutation(g);
+        out.insert(GaloisKey::from_parts(g, pairs, perm));
+    }
+    expect_consumed(&r)?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Plaintext masks
+// ---------------------------------------------------------------------
+
+/// Exact encoded size of a packed plaintext mask.
+pub fn plaintext_mask_wire_bytes(params: &BfvParams) -> usize {
+    HEADER_BYTES + params.degree() * 8
+}
+
+/// Encodes a packed plaintext mask: one mod-`t` coefficient polynomial.
+/// The live-limb header field is 1 — a mask has a single (plaintext)
+/// residue plane.
+pub fn encode_plaintext_mask(pt: &Plaintext) -> Vec<u8> {
+    let params = pt.params();
+    let mut out = Vec::with_capacity(plaintext_mask_wire_bytes(params));
+    // Masks have one mod-t plane; the header's limb field says so
+    // directly rather than echoing the ciphertext chain width.
+    out.extend_from_slice(&MAGIC);
+    push_u16(&mut out, VERSION);
+    out.push(Kind::PlaintextMask as u8);
+    out.push(0);
+    push_u64(&mut out, chain_fingerprint(params));
+    push_u32(&mut out, 0);
+    push_u32(&mut out, 1);
+    push_words(&mut out, pt.poly().data());
+    out
+}
+
+/// Decodes and validates a packed plaintext mask: every coefficient must
+/// be a canonical mod-`t` residue.
+///
+/// # Errors
+///
+/// [`Error::Malformed`], [`Error::ChainMismatch`], or
+/// [`Error::InvalidLevel`].
+pub fn decode_plaintext_mask(bytes: &[u8], params: &BfvParams) -> Result<Plaintext> {
+    let what = "plaintext mask";
+    let mut r = Reader::new(bytes, what);
+    // The common header reader checks live limbs against the ciphertext
+    // chain; masks carry exactly one mod-t plane instead, so the header is
+    // read field-by-field here.
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(malformed(what, format!("bad magic {magic:02x?}")));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(malformed(
+            what,
+            format!("unsupported format version {version} (this engine speaks {VERSION})"),
+        ));
+    }
+    let kind_byte = r.take(1)?[0];
+    if Kind::from_u8(kind_byte) != Some(Kind::PlaintextMask) {
+        return Err(malformed(
+            what,
+            format!("message kind {kind_byte} where PlaintextMask was expected"),
+        ));
+    }
+    let _reserved = r.take(1)?;
+    let found = r.u64()?;
+    let expected = chain_fingerprint(params);
+    if found != expected {
+        return Err(Error::ChainMismatch { expected, found });
+    }
+    let level = r.u32()? as usize;
+    let planes = r.u32()? as usize;
+    if level != 0 || planes != 1 {
+        return Err(malformed(
+            what,
+            format!("masks carry one level-0 plane, header claims level {level} / {planes} planes"),
+        ));
+    }
+    let expect = plaintext_mask_wire_bytes(params);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!("needs exactly {expect} bytes, message has {}", bytes.len()),
+        ));
+    }
+    let words = r.words(params.degree())?;
+    let t = params.plain_modulus().value();
+    if let Some(j) = words.iter().position(|&w| w >= t) {
+        return Err(malformed(
+            what,
+            format!(
+                "non-canonical residue {} >= t = {t} at coefficient {j}",
+                words[j]
+            ),
+        ));
+    }
+    expect_consumed(&r)?;
+    Plaintext::from_poly(
+        Poly::from_data(words, Representation::Coeff),
+        params.clone(),
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::encryptor::Encryptor;
+    use crate::keys::KeyGenerator;
+
+    fn setup(params: &BfvParams) -> (BatchEncoder, Encryptor, KeyGenerator) {
+        let mut kg = KeyGenerator::from_seed(params.clone(), 7);
+        let pk = kg.public_key().unwrap();
+        (
+            BatchEncoder::new(params.clone()),
+            Encryptor::from_public_key(pk, 8),
+            kg,
+        )
+    }
+
+    #[test]
+    fn fingerprints_separate_the_presets() {
+        let fps: Vec<u64> = BfvParams::presets(4096)
+            .unwrap()
+            .iter()
+            .map(|(_, p)| chain_fingerprint(p))
+            .collect();
+        let mut dedup = fps.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), fps.len(), "presets must fingerprint apart");
+        // Rebuilding the same preset reproduces the fingerprint.
+        assert_eq!(
+            chain_fingerprint(&BfvParams::preset_single_60(4096).unwrap()),
+            chain_fingerprint(&BfvParams::preset_single_60(4096).unwrap()),
+        );
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_is_bit_identical() {
+        let params = BfvParams::preset_single_60(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]).unwrap()).unwrap();
+        let bytes = encode_ciphertext(&ct);
+        assert_eq!(bytes.len(), ciphertext_wire_bytes(&params, 0));
+        assert_eq!(bytes.len() - HEADER_BYTES, ct.byte_size());
+        let back = decode_ciphertext(&bytes, &params).unwrap();
+        assert_eq!(back.c0().data(), ct.c0().data());
+        assert_eq!(back.c1().data(), ct.c1().data());
+        // Canonical: re-encoding reproduces the exact bytes.
+        assert_eq!(encode_ciphertext(&back), bytes);
+    }
+
+    #[test]
+    fn truncation_extension_and_garbage_are_typed_errors() {
+        let params = BfvParams::preset_rns_2x30(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[5]).unwrap()).unwrap();
+        let bytes = encode_ciphertext(&ct);
+
+        assert!(matches!(
+            decode_ciphertext(&[], &params),
+            Err(Error::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_ciphertext(&bytes[..bytes.len() - 1], &params),
+            Err(Error::Malformed { .. })
+        ));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_ciphertext(&extended, &params),
+            Err(Error::Malformed { .. })
+        ));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            decode_ciphertext(&bad_magic, &params),
+            Err(Error::Malformed { .. })
+        ));
+        let mut bad_version = bytes.clone();
+        bad_version[OFF_VERSION] = 99;
+        assert!(matches!(
+            decode_ciphertext(&bad_version, &params),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_chain_mismatch() {
+        let params = BfvParams::preset_single_60(4096).unwrap();
+        let other = BfvParams::preset_rns_2x30(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[5]).unwrap()).unwrap();
+        let bytes = encode_ciphertext(&ct);
+        assert!(matches!(
+            decode_ciphertext(&bytes, &other),
+            Err(Error::ChainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_canonical_residue_is_rejected() {
+        let params = BfvParams::preset_single_60(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[5]).unwrap()).unwrap();
+        let mut bytes = encode_ciphertext(&ct);
+        let q = params.chain().modulus(0).value();
+        bytes[HEADER_BYTES..HEADER_BYTES + 8].copy_from_slice(&q.to_le_bytes());
+        match decode_ciphertext(&bytes, &params) {
+            Err(Error::Malformed { reason, .. }) => {
+                assert!(reason.contains("non-canonical"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn level_lies_are_rejected() {
+        let params = BfvParams::preset_rns_3x36(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[5]).unwrap()).unwrap();
+        let mut bytes = encode_ciphertext(&ct);
+        // Past the chain: InvalidLevel.
+        bytes[OFF_LEVEL..OFF_LEVEL + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode_ciphertext(&bytes, &params),
+            Err(Error::InvalidLevel { requested: 9, .. })
+        ));
+        // Valid level whose payload length no longer matches: Malformed.
+        bytes[OFF_LEVEL..OFF_LEVEL + 4].copy_from_slice(&1u32.to_le_bytes());
+        bytes[OFF_LIVE_LIMBS..OFF_LIVE_LIMBS + 4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            decode_ciphertext(&bytes, &params),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn reserved_byte_is_ignored_by_design() {
+        let params = BfvParams::preset_single_60(4096).unwrap();
+        let (encoder, mut enc, _) = setup(&params);
+        let ct = enc.encrypt(&encoder.encode(&[9]).unwrap()).unwrap();
+        let mut bytes = encode_ciphertext(&ct);
+        bytes[OFF_RESERVED] = 0xff;
+        let back = decode_ciphertext(&bytes, &params).unwrap();
+        assert_eq!(back.c0().data(), ct.c0().data());
+        assert_eq!(back.c1().data(), ct.c1().data());
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let params = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 3);
+        let pk = kg.public_key().unwrap();
+        let bytes = encode_public_key(&pk);
+        assert_eq!(bytes.len(), public_key_wire_bytes(&params));
+        assert_eq!(bytes.len() - HEADER_BYTES, pk.byte_size());
+        let back = decode_public_key(&bytes, &params).unwrap();
+        assert_eq!(back.pk0().data(), pk.pk0().data());
+        assert_eq!(back.pk1().data(), pk.pk1().data());
+        assert_eq!(encode_public_key(&back), bytes);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_and_reject_bad_elements() {
+        let params = BfvParams::preset_rns_2x30(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 4);
+        let keys = kg.galois_keys_for_steps(&[1, -1, 8]).unwrap();
+        let bytes = encode_galois_keys(&keys, &params);
+        assert_eq!(bytes.len(), galois_keys_wire_bytes(&params, keys.len()));
+        assert_eq!(
+            bytes.len(),
+            HEADER_BYTES + 4 + keys.len() * 8 + keys.byte_size(&params)
+        );
+        let back = decode_galois_keys(&bytes, &params).unwrap();
+        assert_eq!(back.len(), keys.len());
+        for g in keys.elements() {
+            let a = keys.get(g).unwrap();
+            let b = back.get(g).unwrap();
+            assert_eq!(a.permutation(), b.permutation());
+            for (pa, pb) in a.pairs().iter().zip(b.pairs()) {
+                assert_eq!(pa.0.data(), pb.0.data());
+                assert_eq!(pa.1.data(), pb.1.data());
+            }
+        }
+        assert_eq!(encode_galois_keys(&back, &params), bytes);
+
+        // An even element in the stream is structurally invalid.
+        let mut bad = bytes.clone();
+        bad[HEADER_BYTES + 4..HEADER_BYTES + 12].copy_from_slice(&4u64.to_le_bytes());
+        assert!(matches!(
+            decode_galois_keys(&bad, &params),
+            Err(Error::InvalidGaloisElement(4))
+        ));
+    }
+
+    #[test]
+    fn plaintext_mask_roundtrip_and_canonical_check() {
+        let params = BfvParams::preset_single_60(4096).unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let pt = encoder.encode_signed(&[-3, 5, 11]).unwrap();
+        let bytes = encode_plaintext_mask(&pt);
+        assert_eq!(bytes.len(), plaintext_mask_wire_bytes(&params));
+        let back = decode_plaintext_mask(&bytes, &params).unwrap();
+        assert_eq!(back.poly().data(), pt.poly().data());
+        assert_eq!(encoder.decode_signed(&back)[..3], [-3, 5, 11]);
+
+        let mut bad = bytes.clone();
+        let t = params.plain_modulus().value();
+        bad[HEADER_BYTES..HEADER_BYTES + 8].copy_from_slice(&t.to_le_bytes());
+        assert!(matches!(
+            decode_plaintext_mask(&bad, &params),
+            Err(Error::Malformed { .. })
+        ));
+    }
+}

@@ -1,6 +1,13 @@
 //! Failure injection: the BFV engine must *detect* the failure modes the
 //! paper's models exist to avoid — noise-budget exhaustion, wrong keys,
 //! parameter mismatches — rather than silently returning garbage.
+//!
+//! The original six ad-hoc cases (below) predate the wire layer; the
+//! [`wire_fault_harness`] module re-expresses the corruption-shaped ones
+//! on the shared [`cheetah_protocol::faults::FaultInjector`] corruption
+//! classes and adds proptest-driven random-corruption coverage: any
+//! mutation of a valid encoding yields a typed error or a bit-identical
+//! decrypt — never a panic, never silent garbage.
 
 use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, KeyGenerator,
@@ -173,4 +180,133 @@ fn plaintext_overflow_wraps_mod_t() {
     let doubled = eval.add(&ct, &ct).unwrap();
     let out = encoder.decode(&dec.decrypt_checked(&doubled).unwrap());
     assert_eq!(out[0], t - 2, "(-1) + (-1) = -2 mod t");
+}
+
+/// Wire-level failure injection on the shared protocol fault harness:
+/// the corruption classes of `cheetah_protocol::faults` driven directly
+/// against the engine's decode → measured-noise-gate receive path.
+mod wire_fault_harness {
+    use super::*;
+    use cheetah_bfv::wire;
+    use cheetah_protocol::faults::{Corruption, FaultInjector};
+    use proptest::prelude::*;
+
+    /// Measured-noise gate matching the protocol session's semantics:
+    /// overflowed noise collapses the budget to ≈ 0 (it can hover
+    /// slightly positive), so anything under half a bit is failed.
+    const MIN_BUDGET_BITS: f64 = 0.5;
+
+    struct Rig {
+        params: BfvParams,
+        encoder: BatchEncoder,
+        decryptor: Decryptor,
+        clean: Vec<u8>,
+        clean_slots: Vec<u64>,
+    }
+
+    fn rig(seed: u64) -> Rig {
+        let params = params(16, 54);
+        let mut kg = KeyGenerator::from_seed(params.clone(), seed);
+        let pk = kg.public_key().unwrap();
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_public_key(pk, seed ^ 0xfa11);
+        let decryptor = Decryptor::new(kg.secret_key().clone());
+        let values: Vec<u64> = (0..64).map(|i| i * 31 % 1000).collect();
+        let ct = enc.encrypt(&encoder.encode(&values).unwrap()).unwrap();
+        let clean = wire::encode_ciphertext(&ct);
+        let clean_slots = encoder.decode(&decryptor.decrypt(&ct).unwrap());
+        Rig {
+            params,
+            encoder,
+            decryptor,
+            clean,
+            clean_slots,
+        }
+    }
+
+    /// The two contractual outcomes; reaching neither panics the test.
+    fn assert_detected_or_harmless(r: &Rig, mutant: &[u8], what: &str) -> bool {
+        let ct = match wire::decode_ciphertext(mutant, &r.params) {
+            Err(_) => return true, // detected structurally, typed
+            Ok(ct) => ct,
+        };
+        let budget = r.decryptor.invariant_noise_budget(&ct).unwrap();
+        if budget < MIN_BUDGET_BITS {
+            return true; // detected at the noise gate
+        }
+        let slots = r.encoder.decode(&r.decryptor.decrypt(&ct).unwrap());
+        assert_eq!(
+            slots, r.clean_slots,
+            "{what}: decoded+decrypted with healthy budget but different slots"
+        );
+        false // harmless
+    }
+
+    #[test]
+    fn every_corruption_class_is_detected_or_harmless() {
+        let r = rig(90);
+        let len = r.clean.len();
+        let battery = [
+            Corruption::BitFlip {
+                byte: wire::HEADER_BYTES + 3,
+                bit: 5,
+            },
+            Corruption::BitFlip { byte: 2, bit: 0 },
+            Corruption::Truncate { keep: len - 9 },
+            Corruption::Truncate { keep: 3 },
+            Corruption::Extend { extra: 24 },
+            Corruption::LevelLie {
+                level: 3,
+                resize_payload: false,
+            },
+            Corruption::ForeignFingerprint,
+            Corruption::NonCanonicalResidue { limb: 0 },
+            Corruption::SwapComponents,
+            Corruption::ReservedByte { value: 0x42 },
+        ];
+        let mut detected = 0;
+        let mut harmless = 0;
+        for c in &battery {
+            let mutant = FaultInjector::apply(&r.clean, c, &r.params);
+            if assert_detected_or_harmless(&r, &mutant, &c.label()) {
+                detected += 1;
+            } else {
+                harmless += 1;
+            }
+        }
+        assert!(detected >= 9, "structural classes must all be detected");
+        assert!(harmless >= 1, "the reserved byte is harmless by design");
+    }
+
+    /// The foreign-keyset legacy case, re-expressed on the wire: a key
+    /// set serialized under one chain is rejected by fingerprint before
+    /// any key material is trusted.
+    #[test]
+    fn foreign_chain_keys_are_rejected_at_decode() {
+        let p_a = params(16, 54);
+        let p_b = params(17, 54);
+        let mut kg = KeyGenerator::from_seed(p_a.clone(), 91);
+        let keys = kg.galois_keys_for_steps(&[1, 4]).unwrap();
+        let bytes = wire::encode_galois_keys(&keys, &p_a);
+        assert!(wire::decode_galois_keys(&bytes, &p_a).is_ok());
+        assert!(matches!(
+            wire::decode_galois_keys(&bytes, &p_b),
+            Err(Error::ChainMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random corruption of a valid encoding ⇒ typed error or
+        /// bit-identical decrypt. Never a panic, never silent garbage.
+        fn random_corruption_never_silently_corrupts(seed in any::<u64>()) {
+            let r = rig(92);
+            let mut injector = FaultInjector::new(seed);
+            let c = injector.random_corruption(r.clean.len());
+            let mutant = FaultInjector::apply(&r.clean, &c, &r.params);
+            if mutant != r.clean {
+                let _ = assert_detected_or_harmless(&r, &mutant, &c.label());
+            }
+        }
+    }
 }

@@ -1,0 +1,186 @@
+//! Wire round-trip conformance: `encode → decode` must be bit-identical
+//! for every serializable object, at every level of every preset chain,
+//! and the encoded length must match the transcript accounting the
+//! protocol layer pins (`2·live·n·8` per ciphertext, plus the fixed
+//! 24-byte header).
+//!
+//! These pins are what make the transcript byte counts in
+//! `tests/session_conformance.rs` *mean* something: a message's accounted
+//! size plus [`wire::HEADER_BYTES`] is exactly what crosses the network.
+
+use cheetah_bfv::{wire, BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
+
+fn presets() -> Vec<(&'static str, BfvParams)> {
+    vec![
+        ("single_60", BfvParams::preset_single_60(4096).unwrap()),
+        ("rns_2x30", BfvParams::preset_rns_2x30(4096).unwrap()),
+        ("rns_3x36", BfvParams::preset_rns_3x36(4096).unwrap()),
+    ]
+}
+
+#[test]
+fn ciphertext_roundtrips_at_every_level_on_every_preset() {
+    for (name, p) in presets() {
+        let n = p.degree();
+        let limbs = p.limbs();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 7);
+        let pk = kg.public_key().unwrap();
+        let encoder = BatchEncoder::new(p.clone());
+        let mut enc = Encryptor::from_public_key(pk, 8);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(p.clone());
+
+        let values: Vec<u64> = (0..n as u64).map(|i| i % 251).collect();
+        let fresh = enc.encrypt(&encoder.encode(&values).unwrap()).unwrap();
+
+        for level in 0..p.levels() {
+            let ct = eval.mod_switch_to(&fresh, level).unwrap();
+            let bytes = wire::encode_ciphertext(&ct);
+
+            // Size pin: header + 2 polys × live limb planes × n × 8 bytes,
+            // and the payload part must agree with the object's own
+            // accounting (what the transcript records).
+            let live = limbs - level;
+            assert_eq!(
+                bytes.len(),
+                wire::HEADER_BYTES + 2 * live * n * 8,
+                "{name} lvl{level}: wire size formula"
+            );
+            assert_eq!(
+                bytes.len(),
+                ct.byte_size() + wire::HEADER_BYTES,
+                "{name} lvl{level}: wire size vs transcript accounting"
+            );
+            assert_eq!(bytes.len(), wire::ciphertext_wire_bytes(&p, level));
+
+            let back = wire::decode_ciphertext(&bytes, &p).unwrap();
+            assert_eq!(back.level(), level);
+            assert_eq!(
+                wire::encode_ciphertext(&back),
+                bytes,
+                "{name} lvl{level}: re-encode must be bit-identical"
+            );
+            // Decode attaches a fresh (pessimistic) noise estimate; the
+            // payload itself still decrypts to the original slots.
+            assert_eq!(
+                encoder.decode(&dec.decrypt(&back).unwrap()),
+                values,
+                "{name} lvl{level}: decrypt after round-trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn public_key_roundtrip_and_size_pin() {
+    for (name, p) in presets() {
+        let mut kg = KeyGenerator::from_seed(p.clone(), 17);
+        let pk = kg.public_key().unwrap();
+        let bytes = wire::encode_public_key(&pk);
+        assert_eq!(
+            bytes.len(),
+            wire::HEADER_BYTES + pk.byte_size(),
+            "{name}: public key wire size"
+        );
+        assert_eq!(bytes.len(), wire::public_key_wire_bytes(&p));
+        let back = wire::decode_public_key(&bytes, &p).unwrap();
+        assert_eq!(
+            wire::encode_public_key(&back),
+            bytes,
+            "{name}: public key re-encode bit-identical"
+        );
+        // The decoded key is usable: encrypt with it, decrypt with the
+        // matching secret key.
+        let encoder = BatchEncoder::new(p.clone());
+        let mut enc = Encryptor::from_public_key(back, 18);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let ct = enc.encrypt(&encoder.encode(&[5, 6, 7]).unwrap()).unwrap();
+        assert_eq!(&encoder.decode(&dec.decrypt(&ct).unwrap())[..3], &[5, 6, 7]);
+    }
+}
+
+#[test]
+fn galois_keys_roundtrip_and_size_pin() {
+    for (name, p) in presets() {
+        let mut kg = KeyGenerator::from_seed(p.clone(), 27);
+        let steps = [1, 2, 8, -1];
+        let keys = kg.galois_keys_for_steps(&steps).unwrap();
+        let bytes = wire::encode_galois_keys(&keys, &p);
+        assert_eq!(
+            bytes.len(),
+            wire::galois_keys_wire_bytes(&p, keys.len()),
+            "{name}: galois keys wire size formula"
+        );
+        assert_eq!(
+            bytes.len(),
+            wire::HEADER_BYTES + 4 + keys.len() * 8 + keys.byte_size(&p),
+            "{name}: galois keys wire size vs key accounting"
+        );
+        let back = wire::decode_galois_keys(&bytes, &p).unwrap();
+        assert_eq!(
+            wire::encode_galois_keys(&back, &p),
+            bytes,
+            "{name}: galois keys re-encode bit-identical"
+        );
+        // The decoded keys still rotate correctly.
+        let pk = kg.public_key().unwrap();
+        let encoder = BatchEncoder::new(p.clone());
+        let mut enc = Encryptor::from_public_key(pk, 28);
+        let dec = Decryptor::new(kg.secret_key().clone());
+        let eval = Evaluator::new(p.clone());
+        let ct = enc
+            .encrypt(&encoder.encode(&[1, 2, 3, 4]).unwrap())
+            .unwrap();
+        let rot = eval.rotate_rows(&ct, 1, &back).unwrap();
+        assert_eq!(
+            &encoder.decode(&dec.decrypt(&rot).unwrap())[..3],
+            &[2, 3, 4]
+        );
+    }
+}
+
+#[test]
+fn plaintext_mask_roundtrip_and_size_pin() {
+    for (name, p) in presets() {
+        let encoder = BatchEncoder::new(p.clone());
+        let values: Vec<u64> = (0..p.degree() as u64).map(|i| (i * 7) % 97).collect();
+        let pt = encoder.encode(&values).unwrap();
+        let bytes = wire::encode_plaintext_mask(&pt);
+        assert_eq!(
+            bytes.len(),
+            wire::plaintext_mask_wire_bytes(&p),
+            "{name}: mask wire size"
+        );
+        let back = wire::decode_plaintext_mask(&bytes, &p).unwrap();
+        assert_eq!(
+            wire::encode_plaintext_mask(&back),
+            bytes,
+            "{name}: mask re-encode bit-identical"
+        );
+        assert_eq!(encoder.decode(&back), values, "{name}: mask values survive");
+    }
+}
+
+#[test]
+fn presets_have_distinct_fingerprints_and_reject_each_other() {
+    let ps = presets();
+    for (i, (name_a, a)) in ps.iter().enumerate() {
+        let mut kg = KeyGenerator::from_seed(a.clone(), 37);
+        let pk = kg.public_key().unwrap();
+        let bytes = wire::encode_public_key(&pk);
+        for (j, (name_b, b)) in ps.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert_ne!(
+                wire::chain_fingerprint(a),
+                wire::chain_fingerprint(b),
+                "{name_a} vs {name_b}: fingerprints must differ"
+            );
+            assert!(
+                wire::decode_public_key(&bytes, b).is_err(),
+                "{name_a} key must not decode under {name_b}"
+            );
+        }
+    }
+}

@@ -10,9 +10,17 @@
 //! The threat model matches Gazelle: both parties are honest but curious
 //! (§II-B). As in the paper, layer counts and shapes leak to the client;
 //! weight *values* do not.
+//!
+//! Although the parties are honest but curious, the *transport* is not
+//! assumed reliable: every ciphertext and key crosses the boundary
+//! through `cheetah_bfv::wire`'s validated encoding, and the
+//! [`faults`] module provides the deterministic corruption harness that
+//! pins the detected-or-harmless contract on recorded transcripts.
 
+pub mod faults;
 pub mod session;
 pub mod transcript;
 
+pub use faults::{classify_ciphertext_fault, Corruption, FaultInjector, FaultOutcome};
 pub use session::{LayerReport, PrivateInferenceSession};
 pub use transcript::{Direction, Transcript};

@@ -23,7 +23,7 @@
 //! claims are all about the server-side HE compute, which here is real.
 
 use cheetah_bfv::{
-    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
+    wire, BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
     KeyGenerator, NoiseEstimate, Plaintext, Result, Scratch,
 };
 use cheetah_core::linear::{HomConv2d, HomFc};
@@ -38,6 +38,17 @@ use crate::transcript::{garbled_circuit_bytes, Direction, Transcript};
 /// Worst-case budget (bits) the leveled-evaluation planner keeps in hand
 /// when choosing how many limbs to drop before a layer.
 const LEVEL_PLAN_MARGIN_BITS: f64 = 2.0;
+
+/// Measured-noise gate (bits) below which an incoming ciphertext is
+/// rejected as [`Error::NoiseBudgetExhausted`]. The measurement is taken
+/// against the *nearest* plaintext multiple, so truly-overflowed noise
+/// collapses the budget to ≈ 0 while hovering slightly positive — a
+/// strict-zero gate would wave garbage through (see
+/// [`cheetah_bfv::Decryptor::invariant_noise_budget`]). The max of `n`
+/// near-uniform residuals keeps garbage within ~0.001 bit of zero, while
+/// healthy-but-marginal sessions measure well above half a bit, so half
+/// a bit separates the two populations by orders of magnitude.
+const MIN_DECRYPT_BUDGET_BITS: f64 = 0.5;
 
 /// A prepared homomorphic linear layer plus its packing rules.
 enum HomLayer {
@@ -192,6 +203,12 @@ pub struct LayerReport {
     /// measuring costs one true decryption per output ciphertext, which
     /// does not belong on the production inference path.
     pub measured_noise_log2: Option<f64>,
+    /// Why the session aborted at this point, when it did: the rendered
+    /// typed error of a rejected wire message or an exhausted noise
+    /// budget. `None` on the healthy path — a run that returns `Err` also
+    /// leaves the fault here, so the caller can see *which* message or
+    /// layer killed the session.
+    pub fault: Option<String>,
 }
 
 /// End-to-end private inference for a small sequential network.
@@ -321,6 +338,71 @@ impl PrivateInferenceSession {
         self.measure_noise = true;
     }
 
+    /// The session's parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The session's Galois key set — exactly the `O(√d)` plan-required
+    /// steps, nothing more (the fault harness probes unplanned steps
+    /// against it).
+    pub fn galois_keys(&self) -> &GaloisKeys {
+        &self.keys
+    }
+
+    /// The session's evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Client-side decryption to signed slots, gated on the *measured*
+    /// invariant noise budget — the check that makes semantically corrupt
+    /// but structurally valid ciphertexts a typed
+    /// [`Error::NoiseBudgetExhausted`] rather than silent garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoiseBudgetExhausted`] when the measured budget is gone;
+    /// propagates BFV errors for mismatched parameters.
+    pub fn decrypt_slots(&self, ct: &Ciphertext) -> Result<Vec<i64>> {
+        if self.decryptor.invariant_noise_budget(ct)? < MIN_DECRYPT_BUDGET_BITS {
+            return Err(Error::NoiseBudgetExhausted);
+        }
+        Ok(self.encoder.decode_signed(&self.decryptor.decrypt(ct)?))
+    }
+
+    /// Decodes and validates one incoming ciphertext message at the
+    /// protocol boundary. A rejected message additionally leaves a
+    /// fault-bearing [`LayerReport`] behind, so an aborted session says
+    /// which message killed it.
+    ///
+    /// # Errors
+    ///
+    /// The wire layer's [`Error::Malformed`] / [`Error::ChainMismatch`] /
+    /// [`Error::InvalidLevel`].
+    pub fn decode_boundary(&mut self, label: &str, bytes: &[u8]) -> Result<Ciphertext> {
+        Self::decode_at_boundary(&self.params, &mut self.layer_reports, label, bytes)
+    }
+
+    fn decode_at_boundary(
+        params: &BfvParams,
+        reports: &mut Vec<LayerReport>,
+        label: &str,
+        bytes: &[u8],
+    ) -> Result<Ciphertext> {
+        wire::decode_ciphertext(bytes, params).inspect_err(|e| {
+            reports.push(LayerReport {
+                layer: reports.len(),
+                plan: label.to_string(),
+                level: 0,
+                predicted_bound_log2: f64::NAN,
+                tracked_bound_log2: f64::NAN,
+                measured_noise_log2: None,
+                fault: Some(e.to_string()),
+            });
+        })
+    }
+
     /// Runs a full private inference. Returns the prediction tensor and
     /// the communication transcript.
     ///
@@ -353,14 +435,30 @@ impl PrivateInferenceSession {
                     let hom = &self.hom_layers[linear_idx];
                     let is_last_linear = linear_idx + 1 == self.hom_layers.len();
 
-                    // 1. Client: pack + encrypt the masked activation.
+                    // 1. Client: pack + encrypt the masked activation,
+                    // then serialize — the cloud only ever sees wire
+                    // bytes, never a live ciphertext.
                     let packed = hom.pack(&client_act, &self.encoder)?;
-                    let mut ct = self.encryptor.encrypt(&packed)?;
-                    transcript.record(
+                    let ct_up = self.encryptor.encrypt(&packed)?;
+                    let encoded = wire::encode_ciphertext(&ct_up);
+                    check_wire_accounting("ciphertext", encoded.len(), ct_up.byte_size())?;
+                    let label = format!("enc activations L{linear_idx}");
+                    transcript.record_with_payload(
                         Direction::ClientToCloud,
-                        format!("enc activations L{linear_idx}"),
-                        ct.byte_size(),
+                        label.clone(),
+                        ct_up.byte_size(),
+                        encoded.clone(),
                     );
+
+                    // Cloud: decode + validate before any arithmetic. The
+                    // wire layer attaches the fresh-encryption noise
+                    // estimate — exactly right here: uploads *are* fresh.
+                    let mut ct = Self::decode_at_boundary(
+                        &self.params,
+                        &mut self.layer_reports,
+                        &label,
+                        &encoded,
+                    )?;
 
                     // 2. Cloud: remove its own previous mask homomorphically
                     // — in place, drawing the Δ·mask temporary from the
@@ -392,9 +490,15 @@ impl PrivateInferenceSession {
                     // decryption per ciphertext, so it is only taken when
                     // instrumentation is enabled.
                     let mut tracked = f64::NEG_INFINITY;
+                    let mut tracked_budget = f64::INFINITY;
                     let mut measured = None;
                     for out_ct in &outputs {
                         tracked = tracked.max(out_ct.noise().bound_log2);
+                        tracked_budget = tracked_budget.min(
+                            out_ct
+                                .noise()
+                                .budget_bits_statistical_at(&self.params, out_ct.level()),
+                        );
                         if self.measure_noise {
                             let m = self.decryptor.invariant_noise(out_ct)?;
                             let m = (m.max(1) as f64).log2();
@@ -408,7 +512,21 @@ impl PrivateInferenceSession {
                         predicted_bound_log2: predicted.bound_log2,
                         tracked_bound_log2: tracked,
                         measured_noise_log2: measured,
+                        fault: None,
                     });
+
+                    // Guardrail: abort *before* shipping anything whose
+                    // tracked estimate already spent the whole budget —
+                    // the offending layer's report carries the fault.
+                    if tracked_budget <= 0.0 {
+                        if let Some(r) = self.layer_reports.last_mut() {
+                            r.fault = Some(format!(
+                                "tracked noise budget exhausted: \
+                                 {tracked_budget:.1} bits left after layer {linear_idx}"
+                            ));
+                        }
+                        return Err(Error::NoiseBudgetExhausted);
+                    }
 
                     // Cloud: fresh output mask r (skipped on the final layer
                     // — the prediction belongs to the client).
@@ -428,21 +546,47 @@ impl PrivateInferenceSession {
                         self.evaluator
                             .add_plain_assign(out_ct, m_pt, &mut self.scratch)?;
                     }
+                    // Cloud: serialize the masked outputs. One transcript
+                    // record per layer (the byte pin other suites rely
+                    // on), its payload the back-to-back wire messages.
                     let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
                     let out_level = masked_cts.first().map_or(0, Ciphertext::level);
-                    transcript.record(
+                    let mut dl_payload = Vec::new();
+                    for mct in &masked_cts {
+                        let encoded = wire::encode_ciphertext(mct);
+                        check_wire_accounting("ciphertext", encoded.len(), mct.byte_size())?;
+                        dl_payload.extend_from_slice(&encoded);
+                    }
+                    let dl_label = format!("enc masked outputs L{linear_idx} lvl{out_level}");
+                    transcript.record_with_payload(
                         Direction::CloudToClient,
-                        format!("enc masked outputs L{linear_idx} lvl{out_level}"),
+                        dl_label.clone(),
                         dl_bytes,
+                        dl_payload.clone(),
                     );
 
-                    // 3. Client: decrypt y + r.
-                    let mut slot_vecs = Vec::with_capacity(masked_cts.len());
-                    for mct in &masked_cts {
-                        if self.decryptor.invariant_noise_budget(mct)? <= 0.0 {
-                            return Err(Error::NoiseBudgetExhausted);
-                        }
-                        slot_vecs.push(self.encoder.decode_signed(&self.decryptor.decrypt(mct)?));
+                    // 3. Client: split the bundle, validate each message,
+                    // decrypt y + r (gated on the *measured* budget).
+                    let parts = wire::split_ciphertext_messages(&dl_payload, &self.params)?;
+                    if parts.len() != masked_cts.len() {
+                        return Err(Error::Malformed {
+                            what: "ciphertext bundle",
+                            reason: format!(
+                                "download framed {} messages where {} were sent",
+                                parts.len(),
+                                masked_cts.len()
+                            ),
+                        });
+                    }
+                    let mut slot_vecs = Vec::with_capacity(parts.len());
+                    for part in parts {
+                        let mct = Self::decode_at_boundary(
+                            &self.params,
+                            &mut self.layer_reports,
+                            &dl_label,
+                            part,
+                        )?;
+                        slot_vecs.push(self.decrypt_slots(&mct)?);
                     }
                     let masked_out = hom.unpack(&slot_vecs);
 
@@ -457,9 +601,17 @@ impl PrivateInferenceSession {
                             Layer::SumPool { k, stride } => sum_pool(&gc_in, *k, *stride),
                             Layer::Flatten => gc_in.clone().into_flat(),
                             Layer::ResidualAdd { .. } => {
-                                unimplemented!("residual networks need multi-branch sessions")
+                                return Err(Error::Unsupported(
+                                    "residual networks need multi-branch sessions",
+                                ))
                             }
-                            Layer::Linear(_) => unreachable!(),
+                            // Excluded by the loop condition; the boundary
+                            // still refuses rather than panicking.
+                            Layer::Linear(_) => {
+                                return Err(Error::Unsupported(
+                                    "linear layer inside a nonlinear bundle",
+                                ))
+                            }
                         };
                         lj += 1;
                     }
@@ -494,7 +646,16 @@ impl PrivateInferenceSession {
                         Layer::MaxPool { k, stride } => max_pool(&client_act, *k, *stride),
                         Layer::SumPool { k, stride } => sum_pool(&client_act, *k, *stride),
                         Layer::Flatten => client_act.clone().into_flat(),
-                        _ => unreachable!(),
+                        Layer::ResidualAdd { .. } => {
+                            return Err(Error::Unsupported(
+                                "residual networks need multi-branch sessions",
+                            ))
+                        }
+                        // Excluded by the enclosing match; refused, not
+                        // panicked on.
+                        Layer::Linear(_) => {
+                            return Err(Error::Unsupported("unexpected linear layer"))
+                        }
                     };
                     li += 1;
                 }
@@ -502,6 +663,23 @@ impl PrivateInferenceSession {
         }
         Ok((client_act, Transcript::new()))
     }
+}
+
+/// Cross-checks an encoded message against the transcript accounting
+/// relation — a full wire message is exactly the accounted payload
+/// (`2·live·n·8` for a ciphertext) plus the fixed header — before the
+/// message ships.
+fn check_wire_accounting(what: &'static str, encoded: usize, accounted: usize) -> Result<()> {
+    if encoded != accounted + wire::HEADER_BYTES {
+        return Err(Error::Malformed {
+            what,
+            reason: format!(
+                "encoder produced {encoded} bytes where accounting expects {accounted} + {} header",
+                wire::HEADER_BYTES
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// `a - b` with wraparound mod `t`, re-centered. Exactly what the GC's

@@ -23,8 +23,13 @@ pub struct Message {
     pub direction: Direction,
     /// Short description (e.g. `"enc activations L3"`).
     pub label: String,
-    /// Serialized size in bytes.
+    /// Accounted payload size in bytes (wire framing excluded, so the
+    /// `2·live·n·8` ciphertext pins stay limb-exact).
     pub bytes: usize,
+    /// The actual encoded message, when the sender captured it
+    /// (`cheetah_bfv::wire` format). Empty for size-only records; the
+    /// fault-injection harness replays and corrupts these.
+    pub payload: Vec<u8>,
 }
 
 /// A full protocol transcript.
@@ -39,12 +44,30 @@ impl Transcript {
         Self::default()
     }
 
-    /// Records a message.
+    /// Records a size-only message (no captured payload).
     pub fn record(&mut self, direction: Direction, label: impl Into<String>, bytes: usize) {
         self.messages.push(Message {
             direction,
             label: label.into(),
             bytes,
+            payload: Vec::new(),
+        });
+    }
+
+    /// Records a message together with its encoded wire payload, keeping
+    /// the accounted size (`bytes`) independent of the wire framing.
+    pub fn record_with_payload(
+        &mut self,
+        direction: Direction,
+        label: impl Into<String>,
+        bytes: usize,
+        payload: Vec<u8>,
+    ) {
+        self.messages.push(Message {
+            direction,
+            label: label.into(),
+            bytes,
+            payload,
         });
     }
 

@@ -49,6 +49,25 @@ if [[ "${1:-}" != "quick" ]]; then
     fi
 fi
 
+echo "==> panic-lint: wire/fault modules deny unwrap/expect; protocol is panic-free"
+for f in crates/bfv/src/wire.rs crates/protocol/src/faults.rs; do
+    if ! grep -q '#!\[deny(clippy::unwrap_used, clippy::expect_used)\]' "$f"; then
+        echo "FAIL: $f lost its #![deny(clippy::unwrap_used, clippy::expect_used)] attribute"
+        exit 1
+    fi
+done
+# The protocol boundary must never panic on hostile input: no panic-family
+# macros anywhere in the crate's non-test sources.
+if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' crates/protocol/src; then
+    echo "FAIL: panic-family macro in crates/protocol/src (boundary must return typed errors)"
+    exit 1
+fi
+
+echo "==> fault-injection smoke (fixed seed)"
+# A second fixed seed on top of the suite's built-in default, so the gate
+# replays a different deterministic corruption draw than plain `cargo test`.
+FAULT_SEED=20260808 cargo test -q -p cheetah-protocol --test transcript_faults
+
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
