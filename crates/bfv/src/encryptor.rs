@@ -102,16 +102,53 @@ impl Encryptor {
 
     fn encrypt_with_sk(&mut self, dm: RnsPoly) -> Result<Ciphertext> {
         let chain = self.params.chain().clone();
-        let sk = self.sk.as_ref().expect("sk encryptor");
         let a = self.rng.uniform_rns(&chain, Representation::Eval);
-        let mut e = self.rng.noise_rns(&chain);
-        e.to_eval(&chain);
+        self.assemble_sk_ciphertext(dm, a, &chain)
+    }
+
+    /// Symmetric encryption with a wire-compressible mask: `c1 = a` is
+    /// expanded from a fresh 64-bit seed (via
+    /// [`crate::sampling::expand_uniform`]) instead of drawn from the main
+    /// stream, so the ciphertext can ship as (seed, c0) — see
+    /// [`crate::wire::encode_ciphertext_seeded`]. Returns the ciphertext
+    /// together with the seed that regenerates its `c1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] on a public-key encryptor (only the
+    /// symmetric path has a uniform `c1`), or
+    /// [`Error::ParameterMismatch`] for foreign plaintexts.
+    pub fn encrypt_seeded(&mut self, pt: &Plaintext) -> Result<(Ciphertext, u64)> {
+        if self.sk.is_none() {
+            return Err(Error::Unsupported(
+                "seeded encryption requires a secret-key encryptor",
+            ));
+        }
+        self.params.check_same(pt.params())?;
+        let mut dm = self.params.lift_scaled(pt.poly().data());
+        dm.to_eval(self.params.chain());
+        let chain = self.params.chain().clone();
+        let seed = self.rng.next_seed();
+        let a = crate::sampling::expand_uniform(seed, &chain);
+        let ct = self.assemble_sk_ciphertext(dm, a, &chain)?;
+        Ok((ct, seed))
+    }
+
+    fn assemble_sk_ciphertext(
+        &mut self,
+        dm: RnsPoly,
+        a: RnsPoly,
+        chain: &crate::rns::ModulusChain,
+    ) -> Result<Ciphertext> {
+        let sk = self.sk.as_ref().expect("sk encryptor");
+        let mut e = self.rng.noise_rns(chain);
+        e.to_eval(chain);
         // c0 = -(a*s) + e + Δm; c1 = a
         let mut c0 = a.clone();
-        c0.mul_assign_pointwise(sk.poly(), &chain)?;
-        c0.negate(&chain);
-        c0.add_assign(&e, &chain)?;
-        c0.add_assign(&dm, &chain)?;
+        c0.mul_assign_pointwise(sk.poly(), chain)?;
+        c0.negate(chain);
+        c0.add_assign(&e, chain)?;
+        c0.add_assign(&dm, chain)?;
         Ok(Ciphertext::new(
             c0,
             a,
@@ -382,6 +419,41 @@ mod tests {
         let noise_pk = dec.invariant_noise(&ct_pk).unwrap();
         let noise_sk = dec.invariant_noise(&ct_sk).unwrap();
         assert!(noise_sk <= noise_pk, "sk {noise_sk} vs pk {noise_pk}");
+    }
+
+    #[test]
+    fn seeded_encryption_roundtrips_and_seed_regenerates_c1() {
+        for params in [
+            BfvParams::preset_single_60(4096).unwrap(),
+            BfvParams::preset_rns_3x36(4096).unwrap(),
+        ] {
+            let kg = KeyGenerator::from_seed(params.clone(), 13);
+            let dec = Decryptor::new(kg.secret_key().clone());
+            let encoder = BatchEncoder::new(params.clone());
+            let pt = encoder.encode(&[9, 8, 7]).unwrap();
+            let mut enc = Encryptor::from_secret_key(kg.secret_key().clone(), 14);
+            let (ct, seed) = enc.encrypt_seeded(&pt).unwrap();
+            // The seed is the c1: re-expansion must match bit-for-bit.
+            let a = crate::sampling::expand_uniform(seed, params.chain());
+            assert_eq!(ct.c1(), &a);
+            assert_eq!(
+                encoder.decode(&dec.decrypt_checked(&ct).unwrap())[..3],
+                [9, 8, 7]
+            );
+            // Two seeded encryptions draw distinct seeds.
+            let (_, seed2) = enc.encrypt_seeded(&pt).unwrap();
+            assert_ne!(seed, seed2);
+        }
+    }
+
+    #[test]
+    fn seeded_encryption_rejected_without_secret_key() {
+        let (_, encoder, mut enc, _) = setup(2048);
+        let pt = encoder.encode(&[1]).unwrap();
+        assert!(matches!(
+            enc.encrypt_seeded(&pt),
+            Err(Error::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -269,6 +269,36 @@ impl KeyGenerator {
         })
     }
 
+    /// Generates a public key whose uniform component `pk1 = a` is expanded
+    /// from a fresh 64-bit seed (via [`crate::sampling::expand_uniform`]),
+    /// so the key can ship over the wire as (seed, pk0) at half the bytes —
+    /// see [`crate::wire::encode_public_key_seeded`]. Returns the key
+    /// together with the seed that regenerates its `pk1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic errors from the pk0 assembly.
+    pub fn public_key_seeded(&mut self) -> Result<(PublicKey, u64)> {
+        let chain = self.params.chain().clone();
+        let seed = self.rng.next_seed();
+        let a = crate::sampling::expand_uniform(seed, &chain);
+        let mut e = self.rng.noise_rns(&chain);
+        e.to_eval(&chain);
+        // pk0 = -(a*s + e)
+        let mut pk0 = a.clone();
+        pk0.mul_assign_pointwise(self.sk.poly(), &chain)?;
+        pk0.add_assign(&e, &chain)?;
+        pk0.negate(&chain);
+        Ok((
+            PublicKey {
+                pk0,
+                pk1: a,
+                params: self.params.clone(),
+            },
+            seed,
+        ))
+    }
+
     /// Generates the Galois key for element `g` with the parameter set's
     /// ciphertext decomposition base: one RLWE pair per (limb, digit) of
     /// the RNS-native decomposition, pair `(i, d)` encrypting

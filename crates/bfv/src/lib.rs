@@ -107,10 +107,13 @@ pub use keys::{GaloisKey, GaloisKeys, KeyGenerator, PublicKey, SecretKey};
 pub use noise::NoiseEstimate;
 pub use params::{BfvParams, BfvParamsBuilder, SecurityLevel};
 pub use rns::{ModulusChain, RnsPoly};
-pub use scratch::Scratch;
+pub use sampling::expand_uniform;
+pub use scratch::{Scratch, ScratchLease, ScratchPool};
 pub use wire::{
     chain_fingerprint, ciphertext_wire_bytes, decode_ciphertext, decode_galois_keys,
-    decode_plaintext_mask, decode_public_key, encode_ciphertext, encode_galois_keys,
-    encode_plaintext_mask, encode_public_key, galois_keys_wire_bytes, plaintext_mask_wire_bytes,
-    public_key_wire_bytes, split_ciphertext_messages, HEADER_BYTES,
+    decode_plaintext_mask, decode_public_key, encode_ciphertext, encode_ciphertext_seeded,
+    encode_galois_keys, encode_plaintext_mask, encode_public_key, encode_public_key_seeded,
+    galois_keys_wire_bytes, plaintext_mask_wire_bytes, public_key_wire_bytes,
+    seeded_ciphertext_wire_bytes, seeded_public_key_wire_bytes, split_ciphertext_messages,
+    HEADER_BYTES, SEED_BYTES,
 };

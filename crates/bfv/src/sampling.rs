@@ -123,6 +123,13 @@ impl BfvRng {
         })
     }
 
+    /// Draws a fresh 64-bit seed from this generator's stream — the seed a
+    /// seeded wire encoding ships in place of a full uniform polynomial
+    /// (the receiver re-expands it with [`expand_uniform`]).
+    pub fn next_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
     /// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`
     /// (uniform), lifted into every limb plane (coefficient form) — the
     /// RLWE secret distribution over the chain. One trit is drawn per
@@ -145,6 +152,18 @@ impl BfvRng {
         let samples: Vec<i64> = (0..chain.degree()).map(|_| self.noise_sample()).collect();
         RnsPoly::from_signed(&samples, chain)
     }
+}
+
+/// Expands a 64-bit seed into the uniform Eval-domain polynomial the seed
+/// stands for on the wire: a dedicated `StdRng` stream drawing limb-major,
+/// exactly the draw order of [`BfvRng::uniform_rns`]. Both ends of a
+/// seeded encoding call this, so `expand_uniform(seed, chain)` is the
+/// *definition* of the `c1` / `pk1` component a (seed, c0) message omits.
+pub fn expand_uniform(seed: u64, chain: &ModulusChain) -> RnsPoly {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RnsPoly::from_fn(chain, Representation::Eval, |i, _| {
+        rng.random_range(0..chain.modulus(i).value())
+    })
 }
 
 #[cfg(test)]
@@ -223,6 +242,21 @@ mod tests {
         let (q0, q1) = (chain.modulus(0), chain.modulus(1));
         for j in 0..512 {
             assert_eq!(q0.center(s.limb(0)[j]), q1.center(s.limb(1)[j]));
+        }
+    }
+
+    #[test]
+    fn expand_uniform_is_deterministic_and_canonical() {
+        let values = crate::arith::generate_ntt_primes(30, 512, 3).unwrap();
+        let chain = ModulusChain::new(512, &values).unwrap();
+        let a = expand_uniform(0xDEAD_BEEF, &chain);
+        let b = expand_uniform(0xDEAD_BEEF, &chain);
+        assert_eq!(a, b);
+        let c = expand_uniform(0xDEAD_BEF0, &chain);
+        assert_ne!(a, c);
+        for i in 0..3 {
+            let q = chain.modulus(i).value();
+            assert!(a.limb(i).iter().all(|&v| v < q));
         }
     }
 

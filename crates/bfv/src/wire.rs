@@ -7,7 +7,7 @@
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0      | 4    | magic `b"CHWF"` |
-//! | 4      | 2    | format version (`u16`, currently 1) |
+//! | 4      | 2    | format version (`u16`: 1 = full kinds, 2 = seeded kinds) |
 //! | 6      | 1    | message kind |
 //! | 7      | 1    | reserved (ignored on decode) |
 //! | 8      | 8    | parameter-chain fingerprint (`u64`) |
@@ -18,6 +18,20 @@
 //! little-endian order. A level-`ℓ` ciphertext's payload is exactly the
 //! `2·live·n·8` bytes the transcript accounting has always charged —
 //! the header is the only framing overhead.
+//!
+//! **Seeded compression (format version 2).** A *fresh* symmetric
+//! ciphertext has `c1 = a` drawn uniformly, and a public key has
+//! `pk1 = a` likewise — both are pure PRNG output, so shipping the full
+//! polynomial is waste. Version-2 messages (kinds
+//! [`Kind::SeededCiphertext`] / [`Kind::SeededPublicKey`]) carry an
+//! 8-byte expansion seed followed by `c0` alone; the receiver rebuilds
+//! the uniform component with [`crate::sampling::expand_uniform`],
+//! nearly halving upload bytes (`8 + live·n·8` payload instead of
+//! `2·live·n·8`). Seeded ciphertexts are level-0 by construction (only
+//! fresh encryptions have a uniform `c1`; anything key-switched or
+//! mod-switched does not). Version negotiation is per message: decoders
+//! accept both formats by kind — version 1 for full kinds, version 2 for
+//! seeded kinds — so old transcripts still decode unchanged.
 //!
 //! `decode_*` enforces, in order and **before any arithmetic**: length,
 //! magic/version/kind, fingerprint match against the session's
@@ -54,10 +68,14 @@ use crate::rns::RnsPoly;
 
 /// Wire magic: the first four bytes of every message.
 pub const MAGIC: [u8; 4] = *b"CHWF";
-/// Current format version.
+/// Format version of full (two-polynomial) messages.
 pub const VERSION: u16 = 1;
+/// Format version of seeded (seed + one polynomial) messages.
+pub const SEEDED_VERSION: u16 = 2;
 /// Fixed header length in bytes.
 pub const HEADER_BYTES: usize = 24;
+/// Byte length of the expansion seed a seeded payload leads with.
+pub const SEED_BYTES: usize = 8;
 
 /// Byte offset of the version field (fault-injection targets).
 pub const OFF_VERSION: usize = 4;
@@ -85,6 +103,10 @@ pub enum Kind {
     GaloisKeys = 3,
     /// A packed plaintext mask (one mod-`t` coefficient polynomial).
     PlaintextMask = 4,
+    /// A fresh seeded ciphertext: 8-byte expansion seed + `c0` (v2).
+    SeededCiphertext = 5,
+    /// A seeded public key: 8-byte expansion seed + `pk0` (v2).
+    SeededPublicKey = 6,
 }
 
 impl Kind {
@@ -94,7 +116,19 @@ impl Kind {
             2 => Some(Kind::PublicKey),
             3 => Some(Kind::GaloisKeys),
             4 => Some(Kind::PlaintextMask),
+            5 => Some(Kind::SeededCiphertext),
+            6 => Some(Kind::SeededPublicKey),
             _ => None,
+        }
+    }
+
+    /// The format version a kind is defined in: seeded kinds are v2,
+    /// everything else v1. Decoders hold each message to its kind's
+    /// version — that pairing *is* the version negotiation.
+    fn version(self) -> u16 {
+        match self {
+            Kind::SeededCiphertext | Kind::SeededPublicKey => SEEDED_VERSION,
+            _ => VERSION,
         }
     }
 }
@@ -148,7 +182,7 @@ fn push_words(out: &mut Vec<u8>, words: &[u64]) {
 
 fn write_header(out: &mut Vec<u8>, kind: Kind, fingerprint: u64, level: usize, live: usize) {
     out.extend_from_slice(&MAGIC);
-    push_u16(out, VERSION);
+    push_u16(out, kind.version());
     out.push(kind as u8);
     out.push(0); // reserved
     push_u64(out, fingerprint);
@@ -241,10 +275,21 @@ fn read_header(r: &mut Reader<'_>, kind: Kind, params: &BfvParams) -> Result<Hea
         return Err(malformed(what, format!("bad magic {magic:02x?}")));
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != SEEDED_VERSION {
         return Err(malformed(
             what,
-            format!("unsupported format version {version} (this engine speaks {VERSION})"),
+            format!(
+                "unsupported format version {version} (this engine speaks {VERSION} and {SEEDED_VERSION})"
+            ),
+        ));
+    }
+    if version != kind.version() {
+        return Err(malformed(
+            what,
+            format!(
+                "format version {version} where {kind:?} is a version-{} kind",
+                kind.version()
+            ),
         ));
     }
     let kind_byte = r.take(1)?[0];
@@ -365,9 +410,87 @@ pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     out
 }
 
+/// Exact encoded size of a seeded (fresh, level-0) ciphertext:
+/// header + 8-byte seed + the single `c0` polynomial.
+pub fn seeded_ciphertext_wire_bytes(params: &BfvParams) -> usize {
+    HEADER_BYTES + SEED_BYTES + params.limbs() * params.degree() * 8
+}
+
+/// Encodes a fresh symmetric ciphertext in the seeded v2 format: header,
+/// the 8-byte seed, then `c0` alone — `c1` is implied by the seed. The
+/// encoder *proves* the compression is lossless before shipping it:
+/// re-expanding `seed` must reproduce `c1` bit-for-bit (the pair comes
+/// from [`crate::Encryptor::encrypt_seeded`]).
+///
+/// # Errors
+///
+/// [`Error::Malformed`] if the ciphertext is not level-0 (only fresh
+/// encryptions have a PRNG-uniform `c1`) or if `seed` does not expand to
+/// this ciphertext's `c1`.
+pub fn encode_ciphertext_seeded(ct: &Ciphertext, seed: u64) -> Result<Vec<u8>> {
+    let what = "seeded ciphertext";
+    let params = ct.params();
+    if ct.level() != 0 {
+        return Err(malformed(
+            what,
+            format!(
+                "only fresh level-0 ciphertexts ship seeded, this one is level {}",
+                ct.level()
+            ),
+        ));
+    }
+    let a = crate::sampling::expand_uniform(seed, params.chain());
+    if ct.c1() != &a {
+        return Err(malformed(
+            what,
+            "seed does not regenerate c1 — refusing a lossy encoding".to_string(),
+        ));
+    }
+    let mut out = Vec::with_capacity(seeded_ciphertext_wire_bytes(params));
+    write_header(
+        &mut out,
+        Kind::SeededCiphertext,
+        chain_fingerprint(params),
+        0,
+        params.limbs(),
+    );
+    push_u64(&mut out, seed);
+    push_words(&mut out, ct.c0().data());
+    Ok(out)
+}
+
+fn decode_ciphertext_seeded(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext> {
+    let what = "seeded ciphertext";
+    let mut r = Reader::new(bytes, what);
+    let h = read_header(&mut r, Kind::SeededCiphertext, params)?;
+    if h.level != 0 {
+        return Err(malformed(
+            what,
+            format!(
+                "seeded ciphertexts are fresh level-0 objects, header claims level {}",
+                h.level
+            ),
+        ));
+    }
+    let expect = seeded_ciphertext_wire_bytes(params);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!("needs exactly {expect} bytes, message has {}", bytes.len()),
+        ));
+    }
+    let seed = r.u64()?;
+    let c0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    expect_consumed(&r)?;
+    let c1 = crate::sampling::expand_uniform(seed, params.chain());
+    Ciphertext::try_new(c0, c1, params.clone(), NoiseEstimate::fresh(params))
+}
+
 /// Decodes and fully validates a ciphertext against the session's
-/// parameters. See the module docs for the check order; nothing is
-/// constructed before every check passes.
+/// parameters, accepting both the full v1 format and the seeded v2
+/// format (dispatching on the header's kind byte). See the module docs
+/// for the check order; nothing is constructed before every check
+/// passes.
 ///
 /// The returned ciphertext carries the fresh-encryption noise estimate
 /// (estimates are never trusted from the wire).
@@ -377,6 +500,9 @@ pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
 /// [`Error::Malformed`], [`Error::ChainMismatch`], or
 /// [`Error::InvalidLevel`].
 pub fn decode_ciphertext(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext> {
+    if bytes.get(OFF_KIND) == Some(&(Kind::SeededCiphertext as u8)) {
+        return decode_ciphertext_seeded(bytes, params);
+    }
     let what = "ciphertext";
     let mut r = Reader::new(bytes, what);
     let h = read_header(&mut r, Kind::Ciphertext, params)?;
@@ -398,16 +524,17 @@ pub fn decode_ciphertext(bytes: &[u8], params: &BfvParams) -> Result<Ciphertext>
 }
 
 /// Splits a buffer of back-to-back ciphertext messages into individual
-/// message slices, using each header's level field to compute the exact
-/// message length. Only the *framing* is derived here — every slice must
-/// still pass [`decode_ciphertext`]'s full validation, so a corrupted
-/// level field either misframes into a slice that fails validation or
-/// errors right here.
+/// message slices, using each header's kind and level fields to compute
+/// the exact message length (full v1 messages are sized by level; seeded
+/// v2 messages have one fixed level-0 size). Only the *framing* is
+/// derived here — every slice must still pass [`decode_ciphertext`]'s
+/// full validation, so a corrupted kind or level field either misframes
+/// into a slice that fails validation or errors right here.
 ///
 /// # Errors
 ///
-/// [`Error::Malformed`] for a truncated header or payload,
-/// [`Error::InvalidLevel`] for a level past the chain.
+/// [`Error::Malformed`] for a truncated header, payload, or non-ciphertext
+/// kind; [`Error::InvalidLevel`] for a level past the chain.
 pub fn split_ciphertext_messages<'a>(bytes: &'a [u8], params: &BfvParams) -> Result<Vec<&'a [u8]>> {
     let what = "ciphertext bundle";
     let mut out = Vec::new();
@@ -419,17 +546,31 @@ pub fn split_ciphertext_messages<'a>(bytes: &'a [u8], params: &BfvParams) -> Res
                 format!("truncated header at offset {pos} of {}", bytes.len()),
             )
         })?;
-        let mut w = [0u8; 4];
-        w.copy_from_slice(&header[OFF_LEVEL..OFF_LEVEL + 4]);
-        let level = u32::from_le_bytes(w) as usize;
-        if level >= params.levels() {
-            return Err(Error::InvalidLevel {
-                requested: level,
-                current: 0,
-                max: params.max_level(),
-            });
-        }
-        let len = ciphertext_wire_bytes(params, level);
+        let len = match Kind::from_u8(header[OFF_KIND]) {
+            Some(Kind::SeededCiphertext) => seeded_ciphertext_wire_bytes(params),
+            Some(Kind::Ciphertext) => {
+                let mut w = [0u8; 4];
+                w.copy_from_slice(&header[OFF_LEVEL..OFF_LEVEL + 4]);
+                let level = u32::from_le_bytes(w) as usize;
+                if level >= params.levels() {
+                    return Err(Error::InvalidLevel {
+                        requested: level,
+                        current: 0,
+                        max: params.max_level(),
+                    });
+                }
+                ciphertext_wire_bytes(params, level)
+            }
+            other => {
+                return Err(malformed(
+                    what,
+                    format!(
+                        "bundle holds ciphertexts, message at offset {pos} has kind {:?} (byte {})",
+                        other, header[OFF_KIND]
+                    ),
+                ))
+            }
+        };
         let msg = bytes.get(pos..pos + len).ok_or_else(|| {
             malformed(
                 what,
@@ -470,13 +611,81 @@ pub fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
     out
 }
 
-/// Decodes and validates a public key.
+/// Exact encoded size of a seeded public key: header + 8-byte seed + the
+/// single `pk0` polynomial.
+pub fn seeded_public_key_wire_bytes(params: &BfvParams) -> usize {
+    HEADER_BYTES + SEED_BYTES + params.limbs() * params.degree() * 8
+}
+
+/// Encodes a public key in the seeded v2 format: header, the 8-byte
+/// seed, then `pk0` alone — `pk1` is implied by the seed. The pair comes
+/// from [`crate::KeyGenerator::public_key_seeded`]; the encoder verifies
+/// the seed regenerates `pk1` before shipping.
+///
+/// # Errors
+///
+/// [`Error::Malformed`] if `seed` does not expand to this key's `pk1`.
+pub fn encode_public_key_seeded(pk: &PublicKey, seed: u64) -> Result<Vec<u8>> {
+    let what = "seeded public key";
+    let params = pk.params();
+    let a = crate::sampling::expand_uniform(seed, params.chain());
+    if pk.pk1() != &a {
+        return Err(malformed(
+            what,
+            "seed does not regenerate pk1 — refusing a lossy encoding".to_string(),
+        ));
+    }
+    let mut out = Vec::with_capacity(seeded_public_key_wire_bytes(params));
+    write_header(
+        &mut out,
+        Kind::SeededPublicKey,
+        chain_fingerprint(params),
+        0,
+        params.limbs(),
+    );
+    push_u64(&mut out, seed);
+    push_words(&mut out, pk.pk0().data());
+    Ok(out)
+}
+
+fn decode_public_key_seeded(bytes: &[u8], params: &BfvParams) -> Result<PublicKey> {
+    let what = "seeded public key";
+    let mut r = Reader::new(bytes, what);
+    let h = read_header(&mut r, Kind::SeededPublicKey, params)?;
+    if h.level != 0 {
+        return Err(malformed(
+            what,
+            format!(
+                "public keys are level-0 objects, header claims level {}",
+                h.level
+            ),
+        ));
+    }
+    let expect = seeded_public_key_wire_bytes(params);
+    if bytes.len() != expect {
+        return Err(malformed(
+            what,
+            format!("needs exactly {expect} bytes, message has {}", bytes.len()),
+        ));
+    }
+    let seed = r.u64()?;
+    let pk0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+    expect_consumed(&r)?;
+    let pk1 = crate::sampling::expand_uniform(seed, params.chain());
+    Ok(PublicKey::from_parts(pk0, pk1, params.clone()))
+}
+
+/// Decodes and validates a public key, accepting both the full v1 format
+/// and the seeded v2 format (dispatching on the header's kind byte).
 ///
 /// # Errors
 ///
 /// [`Error::Malformed`], [`Error::ChainMismatch`], or
 /// [`Error::InvalidLevel`].
 pub fn decode_public_key(bytes: &[u8], params: &BfvParams) -> Result<PublicKey> {
+    if bytes.get(OFF_KIND) == Some(&(Kind::SeededPublicKey as u8)) {
+        return decode_public_key_seeded(bytes, params);
+    }
     let what = "public key";
     let mut r = Reader::new(bytes, what);
     let h = read_header(&mut r, Kind::PublicKey, params)?;
@@ -837,6 +1046,161 @@ mod tests {
         let back = decode_ciphertext(&bytes, &params).unwrap();
         assert_eq!(back.c0().data(), ct.c0().data());
         assert_eq!(back.c1().data(), ct.c1().data());
+    }
+
+    #[test]
+    fn seeded_ciphertext_roundtrip_at_half_the_bytes() {
+        for params in [
+            BfvParams::preset_single_60(4096).unwrap(),
+            BfvParams::preset_rns_2x30(4096).unwrap(),
+            BfvParams::preset_rns_3x36(4096).unwrap(),
+        ] {
+            let kg = KeyGenerator::from_seed(params.clone(), 21);
+            let encoder = BatchEncoder::new(params.clone());
+            let mut enc = Encryptor::from_secret_key(kg.secret_key().clone(), 22);
+            let (ct, seed) = enc
+                .encrypt_seeded(&encoder.encode(&[1, 2, 3]).unwrap())
+                .unwrap();
+
+            let bytes = encode_ciphertext_seeded(&ct, seed).unwrap();
+            assert_eq!(bytes.len(), seeded_ciphertext_wire_bytes(&params));
+            // Payload is seed + c0: (slightly over) half the full payload.
+            assert_eq!(bytes.len() - HEADER_BYTES, SEED_BYTES + ct.byte_size() / 2);
+            assert!(bytes.len() < ciphertext_wire_bytes(&params, 0));
+
+            // The generic decoder dispatches on kind and rebuilds c1.
+            let back = decode_ciphertext(&bytes, &params).unwrap();
+            assert_eq!(back.c0().data(), ct.c0().data());
+            assert_eq!(back.c1().data(), ct.c1().data());
+
+            // Old full format still encodes/decodes the same ciphertext.
+            let full = encode_ciphertext(&ct);
+            let back_full = decode_ciphertext(&full, &params).unwrap();
+            assert_eq!(back_full.c1().data(), ct.c1().data());
+        }
+    }
+
+    #[test]
+    fn seeded_encoder_rejects_wrong_seed_and_nonfresh_levels() {
+        let params = BfvParams::preset_rns_3x36(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 23);
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_secret_key(kg.secret_key().clone(), 24);
+        let (ct, seed) = enc.encrypt_seeded(&encoder.encode(&[4]).unwrap()).unwrap();
+        // A wrong seed cannot silently ship a lossy encoding.
+        assert!(matches!(
+            encode_ciphertext_seeded(&ct, seed ^ 1),
+            Err(Error::Malformed { .. })
+        ));
+        // A public-key encryption has a non-uniform c1: same refusal.
+        let pk = kg.public_key().unwrap();
+        let mut enc_pk = Encryptor::from_public_key(pk, 25);
+        let ct_pk = enc_pk.encrypt(&encoder.encode(&[4]).unwrap()).unwrap();
+        assert!(matches!(
+            encode_ciphertext_seeded(&ct_pk, seed),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_decode_validates_before_expansion() {
+        let params = BfvParams::preset_rns_2x30(4096).unwrap();
+        let kg = KeyGenerator::from_seed(params.clone(), 26);
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_secret_key(kg.secret_key().clone(), 27);
+        let (ct, seed) = enc.encrypt_seeded(&encoder.encode(&[6]).unwrap()).unwrap();
+        let bytes = encode_ciphertext_seeded(&ct, seed).unwrap();
+
+        // Version/kind pairing: a seeded kind with a v1 version field.
+        let mut bad_version = bytes.clone();
+        bad_version[OFF_VERSION..OFF_VERSION + 2].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            decode_ciphertext(&bad_version, &params),
+            Err(Error::Malformed { .. })
+        ));
+        // And the converse: a full kind claiming v2.
+        let full = encode_ciphertext(&ct);
+        let mut bad_full = full.clone();
+        bad_full[OFF_VERSION..OFF_VERSION + 2].copy_from_slice(&2u16.to_le_bytes());
+        assert!(matches!(
+            decode_ciphertext(&bad_full, &params),
+            Err(Error::Malformed { .. })
+        ));
+        // Truncation and trailing garbage are typed errors.
+        assert!(matches!(
+            decode_ciphertext(&bytes[..bytes.len() - 1], &params),
+            Err(Error::Malformed { .. })
+        ));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_ciphertext(&extended, &params),
+            Err(Error::Malformed { .. })
+        ));
+        // Non-canonical c0 residue, with the plane offset shifted by the seed.
+        let mut bad = bytes.clone();
+        let q = params.chain().modulus(0).value();
+        let off = HEADER_BYTES + SEED_BYTES;
+        bad[off..off + 8].copy_from_slice(&q.to_le_bytes());
+        match decode_ciphertext(&bad, &params) {
+            Err(Error::Malformed { reason, .. }) => {
+                assert!(reason.contains("non-canonical"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // A non-zero level in a seeded header is structurally invalid.
+        let mut lvl = bytes.clone();
+        lvl[OFF_LEVEL..OFF_LEVEL + 4].copy_from_slice(&1u32.to_le_bytes());
+        lvl[OFF_LIVE_LIMBS..OFF_LIVE_LIMBS + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_ciphertext(&lvl, &params),
+            Err(Error::Malformed { .. })
+        ));
+        // A flipped seed decodes structurally but the ciphertext is dead:
+        // c1 no longer matches what c0 was built against.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_BYTES] ^= 1;
+        let dead = decode_ciphertext(&flipped, &params).unwrap();
+        assert_ne!(dead.c1().data(), ct.c1().data());
+    }
+
+    #[test]
+    fn seeded_public_key_roundtrip_and_mixed_bundle_split() {
+        let params = BfvParams::preset_rns_3x36(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(params.clone(), 31);
+        let (pk, pk_seed) = kg.public_key_seeded().unwrap();
+        let bytes = encode_public_key_seeded(&pk, pk_seed).unwrap();
+        assert_eq!(bytes.len(), seeded_public_key_wire_bytes(&params));
+        assert!(bytes.len() < public_key_wire_bytes(&params));
+        let back = decode_public_key(&bytes, &params).unwrap();
+        assert_eq!(back.pk0().data(), pk.pk0().data());
+        assert_eq!(back.pk1().data(), pk.pk1().data());
+        // Full-format keys still decode through the same entry point.
+        let full = encode_public_key(&pk);
+        let back_full = decode_public_key(&full, &params).unwrap();
+        assert_eq!(back_full.pk1().data(), pk.pk1().data());
+        assert!(matches!(
+            encode_public_key_seeded(&pk, pk_seed ^ 1),
+            Err(Error::Malformed { .. })
+        ));
+
+        // A bundle mixing seeded and full ciphertexts splits correctly.
+        let encoder = BatchEncoder::new(params.clone());
+        let mut enc = Encryptor::from_secret_key(kg.secret_key().clone(), 32);
+        let (ct, seed) = enc.encrypt_seeded(&encoder.encode(&[7]).unwrap()).unwrap();
+        let seeded_msg = encode_ciphertext_seeded(&ct, seed).unwrap();
+        let full_msg = encode_ciphertext(&ct);
+        let mut bundle = seeded_msg.clone();
+        bundle.extend_from_slice(&full_msg);
+        let parts = split_ciphertext_messages(&bundle, &params).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], &seeded_msg[..]);
+        assert_eq!(parts[1], &full_msg[..]);
+        // A public key in a ciphertext bundle is a framing error.
+        assert!(matches!(
+            split_ciphertext_messages(&bytes, &params),
+            Err(Error::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -146,6 +146,16 @@ pub fn random_input(shape: &[usize], bound: i64, seed: u64) -> Tensor {
     )
 }
 
+/// A deterministic multi-client workload: `count` input tensors, client
+/// `i` drawn from seed `base_seed + i`. Serving suites and throughput
+/// benches use this so every client's input is reproducible in isolation
+/// (re-running client `i` alone regenerates exactly its tensor).
+pub fn client_inputs(shape: &[usize], bound: i64, base_seed: u64, count: usize) -> Vec<Tensor> {
+    (0..count)
+        .map(|i| random_input(shape, bound, base_seed + i as u64))
+        .collect()
+}
+
 /// Reference single-layer evaluation for HE cross-checks: applies one
 /// linear layer (with the given weight tensor) to an input.
 pub fn eval_linear(layer: &LinearLayer, weight: &Tensor, input: &Tensor) -> Tensor {

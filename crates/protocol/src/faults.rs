@@ -147,7 +147,16 @@ impl FaultInjector {
     /// mutant. Deterministic: no randomness is consumed here. Corruptions
     /// that target fields a too-short message does not have degrade to
     /// the closest expressible mutation rather than panicking.
+    ///
+    /// Payload-relative classes ([`Corruption::NonCanonicalResidue`],
+    /// [`Corruption::SwapComponents`], the length-consistent
+    /// [`Corruption::LevelLie`]) read the header's kind byte to aim at
+    /// the right offsets in both wire formats: full v1 payloads are
+    /// `(c0, c1)`, seeded v2 payloads are `(seed, c0)` — there the
+    /// residue planes start [`cheetah_bfv::SEED_BYTES`] later and the
+    /// "components" swapped are the halves of `c0`.
     pub fn apply(message: &[u8], corruption: &Corruption, params: &BfvParams) -> Vec<u8> {
+        let seeded = message.get(wire::OFF_KIND) == Some(&(wire::Kind::SeededCiphertext as u8));
         let mut out = message.to_vec();
         match corruption {
             Corruption::BitFlip { byte, bit } => {
@@ -174,10 +183,15 @@ impl FaultInjector {
                         let live = params.live_limbs_at(lvl) as u32;
                         out[OFF_LIVE_LIMBS..OFF_LIVE_LIMBS + 4]
                             .copy_from_slice(&live.to_le_bytes());
-                        // Zero filler keeps every residue canonical: the
-                        // lie survives structural validation and must be
-                        // caught by the noise gate instead.
-                        out.resize(wire::ciphertext_wire_bytes(params, lvl), 0);
+                        // Zero filler keeps every residue canonical: on
+                        // the full format the lie survives structural
+                        // validation and must be caught by the noise gate
+                        // instead. (Seeded messages have one fixed size
+                        // and a level-0-only decoder, so there the lie is
+                        // always structural.)
+                        if !seeded {
+                            out.resize(wire::ciphertext_wire_bytes(params, lvl), 0);
+                        }
                     }
                 }
             }
@@ -189,12 +203,18 @@ impl FaultInjector {
                 }
             }
             Corruption::NonCanonicalResidue { limb } => {
-                if out.len() >= HEADER_BYTES + 8 {
+                let planes_at = if seeded {
+                    HEADER_BYTES + wire::SEED_BYTES
+                } else {
+                    HEADER_BYTES
+                };
+                if out.len() >= planes_at + 8 {
                     let n = params.degree();
-                    let payload_words = (out.len() - HEADER_BYTES) / 8;
-                    let live = (payload_words / 2 / n).max(1);
+                    let payload_words = (out.len() - planes_at) / 8;
+                    let components = if seeded { 1 } else { 2 };
+                    let live = (payload_words / components / n).max(1);
                     let plane = limb % live;
-                    let at = HEADER_BYTES + plane * n * 8;
+                    let at = planes_at + plane * n * 8;
                     if at + 8 <= out.len() {
                         // q < 2^62 everywhere in this engine, so MAX is
                         // never a canonical residue.
@@ -203,11 +223,21 @@ impl FaultInjector {
                 }
             }
             Corruption::SwapComponents => {
-                if out.len() > HEADER_BYTES {
-                    let payload = out.len() - HEADER_BYTES;
+                // Full format: swap c0 and c1. Seeded format has a single
+                // shipped polynomial, so the halves of c0 are swapped
+                // instead (the seed is left intact) — residues stay in
+                // range per-plane only by accident, so the mutant dies
+                // either structurally or at the noise gate.
+                let payload_at = if seeded {
+                    HEADER_BYTES + wire::SEED_BYTES
+                } else {
+                    HEADER_BYTES
+                };
+                if out.len() > payload_at {
+                    let payload = out.len() - payload_at;
                     let half = payload / 2;
-                    let (a, b) = out.split_at_mut(HEADER_BYTES + half);
-                    let a = &mut a[HEADER_BYTES..];
+                    let (a, b) = out.split_at_mut(payload_at + half);
+                    let a = &mut a[payload_at..];
                     for (x, y) in a.iter_mut().zip(b.iter_mut()) {
                         std::mem::swap(x, y);
                     }

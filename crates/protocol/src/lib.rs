@@ -18,9 +18,12 @@
 //! pins the detected-or-harmless contract on recorded transcripts.
 
 pub mod faults;
+pub mod masking;
+pub mod prepared;
 pub mod session;
 pub mod transcript;
 
 pub use faults::{classify_ciphertext_fault, Corruption, FaultInjector, FaultOutcome};
+pub use prepared::PreparedLayers;
 pub use session::{LayerReport, PrivateInferenceSession};
 pub use transcript::{Direction, Transcript};

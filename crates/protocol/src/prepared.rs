@@ -1,0 +1,430 @@
+//! Shared, immutable prepared state of a private-inference model.
+//!
+//! Preparing a network for homomorphic evaluation is expensive: every
+//! linear layer's weights are packed into prepared plaintexts, BSGS /
+//! reduce plans are chosen, and the union of rotation steps the plans
+//! need is computed. None of that depends on a client — so it is built
+//! **once** into a [`PreparedLayers`] and shared (behind an
+//! `Arc<PreparedLayers>`) across every concurrent session the serving
+//! layer runs. Everything here is read-only after construction: the
+//! struct owns no `RefCell`/`Mutex` and every method takes `&self`, so
+//! sharing is lock-free by construction.
+//!
+//! What stays *per client* lives in
+//! [`crate::session::PrivateInferenceSession`] (and in `cheetah-serve`'s
+//! session halves): secret/Galois keys, encryptors, mask RNG streams,
+//! scratch space, and transcripts.
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Error, Evaluator, GaloisKeys, NoiseEstimate, Plaintext,
+    Result,
+};
+use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::Schedule;
+use cheetah_nn::tensor::{max_pool, relu, sum_pool};
+use cheetah_nn::{Layer, LinearLayer, Network, Tensor, Weights};
+
+/// Worst-case budget (bits) the leveled-evaluation planner keeps in hand
+/// when choosing how many limbs to drop before a layer.
+const LEVEL_PLAN_MARGIN_BITS: f64 = 2.0;
+
+/// A prepared homomorphic linear layer plus its packing rules.
+pub(crate) enum HomLayer {
+    Conv(HomConv2d),
+    Fc(HomFc),
+}
+
+impl HomLayer {
+    /// Rotation steps this prepared layer needs Galois keys for. Conv
+    /// layers use the static tap/stride superset (it already covers every
+    /// reduce plan); FC layers report their exact BSGS (or diagonal) plan
+    /// steps, so a BSGS session generates `O(√d)` keys per FC layer
+    /// instead of `d − 1`.
+    fn rotation_steps(&self) -> Vec<i64> {
+        match self {
+            HomLayer::Conv(c) => HomConv2d::required_steps(c.spec()),
+            HomLayer::Fc(f) => f.rotation_steps(),
+        }
+    }
+
+    /// Human-readable rotation-plan label for transcripts and reports.
+    fn plan_label(&self) -> String {
+        match self {
+            HomLayer::Conv(c) => format!("conv reduce {:?}", c.reduce_plan()),
+            HomLayer::Fc(f) => match f.plan() {
+                Some(p) => format!("fc bsgs b={} g={}", p.b, p.g),
+                None => "fc diag".to_string(),
+            },
+        }
+    }
+
+    /// Table-III prediction of the layer's output noise at a level
+    /// (conservative; upper-bounds the engine-tracked estimate).
+    fn noise_after(
+        &self,
+        input: &NoiseEstimate,
+        params: &BfvParams,
+        level: usize,
+    ) -> NoiseEstimate {
+        match self {
+            HomLayer::Conv(c) => c.noise_after(input, params, level),
+            HomLayer::Fc(f) => f.noise_after(input, params, level),
+        }
+    }
+
+    /// The deepest level this layer can run at for an input with the
+    /// given noise estimate: walks the modulus-switch transitions down
+    /// the chain and keeps the deepest level whose *predicted output*
+    /// still clears the planning margin under the **statistical** (IBDG)
+    /// budget — the §IV-B provisioning rule HE-PTune uses (failure
+    /// probability below 1e-10). The worst-case bound would pin BSGS FC
+    /// layers at full level: their baby steps are rotate-then-multiply, so
+    /// the Table-III bound pays the key-switch additive inside the
+    /// multiplication even though the measured noise sits far below it.
+    /// Returns 0 (full chain) when no switch is safe — dropping limbs is
+    /// purely an optimization, never a correctness requirement.
+    fn plan_level(&self, input: &NoiseEstimate, params: &BfvParams) -> usize {
+        let mut best = 0;
+        let mut est = *input;
+        for level in 0..params.levels() {
+            if level > 0 {
+                est = est.mod_switch(params, level - 1);
+            }
+            let out = self.noise_after(&est, params, level);
+            if out.budget_bits_statistical_at(params, level) >= LEVEL_PLAN_MARGIN_BITS {
+                best = level;
+            }
+        }
+        best
+    }
+
+    fn pack(&self, t: &Tensor, encoder: &BatchEncoder) -> Result<Plaintext> {
+        match self {
+            HomLayer::Conv(c) => HomConv2d::encode_input(c.spec(), t, encoder),
+            HomLayer::Fc(f) => HomFc::encode_input(f.spec(), t, encoder),
+        }
+    }
+
+    fn apply(
+        &self,
+        ct: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>> {
+        match self {
+            HomLayer::Conv(c) => c.apply(ct, eval, keys),
+            HomLayer::Fc(f) => Ok(vec![f.apply(ct, eval, keys)?]),
+        }
+    }
+
+    /// Output tensor shape.
+    fn output_shape(&self) -> Vec<usize> {
+        match self {
+            HomLayer::Conv(c) => vec![c.spec().co, c.spec().w, c.spec().w],
+            HomLayer::Fc(f) => vec![f.spec().no],
+        }
+    }
+
+    /// Extracts the output tensor from per-ciphertext decoded slots.
+    fn unpack(&self, slot_vecs: &[Vec<i64>]) -> Tensor {
+        match self {
+            HomLayer::Conv(c) => {
+                let w = c.spec().w;
+                let mut data = Vec::with_capacity(c.spec().co * w * w);
+                for slots in slot_vecs {
+                    data.extend_from_slice(&slots[..w * w]);
+                }
+                Tensor::from_data(&[c.spec().co, w, w], data)
+            }
+            HomLayer::Fc(f) => {
+                Tensor::from_data(&[f.spec().no], slot_vecs[0][..f.spec().no].to_vec())
+            }
+        }
+    }
+
+    /// Packs a mask tensor to match the *output* slot layout, one plaintext
+    /// per output ciphertext.
+    fn pack_output_mask(&self, mask: &Tensor, encoder: &BatchEncoder) -> Result<Vec<Plaintext>> {
+        match self {
+            HomLayer::Conv(c) => {
+                let w2 = c.spec().w * c.spec().w;
+                (0..c.spec().co)
+                    .map(|o| encoder.encode_signed(&mask.data()[o * w2..(o + 1) * w2]))
+                    .collect()
+            }
+            HomLayer::Fc(_) => Ok(vec![encoder.encode_signed(mask.data())?]),
+        }
+    }
+}
+
+/// Applies one nonlinear bundle (the simulated garbled-circuit body) to a
+/// tensor. Linear layers never appear inside a bundle by construction;
+/// the boundary still refuses rather than panicking.
+fn apply_nonlinear(layers: &[Layer], input: &Tensor) -> Result<Tensor> {
+    let mut t = input.clone();
+    for layer in layers {
+        t = match layer {
+            Layer::Relu => relu(&t),
+            Layer::MaxPool { k, stride } => max_pool(&t, *k, *stride),
+            Layer::SumPool { k, stride } => sum_pool(&t, *k, *stride),
+            Layer::Flatten => t.clone().into_flat(),
+            Layer::ResidualAdd { .. } => {
+                return Err(Error::Unsupported(
+                    "residual networks need multi-branch sessions",
+                ))
+            }
+            Layer::Linear(_) => {
+                return Err(Error::Unsupported("linear layer inside a nonlinear bundle"))
+            }
+        };
+    }
+    Ok(t)
+}
+
+/// Everything about a model that is client-independent, prepared once:
+/// packed weight plaintexts, BSGS/reduce/level plans, the nonlinear
+/// bundle structure, and the union of rotation steps clients must bring
+/// Galois keys for. Immutable after construction — share it behind an
+/// `Arc` across any number of concurrent sessions.
+pub struct PreparedLayers {
+    net: Network,
+    params: BfvParams,
+    encoder: BatchEncoder,
+    evaluator: Evaluator,
+    layers: Vec<HomLayer>,
+    /// Nonlinear layers *before* the first linear layer (run client-side
+    /// in the clear — the client owns the input).
+    leading: Vec<Layer>,
+    /// Nonlinear bundle *after* each linear layer, up to the next linear
+    /// layer (or the end of the network).
+    bundles: Vec<Vec<Layer>>,
+    /// Sorted, deduplicated union of every layer plan's rotation steps.
+    steps: Vec<i64>,
+    /// The parameter-chain fingerprint every client message must carry.
+    fingerprint: u64,
+}
+
+impl PreparedLayers {
+    /// Prepares every linear layer of `net` under the given schedule and
+    /// splits the network into leading / per-layer nonlinear bundles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV errors; fails when a layer does not fit the packing
+    /// constraints of [`HomConv2d`] / [`HomFc`].
+    pub fn new(
+        net: &Network,
+        weights: &Weights,
+        params: BfvParams,
+        schedule: Schedule,
+    ) -> Result<Self> {
+        let encoder = BatchEncoder::new(params.clone());
+        let evaluator = Evaluator::new(params.clone());
+
+        // Prepare every linear layer, then collect exactly the rotation
+        // steps the prepared layers' plans need (a BSGS FC layer needs
+        // O(√d) keys, not d − 1).
+        let mut layers = Vec::new();
+        let mut leading = Vec::new();
+        let mut bundles: Vec<Vec<Layer>> = Vec::new();
+        let mut linear_idx = 0usize;
+        for layer in &net.layers {
+            if let Layer::Linear(lin) = layer {
+                match lin {
+                    LinearLayer::Conv(c) => {
+                        layers.push(HomLayer::Conv(HomConv2d::new(
+                            c,
+                            weights.layer(linear_idx),
+                            &encoder,
+                            &evaluator,
+                            schedule,
+                        )?));
+                    }
+                    LinearLayer::Fc(f) => {
+                        layers.push(HomLayer::Fc(HomFc::new(
+                            f,
+                            weights.layer(linear_idx),
+                            &encoder,
+                            &evaluator,
+                            schedule,
+                        )?));
+                    }
+                }
+                bundles.push(Vec::new());
+                linear_idx += 1;
+            } else if let Some(bundle) = bundles.last_mut() {
+                bundle.push(layer.clone());
+            } else {
+                leading.push(layer.clone());
+            }
+        }
+        let mut steps: Vec<i64> = layers.iter().flat_map(HomLayer::rotation_steps).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        let fingerprint = cheetah_bfv::chain_fingerprint(&params);
+
+        Ok(Self {
+            net: net.clone(),
+            params,
+            encoder,
+            evaluator,
+            layers,
+            leading,
+            bundles,
+            steps,
+            fingerprint,
+        })
+    }
+
+    /// The network being served.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The parameter set every client must match (see
+    /// [`PreparedLayers::fingerprint`]).
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The shared batch encoder.
+    pub fn encoder(&self) -> &BatchEncoder {
+        &self.encoder
+    }
+
+    /// The shared evaluator (stateless over `&self`; safe to use from any
+    /// number of threads).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Number of prepared (linear) layers.
+    pub fn linear_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The exact rotation steps clients must bring Galois keys for —
+    /// sorted and deduplicated across every layer plan.
+    pub fn required_steps(&self) -> &[i64] {
+        &self.steps
+    }
+
+    /// FNV-1a fingerprint of the parameter chain
+    /// ([`cheetah_bfv::chain_fingerprint`]); every wire message from a
+    /// client is validated against it before any arithmetic.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Checks that a client's Galois key set covers every step the
+    /// prepared plans rotate by.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingGaloisKey`] naming the first uncovered step.
+    pub fn check_key_coverage(&self, keys: &GaloisKeys) -> Result<()> {
+        for &step in &self.steps {
+            keys.get_for_step(self.params.degree(), step)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the leading nonlinear layers (before the first linear layer)
+    /// on a clear input — client-side work.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] for residual networks.
+    pub fn apply_leading(&self, input: &Tensor) -> Result<Tensor> {
+        apply_nonlinear(&self.leading, input)
+    }
+
+    /// Runs linear layer `k`'s nonlinear bundle (the simulated garbled
+    /// circuit body: ReLU / pooling / flatten until the next linear
+    /// layer).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] for residual networks.
+    pub fn apply_bundle(&self, k: usize, input: &Tensor) -> Result<Tensor> {
+        apply_nonlinear(&self.bundles[k], input)
+    }
+
+    /// Shape of linear layer `k`'s *bundle* output (what the next round's
+    /// masks must cover), derived by a zero-tensor dry run — cheap, done
+    /// once per server at prepare time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] for residual networks.
+    pub fn bundle_output_shape(&self, k: usize) -> Result<Vec<usize>> {
+        let zeros = Tensor::zeros(&self.output_shape(k));
+        Ok(self.apply_bundle(k, &zeros)?.shape().to_vec())
+    }
+
+    /// Human-readable rotation-plan label of linear layer `k`.
+    pub fn plan_label(&self, k: usize) -> String {
+        self.layers[k].plan_label()
+    }
+
+    /// Number of ciphertexts linear layer `k` ships per masked download
+    /// (conv layers send one per output channel, FC layers one) — what a
+    /// client validates a download bundle's framing against.
+    pub fn output_ciphertexts(&self, k: usize) -> usize {
+        match &self.layers[k] {
+            HomLayer::Conv(c) => c.spec().co,
+            HomLayer::Fc(_) => 1,
+        }
+    }
+
+    /// Output tensor shape of linear layer `k` (before its bundle).
+    pub fn output_shape(&self, k: usize) -> Vec<usize> {
+        self.layers[k].output_shape()
+    }
+
+    /// Packs a clear tensor into linear layer `k`'s input slot layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors for out-of-range values.
+    pub fn pack(&self, k: usize, t: &Tensor) -> Result<Plaintext> {
+        self.layers[k].pack(t, &self.encoder)
+    }
+
+    /// Table-III noise prediction of linear layer `k` at a level.
+    pub fn noise_after(&self, k: usize, input: &NoiseEstimate, level: usize) -> NoiseEstimate {
+        self.layers[k].noise_after(input, &self.params, level)
+    }
+
+    /// The deepest safe level for linear layer `k` given an input noise
+    /// estimate (see the planner notes on the layer type).
+    pub fn plan_level(&self, k: usize, input: &NoiseEstimate) -> usize {
+        self.layers[k].plan_level(input, &self.params)
+    }
+
+    /// Applies linear layer `k` homomorphically with a client's keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV errors ([`Error::MissingGaloisKey`] when `keys` does
+    /// not cover the plan, noise/parameter errors otherwise).
+    pub fn apply(&self, k: usize, ct: &Ciphertext, keys: &GaloisKeys) -> Result<Vec<Ciphertext>> {
+        self.layers[k].apply(ct, &self.evaluator, keys)
+    }
+
+    /// Extracts linear layer `k`'s output tensor from per-ciphertext
+    /// decoded slots.
+    pub fn unpack(&self, k: usize, slot_vecs: &[Vec<i64>]) -> Tensor {
+        self.layers[k].unpack(slot_vecs)
+    }
+
+    /// Packs a mask tensor to linear layer `k`'s output slot layout, one
+    /// plaintext per output ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn pack_output_mask(&self, k: usize, mask: &Tensor) -> Result<Vec<Plaintext>> {
+        self.layers[k].pack_output_mask(mask, &self.encoder)
+    }
+}

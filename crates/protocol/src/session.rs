@@ -21,162 +21,39 @@
 //! exactly what Yao evaluation would and its cost is accounted with a
 //! half-gates size model, but no cryptographic garbling happens. Cheetah's
 //! claims are all about the server-side HE compute, which here is real.
+//!
+//! ## Shared prepared state
+//!
+//! Everything client-independent — packed weight plaintexts, BSGS /
+//! reduce / level plans, the rotation-step union — lives in an immutable
+//! [`PreparedLayers`] behind an `Arc`. [`PrivateInferenceSession::new`]
+//! builds one privately; [`PrivateInferenceSession::with_prepared`]
+//! attaches a fresh client (keys, encryptors, mask streams, scratch) to an
+//! existing shared model, which is how `cheetah-serve` runs many
+//! concurrent sessions against one preparation.
+//!
+//! ## Wire formats
+//!
+//! Uploads are *fresh* symmetric encryptions, so they ship in the seeded
+//! wire format ([`cheetah_bfv::wire`] version 2): an 8-byte PRNG seed
+//! regenerates `c1` and only `c0` travels, halving upload bytes to
+//! `live·n·8 + 8`. Downloads have evaluated, non-seeded `c1` components
+//! and stay in the full `2·live·n·8` version-1 format.
+
+use std::sync::Arc;
 
 use cheetah_bfv::{
-    wire, BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys,
-    KeyGenerator, NoiseEstimate, Plaintext, Result, Scratch,
+    wire, BfvParams, Ciphertext, Decryptor, Encryptor, Error, Evaluator, GaloisKeys, KeyGenerator,
+    Result, Scratch,
 };
-use cheetah_core::linear::{HomConv2d, HomFc};
 use cheetah_core::Schedule;
-use cheetah_nn::tensor::{max_pool, relu, sum_pool};
-use cheetah_nn::{Layer, LinearLayer, Network, Tensor, Weights};
+use cheetah_nn::{Network, Tensor, Weights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::masking::{add_mod_t, gated_decrypt_slots, sub_mod_t};
+use crate::prepared::PreparedLayers;
 use crate::transcript::{garbled_circuit_bytes, Direction, Transcript};
-
-/// Worst-case budget (bits) the leveled-evaluation planner keeps in hand
-/// when choosing how many limbs to drop before a layer.
-const LEVEL_PLAN_MARGIN_BITS: f64 = 2.0;
-
-/// Measured-noise gate (bits) below which an incoming ciphertext is
-/// rejected as [`Error::NoiseBudgetExhausted`]. The measurement is taken
-/// against the *nearest* plaintext multiple, so truly-overflowed noise
-/// collapses the budget to ≈ 0 while hovering slightly positive — a
-/// strict-zero gate would wave garbage through (see
-/// [`cheetah_bfv::Decryptor::invariant_noise_budget`]). The max of `n`
-/// near-uniform residuals keeps garbage within ~0.001 bit of zero, while
-/// healthy-but-marginal sessions measure well above half a bit, so half
-/// a bit separates the two populations by orders of magnitude.
-const MIN_DECRYPT_BUDGET_BITS: f64 = 0.5;
-
-/// A prepared homomorphic linear layer plus its packing rules.
-enum HomLayer {
-    Conv(HomConv2d),
-    Fc(HomFc),
-}
-
-impl HomLayer {
-    /// Rotation steps this prepared layer needs Galois keys for. Conv
-    /// layers use the static tap/stride superset (it already covers every
-    /// reduce plan); FC layers report their exact BSGS (or diagonal) plan
-    /// steps, so a BSGS session generates `O(√d)` keys per FC layer
-    /// instead of `d − 1`.
-    fn rotation_steps(&self) -> Vec<i64> {
-        match self {
-            HomLayer::Conv(c) => HomConv2d::required_steps(c.spec()),
-            HomLayer::Fc(f) => f.rotation_steps(),
-        }
-    }
-
-    /// Human-readable rotation-plan label for transcripts and reports.
-    fn plan_label(&self) -> String {
-        match self {
-            HomLayer::Conv(c) => format!("conv reduce {:?}", c.reduce_plan()),
-            HomLayer::Fc(f) => match f.plan() {
-                Some(p) => format!("fc bsgs b={} g={}", p.b, p.g),
-                None => "fc diag".to_string(),
-            },
-        }
-    }
-
-    /// Table-III prediction of the layer's output noise at a level
-    /// (conservative; upper-bounds the engine-tracked estimate).
-    fn noise_after(
-        &self,
-        input: &NoiseEstimate,
-        params: &BfvParams,
-        level: usize,
-    ) -> NoiseEstimate {
-        match self {
-            HomLayer::Conv(c) => c.noise_after(input, params, level),
-            HomLayer::Fc(f) => f.noise_after(input, params, level),
-        }
-    }
-
-    /// The deepest level this layer can run at for an input with the
-    /// given noise estimate: walks the modulus-switch transitions down
-    /// the chain and keeps the deepest level whose *predicted output*
-    /// still clears the planning margin under the **statistical** (IBDG)
-    /// budget — the §IV-B provisioning rule HE-PTune uses (failure
-    /// probability below 1e-10). The worst-case bound would pin BSGS FC
-    /// layers at full level: their baby steps are rotate-then-multiply, so
-    /// the Table-III bound pays the key-switch additive inside the
-    /// multiplication even though the measured noise sits far below it.
-    /// Returns 0 (full chain) when no switch is safe — dropping limbs is
-    /// purely an optimization, never a correctness requirement.
-    fn plan_level(&self, input: &NoiseEstimate, params: &BfvParams) -> usize {
-        let mut best = 0;
-        let mut est = *input;
-        for level in 0..params.levels() {
-            if level > 0 {
-                est = est.mod_switch(params, level - 1);
-            }
-            let out = self.noise_after(&est, params, level);
-            if out.budget_bits_statistical_at(params, level) >= LEVEL_PLAN_MARGIN_BITS {
-                best = level;
-            }
-        }
-        best
-    }
-    fn pack(&self, t: &Tensor, encoder: &BatchEncoder) -> Result<Plaintext> {
-        match self {
-            HomLayer::Conv(c) => HomConv2d::encode_input(c.spec(), t, encoder),
-            HomLayer::Fc(f) => HomFc::encode_input(f.spec(), t, encoder),
-        }
-    }
-
-    fn apply(
-        &self,
-        ct: &Ciphertext,
-        eval: &Evaluator,
-        keys: &GaloisKeys,
-    ) -> Result<Vec<Ciphertext>> {
-        match self {
-            HomLayer::Conv(c) => c.apply(ct, eval, keys),
-            HomLayer::Fc(f) => Ok(vec![f.apply(ct, eval, keys)?]),
-        }
-    }
-
-    /// Output tensor shape.
-    fn output_shape(&self) -> Vec<usize> {
-        match self {
-            HomLayer::Conv(c) => vec![c.spec().co, c.spec().w, c.spec().w],
-            HomLayer::Fc(f) => vec![f.spec().no],
-        }
-    }
-
-    /// Extracts the output tensor from per-ciphertext decoded slots.
-    fn unpack(&self, slot_vecs: &[Vec<i64>]) -> Tensor {
-        match self {
-            HomLayer::Conv(c) => {
-                let w = c.spec().w;
-                let mut data = Vec::with_capacity(c.spec().co * w * w);
-                for slots in slot_vecs {
-                    data.extend_from_slice(&slots[..w * w]);
-                }
-                Tensor::from_data(&[c.spec().co, w, w], data)
-            }
-            HomLayer::Fc(f) => {
-                Tensor::from_data(&[f.spec().no], slot_vecs[0][..f.spec().no].to_vec())
-            }
-        }
-    }
-
-    /// Packs a mask tensor to match the *output* slot layout, one plaintext
-    /// per output ciphertext.
-    fn pack_output_mask(&self, mask: &Tensor, encoder: &BatchEncoder) -> Result<Vec<Plaintext>> {
-        match self {
-            HomLayer::Conv(c) => {
-                let w2 = c.spec().w * c.spec().w;
-                (0..c.spec().co)
-                    .map(|o| encoder.encode_signed(&mask.data()[o * w2..(o + 1) * w2]))
-                    .collect()
-            }
-            HomLayer::Fc(_) => Ok(vec![encoder.encode_signed(mask.data())?]),
-        }
-    }
-}
 
 /// Per-linear-layer record of the last [`PrivateInferenceSession::run`]:
 /// the rotation plan, the level the layer ran at, and the three noise
@@ -211,26 +88,24 @@ pub struct LayerReport {
     pub fault: Option<String>,
 }
 
-/// End-to-end private inference for a small sequential network.
+/// End-to-end private inference for a small sequential network: one
+/// client's keys, encryptors, mask streams, and scratch attached to a
+/// shared (or private) [`PreparedLayers`].
 ///
 /// # Examples
 ///
 /// See `examples/private_inference.rs` at the repository root.
 pub struct PrivateInferenceSession {
-    net: Network,
-    params: BfvParams,
-    encoder: BatchEncoder,
-    evaluator: Evaluator,
+    prepared: Arc<PreparedLayers>,
     keys: GaloisKeys,
     encryptor: Encryptor,
     decryptor: Decryptor,
-    hom_layers: Vec<HomLayer>,
     mask_rng: StdRng,
     /// Session-owned scratch pool backing the in-place evaluator calls of
     /// the protocol loop — steady-state rounds never touch the allocator
     /// for mask removal or re-masking.
     scratch: Scratch,
-    /// Setup bytes (keys), recorded once.
+    /// Setup bytes (seeded pk + galois keys), recorded once.
     setup_bytes: usize,
     /// Per-layer plan/noise records of the last [`PrivateInferenceSession::run`].
     layer_reports: Vec<LayerReport>,
@@ -246,11 +121,7 @@ impl PrivateInferenceSession {
     /// # Errors
     ///
     /// Propagates BFV errors; fails when a layer does not fit the packing
-    /// constraints of [`HomConv2d`] / [`HomFc`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on unsupported layer types (strided conv under HE).
+    /// constraints of `HomConv2d` / `HomFc`.
     pub fn new(
         net: &Network,
         weights: &Weights,
@@ -258,67 +129,48 @@ impl PrivateInferenceSession {
         schedule: Schedule,
         seed: u64,
     ) -> Result<Self> {
-        let mut keygen = KeyGenerator::from_seed(params.clone(), seed);
-        let pk = keygen.public_key()?;
-        let encoder = BatchEncoder::new(params.clone());
-        let evaluator = Evaluator::new(params.clone());
+        let prepared = Arc::new(PreparedLayers::new(net, weights, params, schedule)?);
+        Self::with_prepared(prepared, seed)
+    }
 
-        // Prepare every linear layer, then collect exactly the rotation
-        // steps the prepared layers' plans need (a BSGS FC layer needs
-        // O(√d) keys, not d − 1).
-        let mut hom_layers = Vec::new();
-        let mut linear_idx = 0usize;
-        for layer in &net.layers {
-            if let Layer::Linear(lin) = layer {
-                match lin {
-                    LinearLayer::Conv(c) => {
-                        hom_layers.push(HomLayer::Conv(HomConv2d::new(
-                            c,
-                            weights.layer(linear_idx),
-                            &encoder,
-                            &evaluator,
-                            schedule,
-                        )?));
-                    }
-                    LinearLayer::Fc(f) => {
-                        hom_layers.push(HomLayer::Fc(HomFc::new(
-                            f,
-                            weights.layer(linear_idx),
-                            &encoder,
-                            &evaluator,
-                            schedule,
-                        )?));
-                    }
-                }
-                linear_idx += 1;
-            }
-        }
-        let mut steps: Vec<i64> = hom_layers
-            .iter()
-            .flat_map(HomLayer::rotation_steps)
-            .collect();
-        steps.sort_unstable();
-        steps.dedup();
-        let keys = keygen.galois_keys_for_steps(&steps)?;
-        // Keys plus the public key: all sized by the actual limb count.
-        let setup_bytes = keys.byte_size(&params) + 2 * params.limbs() * params.degree() * 8;
-        let scratch = evaluator.new_scratch();
+    /// Attaches a fresh client (keys, encryptors, mask streams, scratch)
+    /// to an already-prepared shared model — the multi-session entry
+    /// point: prepare once, call this per client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BFV key-generation and wire errors.
+    pub fn with_prepared(prepared: Arc<PreparedLayers>, seed: u64) -> Result<Self> {
+        let params = prepared.params().clone();
+        let mut keygen = KeyGenerator::from_seed(params.clone(), seed);
+        // The public key ships seeded — (seed, pk0) instead of (pk0, pk1)
+        // — like every other fresh encryption of this key holder.
+        let (pk, pk_seed) = keygen.public_key_seeded()?;
+        let pk_encoded = wire::encode_public_key_seeded(&pk, pk_seed)?;
+        let keys = keygen.galois_keys_for_steps(prepared.required_steps())?;
+        // Keys plus the seeded public key: all sized by the actual limb
+        // count.
+        let setup_bytes = keys.byte_size(&params) + (pk_encoded.len() - wire::HEADER_BYTES);
+        let scratch = prepared.evaluator().new_scratch();
 
         Ok(Self {
-            net: net.clone(),
-            encoder,
-            evaluator,
             keys,
-            encryptor: Encryptor::from_public_key(pk, seed ^ 0x5eed),
+            // Uploads are fresh *symmetric* encryptions (c1 = a is pure
+            // PRNG output), which is what makes them seed-compressible.
+            encryptor: Encryptor::from_secret_key(keygen.secret_key().clone(), seed ^ 0x5eed),
             decryptor: Decryptor::new(keygen.secret_key().clone()),
-            hom_layers,
             mask_rng: StdRng::seed_from_u64(seed ^ 0xa5a5),
             scratch,
-            params,
+            prepared,
             setup_bytes,
             layer_reports: Vec::new(),
             measure_noise: false,
         })
+    }
+
+    /// The shared prepared model this session runs against.
+    pub fn prepared(&self) -> &Arc<PreparedLayers> {
+        &self.prepared
     }
 
     /// Per-layer plan and noise records of the most recent
@@ -340,7 +192,7 @@ impl PrivateInferenceSession {
 
     /// The session's parameter set.
     pub fn params(&self) -> &BfvParams {
-        &self.params
+        self.prepared.params()
     }
 
     /// The session's Galois key set — exactly the `O(√d)` plan-required
@@ -352,7 +204,7 @@ impl PrivateInferenceSession {
 
     /// The session's evaluator.
     pub fn evaluator(&self) -> &Evaluator {
-        &self.evaluator
+        self.prepared.evaluator()
     }
 
     /// Client-side decryption to signed slots, gated on the *measured*
@@ -365,10 +217,7 @@ impl PrivateInferenceSession {
     /// [`Error::NoiseBudgetExhausted`] when the measured budget is gone;
     /// propagates BFV errors for mismatched parameters.
     pub fn decrypt_slots(&self, ct: &Ciphertext) -> Result<Vec<i64>> {
-        if self.decryptor.invariant_noise_budget(ct)? < MIN_DECRYPT_BUDGET_BITS {
-            return Err(Error::NoiseBudgetExhausted);
-        }
-        Ok(self.encoder.decode_signed(&self.decryptor.decrypt(ct)?))
+        gated_decrypt_slots(&self.decryptor, self.prepared.encoder(), ct)
     }
 
     /// Decodes and validates one incoming ciphertext message at the
@@ -381,7 +230,12 @@ impl PrivateInferenceSession {
     /// The wire layer's [`Error::Malformed`] / [`Error::ChainMismatch`] /
     /// [`Error::InvalidLevel`].
     pub fn decode_boundary(&mut self, label: &str, bytes: &[u8]) -> Result<Ciphertext> {
-        Self::decode_at_boundary(&self.params, &mut self.layer_reports, label, bytes)
+        Self::decode_at_boundary(
+            self.prepared.params(),
+            &mut self.layer_reports,
+            label,
+            bytes,
+        )
     }
 
     fn decode_at_boundary(
@@ -412,6 +266,11 @@ impl PrivateInferenceSession {
     /// a layer overflows its noise budget.
     pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Transcript)> {
         self.layer_reports.clear();
+        let prepared = Arc::clone(&self.prepared);
+        let params = prepared.params();
+        let t_mod = *params.plain_modulus();
+        let half_t = (t_mod.value() / 2) as i64;
+
         let mut transcript = Transcript::new();
         transcript.record(
             Direction::ClientToCloud,
@@ -419,256 +278,208 @@ impl PrivateInferenceSession {
             self.setup_bytes,
         );
 
-        let t_mod = *self.params.plain_modulus();
-        let half_t = (t_mod.value() / 2) as i64;
-        let layers = self.net.layers.clone();
+        // Leading nonlinear layers (before any linear layer) run on the
+        // client in the clear — it owns the input.
+        let mut client_act = prepared.apply_leading(input)?;
+        if prepared.linear_count() == 0 {
+            return Ok((client_act, Transcript::new()));
+        }
 
         // Client state: current (masked) activation. Cloud state: the mask.
-        let mut client_act = input.clone();
         let mut cloud_mask: Option<Tensor> = None; // r_prev
-        let mut linear_idx = 0usize;
-        let mut li = 0usize;
 
-        while li < layers.len() {
-            match &layers[li] {
-                Layer::Linear(_) => {
-                    let hom = &self.hom_layers[linear_idx];
-                    let is_last_linear = linear_idx + 1 == self.hom_layers.len();
+        for k in 0..prepared.linear_count() {
+            let is_last_linear = k + 1 == prepared.linear_count();
 
-                    // 1. Client: pack + encrypt the masked activation,
-                    // then serialize — the cloud only ever sees wire
-                    // bytes, never a live ciphertext.
-                    let packed = hom.pack(&client_act, &self.encoder)?;
-                    let ct_up = self.encryptor.encrypt(&packed)?;
-                    let encoded = wire::encode_ciphertext(&ct_up);
-                    check_wire_accounting("ciphertext", encoded.len(), ct_up.byte_size())?;
-                    let label = format!("enc activations L{linear_idx}");
-                    transcript.record_with_payload(
-                        Direction::ClientToCloud,
-                        label.clone(),
-                        ct_up.byte_size(),
-                        encoded.clone(),
-                    );
+            // 1. Client: pack + encrypt the masked activation, then
+            // serialize — the cloud only ever sees wire bytes, never a
+            // live ciphertext. The encryption is fresh + symmetric, so it
+            // ships seeded: (seed, c0), half the full-format payload.
+            let packed = prepared.pack(k, &client_act)?;
+            let (ct_up, up_seed) = self.encryptor.encrypt_seeded(&packed)?;
+            let encoded = wire::encode_ciphertext_seeded(&ct_up, up_seed)?;
+            let up_bytes = wire::SEED_BYTES + ct_up.byte_size() / 2;
+            check_wire_accounting("ciphertext", encoded.len(), up_bytes)?;
+            let label = format!("enc activations L{k}");
+            transcript.record_with_payload(
+                Direction::ClientToCloud,
+                label.clone(),
+                up_bytes,
+                encoded.clone(),
+            );
 
-                    // Cloud: decode + validate before any arithmetic. The
-                    // wire layer attaches the fresh-encryption noise
-                    // estimate — exactly right here: uploads *are* fresh.
-                    let mut ct = Self::decode_at_boundary(
-                        &self.params,
-                        &mut self.layer_reports,
-                        &label,
-                        &encoded,
-                    )?;
+            // Cloud: decode + validate before any arithmetic — the seeded
+            // decoder re-expands c1 from the seed and attaches the
+            // fresh-encryption noise estimate (exactly right here:
+            // uploads *are* fresh).
+            let mut ct =
+                Self::decode_at_boundary(params, &mut self.layer_reports, &label, &encoded)?;
 
-                    // 2. Cloud: remove its own previous mask homomorphically
-                    // — in place, drawing the Δ·mask temporary from the
-                    // session scratch pool.
-                    if let Some(r) = &cloud_mask {
-                        let neg: Vec<i64> = r.data().iter().map(|&v| -v).collect();
-                        let neg_t = Tensor::from_data(r.shape(), neg);
-                        let neg_packed = hom.pack(&neg_t, &self.encoder)?;
-                        self.evaluator
-                            .add_plain_assign(&mut ct, &neg_packed, &mut self.scratch)?;
-                    }
+            // 2. Cloud: remove its own previous mask homomorphically — in
+            // place, drawing the Δ·mask temporary from the session
+            // scratch pool.
+            if let Some(r) = &cloud_mask {
+                let neg: Vec<i64> = r.data().iter().map(|&v| -v).collect();
+                let neg_t = Tensor::from_data(r.shape(), neg);
+                let neg_packed = prepared.pack(k, &neg_t)?;
+                prepared
+                    .evaluator()
+                    .add_plain_assign(&mut ct, &neg_packed, &mut self.scratch)?;
+            }
 
-                    // Cloud: drop the limbs this layer's noise no longer
-                    // needs — the whole layer (rotations, multiplications,
-                    // and the masked download below) then runs over the
-                    // live limbs only. Multi-limb chains are *faster*
-                    // mid-circuit, not just roomier.
-                    let target = hom.plan_level(ct.noise(), &self.params);
-                    if target > ct.level() {
-                        self.evaluator.mod_switch_to_assign(&mut ct, target)?;
-                    }
+            // Cloud: drop the limbs this layer's noise no longer needs —
+            // the whole layer (rotations, multiplications, and the masked
+            // download below) then runs over the live limbs only.
+            // Multi-limb chains are *faster* mid-circuit, not just
+            // roomier.
+            let target = prepared.plan_level(k, ct.noise());
+            if target > ct.level() {
+                prepared.evaluator().mod_switch_to_assign(&mut ct, target)?;
+            }
 
-                    // Cloud: HE linear layer.
-                    let predicted = hom.noise_after(ct.noise(), &self.params, ct.level());
-                    let outputs = hom.apply(&ct, &self.evaluator, &self.keys)?;
+            // Cloud: HE linear layer.
+            let predicted = prepared.noise_after(k, ct.noise(), ct.level());
+            let outputs = prepared.apply(k, &ct, &self.keys)?;
 
-                    // Conformance record. Tracked/predicted bounds are
-                    // free; the *measured* invariant noise needs a real
-                    // decryption per ciphertext, so it is only taken when
-                    // instrumentation is enabled.
-                    let mut tracked = f64::NEG_INFINITY;
-                    let mut tracked_budget = f64::INFINITY;
-                    let mut measured = None;
-                    for out_ct in &outputs {
-                        tracked = tracked.max(out_ct.noise().bound_log2);
-                        tracked_budget = tracked_budget.min(
-                            out_ct
-                                .noise()
-                                .budget_bits_statistical_at(&self.params, out_ct.level()),
-                        );
-                        if self.measure_noise {
-                            let m = self.decryptor.invariant_noise(out_ct)?;
-                            let m = (m.max(1) as f64).log2();
-                            measured = Some(measured.map_or(m, |prev: f64| prev.max(m)));
-                        }
-                    }
-                    self.layer_reports.push(LayerReport {
-                        layer: linear_idx,
-                        plan: hom.plan_label(),
-                        level: ct.level(),
-                        predicted_bound_log2: predicted.bound_log2,
-                        tracked_bound_log2: tracked,
-                        measured_noise_log2: measured,
-                        fault: None,
-                    });
-
-                    // Guardrail: abort *before* shipping anything whose
-                    // tracked estimate already spent the whole budget —
-                    // the offending layer's report carries the fault.
-                    if tracked_budget <= 0.0 {
-                        if let Some(r) = self.layer_reports.last_mut() {
-                            r.fault = Some(format!(
-                                "tracked noise budget exhausted: \
-                                 {tracked_budget:.1} bits left after layer {linear_idx}"
-                            ));
-                        }
-                        return Err(Error::NoiseBudgetExhausted);
-                    }
-
-                    // Cloud: fresh output mask r (skipped on the final layer
-                    // — the prediction belongs to the client).
-                    let out_shape = hom.output_shape();
-                    let out_len: usize = out_shape.iter().product();
-                    let mask = if is_last_linear {
-                        Tensor::zeros(&out_shape)
-                    } else {
-                        let data: Vec<i64> = (0..out_len)
-                            .map(|_| self.mask_rng.random_range(-half_t..=half_t))
-                            .collect();
-                        Tensor::from_data(&out_shape, data)
-                    };
-                    let mask_pts = hom.pack_output_mask(&mask, &self.encoder)?;
-                    let mut masked_cts = outputs;
-                    for (out_ct, m_pt) in masked_cts.iter_mut().zip(&mask_pts) {
-                        self.evaluator
-                            .add_plain_assign(out_ct, m_pt, &mut self.scratch)?;
-                    }
-                    // Cloud: serialize the masked outputs. One transcript
-                    // record per layer (the byte pin other suites rely
-                    // on), its payload the back-to-back wire messages.
-                    let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
-                    let out_level = masked_cts.first().map_or(0, Ciphertext::level);
-                    let mut dl_payload = Vec::new();
-                    for mct in &masked_cts {
-                        let encoded = wire::encode_ciphertext(mct);
-                        check_wire_accounting("ciphertext", encoded.len(), mct.byte_size())?;
-                        dl_payload.extend_from_slice(&encoded);
-                    }
-                    let dl_label = format!("enc masked outputs L{linear_idx} lvl{out_level}");
-                    transcript.record_with_payload(
-                        Direction::CloudToClient,
-                        dl_label.clone(),
-                        dl_bytes,
-                        dl_payload.clone(),
-                    );
-
-                    // 3. Client: split the bundle, validate each message,
-                    // decrypt y + r (gated on the *measured* budget).
-                    let parts = wire::split_ciphertext_messages(&dl_payload, &self.params)?;
-                    if parts.len() != masked_cts.len() {
-                        return Err(Error::Malformed {
-                            what: "ciphertext bundle",
-                            reason: format!(
-                                "download framed {} messages where {} were sent",
-                                parts.len(),
-                                masked_cts.len()
-                            ),
-                        });
-                    }
-                    let mut slot_vecs = Vec::with_capacity(parts.len());
-                    for part in parts {
-                        let mct = Self::decode_at_boundary(
-                            &self.params,
-                            &mut self.layer_reports,
-                            &dl_label,
-                            part,
-                        )?;
-                        slot_vecs.push(self.decrypt_slots(&mct)?);
-                    }
-                    let masked_out = hom.unpack(&slot_vecs);
-
-                    // 4. Garbled circuit bundle: unmask, run every nonlinear
-                    // layer until the next linear one, re-mask.
-                    let mut gc_in = sub_mod_t(&masked_out, &mask, t_mod.value());
-                    let mut lj = li + 1;
-                    while lj < layers.len() && !matches!(layers[lj], Layer::Linear(_)) {
-                        gc_in = match &layers[lj] {
-                            Layer::Relu => relu(&gc_in),
-                            Layer::MaxPool { k, stride } => max_pool(&gc_in, *k, *stride),
-                            Layer::SumPool { k, stride } => sum_pool(&gc_in, *k, *stride),
-                            Layer::Flatten => gc_in.clone().into_flat(),
-                            Layer::ResidualAdd { .. } => {
-                                return Err(Error::Unsupported(
-                                    "residual networks need multi-branch sessions",
-                                ))
-                            }
-                            // Excluded by the loop condition; the boundary
-                            // still refuses rather than panicking.
-                            Layer::Linear(_) => {
-                                return Err(Error::Unsupported(
-                                    "linear layer inside a nonlinear bundle",
-                                ))
-                            }
-                        };
-                        lj += 1;
-                    }
-                    transcript.record(
-                        Direction::CloudToClient,
-                        format!("garbled circuit L{linear_idx}"),
-                        garbled_circuit_bytes(out_len, t_mod.bits()),
-                    );
-
-                    if lj >= layers.len() || is_last_linear {
-                        // Done: the GC output is the client's prediction.
-                        return Ok((gc_in, transcript));
-                    }
-
-                    // Fresh client-side mask for the next round (chosen by
-                    // the cloud inside the GC).
-                    let next_len = gc_in.len();
-                    let next_mask_data: Vec<i64> = (0..next_len)
-                        .map(|_| self.mask_rng.random_range(-half_t..=half_t))
-                        .collect();
-                    let next_mask = Tensor::from_data(gc_in.shape(), next_mask_data);
-                    client_act = add_mod_t(&gc_in, &next_mask, t_mod.value());
-                    cloud_mask = Some(next_mask);
-                    linear_idx += 1;
-                    li = lj;
-                }
-                _ => {
-                    // Leading nonlinear layers (before any linear layer) run
-                    // on the client in the clear — it owns the input.
-                    client_act = match &layers[li] {
-                        Layer::Relu => relu(&client_act),
-                        Layer::MaxPool { k, stride } => max_pool(&client_act, *k, *stride),
-                        Layer::SumPool { k, stride } => sum_pool(&client_act, *k, *stride),
-                        Layer::Flatten => client_act.clone().into_flat(),
-                        Layer::ResidualAdd { .. } => {
-                            return Err(Error::Unsupported(
-                                "residual networks need multi-branch sessions",
-                            ))
-                        }
-                        // Excluded by the enclosing match; refused, not
-                        // panicked on.
-                        Layer::Linear(_) => {
-                            return Err(Error::Unsupported("unexpected linear layer"))
-                        }
-                    };
-                    li += 1;
+            // Conformance record. Tracked/predicted bounds are free; the
+            // *measured* invariant noise needs a real decryption per
+            // ciphertext, so it is only taken when instrumentation is
+            // enabled.
+            let mut tracked = f64::NEG_INFINITY;
+            let mut tracked_budget = f64::INFINITY;
+            let mut measured = None;
+            for out_ct in &outputs {
+                tracked = tracked.max(out_ct.noise().bound_log2);
+                tracked_budget = tracked_budget.min(
+                    out_ct
+                        .noise()
+                        .budget_bits_statistical_at(params, out_ct.level()),
+                );
+                if self.measure_noise {
+                    let m = self.decryptor.invariant_noise(out_ct)?;
+                    let m = (m.max(1) as f64).log2();
+                    measured = Some(measured.map_or(m, |prev: f64| prev.max(m)));
                 }
             }
+            self.layer_reports.push(LayerReport {
+                layer: k,
+                plan: prepared.plan_label(k),
+                level: ct.level(),
+                predicted_bound_log2: predicted.bound_log2,
+                tracked_bound_log2: tracked,
+                measured_noise_log2: measured,
+                fault: None,
+            });
+
+            // Guardrail: abort *before* shipping anything whose tracked
+            // estimate already spent the whole budget — the offending
+            // layer's report carries the fault.
+            if tracked_budget <= 0.0 {
+                if let Some(r) = self.layer_reports.last_mut() {
+                    r.fault = Some(format!(
+                        "tracked noise budget exhausted: \
+                         {tracked_budget:.1} bits left after layer {k}"
+                    ));
+                }
+                return Err(Error::NoiseBudgetExhausted);
+            }
+
+            // Cloud: fresh output mask r (skipped on the final layer —
+            // the prediction belongs to the client).
+            let out_shape = prepared.output_shape(k);
+            let out_len: usize = out_shape.iter().product();
+            let mask = if is_last_linear {
+                Tensor::zeros(&out_shape)
+            } else {
+                let data: Vec<i64> = (0..out_len)
+                    .map(|_| self.mask_rng.random_range(-half_t..=half_t))
+                    .collect();
+                Tensor::from_data(&out_shape, data)
+            };
+            let mask_pts = prepared.pack_output_mask(k, &mask)?;
+            let mut masked_cts = outputs;
+            for (out_ct, m_pt) in masked_cts.iter_mut().zip(&mask_pts) {
+                prepared
+                    .evaluator()
+                    .add_plain_assign(out_ct, m_pt, &mut self.scratch)?;
+            }
+            // Cloud: serialize the masked outputs. Downloads carry
+            // evaluated c1 components, so they stay in the full v1
+            // format. One transcript record per layer (the byte pin other
+            // suites rely on), its payload the back-to-back wire
+            // messages.
+            let dl_bytes: usize = masked_cts.iter().map(Ciphertext::byte_size).sum();
+            let out_level = masked_cts.first().map_or(0, Ciphertext::level);
+            let mut dl_payload = Vec::new();
+            for mct in &masked_cts {
+                let encoded = wire::encode_ciphertext(mct);
+                check_wire_accounting("ciphertext", encoded.len(), mct.byte_size())?;
+                dl_payload.extend_from_slice(&encoded);
+            }
+            let dl_label = format!("enc masked outputs L{k} lvl{out_level}");
+            transcript.record_with_payload(
+                Direction::CloudToClient,
+                dl_label.clone(),
+                dl_bytes,
+                dl_payload.clone(),
+            );
+
+            // 3. Client: split the bundle, validate each message, decrypt
+            // y + r (gated on the *measured* budget).
+            let parts = wire::split_ciphertext_messages(&dl_payload, params)?;
+            if parts.len() != masked_cts.len() {
+                return Err(Error::Malformed {
+                    what: "ciphertext bundle",
+                    reason: format!(
+                        "download framed {} messages where {} were sent",
+                        parts.len(),
+                        masked_cts.len()
+                    ),
+                });
+            }
+            let mut slot_vecs = Vec::with_capacity(parts.len());
+            for part in parts {
+                let mct =
+                    Self::decode_at_boundary(params, &mut self.layer_reports, &dl_label, part)?;
+                slot_vecs.push(self.decrypt_slots(&mct)?);
+            }
+            let masked_out = prepared.unpack(k, &slot_vecs);
+
+            // 4. Garbled circuit bundle: unmask, run every nonlinear
+            // layer until the next linear one, re-mask.
+            let gc_in = sub_mod_t(&masked_out, &mask, t_mod.value());
+            let gc_out = prepared.apply_bundle(k, &gc_in)?;
+            transcript.record(
+                Direction::CloudToClient,
+                format!("garbled circuit L{k}"),
+                garbled_circuit_bytes(out_len, t_mod.bits()),
+            );
+
+            if is_last_linear {
+                // Done: the GC output is the client's prediction.
+                return Ok((gc_out, transcript));
+            }
+
+            // Fresh client-side mask for the next round (chosen by the
+            // cloud inside the GC).
+            let next_len = gc_out.len();
+            let next_mask_data: Vec<i64> = (0..next_len)
+                .map(|_| self.mask_rng.random_range(-half_t..=half_t))
+                .collect();
+            let next_mask = Tensor::from_data(gc_out.shape(), next_mask_data);
+            client_act = add_mod_t(&gc_out, &next_mask, t_mod.value());
+            cloud_mask = Some(next_mask);
         }
-        Ok((client_act, Transcript::new()))
+        // Unreachable: the loop returns at the last linear layer, and the
+        // zero-linear case returned above. Kept total (panic-free).
+        Ok((client_act, transcript))
     }
 }
 
 /// Cross-checks an encoded message against the transcript accounting
-/// relation — a full wire message is exactly the accounted payload
-/// (`2·live·n·8` for a ciphertext) plus the fixed header — before the
-/// message ships.
+/// relation — a wire message is exactly the accounted payload
+/// (`2·live·n·8` for a full ciphertext, `live·n·8 + 8` for a seeded one)
+/// plus the fixed header — before the message ships.
 fn check_wire_accounting(what: &'static str, encoded: usize, accounted: usize) -> Result<()> {
     if encoded != accounted + wire::HEADER_BYTES {
         return Err(Error::Malformed {
@@ -680,39 +491,6 @@ fn check_wire_accounting(what: &'static str, encoded: usize, accounted: usize) -
         });
     }
     Ok(())
-}
-
-/// `a - b` with wraparound mod `t`, re-centered. Exactly what the GC's
-/// subtraction circuit computes on `t`-bit rings.
-fn sub_mod_t(a: &Tensor, b: &Tensor, t: u64) -> Tensor {
-    let t = t as i64;
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(&x, &y)| center(x - y, t))
-        .collect();
-    Tensor::from_data(a.shape(), data)
-}
-
-/// `a + b` with wraparound mod `t`, re-centered.
-fn add_mod_t(a: &Tensor, b: &Tensor, t: u64) -> Tensor {
-    let t = t as i64;
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(&x, &y)| center(x + y, t))
-        .collect();
-    Tensor::from_data(a.shape(), data)
-}
-
-fn center(v: i64, t: i64) -> i64 {
-    let mut r = v.rem_euclid(t);
-    if r > t / 2 {
-        r -= t;
-    }
-    r
 }
 
 #[cfg(test)]
@@ -785,9 +563,9 @@ mod tests {
         let (output, transcript) = session.run(&input).unwrap();
         assert_eq!(output.data(), expect.data(), "2-limb private != plaintext");
 
-        // Every ciphertext message carries 2 limbs: activation uploads are
-        // exactly twice the single-limb size (2 components · 2 limbs ·
-        // n · 8 bytes), and the single-limb session's are half that.
+        // Every upload ships seeded — seed + one c0 component of `limbs`
+        // live limbs (`limbs·n·8 + 8` bytes): the 2-limb payload is twice
+        // the single-limb payload net of the fixed seed.
         let mut single = PrivateInferenceSession::new(
             &net,
             &weights,
@@ -808,8 +586,12 @@ mod tests {
         let up1 = act_bytes(&transcript_1);
         assert_eq!(up2.len(), up1.len());
         for (b2, b1) in up2.iter().zip(&up1) {
-            assert_eq!(*b2, 2 * b1, "2-limb upload must be twice 1-limb");
-            assert_eq!(*b2, 2 * 2 * 4096 * 8);
+            assert_eq!(
+                *b2 - wire::SEED_BYTES,
+                2 * (*b1 - wire::SEED_BYTES),
+                "2-limb seeded upload payload must be twice 1-limb"
+            );
+            assert_eq!(*b2, wire::SEED_BYTES + 2 * 4096 * 8);
         }
     }
 
@@ -845,13 +627,14 @@ mod tests {
         let (output, transcript) = session.run(&input).unwrap();
         assert_eq!(output.data(), expect.data(), "leveled private != plaintext");
 
-        // Uploads stay full-level (the client always encrypts fresh)…
+        // Uploads stay full-level (the client always encrypts fresh) and
+        // seeded: one 3-limb c0 plus the 8-byte seed…
         for m in transcript
             .messages()
             .iter()
             .filter(|m| m.label.contains("enc activations"))
         {
-            assert_eq!(m.bytes, 2 * 3 * 4096 * 8, "{}", m.label);
+            assert_eq!(m.bytes, wire::SEED_BYTES + 3 * 4096 * 8, "{}", m.label);
         }
         // …while every masked download left level 0: the layers ran — and
         // shipped — at a reduced level, each ciphertext a whole number of
@@ -898,6 +681,39 @@ mod tests {
         let (out_pa, _) = pa.run(&input).unwrap();
         let (out_ia, _) = ia.run(&input).unwrap();
         assert_eq!(out_pa.data(), out_ia.data());
+    }
+
+    #[test]
+    fn sessions_sharing_one_prepared_model_match_private_preparations() {
+        // The serve-layer contract: N clients attached to one shared
+        // Arc<PreparedLayers> produce exactly the outputs and transcripts
+        // they would with private preparations (preparation is
+        // client-independent by construction).
+        let net = tiny_cnn();
+        let weights = Weights::random(&net, 2, 61);
+        let input = random_input(&net.input_shape, 3, 62);
+
+        let shared = Arc::new(
+            PreparedLayers::new(&net, &weights, session_params(), Schedule::PartialAligned)
+                .unwrap(),
+        );
+        for seed in [5u64, 6, 7] {
+            let mut shared_session =
+                PrivateInferenceSession::with_prepared(Arc::clone(&shared), seed).unwrap();
+            let mut private_session = PrivateInferenceSession::new(
+                &net,
+                &weights,
+                session_params(),
+                Schedule::PartialAligned,
+                seed,
+            )
+            .unwrap();
+            let (out_s, tr_s) = shared_session.run(&input).unwrap();
+            let (out_p, tr_p) = private_session.run(&input).unwrap();
+            assert_eq!(out_s.data(), out_p.data());
+            let bytes = |t: &Transcript| t.messages().iter().map(|m| m.bytes).collect::<Vec<_>>();
+            assert_eq!(bytes(&tr_s), bytes(&tr_p));
+        }
     }
 
     #[test]

@@ -266,7 +266,16 @@ fn corruption_classes_map_to_expected_errors() {
         Err(other) => panic!("unexpected error class for the level lie: {other}"),
     }
 
-    // Semantic classes decode fine but die at the noise gate.
+    // Semantic classes decode fine but die at the noise gate. They are
+    // pinned on a *download* message: uploads ship seeded with a single
+    // c0 component, so swapping that component's halves crosses prime
+    // planes and is (correctly) caught structurally instead — downloads
+    // keep both components in the full format where the swap is exactly
+    // c0 ↔ c1.
+    let (_, dl_clean) = messages
+        .iter()
+        .find(|(label, _)| label.contains("enc masked outputs"))
+        .expect("recorded session has download messages");
     for c in [
         Corruption::SwapComponents,
         Corruption::BitFlip {
@@ -274,7 +283,7 @@ fn corruption_classes_map_to_expected_errors() {
             bit: 2,
         },
     ] {
-        let mutant = FaultInjector::apply(clean, &c, &params);
+        let mutant = FaultInjector::apply(dl_clean, &c, &params);
         let ct = wire::decode_ciphertext(&mutant, &params)
             .unwrap_or_else(|e| panic!("{} should decode, got {e}", c.label()));
         assert!(

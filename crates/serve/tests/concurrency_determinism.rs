@@ -1,0 +1,221 @@
+//! Concurrency determinism suite: the serving layer must be a *pure
+//! throughput* optimization.
+//!
+//! Pins, on all three preset chains:
+//!
+//! * N sessions run concurrently through a [`ServerPool`] decrypt
+//!   **bit-identically** to the same N sessions run serially — outputs
+//!   and full transcripts (labels, accounted bytes, wire payloads);
+//! * both match the cleartext reference network and the one-party
+//!   [`PrivateInferenceSession`] for the same seed — sharing a prepared
+//!   model changes nothing observable;
+//! * a faulted client (upload corrupted in flight by the fault injector)
+//!   dies with a typed error and a fault-bearing report while its
+//!   neighbors' outputs and transcripts stay bit-identical to a clean
+//!   run.
+
+use std::sync::Arc;
+
+use cheetah_bfv::BfvParams;
+use cheetah_core::Schedule;
+use cheetah_nn::inference::{client_inputs, infer};
+use cheetah_nn::models::tiny_cnn;
+use cheetah_nn::Weights;
+use cheetah_protocol::faults::{Corruption, FaultInjector};
+use cheetah_protocol::{PrivateInferenceSession, Transcript};
+use cheetah_serve::{PreparedModel, ServerPool, SessionDriver};
+
+const N: usize = 4096;
+const CLIENTS: usize = 3;
+const BASE_SEED: u64 = 9000;
+
+/// The three preset chains with the session's decomposition base.
+fn preset_chains() -> Vec<(&'static str, BfvParams)> {
+    let single_60 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(18)
+        .cipher_bits(60)
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let rns_2x30 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(16)
+        .moduli_bits(&[30, 30])
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    let rns_3x36 = BfvParams::builder()
+        .degree(N)
+        .plain_bits(17)
+        .moduli_bits(&[36, 36, 36])
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap();
+    vec![
+        ("single_60", single_60),
+        ("rns_2x30", rns_2x30),
+        ("rns_3x36", rns_3x36),
+    ]
+}
+
+/// Everything observable about a transcript, for bit-identity checks.
+fn transcript_sig(t: &Transcript) -> Vec<(String, usize, Vec<u8>)> {
+    t.messages()
+        .iter()
+        .map(|m| (m.label.clone(), m.bytes, m.payload.clone()))
+        .collect()
+}
+
+fn drivers(model: &Arc<PreparedModel>, inputs: &[cheetah_nn::Tensor]) -> Vec<SessionDriver> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| SessionDriver::new(model, i as u64, BASE_SEED + i as u64, input).unwrap())
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_serial_runs_and_references_on_all_presets() {
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 424);
+    let inputs = client_inputs(&net.input_shape, 3, 7100, CLIENTS);
+
+    for (name, params) in preset_chains() {
+        let model =
+            PreparedModel::prepare(&net, &weights, params.clone(), Schedule::PartialAligned)
+                .unwrap();
+
+        // Concurrent: every client at once, multi-worker sweeps.
+        let pool = ServerPool::new(Arc::clone(&model), CLIENTS);
+        let concurrent = pool.run(drivers(&model, &inputs));
+        assert_eq!(concurrent.len(), CLIENTS);
+
+        // Serial: the same sessions one at a time on a single worker.
+        let serial_pool = ServerPool::new(Arc::clone(&model), 1);
+        let serial: Vec<_> = drivers(&model, &inputs)
+            .into_iter()
+            .flat_map(|d| serial_pool.run(vec![d]))
+            .collect();
+
+        for (i, (c, s)) in concurrent.iter().zip(&serial).enumerate() {
+            let c_out = c.result.as_ref().unwrap();
+            let s_out = s.result.as_ref().unwrap();
+            assert_eq!(
+                c_out.data(),
+                s_out.data(),
+                "{name} client {i}: concurrent != serial output"
+            );
+            assert_eq!(
+                transcript_sig(&c.transcript),
+                transcript_sig(&s.transcript),
+                "{name} client {i}: concurrent != serial transcript"
+            );
+
+            // Cleartext reference.
+            let expect = infer(&net, &weights, &inputs[i]).output;
+            assert_eq!(
+                c_out.data(),
+                expect.data(),
+                "{name} client {i}: served inference diverged from cleartext"
+            );
+
+            // One-party protocol reference: same seed, same everything.
+            let mut reference = PrivateInferenceSession::new(
+                &net,
+                &weights,
+                params.clone(),
+                Schedule::PartialAligned,
+                BASE_SEED + i as u64,
+            )
+            .unwrap();
+            let (ref_out, ref_transcript) = reference.run(&inputs[i]).unwrap();
+            assert_eq!(
+                c_out.data(),
+                ref_out.data(),
+                "{name} client {i}: served != one-party session output"
+            );
+            assert_eq!(
+                transcript_sig(&c.transcript),
+                transcript_sig(&ref_transcript),
+                "{name} client {i}: served != one-party session transcript"
+            );
+        }
+
+        // Scratch instances went back to the server-level pool warm.
+        assert!(
+            pool.scratch_idle() >= 1,
+            "{name}: sweeps must return leased scratch to the pool"
+        );
+    }
+}
+
+#[test]
+fn faulted_client_does_not_perturb_neighbors() {
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 424);
+    let inputs = client_inputs(&net.input_shape, 3, 7100, CLIENTS);
+    let (_, params) = preset_chains().pop().unwrap(); // rns_3x36
+
+    let model =
+        PreparedModel::prepare(&net, &weights, params.clone(), Schedule::PartialAligned).unwrap();
+
+    // Clean baseline run.
+    let pool = ServerPool::new(Arc::clone(&model), CLIENTS);
+    let clean = pool.run(drivers(&model, &inputs));
+
+    // Same fleet, but client 1's layer-1 upload is corrupted in flight.
+    let faulted_idx = 1usize;
+    let tampered: Vec<SessionDriver> = drivers(&model, &inputs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if i == faulted_idx {
+                let params = params.clone();
+                d.with_tamper(Box::new(move |layer, bytes| {
+                    if layer == 1 {
+                        *bytes =
+                            FaultInjector::apply(bytes, &Corruption::ForeignFingerprint, &params);
+                    }
+                }))
+            } else {
+                d
+            }
+        })
+        .collect();
+    let mixed = pool.run(tampered);
+
+    for (i, (m, c)) in mixed.iter().zip(&clean).enumerate() {
+        if i == faulted_idx {
+            // The faulted client dies with a typed error and says which
+            // message killed it.
+            assert!(m.result.is_err(), "tampered client must not succeed");
+            let fault = m
+                .reports
+                .iter()
+                .find_map(|r| r.fault.as_ref())
+                .expect("faulted session leaves a fault-bearing report");
+            assert!(
+                fault.contains("foreign parameter chain"),
+                "unexpected fault: {fault}"
+            );
+            // It got through layer 0 before the corruption hit.
+            assert!(
+                m.transcript.messages().len() < c.transcript.messages().len(),
+                "faulted transcript must stop early"
+            );
+        } else {
+            // Neighbors are bit-identical to the clean run.
+            assert_eq!(
+                m.result.as_ref().unwrap().data(),
+                c.result.as_ref().unwrap().data(),
+                "client {i}: neighbor output perturbed by a faulted peer"
+            );
+            assert_eq!(
+                transcript_sig(&m.transcript),
+                transcript_sig(&c.transcript),
+                "client {i}: neighbor transcript perturbed by a faulted peer"
+            );
+        }
+    }
+}

@@ -47,26 +47,63 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "FAIL: committed l3_fc_bsgs ($fc_bsgs ns) is not faster than l3_fc_diag ($fc_diag ns)"
         exit 1
     fi
+
+    echo "==> bench_throughput smoke (JSON key regression gate)"
+    smoke_json=$(mktemp /tmp/bench_throughput.XXXXXX.json)
+    BENCH_SMOKE=1 cargo run --release -q -p cheetah-bench --bin bench_throughput "$smoke_json" >/dev/null
+    missing=$(comm -23 <(json_keys BENCH_throughput.json) <(json_keys "$smoke_json"))
+    if [[ -n "$missing" ]]; then
+        echo "FAIL: bench_throughput no longer emits these BENCH_throughput.json keys:"
+        echo "$missing"
+        rm -f "$smoke_json"
+        exit 1
+    fi
+    rm -f "$smoke_json"
+
+    echo "==> serving amortization gate (committed non-smoke BENCH_throughput.json)"
+    # The committed JSON is a full run: serving 16 clients through one
+    # shared prepared model must beat 16 serial runs that each rebuild
+    # the preparation, else the serving layer's headline win is gone.
+    serial16=$(json_val BENCH_throughput.json serial_16_sessions_per_sec)
+    batched16=$(json_val BENCH_throughput.json batched_16_sessions_per_sec)
+    if [[ -z "$serial16" || -z "$batched16" ]]; then
+        echo "FAIL: BENCH_throughput.json lacks serial_16/batched_16 sessions_per_sec"
+        exit 1
+    fi
+    if ! awk -v b="$batched16" -v s="$serial16" 'BEGIN { exit !(b > s) }'; then
+        echo "FAIL: committed batched_16_sessions_per_sec ($batched16) does not beat serial_16_sessions_per_sec ($serial16)"
+        exit 1
+    fi
 fi
 
-echo "==> panic-lint: wire/fault modules deny unwrap/expect; protocol is panic-free"
-for f in crates/bfv/src/wire.rs crates/protocol/src/faults.rs; do
+echo "==> panic-lint: wire/fault/serve modules deny unwrap/expect; protocol and serve are panic-free"
+for f in crates/bfv/src/wire.rs crates/protocol/src/faults.rs crates/serve/src/lib.rs; do
     if ! grep -q '#!\[deny(clippy::unwrap_used, clippy::expect_used)\]' "$f"; then
         echo "FAIL: $f lost its #![deny(clippy::unwrap_used, clippy::expect_used)] attribute"
         exit 1
     fi
 done
 # The protocol boundary must never panic on hostile input: no panic-family
-# macros anywhere in the crate's non-test sources.
-if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' crates/protocol/src; then
-    echo "FAIL: panic-family macro in crates/protocol/src (boundary must return typed errors)"
-    exit 1
-fi
+# macros anywhere in the crate's non-test sources. The serving layer sits
+# on the same boundary (it feeds client bytes straight into decode) and
+# must hold the same line.
+for d in crates/protocol/src crates/serve/src; do
+    if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' "$d"; then
+        echo "FAIL: panic-family macro in $d (boundary must return typed errors)"
+        exit 1
+    fi
+done
 
 echo "==> fault-injection smoke (fixed seed)"
 # A second fixed seed on top of the suite's built-in default, so the gate
 # replays a different deterministic corruption draw than plain `cargo test`.
 FAULT_SEED=20260808 cargo test -q -p cheetah-protocol --test transcript_faults
+
+echo "==> multi-client serving smoke (fixed-seed fleet, fault containment)"
+# Deterministic multi-client fleet through the server pool: a faulted
+# client must die typed while its neighbors' transcripts stay
+# bit-identical to a clean run.
+cargo test -q -p cheetah-serve --test concurrency_determinism faulted_client_does_not_perturb_neighbors
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

@@ -76,3 +76,4 @@ pub use cheetah_gpu as gpu;
 pub use cheetah_nn as nn;
 pub use cheetah_profile as profile;
 pub use cheetah_protocol as protocol;
+pub use cheetah_serve as serve;

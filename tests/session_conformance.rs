@@ -7,9 +7,12 @@
 //!
 //! * the decrypted prediction equals a cleartext reference network
 //!   **bit-exactly**;
-//! * every ciphertext message in the transcript matches the
-//!   `2·live·n·8`-byte accounting at its recorded level (uploads are
-//!   always full-chain; masked downloads shrink with the planned level);
+//! * every ciphertext message in the transcript matches the byte
+//!   accounting at its recorded level: uploads are always full-chain and
+//!   ship in the seeded wire format (`limbs·n·8 + 8`: an 8-byte PRNG
+//!   seed replaces the whole `c1` component), while masked downloads
+//!   stay in the full `2·live·n·8` format and shrink with the planned
+//!   level;
 //! * every linear layer's *measured* invariant noise sits under the
 //!   engine-tracked estimate, which sits under the layer's `noise_after`
 //!   planning bound — `measured ≤ tracked ≤ predicted`, per layer, per
@@ -104,16 +107,19 @@ fn tiny_cnn_conformance_on_all_preset_chains() {
             "{name}: private inference diverged from cleartext reference"
         );
 
-        // 2. Transcript byte totals match the 2·live·n·8 accounting.
+        // 2. Transcript byte totals match the wire accounting (seeded
+        // uploads, full-format downloads).
         let mut uploads = 0;
         let mut downloads = 0;
         let mut accounted = 0usize;
         for m in transcript.messages() {
             if m.label.contains("enc activations") {
-                // Clients always encrypt fresh: full-chain uploads.
+                // Clients always encrypt fresh: full-chain uploads, seeded
+                // — one c0 component plus the 8-byte seed standing in for
+                // all of c1.
                 assert_eq!(
                     m.bytes,
-                    2 * limbs * N * 8,
+                    cheetah::bfv::wire::SEED_BYTES + limbs * N * 8,
                     "{name}: upload accounting for {}",
                     m.label
                 );
