@@ -113,7 +113,8 @@ mod tests {
             Schedule::PartialAligned,
             NoiseRegime::Statistical,
             &TuneSpace::default(),
-        );
+        )
+        .unwrap();
         NetworkWork::from_tuned(&net.name, &tuned)
     }
 

@@ -287,7 +287,8 @@ mod tests {
             Schedule::PartialAligned,
             NoiseRegime::Statistical,
             &TuneSpace::default(),
-        );
+        )
+        .unwrap();
         NetworkWork::from_tuned(&net.name, &tuned)
     }
 
@@ -341,7 +342,8 @@ mod tests {
             Schedule::PartialAligned,
             NoiseRegime::Statistical,
             &TuneSpace::default(),
-        );
+        )
+        .unwrap();
         let work = NetworkWork::from_tuned(&net.name, &tuned);
         let r = Simulator::new(AcceleratorConfig::new(8, 256)).simulate(&work, NODE_40NM);
         assert!(

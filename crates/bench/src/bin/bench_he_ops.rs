@@ -12,6 +12,17 @@
 //! hoistable-rotation-set work (`scripts/check.sh` fails a committed full
 //! run where BSGS does not beat the diagonal path on the 3-limb preset).
 //!
+//! The special-prime hybrid key-switch path is benchmarked against its
+//! **equal-total-plane-count** digit twin: `l2_rotate_hybrid`
+//! (hybrid_1x54 — 1 data limb + `P`, two planes) pairs with `l2_rotate`
+//! (rns_2x30 — two data limbs), and `l3_rotate_hybrid` (hybrid_2x36)
+//! pairs with `l3_rotate` (rns_3x36). Same RLWE modulus width, same wire
+//! size, same security budget; per rotation the hybrid path runs
+//! `live² + 6·live + 2` plane transforms against the digit path's
+//! `(l_ct + 1)·live`. `scripts/check.sh` fails a committed full run where
+//! the hybrid rotation does not beat its digit twin. `hoist_hybrid` is
+//! the one-time hoist on the hybrid chain (`ops_ns` section).
+//!
 //! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
 //!
 //! Set `BENCH_SMOKE=1` for CI smoke mode: the measurement budget drops to
@@ -317,6 +328,30 @@ fn main() {
         })
     };
 
+    // --- Hybrid special-prime rotations vs their equal-plane digit twins ---
+    // hybrid_1x54 (1 data limb + P = 2 planes) twins l2 (rns_2x30);
+    // hybrid_2x36 (2 data limbs + P = 3 planes) twins l3 (rns_3x36).
+    let hybrid_rotate = |params: BfvParams| -> (f64, f64) {
+        let hc = ctx_for(params);
+        let mut hs: Scratch = hc.eval.new_scratch();
+        let mut hout = Ciphertext::transparent_zero(hc.eval.params());
+        let rot = time_ns(|| {
+            hc.eval
+                .rotate_rows_into(&mut hout, black_box(&hc.ct), 1, &hc.keys, &mut hs)
+                .unwrap();
+        });
+        let mut hd = HoistedDecomposition::empty(hc.eval.params());
+        let hoist = time_ns(|| {
+            hc.eval
+                .hoist_into(&mut hd, black_box(&hc.ct), &mut hs)
+                .unwrap();
+        });
+        (rot, hoist)
+    };
+    let (l2_rotate_hybrid, hoist_hybrid) =
+        hybrid_rotate(BfvParams::preset_hybrid_1x54(4096).unwrap());
+    let (l3_rotate_hybrid, _) = hybrid_rotate(BfvParams::preset_hybrid_2x36(4096).unwrap());
+
     // --- Per-limb-count RNS points: 1/2/3-limb chains at n = 4096 ---
     let limb_points: Vec<LimbPoint> = [
         BfvParams::preset_single_60(4096).unwrap(),
@@ -376,13 +411,14 @@ fn main() {
     let _ = writeln!(json, "    \"rotate\": {rotate_alloc:.1},");
     let _ = writeln!(json, "    \"rotate_into\": {rotate_into:.1},");
     let _ = writeln!(json, "    \"hoist\": {hoist:.1},");
+    let _ = writeln!(json, "    \"hoist_hybrid\": {hoist_hybrid:.1},");
     let _ = writeln!(json, "    \"rotate_hoisted\": {rotate_hoisted:.1},");
     let _ = writeln!(json, "    \"mod_switch\": {mod_switch:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"per_limb_ns\": {{");
-    for (idx, p) in limb_points.iter().enumerate() {
+    for p in &limb_points {
         let limbs = p.limbs;
-        let trail = if idx + 1 < limb_points.len() { "," } else { "" };
+        let trail = ",";
         let _ = writeln!(json, "    \"l{limbs}_add\": {:.1},", p.add);
         let _ = writeln!(json, "    \"l{limbs}_mul\": {:.1},", p.mul);
         let _ = writeln!(json, "    \"l{limbs}_rotate\": {:.1},", p.rotate);
@@ -405,6 +441,8 @@ fn main() {
             }
         }
     }
+    let _ = writeln!(json, "    \"l2_rotate_hybrid\": {l2_rotate_hybrid:.1},");
+    let _ = writeln!(json, "    \"l3_rotate_hybrid\": {l3_rotate_hybrid:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"fc_layer_ns\": {{");
     for (idx, p) in fc_points.iter().enumerate() {

@@ -24,6 +24,12 @@ use cheetah_nn::{LinearLayer, Network};
 
 /// Tunes every linear layer of a network (the standard pipeline used by
 /// several figure binaries).
+///
+/// # Panics
+///
+/// Panics when the space has no feasible configuration for some layer —
+/// the figure binaries run the paper's benchmarks, for which the default
+/// space always does.
 pub fn tune_model(
     net: &Network,
     schedule: Schedule,
@@ -36,6 +42,7 @@ pub fn tune_model(
         .map(|l| quant.statistical_plain_bits(l))
         .collect();
     tune_network(&layers, &t_bits, schedule, NoiseRegime::Statistical, space)
+        .unwrap_or_else(|e| panic!("{}: {e}", net.name))
 }
 
 /// Prints a horizontal rule and a section heading.

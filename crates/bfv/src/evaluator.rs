@@ -277,7 +277,9 @@ pub struct Evaluator {
 impl Evaluator {
     /// Creates an evaluator for the parameter set.
     pub fn new(params: BfvParams) -> Self {
-        let (n, limbs) = (params.degree(), params.limbs());
+        // Hybrid (special-prime) chains need one extra scratch plane: the
+        // key-switch accumulators live on `P·Q_ℓ` (live + 1 planes).
+        let (n, limbs) = (params.degree(), params.scratch_limbs());
         Self {
             params,
             add_count: AtomicU64::new(0),
@@ -298,7 +300,7 @@ impl Evaluator {
     /// A fresh scratch pool sized for this evaluator's parameters (one per
     /// worker thread is the intended pattern).
     pub fn new_scratch(&self) -> Scratch {
-        Scratch::new(self.params.degree(), self.params.limbs())
+        Scratch::new(self.params.degree(), self.params.scratch_limbs())
     }
 
     /// Snapshot of the kernel counters.
@@ -602,13 +604,26 @@ impl Evaluator {
         // switch in a helper so every error path returns the lease to the
         // pool before propagating.
         let mut c1_g = scratch.take_poly_limbs(live, Representation::Eval);
-        let switched = self.galois_key_switch(out, a, key, &mut c1_g, scratch);
+        let switched = if self.params.has_special() {
+            self.galois_key_switch_hybrid(out, a, key, &mut c1_g, scratch)
+        } else {
+            self.galois_key_switch(out, a, key, &mut c1_g, scratch)
+        };
         scratch.put_poly(c1_g);
         switched?;
 
-        let l_ct = self.params.l_ct_at(level) as u64;
-        Self::count(&self.ntt_count, (l_ct + 1) * live as u64);
-        Self::count(&self.poly_mul_count, 2 * l_ct);
+        if self.params.has_special() {
+            // Hybrid bill: INTT(c1) over `live`, `live` digit NTTs of
+            // `live + 1` planes, both accumulators INTT'd on the ks chain
+            // and NTT'd back after the P-rescale: live² + 6·live + 2.
+            let live = live as u64;
+            Self::count(&self.ntt_count, live * live + 6 * live + 2);
+            Self::count(&self.poly_mul_count, 2 * live);
+        } else {
+            let l_ct = self.params.l_ct_at(level) as u64;
+            Self::count(&self.ntt_count, (l_ct + 1) * live as u64);
+            Self::count(&self.poly_mul_count, 2 * l_ct);
+        }
         Self::count(&self.rotate_count, 1);
         out.set_noise(a.noise().rotate_at(&self.params, level));
         Ok(())
@@ -657,6 +672,77 @@ impl Evaluator {
             oc1.fma_pointwise_prefix(digit, k1, level_chain)?;
         }
         Ok(())
+    }
+
+    /// The hybrid `P·Q_ℓ` datapath body of [`Evaluator::apply_galois_into`]
+    /// for special-prime parameter sets: permute, INTT, one **centered**
+    /// digit per live limb lifted onto the key-switch chain
+    /// `[q_0, …, q_{live−1}, P]`, multiply-accumulate against the
+    /// `P`-scaled key pairs over `P·Q_ℓ`, then the exact rescale by `P`
+    /// back onto the live data planes. Cuts the digit count from
+    /// `l_ct(ℓ) = Σ_i ceil(log_A q_i)` to `live` — the special prime
+    /// absorbs the key-noise bill the base split used to control.
+    fn galois_key_switch_hybrid(
+        &self,
+        out: &mut Ciphertext,
+        a: &Ciphertext,
+        key: &crate::keys::GaloisKey,
+        c1_g: &mut RnsPoly,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        let level = a.level();
+        let live = a.live_limbs();
+        let chain = self.params.chain();
+        let level_chain = self.params.chain_at(level);
+        let ks = self.params.ks_chain_at(level);
+        let perm = key.permutation();
+
+        // 1. Permute both components in the evaluation domain: c0 straight
+        //    into the output, c1 into scratch for decomposition.
+        c1_g.permute_from(a.c1(), perm);
+        let (oc0, oc1) = out.parts_mut();
+        oc0.permute_from(a.c0(), perm);
+        // 2. INTT c1 (the full chain's tables drive the live prefix).
+        c1_g.to_coeff(chain);
+        // 3–5 run in a closure so every error path returns the
+        //    accumulator leases to the pool before propagating.
+        let mut acc0 = scratch.take_poly_limbs(live + 1, Representation::Eval);
+        let mut acc1 = scratch.take_poly_limbs(live + 1, Representation::Eval);
+        let mut body = || -> Result<()> {
+            acc0.fill_zero();
+            acc0.set_representation(Representation::Eval);
+            acc1.fill_zero();
+            acc1.set_representation(Representation::Eval);
+            // 3. Decompose over the live limbs (full-chain q̂_i⁻¹
+            //    normalizers pair level-ℓ digits with level-0 keys), NTT
+            //    each digit on the key-switch chain, and accumulate
+            //    against the key pairs' limb-major prefix — the special
+            //    plane reads each key's *last* plane.
+            let digits = scratch.digits_mut_limbs(live, live + 1);
+            c1_g.hybrid_decompose_into(chain, ks, digits)?;
+            for (digit, (k0, k1)) in digits.iter_mut().zip(key.pairs()) {
+                digit.to_eval(ks);
+                acc0.fma_pointwise_prefix_last(digit, k0, ks)?;
+                acc1.fma_pointwise_prefix_last(digit, k1, ks)?;
+            }
+            // 4. Exact rescale by P: the special prime is the ks chain's
+            //    last limb, so the rounded limb drop is exactly
+            //    round(·/P) onto the live data planes.
+            acc0.to_coeff(ks);
+            acc1.to_coeff(ks);
+            ks.mod_switch_in_place(&mut acc0)?;
+            ks.mod_switch_in_place(&mut acc1)?;
+            acc0.to_eval(level_chain);
+            acc1.to_eval(level_chain);
+            // 5. Fold into the permuted output.
+            oc0.add_assign(&acc0, level_chain)?;
+            oc1.copy_from(&acc1);
+            Ok(())
+        };
+        let switched = body();
+        scratch.put_poly(acc0);
+        scratch.put_poly(acc1);
+        switched
     }
 
     /// `HE_Rotate` into a caller-owned output ciphertext. Steps wrap
@@ -840,6 +926,9 @@ impl Evaluator {
         scratch: &mut Scratch,
     ) -> Result<()> {
         self.params.check_same(a.params())?;
+        if self.params.has_special() {
+            return self.hoist_into_hybrid(hoisted, a, scratch);
+        }
         let level = a.level();
         let live = a.live_limbs();
         let chain = self.params.chain();
@@ -869,6 +958,51 @@ impl Evaluator {
         }
         hoisted.source_tag = source_fingerprint(a.c1());
         Self::count(&self.ntt_count, (l_ct as u64 + 1) * live as u64);
+        Ok(())
+    }
+
+    /// [`Evaluator::hoist_into`] for special-prime parameter sets: caches
+    /// `live` evaluation-form digits of `live + 1` planes on the
+    /// key-switch chain `[q_0, …, q_{live−1}, P]`. A hybrid replay is not
+    /// NTT-free — every step still pays the `P`-rescale
+    /// (`4·live + 2` plane transforms) — but the INTT + decompose + digit
+    /// NTT front (`live² + 2·live` transforms) is shared across the set.
+    fn hoist_into_hybrid(
+        &self,
+        hoisted: &mut HoistedDecomposition,
+        a: &Ciphertext,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        let level = a.level();
+        let live = a.live_limbs();
+        let chain = self.params.chain();
+        let ks = self.params.ks_chain_at(level);
+        let digit_count = self.params.ks_digits_at(level);
+        hoisted.params = self.params.clone();
+        hoisted.level = level;
+        if hoisted.digits.len() != digit_count
+            || hoisted
+                .digits
+                .first()
+                .is_some_and(|d| d.limbs() != live + 1 || d.degree() != chain.degree())
+        {
+            hoisted.digits = vec![RnsPoly::zero(ks, Representation::Coeff); digit_count];
+        }
+        // Invalidate the tag up front: should any step below fail, the
+        // stale digits must not pass the replay fingerprint check.
+        hoisted.source_tag = 0;
+        let mut c1 = scratch.take_poly_limbs(live, Representation::Eval);
+        c1.copy_from(a.c1());
+        c1.to_coeff(chain);
+        let decomposed = c1.hybrid_decompose_into(chain, ks, &mut hoisted.digits);
+        scratch.put_poly(c1);
+        decomposed?;
+        for digit in &mut hoisted.digits {
+            digit.to_eval(ks);
+        }
+        hoisted.source_tag = source_fingerprint(a.c1());
+        let live = live as u64;
+        Self::count(&self.ntt_count, live * live + 2 * live);
         Ok(())
     }
 
@@ -912,7 +1046,12 @@ impl Evaluator {
         // c1 (and the ciphertext not mutated since): splicing a foreign
         // hoist onto `a.c0` would decrypt to garbage while carrying a
         // valid-looking noise estimate.
-        if hoisted.digits.len() != self.params.l_ct_at(level)
+        let expected_digits = if self.params.has_special() {
+            self.params.ks_digits_at(level)
+        } else {
+            self.params.l_ct_at(level)
+        };
+        if hoisted.digits.len() != expected_digits
             || hoisted.source_tag != source_fingerprint(a.c1())
         {
             return Err(Error::ParameterMismatch);
@@ -929,22 +1068,59 @@ impl Evaluator {
 
         let (oc0, oc1) = out.parts_mut();
         oc0.permute_from(a.c0(), perm);
-        oc1.fill_zero();
-        oc1.set_representation(Representation::Eval);
-        let mut permuted = scratch.take_poly_limbs(live, Representation::Eval);
-        let mut fma = || -> Result<()> {
-            for (digit, (k0, k1)) in hoisted.digits.iter().zip(key.pairs()) {
-                permuted.permute_from(digit, perm);
-                oc0.fma_pointwise_prefix(&permuted, k0, level_chain)?;
-                oc1.fma_pointwise_prefix(&permuted, k1, level_chain)?;
-            }
-            Ok(())
-        };
-        let r = fma();
-        scratch.put_poly(permuted);
-        r?;
-
-        Self::count(&self.poly_mul_count, 2 * self.params.l_ct_at(level) as u64);
+        if self.params.has_special() {
+            // Hybrid replay: permute the cached ks-chain digits, FMA over
+            // P·Q_ℓ, then pay the per-step exact P-rescale back onto the
+            // live data planes.
+            let ks = self.params.ks_chain_at(level);
+            let mut permuted = scratch.take_poly_limbs(live + 1, Representation::Eval);
+            let mut acc0 = scratch.take_poly_limbs(live + 1, Representation::Eval);
+            let mut acc1 = scratch.take_poly_limbs(live + 1, Representation::Eval);
+            let mut fma = || -> Result<()> {
+                acc0.fill_zero();
+                acc0.set_representation(Representation::Eval);
+                acc1.fill_zero();
+                acc1.set_representation(Representation::Eval);
+                for (digit, (k0, k1)) in hoisted.digits.iter().zip(key.pairs()) {
+                    permuted.permute_from(digit, perm);
+                    acc0.fma_pointwise_prefix_last(&permuted, k0, ks)?;
+                    acc1.fma_pointwise_prefix_last(&permuted, k1, ks)?;
+                }
+                acc0.to_coeff(ks);
+                acc1.to_coeff(ks);
+                ks.mod_switch_in_place(&mut acc0)?;
+                ks.mod_switch_in_place(&mut acc1)?;
+                acc0.to_eval(level_chain);
+                acc1.to_eval(level_chain);
+                oc0.add_assign(&acc0, level_chain)?;
+                oc1.copy_from(&acc1);
+                Ok(())
+            };
+            let r = fma();
+            scratch.put_poly(permuted);
+            scratch.put_poly(acc0);
+            scratch.put_poly(acc1);
+            r?;
+            let live = live as u64;
+            Self::count(&self.ntt_count, 4 * live + 2);
+            Self::count(&self.poly_mul_count, 2 * live);
+        } else {
+            oc1.fill_zero();
+            oc1.set_representation(Representation::Eval);
+            let mut permuted = scratch.take_poly_limbs(live, Representation::Eval);
+            let mut fma = || -> Result<()> {
+                for (digit, (k0, k1)) in hoisted.digits.iter().zip(key.pairs()) {
+                    permuted.permute_from(digit, perm);
+                    oc0.fma_pointwise_prefix(&permuted, k0, level_chain)?;
+                    oc1.fma_pointwise_prefix(&permuted, k1, level_chain)?;
+                }
+                Ok(())
+            };
+            let r = fma();
+            scratch.put_poly(permuted);
+            r?;
+            Self::count(&self.poly_mul_count, 2 * self.params.l_ct_at(level) as u64);
+        }
         Self::count(&self.rotate_count, 1);
         out.set_noise(a.noise().rotate_at(&self.params, level));
         Ok(())

@@ -176,10 +176,17 @@ impl GaloisKeys {
         self.keys.keys().copied()
     }
 
-    /// Serialized size in bytes (for protocol accounting): each key holds
-    /// `l_ct` pairs of `l_limbs · n`-word polynomials.
+    /// Serialized size in bytes (for protocol accounting). Digit keys
+    /// hold `l_ct` pairs of `l_limbs·n`-word polynomials; hybrid keys hold
+    /// one pair per limb, each over the extended `(l_limbs + 1)`-plane
+    /// key-switch chain.
     pub fn byte_size(&self, params: &BfvParams) -> usize {
-        self.keys.len() * params.l_ct() * 2 * params.limbs() * params.degree() * 8
+        let (pairs, planes) = if params.has_special() {
+            (params.limbs(), params.limbs() + 1)
+        } else {
+            (params.l_ct(), params.limbs())
+        };
+        self.keys.len() * pairs * 2 * planes * params.degree() * 8
     }
 
     pub(crate) fn insert(&mut self, key: GaloisKey) {
@@ -311,6 +318,9 @@ impl KeyGenerator {
     /// cyclotomic); propagates arithmetic errors otherwise.
     pub fn galois_key(&mut self, g: u64) -> Result<GaloisKey> {
         check_galois_element(self.params.degree(), g)?;
+        if self.params.has_special() {
+            return self.galois_key_hybrid(g);
+        }
         let chain = self.params.chain().clone();
         let a_base = self.params.a_dcmp();
         let limbs = chain.limbs();
@@ -356,6 +366,87 @@ impl KeyGenerator {
             pairs,
             perm,
         })
+    }
+
+    /// Hybrid (special-prime) Galois key: one RLWE pair per limb over the
+    /// *extended* key-switch chain `[q_0 … q_{l-1}, P]`, pair `i`
+    /// encrypting `P·q̂_i·s(x^g)` — which is `[P·q̂_i]_{q_k}·s_g` on every
+    /// data plane and exactly `0` on the special plane (`P` divides the
+    /// signal). The full-chain `q̂_i` keeps the level-prefix property:
+    /// a level-`ℓ` switch consumes pairs `i < live` on planes
+    /// `[0..live) ∪ {special}`, so one level-0 key set serves every level.
+    ///
+    /// The secret over the extended chain is the *same* ternary
+    /// polynomial: its coefficient values are read off the data chain and
+    /// re-lifted, so hybrid parameters sharing a data chain and seed with
+    /// a digit twin produce identical secrets and encryptions.
+    fn galois_key_hybrid(&mut self, g: u64) -> Result<GaloisKey> {
+        let data = self.params.chain().clone();
+        let ks = self.params.ks_chain_at(0).clone();
+        let limbs = data.limbs();
+        let p_special = ks.modulus(limbs).value();
+
+        let perm = data.table(0).galois_permutation(g);
+        let s_ks = self.secret_on(&ks);
+        let mut s_g = RnsPoly::zero(&ks, Representation::Eval);
+        s_g.permute_from(&s_ks, &perm);
+
+        let mut pairs = Vec::with_capacity(limbs);
+        for i in 0..limbs {
+            let a_i = self.rng.uniform_rns(&ks, Representation::Eval);
+            let mut e_i = self.rng.noise_rns(&ks);
+            e_i.to_eval(&ks);
+            // k0 = -(a_i·s + e_i) + P·q̂_i·s(x^g)
+            let mut k0 = a_i.clone();
+            k0.mul_assign_pointwise(&s_ks, &ks)?;
+            k0.add_assign(&e_i, &ks)?;
+            k0.negate(&ks);
+            let mut scaled_sg = s_g.clone();
+            for k in 0..=limbs {
+                let q = ks.modulus(k);
+                let sc = if k < limbs {
+                    q.mul_mod(q.reduce(p_special), data.crt().qhat_mod(i, k))
+                } else {
+                    0
+                };
+                crate::poly::mul_scalar_slice(scaled_sg.limb_mut(k), sc, q);
+            }
+            k0.add_assign(&scaled_sg, &ks)?;
+            pairs.push((k0, a_i));
+        }
+        Ok(GaloisKey {
+            element: g,
+            pairs,
+            perm,
+        })
+    }
+
+    /// The secret key's ternary coefficients re-lifted onto `chain`
+    /// (evaluation form): limb plane 0 of the data chain is decoded back
+    /// to `{−1, 0, 1}` and CRT-lifted, extending `s` to the special prime
+    /// without touching the RNG stream.
+    fn secret_on(&self, chain: &crate::rns::ModulusChain) -> RnsPoly {
+        let data = self.params.chain();
+        let mut s = self.sk.poly().clone();
+        s.to_coeff(data);
+        let q0 = data.modulus(0).value();
+        let signed: Vec<i64> = s
+            .limb(0)
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    0
+                } else if c == 1 {
+                    1
+                } else {
+                    debug_assert_eq!(c, q0 - 1, "secret must be ternary");
+                    -1
+                }
+            })
+            .collect();
+        let mut out = RnsPoly::from_signed(&signed, chain);
+        out.to_eval(chain);
+        out
     }
 
     /// Galois element realizing a row rotation by `steps`
@@ -675,6 +766,79 @@ mod tests {
             }
         }
         assert_eq!(idx, key.pairs().len());
+    }
+
+    #[test]
+    fn hybrid_pairs_are_rlwe_samples_of_p_scaled_secret() {
+        // Every hybrid pair i must satisfy k0 + k1·s = P·q̂_i·s(x^g) + e
+        // over the extended chain [q_0, q_1, P], with the signal exactly
+        // zero on the special plane.
+        let p = BfvParams::preset_hybrid_2x36(4096).unwrap();
+        let mut kg = KeyGenerator::from_seed(p.clone(), 10);
+        let g = kg.element_for_step(1).unwrap();
+        let key = kg.galois_key(g).unwrap();
+        let data = p.chain();
+        let ks = p.ks_chain_at(0);
+        let limbs = data.limbs();
+        let p_val = p.special().unwrap().value();
+        assert_eq!(key.pairs().len(), limbs);
+
+        let s_ks = kg.secret_on(ks);
+        let mut s_g = RnsPoly::zero(ks, Representation::Eval);
+        s_g.permute_from(&s_ks, key.permutation());
+
+        for (i, (k0, k1)) in key.pairs().iter().enumerate() {
+            assert_eq!(k0.limbs(), limbs + 1);
+            let mut residual = k1.clone();
+            residual.mul_assign_pointwise(&s_ks, ks).unwrap();
+            residual.add_assign(k0, ks).unwrap();
+            let mut scaled = s_g.clone();
+            for k in 0..=limbs {
+                let q = ks.modulus(k);
+                let sc = if k < limbs {
+                    q.mul_mod(q.reduce(p_val), data.crt().qhat_mod(i, k))
+                } else {
+                    0
+                };
+                crate::poly::mul_scalar_slice(scaled.limb_mut(k), sc, q);
+            }
+            residual.sub_assign(&scaled, ks).unwrap();
+            residual.to_coeff(ks);
+            let norm = residual.inf_norm_centered(ks).unwrap();
+            assert!(norm <= 64, "hybrid pair {i} residual too large: {norm}");
+            assert!(norm > 0);
+        }
+        assert_eq!(GaloisKeys::default().byte_size(&p), 0,);
+        let mut set = GaloisKeys::default();
+        set.insert(key);
+        assert_eq!(set.byte_size(&p), limbs * 2 * (limbs + 1) * 4096 * 8);
+    }
+
+    #[test]
+    fn hybrid_secret_matches_digit_twin_secret() {
+        // Same data chain, t, and seed: the hybrid params' secret (and
+        // hence every encryption) is identical to the digit twin's — only
+        // key material diverges.
+        let c = crate::params::search_congruent_chain(4096, 16, &[36, 36], 36).unwrap();
+        let digit = BfvParams::builder()
+            .degree(4096)
+            .plain_modulus(c.t)
+            .moduli(c.data.clone())
+            .build()
+            .unwrap();
+        let hybrid = BfvParams::builder()
+            .degree(4096)
+            .plain_modulus(c.t)
+            .moduli(c.data)
+            .special_modulus(c.special)
+            .build()
+            .unwrap();
+        let kg_d = KeyGenerator::from_seed(digit, 77);
+        let kg_h = KeyGenerator::from_seed(hybrid, 77);
+        assert_eq!(
+            kg_d.secret_key().poly().data(),
+            kg_h.secret_key().poly().data()
+        );
     }
 
     #[test]

@@ -105,7 +105,9 @@ pub use error::{Error, Result};
 pub use evaluator::{Evaluator, HoistedDecomposition, OpCounts, PreparedPlaintext};
 pub use keys::{GaloisKey, GaloisKeys, KeyGenerator, PublicKey, SecretKey};
 pub use noise::NoiseEstimate;
-pub use params::{BfvParams, BfvParamsBuilder, SecurityLevel};
+pub use params::{
+    search_congruent_chain, BfvParams, BfvParamsBuilder, CongruentChain, SecurityLevel,
+};
 pub use rns::{ModulusChain, RnsPoly};
 pub use sampling::expand_uniform;
 pub use scratch::{Scratch, ScratchLease, ScratchPool};

@@ -134,6 +134,9 @@ impl NoiseEstimate {
     /// rotations: permuting digits after extraction leaves every
     /// `|digit| < A` and the per-digit error fresh.
     pub fn rotate_at(&self, params: &BfvParams, level: usize) -> Self {
+        if params.has_special() {
+            return self.rotate_hybrid_at(params, level);
+        }
         let n = params.degree() as f64;
         let b = 6.0 * params.sigma();
         let l_ct = params.l_ct_at(level) as f64;
@@ -142,6 +145,53 @@ impl NoiseEstimate {
         // Variance of the key-switch term: l_ct·n digits, each a product of
         // a uniform digit (var A²/12) and fresh noise (var σ²).
         let add_var = l_ct * n * (a * a / 12.0) * params.sigma() * params.sigma();
+        Self {
+            bound_log2: log2_sum(self.bound_log2, additive.log2()),
+            variance_log2: log2_sum(self.variance_log2, add_var.log2()),
+        }
+    }
+
+    /// Noise after a hybrid `P·Q_ℓ` `HE_Rotate` at a level (special-prime
+    /// key switching).
+    ///
+    /// The decomposition carries one *centered* digit per live limb
+    /// (`|v_i| ≤ q_i/2`, no base split), each multiplying a fresh key
+    /// error; the accumulated key-noise bill `Σ_i v_i·e_i` is then divided
+    /// by `P` in the exact rescale, leaving
+    /// `live·(q_max/P)·n·B/2` plus the rescale's own rounding term
+    /// `(n + 1)/2` (ternary secret, same shape as
+    /// [`NoiseEstimate::mod_switch`]'s coefficient rounding). With `P` as
+    /// large as the largest data limb the key-switch term stays O(n·B) —
+    /// the reason one digit per limb suffices where the digit path needs
+    /// `ceil(log_A q_i)` of them.
+    ///
+    /// [`NoiseEstimate::rotate_at`] dispatches here automatically for
+    /// special-prime parameter sets, so layer/tuner models price the
+    /// hybrid path without call-site changes. Falls back to the
+    /// digit-decomposition expression when `params` has no special prime.
+    pub fn rotate_hybrid_at(&self, params: &BfvParams, level: usize) -> Self {
+        let Some(p_special) = params.special() else {
+            return self.rotate_at(params, level);
+        };
+        let n = params.degree() as f64;
+        let b = 6.0 * params.sigma();
+        let live = params.live_limbs_at(level);
+        let p = p_special.value() as f64;
+        let q_max = (0..live)
+            .map(|i| params.chain().modulus(i).value())
+            .max()
+            .unwrap_or(1) as f64;
+        let ks_term = live as f64 * (q_max / p) * n * b / 2.0;
+        let rounding = 1.0 + (n + 1.0) / 2.0;
+        let additive = ks_term + rounding;
+        // Variance: live·n products of a centered ~uniform digit
+        // (var q_max²/12) with fresh key noise (var σ²), divided by P²
+        // after the rescale; plus the rescale rounding (e₀ + e₁·s with
+        // ~2n/3 ternary terms of var 1/12 each).
+        let sigma2 = params.sigma() * params.sigma();
+        let ks_var = live as f64 * n * (q_max * q_max / 12.0) * sigma2 / (p * p);
+        let round_var = (1.0 + 2.0 * n / 3.0) / 12.0;
+        let add_var = ks_var + round_var;
         Self {
             bound_log2: log2_sum(self.bound_log2, additive.log2()),
             variance_log2: log2_sum(self.variance_log2, add_var.log2()),

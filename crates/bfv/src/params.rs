@@ -128,6 +128,14 @@ struct ParamsInner {
     /// `levels[0]` is the full chain, `levels[l]` the prefix with the last
     /// `l` limbs dropped. A chain of `k` limbs has `k` levels, `0..=k-1`.
     levels: Vec<LevelData>,
+    /// The special key-switch prime `P` (hybrid `P·Q` key switching).
+    /// Never live for ciphertext data: the data chain above excludes it.
+    special: Option<Modulus>,
+    /// Per-level key-switch chains `[q_0 … q_{live-1}, P]`, indexed by
+    /// level. Empty unless `special` is set. The special prime is always
+    /// the *last* limb, so the exact-rescale by `P` is the ordinary
+    /// drop-last-limb modulus switch on this chain.
+    ks_levels: Vec<ModulusChain>,
     w_dcmp: u64,
     a_dcmp: u64,
     sigma: f64,
@@ -167,6 +175,7 @@ impl fmt::Debug for BfvParams {
                     .map(Modulus::value)
                     .collect::<Vec<_>>(),
             )
+            .field("special", &self.inner.special.as_ref().map(Modulus::value))
             .field("w_dcmp", &self.inner.w_dcmp)
             .field("a_dcmp", &self.inner.a_dcmp)
             .field("sigma", &self.inner.sigma)
@@ -180,6 +189,8 @@ impl PartialEq for BfvParams {
             || (self.inner.n == other.inner.n
                 && self.inner.t.value() == other.inner.t.value()
                 && self.chain() == other.chain()
+                && self.inner.special.as_ref().map(Modulus::value)
+                    == other.inner.special.as_ref().map(Modulus::value)
                 && self.inner.w_dcmp == other.inner.w_dcmp
                 && self.inner.a_dcmp == other.inner.a_dcmp)
     }
@@ -255,6 +266,86 @@ impl BfvParams {
         ])
     }
 
+    /// Hybrid preset: one 54-bit data limb plus a congruent 54-bit special
+    /// prime `P` (108 bits of RLWE modulus — the `n = 4096` security
+    /// ceiling). Every limb including `P` satisfies `q ≡ 1 (mod 2n·t)`,
+    /// so `Q_ℓ ≡ 1 (mod t)` at every level *and* the `P`-rescale drift is
+    /// congruence-free. The search comes from
+    /// [`search_congruent_chain`] — solver output, not a hand pick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search/builder errors.
+    pub fn preset_hybrid_1x54(n: usize) -> Result<BfvParams> {
+        let plain_bits = if n >= 8192 { 17 } else { 16 };
+        let c = search_congruent_chain(n, plain_bits, &[54], 54)?;
+        Self::builder()
+            .degree(n)
+            .plain_modulus(c.t)
+            .moduli(c.data)
+            .special_modulus(c.special)
+            .build()
+    }
+
+    /// Hybrid preset: two 36-bit data limbs plus a congruent 36-bit `P`
+    /// (108-bit RLWE modulus, two usable levels). The digit-decomposition
+    /// twin is [`BfvParams::preset_rns_3x36`]: same total plane count, but
+    /// rotations here pay one digit per live limb instead of
+    /// `Σ ceil(log_A q_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search/builder errors.
+    pub fn preset_hybrid_2x36(n: usize) -> Result<BfvParams> {
+        let plain_bits = if n >= 8192 { 17 } else { 16 };
+        let c = search_congruent_chain(n, plain_bits, &[36, 36], 36)?;
+        Self::builder()
+            .degree(n)
+            .plain_modulus(c.t)
+            .moduli(c.data)
+            .special_modulus(c.special)
+            .build()
+    }
+
+    /// Hybrid preset for `n = 8192`: two 40-bit data limbs plus a
+    /// congruent 40-bit `P`. Deeper degrees need wider congruent primes
+    /// (`q ≡ 1 (mod 2n·t)` forces `q > 2n·t ≈ 2^31` at `n = 8192`), and
+    /// the composed key-switch chain must stay under the exact-CRT 127-bit
+    /// cap — 3×40 is the sweet spot the search lands on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search/builder errors.
+    pub fn preset_hybrid_2x40(n: usize) -> Result<BfvParams> {
+        let plain_bits = if n >= 8192 { 17 } else { 16 };
+        let c = search_congruent_chain(n, plain_bits, &[40, 40], 40)?;
+        Self::builder()
+            .degree(n)
+            .plain_modulus(c.t)
+            .moduli(c.data)
+            .special_modulus(c.special)
+            .build()
+    }
+
+    /// All hybrid (special-prime) presets valid at degree `n`, as
+    /// `(name, params)` pairs — the grid the hybrid benches and congruence
+    /// proptests iterate. `2x36` needs the dense `n = 4096` congruent
+    /// progression; `2x40` needs the `n = 8192` security budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors from any preset.
+    pub fn hybrid_presets(n: usize) -> Result<Vec<(&'static str, BfvParams)>> {
+        let mut out = vec![("hybrid_1x54", Self::preset_hybrid_1x54(n)?)];
+        if n == 4096 {
+            out.push(("hybrid_2x36", Self::preset_hybrid_2x36(n)?));
+        }
+        if n >= 8192 {
+            out.push(("hybrid_2x40", Self::preset_hybrid_2x40(n)?));
+        }
+        Ok(out)
+    }
+
     /// Polynomial degree `n`.
     #[inline]
     pub fn degree(&self) -> usize {
@@ -319,6 +410,59 @@ impl BfvParams {
     #[inline]
     pub fn big_q_at(&self, level: usize) -> u128 {
         self.inner.levels[level].chain.big_q()
+    }
+
+    /// Whether the chain reserves a special key-switch prime `P` (hybrid
+    /// `P·Q` key switching). Hybrid parameter sets rotate through
+    /// [`crate::Evaluator`]'s special-prime path: one digit per live limb
+    /// instead of `Σ ceil(log_A q_i)`.
+    #[inline]
+    pub fn has_special(&self) -> bool {
+        self.inner.special.is_some()
+    }
+
+    /// The special key-switch prime `P`, if the chain reserves one. `P`
+    /// never carries ciphertext data — it exists only inside key-switch
+    /// accumulators, which are exact-rescaled by `P` before they rejoin
+    /// the data chain.
+    #[inline]
+    pub fn special(&self) -> Option<&Modulus> {
+        self.inner.special.as_ref()
+    }
+
+    /// The key-switch chain `[q_0 … q_{live-1}, P]` at a level: the live
+    /// data prefix extended by the special prime. Key-switch digits and
+    /// accumulators live on this chain; dropping its last limb (`P`) is
+    /// the exact rescale back to `Q_ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain has no special prime or the level is out of
+    /// range — callers dispatch on [`BfvParams::has_special`] first.
+    #[inline]
+    pub fn ks_chain_at(&self, level: usize) -> &ModulusChain {
+        assert!(
+            self.has_special(),
+            "ks_chain_at on a chain without a special prime"
+        );
+        &self.inner.ks_levels[level]
+    }
+
+    /// Limb planes scratch buffers must hold: the data limbs plus one
+    /// extra plane for the special prime when the chain is hybrid.
+    #[inline]
+    pub fn scratch_limbs(&self) -> usize {
+        self.limbs() + usize::from(self.has_special())
+    }
+
+    /// Digit count of a *hybrid* key switch at a level: exactly one digit
+    /// per live limb (`q̂_i`-CRT decomposition, no base-`A` splitting —
+    /// the special prime absorbs the noise the base split used to
+    /// control). Compare [`BfvParams::l_ct_at`], the digit-decomposition
+    /// bill.
+    #[inline]
+    pub fn ks_digits_at(&self, level: usize) -> usize {
+        self.live_limbs_at(level)
     }
 
     /// Plaintext (weight) decomposition base `W_dcmp`.
@@ -510,6 +654,85 @@ impl BfvParams {
     }
 }
 
+/// A fully congruent chain found by [`search_congruent_chain`]: a
+/// plaintext prime `t` and pairwise-distinct limb primes — data limbs and
+/// the special key-switch prime — every one satisfying
+/// `q ≡ 1 (mod 2n·t)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CongruentChain {
+    /// Polynomial degree the chain was searched for.
+    pub n: usize,
+    /// The plaintext modulus (an NTT prime for `n`).
+    pub t: u64,
+    /// Data limb primes, in request order.
+    pub data: Vec<u64>,
+    /// The special key-switch prime `P`.
+    pub special: u64,
+}
+
+/// Co-optimizes `t` and the whole limb chain: finds an NTT-friendly
+/// plaintext prime `t` of `t_bits` bits, then draws pairwise-distinct
+/// primes `≡ 1 (mod 2n·t)` for every requested data-limb size *and* the
+/// special prime — so `Q_ℓ ≡ 1 (mod t)` holds at every level, the
+/// multiplication rounding term `(Q mod t)·⌊mw/t⌋` vanishes, and the
+/// modulus-switch / `P`-rescale drift is congruence-free down the whole
+/// chain. This is the prime search behind the `hybrid_*` presets and the
+/// [`crate`]-external chain solver (HE-PTune v2).
+///
+/// Congruent primes must exceed `2n·t`, so small limb sizes at deep
+/// degrees have no solution — the search reports that as a typed error
+/// instead of silently degrading to non-congruent primes (the builder's
+/// fallback behavior, which presets deliberately avoid).
+///
+/// # Errors
+///
+/// * [`Error::InvalidDegree`] for a bad `n`;
+/// * [`Error::InvalidLimbCount`] for an empty data request;
+/// * [`Error::NoNttPrime`] when a size class has too few congruent
+///   primes (or no `t_bits` NTT prime exists).
+pub fn search_congruent_chain(
+    n: usize,
+    t_bits: u32,
+    data_bits: &[u32],
+    special_bits: u32,
+) -> Result<CongruentChain> {
+    if !n.is_power_of_two() || n < 8 {
+        return Err(Error::InvalidDegree(n));
+    }
+    if data_bits.is_empty() {
+        return Err(Error::InvalidLimbCount { limbs: 0 });
+    }
+    let t = generate_ntt_prime(t_bits, n)?;
+    let step = (2 * n as u64)
+        .checked_mul(t)
+        .ok_or(Error::NoNttPrime { bits: t_bits, n })?;
+    // One pooled draw per distinct size class (special included) keeps
+    // equal-sized limbs distinct; distinct sizes cannot collide.
+    let mut all: Vec<u32> = data_bits.to_vec();
+    all.push(special_bits);
+    let mut sizes = all.clone();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut values = vec![0u64; all.len()];
+    for b in sizes {
+        let count = all.iter().filter(|&&x| x == b).count();
+        let mut pool = generate_primes_congruent(b, step, count)?.into_iter();
+        for (slot, &bit) in values.iter_mut().zip(all.iter()) {
+            if bit == b {
+                *slot = pool.next().unwrap_or(0);
+            }
+        }
+    }
+    let special = values.pop().unwrap_or(0);
+    debug_assert!(values.iter().all(|&v| v != 0) && special != 0);
+    Ok(CongruentChain {
+        n,
+        t,
+        data: values,
+        special,
+    })
+}
+
 /// Builder for [`BfvParams`].
 ///
 /// The ciphertext modulus chain comes from, in order of precedence:
@@ -526,6 +749,8 @@ pub struct BfvParamsBuilder {
     plain_modulus: Option<u64>,
     moduli: Option<Vec<u64>>,
     moduli_bits: Option<Vec<u32>>,
+    special_modulus: Option<u64>,
+    special_bits: Option<u32>,
     w_dcmp: Option<u64>,
     a_dcmp: u64,
     sigma: f64,
@@ -550,6 +775,8 @@ impl BfvParamsBuilder {
             plain_modulus: None,
             moduli: None,
             moduli_bits: None,
+            special_modulus: None,
+            special_bits: None,
             w_dcmp: None,
             a_dcmp: 1 << 20,
             sigma: DEFAULT_SIGMA,
@@ -605,6 +832,25 @@ impl BfvParamsBuilder {
     pub fn moduli_bits(&mut self, bits: &[u32]) -> &mut Self {
         self.moduli_bits = Some(bits.to_vec());
         self.moduli = None;
+        self
+    }
+
+    /// Reserves an exact special key-switch prime `P` (must be an NTT
+    /// prime for `n`, distinct from every data limb). Parameter sets with
+    /// a special prime key-switch hybrid: digits are raised to `P·Q_ℓ`,
+    /// switched, then exact-rescaled by `P`.
+    pub fn special_modulus(&mut self, p: u64) -> &mut Self {
+        self.special_modulus = Some(p);
+        self.special_bits = None;
+        self
+    }
+
+    /// Reserves a generated special key-switch prime of this many bits
+    /// (preferring the Gazelle congruence `P ≡ 1 (mod 2n·t)`, falling
+    /// back to a plain NTT prime; always distinct from the data limbs).
+    pub fn special_bits(&mut self, bits: u32) -> &mut Self {
+        self.special_bits = Some(bits);
+        self.special_modulus = None;
         self
     }
 
@@ -687,6 +933,38 @@ impl BfvParamsBuilder {
         Ok(vec![q])
     }
 
+    /// Resolves the special key-switch prime, if one was requested.
+    fn resolve_special(&self, t_val: u64, limb_values: &[u64]) -> Result<Option<u64>> {
+        if let Some(p) = self.special_modulus {
+            if limb_values.contains(&p) || p <= t_val {
+                return Err(Error::InvalidModulus(p));
+            }
+            return Ok(Some(p));
+        }
+        let Some(bits) = self.special_bits else {
+            return Ok(None);
+        };
+        // Draw one more candidate than there are data limbs so at least
+        // one survives the distinctness filter; prefer the congruent
+        // progression like the data limbs do, with the same fallback.
+        let pool_len = limb_values.len() + 1;
+        let step = (2 * self.n as u64).checked_mul(t_val);
+        let pick = |pool: Vec<u64>| {
+            pool.into_iter()
+                .find(|p| !limb_values.contains(p) && *p > t_val)
+        };
+        let congruent = step
+            .map(|s| generate_primes_congruent(bits, s, pool_len))
+            .and_then(std::result::Result::ok)
+            .and_then(&pick);
+        let p = match congruent {
+            Some(p) => p,
+            None => pick(generate_ntt_primes(bits, self.n, pool_len)?)
+                .ok_or(Error::NoNttPrime { bits, n: self.n })?,
+        };
+        Ok(Some(p))
+    }
+
     /// Validates everything and builds the parameter set.
     ///
     /// # Errors
@@ -710,6 +988,7 @@ impl BfvParamsBuilder {
         let t = Modulus::new(t_val)?;
         let limb_values = self.resolve_moduli(t_val)?;
         let chain = ModulusChain::new(self.n, &limb_values)?;
+        let special_val = self.resolve_special(t_val, &limb_values)?;
         // The plaintext modulus must fit inside every limb (plaintexts and
         // digits are lifted limb-wise), and exact CRT decryption needs
         // t·Q + Q/2 to fit u128.
@@ -724,10 +1003,14 @@ impl BfvParamsBuilder {
         }
         if self.security == SecurityLevel::Bits128 {
             let max = max_log_q_128(self.n).ok_or(Error::InvalidDegree(self.n))?;
-            if chain.total_bits() > max {
+            // The RLWE samples in hybrid key-switch keys live mod P·Q, so
+            // security is judged on the *total* modulus including the
+            // special prime — P is free noise headroom, not free security.
+            let special_bits = special_val.map_or(0, |p| 64 - p.leading_zeros());
+            if chain.total_bits() + special_bits > max {
                 return Err(Error::InsecureParameters {
                     n: self.n,
-                    log_q: chain.total_bits(),
+                    log_q: chain.total_bits() + special_bits,
                     max_log_q: max,
                 });
             }
@@ -745,6 +1028,11 @@ impl BfvParamsBuilder {
         // chains share NTT tables through the process-wide cache, so the
         // extra cost is the (tiny) per-prefix CRT constant set.
         let mut levels = Vec::with_capacity(chain.limbs());
+        // The per-level key-switch chains [q_0 … q_{live-1}, P]: extending
+        // each live prefix by the special prime also validates P (an NTT
+        // prime for n, distinct from every live limb — a duplicate fails
+        // the CRT inverse) and precomputes the P-rescale drop constants.
+        let mut ks_levels = Vec::new();
         for level in 0..chain.limbs() {
             let live = chain.limbs() - level;
             let sub = if level == 0 {
@@ -752,6 +1040,11 @@ impl BfvParamsBuilder {
             } else {
                 ModulusChain::new(self.n, &limb_values[..live])?
             };
+            if let Some(p) = special_val {
+                let mut ks_values = limb_values[..live].to_vec();
+                ks_values.push(p);
+                ks_levels.push(ModulusChain::new(self.n, &ks_values)?);
+            }
             let delta = sub.big_q() / t_val as u128;
             let delta_mod = sub.moduli().iter().map(|q| q.reduce_u128(delta)).collect();
             let q_mod_t = (sub.big_q() % t_val as u128) as u64;
@@ -762,11 +1055,17 @@ impl BfvParamsBuilder {
                 q_mod_t,
             });
         }
+        let special = match special_val {
+            Some(p) => Some(Modulus::new(p)?),
+            None => None,
+        };
         Ok(BfvParams {
             inner: Arc::new(ParamsInner {
                 n: self.n,
                 t,
                 levels,
+                special,
+                ks_levels,
                 w_dcmp,
                 a_dcmp: self.a_dcmp,
                 sigma: self.sigma,
@@ -959,6 +1258,113 @@ mod tests {
                 "limb {i} table must come from the process-wide cache"
             );
         }
+    }
+
+    #[test]
+    fn hybrid_presets_are_congruent_down_the_whole_chain() {
+        for (n, presets) in [
+            (4096usize, BfvParams::hybrid_presets(4096).unwrap()),
+            (8192, BfvParams::hybrid_presets(8192).unwrap()),
+        ] {
+            assert!(!presets.is_empty());
+            for (name, p) in presets {
+                assert!(p.has_special(), "{name}");
+                let t = p.plain_modulus().value();
+                let step = 2 * n as u64 * t;
+                let special = p.special().unwrap().value();
+                let mut all: Vec<u64> = p.chain().moduli().iter().map(Modulus::value).collect();
+                all.push(special);
+                let mut dedup = all.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), all.len(), "{name}: limbs must be distinct");
+                for q in all {
+                    assert_eq!(q % step, 1, "{name}: {q} not ≡ 1 mod 2n·t");
+                }
+                // Congruence collapses the rounding residue at every level.
+                for level in 0..p.levels() {
+                    assert_eq!(p.q_mod_t_at(level), 1, "{name} level {level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ks_chains_extend_each_live_prefix_by_the_special_prime() {
+        let p = BfvParams::preset_hybrid_2x36(4096).unwrap();
+        assert_eq!(p.limbs(), 2);
+        assert_eq!(p.scratch_limbs(), 3);
+        let special = p.special().unwrap().value();
+        for level in 0..p.levels() {
+            let live = p.live_limbs_at(level);
+            let ks = p.ks_chain_at(level);
+            assert_eq!(ks.limbs(), live + 1);
+            for i in 0..live {
+                assert_eq!(
+                    ks.modulus(i).value(),
+                    p.chain().modulus(i).value(),
+                    "level {level} limb {i}"
+                );
+            }
+            assert_eq!(ks.modulus(live).value(), special);
+            assert_eq!(p.ks_digits_at(level), live);
+        }
+        // Non-hybrid chains have no special machinery.
+        let d = BfvParams::preset_rns_2x30(4096).unwrap();
+        assert!(!d.has_special());
+        assert_eq!(d.scratch_limbs(), d.limbs());
+    }
+
+    #[test]
+    fn special_prime_separates_equality_and_counts_toward_security() {
+        // Same data chain with and without a special prime: foreign.
+        let c = search_congruent_chain(4096, 16, &[36, 36], 36).unwrap();
+        let digit = BfvParams::builder()
+            .degree(4096)
+            .plain_modulus(c.t)
+            .moduli(c.data.clone())
+            .build()
+            .unwrap();
+        let hybrid = BfvParams::builder()
+            .degree(4096)
+            .plain_modulus(c.t)
+            .moduli(c.data.clone())
+            .special_modulus(c.special)
+            .build()
+            .unwrap();
+        assert_eq!(digit.chain(), hybrid.chain());
+        assert_ne!(digit, hybrid);
+        assert!(digit.check_same(&hybrid).is_err());
+
+        // P counts toward the 128-bit budget: 3x36 data + 36-bit P = 144
+        // bits at n = 4096 is rejected.
+        let err = BfvParams::builder()
+            .degree(4096)
+            .plain_bits(17)
+            .moduli_bits(&[36, 36, 36])
+            .special_bits(36)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InsecureParameters { log_q: 144, .. }));
+
+        // A special prime duplicating a data limb is rejected.
+        let err = BfvParams::builder()
+            .degree(4096)
+            .plain_modulus(c.t)
+            .moduli(c.data.clone())
+            .special_modulus(c.data[0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidModulus(_)));
+    }
+
+    #[test]
+    fn search_congruent_chain_reports_impossible_regimes() {
+        // 30-bit congruent limbs cannot exist at n = 4096 with a 16-bit t
+        // (the progression step 2n·t already exceeds 2^30).
+        assert!(search_congruent_chain(4096, 16, &[30, 30], 30).is_err());
+        assert!(search_congruent_chain(100, 16, &[36], 36).is_err());
+        assert!(search_congruent_chain(4096, 16, &[], 36).is_err());
     }
 
     #[test]

@@ -832,6 +832,125 @@ impl RnsPoly {
         Ok(())
     }
 
+    /// Hybrid (special-prime) key-switch decomposition: one digit per
+    /// live limb, spread across the key-switch chain `[q_0 … q_{live-1}, P]`.
+    ///
+    /// For live limb `i`, coefficient `j`, the normalized residue
+    /// `v = [q̂_i^{-1}·c]_{q_i}` (full-chain `q̂_i`, exactly as
+    /// [`RnsPoly::rns_decompose_into`] — level-0 keys serve every level)
+    /// is taken **centered** (`v_c ∈ (−q_i/2, q_i/2]`) and lifted into
+    /// every plane of digit `i` over `ks_chain`. No base-`A` split: the
+    /// digit carries the full residue, and the special prime `P` — which
+    /// divides the key's signal `P·q̂_i·s(x^g)` — absorbs the
+    /// `Σ_i v_i·e_i` key-noise bill that the base split used to control.
+    /// Reconstruction is exact over the *extended* modulus:
+    /// `Σ_i v_i·P·q̂_i ≡ P·c (mod P·Q_live)`, because `v_i ≡ [q̂_i^{-1}c]_{q_i}`
+    /// and `q̂_i ≡ 0` modulo every other limb (and modulo nothing times `P`
+    /// — the `P` factor is explicit in the key's signal).
+    ///
+    /// `digits` must hold exactly `live` polynomials of `live + 1` planes
+    /// each; they come out in coefficient form on `ks_chain`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] if not in coefficient form, and
+    /// [`Error::ParameterMismatch`] if `ks_chain` is not `self`'s live
+    /// prefix of `data_chain` extended by one limb, or `digits` has the
+    /// wrong shape.
+    pub fn hybrid_decompose_into(
+        &self,
+        data_chain: &ModulusChain,
+        ks_chain: &ModulusChain,
+        digits: &mut [RnsPoly],
+    ) -> Result<()> {
+        self.expect_repr(Representation::Coeff)?;
+        let (live, n) = (self.limbs, self.n);
+        if live > data_chain.limbs()
+            || n != data_chain.degree()
+            || ks_chain.limbs() != live + 1
+            || ks_chain.degree() != n
+            || digits.len() != live
+        {
+            return Err(Error::ParameterMismatch);
+        }
+        for i in 0..live {
+            if ks_chain.modulus(i).value() != data_chain.modulus(i).value() {
+                return Err(Error::ParameterMismatch);
+            }
+        }
+        for d in digits.iter_mut() {
+            if d.limbs != live + 1 || d.n != n {
+                return Err(Error::ParameterMismatch);
+            }
+            d.repr = Representation::Coeff;
+        }
+        for (i, digit) in digits.iter_mut().enumerate() {
+            let q_i = data_chain.modulus(i);
+            let inv = data_chain.crt().qhat_inv(i);
+            let half = q_i.value() >> 1;
+            for j in 0..n {
+                let v = q_i.mul_mod(self.data[i * n + j], inv);
+                // Centered representative: halves the |v_i| bound that
+                // multiplies the key noise.
+                let v_c = if v > half {
+                    v as i64 - q_i.value() as i64
+                } else {
+                    v as i64
+                };
+                for k in 0..=live {
+                    digit.data[k * n + j] = ks_chain.modulus(k).from_signed(v_c);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Key-switch variant of [`RnsPoly::fma_pointwise_prefix`] for the
+    /// hybrid path: `self += a * b` over `self`'s planes on the per-level
+    /// key-switch chain, where `b` (a key polynomial) lives on the *full*
+    /// key-switch chain. Prefix planes align by index; `self`'s last plane
+    /// (the special prime) reads `b`'s **last** plane — at reduced levels
+    /// the special plane sits at different indices in digits (`live`) and
+    /// keys (`limbs`), so plain prefix alignment would pair it with a
+    /// foreign modulus.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsPoly::fma_pointwise_prefix`].
+    pub fn fma_pointwise_prefix_last(
+        &mut self,
+        a: &RnsPoly,
+        b: &RnsPoly,
+        chain: &ModulusChain,
+    ) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        a.expect_repr(Representation::Eval)?;
+        b.expect_repr(Representation::Eval)?;
+        chain.check_poly(self)?;
+        if a.limbs() < self.limbs
+            || b.limbs() < self.limbs
+            || a.degree() != self.n
+            || b.degree() != self.n
+        {
+            return Err(Error::ParameterMismatch);
+        }
+        let last = self.limbs - 1;
+        for (i, (r, x)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(a.limb_planes())
+            .enumerate()
+        {
+            let y = if i < last {
+                b.limb(i)
+            } else {
+                b.limb(b.limbs() - 1)
+            };
+            fma_pointwise_slice(r, x, y, chain.modulus(i));
+        }
+        Ok(())
+    }
+
     /// Largest centered absolute value of any composed coefficient
     /// (`|c|` against `Q/2`; coefficient form only) — the exact noise
     /// measurement primitive.

@@ -221,9 +221,10 @@ impl ScratchPool {
         }
     }
 
-    /// A pool shaped for a parameter set's degree and level-0 limb count.
+    /// A pool shaped for a parameter set's degree and level-0 limb count
+    /// (plus the special-prime plane of hybrid chains, when present).
     pub fn for_params(params: &BfvParams) -> Self {
-        Self::new(params.degree(), params.limbs())
+        Self::new(params.degree(), params.scratch_limbs())
     }
 
     fn free_list(&self) -> std::sync::MutexGuard<'_, Vec<Scratch>> {

@@ -134,9 +134,12 @@ impl Kind {
 }
 
 /// FNV-1a fingerprint of a parameter chain: degree, plaintext modulus,
-/// every limb prime in order, and both decomposition bases. Two sessions
-/// agree on ciphertext semantics iff their fingerprints match (modulo the
-/// 64-bit collision bound).
+/// every limb prime in order, both decomposition bases, and the special
+/// key-switch prime (0 when absent). Two sessions agree on ciphertext
+/// semantics iff their fingerprints match (modulo the 64-bit collision
+/// bound) — in particular, a hybrid chain and the digit chain over the
+/// same data limbs produce bit-identical ciphertexts but *incompatible*
+/// key material, so the special prime must separate them on the wire.
 pub fn chain_fingerprint(params: &BfvParams) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |w: u64| {
@@ -150,6 +153,7 @@ pub fn chain_fingerprint(params: &BfvParams) -> u64 {
     }
     mix(params.a_dcmp());
     mix(params.w_dcmp());
+    mix(params.special().map_or(0, |p| p.value()));
     h
 }
 
@@ -334,13 +338,13 @@ fn read_header(r: &mut Reader<'_>, kind: Kind, params: &BfvParams) -> Result<Hea
 /// residue (`< q_i`). Runs before the words reach any arithmetic.
 fn check_canonical(
     words: &[u64],
-    params: &BfvParams,
+    chain: &crate::rns::ModulusChain,
     live: usize,
     what: &'static str,
 ) -> Result<()> {
-    let n = params.degree();
+    let n = chain.degree();
     for i in 0..live {
-        let q = params.chain().modulus(i).value();
+        let q = chain.modulus(i).value();
         let plane = words
             .get(i * n..(i + 1) * n)
             .ok_or_else(|| malformed(what, format!("limb plane {i} missing from payload")))?;
@@ -365,9 +369,21 @@ fn read_poly(
     live: usize,
     repr: Representation,
 ) -> Result<RnsPoly> {
-    let n = params.degree();
+    read_poly_on(r, params.chain(), live, repr)
+}
+
+/// [`read_poly`] against an explicit chain — hybrid Galois key pairs live
+/// on the `P`-extended key-switch chain, whose last plane is canonical
+/// against the special prime, not any data limb.
+fn read_poly_on(
+    r: &mut Reader<'_>,
+    chain: &crate::rns::ModulusChain,
+    live: usize,
+    repr: Representation,
+) -> Result<RnsPoly> {
+    let n = chain.degree();
     let words = r.words(live * n)?;
-    check_canonical(&words, params, live, r.what)?;
+    check_canonical(&words, chain, live, r.what)?;
     Ok(RnsPoly::from_data(words, live, n, repr))
 }
 
@@ -716,10 +732,17 @@ pub fn decode_public_key(bytes: &[u8], params: &BfvParams) -> Result<PublicKey> 
 // ---------------------------------------------------------------------
 
 /// Exact encoded size of a `count`-key Galois key set: header, key count,
-/// one element word per key, plus the `count·l_ct·2·limbs·n·8` key
-/// material [`GaloisKeys::byte_size`] charges.
+/// one element word per key, plus the key material
+/// [`GaloisKeys::byte_size`] charges — `count·l_ct·2·limbs·n·8` for digit
+/// chains, `count·limbs·2·(limbs+1)·n·8` for hybrid chains (one pair per
+/// data limb, each over the `P`-extended key-switch chain).
 pub fn galois_keys_wire_bytes(params: &BfvParams, count: usize) -> usize {
-    HEADER_BYTES + 4 + count * 8 + count * params.l_ct() * 2 * params.limbs() * params.degree() * 8
+    let (pairs, planes) = if params.has_special() {
+        (params.limbs(), params.limbs() + 1)
+    } else {
+        (params.l_ct(), params.limbs())
+    };
+    HEADER_BYTES + 4 + count * 8 + count * pairs * 2 * planes * params.degree() * 8
 }
 
 /// Encodes a Galois key set canonically: keys are emitted in ascending
@@ -784,15 +807,24 @@ pub fn decode_galois_keys(bytes: &[u8], params: &BfvParams) -> Result<GaloisKeys
             ),
         ));
     }
-    let l_ct = params.l_ct();
+    // Hybrid chains ship one pair per data limb, each over the
+    // P-extended key-switch chain (whose last plane canonical-checks
+    // against the special prime); digit chains ship l_ct pairs over the
+    // data chain.
+    let (pair_count, pair_chain) = if params.has_special() {
+        (params.limbs(), params.ks_chain_at(0))
+    } else {
+        (params.l_ct(), params.chain())
+    };
+    let pair_planes = pair_chain.limbs();
     let mut out = GaloisKeys::default();
     for _ in 0..count {
         let g = r.u64()?;
         check_galois_element(params.degree(), g)?;
-        let mut pairs = Vec::with_capacity(l_ct);
-        for _ in 0..l_ct {
-            let k0 = read_poly(&mut r, params, h.live, Representation::Eval)?;
-            let k1 = read_poly(&mut r, params, h.live, Representation::Eval)?;
+        let mut pairs = Vec::with_capacity(pair_count);
+        for _ in 0..pair_count {
+            let k0 = read_poly_on(&mut r, pair_chain, pair_planes, Representation::Eval)?;
+            let k1 = read_poly_on(&mut r, pair_chain, pair_planes, Representation::Eval)?;
             pairs.push((k0, k1));
         }
         let perm = params.chain().table(0).galois_permutation(g);

@@ -226,3 +226,71 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// HE-PTune v2 prime search: the congruence contract under random draws.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever `(n, t_bits, limb widths)` the solver asks for, a chain
+    /// the search *returns* is fully congruent: every data limb and the
+    /// special prime satisfy `q ≡ 1 (mod 2n·t)`, all primes are pairwise
+    /// distinct, and each lands in its requested size class. Regimes with
+    /// no congruent primes error out (covered by the unit suite) — here
+    /// they are skipped, never silently degraded.
+    #[test]
+    fn congruent_chain_search_holds_for_random_draws(
+        n_pow in 10u32..13,
+        t_bits in 14u32..17,
+        extra in 0u32..6,
+        limbs in 1usize..3,
+    ) {
+        let n = 1usize << n_pow;
+        // Congruent primes must exceed 2n·t, so the width floor moves
+        // with the draw: t_bits + log2(2n) + slack.
+        let width = t_bits + n_pow + 3 + extra;
+        prop_assume!(width <= 60);
+        let data = vec![width; limbs];
+        let Ok(c) = cheetah_bfv::search_congruent_chain(n, t_bits, &data, width) else {
+            prop_assume!(false);
+            unreachable!();
+        };
+        let step = 2 * (n as u64) * c.t;
+        let mut all: Vec<u64> = c.data.clone();
+        all.push(c.special);
+        prop_assert_eq!(all.len(), limbs + 1);
+        for &q in &all {
+            prop_assert_eq!(q % step, 1, "q = {} not congruent (step {})", q, step);
+            prop_assert_eq!(64 - q.leading_zeros(), width, "q = {} wrong size", q);
+        }
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len(), "limbs must be pairwise distinct");
+        prop_assert_eq!(64 - c.t.leading_zeros(), t_bits);
+    }
+}
+
+#[test]
+fn every_hybrid_preset_chain_is_congruent_at_every_degree() {
+    // The three shipped hybrid presets (1x54, 2x36, 2x40) across their
+    // valid degrees: `q ≡ 1 (mod 2n·t)` down to and including `P`, so
+    // `Q_ℓ ≡ 1 (mod t)` at every level and the `P`-rescale is
+    // congruence-free.
+    for n in [4096usize, 8192] {
+        for (name, p) in BfvParams::hybrid_presets(n).unwrap() {
+            let t = p.plain_modulus().value();
+            let step = 2 * (n as u64) * t;
+            let special = p.special().expect("hybrid preset must carry P");
+            let limbs: Vec<u64> = (0..p.limbs())
+                .map(|i| p.chain().modulus(i).value())
+                .chain(std::iter::once(special.value()))
+                .collect();
+            for q in limbs {
+                assert_eq!(q % step, 1, "{n}/{name}: q = {q} not congruent");
+            }
+        }
+    }
+}

@@ -15,6 +15,8 @@ fn presets() -> Vec<(&'static str, BfvParams)> {
         ("single_60", BfvParams::preset_single_60(4096).unwrap()),
         ("rns_2x30", BfvParams::preset_rns_2x30(4096).unwrap()),
         ("rns_3x36", BfvParams::preset_rns_3x36(4096).unwrap()),
+        ("hybrid_1x54", BfvParams::preset_hybrid_1x54(4096).unwrap()),
+        ("hybrid_2x36", BfvParams::preset_hybrid_2x36(4096).unwrap()),
     ]
 }
 
@@ -159,6 +161,57 @@ fn plaintext_mask_roundtrip_and_size_pin() {
         );
         assert_eq!(encoder.decode(&back), values, "{name}: mask values survive");
     }
+}
+
+#[test]
+fn hybrid_and_digit_chains_over_the_same_data_limbs_mutually_reject() {
+    // The sharpest fingerprint case: a hybrid set and a digit set built
+    // from the *same* data limbs and t produce bit-identical ciphertexts
+    // (the special prime never touches encryption), so only the
+    // fingerprint's special-prime term separates their key material on
+    // the wire. Both directions must reject, for every message kind.
+    let hybrid = BfvParams::preset_hybrid_2x36(4096).unwrap();
+    let data: Vec<u64> = (0..hybrid.limbs())
+        .map(|i| hybrid.chain().modulus(i).value())
+        .collect();
+    let digit = BfvParams::builder()
+        .degree(hybrid.degree())
+        .plain_modulus(hybrid.plain_modulus().value())
+        .moduli(data)
+        .build()
+        .unwrap();
+    assert_ne!(
+        wire::chain_fingerprint(&hybrid),
+        wire::chain_fingerprint(&digit),
+        "special prime must reach the fingerprint"
+    );
+    let mut kg_h = KeyGenerator::from_seed(hybrid.clone(), 41);
+    let mut kg_d = KeyGenerator::from_seed(digit.clone(), 41);
+    let keys_h = kg_h.galois_keys_for_steps(&[1]).unwrap();
+    let keys_d = kg_d.galois_keys_for_steps(&[1]).unwrap();
+    let bytes_h = wire::encode_galois_keys(&keys_h, &hybrid);
+    let bytes_d = wire::encode_galois_keys(&keys_d, &digit);
+    assert!(
+        wire::decode_galois_keys(&bytes_h, &digit).is_err(),
+        "hybrid keys must not decode under the digit chain"
+    );
+    assert!(
+        wire::decode_galois_keys(&bytes_d, &hybrid).is_err(),
+        "digit keys must not decode under the hybrid chain"
+    );
+    // Ciphertexts are bit-identical across the twins, so the fingerprint
+    // is the *only* thing keeping a transcript from silently mixing the
+    // two worlds' key material.
+    let pk_h = kg_h.public_key().unwrap();
+    let encoder = BatchEncoder::new(hybrid.clone());
+    let mut enc = Encryptor::from_public_key(pk_h, 42);
+    let ct = enc.encrypt(&encoder.encode(&[9, 9, 9]).unwrap()).unwrap();
+    let ct_bytes = wire::encode_ciphertext(&ct);
+    assert!(
+        wire::decode_ciphertext(&ct_bytes, &digit).is_err(),
+        "hybrid ciphertext must not decode under the digit chain"
+    );
+    assert!(wire::decode_ciphertext(&ct_bytes, &hybrid).is_ok());
 }
 
 #[test]

@@ -170,6 +170,7 @@ pub fn layer_costs_under(layers: &[LinearLayer], point: &DesignPoint) -> Vec<f64
         l_ct: point.l_ct(),
         // DesignPoint sweeps single-word ciphertext moduli (q_bits ≤ 62).
         limbs: 1,
+        hybrid: false,
     };
     layers
         .iter()
@@ -226,7 +227,8 @@ mod tests {
             Schedule::InputAligned,
             NoiseRegime::Statistical,
             &space,
-        );
+        )
+        .unwrap();
         let tuned_total: f64 = tuned.iter().map(|(_, p)| p.int_mults).sum();
         assert!(
             tuned_total <= global.total_cost(),

@@ -15,6 +15,14 @@
 //!   transform runs one `n`-point NTT per limb, so multi-limb chains do
 //!   `l_limbs×` the NTT work the seed-era model charged.
 //!
+//! Hybrid (special-prime `P·Q`) key switching prices differently: one
+//! digit per live limb, each lifted to `live + 1` key-switch planes, so a
+//! direct rotation pays `live² + 6·live + 2` plane transforms and
+//! `2·live` pointwise multiplications over `live + 1` planes. The
+//! [`HeCostParams::hybrid`] flag dispatches every accessor between the
+//! two regimes so plan choosers ([`crate::linear::BsgsPlan`],
+//! [`crate::linear::ReducePlan`]) price whichever path the chain runs.
+//!
 //! These constants match the real engine: `cheetah-bfv`'s Barrett reduction
 //! performs exactly four partial products plus the `t·q` product, its NTT
 //! uses three-multiplication Shoup butterflies, and its `OpCounts::ntt`
@@ -41,6 +49,10 @@ pub struct HeCostParams {
     /// classic single-word `q`). Every polynomial transform and pointwise
     /// multiplication spans this many planes.
     pub limbs: usize,
+    /// Whether key switching runs the hybrid special-prime path: one digit
+    /// per live limb over `limbs + 1` key-switch planes (the `P` plane)
+    /// instead of `l_ct` base-`A` digits over `limbs` planes.
+    pub hybrid: bool,
 }
 
 impl HeCostParams {
@@ -60,7 +72,25 @@ impl HeCostParams {
             l_pt: params.l_pt(),
             l_ct: params.l_ct_at(level),
             limbs: params.live_limbs_at(level),
+            hybrid: params.has_special(),
         }
+    }
+
+    /// Digits per key switch on the path this chain actually runs: `l_ct`
+    /// base-`A` digits on the decomposition path, one per live limb on the
+    /// hybrid path.
+    pub fn ks_digits(&self) -> usize {
+        if self.hybrid {
+            self.limbs
+        } else {
+            self.l_ct
+        }
+    }
+
+    /// Planes each key-switch pointwise product spans: the live limbs,
+    /// plus the special `P` plane on the hybrid path.
+    pub fn ks_planes(&self) -> usize {
+        self.limbs + usize::from(self.hybrid)
     }
 
     /// Integer multiplications in one `n`-point NTT plane transform:
@@ -78,50 +108,83 @@ impl HeCostParams {
         self.l_pt as u64 * 2 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL
     }
 
-    /// Integer multiplications in one `HE_Rotate`:
-    /// `2·l_ct` polynomial multiplications (each `n·l_limbs` modmuls) plus
-    /// `(l_ct + 1)·l_limbs` NTT plane transforms.
-    pub fn he_rotate_mults(&self) -> u64 {
-        let poly_mults =
-            2 * self.l_ct as u64 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL;
-        let ntts = self.ntts_per_rotate() * self.ntt_mults();
-        poly_mults + ntts
+    /// Pointwise modular multiplications in one key switch: `2·digits`
+    /// polynomial products, each spanning every key-switch plane.
+    fn ks_pointwise_mults(&self) -> u64 {
+        2 * self.ks_digits() as u64 * self.n as u64 * self.ks_planes() as u64 * MULTS_PER_MODMUL
     }
 
-    /// NTT plane transforms per `HE_Rotate`: `(l_ct + 1)·l_limbs`. The
-    /// seed-era model charged `l_ct + 1` regardless of the chain length,
-    /// under-counting multi-limb NTT work by a factor of `l_limbs` (each
-    /// digit's forward transform and the `c1` inverse transform touch
-    /// every limb plane).
+    /// Integer multiplications in one `HE_Rotate`: the key-switch
+    /// pointwise products plus [`HeCostParams::ntts_per_rotate`] NTT
+    /// plane transforms.
+    pub fn he_rotate_mults(&self) -> u64 {
+        self.ks_pointwise_mults() + self.ntts_per_rotate() * self.ntt_mults()
+    }
+
+    /// NTT plane transforms per `HE_Rotate`: `(l_ct + 1)·l_limbs` on the
+    /// decomposition path, [`HeCostParams::ntts_per_rotate_hybrid`] on the
+    /// hybrid path. The seed-era model charged `l_ct + 1` regardless of
+    /// the chain length, under-counting multi-limb NTT work by a factor
+    /// of `l_limbs` (each digit's forward transform and the `c1` inverse
+    /// transform touch every limb plane).
     ///
     /// This is the **direct** (non-hoisted) price. A rotation *set* over
     /// one source ciphertext pays [`HeCostParams::ntts_per_hoist`] once
-    /// and [`HeCostParams::ntts_per_rotate_hoisted`] (zero) per step —
-    /// the split that makes BSGS layers priceable.
+    /// and [`HeCostParams::ntts_per_rotate_hoisted`] per step — the split
+    /// that makes BSGS layers priceable.
     pub fn ntts_per_rotate(&self) -> u64 {
-        (self.l_ct as u64 + 1) * self.limbs as u64
+        if self.hybrid {
+            self.ntts_per_rotate_hybrid()
+        } else {
+            (self.l_ct as u64 + 1) * self.limbs as u64
+        }
     }
 
-    /// NTT plane transforms in one hoist (`Evaluator::hoist`): the INTT of
-    /// `c1` plus the `l_ct` digit forward transforms — `(l_ct + 1)·l_limbs`,
-    /// identical to one direct rotation's transform bill, paid **once** for
-    /// an entire same-source rotation set.
+    /// NTT plane transforms per hybrid `HE_Rotate`, matching the engine's
+    /// `OpCounts::ntt` tally exactly: the `c1` INTT over `live` planes,
+    /// `live` digit forward transforms over `live + 1` key-switch planes
+    /// each, the two accumulator INTTs off the key-switch chain
+    /// (`2·(live + 1)`) and their re-entry NTTs after the `P`-rescale
+    /// (`2·live`) — `live² + 6·live + 2` in total.
+    pub fn ntts_per_rotate_hybrid(&self) -> u64 {
+        let live = self.limbs as u64;
+        live * live + 6 * live + 2
+    }
+
+    /// NTT plane transforms in one hoist (`Evaluator::hoist`): the digit
+    /// decomposition's transform bill, paid **once** for an entire
+    /// same-source rotation set. Decomposition path: `(l_ct + 1)·l_limbs`
+    /// (identical to one direct rotation — the replay is then free of
+    /// NTTs). Hybrid path: `live² + 2·live` (the per-step `P`-rescale
+    /// transforms stay in the replay).
     pub fn ntts_per_hoist(&self) -> u64 {
-        (self.l_ct as u64 + 1) * self.limbs as u64
+        if self.hybrid {
+            let live = self.limbs as u64;
+            live * live + 2 * live
+        } else {
+            (self.l_ct as u64 + 1) * self.limbs as u64
+        }
     }
 
     /// NTT plane transforms in one hoisted replay
-    /// (`Evaluator::rotate_hoisted_into`): zero — only slot permutations
-    /// and the key-switch inner products remain.
+    /// (`Evaluator::rotate_hoisted_into`): zero on the decomposition path
+    /// (only slot permutations and the key-switch inner products remain);
+    /// `4·live + 2` on the hybrid path, whose exact `P`-rescale must run
+    /// per step (two accumulator INTTs over `live + 1` planes, two
+    /// re-entry NTTs over `live`).
     pub fn ntts_per_rotate_hoisted(&self) -> u64 {
-        0
+        if self.hybrid {
+            4 * self.limbs as u64 + 2
+        } else {
+            0
+        }
     }
 
-    /// Integer multiplications in one **hoisted** `HE_Rotate` replay:
-    /// the `2·l_ct` key-switch pointwise products (each `n·l_limbs`
-    /// modmuls), no NTTs.
+    /// Integer multiplications in one **hoisted** `HE_Rotate` replay: the
+    /// key-switch pointwise products plus (hybrid only) the per-step
+    /// rescale transforms.
     pub fn he_rotate_hoisted_mults(&self) -> u64 {
-        2 * self.l_ct as u64 * self.n as u64 * self.limbs as u64 * MULTS_PER_MODMUL
+        self.ks_pointwise_mults() + self.ntts_per_rotate_hoisted() * self.ntt_mults()
     }
 
     /// Integer multiplications in one hoist: pure NTT plane-transform work.
@@ -154,7 +217,7 @@ pub struct KernelTally {
     /// Fig. 7 breakdown).
     pub he_add: f64,
     /// NTT plane transforms (all inside rotations in the Cheetah
-    /// dataflow): `(l_ct + 1)·l_limbs` per rotation.
+    /// dataflow): [`HeCostParams::ntts_per_rotate`] per rotation.
     pub ntt: f64,
 }
 
@@ -171,8 +234,7 @@ impl KernelTally {
     /// split by kernel: `(mult_kernel, rotate_kernel_excluding_ntt, ntt)`.
     pub fn int_mults_by_kernel(&self, p: &HeCostParams) -> KernelMults {
         let mult = self.he_mult * p.he_mult_mults() as f64;
-        let rotate_poly = self.he_rotate
-            * (2 * p.l_ct as u64 * p.n as u64 * p.limbs as u64 * MULTS_PER_MODMUL) as f64;
+        let rotate_poly = self.he_rotate * p.ks_pointwise_mults() as f64;
         let ntt = self.ntt * p.ntt_mults() as f64;
         KernelMults {
             he_mult: mult,
@@ -210,6 +272,7 @@ mod tests {
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         assert_eq!(p.ntt_mults(), 3 * 2048 * 12);
     }
@@ -221,6 +284,7 @@ mod tests {
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         let windowed = HeCostParams { l_pt: 3, ..base };
         assert_eq!(windowed.he_mult_mults(), 3 * base.he_mult_mults());
@@ -234,6 +298,7 @@ mod tests {
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         let expect = 2 * 3 * 4096 * 6 + 4 * p.ntt_mults();
         assert_eq!(p.he_rotate_mults(), expect);
@@ -251,6 +316,7 @@ mod tests {
             l_pt: 1,
             l_ct: 6,
             limbs: 1,
+            hybrid: false,
         };
         let three = HeCostParams { limbs: 3, ..single };
         assert_eq!(three.ntts_per_rotate(), 3 * single.ntts_per_rotate());
@@ -287,6 +353,7 @@ mod tests {
             l_pt: 1,
             l_ct: 10,
             limbs: 2,
+            hybrid: false,
         };
         // The hoist costs exactly one direct rotation's transform bill;
         // replays cost its pointwise bill and zero NTTs.
@@ -314,6 +381,61 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_pricing_matches_engine_bills() {
+        // hybrid_2x36-shaped point: 2 live data limbs plus the P plane.
+        let h = HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct: 4,
+            limbs: 2,
+            hybrid: true,
+        };
+        assert_eq!(h.ks_digits(), 2);
+        assert_eq!(h.ks_planes(), 3);
+        assert_eq!(h.ntts_per_rotate(), 2 * 2 + 6 * 2 + 2);
+        assert_eq!(h.ntts_per_hoist(), 2 * 2 + 2 * 2);
+        assert_eq!(h.ntts_per_rotate_hoisted(), 4 * 2 + 2);
+        // Hoist + replay = direct, in transforms and in total mults —
+        // the same conservation the digit path satisfies, with the
+        // per-step P-rescale transforms living in the replay.
+        assert_eq!(
+            h.ntts_per_hoist() + h.ntts_per_rotate_hoisted(),
+            h.ntts_per_rotate()
+        );
+        assert_eq!(
+            h.hoist_mults() + h.he_rotate_hoisted_mults(),
+            h.he_rotate_mults()
+        );
+        // Against the equal-total-plane digit preset (3 data limbs,
+        // rns_3x36's l_ct = 6), the hybrid transform bill wins.
+        let d = HeCostParams {
+            l_ct: 6,
+            limbs: 3,
+            hybrid: false,
+            ..h
+        };
+        assert!(h.ntts_per_rotate() < d.ntts_per_rotate());
+    }
+
+    #[test]
+    fn for_bfv_flags_hybrid_chains() {
+        let params = cheetah_bfv::BfvParams::preset_hybrid_2x36(4096).unwrap();
+        let full = HeCostParams::for_bfv(&params, 0);
+        assert!(full.hybrid);
+        assert_eq!(full.limbs, 2);
+        assert_eq!(full.ntts_per_rotate(), 18);
+        let lvl1 = HeCostParams::for_bfv(&params, 1);
+        assert_eq!(lvl1.ntts_per_rotate(), 9);
+        // Hybrid replays are NOT transform-free — BSGS pricing must see
+        // the per-step rescale or it will over-hoist.
+        assert!(full.ntts_per_rotate_hoisted() > 0);
+        let digit =
+            HeCostParams::for_bfv(&cheetah_bfv::BfvParams::preset_rns_3x36(4096).unwrap(), 0);
+        assert!(!digit.hybrid);
+        assert!(full.ntts_per_rotate() < digit.ntts_per_rotate());
+    }
+
+    #[test]
     fn ntt_dominates_rotate_cost() {
         // The Fig. 7 observation: NTT is the bottleneck inside rotations.
         let p = HeCostParams {
@@ -321,6 +443,7 @@ mod tests {
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         let ntts = (p.l_ct as u64 + 1) * p.ntt_mults();
         let poly = p.he_rotate_mults() - ntts;
@@ -334,6 +457,7 @@ mod tests {
             l_pt: 1,
             l_ct: 2,
             limbs: 1,
+            hybrid: false,
         };
         let mut t = KernelTally {
             he_mult: 10.0,

@@ -317,6 +317,7 @@ mod plan_tests {
             l_pt: 1,
             l_ct,
             limbs,
+            hybrid: false,
         }
     }
 

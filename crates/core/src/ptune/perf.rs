@@ -235,12 +235,14 @@ mod tests {
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         let p_big = HeCostParams {
             n: 8192,
             l_pt: 1,
             l_ct: 3,
             limbs: 1,
+            hybrid: false,
         };
         assert!(p_big.he_rotate_mults() > p_small.he_rotate_mults());
     }
@@ -253,6 +255,7 @@ mod tests {
             l_pt: 1,
             l_ct: 2,
             limbs: 1,
+            hybrid: false,
         };
         let tally = m.tally(&p);
         assert_eq!(tally.ntt, m.he_rotate * 3.0);

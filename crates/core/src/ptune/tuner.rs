@@ -160,6 +160,7 @@ pub fn evaluate_point(
         l_pt,
         l_ct,
         limbs: 1,
+        hybrid: false,
     };
     let int_mults = layer_ops_scheduled(layer, n, l_pt, schedule).int_mults(&cost_params);
     DesignPoint {
@@ -218,34 +219,60 @@ pub fn tune_layer(
     TuneOutcome { best, points }
 }
 
+/// A layer for which the swept space holds no feasible configuration —
+/// the typed replacement for the panic the tuner used to raise. A caller
+/// widens the space (or relaxes the precision request) and retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleLayer {
+    /// Name of the first layer with no feasible point.
+    pub layer: String,
+    /// The plaintext precision (bits) the layer asked for.
+    pub t_bits: u32,
+}
+
+impl std::fmt::Display for InfeasibleLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no feasible HE parameters for layer {} (t = {} bits)",
+            self.layer, self.t_bits
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleLayer {}
+
 /// Per-layer tuning for a whole network: returns `(layer, best point)` in
 /// layer order.
 ///
+/// # Errors
+///
+/// [`InfeasibleLayer`] naming the first layer with no feasible
+/// configuration in the space (a caller widens the space; the paper's
+/// space always contains one for its benchmarks).
+///
 /// # Panics
 ///
-/// Panics if some layer has no feasible configuration in the space (a
-/// production caller would widen the space; the paper's space always
-/// contains one).
+/// Panics when `layers` and `t_bits_per_layer` disagree in length — a
+/// caller bug, not a data condition.
 pub fn tune_network(
     layers: &[LinearLayer],
     t_bits_per_layer: &[u32],
     schedule: Schedule,
     regime: NoiseRegime,
     space: &TuneSpace,
-) -> Vec<(LinearLayer, DesignPoint)> {
+) -> Result<Vec<(LinearLayer, DesignPoint)>, InfeasibleLayer> {
     assert_eq!(layers.len(), t_bits_per_layer.len());
     layers
         .iter()
         .zip(t_bits_per_layer)
         .map(|(layer, &t_bits)| {
             let outcome = tune_layer(layer, t_bits, schedule, regime, space);
-            let best = outcome.best.unwrap_or_else(|| {
-                panic!(
-                    "no feasible HE parameters for layer {} (t = {t_bits} bits)",
-                    layer.name()
-                )
-            });
-            (layer.clone(), best)
+            let best = outcome.best.ok_or_else(|| InfeasibleLayer {
+                layer: layer.name().to_owned(),
+                t_bits,
+            })?;
+            Ok((layer.clone(), best))
         })
         .collect()
 }
@@ -366,7 +393,8 @@ mod tests {
             Schedule::PartialAligned,
             NoiseRegime::Statistical,
             &space,
-        );
+        )
+        .unwrap();
         assert_eq!(tuned.len(), 54);
         // Per-layer configs should differ across the network (the whole
         // point of per-layer tuning).

@@ -83,14 +83,16 @@ pub fn evaluate_model(net: &Network, quant: &QuantSpec, space: &TuneSpace) -> Mo
         Schedule::InputAligned,
         NoiseRegime::Statistical,
         space,
-    );
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", net.name));
     let ptune_pa = tune_network(
         &layers,
         &t_bits,
         Schedule::PartialAligned,
         NoiseRegime::Statistical,
         space,
-    );
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", net.name));
     ModelSpeedup {
         model: net.name.clone(),
         gazelle,

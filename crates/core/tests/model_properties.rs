@@ -68,7 +68,7 @@ proptest! {
         // More decomposition levels never make a layer cheaper.
         let layer = LinearLayer::Conv(c);
         let base = HeCostParams { n: 4096, l_pt: 1, l_ct: 3,
-            limbs: 1, };
+            limbs: 1, hybrid: false, };
         let deeper_ct = HeCostParams { l_ct: 8, ..base };
         let cost = |p: &HeCostParams, l_pt: usize| layer_ops(&layer, p.n, l_pt).int_mults(p);
         prop_assert!(cost(&deeper_ct, 1) >= cost(&base, 1));

@@ -5,9 +5,10 @@
 //! time across NTT / Rotate / Mult / Add / Other, the way the paper's SEAL
 //! profile does for ResNet50 (55.2 % / 31.8 % / 10.3 % / 2.2 % / 0.5 %).
 
+use cheetah_bfv::BfvParams;
 use cheetah_core::cost::HeCostParams;
 use cheetah_core::ptune::perf::layer_ops;
-use cheetah_core::ptune::DesignPoint;
+use cheetah_core::ptune::{ChainPlan, DesignPoint};
 use cheetah_nn::LinearLayer;
 
 use crate::kernels::{KernelConfig, KernelTimer, KernelTimes};
@@ -67,6 +68,7 @@ pub fn layer_breakdown(layer: &LinearLayer, point: &DesignPoint, times: &KernelT
         l_pt,
         l_ct: point.l_ct(),
         limbs: 1,
+        hybrid: false,
     };
     let ntts_per_rotate = cost.ntts_per_rotate() as f64;
     Breakdown {
@@ -76,6 +78,69 @@ pub fn layer_breakdown(layer: &LinearLayer, point: &DesignPoint, times: &KernelT
         add_s: ops.he_add * times.add_s,
         other_s: (ops.he_mult + ops.he_rotate + ops.he_add) * times.other_s,
     }
+}
+
+/// Computes one layer's breakdown on a **concrete chain at a level** —
+/// the HE-PTune v2 path. Unlike [`layer_breakdown`] (which prices the
+/// tuner's abstract single-word points with digit decomposition), this
+/// uses [`HeCostParams::for_bfv`], so special-prime chains are billed the
+/// hybrid transform count (`live² + 6·live + 2` per rotate over `live + 1`
+/// planes) and digit chains the `(l_ct + 1)·live` count. `times` must be
+/// measured at the chain's limb width — per-plane kernels, not a wide
+/// single word.
+pub fn layer_breakdown_on_chain(
+    layer: &LinearLayer,
+    params: &BfvParams,
+    level: usize,
+    times: &KernelTimes,
+) -> Breakdown {
+    let cost = HeCostParams::for_bfv(params, level);
+    let ops = layer_ops(layer, params.degree(), params.l_pt());
+    // Per-plane kernel times: every transform and pointwise pass is
+    // billed once per live plane (`+1` for the key-switch plane on hybrid
+    // chains), which is exactly what `ntts_per_rotate` already counts.
+    let planes = cost.ks_planes() as f64;
+    let ntts_per_rotate = cost.ntts_per_rotate() as f64;
+    Breakdown {
+        ntt_s: ops.he_rotate * ntts_per_rotate * times.ntt_s,
+        rotate_s: ops.he_rotate * planes * times.rotate_excl_ntt_s,
+        mult_s: ops.he_mult * planes * times.mult_s,
+        add_s: ops.he_add * planes * times.add_s,
+        other_s: (ops.he_mult + ops.he_rotate + ops.he_add) * times.other_s,
+    }
+}
+
+/// The kernel-timer configuration that matches a chain's per-plane
+/// kernels: degree, the (uniform) limb width, and the chain's rotation
+/// decomposition base.
+pub fn chain_kernel_config(params: &BfvParams) -> KernelConfig {
+    let limb_bits = 64 - params.chain().modulus(0).value().leading_zeros();
+    KernelConfig {
+        n: params.degree(),
+        q_bits: limb_bits,
+        a_dcmp_log2: params.a_dcmp().trailing_zeros(),
+    }
+}
+
+/// Computes the full-network breakdown of a solver-produced
+/// [`ChainPlan`]: every layer billed on the plan's chain at its planned
+/// level, with kernels measured once at the chain's limb width.
+pub fn chain_breakdown(
+    layers: &[LinearLayer],
+    plan: &ChainPlan,
+    timer: &mut KernelTimer,
+) -> Breakdown {
+    let times = timer.measure(chain_kernel_config(&plan.params));
+    let mut total = Breakdown::default();
+    for (layer, lp) in layers.iter().zip(&plan.layers) {
+        total.accumulate(&layer_breakdown_on_chain(
+            layer,
+            &plan.params,
+            lp.level,
+            &times,
+        ));
+    }
+    total
 }
 
 /// Computes the full-network breakdown for per-layer tuned configurations.
@@ -117,7 +182,8 @@ mod tests {
             Schedule::PartialAligned,
             NoiseRegime::Statistical,
             &TuneSpace::default(),
-        );
+        )
+        .unwrap();
         let mut timer = KernelTimer::new(3);
         let b = network_breakdown(&tuned, &mut timer);
         let shares = b.shares();
@@ -134,6 +200,50 @@ mod tests {
         );
         let sum: f64 = shares.iter().sum();
         assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hybrid_chain_breakdown_beats_its_equal_plane_digit_twin() {
+        // The Fig. 7 fix this PR lands: breakdowns must price the hybrid
+        // key-switch path. At equal total plane count (2 data limbs + P
+        // vs 3 data limbs), a rotation's transform bill is 18 vs 21, so
+        // the hybrid chain's NTT seconds — same measured kernels — must
+        // come out strictly lower.
+        let hybrid = BfvParams::preset_hybrid_2x36(4096).unwrap();
+        let digit = BfvParams::preset_rns_3x36(4096).unwrap();
+        let layer = &models::lenet5().linear_layers()[0];
+        let mut timer = KernelTimer::new(2);
+        let times = timer.measure(chain_kernel_config(&hybrid));
+        let bh = layer_breakdown_on_chain(layer, &hybrid, 0, &times);
+        let bd = layer_breakdown_on_chain(layer, &digit, 0, &times);
+        assert!(bh.total_s() > 0.0);
+        assert!(
+            bh.ntt_s < bd.ntt_s,
+            "hybrid NTT seconds {:.3e} must beat the digit twin {:.3e}",
+            bh.ntt_s,
+            bd.ntt_s
+        );
+    }
+
+    #[test]
+    fn chain_breakdown_covers_every_planned_layer() {
+        use cheetah_core::ptune::solve_chain_plan;
+
+        let net = models::tiny_cnn();
+        let layers = net.linear_layers();
+        let plan = solve_chain_plan(
+            &layers,
+            &QuantSpec::default(),
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &[4096],
+        )
+        .unwrap();
+        let mut timer = KernelTimer::new(2);
+        let b = chain_breakdown(&layers, &plan, &mut timer);
+        assert!(b.total_s() > 0.0);
+        let shares = b.shares();
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-6);
     }
 
     #[test]

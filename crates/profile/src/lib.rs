@@ -10,6 +10,9 @@ pub mod breakdown;
 pub mod kernels;
 pub mod limit;
 
-pub use breakdown::{layer_breakdown, network_breakdown, Breakdown};
+pub use breakdown::{
+    chain_breakdown, chain_kernel_config, layer_breakdown, layer_breakdown_on_chain,
+    network_breakdown, Breakdown,
+};
 pub use kernels::{KernelConfig, KernelTimer, KernelTimes};
 pub use limit::{limit_study, Kernel, LimitStudy};

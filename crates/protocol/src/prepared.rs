@@ -20,6 +20,7 @@ use cheetah_bfv::{
     Result,
 };
 use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::ptune::ChainPlan;
 use cheetah_core::Schedule;
 use cheetah_nn::tensor::{max_pool, relu, sum_pool};
 use cheetah_nn::{Layer, LinearLayer, Network, Tensor, Weights};
@@ -202,6 +203,11 @@ pub struct PreparedLayers {
     steps: Vec<i64>,
     /// The parameter-chain fingerprint every client message must carry.
     fingerprint: u64,
+    /// Solver-planned level per linear layer (HE-PTune v2's
+    /// [`ChainPlan`]); the runtime level planner never goes *deeper* than
+    /// this ceiling, so the engine's measured noise can only tighten the
+    /// plan, never loosen it past what the chain solver provisioned.
+    planned_levels: Option<Vec<usize>>,
 }
 
 impl PreparedLayers {
@@ -273,7 +279,36 @@ impl PreparedLayers {
             bundles,
             steps,
             fingerprint,
+            planned_levels: None,
         })
+    }
+
+    /// Prepares a network from a solver-produced [`ChainPlan`]: the plan's
+    /// exact parameter chain (special prime included when the solver chose
+    /// a hybrid chain) and schedule drive preparation, and its per-layer
+    /// levels become ceilings for the runtime level planner — the
+    /// HE-PTune v2 path from `solve_chain_plan` straight into a serving
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] when the plan's layer count does not match
+    /// the network's linear layers; otherwise as [`PreparedLayers::new`].
+    pub fn from_chain_plan(net: &Network, weights: &Weights, plan: &ChainPlan) -> Result<Self> {
+        let mut prepared = Self::new(net, weights, plan.params.clone(), plan.schedule)?;
+        if plan.layers.len() != prepared.layers.len() {
+            return Err(Error::Unsupported(
+                "chain plan layer count does not match the network",
+            ));
+        }
+        prepared.planned_levels = Some(plan.levels());
+        Ok(prepared)
+    }
+
+    /// The solver-planned per-layer levels, when this model was prepared
+    /// via [`PreparedLayers::from_chain_plan`].
+    pub fn planned_levels(&self) -> Option<&[usize]> {
+        self.planned_levels.as_deref()
     }
 
     /// The network being served.
@@ -397,9 +432,16 @@ impl PreparedLayers {
     }
 
     /// The deepest safe level for linear layer `k` given an input noise
-    /// estimate (see the planner notes on the layer type).
+    /// estimate (see the planner notes on the layer type). When the model
+    /// was prepared from a [`ChainPlan`], the solver's planned level caps
+    /// the answer: the runtime estimate may pull the layer shallower than
+    /// planned but never deeper.
     pub fn plan_level(&self, k: usize, input: &NoiseEstimate) -> usize {
-        self.layers[k].plan_level(input, &self.params)
+        let safe = self.layers[k].plan_level(input, &self.params);
+        match &self.planned_levels {
+            Some(levels) => safe.min(levels[k]),
+            None => safe,
+        }
     }
 
     /// Applies linear layer `k` homomorphically with a client's keys.

@@ -1,0 +1,138 @@
+//! End-to-end HE-PTune v2: a solver-produced [`ChainPlan`] drives a
+//! tiny-CNN private-inference session.
+//!
+//! The chain solver sweeps {chain, per-layer level, rotation plan} over
+//! the network and emits concrete parameters plus per-layer levels;
+//! [`PreparedLayers::from_chain_plan`] turns that plan directly into a
+//! servable model. These tests pin the whole path: the solved plan
+//! prepares, runs, and decrypts bit-identically to the cleartext
+//! reference, and the plan's levels genuinely cap the runtime level
+//! planner.
+
+use std::sync::Arc;
+
+use cheetah_bfv::NoiseEstimate;
+use cheetah_core::ptune::{solve_chain_plan, ChainPlan, NoiseRegime};
+use cheetah_core::{QuantSpec, Schedule};
+use cheetah_nn::inference::{infer, random_input};
+use cheetah_nn::models::tiny_cnn;
+use cheetah_nn::Weights;
+use cheetah_protocol::{PreparedLayers, PrivateInferenceSession};
+
+fn tiny_cnn_plan(schedule: Schedule) -> ChainPlan {
+    // The engine guards every operation with its *worst-case* tracked
+    // noise (NoiseBudgetExhausted), so a plan that must drive a live
+    // session is solved in the worst-case regime; the statistical regime
+    // is for the paper's provisioning studies.
+    let net = tiny_cnn();
+    let layers = net.linear_layers();
+    solve_chain_plan(
+        &layers,
+        &QuantSpec::default(),
+        schedule,
+        NoiseRegime::WorstCase,
+        &[4096],
+    )
+    .expect("tiny CNN must be solvable on the preset chains")
+}
+
+#[test]
+fn solved_chain_plan_drives_a_session_end_to_end() {
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 811);
+    let input = random_input(&net.input_shape, 3, 812);
+    let expect = infer(&net, &weights, &input).output;
+
+    let plan = tiny_cnn_plan(Schedule::PartialAligned);
+    assert_eq!(plan.layers.len(), net.linear_layers().len());
+
+    let prepared =
+        Arc::new(PreparedLayers::from_chain_plan(&net, &weights, &plan).expect("prepare"));
+    assert_eq!(
+        prepared.planned_levels(),
+        Some(plan.levels().as_slice()),
+        "the solver's levels must reach the prepared model"
+    );
+    assert_eq!(prepared.params(), &plan.params);
+
+    let mut session = PrivateInferenceSession::with_prepared(Arc::clone(&prepared), 77).unwrap();
+    let (output, transcript) = session.run(&input).unwrap();
+    assert_eq!(
+        output.data(),
+        expect.data(),
+        "chain-plan session diverged from cleartext ({})",
+        plan.name
+    );
+    assert!(transcript.total_bytes() > 0);
+}
+
+#[test]
+fn solved_plans_agree_across_schedules() {
+    // The two schedules solve to different chains (Sched-IA's input
+    // additive pushes the solver onto a hybrid special-prime chain); the
+    // decrypted outputs must still agree exactly — the plan changes cost,
+    // never values.
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 821);
+    let input = random_input(&net.input_shape, 3, 822);
+
+    let mut outputs = Vec::new();
+    for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+        let plan = tiny_cnn_plan(schedule);
+        let prepared =
+            Arc::new(PreparedLayers::from_chain_plan(&net, &weights, &plan).expect("prepare"));
+        let mut session =
+            PrivateInferenceSession::with_prepared(Arc::clone(&prepared), 31).unwrap();
+        let (output, _) = session.run(&input).unwrap();
+        outputs.push(output);
+    }
+    assert_eq!(outputs[0].data(), outputs[1].data());
+}
+
+#[test]
+fn planned_levels_cap_the_runtime_level_planner() {
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 831);
+    let plan = tiny_cnn_plan(Schedule::PartialAligned);
+
+    let capped = PreparedLayers::from_chain_plan(&net, &weights, &plan).unwrap();
+    let uncapped = PreparedLayers::new(
+        &net,
+        &weights,
+        plan.params.clone(),
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+    assert_eq!(uncapped.planned_levels(), None);
+
+    let fresh = NoiseEstimate::fresh(&plan.params);
+    for (k, &planned) in plan.levels().iter().enumerate() {
+        let runtime = uncapped.plan_level(k, &fresh);
+        let got = capped.plan_level(k, &fresh);
+        assert!(
+            got <= planned,
+            "layer {k}: capped level {got} exceeds plan {planned}"
+        );
+        assert_eq!(
+            got,
+            runtime.min(planned),
+            "layer {k}: cap must be min(runtime {runtime}, planned {planned})"
+        );
+    }
+}
+
+#[test]
+fn mismatched_plan_is_rejected_at_prepare_time() {
+    // A plan solved for a different network must not silently prepare.
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 841);
+    let mut plan = tiny_cnn_plan(Schedule::PartialAligned);
+    plan.layers.pop();
+    let Err(err) = PreparedLayers::from_chain_plan(&net, &weights, &plan) else {
+        panic!("a plan with the wrong layer count must be rejected");
+    };
+    assert!(
+        format!("{err}").contains("chain plan"),
+        "unexpected error: {err}"
+    );
+}

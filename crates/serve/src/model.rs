@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use cheetah_bfv::{BfvParams, Result};
+use cheetah_core::ptune::ChainPlan;
 use cheetah_core::Schedule;
 use cheetah_nn::{Network, Weights};
 use cheetah_protocol::PreparedLayers;
@@ -41,6 +42,30 @@ impl PreparedModel {
         schedule: Schedule,
     ) -> Result<Arc<Self>> {
         let layers = Arc::new(PreparedLayers::new(net, weights, params, schedule)?);
+        let bundle_shapes = (0..layers.linear_count())
+            .map(|k| layers.bundle_output_shape(k))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Arc::new(Self {
+            layers,
+            bundle_shapes,
+        }))
+    }
+
+    /// Prepares a network from a solver-produced [`ChainPlan`] (HE-PTune
+    /// v2): the plan's chain and schedule drive preparation and its
+    /// per-layer levels cap the runtime level planner — see
+    /// [`PreparedLayers::from_chain_plan`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedModel::prepare`], plus a layer-count mismatch between
+    /// the plan and the network.
+    pub fn prepare_with_plan(
+        net: &Network,
+        weights: &Weights,
+        plan: &ChainPlan,
+    ) -> Result<Arc<Self>> {
+        let layers = Arc::new(PreparedLayers::from_chain_plan(net, weights, plan)?);
         let bundle_shapes = (0..layers.linear_count())
             .map(|k| layers.bundle_output_shape(k))
             .collect::<Result<Vec<_>>>()?;

@@ -151,6 +151,50 @@ fn concurrent_sessions_match_serial_runs_and_references_on_all_presets() {
 }
 
 #[test]
+fn solver_planned_model_serves_concurrent_clients() {
+    // HE-PTune v2 end to end through the serving layer: the chain solver
+    // picks the parameter chain and per-layer levels, prepare_with_plan
+    // builds the shared model, and a concurrent pool of clients decrypts
+    // bit-identically to the cleartext reference. Solved in the
+    // worst-case regime because the engine guards every operation with
+    // its worst-case tracked noise.
+    use cheetah_core::ptune::{solve_chain_plan, NoiseRegime};
+    use cheetah_core::QuantSpec;
+
+    let net = tiny_cnn();
+    let weights = Weights::random(&net, 2, 424);
+    let inputs = client_inputs(&net.input_shape, 3, 7100, CLIENTS);
+
+    let plan = solve_chain_plan(
+        &net.linear_layers(),
+        &QuantSpec::default(),
+        Schedule::PartialAligned,
+        NoiseRegime::WorstCase,
+        &[N],
+    )
+    .expect("tiny CNN must be solvable");
+    let model = PreparedModel::prepare_with_plan(&net, &weights, &plan).unwrap();
+    assert_eq!(
+        model.layers().planned_levels(),
+        Some(plan.levels().as_slice())
+    );
+
+    let pool = ServerPool::new(Arc::clone(&model), CLIENTS);
+    let results = pool.run(drivers(&model, &inputs));
+    assert_eq!(results.len(), CLIENTS);
+    for (i, r) in results.iter().enumerate() {
+        let out = r.result.as_ref().unwrap();
+        let expect = infer(&net, &weights, &inputs[i]).output;
+        assert_eq!(
+            out.data(),
+            expect.data(),
+            "{} client {i}: solver-planned serving diverged from cleartext",
+            plan.name
+        );
+    }
+}
+
+#[test]
 fn faulted_client_does_not_perturb_neighbors() {
     let net = tiny_cnn();
     let weights = Weights::random(&net, 2, 424);

@@ -29,13 +29,19 @@ fn main() {
         .iter()
         .map(|l| quant.statistical_plain_bits(l))
         .collect();
-    let tuned = tune_network(
+    let tuned = match tune_network(
         &layers,
         &t_bits,
         Schedule::PartialAligned,
         NoiseRegime::Statistical,
         &TuneSpace::default(),
-    );
+    ) {
+        Ok(tuned) => tuned,
+        Err(err) => {
+            eprintln!("{}: no feasible HE parameters: {err}", net.name);
+            std::process::exit(1);
+        }
+    };
 
     // 2. Map to an accelerator workload.
     let work = NetworkWork::from_tuned(&net.name, &tuned);

@@ -48,6 +48,27 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
 
+    echo "==> hybrid key-switch regression gate (committed non-smoke BENCH_he_ops.json)"
+    # Special-prime hybrid rotation vs its equal-total-plane-count digit
+    # twin: hybrid_1x54 (1 data limb + P, two planes) against rns_2x30
+    # (two data limbs). Fewer transforms (9 vs 10) and a quarter of the
+    # key-switch pointwise work — if the committed full run ever shows the
+    # digit twin winning, the hybrid datapath has regressed. The 3-plane
+    # pair (l3_rotate_hybrid vs l3_rotate) is emitted and tracked but not
+    # gated: its 18-vs-21 transform margin is within what the exact
+    # P-rescale's multi-word arithmetic costs, so it trades places with
+    # hardware.
+    rot_hybrid=$(json_val BENCH_he_ops.json l2_rotate_hybrid)
+    rot_digit=$(json_val BENCH_he_ops.json l2_rotate)
+    if [[ -z "$rot_hybrid" || -z "$rot_digit" ]]; then
+        echo "FAIL: BENCH_he_ops.json lacks l2_rotate_hybrid / l2_rotate"
+        exit 1
+    fi
+    if ! awk -v h="$rot_hybrid" -v d="$rot_digit" 'BEGIN { exit !(h < d) }'; then
+        echo "FAIL: committed l2_rotate_hybrid ($rot_hybrid ns) is not faster than its digit twin l2_rotate ($rot_digit ns)"
+        exit 1
+    fi
+
     echo "==> bench_throughput smoke (JSON key regression gate)"
     smoke_json=$(mktemp /tmp/bench_throughput.XXXXXX.json)
     BENCH_SMOKE=1 cargo run --release -q -p cheetah-bench --bin bench_throughput "$smoke_json" >/dev/null
@@ -86,8 +107,10 @@ done
 # The protocol boundary must never panic on hostile input: no panic-family
 # macros anywhere in the crate's non-test sources. The serving layer sits
 # on the same boundary (it feeds client bytes straight into decode) and
-# must hold the same line.
-for d in crates/protocol/src crates/serve/src; do
+# must hold the same line. The chain solver (crates/core/src/ptune) feeds
+# serving-side preparation, so an infeasible request must come back as a
+# typed InfeasibleLayer, never a panic.
+for d in crates/protocol/src crates/serve/src crates/core/src/ptune; do
     if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' "$d"; then
         echo "FAIL: panic-family macro in $d (boundary must return typed errors)"
         exit 1

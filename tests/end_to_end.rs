@@ -30,6 +30,7 @@ fn tuned(
         NoiseRegime::Statistical,
         &TuneSpace::default(),
     )
+    .expect("the default tune space must stay feasible for the zoo models")
 }
 
 #[test]
