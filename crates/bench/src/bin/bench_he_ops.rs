@@ -197,6 +197,42 @@ struct FcPoint {
     bsgs: f64,
     diag_level1: f64,
     bsgs_level1: f64,
+    /// Sparse BSGS on the same layer with half / 90% of the diagonal
+    /// alias classes pruned whole — the rotations and mask multiplies the
+    /// structure analyzer lets the plan skip.
+    bsgs_sparse50: f64,
+    bsgs_sparse90: f64,
+    /// Power-of-two weights at 50% structured sparsity: the sparse plan's
+    /// savings plus the factored `2^m` scale re-applied by one shift-add
+    /// `mul_scalar`.
+    pow2: f64,
+}
+
+/// Zeroes `dead` of the `g = gcd(no, ni)` diagonal alias classes of an FC
+/// weight tensor (classes `1..=dead`; class 0 stays live), the structured
+/// unit [`cheetah_core::sparse::FcStructure`] can skip whole.
+fn prune_fc_classes(weights: &Tensor, no: usize, ni: usize, dead_frac: f64) -> Tensor {
+    let g = {
+        let (mut a, mut b) = (no, ni);
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    };
+    let dead = ((g as f64) * dead_frac) as usize;
+    let mut out = weights.clone();
+    let data = out.data_mut();
+    for r in 0..no {
+        for c in 0..ni {
+            let class = ((c % g) + g - (r % g)) % g;
+            if (1..=dead).contains(&class) {
+                data[r * ni + c] = 0;
+            }
+        }
+    }
+    out
 }
 
 fn fc_point(params: BfvParams) -> FcPoint {
@@ -247,12 +283,59 @@ fn fc_point(params: BfvParams) -> FcPoint {
             );
         })
     };
+
+    // Sparse variants: the same layer with 50% / 90% of the diagonal
+    // alias classes pruned whole, auto-selecting a SparseBsgsPlan.
+    let sparse50 = HomFc::new(
+        &spec,
+        &prune_fc_classes(&weights, spec.no, spec.ni, 0.5),
+        &encoder,
+        &eval,
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+    let sparse90 = HomFc::new(
+        &spec,
+        &prune_fc_classes(&weights, spec.no, spec.ni, 0.9),
+        &encoder,
+        &eval,
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+    assert!(
+        sparse90.sparse_plan().is_some(),
+        "a 90%-pruned layer must take the sparse plan"
+    );
+
+    // Pow2 variant: every live weight ±2 or ±4 (shared factor 2 is pulled
+    // out of the masks and re-applied by one shift-add mul_scalar), at
+    // 50% structured sparsity.
+    let pow2_weights = Tensor::from_data(
+        &[spec.no, spec.ni],
+        weights.data().iter().map(|&v| 2 * v).collect(),
+    );
+    let pow2 = HomFc::new(
+        &spec,
+        &prune_fc_classes(&pow2_weights, spec.no, spec.ni, 0.5),
+        &encoder,
+        &eval,
+        Schedule::PartialAligned,
+    )
+    .unwrap();
+    assert!(
+        pow2.pow2_scale_log2() >= 1,
+        "pow2 bench weights must factor a shared scale"
+    );
+
     FcPoint {
         limbs: params.limbs(),
         diag: time_fc(&diag, &ct),
         bsgs: time_fc(&bsgs, &ct),
         diag_level1: time_fc(&diag, &ct_level1),
         bsgs_level1: time_fc(&bsgs, &ct_level1),
+        bsgs_sparse50: time_fc(&sparse50, &ct),
+        bsgs_sparse90: time_fc(&sparse90, &ct),
+        pow2: time_fc(&pow2, &ct),
     }
 }
 
@@ -457,9 +540,20 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "    \"l{limbs}_fc_bsgs_level1\": {:.1}{trail}",
+            "    \"l{limbs}_fc_bsgs_level1\": {:.1},",
             p.bsgs_level1
         );
+        let _ = writeln!(
+            json,
+            "    \"l{limbs}_fc_bsgs_sparse50\": {:.1},",
+            p.bsgs_sparse50
+        );
+        let _ = writeln!(
+            json,
+            "    \"l{limbs}_fc_bsgs_sparse90\": {:.1},",
+            p.bsgs_sparse90
+        );
+        let _ = writeln!(json, "    \"l{limbs}_fc_pow2\": {:.1}{trail}", p.pow2);
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_ntt\": {{");

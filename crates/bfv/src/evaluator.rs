@@ -125,6 +125,49 @@ impl OpCounts {
     }
 }
 
+/// Doubling chains beyond this exponent cost more `add_mod`s than one
+/// Barrett multiply saves, so the shift-add fast path only engages for
+/// small exponents (the regime power-of-two quantized weights live in).
+const POW2_CHAIN_MAX_EXP: u32 = 8;
+
+/// Marker that a prepared plaintext is the uniform scalar `±2^exp` across
+/// every slot: its centered encoding is a single coefficient `±2^exp` at
+/// index 0, whose evaluation form is that constant in every NTT position.
+/// `mul_plain` with such a plaintext is replaced by per-limb-plane doubling
+/// chains (`exp` conditional-subtract additions, plus one negation for the
+/// negative sign) instead of generic Barrett pointwise multiplies. Because
+/// `add_mod`/`neg_mod`/`mul_mod` all return the canonical residue in
+/// `[0, q)`, the chain lands on exactly the same representative — the fast
+/// path is bit-identical to the generic path, not merely congruent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pow2Scalar {
+    /// The plaintext multiplies every slot by `2^exp`.
+    pub exp: u32,
+    /// Whether the scalar is negated (`-2^exp`).
+    pub negative: bool,
+}
+
+/// Detects the shift-add fast-path shape in a centered coefficient vector:
+/// exactly one nonzero coefficient, at index 0, whose magnitude is a power
+/// of two no larger than `2^POW2_CHAIN_MAX_EXP`. A uniform slot vector
+/// batch-encodes to exactly this shape (inverse NTT of a constant vector),
+/// so power-of-two scalar masks qualify; anything else stays on the
+/// generic Barrett path.
+fn pow2_scalar_of(centered: &[i64]) -> Option<Pow2Scalar> {
+    let (first, rest) = centered.split_first()?;
+    if rest.iter().any(|&c| c != 0) {
+        return None;
+    }
+    let mag = first.unsigned_abs();
+    if mag == 0 || !mag.is_power_of_two() || mag.trailing_zeros() > POW2_CHAIN_MAX_EXP {
+        return None;
+    }
+    Some(Pow2Scalar {
+        exp: mag.trailing_zeros(),
+        negative: *first < 0,
+    })
+}
+
 /// A plaintext pre-lifted to `R_Q` (one plane per live limb of its level)
 /// and NTT-transformed, ready for repeated multiplication (exposes the
 /// intermediate per C-INTERMEDIATE; weight polynomials are reused across
@@ -145,6 +188,9 @@ pub struct PreparedPlaintext {
     inf_norm: u64,
     /// Level the plaintext was prepared at (0 = full chain).
     level: usize,
+    /// Set when the plaintext is a uniform `±2^exp` scalar with a small
+    /// exponent; `mul_plain` then takes the shift-add fast path.
+    pow2: Option<Pow2Scalar>,
 }
 
 impl PreparedPlaintext {
@@ -162,6 +208,21 @@ impl PreparedPlaintext {
     /// this level or deeper.
     pub fn level(&self) -> usize {
         self.level
+    }
+
+    /// `Some` iff this plaintext is a uniform `±2^exp` scalar that
+    /// `mul_plain` will evaluate with doubling chains instead of Barrett
+    /// multiplies (bit-identical either way).
+    pub fn pow2_scalar(&self) -> Option<Pow2Scalar> {
+        self.pow2
+    }
+
+    /// Strips the pow2 fast-path marker, forcing the generic Barrett path.
+    /// A testing hook: the bit-identity pins multiply by the same prepared
+    /// plaintext with and without the marker and compare raw ciphertexts.
+    pub fn without_pow2(mut self) -> Self {
+        self.pow2 = None;
+        self
     }
 }
 
@@ -498,8 +559,16 @@ impl Evaluator {
             .mul_plain_at(&self.params, level, 1, 2 * pt.inf_norm);
         {
             let (c0, c1) = a.parts_mut();
-            c0.mul_assign_pointwise_prefix(&pt.poly, chain)?;
-            c1.mul_assign_pointwise_prefix(&pt.poly, chain)?;
+            // Shift-add fast path for uniform ±2^e plaintexts: doubling
+            // chains land on the same canonical residues as the Barrett
+            // multiplies, so noise and op accounting stay identical.
+            if let Some(p2) = pt.pow2 {
+                c0.mul_pow2(p2.exp, p2.negative, chain);
+                c1.mul_pow2(p2.exp, p2.negative, chain);
+            } else {
+                c0.mul_assign_pointwise_prefix(&pt.poly, chain)?;
+                c1.mul_assign_pointwise_prefix(&pt.poly, chain)?;
+            }
         }
         a.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -535,8 +604,13 @@ impl Evaluator {
         let noise = acc.noise().add(&term);
         {
             let (c0, c1) = acc.parts_mut();
-            c0.fma_pointwise_prefix(a.c0(), &pt.poly, chain)?;
-            c1.fma_pointwise_prefix(a.c1(), &pt.poly, chain)?;
+            if let Some(p2) = pt.pow2 {
+                c0.fma_pow2_prefix(a.c0(), p2.exp, p2.negative, chain)?;
+                c1.fma_pow2_prefix(a.c1(), p2.exp, p2.negative, chain)?;
+            } else {
+                c0.fma_pointwise_prefix(a.c0(), &pt.poly, chain)?;
+                c1.fma_pointwise_prefix(a.c1(), &pt.poly, chain)?;
+            }
         }
         acc.set_noise(noise);
         Self::count(&self.mul_count, 1);
@@ -561,8 +635,18 @@ impl Evaluator {
             .mul_plain_at(&self.params, level, 1, 2 * c_red.max(1));
         {
             let (c0, c1) = a.parts_mut();
-            c0.mul_scalar(c_red, chain);
-            c1.mul_scalar(c_red, chain);
+            // Small power-of-two scalars (e.g. the factored-out scale of a
+            // pow2-quantized sparse layer) use the same doubling chains as
+            // pow2 prepared plaintexts. Negative-centered scalars stay on
+            // the generic path: the chain would multiply by the centered
+            // representative instead of `c_red` and the bits would diverge.
+            if let Some(p2) = pow2_scalar_of(&[t.center(c_red)]).filter(|p| !p.negative) {
+                c0.mul_pow2(p2.exp, p2.negative, chain);
+                c1.mul_pow2(p2.exp, p2.negative, chain);
+            } else {
+                c0.mul_scalar(c_red, chain);
+                c1.mul_scalar(c_red, chain);
+            }
         }
         a.set_noise(noise);
         Ok(())
@@ -1258,6 +1342,7 @@ impl Evaluator {
         let chain = self.params.chain_at(level);
         let inf_norm = pt.inf_norm().max(1);
         let centered: Vec<i64> = pt.poly().data().iter().map(|&c| t.center(c)).collect();
+        let pow2 = pow2_scalar_of(&centered);
         let mut poly = RnsPoly::from_signed(&centered, chain);
         poly.to_eval(chain);
         Self::count(&self.ntt_count, chain.limbs() as u64);
@@ -1265,6 +1350,7 @@ impl Evaluator {
             poly,
             inf_norm,
             level,
+            pow2,
         })
     }
 

@@ -58,6 +58,36 @@ pub(crate) fn fma_pointwise_slice(r: &mut [u64], a: &[u64], b: &[u64], q: &Modul
     }
 }
 
+/// `x ← (±2^exp)·x mod q` element-wise via a doubling chain — `exp`
+/// conditional-subtract doublings plus an optional negation — instead of
+/// a 128-bit Barrett multiply. Every step keeps residues canonical in
+/// `[0, q)` (and `neg_mod(0) = 0`), so the result is bit-identical to
+/// `mul_scalar_slice` with the reduced `±2^exp`.
+pub(crate) fn mul_pow2_slice(a: &mut [u64], exp: u32, negative: bool, q: &Modulus) {
+    for x in a.iter_mut() {
+        let mut v = *x;
+        for _ in 0..exp {
+            v = q.add_mod(v, v);
+        }
+        *x = if negative { q.neg_mod(v) } else { v };
+    }
+}
+
+/// `r ← r + (±2^exp)·a mod q` element-wise (the pow2 fused accumulate;
+/// see [`mul_pow2_slice`] for the bit-identity argument).
+pub(crate) fn fma_pow2_slice(r: &mut [u64], a: &[u64], exp: u32, negative: bool, q: &Modulus) {
+    for (x, &y) in r.iter_mut().zip(a) {
+        let mut v = y;
+        for _ in 0..exp {
+            v = q.add_mod(v, v);
+        }
+        if negative {
+            v = q.neg_mod(v);
+        }
+        *x = q.add_mod(*x, v);
+    }
+}
+
 pub(crate) fn permute_slice(dst: &mut [u64], src: &[u64], perm: &[u32]) {
     for (d, &i) in dst.iter_mut().zip(perm) {
         *d = src[i as usize];

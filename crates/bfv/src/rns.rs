@@ -32,8 +32,8 @@ use crate::arith::{CrtBasis, Modulus};
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
 use crate::poly::{
-    add_assign_slice, fma_pointwise_slice, mul_pointwise_slice, mul_scalar_slice, negate_slice,
-    permute_slice, sub_assign_slice, Representation,
+    add_assign_slice, fma_pointwise_slice, fma_pow2_slice, mul_pointwise_slice, mul_pow2_slice,
+    mul_scalar_slice, negate_slice, permute_slice, sub_assign_slice, Representation,
 };
 
 /// An ordered chain of CRT primes with per-limb NTT tables and the
@@ -639,6 +639,49 @@ impl RnsPoly {
         for (i, a) in self.data.chunks_exact_mut(self.n).enumerate() {
             mul_scalar_slice(a, c, chain.modulus(i));
         }
+    }
+
+    /// `self ← (±2^exp)·self` per plane via doubling chains — the shift-add
+    /// scalar path. Bit-identical to [`RnsPoly::mul_scalar`] by the reduced
+    /// `±2^exp` (canonical residues at every step); representation-agnostic
+    /// (element-wise either way).
+    pub fn mul_pow2(&mut self, exp: u32, negative: bool, chain: &ModulusChain) {
+        for (i, a) in self.data.chunks_exact_mut(self.n).enumerate() {
+            mul_pow2_slice(a, exp, negative, chain.modulus(i));
+        }
+    }
+
+    /// `self += (±2^exp)·a` over self's planes, prefix semantics like
+    /// [`RnsPoly::fma_pointwise_prefix`] (`a` may carry more planes).
+    /// The pow2 accumulate of the shift-add `mul_plain` fast path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongRepresentation`] unless both are in evaluation form,
+    /// [`Error::ParameterMismatch`] unless `chain` matches `self`'s shape
+    /// and `a` covers at least `self`'s planes.
+    pub fn fma_pow2_prefix(
+        &mut self,
+        a: &RnsPoly,
+        exp: u32,
+        negative: bool,
+        chain: &ModulusChain,
+    ) -> Result<()> {
+        self.expect_repr(Representation::Eval)?;
+        a.expect_repr(Representation::Eval)?;
+        chain.check_poly(self)?;
+        if a.limbs() < self.limbs() || a.degree() != self.n {
+            return Err(Error::ParameterMismatch);
+        }
+        for (i, (r, x)) in self
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(a.limb_planes())
+            .enumerate()
+        {
+            fma_pow2_slice(r, x, exp, negative, chain.modulus(i));
+        }
+        Ok(())
     }
 
     /// Fused multiply-accumulate: `self += a * b` pointwise limb-wise, all

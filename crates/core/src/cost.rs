@@ -203,6 +203,37 @@ impl HeCostParams {
             + (baby as u64).saturating_sub(1) * self.he_rotate_hoisted_mults()
             + (giant as u64).saturating_sub(1) * self.he_rotate_mults()
     }
+
+    /// Rotation-side integer multiplications of a **sparse** flat hoisted
+    /// reduction over `live_rotations` nonzero strides: one hoist plus one
+    /// replay per live stride (zero when nothing rotates). The sparse
+    /// counterpart of a [`crate::linear::ReducePlan`]'s bill — a layer
+    /// with mostly-dead channels sums only the live blocks, beating every
+    /// dense factorization once enough strides die.
+    pub fn sparse_reduce_mults(&self, live_rotations: usize) -> u64 {
+        if live_rotations == 0 {
+            return 0;
+        }
+        self.hoist_mults() + live_rotations as u64 * self.he_rotate_hoisted_mults()
+    }
+
+    /// Integer multiplications of a dense [`crate::linear::ReducePlan`]'s
+    /// rotation schedule — the bill [`crate::linear::ReducePlan::choose`]
+    /// minimizes, exposed so sparse channel reductions can be priced
+    /// against it.
+    pub fn reduce_plan_mults(&self, plan: crate::linear::ReducePlan, count: usize) -> u64 {
+        if count <= 1 {
+            return 0;
+        }
+        match plan {
+            crate::linear::ReducePlan::Ladder => count.ilog2() as u64 * self.he_rotate_mults(),
+            crate::linear::ReducePlan::Bsgs { s, g } => {
+                let hoists = u64::from(s > 1) + u64::from(g > 1);
+                hoists * self.hoist_mults()
+                    + ((s as u64 - 1) + (g as u64 - 1)) * self.he_rotate_hoisted_mults()
+            }
+        }
+    }
 }
 
 /// Kernel-level cost decomposition of a layer (or network): how many times

@@ -42,11 +42,13 @@ pub mod linear;
 pub mod ptune;
 pub mod quant;
 pub mod schedule;
+pub mod sparse;
 pub mod speedup;
 
 pub use cost::{HeCostParams, KernelMults, KernelTally};
 pub use linear::{BsgsPlan, ReducePlan};
 pub use ptune::{DesignPoint, NoiseRegime, TuneSpace};
-pub use quant::QuantSpec;
+pub use quant::{QuantSpec, WeightMode};
 pub use schedule::Schedule;
+pub use sparse::{ConvStructure, FcStructure, LayerStructure, MaskClass, SparseBsgsPlan};
 pub use speedup::{evaluate_model, harmonic_mean, ModelSpeedup};

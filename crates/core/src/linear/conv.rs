@@ -28,6 +28,23 @@ use crate::cost::HeCostParams;
 use crate::linear::parallel::{default_threads, map_chunks, merge_partial_vecs};
 use crate::linear::{rotate_sum_noise, rotate_sum_reduce, ReducePlan};
 use crate::schedule::Schedule;
+use crate::sparse::ConvStructure;
+
+/// How one output channel's cross-channel reduction runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelReduce {
+    /// Classic rotate-and-sum over all `ci` blocks under the layer's
+    /// shared [`ReducePlan`].
+    Dense,
+    /// Flat hoisted sum over the listed *live* channel blocks only (dead
+    /// blocks are zero polynomials — the masks never wrote them). Chosen
+    /// when the live set is small enough that one hoist plus a replay per
+    /// live block beats the dense plan.
+    SparseLive(Vec<usize>),
+    /// No live channels: the output is a transparent zero and the whole
+    /// tap/reduce pipeline is skipped.
+    Zero,
+}
 
 /// A prepared homomorphic convolution layer.
 #[derive(Debug)]
@@ -43,6 +60,12 @@ pub struct HomConv2d {
     /// ladder is a dependent chain (one full rotation per level), the
     /// BSGS reshape turns it into two hoistable replay sets.
     reduce_plan: ReducePlan,
+    /// Weight structure: which `(o, tap)` masks and `(o, c)` channels
+    /// carry any weight. Dead taps are never rotated, dead masks never
+    /// multiplied, dead channel blocks never summed.
+    structure: ConvStructure,
+    /// Per-output-channel reduction choice (indexed by `o`).
+    reduces: Vec<ChannelReduce>,
 }
 
 impl HomConv2d {
@@ -66,6 +89,30 @@ impl HomConv2d {
         encoder: &BatchEncoder,
         eval: &Evaluator,
         schedule: Schedule,
+    ) -> Result<Self> {
+        Self::new_at_level(spec, weights, encoder, eval, schedule, 0)
+    }
+
+    /// [`HomConv2d::new`] with the level the layer is planned to run at:
+    /// the reduce plan is priced over the limbs live there, so a deep
+    /// chain position can pick a different rotate-and-sum shape than
+    /// level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyValues`] when `c_i·w²` exceeds the row
+    /// capacity, and propagates encoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`HomConv2d::new`] conditions.
+    pub fn new_at_level(
+        spec: &ConvSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+        level: usize,
     ) -> Result<Self> {
         assert_eq!(spec.stride, 1, "HomConv2d supports stride 1");
         assert_eq!(spec.fw % 2, 1, "filter width must be odd");
@@ -106,19 +153,57 @@ impl HomConv2d {
             }
             masks.push(per_tap);
         }
-        let reduce_plan = ReducePlan::choose(spec.ci, &HeCostParams::for_bfv(eval.params(), 0));
+        let cost = HeCostParams::for_bfv(eval.params(), level);
+        let reduce_plan = ReducePlan::choose(spec.ci, &cost);
+        let structure = ConvStructure::analyze_tensor(weights, spec);
+        // Per output channel: dense reduce when every channel is live,
+        // transparent zero when none is, and otherwise whichever of the
+        // dense plan / flat hoisted live-block sum the cost model prices
+        // cheaper.
+        let dense_mults = cost.reduce_plan_mults(reduce_plan, spec.ci);
+        let reduces = (0..spec.co)
+            .map(|o| {
+                let live: Vec<usize> = (0..spec.ci)
+                    .filter(|&c| structure.channel_live(o, c))
+                    .collect();
+                if live.is_empty() {
+                    ChannelReduce::Zero
+                } else if live.len() == spec.ci {
+                    ChannelReduce::Dense
+                } else {
+                    let rotations = live.iter().filter(|&&c| c > 0).count();
+                    if cost.sparse_reduce_mults(rotations) < dense_mults {
+                        ChannelReduce::SparseLive(live)
+                    } else {
+                        ChannelReduce::Dense
+                    }
+                }
+            })
+            .collect();
         Ok(Self {
             spec: spec.clone(),
             schedule,
             masks,
             offsets,
             reduce_plan,
+            structure,
+            reduces,
         })
     }
 
     /// The channel-reduction plan in use.
     pub fn reduce_plan(&self) -> ReducePlan {
         self.reduce_plan
+    }
+
+    /// The analyzed weight structure.
+    pub fn structure(&self) -> &ConvStructure {
+        &self.structure
+    }
+
+    /// Per-output-channel reduction choices (indexed by `o`).
+    pub fn channel_reduces(&self) -> &[ChannelReduce] {
+        &self.reduces
     }
 
     /// The layer spec.
@@ -144,6 +229,9 @@ impl HomConv2d {
         params: &cheetah_bfv::BfvParams,
         level: usize,
     ) -> cheetah_bfv::NoiseEstimate {
+        if self.structure.all_zero() {
+            return cheetah_bfv::NoiseEstimate::zero();
+        }
         let max_norm = self
             .masks
             .iter()
@@ -152,18 +240,43 @@ impl HomConv2d {
             .max()
             .unwrap_or(1)
             .max(1);
-        // All fw² taps accumulate one schedule-ordered rotate-mul term.
+        // Only live taps accumulate a schedule-ordered rotate-mul term;
+        // dead ones are skipped outright.
         let acc = crate::linear::accumulated_term_noise(
             input,
             params,
             level,
             self.schedule,
             max_norm,
-            self.offsets.len(),
+            self.structure.live_taps().max(1),
         );
-        // Channel reduction under the chosen plan: the doubling ladder
-        // compounds, the BSGS reshape is two flat replay sums.
-        rotate_sum_noise(&acc, params, level, self.spec.ci, self.reduce_plan)
+        // Channel reduction: each output runs its own shape — the worst
+        // one bounds the layer. A flat live-block sum prices like a
+        // one-stage BSGS replay set (`g = 1` conservatively charges the
+        // unused giant rotation).
+        let mut worst = cheetah_bfv::NoiseEstimate::zero();
+        for reduce in &self.reduces {
+            let est = match reduce {
+                ChannelReduce::Zero => continue,
+                ChannelReduce::Dense => {
+                    rotate_sum_noise(&acc, params, level, self.spec.ci, self.reduce_plan)
+                }
+                ChannelReduce::SparseLive(live) => rotate_sum_noise(
+                    &acc,
+                    params,
+                    level,
+                    live.len(),
+                    ReducePlan::Bsgs {
+                        s: live.len(),
+                        g: 1,
+                    },
+                ),
+            };
+            if est.bound_log2 > worst.bound_log2 {
+                worst = est;
+            }
+        }
+        worst
     }
 
     /// Rotation steps the evaluation needs (generate Galois keys for
@@ -184,6 +297,37 @@ impl HomConv2d {
         for c in 1..spec.ci as i64 {
             steps.push(c * w2);
         }
+        steps
+    }
+
+    /// The exact rotation steps this prepared layer performs — the sparse
+    /// counterpart of the static [`HomConv2d::required_steps`] superset:
+    /// live tap offsets plus each output's actual reduction strides.
+    /// Generate Galois keys for these and nothing more.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = self
+            .offsets
+            .iter()
+            .enumerate()
+            .filter(|&(tap, &k)| k != 0 && self.structure.tap_live(tap))
+            .map(|(_, &k)| k)
+            .collect();
+        let w2 = (self.spec.w * self.spec.w) as i64;
+        for reduce in &self.reduces {
+            match reduce {
+                ChannelReduce::Zero => {}
+                ChannelReduce::Dense => {
+                    if self.spec.ci > 1 {
+                        steps.extend(self.reduce_plan.steps(self.spec.ci, w2));
+                    }
+                }
+                ChannelReduce::SparseLive(live) => {
+                    steps.extend(live.iter().filter(|&&c| c > 0).map(|&c| c as i64 * w2));
+                }
+            }
+        }
+        steps.sort_unstable();
+        steps.dedup();
         steps
     }
 
@@ -267,9 +411,15 @@ impl HomConv2d {
         // digit decomposition is hoisted once for the whole tap set (the
         // read-only result is shared by all workers) and each tap pays
         // only permutations + key-switch multiply-accumulates. A 1×1
-        // filter has only the zero-offset tap and skips the hoist
+        // filter has only the zero-offset tap — and a pruned layer may
+        // have no live off-center tap at all — and skips the hoist
         // entirely.
-        let hoisted = match self.offsets.iter().any(|&k| k != 0) {
+        let needs_hoist = self
+            .offsets
+            .iter()
+            .enumerate()
+            .any(|(tap, &k)| k != 0 && self.structure.tap_live(tap));
+        let hoisted = match needs_hoist {
             true => Some(eval.hoist(input)?),
             false => None,
         };
@@ -285,16 +435,25 @@ impl HomConv2d {
             let mut rot = Ciphertext::transparent_zero_at(eval.params(), level);
             let mut accs = vec![Ciphertext::transparent_zero_at(eval.params(), level); co];
             for (tap, &k) in range.clone().zip(&self.offsets[range]) {
-                let src: &Ciphertext = match &hoisted {
-                    Some(h) => {
+                // A tap dead across every output channel never rotates.
+                if !self.structure.tap_live(tap) {
+                    continue;
+                }
+                let src: &Ciphertext = match (&hoisted, k != 0) {
+                    (Some(h), true) => {
                         eval.rotate_hoisted_into(&mut rot, input, h, k, keys, &mut scratch)?;
                         &rot
                     }
-                    // Zero-offset-only tap set: accumulate straight from
-                    // the unrotated input, no copy.
-                    None => input,
+                    // Zero-offset tap: accumulate straight from the
+                    // unrotated input, no copy.
+                    _ => input,
                 };
-                for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
+                for (o, (acc, per_tap)) in accs.iter_mut().zip(&self.masks).enumerate() {
+                    // An all-zero mask multiplies to a zero polynomial —
+                    // skipping it is bit-identical.
+                    if !self.structure.mask_live(o, tap) {
+                        continue;
+                    }
                     eval.mul_plain_accumulate(acc, src, &per_tap[tap])?;
                 }
             }
@@ -322,7 +481,12 @@ impl HomConv2d {
             let mut aligned = Ciphertext::transparent_zero_at(eval.params(), level);
             let mut accs = vec![Ciphertext::transparent_zero_at(eval.params(), level); co];
             for (tap, &k) in range.clone().zip(&self.offsets[range]) {
-                for (acc, per_tap) in accs.iter_mut().zip(&self.masks) {
+                for (o, (acc, per_tap)) in accs.iter_mut().zip(&self.masks).enumerate() {
+                    // A dead (o, tap) mask contributes a zero polynomial —
+                    // skip its multiply and rotation outright.
+                    if !self.structure.mask_live(o, tap) {
+                        continue;
+                    }
                     // Multiply the *fresh* input first…
                     prod.copy_from(input);
                     eval.mul_plain_assign(&mut prod, &per_tap[tap])?;
@@ -349,17 +513,61 @@ impl HomConv2d {
         keys: &GaloisKeys,
     ) -> Result<Vec<Ciphertext>> {
         let ci = self.spec.ci;
-        if ci == 1 {
-            return Ok(accs);
-        }
         let mut scratch = eval.new_scratch();
         let mut rotated = Ciphertext::transparent_zero(eval.params());
         let mut hoisted = HoistedDecomposition::empty(eval.params());
         accs.into_iter()
-            .map(|acc| {
-                self.reduce_channels(acc, eval, keys, &mut scratch, &mut rotated, &mut hoisted)
+            .zip(&self.reduces)
+            .map(|(acc, reduce)| match reduce {
+                // All-zero output: the accumulator never saw a multiply.
+                ChannelReduce::Zero => Ok(acc),
+                ChannelReduce::Dense => {
+                    if ci == 1 {
+                        return Ok(acc);
+                    }
+                    self.reduce_channels(acc, eval, keys, &mut scratch, &mut rotated, &mut hoisted)
+                }
+                ChannelReduce::SparseLive(live) => {
+                    self.reduce_live_channels(acc, live, eval, keys, &mut scratch, &mut rotated)
+                }
             })
             .collect()
+    }
+
+    /// Flat hoisted reduction over the live channel blocks only: hoist the
+    /// accumulator once, replay one rotation per live block past block 0.
+    /// Dead blocks are zero polynomials, so the sum landing in block 0 is
+    /// bit-identical to the dense reduction's (slots outside block 0 —
+    /// garbage in every plan — may differ).
+    fn reduce_live_channels(
+        &self,
+        acc: Ciphertext,
+        live: &[usize],
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        scratch: &mut Scratch,
+        rotated: &mut Ciphertext,
+    ) -> Result<Ciphertext> {
+        let w2 = (self.spec.w * self.spec.w) as i64;
+        let rotations: Vec<i64> = live
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| c as i64 * w2)
+            .collect();
+        if rotations.is_empty() {
+            // live ⊆ {0}: block 0 already holds the whole sum.
+            return Ok(acc);
+        }
+        let h = eval.hoist(&acc)?;
+        let mut out = Ciphertext::transparent_zero_at(eval.params(), acc.level());
+        if live[0] == 0 {
+            eval.add_assign(&mut out, &acc)?;
+        }
+        for &step in &rotations {
+            eval.rotate_hoisted_into(rotated, &acc, &h, step, keys, scratch)?;
+            eval.add_assign(&mut out, rotated)?;
+        }
+        Ok(out)
     }
 
     /// One output channel's reduction, under the layer's [`ReducePlan`]:
@@ -756,6 +964,138 @@ mod tests {
             );
             // The engine-tracked noise stays under the planner's model.
             assert!(b.noise().bound_log2 <= predicted.bound_log2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_conv_skips_dead_taps_and_channels() {
+        // Output 0: only the center tap of channels 0 and 2; output 1:
+        // fully dead. Dense evaluation must agree on the output blocks
+        // while the sparse layer rotates and multiplies far less.
+        let s = spec(8, 3, 4, 2);
+        let mut c = ctx(&s);
+        let len = s.co * s.ci * s.fw * s.fw;
+        let taps = s.fw * s.fw;
+        let mut w = vec![0i64; len];
+        w[4] = 3; // (o=0, c=0, center tap)
+        w[2 * taps + 4] = -5; // (o=0, c=2, center tap)
+        let weights = Tensor::from_data(&[s.co, s.ci, s.fw, s.fw], w);
+        let input = random_input(&s, 12);
+        let expect = eval_linear(&LinearLayer::Conv(s.clone()), &weights, &input);
+
+        let layer =
+            HomConv2d::new(&s, &weights, &c.encoder, &c.eval, Schedule::InputAligned).unwrap();
+        assert_eq!(
+            layer.structure().live_taps(),
+            1,
+            "only the center tap is live"
+        );
+        assert_eq!(layer.channel_reduces()[1], ChannelReduce::Zero);
+        assert!(matches!(
+            layer.channel_reduces()[0],
+            ChannelReduce::SparseLive(_) | ChannelReduce::Dense
+        ));
+
+        let ct = c
+            .enc
+            .encrypt(&HomConv2d::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        c.eval.reset_op_counts();
+        let outputs = layer.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let counts = c.eval.op_counts();
+        // Center tap only: no tap rotation, no hoist for the tap set; the
+        // lone live output multiplies once per live channel mask — one
+        // mask, two live channels inside it — i.e. exactly 1 mul.
+        assert_eq!(counts.mul, 1, "one live (o, tap) mask");
+        // Reduction: only output 0 reduces, over channels {0, 2}.
+        assert!(
+            counts.rotate <= 2,
+            "live-channel reduce must beat the dense ladder ({} rotations)",
+            counts.rotate
+        );
+        for (o, out_ct) in outputs.iter().enumerate() {
+            let slots = c.encoder.decode_signed(&c.dec.decrypt(out_ct).unwrap());
+            let img = layer.decode_output(&slots);
+            for y in 0..s.w {
+                for x in 0..s.w {
+                    assert_eq!(
+                        img.at3(0, y, x),
+                        expect.at3(o, y, x),
+                        "mismatch at (o={o}, y={y}, x={x})"
+                    );
+                }
+            }
+        }
+        // The dead output decrypts to exact zeros without any work.
+        assert_eq!(
+            outputs[1].noise().bound_log2,
+            f64::NEG_INFINITY,
+            "dead output stays transparent"
+        );
+
+        // Keys for exactly the layer's sparse steps suffice.
+        let params = c.eval.params().clone();
+        let mut kg = KeyGenerator::from_seed(params, 41);
+        let lean_keys = kg.galois_keys_for_steps(&layer.rotation_steps()).unwrap();
+        let lean = layer.apply_threaded(&ct, &c.eval, &lean_keys, 1).unwrap();
+        for (a, b) in outputs.iter().zip(&lean) {
+            assert_eq!(
+                layer
+                    .decode_output(&c.encoder.decode_signed(&c.dec.decrypt(a).unwrap()))
+                    .data(),
+                layer
+                    .decode_output(&c.encoder.decode_signed(&c.dec.decrypt(b).unwrap()))
+                    .data(),
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_conv_matches_dense_evaluation_both_schedules() {
+        // Prune channel 1 of each output and the corner taps; outputs must
+        // stay bit-identical to the cleartext reference under both
+        // schedules.
+        let s = spec(6, 3, 3, 2);
+        let taps = s.fw * s.fw;
+        let mut weights = random_weights(&s, 14);
+        {
+            let data = weights.data_mut();
+            for o in 0..s.co {
+                for c in 0..s.ci {
+                    for tap in 0..taps {
+                        let dead_channel = c == 1;
+                        let dead_tap = [0usize, 2, 6, 8].contains(&tap);
+                        if dead_channel || dead_tap {
+                            data[(o * s.ci + c) * taps + tap] = 0;
+                        }
+                    }
+                }
+            }
+        }
+        for schedule in [Schedule::InputAligned, Schedule::PartialAligned] {
+            let mut c = ctx(&s);
+            let input = random_input(&s, 15);
+            let expect = eval_linear(&LinearLayer::Conv(s.clone()), &weights, &input);
+            let layer = HomConv2d::new(&s, &weights, &c.encoder, &c.eval, schedule).unwrap();
+            assert_eq!(layer.structure().live_taps(), 5, "corner taps pruned");
+            let ct = c
+                .enc
+                .encrypt(&HomConv2d::encode_input(&s, &input, &c.encoder).unwrap())
+                .unwrap();
+            let outputs = layer.apply(&ct, &c.eval, &c.keys).unwrap();
+            for (o, out_ct) in outputs.iter().enumerate() {
+                let slots = c.encoder.decode_signed(&c.dec.decrypt(out_ct).unwrap());
+                let img = layer.decode_output(&slots);
+                for y in 0..s.w {
+                    for x in 0..s.w {
+                        assert_eq!(
+                            img.at3(0, y, x),
+                            expect.at3(o, y, x),
+                            "{schedule} mismatch at (o={o}, y={y}, x={x})"
+                        );
+                    }
+                }
+            }
         }
     }
 

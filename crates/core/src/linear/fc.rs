@@ -43,6 +43,7 @@ use crate::cost::HeCostParams;
 use crate::linear::parallel::{default_threads, map_chunks, merge_partials};
 use crate::linear::BsgsPlan;
 use crate::schedule::Schedule;
+use crate::sparse::{FcStructure, SparseBsgsPlan};
 
 /// The prepared weight material: either the legacy per-step diagonals or
 /// the BSGS group layout with giant-step pre-rotated masks.
@@ -57,6 +58,17 @@ enum FcKernel {
     Bsgs {
         plan: BsgsPlan,
         groups: Vec<Vec<PreparedPlaintext>>,
+    },
+    /// Sparsity-aware BSGS: only live diagonals carry masks. `groups[i]`
+    /// pairs with `plan.live_groups()[i]` and lists `(v, mask)` for the
+    /// live diagonals `k = u·b + v` of that group; dead baby steps are
+    /// never rotated, dead groups never touched. When `scale_log2 > 0`
+    /// every weight was `±2^k` with shared factor `2^scale_log2` pulled
+    /// out of the masks and re-applied once after the merge.
+    SparseBsgs {
+        plan: SparseBsgsPlan,
+        groups: Vec<Vec<(usize, PreparedPlaintext)>>,
+        scale_log2: u32,
     },
 }
 
@@ -91,8 +103,129 @@ impl HomFc {
         eval: &Evaluator,
         schedule: Schedule,
     ) -> Result<Self> {
-        let plan = BsgsPlan::choose(spec.ni, &HeCostParams::for_bfv(eval.params(), 0));
-        Self::with_plan(spec, weights, encoder, eval, schedule, plan)
+        Self::new_at_level(spec, weights, encoder, eval, schedule, 0)
+    }
+
+    /// [`HomFc::new`] with the level the layer is planned to run at: the
+    /// cost model prices rotations over the limbs actually live there, so
+    /// a deep chain position can pick a different BSGS split than level 0.
+    ///
+    /// When the weights have dead diagonals the layer is prepared under a
+    /// [`SparseBsgsPlan`] covering only the live ones — skipped rotations,
+    /// multiplies, and Galois steps, bit-identical output (the skipped
+    /// terms are zero polynomials). Fully-live weights keep the classic
+    /// dense path verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyValues`] when `2·n_i` exceeds the row size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`HomFc::new`] conditions.
+    pub fn new_at_level(
+        spec: &FcSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+        level: usize,
+    ) -> Result<Self> {
+        let cost = HeCostParams::for_bfv(eval.params(), level);
+        let structure = FcStructure::analyze_tensor(weights, spec);
+        if structure.fully_live() {
+            let plan = BsgsPlan::choose(spec.ni, &cost);
+            Self::with_plan(spec, weights, encoder, eval, schedule, plan)
+        } else {
+            let plan = SparseBsgsPlan::choose(&structure, &cost);
+            Self::from_sparse(spec, weights, encoder, eval, schedule, &structure, plan)
+        }
+    }
+
+    /// Forces a sparse plan with baby width `baby` (liveness is always
+    /// recomputed from the weights, so the plan and the prepared masks
+    /// agree exactly). Test/benchmark hook; [`HomFc::new_at_level`] picks
+    /// the width from the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyValues`] when `2·n_i` exceeds the row size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`HomFc::new`] conditions or `baby == 0`.
+    pub fn with_sparse_plan(
+        spec: &FcSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+        baby: usize,
+    ) -> Result<Self> {
+        let structure = FcStructure::analyze_tensor(weights, spec);
+        let plan = SparseBsgsPlan::for_structure(&structure, baby);
+        Self::from_sparse(spec, weights, encoder, eval, schedule, &structure, plan)
+    }
+
+    /// Prepares the sparse kernel: one giant-step pre-rotated mask per
+    /// *live* diagonal, carrying `w / 2^m` when the structure factors a
+    /// shared pow2 scale `m` out (re-applied once after the merge, exact
+    /// mod `t`).
+    fn from_sparse(
+        spec: &FcSpec,
+        weights: &Tensor,
+        encoder: &BatchEncoder,
+        eval: &Evaluator,
+        schedule: Schedule,
+        structure: &FcStructure,
+        plan: SparseBsgsPlan,
+    ) -> Result<Self> {
+        assert!(spec.ni.is_power_of_two(), "n_i must be a power of two");
+        assert!(spec.no <= spec.ni, "n_o must not exceed n_i");
+        assert_eq!(
+            weights.shape(),
+            &[spec.no, spec.ni],
+            "weight shape mismatch"
+        );
+        if 2 * spec.ni > encoder.row_size() {
+            return Err(Error::TooManyValues {
+                given: 2 * spec.ni,
+                slots: encoder.row_size(),
+            });
+        }
+        let slots = encoder.slots();
+        let scale_log2 = structure.pow2_scale_log2().unwrap_or(0);
+        let mut groups = Vec::with_capacity(plan.live_groups().len());
+        for &u in plan.live_groups() {
+            let shift = u * plan.b;
+            let width = plan.b.min(spec.ni - shift);
+            let mut per_group = Vec::new();
+            for v in 0..width {
+                if !structure.is_live(shift + v) {
+                    continue;
+                }
+                // Same giant-step pre-rotated layout as the dense path
+                // (support [shift, shift + ni)), divided by the shared
+                // pow2 factor — exact, every weight is a multiple of it.
+                let mut mask = vec![0i64; slots];
+                for (off, slot) in mask[shift..shift + spec.ni].iter_mut().enumerate() {
+                    *slot = weights.data()[(off % spec.no) * spec.ni + (off + shift + v) % spec.ni]
+                        >> scale_log2;
+                }
+                let pt = encoder.encode_signed(&mask)?;
+                per_group.push((v, eval.prepare_plaintext(&pt)?));
+            }
+            groups.push(per_group);
+        }
+        Ok(Self {
+            spec: spec.clone(),
+            schedule,
+            kernel: FcKernel::SparseBsgs {
+                plan,
+                groups,
+                scale_log2,
+            },
+        })
     }
 
     /// [`HomFc::new`] with an explicit rotation plan: `Some(plan)` forces
@@ -202,11 +335,28 @@ impl HomFc {
         &self.spec
     }
 
-    /// The BSGS plan in use, or `None` on the legacy diagonal path.
+    /// The dense BSGS plan in use, or `None` on the legacy diagonal path
+    /// and on the sparse path (see [`HomFc::sparse_plan`]).
     pub fn plan(&self) -> Option<BsgsPlan> {
         match &self.kernel {
-            FcKernel::Diagonal(_) => None,
+            FcKernel::Diagonal(_) | FcKernel::SparseBsgs { .. } => None,
             FcKernel::Bsgs { plan, .. } => Some(*plan),
+        }
+    }
+
+    /// The sparse plan in use, when the layer was prepared sparsity-aware.
+    pub fn sparse_plan(&self) -> Option<&SparseBsgsPlan> {
+        match &self.kernel {
+            FcKernel::SparseBsgs { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The pow2 factor (as `log2`) pulled out of the sparse masks, if any.
+    pub fn pow2_scale_log2(&self) -> u32 {
+        match &self.kernel {
+            FcKernel::SparseBsgs { scale_log2, .. } => *scale_log2,
+            _ => 0,
         }
     }
 
@@ -215,6 +365,9 @@ impl HomFc {
         let it: Box<dyn Iterator<Item = &PreparedPlaintext>> = match &self.kernel {
             FcKernel::Diagonal(d) => Box::new(d.iter()),
             FcKernel::Bsgs { groups, .. } => Box::new(groups.iter().flatten()),
+            FcKernel::SparseBsgs { groups, .. } => {
+                Box::new(groups.iter().flatten().map(|(_, m)| m))
+            }
         };
         it.map(PreparedPlaintext::inf_norm)
             .max()
@@ -249,6 +402,22 @@ impl HomFc {
             FcKernel::Bsgs { plan, .. } => {
                 input.bsgs_matvec_at(params, level, plan.b, plan.g, 2 * max_norm)
             }
+            FcKernel::SparseBsgs {
+                groups, scale_log2, ..
+            } => {
+                if groups.is_empty() {
+                    return cheetah_bfv::NoiseEstimate::zero();
+                }
+                // Only live work accumulates noise: the widest live group
+                // bounds the inner terms, dead groups never rotate.
+                let live_b = groups.iter().map(Vec::len).max().unwrap_or(1);
+                let est = input.bsgs_matvec_at(params, level, live_b, groups.len(), 2 * max_norm);
+                if *scale_log2 > 0 {
+                    est.mul_plain_at(params, level, 1, 2 * (1u64 << scale_log2))
+                } else {
+                    est
+                }
+            }
         }
     }
 
@@ -271,6 +440,7 @@ impl HomFc {
                 steps.extend((1..groups.len() as i64).map(|u| u * plan.b as i64));
                 steps
             }
+            FcKernel::SparseBsgs { plan, .. } => plan.rotation_steps(),
         }
     }
 
@@ -340,6 +510,11 @@ impl HomFc {
             FcKernel::Bsgs { plan, groups } => {
                 self.apply_bsgs(*plan, groups, input, eval, keys, threads)
             }
+            FcKernel::SparseBsgs {
+                plan,
+                groups,
+                scale_log2,
+            } => self.apply_sparse(plan, groups, *scale_log2, input, eval, keys, threads),
         }
     }
 
@@ -449,6 +624,84 @@ impl HomFc {
             Ok(acc)
         })?;
         merge_partials(partials, eval)
+    }
+
+    /// The sparse BSGS evaluation: hoist the input once and replay only
+    /// the *live* baby steps, fan only the *live* giant groups across
+    /// workers. An all-zero layer returns a transparent zero without a
+    /// single rotation or multiply. The pulled-out pow2 factor (if any)
+    /// is re-applied with one scalar multiply after the merge.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_sparse(
+        &self,
+        plan: &SparseBsgsPlan,
+        groups: &[Vec<(usize, PreparedPlaintext)>],
+        scale_log2: u32,
+        input: &Ciphertext,
+        eval: &Evaluator,
+        keys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Ciphertext> {
+        let level = input.level();
+        if groups.is_empty() {
+            return Ok(Ciphertext::transparent_zero_at(eval.params(), level));
+        }
+        // Baby set, live steps only: baby_at[v] indexes into `babies` for
+        // v in plan.baby_steps(); v = 0 reads the unrotated input.
+        let mut scratch = eval.new_scratch();
+        let mut babies: Vec<Ciphertext> = Vec::new();
+        let mut baby_at = vec![usize::MAX; plan.b];
+        if !plan.baby_steps().is_empty() {
+            let steps: Vec<i64> = plan.baby_steps().iter().map(|&v| v as i64).collect();
+            for (i, &v) in plan.baby_steps().iter().enumerate() {
+                baby_at[v] = i;
+            }
+            let mut hoisted = HoistedDecomposition::empty(eval.params());
+            eval.rotate_set_hoisted_into(
+                &mut babies,
+                input,
+                &steps,
+                keys,
+                &mut hoisted,
+                &mut scratch,
+            )?;
+        }
+        let babies = &babies;
+        let baby_at = &baby_at;
+        let live_groups = plan.live_groups();
+        let partials = map_chunks(groups.len(), threads, |range| {
+            let mut scratch = eval.new_scratch();
+            let mut acc = Ciphertext::transparent_zero_at(eval.params(), level);
+            let mut rotated = scratch.take_ct(eval.params(), level);
+            for (i, masks) in range.clone().zip(&groups[range]) {
+                let u = live_groups[i];
+                let mut inner = scratch.take_ct(eval.params(), level);
+                for (v, mask) in masks {
+                    let src = if *v == 0 { input } else { &babies[baby_at[*v]] };
+                    eval.mul_plain_accumulate(&mut inner, src, mask)?;
+                }
+                if u == 0 {
+                    eval.add_assign(&mut acc, &inner)?;
+                } else {
+                    eval.rotate_rows_into(
+                        &mut rotated,
+                        &inner,
+                        (u * plan.b) as i64,
+                        keys,
+                        &mut scratch,
+                    )?;
+                    eval.add_assign(&mut acc, &rotated)?;
+                }
+                scratch.put_ct(inner);
+            }
+            scratch.put_ct(rotated);
+            Ok(acc)
+        })?;
+        let mut out = merge_partials(partials, eval)?;
+        if scale_log2 > 0 {
+            eval.mul_scalar_assign(&mut out, 1u64 << scale_log2)?;
+        }
+        Ok(out)
     }
 
     /// Extracts the output vector from decoded slots.
@@ -701,6 +954,147 @@ mod tests {
             pa_budget >= ia_budget,
             "PA {pa_budget:.1} vs IA {ia_budget:.1}"
         );
+    }
+
+    /// Square weights (diagonals independent) with exactly `live`
+    /// diagonals populated from `rng`.
+    fn sparse_square_weights(ni: usize, live: &[usize], rng: &mut rand::rngs::StdRng) -> Tensor {
+        let mut w = vec![0i64; ni * ni];
+        for &k in live {
+            for off in 0..ni {
+                let mut v = 0;
+                while v == 0 {
+                    v = rng.random_range(-5..=5);
+                }
+                w[(off % ni) * ni + (off + k) % ni] = v;
+            }
+        }
+        Tensor::from_data(&[ni, ni], w)
+    }
+
+    #[test]
+    fn sparse_fc_matches_dense_and_skips_dead_rotations() {
+        let s = spec(32, 32);
+        let mut c = ctx(&s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let weights = sparse_square_weights(s.ni, &[0, 5, 11, 19, 30], &mut rng);
+        let input = Tensor::from_data(&[s.ni], (0..s.ni as i64).map(|i| i - 16).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+
+        let sparse =
+            HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned).unwrap();
+        let plan = sparse
+            .sparse_plan()
+            .expect("dead diagonals force the sparse path");
+        let dense = HomFc::with_plan(
+            &s,
+            &weights,
+            &c.encoder,
+            &c.eval,
+            Schedule::PartialAligned,
+            BsgsPlan::choose(s.ni, &HeCostParams::for_bfv(c.eval.params(), 0)),
+        )
+        .unwrap();
+
+        c.eval.reset_op_counts();
+        let out_sparse = sparse.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let sparse_counts = c.eval.op_counts();
+        c.eval.reset_op_counts();
+        let out_dense = dense.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let dense_counts = c.eval.op_counts();
+
+        // Skipped terms are zero polynomials: the FULL ciphertext matches.
+        assert_eq!(
+            c.encoder
+                .decode_signed(&c.dec.decrypt_checked(&out_sparse).unwrap()),
+            c.encoder
+                .decode_signed(&c.dec.decrypt_checked(&out_dense).unwrap()),
+            "sparse and dense outputs diverged"
+        );
+        assert_eq!(sparse_counts.rotate as usize, plan.rotations());
+        assert!(
+            sparse_counts.rotate < dense_counts.rotate,
+            "sparse {} vs dense {} rotations",
+            sparse_counts.rotate,
+            dense_counts.rotate
+        );
+        assert!(
+            sparse_counts.mul < dense_counts.mul,
+            "5 live of 32 diagonals"
+        );
+        assert!(sparse_counts.ntt < dense_counts.ntt);
+
+        // Keys for exactly the sparse steps suffice.
+        let params = c.eval.params().clone();
+        let mut kg = KeyGenerator::from_seed(params, 51);
+        let lean_keys = kg.galois_keys_for_steps(&sparse.rotation_steps()).unwrap();
+        let out_lean = sparse.apply_threaded(&ct, &c.eval, &lean_keys, 1).unwrap();
+        assert_eq!(
+            c.encoder
+                .decode_signed(&c.dec.decrypt_checked(&out_lean).unwrap()),
+            c.encoder
+                .decode_signed(&c.dec.decrypt_checked(&out_dense).unwrap())
+        );
+    }
+
+    #[test]
+    fn all_zero_fc_is_transparent_and_rotation_free() {
+        let s = spec(16, 16);
+        let mut c = ctx(&s);
+        let weights = Tensor::zeros(&[s.ni, s.ni]);
+        let input = Tensor::from_data(&[s.ni], (1..=s.ni as i64).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        let layer =
+            HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned).unwrap();
+        assert!(layer.sparse_plan().unwrap().is_empty());
+        assert!(layer.rotation_steps().is_empty());
+        c.eval.reset_op_counts();
+        let out = layer.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let counts = c.eval.op_counts();
+        assert_eq!(counts.rotate, 0, "all-zero layer must not rotate");
+        assert_eq!(counts.mul, 0);
+        assert_eq!(
+            out.noise().bound_log2,
+            f64::NEG_INFINITY,
+            "all-zero layer outputs transparent zero"
+        );
+        let slots = c.encoder.decode_signed(&c.dec.decrypt(&out).unwrap());
+        assert!(slots.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn pow2_sparse_fc_factors_the_scale_and_stays_exact() {
+        let s = spec(16, 16);
+        let mut c = ctx(&s);
+        // Live diagonals carry only ±4 and ±8: shared factor 2².
+        let mut w = vec![0i64; s.ni * s.ni];
+        for (i, &k) in [0usize, 3, 7, 12].iter().enumerate() {
+            for off in 0..s.ni {
+                let v = if (off + i) % 2 == 0 { 4 } else { -8 };
+                w[(off % s.ni) * s.ni + (off + k) % s.ni] = v;
+            }
+        }
+        let weights = Tensor::from_data(&[s.ni, s.ni], w);
+        let input = Tensor::from_data(&[s.ni], (0..s.ni as i64).map(|i| 7 - i).collect());
+        let ct = c
+            .enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        let layer =
+            HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned).unwrap();
+        assert_eq!(layer.pow2_scale_log2(), 2, "shared ±4/±8 factor is 2²");
+        let out = layer.apply(&ct, &c.eval, &c.keys).unwrap();
+        let expect = eval_linear(&LinearLayer::Fc(s.clone()), &weights, &input);
+        let slots = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&out).unwrap());
+        assert_eq!(layer.decode_output(&slots).data(), expect.data());
     }
 
     #[test]

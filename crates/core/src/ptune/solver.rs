@@ -25,6 +25,7 @@ use crate::ptune::perf::layer_ops_scheduled;
 use crate::ptune::tuner::InfeasibleLayer;
 use crate::quant::QuantSpec;
 use crate::schedule::Schedule;
+use crate::sparse::{LayerStructure, SparseBsgsPlan};
 
 pub use cheetah_bfv::noise::FAILURE_SCALE;
 
@@ -46,6 +47,23 @@ pub fn layer_noise_on_chain(
     schedule: Schedule,
     regime: NoiseRegime,
 ) -> LayerNoise {
+    layer_noise_on_chain_structured(layer, None, params, level, schedule, regime)
+}
+
+/// [`layer_noise_on_chain`] under a measured weight structure: the
+/// accumulated mult/rotate term counts scale with the live-mask fraction
+/// (skipped diagonals contribute no rotate-mul term at all), so sparse
+/// layers clear the margin at levels their dense pricing could not afford.
+/// `None` prices the dense (fully live) worst case.
+pub fn layer_noise_on_chain_structured(
+    layer: &LinearLayer,
+    structure: Option<&LayerStructure>,
+    params: &BfvParams,
+    level: usize,
+    schedule: Schedule,
+    regime: NoiseRegime,
+) -> LayerNoise {
+    let live_frac = structure.map_or(1.0, LayerStructure::live_fraction);
     let n = params.degree() as f64;
     let sigma = params.sigma();
     let b = 6.0 * sigma;
@@ -63,7 +81,14 @@ pub fn layer_noise_on_chain(
     let dropped: f64 = (live..params.limbs())
         .map(|i| params.chain().modulus(i).value() as f64)
         .product();
-    let shape = layer_noise_shape(layer, params.degree());
+    let mut shape = layer_noise_shape(layer, params.degree());
+    // A dead mask contributes no rotate-mul term: scale both term counts
+    // by the live fraction (floored at one term so an almost-empty layer
+    // still pays its single live accumulation).
+    if live_frac < 1.0 {
+        shape.mult_terms = (shape.mult_terms * live_frac).max(1.0);
+        shape.rot_terms = (shape.rot_terms * live_frac).max(1.0);
+    }
     let ceiling_bits = params.noise_ceiling_at(level).log2();
 
     let noise_log2 = match regime {
@@ -189,17 +214,43 @@ pub fn chain_candidates(degrees: &[usize]) -> Vec<(String, BfvParams)> {
 /// path under the chain's (hybrid-aware) hoist/replay pricing — the same
 /// chooser `HomFc::new` runs at prepare time — and conv layers record the
 /// channel-reduction plan `HomConv2d` picks. Returns `(int_mults, label)`.
-fn layer_cost_on_chain(
+///
+/// Under a measured weight structure (`structure = Some`): sparse FC
+/// layers are priced with the [`SparseBsgsPlan`] chooser — exactly the
+/// live rotations the prepared kernel will perform — and every layer's
+/// `HE_Mult` bill scales with its live-mask fraction. An all-zero layer
+/// costs nothing. `None` prices dense.
+fn layer_cost_on_chain_structured(
     layer: &LinearLayer,
+    structure: Option<&LayerStructure>,
     params: &BfvParams,
     level: usize,
     schedule: Schedule,
 ) -> (f64, String) {
     let cost = HeCostParams::for_bfv(params, level);
     let ops = layer_ops_scheduled(layer, params.degree(), params.l_pt(), schedule);
-    let mult_cost = ops.he_mult * cost.he_mult_mults() as f64;
+    let live_frac = structure.map_or(1.0, LayerStructure::live_fraction);
+    if live_frac == 0.0 {
+        return (0.0, "zero".to_string());
+    }
+    let mult_cost = ops.he_mult * live_frac * cost.he_mult_mults() as f64;
     match layer {
         LinearLayer::Fc(f) => {
+            if let Some(LayerStructure::Fc(s)) = structure {
+                if !s.fully_live() {
+                    let plan = SparseBsgsPlan::choose(s, &cost);
+                    return (
+                        mult_cost + plan.rotation_mults(&cost) as f64,
+                        format!(
+                            "fc sparse b={} g={} live={}/{}",
+                            plan.b,
+                            plan.g,
+                            s.live_diagonals(),
+                            s.ni()
+                        ),
+                    );
+                }
+            }
             let d = f.ni.min(params.degree());
             let diag = (d as u64).saturating_sub(1) * cost.he_rotate_mults();
             match BsgsPlan::choose(d, &cost) {
@@ -212,9 +263,16 @@ fn layer_cost_on_chain(
         }
         LinearLayer::Conv(c) => {
             let plan = ReducePlan::choose(c.ci, &cost);
+            // Dead taps skip their rotation and dead masks their multiply:
+            // the blunt Table-IV rotate bill scales with the live fraction.
+            let label = if live_frac < 1.0 {
+                format!("conv sparse reduce {plan:?} live={live_frac:.2}")
+            } else {
+                format!("conv reduce {plan:?}")
+            };
             (
-                mult_cost + ops.he_rotate * cost.he_rotate_mults() as f64,
-                format!("conv reduce {plan:?}"),
+                mult_cost + ops.he_rotate * live_frac * cost.he_rotate_mults() as f64,
+                label,
             )
         }
     }
@@ -236,6 +294,35 @@ pub fn solve_chain_plan(
     regime: NoiseRegime,
     degrees: &[usize],
 ) -> Result<ChainPlan, InfeasibleLayer> {
+    solve_chain_plan_structured(layers, None, quant, schedule, regime, degrees)
+}
+
+/// [`solve_chain_plan`] under measured weight structures (one per layer,
+/// network order): every layer is priced — cost *and* noise — at its
+/// post-sparsity op counts, so sparser layers can afford deeper levels
+/// and the chain total reflects the rotations the prepared kernels will
+/// actually perform. `None` (or a `structures` length mismatch, which
+/// panics) reproduces the dense solve exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_chain_plan`].
+///
+/// # Panics
+///
+/// Panics when `structures` is `Some` with a length ≠ `layers.len()`.
+pub fn solve_chain_plan_structured(
+    layers: &[LinearLayer],
+    structures: Option<&[LayerStructure]>,
+    quant: &QuantSpec,
+    schedule: Schedule,
+    regime: NoiseRegime,
+    degrees: &[usize],
+) -> Result<ChainPlan, InfeasibleLayer> {
+    if let Some(s) = structures {
+        assert_eq!(s.len(), layers.len(), "one structure per linear layer");
+    }
+    let structure_of = |i: usize| structures.map(|s| &s[i]);
     let needed_bits: Vec<u32> = layers
         .iter()
         .map(|l| quant.statistical_plain_bits(l))
@@ -246,7 +333,7 @@ pub fn solve_chain_plan(
         let t_bits = 64 - params.plain_modulus().value().leading_zeros();
         let mut plan_layers = Vec::with_capacity(layers.len());
         let mut total = 0.0;
-        for (layer, &needed) in layers.iter().zip(&needed_bits) {
+        for (i, (layer, &needed)) in layers.iter().zip(&needed_bits).enumerate() {
             if t_bits < needed {
                 first_failure.get_or_insert_with(|| InfeasibleLayer {
                     layer: layer.name().to_owned(),
@@ -256,11 +343,24 @@ pub fn solve_chain_plan(
             }
             let mut chosen: Option<LayerPlan> = None;
             for level in 0..params.levels() {
-                let noise = layer_noise_on_chain(layer, &params, level, schedule, regime);
+                let noise = layer_noise_on_chain_structured(
+                    layer,
+                    structure_of(i),
+                    &params,
+                    level,
+                    schedule,
+                    regime,
+                );
                 if noise.budget_bits < PLAN_MARGIN_BITS {
                     continue;
                 }
-                let (int_mults, label) = layer_cost_on_chain(layer, &params, level, schedule);
+                let (int_mults, label) = layer_cost_on_chain_structured(
+                    layer,
+                    structure_of(i),
+                    &params,
+                    level,
+                    schedule,
+                );
                 if chosen.as_ref().is_none_or(|c| int_mults < c.int_mults) {
                     chosen = Some(LayerPlan {
                         layer: layer.name().to_owned(),
@@ -400,8 +500,10 @@ mod tests {
             NoiseRegime::Statistical,
         );
         assert!(l0.budget_bits > 0.0);
-        let c0 = layer_cost_on_chain(layer, &params, 0, Schedule::PartialAligned).0;
-        let c1 = layer_cost_on_chain(layer, &params, 1, Schedule::PartialAligned).0;
+        let c0 =
+            layer_cost_on_chain_structured(layer, None, &params, 0, Schedule::PartialAligned).0;
+        let c1 =
+            layer_cost_on_chain_structured(layer, None, &params, 1, Schedule::PartialAligned).0;
         assert!(c1 < c0, "deeper level must be cheaper: {c1} vs {c0}");
         // The level-1 ceiling is one 36-bit limb; the budget moves but
         // the model must not explode (rotate noise is P-divided).
@@ -420,6 +522,68 @@ mod tests {
     }
 
     #[test]
+    fn structured_solve_prices_sparsity_cheaper_never_costlier() {
+        use crate::sparse::{FcStructure, LayerStructure};
+        let layers = tiny_layers();
+        let quant = QuantSpec::default();
+        let dense = solve_chain_plan(
+            &layers,
+            &quant,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &[4096],
+        )
+        .unwrap();
+        // 90%-sparse FC structure (6 of 64 diagonals live), dense conv.
+        let fc = &layers[1];
+        let (no, ni) = (10usize, 64usize);
+        let mut w = vec![0i64; no * ni];
+        for k in [0usize, 7, 19, 33, 42, 60] {
+            for off in 0..ni {
+                w[(off % no) * ni + (off + k) % ni] = 3;
+            }
+        }
+        let structures = vec![
+            LayerStructure::dense(&layers[0]),
+            LayerStructure::Fc(FcStructure::analyze(&w, no, ni)),
+        ];
+        let sparse = solve_chain_plan_structured(
+            &layers,
+            Some(&structures),
+            &quant,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &[4096],
+        )
+        .unwrap();
+        assert!(
+            sparse.total_int_mults < dense.total_int_mults,
+            "post-sparsity pricing must shrink the chain total: {} vs {}",
+            sparse.total_int_mults,
+            dense.total_int_mults
+        );
+        assert!(
+            sparse.layers[1].plan.starts_with("fc sparse"),
+            "sparse FC must be planned sparse, got {}",
+            sparse.layers[1].plan
+        );
+        assert_eq!(fc.name(), "fc1");
+        // Dense structures reproduce the dense solve bit for bit.
+        let dense_structs: Vec<LayerStructure> = layers.iter().map(LayerStructure::dense).collect();
+        let redone = solve_chain_plan_structured(
+            &layers,
+            Some(&dense_structs),
+            &quant,
+            Schedule::PartialAligned,
+            NoiseRegime::Statistical,
+            &[4096],
+        )
+        .unwrap();
+        assert_eq!(redone.total_int_mults, dense.total_int_mults);
+        assert_eq!(redone.name, dense.name);
+    }
+
+    #[test]
     fn infeasible_precision_is_a_typed_error() {
         // A 40-bit-plus precision request exceeds every preset's t.
         let layers = vec![LinearLayer::Fc(FcSpec {
@@ -430,6 +594,7 @@ mod tests {
         let quant = QuantSpec {
             weight_bits: 20,
             activation_bits: 20,
+            ..QuantSpec::default()
         };
         let err = solve_chain_plan(
             &layers,

@@ -1,0 +1,662 @@
+//! Weight-structure analysis: the sparsity subsystem.
+//!
+//! Pruned networks are mostly zeros, and the BSGS planner of
+//! [`crate::linear`] prices every diagonal as live. This module scans a
+//! layer's weights at preparation time and classifies each FC generalized
+//! diagonal / conv filter tap as **zero**, **power-of-two**, or **dense**
+//! ([`MaskClass`]); a [`SparseBsgsPlan`] then covers only the live
+//! diagonals — baby and giant steps whose every diagonal is zero are
+//! skipped entirely, so rotations, hoisted replays, plaintext multiplies,
+//! Galois-key generation, noise transitions, and cost-model pricing all
+//! shrink with the measured sparsity.
+//!
+//! The power-of-two class feeds the shift-add weight path: when every live
+//! weight of a layer is `±2^k`, the shared factor `2^m` (the smallest
+//! exponent) is pulled out of the masks and re-applied with one doubling
+//! chain scalar multiply (`cheetah_bfv`'s pow2 `mul_plain` fast path),
+//! keeping mask norms — and the noise bound — `m` bits lower through the
+//! accumulation.
+//!
+//! Classification is exact (a diagonal is zero iff every entry is zero),
+//! so sparse evaluation is *bit-identical* to the dense plan: the skipped
+//! terms are zero polynomials. Per-entry random sparsity almost never
+//! zeroes a whole length-`n_i` diagonal; the structured pruning helper
+//! `cheetah_nn`'s `Weights::prune_to_sparsity` zeroes whole diagonals /
+//! taps, which is also what magnitude-pruned real networks converge to
+//! under diagonal packing.
+
+use crate::cost::HeCostParams;
+use cheetah_nn::{ConvSpec, FcSpec, LinearLayer, Tensor};
+
+/// `Some(e)` iff `v == ±2^e` (so `±1` is `Some(0)`).
+pub fn pow2_exponent(v: i64) -> Option<u32> {
+    let m = v.unsigned_abs();
+    if m != 0 && m.is_power_of_two() {
+        Some(m.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Structure class of one prepared mask (an FC generalized diagonal or a
+/// conv tap's per-channel weight column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskClass {
+    /// Every entry is zero: the mask, its rotation, and its multiply are
+    /// all skippable.
+    Zero,
+    /// Every nonzero entry is `±2^k`; `min_exp` is the smallest exponent
+    /// over the mask (the factor a shift-add scale can pull out).
+    Pow2 {
+        /// Smallest exponent among the nonzero entries.
+        min_exp: u32,
+    },
+    /// At least one entry is neither zero nor a signed power of two.
+    Dense,
+}
+
+impl MaskClass {
+    /// Classifies a stream of weight values.
+    pub fn classify(values: impl IntoIterator<Item = i64>) -> MaskClass {
+        let mut any = false;
+        let mut all_pow2 = true;
+        let mut min_exp = u32::MAX;
+        for v in values {
+            if v == 0 {
+                continue;
+            }
+            any = true;
+            match pow2_exponent(v) {
+                Some(e) => min_exp = min_exp.min(e),
+                None => all_pow2 = false,
+            }
+        }
+        if !any {
+            MaskClass::Zero
+        } else if all_pow2 {
+            MaskClass::Pow2 { min_exp }
+        } else {
+            MaskClass::Dense
+        }
+    }
+
+    /// Whether the mask is all-zero.
+    pub fn is_zero(self) -> bool {
+        self == MaskClass::Zero
+    }
+
+    /// Whether the mask has any nonzero entry.
+    pub fn is_live(self) -> bool {
+        !self.is_zero()
+    }
+}
+
+/// Per-diagonal structure of an FC weight matrix `W (n_o × n_i)`, under
+/// the diagonal-method layout `diag_k[j] = W[j mod n_o][(j + k) mod n_i]`.
+#[derive(Debug, Clone)]
+pub struct FcStructure {
+    ni: usize,
+    no: usize,
+    classes: Vec<MaskClass>,
+}
+
+impl FcStructure {
+    /// Scans row-major weights (shape `(no, ni)`) into per-diagonal
+    /// classes. `w.len()` must be `no·ni`.
+    pub fn analyze(w: &[i64], no: usize, ni: usize) -> Self {
+        assert_eq!(w.len(), no * ni, "weight length mismatch");
+        assert!(no >= 1 && ni >= 1, "degenerate FC shape");
+        let classes = (0..ni)
+            .map(|k| MaskClass::classify((0..ni).map(|off| w[(off % no) * ni + (off + k) % ni])))
+            .collect();
+        Self { ni, no, classes }
+    }
+
+    /// [`FcStructure::analyze`] from a `(no, ni)` weight tensor.
+    pub fn analyze_tensor(weights: &Tensor, spec: &FcSpec) -> Self {
+        assert_eq!(
+            weights.shape(),
+            &[spec.no, spec.ni],
+            "weight shape mismatch"
+        );
+        Self::analyze(weights.data(), spec.no, spec.ni)
+    }
+
+    /// Input width (= diagonal count).
+    pub fn ni(&self) -> usize {
+        self.ni
+    }
+
+    /// Output width.
+    pub fn no(&self) -> usize {
+        self.no
+    }
+
+    /// Per-diagonal classes, indexed by diagonal `k`.
+    pub fn classes(&self) -> &[MaskClass] {
+        &self.classes
+    }
+
+    /// Whether diagonal `k` has any nonzero entry.
+    pub fn is_live(&self, k: usize) -> bool {
+        self.classes[k].is_live()
+    }
+
+    /// Number of live diagonals.
+    pub fn live_diagonals(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_live()).count()
+    }
+
+    /// Whether the whole layer is zero.
+    pub fn all_zero(&self) -> bool {
+        self.live_diagonals() == 0
+    }
+
+    /// Whether every diagonal is live (the dense fast case: the classic
+    /// [`crate::linear::BsgsPlan`] path is optimal and is kept verbatim).
+    pub fn fully_live(&self) -> bool {
+        self.live_diagonals() == self.ni
+    }
+
+    /// Live fraction in `[0, 1]`.
+    pub fn live_fraction(&self) -> f64 {
+        self.live_diagonals() as f64 / self.ni as f64
+    }
+
+    /// The shared power-of-two factor `m ≥ 1` (as `log2`) that can be
+    /// pulled out of every nonzero weight, or `None` when any diagonal is
+    /// dense or the smallest exponent is 0 (nothing to factor).
+    pub fn pow2_scale_log2(&self) -> Option<u32> {
+        let mut min: Option<u32> = None;
+        for c in &self.classes {
+            match c {
+                MaskClass::Zero => {}
+                MaskClass::Pow2 { min_exp } => {
+                    min = Some(min.map_or(*min_exp, |m| m.min(*min_exp)));
+                }
+                MaskClass::Dense => return None,
+            }
+        }
+        min.filter(|&m| m >= 1)
+    }
+}
+
+/// A sparsity-aware Baby-Step-Giant-Step plan: the dense `b × g` grid of
+/// [`crate::linear::BsgsPlan`], minus every baby step and giant group
+/// whose diagonals are all zero.
+///
+/// Invariants: `baby_steps` holds the rotations `v ∈ 1..b` that some live
+/// group actually multiplies (step 0 reads the unrotated input and is
+/// never listed); `live_groups` holds the groups `u` with at least one
+/// live diagonal `k = u·b + v`. An all-zero layer yields empty sets — no
+/// rotations, no multiplies, a transparent-zero output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBsgsPlan {
+    /// Baby steps per group (grid width).
+    pub b: usize,
+    /// Giant-step groups (grid height, `⌈n_i / b⌉`).
+    pub g: usize,
+    baby_steps: Vec<usize>,
+    live_groups: Vec<usize>,
+}
+
+impl SparseBsgsPlan {
+    /// Builds the plan for a fixed baby width `b ≥ 1` over the structure.
+    pub fn for_structure(s: &FcStructure, b: usize) -> Self {
+        assert!(b >= 1, "degenerate baby width");
+        let g = s.ni().div_ceil(b);
+        let mut baby_used = vec![false; b];
+        let mut live_groups = Vec::new();
+        for u in 0..g {
+            let shift = u * b;
+            let width = b.min(s.ni() - shift);
+            let mut any = false;
+            for (v, used) in baby_used.iter_mut().enumerate().take(width) {
+                if s.is_live(shift + v) {
+                    any = true;
+                    *used = true;
+                }
+            }
+            if any {
+                live_groups.push(u);
+            }
+        }
+        let baby_steps = (1..b).filter(|&v| baby_used[v]).collect();
+        Self {
+            b,
+            g,
+            baby_steps,
+            live_groups,
+        }
+    }
+
+    /// Picks the cheapest baby width under `cost`, mirroring
+    /// [`crate::linear::BsgsPlan::choose`]'s sweep (baseline `b = 1`,
+    /// strict improvement only) but pricing only the *live* rotations: a
+    /// fully-live structure selects exactly the dense plan, and every
+    /// zeroed diagonal can only shrink the bill.
+    pub fn choose(s: &FcStructure, cost: &HeCostParams) -> SparseBsgsPlan {
+        let d = s.ni();
+        let mut best = Self::for_structure(s, 1);
+        let mut best_cost = best.rotation_mults(cost);
+        for b in 2..=d {
+            let cand = Self::for_structure(s, b);
+            let c = cand.rotation_mults(cost);
+            if c < best_cost {
+                best_cost = c;
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// Baby rotation steps (`v > 0`) some live group multiplies.
+    pub fn baby_steps(&self) -> &[usize] {
+        &self.baby_steps
+    }
+
+    /// Giant groups with at least one live diagonal.
+    pub fn live_groups(&self) -> &[usize] {
+        &self.live_groups
+    }
+
+    /// Whether the plan covers nothing (all-zero layer).
+    pub fn is_empty(&self) -> bool {
+        self.live_groups.is_empty()
+    }
+
+    /// Direct giant rotations performed: live groups other than group 0
+    /// (whose inner sum is accumulated unrotated).
+    pub fn giant_rotations(&self) -> usize {
+        self.live_groups.iter().filter(|&&u| u > 0).count()
+    }
+
+    /// Total rotations: hoisted baby replays plus direct giant steps.
+    pub fn rotations(&self) -> usize {
+        self.baby_steps.len() + self.giant_rotations()
+    }
+
+    /// The exact rotation steps evaluation performs — generate Galois
+    /// keys for these and nothing more.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = self.baby_steps.iter().map(|&v| v as i64).collect();
+        steps.extend(
+            self.live_groups
+                .iter()
+                .filter(|&&u| u > 0)
+                .map(|&u| (u * self.b) as i64),
+        );
+        steps
+    }
+
+    /// Rotation-side integer multiplications under `cost`: one hoist when
+    /// any baby replay runs, one hoisted replay per live baby step, one
+    /// direct rotation per live giant group past the first. The sparse
+    /// counterpart of [`HeCostParams::bsgs_rotation_mults`].
+    pub fn rotation_mults(&self, cost: &HeCostParams) -> u64 {
+        let hoist = if self.baby_steps.is_empty() {
+            0
+        } else {
+            cost.hoist_mults()
+        };
+        hoist
+            + self.baby_steps.len() as u64 * cost.he_rotate_hoisted_mults()
+            + self.giant_rotations() as u64 * cost.he_rotate_mults()
+    }
+}
+
+/// Per-mask structure of a conv weight tensor `(co, ci, fw, fw)` under the
+/// packed layout of [`crate::linear::HomConv2d`]: one mask per
+/// `(output channel o, tap)`, classified over its `ci` channel weights,
+/// plus per-`(o, c)` input-channel liveness for the channel reduction.
+#[derive(Debug, Clone)]
+pub struct ConvStructure {
+    co: usize,
+    ci: usize,
+    taps: usize,
+    /// `classes[o·taps + tap]`.
+    classes: Vec<MaskClass>,
+    /// `channel_live[o·ci + c]`: channel `c` carries weight into output `o`.
+    channel_live: Vec<bool>,
+}
+
+impl ConvStructure {
+    /// Scans `(co, ci, fw, fw)` row-major weights.
+    pub fn analyze(w: &[i64], co: usize, ci: usize, fw: usize) -> Self {
+        let taps = fw * fw;
+        assert_eq!(w.len(), co * ci * taps, "weight length mismatch");
+        let mut classes = Vec::with_capacity(co * taps);
+        let mut channel_live = vec![false; co * ci];
+        for o in 0..co {
+            for tap in 0..taps {
+                classes.push(MaskClass::classify(
+                    (0..ci).map(|c| w[(o * ci + c) * taps + tap]),
+                ));
+            }
+            for c in 0..ci {
+                channel_live[o * ci + c] = (0..taps).any(|tap| w[(o * ci + c) * taps + tap] != 0);
+            }
+        }
+        Self {
+            co,
+            ci,
+            taps,
+            classes,
+            channel_live,
+        }
+    }
+
+    /// [`ConvStructure::analyze`] from a `(co, ci, fw, fw)` weight tensor.
+    pub fn analyze_tensor(weights: &Tensor, spec: &ConvSpec) -> Self {
+        assert_eq!(
+            weights.shape(),
+            &[spec.co, spec.ci, spec.fw, spec.fw],
+            "weight shape mismatch"
+        );
+        Self::analyze(weights.data(), spec.co, spec.ci, spec.fw)
+    }
+
+    /// Output channels.
+    pub fn co(&self) -> usize {
+        self.co
+    }
+
+    /// Input channels.
+    pub fn ci(&self) -> usize {
+        self.ci
+    }
+
+    /// Taps per filter (`fw²`).
+    pub fn taps(&self) -> usize {
+        self.taps
+    }
+
+    /// Class of mask `(o, tap)`.
+    pub fn mask_class(&self, o: usize, tap: usize) -> MaskClass {
+        self.classes[o * self.taps + tap]
+    }
+
+    /// Whether mask `(o, tap)` has any weight.
+    pub fn mask_live(&self, o: usize, tap: usize) -> bool {
+        self.mask_class(o, tap).is_live()
+    }
+
+    /// Whether tap `tap` is live for *any* output channel (a dead tap's
+    /// input rotation is skipped layer-wide).
+    pub fn tap_live(&self, tap: usize) -> bool {
+        (0..self.co).any(|o| self.mask_live(o, tap))
+    }
+
+    /// Live taps across the layer.
+    pub fn live_taps(&self) -> usize {
+        (0..self.taps).filter(|&t| self.tap_live(t)).count()
+    }
+
+    /// Whether input channel `c` contributes to output `o`.
+    pub fn channel_live(&self, o: usize, c: usize) -> bool {
+        self.channel_live[o * self.ci + c]
+    }
+
+    /// Live input channels for output `o`.
+    pub fn live_channels(&self, o: usize) -> usize {
+        (0..self.ci).filter(|&c| self.channel_live(o, c)).count()
+    }
+
+    /// Whether output channel `o` receives any weight at all.
+    pub fn output_live(&self, o: usize) -> bool {
+        self.live_channels(o) > 0
+    }
+
+    /// Whether the whole layer is zero.
+    pub fn all_zero(&self) -> bool {
+        self.classes.iter().all(|c| c.is_zero())
+    }
+
+    /// Whether every `(o, tap)` mask is live (dense layer).
+    pub fn fully_live(&self) -> bool {
+        self.classes.iter().all(|c| c.is_live())
+    }
+
+    /// Live fraction of `(o, tap)` masks in `[0, 1]`.
+    pub fn live_fraction(&self) -> f64 {
+        self.classes.iter().filter(|c| c.is_live()).count() as f64 / self.classes.len() as f64
+    }
+}
+
+/// Analyzed structure of one linear layer — what the solver prices a chain
+/// under instead of assuming every mask is live.
+#[derive(Debug, Clone)]
+pub enum LayerStructure {
+    /// FC diagonal structure.
+    Fc(FcStructure),
+    /// Conv mask/channel structure.
+    Conv(ConvStructure),
+}
+
+impl LayerStructure {
+    /// Analyzes the weights of `layer` (shape checked against the spec).
+    pub fn analyze(layer: &LinearLayer, weights: &Tensor) -> Self {
+        match layer {
+            LinearLayer::Fc(f) => LayerStructure::Fc(FcStructure::analyze_tensor(weights, f)),
+            LinearLayer::Conv(c) => LayerStructure::Conv(ConvStructure::analyze_tensor(weights, c)),
+        }
+    }
+
+    /// A fully-live structure for `layer` — what pricing without weight
+    /// knowledge must assume.
+    pub fn dense(layer: &LinearLayer) -> Self {
+        match layer {
+            LinearLayer::Fc(f) => {
+                LayerStructure::Fc(FcStructure::analyze(&vec![1; f.no * f.ni], f.no, f.ni))
+            }
+            LinearLayer::Conv(c) => LayerStructure::Conv(ConvStructure::analyze(
+                &vec![1; c.co * c.ci * c.fw * c.fw],
+                c.co,
+                c.ci,
+                c.fw,
+            )),
+        }
+    }
+
+    /// Live fraction of the layer's masks in `[0, 1]`.
+    pub fn live_fraction(&self) -> f64 {
+        match self {
+            LayerStructure::Fc(f) => f.live_fraction(),
+            LayerStructure::Conv(c) => c.live_fraction(),
+        }
+    }
+
+    /// Whether the whole layer is zero.
+    pub fn all_zero(&self) -> bool {
+        match self {
+            LayerStructure::Fc(f) => f.all_zero(),
+            LayerStructure::Conv(c) => c.all_zero(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::BsgsPlan;
+
+    fn cost(l_ct: usize, limbs: usize) -> HeCostParams {
+        HeCostParams {
+            n: 4096,
+            l_pt: 1,
+            l_ct,
+            limbs,
+            hybrid: false,
+        }
+    }
+
+    /// Weights with exactly the given diagonals zeroed.
+    fn fc_weights_with_dead(no: usize, ni: usize, dead: &[usize]) -> Vec<i64> {
+        let mut w = vec![0i64; no * ni];
+        for k in 0..ni {
+            if dead.contains(&k) {
+                continue;
+            }
+            for off in 0..ni {
+                w[(off % no) * ni + (off + k) % ni] = 3;
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn mask_classes() {
+        assert_eq!(MaskClass::classify([0, 0, 0]), MaskClass::Zero);
+        assert_eq!(
+            MaskClass::classify([4, -2, 0, 16]),
+            MaskClass::Pow2 { min_exp: 1 }
+        );
+        assert_eq!(MaskClass::classify([1, -1]), MaskClass::Pow2 { min_exp: 0 });
+        assert_eq!(MaskClass::classify([4, 3]), MaskClass::Dense);
+        assert!(pow2_exponent(-8) == Some(3) && pow2_exponent(6).is_none());
+        assert!(pow2_exponent(0).is_none());
+    }
+
+    #[test]
+    fn fc_structure_counts_live_diagonals() {
+        // Square shape: in a rectangular FC with no | ni, diagonals k and
+        // k + no read the same matrix cells, so they live or die together;
+        // a square matrix keeps every diagonal independent.
+        let ni = 16;
+        let w = fc_weights_with_dead(ni, ni, &[0, 3, 7, 9]);
+        let s = FcStructure::analyze(&w, ni, ni);
+        assert_eq!(s.live_diagonals(), ni - 4);
+        assert!(!s.is_live(3) && s.is_live(4));
+        assert!(!s.all_zero() && !s.fully_live());
+        assert!((s.live_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_live_structure_chooses_the_dense_plan() {
+        // The sparse chooser must collapse to BsgsPlan::choose on dense
+        // weights: same sweep, same pricing, same split.
+        for (d, c) in [(16usize, cost(10, 1)), (64, cost(6, 3)), (32, cost(4, 2))] {
+            let w = fc_weights_with_dead(d, d, &[]);
+            let s = FcStructure::analyze(&w, d, d);
+            let sparse = SparseBsgsPlan::choose(&s, &c);
+            let dense = BsgsPlan::choose(d, &c).expect("nontrivial d splits");
+            assert_eq!((sparse.b, sparse.g), (dense.b, dense.g));
+            assert_eq!(sparse.rotations(), dense.rotations());
+            assert_eq!(
+                sparse.rotation_mults(&c),
+                c.bsgs_rotation_mults(dense.b, dense.g)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_plan_skips_dead_steps_and_prices_lower() {
+        let ni = 32;
+        let c = cost(10, 1);
+        let dense_w = fc_weights_with_dead(ni, ni, &[]);
+        let dense = SparseBsgsPlan::choose(&FcStructure::analyze(&dense_w, ni, ni), &c);
+        // Kill 90% of the diagonals (keep 3 of 32).
+        let dead: Vec<usize> = (0..ni).filter(|k| ![0, 11, 21].contains(k)).collect();
+        let s = FcStructure::analyze(&fc_weights_with_dead(ni, ni, &dead), ni, ni);
+        assert_eq!(s.live_diagonals(), 3);
+        let sparse = SparseBsgsPlan::choose(&s, &c);
+        assert!(sparse.rotations() < dense.rotations());
+        assert!(sparse.rotation_mults(&c) < dense.rotation_mults(&c));
+        // Every step the plan reports maps to a live diagonal.
+        for &u in sparse.live_groups() {
+            let shift = u * sparse.b;
+            assert!((0..sparse.b).any(|v| shift + v < ni && s.is_live(shift + v)));
+        }
+    }
+
+    #[test]
+    fn all_zero_layer_has_an_empty_plan() {
+        let ni = 16;
+        let dead: Vec<usize> = (0..ni).collect();
+        let s = FcStructure::analyze(&fc_weights_with_dead(4, ni, &dead), 4, ni);
+        assert!(s.all_zero());
+        let plan = SparseBsgsPlan::choose(&s, &cost(10, 1));
+        assert!(plan.is_empty());
+        assert_eq!(plan.rotations(), 0);
+        assert!(plan.rotation_steps().is_empty());
+        assert_eq!(plan.rotation_mults(&cost(10, 1)), 0);
+    }
+
+    #[test]
+    fn single_diagonal_plan_is_one_rotation_at_most() {
+        let ni = 16;
+        for live in [0usize, 1, 9] {
+            let dead: Vec<usize> = (0..ni).filter(|&k| k != live).collect();
+            let s = FcStructure::analyze(&fc_weights_with_dead(ni, ni, &dead), ni, ni);
+            assert_eq!(s.live_diagonals(), 1);
+            let plan = SparseBsgsPlan::choose(&s, &cost(10, 1));
+            assert!(plan.rotations() <= 1, "live={live}: {plan:?}");
+            if live == 0 {
+                assert_eq!(plan.rotations(), 0, "diagonal 0 needs no rotation");
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_scale_factors_out_of_pow2_layers() {
+        let ni = 8;
+        let mut w = vec![0i64; ni * ni];
+        for k in 0..ni {
+            for off in 0..ni {
+                w[(off % ni) * ni + (off + k) % ni] = if k % 2 == 0 { 4 } else { -8 };
+            }
+        }
+        let s = FcStructure::analyze(&w, ni, ni);
+        assert_eq!(s.pow2_scale_log2(), Some(2));
+        // A ±1 weight pins the shared exponent to 0: nothing to factor.
+        w[0] = 1;
+        assert_eq!(FcStructure::analyze(&w, ni, ni).pow2_scale_log2(), None);
+        // A dense weight kills the factoring outright.
+        w[0] = 3;
+        assert_eq!(FcStructure::analyze(&w, ni, ni).pow2_scale_log2(), None);
+    }
+
+    #[test]
+    fn conv_structure_tracks_taps_and_channels() {
+        let (co, ci, fw) = (2usize, 4usize, 3usize);
+        let taps = fw * fw;
+        let mut w = vec![0i64; co * ci * taps];
+        // Output 0: channels 0 and 2 live, tap 4 (center) only.
+        w[4] = 2;
+        w[2 * taps + 4] = -4;
+        // Output 1: channel 1, taps 0 and 4.
+        w[(ci + 1) * taps] = 3;
+        w[(ci + 1) * taps + 4] = 1;
+        let s = ConvStructure::analyze(&w, co, ci, fw);
+        assert!(s.mask_live(0, 4) && !s.mask_live(0, 0) && s.mask_live(1, 0));
+        assert!(s.tap_live(4) && s.tap_live(0) && !s.tap_live(1));
+        assert_eq!(s.live_taps(), 2);
+        assert_eq!(s.live_channels(0), 2);
+        assert_eq!(s.live_channels(1), 1);
+        assert!(s.channel_live(0, 2) && !s.channel_live(0, 1));
+        assert!(s.output_live(0) && s.output_live(1));
+        assert!(!s.all_zero() && !s.fully_live());
+        assert_eq!(
+            s.mask_class(0, 4),
+            MaskClass::Pow2 { min_exp: 1 },
+            "2 and -4 are both pow2"
+        );
+        assert_eq!(s.mask_class(1, 0), MaskClass::Dense);
+    }
+
+    #[test]
+    fn layer_structure_dispatch() {
+        let fc = LinearLayer::Fc(FcSpec {
+            name: "fc".into(),
+            ni: 8,
+            no: 4,
+        });
+        let w = Tensor::from_data(&[4, 8], vec![0; 32]);
+        let s = LayerStructure::analyze(&fc, &w);
+        assert!(s.all_zero());
+        assert_eq!(s.live_fraction(), 0.0);
+        let d = LayerStructure::dense(&fc);
+        assert!(!d.all_zero());
+        assert_eq!(d.live_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Sparse ↔ dense equivalence, pinned:
+//!
+//! * a sparsity-planned `HomFc` (SparseBsgsPlan) decrypts **bit-identically**
+//!   to the dense BSGS plan of the same `(b, g)` shape on the same weights —
+//!   across sparsity patterns (fully live, 50%, 90%, single diagonal) and at
+//!   every reachable level of a deep chain (skipped terms are zero
+//!   polynomials, so even the ciphertext bits agree);
+//! * a sparse `HomConv2d` (dead taps, dead channels, live-channel reduces)
+//!   decodes to exactly the cleartext reference under both schedules and at
+//!   every reachable level;
+//! * all-zero layers produce transparent-zero outputs with **zero**
+//!   rotations and zero multiplies, at every level, for both layer kinds.
+
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Decryptor, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+};
+use cheetah_core::linear::{HomConv2d, HomFc};
+use cheetah_core::{BsgsPlan, Schedule};
+use cheetah_nn::inference::eval_linear;
+use cheetah_nn::{ConvSpec, FcSpec, LinearLayer, Tensor};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+struct Ctx {
+    params: BfvParams,
+    encoder: BatchEncoder,
+    enc: Encryptor,
+    dec: Decryptor,
+    eval: Evaluator,
+    keys: GaloisKeys,
+}
+
+fn ctx(params: BfvParams, steps: &[i64], seed: u64) -> Ctx {
+    let mut kg = KeyGenerator::from_seed(params.clone(), seed);
+    let pk = kg.public_key().unwrap();
+    let keys = kg.galois_keys_for_steps(steps).unwrap();
+    Ctx {
+        params: params.clone(),
+        encoder: BatchEncoder::new(params.clone()),
+        enc: Encryptor::from_public_key(pk, seed ^ 0x5eed),
+        dec: Decryptor::new(kg.secret_key().clone()),
+        eval: Evaluator::new(params),
+        keys,
+    }
+}
+
+/// A 3-limb chain with levels to reach.
+fn deep_params() -> BfvParams {
+    BfvParams::builder()
+        .degree(4096)
+        .plain_bits(17)
+        .moduli_bits(&[36, 36, 36])
+        .a_dcmp(1 << 6)
+        .build()
+        .unwrap()
+}
+
+const NI: usize = 16;
+
+fn fc_spec() -> FcSpec {
+    // Square, so diagonals have no alias partners and patterns prune
+    // exactly the diagonals they name.
+    FcSpec {
+        name: "fc-sparse".into(),
+        ni: NI,
+        no: NI,
+    }
+}
+
+/// Square FC weights whose live generalized diagonals are exactly `live`.
+fn fc_weights_with_live(live: &[usize], seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut data = vec![0i64; NI * NI];
+    for &k in live {
+        for j in 0..NI {
+            let v = loop {
+                let v = rng.random_range(-4i64..=4);
+                if v != 0 {
+                    break v;
+                }
+            };
+            data[(j % NI) * NI + (j + k) % NI] = v;
+        }
+    }
+    Tensor::from_data(&[NI, NI], data)
+}
+
+/// The five sparsity patterns of the suite, by index.
+fn fc_pattern(sel: usize) -> (&'static str, Vec<usize>) {
+    match sel {
+        0 => ("full", (0..NI).collect()),
+        1 => ("half", (0..NI).step_by(2).collect()),
+        2 => ("sparse90", vec![3, 11]),
+        3 => ("single", vec![5]),
+        _ => ("zero", vec![]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Sparse FC bit-identity: for every pattern with live weight, the
+    /// auto-chosen kernel decrypts to the same full slot vector as a dense
+    /// BSGS of the same `(b, g)` on the same weights, at every reachable
+    /// level — and never rotates more than the dense plan.
+    #[test]
+    fn sparse_fc_matches_dense_plan_across_patterns_and_levels(
+        seed in any::<u64>(),
+        sel in 0usize..4,
+    ) {
+        let (pattern, live) = fc_pattern(sel);
+        let s = fc_spec();
+        let mut c = ctx(deep_params(), &HomFc::required_steps(&s), seed % 911 + 1);
+        let weights = fc_weights_with_live(&live, seed ^ 0xd1a6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1297);
+        let input = Tensor::from_data(
+            &[NI],
+            (0..NI).map(|_| rng.random_range(-9i64..=9)).collect(),
+        );
+        let expect = eval_linear(&LinearLayer::Fc(s.clone()), &weights, &input);
+
+        let sparse = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned)
+            .unwrap();
+        // Fully-live structures collapse to the plain dense kernel; pruned
+        // ones carry a sparse plan.
+        let (b, g, sparse_rotations) = match (sparse.plan(), sparse.sparse_plan()) {
+            (Some(p), None) => {
+                prop_assert_eq!(pattern, "full", "dense collapse only when fully live");
+                (p.b, p.g, p.rotations())
+            }
+            (None, Some(p)) => (p.b, p.g, p.rotations()),
+            other => {
+                prop_assert!(false, "no plan chosen: {:?}", other);
+                unreachable!()
+            }
+        };
+        let dense = HomFc::with_plan(
+            &s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned,
+            Some(BsgsPlan { b, g }),
+        ).unwrap();
+        prop_assert!(
+            sparse_rotations <= BsgsPlan { b, g }.rotations(),
+            "{}: sparse plan must not rotate more than dense", pattern
+        );
+
+        let fresh = c.enc
+            .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+            .unwrap();
+        let mut reached = 0;
+        for level in 0..c.params.levels() {
+            let ct = c.eval.mod_switch_to(&fresh, level).unwrap();
+            let predicted = dense.noise_after(ct.noise(), &c.params, level);
+            if predicted.budget_bits_statistical_at(&c.params, level) < 2.0 {
+                continue;
+            }
+            reached += 1;
+
+            c.eval.reset_op_counts();
+            let a = sparse.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+            let counts = c.eval.op_counts();
+            prop_assert_eq!(
+                counts.rotate as usize, sparse_rotations,
+                "{} level {}: rotation count off plan", pattern, level
+            );
+            let d = dense.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+
+            // Skipped terms are zero polynomials: the ciphertexts agree
+            // bit for bit, not just after decryption.
+            prop_assert_eq!(a.c0(), d.c0(), "{} level {}: c0 diverged", pattern, level);
+            prop_assert_eq!(a.c1(), d.c1(), "{} level {}: c1 diverged", pattern, level);
+
+            let slots = c.encoder.decode_signed(&c.dec.decrypt_checked(&a).unwrap());
+            prop_assert_eq!(
+                sparse.decode_output(&slots).data(), expect.data(),
+                "{} level {}: diverged from cleartext", pattern, level
+            );
+        }
+        prop_assert!(reached >= 2, "levels 0 and 1 must both be reachable");
+    }
+
+    /// Sparse conv correctness: dead taps and dead channels are skipped
+    /// (live-channel reduces included) and the decoded outputs equal the
+    /// cleartext reference under both schedules at every reachable level.
+    #[test]
+    fn sparse_conv_matches_reference_across_patterns_levels_and_schedules(
+        seed in any::<u64>(),
+        sel in 0usize..4,
+    ) {
+        let s = ConvSpec {
+            name: "conv-sparse".into(),
+            w: 4,
+            fw: 3,
+            ci: 2,
+            co: 2,
+            stride: 1,
+            pad: 1,
+        };
+        let taps = s.fw * s.fw;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc0de);
+        let mut data = vec![0i64; s.co * s.ci * taps];
+        // Pattern: which (o, c, tap) cells stay live.
+        let live_cell: &dyn Fn(usize, usize, usize) -> bool = match sel {
+            0 => &|_, _, _| true,                                  // full
+            1 => &|_, _, tap| ![0usize, 2, 6, 8].contains(&tap),   // corners dead
+            2 => &|o, c, tap| o == 0 && c == 1 && tap == 4,        // 90%+: one cell
+            3 => &|o, _, tap| o == 1 && tap == 3,                  // single mask
+            _ => unreachable!(),
+        };
+        for o in 0..s.co {
+            for ch in 0..s.ci {
+                for tap in 0..taps {
+                    if live_cell(o, ch, tap) {
+                        data[(o * s.ci + ch) * taps + tap] = loop {
+                            let v = rng.random_range(-4i64..=4);
+                            if v != 0 { break v; }
+                        };
+                    }
+                }
+            }
+        }
+        let weights = Tensor::from_data(&[s.co, s.ci, s.fw, s.fw], data);
+        let input = Tensor::from_data(
+            &[s.ci, s.w, s.w],
+            (0..s.ci * s.w * s.w).map(|_| rng.random_range(-5i64..=5)).collect(),
+        );
+        let expect = eval_linear(&LinearLayer::Conv(s.clone()), &weights, &input);
+
+        for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+            let mut c = ctx(deep_params(), &HomConv2d::required_steps(&s), seed % 907 + 1);
+            let layer = HomConv2d::new(&s, &weights, &c.encoder, &c.eval, schedule).unwrap();
+            if sel > 0 {
+                prop_assert!(
+                    !layer.structure().fully_live(),
+                    "pattern {} must prune something", sel
+                );
+            }
+            let fresh = c.enc
+                .encrypt(&HomConv2d::encode_input(&s, &input, &c.encoder).unwrap())
+                .unwrap();
+            let mut reached = 0;
+            for level in 0..c.params.levels() {
+                let ct = c.eval.mod_switch_to(&fresh, level).unwrap();
+                let predicted = layer.noise_after(ct.noise(), &c.params, level);
+                if predicted.budget_bits_statistical_at(&c.params, level) < 2.0 {
+                    continue;
+                }
+                reached += 1;
+                let outputs = layer.apply(&ct, &c.eval, &c.keys).unwrap();
+                for (o, out_ct) in outputs.iter().enumerate() {
+                    let slots = c.encoder.decode_signed(&c.dec.decrypt_checked(out_ct).unwrap());
+                    let img = layer.decode_output(&slots);
+                    for y in 0..s.w {
+                        for x in 0..s.w {
+                            prop_assert_eq!(
+                                img.at3(0, y, x), expect.at3(o, y, x),
+                                "pattern {} {:?} level {}: (o={}, y={}, x={})",
+                                sel, schedule, level, o, y, x
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert!(reached >= 1, "level 0 must be reachable");
+        }
+    }
+}
+
+/// All-zero layers cost nothing: transparent-zero outputs, zero rotations,
+/// zero plaintext multiplies — at every level, both layer kinds, both
+/// schedules for conv.
+#[test]
+fn all_zero_layers_are_transparent_and_rotation_free_at_every_level() {
+    let params = deep_params();
+
+    // FC.
+    let s = fc_spec();
+    let mut c = ctx(params.clone(), &HomFc::required_steps(&s), 61);
+    let weights = fc_weights_with_live(&[], 0);
+    let fc = HomFc::new(&s, &weights, &c.encoder, &c.eval, Schedule::PartialAligned).unwrap();
+    assert!(fc.rotation_steps().is_empty(), "no keys needed at all");
+    let input = Tensor::from_data(&[NI], (0..NI as i64).collect());
+    let fresh = c
+        .enc
+        .encrypt(&HomFc::encode_input(&s, &input, &c.encoder).unwrap())
+        .unwrap();
+    for level in 0..params.levels() {
+        let ct = c.eval.mod_switch_to(&fresh, level).unwrap();
+        c.eval.reset_op_counts();
+        let out = fc.apply_threaded(&ct, &c.eval, &c.keys, 1).unwrap();
+        let counts = c.eval.op_counts();
+        assert_eq!(counts.rotate, 0, "level {level}: all-zero FC rotated");
+        assert_eq!(counts.mul, 0, "level {level}: all-zero FC multiplied");
+        assert_eq!(out.level(), level);
+        assert_eq!(
+            out.noise().bound_log2,
+            f64::NEG_INFINITY,
+            "level {level}: output must be transparent zero"
+        );
+        let slots = c
+            .encoder
+            .decode_signed(&c.dec.decrypt_checked(&out).unwrap());
+        assert!(slots.iter().all(|&v| v == 0));
+    }
+
+    // Conv, both schedules.
+    let cs = ConvSpec {
+        name: "conv-zero".into(),
+        w: 4,
+        fw: 3,
+        ci: 2,
+        co: 2,
+        stride: 1,
+        pad: 1,
+    };
+    let zero_w = Tensor::from_data(
+        &[cs.co, cs.ci, cs.fw, cs.fw],
+        vec![0i64; cs.co * cs.ci * cs.fw * cs.fw],
+    );
+    let input = Tensor::from_data(&[cs.ci, cs.w, cs.w], (0..32i64).collect());
+    for schedule in [Schedule::PartialAligned, Schedule::InputAligned] {
+        let mut c = ctx(params.clone(), &HomConv2d::required_steps(&cs), 62);
+        let conv = HomConv2d::new(&cs, &zero_w, &c.encoder, &c.eval, schedule).unwrap();
+        assert!(conv.structure().all_zero());
+        assert!(conv.rotation_steps().is_empty());
+        let fresh = c
+            .enc
+            .encrypt(&HomConv2d::encode_input(&cs, &input, &c.encoder).unwrap())
+            .unwrap();
+        for level in 0..params.levels() {
+            let ct = c.eval.mod_switch_to(&fresh, level).unwrap();
+            c.eval.reset_op_counts();
+            let outputs = conv.apply(&ct, &c.eval, &c.keys).unwrap();
+            let counts = c.eval.op_counts();
+            assert_eq!(counts.rotate, 0, "{schedule:?} level {level}: rotated");
+            assert_eq!(counts.mul, 0, "{schedule:?} level {level}: multiplied");
+            for out in &outputs {
+                assert_eq!(out.noise().bound_log2, f64::NEG_INFINITY);
+                let slots = c
+                    .encoder
+                    .decode_signed(&c.dec.decrypt_checked(out).unwrap());
+                assert!(slots.iter().all(|&v| v == 0));
+            }
+        }
+    }
+}

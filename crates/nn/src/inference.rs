@@ -66,6 +66,193 @@ impl Weights {
     pub fn weight_bits(&self) -> u32 {
         64 - (self.bound.unsigned_abs()).leading_zeros() + 1
     }
+
+    /// Structured pruning to (at least) a target sparsity fraction,
+    /// reproducible from `seed`. Pruning follows the units the
+    /// homomorphic layers can actually skip, not scattered scalars:
+    ///
+    /// * FC tensors (`[no, ni]`) zero whole **generalized diagonals** —
+    ///   and because diagonals `k` and `k + a·no` read the same matrix
+    ///   cells (they are cyclic shifts of one another), the unit is the
+    ///   *alias class* `k mod gcd(no, ni)`: classes die whole, so the
+    ///   diagonal structure analyzer sees every member dead.
+    /// * Conv tensors (`[co, ci, fw, fw]`) zero whole **taps** per output
+    ///   channel (the `(o, tap)` mask across all input channels) — the
+    ///   unit one rotation-and-multiply serves.
+    ///
+    /// `frac` of each tensor's units (rounded down) are chosen by a
+    /// seeded Fisher–Yates pass per layer; `frac ≥ 1.0` zeroes the layer
+    /// entirely.
+    pub fn prune_to_sparsity(&mut self, frac: f64, seed: u64) {
+        let frac = frac.clamp(0.0, 1.0);
+        for (idx, tensor) in self.tensors.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9));
+            match *tensor.shape() {
+                [no, ni] => {
+                    let g = gcd(no, ni);
+                    let dead = pick_units(g, frac, &mut rng);
+                    let data = tensor.data_mut();
+                    for r in 0..no {
+                        for c in 0..ni {
+                            // Cell (r, c) lies on exactly the diagonals
+                            // k ≡ c − r (mod gcd(no, ni)).
+                            let class = ((c % g) + g - (r % g)) % g;
+                            if dead[class] {
+                                data[r * ni + c] = 0;
+                            }
+                        }
+                    }
+                }
+                [co, _ci, fw, fh] => {
+                    let taps = fw * fh;
+                    let dead = pick_units(co * taps, frac, &mut rng);
+                    let data = tensor.data_mut();
+                    let per_out = data.len() / co;
+                    for (i, v) in data.iter_mut().enumerate() {
+                        let o = i / per_out;
+                        let tap = i % taps;
+                        if dead[o * taps + tap] {
+                            *v = 0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Rounds every weight to the nearest signed power of two (ties keep
+    /// the smaller magnitude; zero stays zero), clamped to `2^max_exp` —
+    /// the shift-add weight regime of pow2 `mul_plain`.
+    pub fn round_to_pow2(&mut self, max_exp: u32) {
+        for tensor in &mut self.tensors {
+            for w in tensor.data_mut() {
+                *w = round_weight_to_pow2(*w, max_exp);
+            }
+        }
+        self.bound = self.bound.min(1i64 << max_exp);
+    }
+
+    /// Fraction of zero weights across all layers.
+    pub fn sparsity(&self) -> f64 {
+        let (zeros, total) = self.tensors.iter().fold((0usize, 0usize), |(z, t), w| {
+            (
+                z + w.data().iter().filter(|&&v| v == 0).count(),
+                t + w.data().len(),
+            )
+        });
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Seeded Fisher–Yates selection of `⌊frac·n⌋` dead units out of `n`.
+fn pick_units(n: usize, frac: f64, rng: &mut StdRng) -> Vec<bool> {
+    let kill = ((n as f64) * frac).floor() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut dead = vec![false; n];
+    for &u in order.iter().take(kill) {
+        dead[u] = true;
+    }
+    dead
+}
+
+/// Nearest signed power of two (linear distance, ties toward the smaller
+/// magnitude); zero stays zero; magnitude clamped to `2^max_exp`.
+pub fn round_weight_to_pow2(w: i64, max_exp: u32) -> i64 {
+    if w == 0 {
+        return 0;
+    }
+    let mag = w.unsigned_abs();
+    let floor_exp = 63 - mag.leading_zeros();
+    let exp = if floor_exp >= max_exp {
+        max_exp
+    } else {
+        let lo = 1u64 << floor_exp;
+        let hi = lo << 1;
+        if mag - lo <= hi - mag {
+            floor_exp
+        } else {
+            floor_exp + 1
+        }
+    };
+    let q = 1i64 << exp.min(max_exp);
+    if w < 0 {
+        -q
+    } else {
+        q
+    }
+}
+
+/// Accuracy cost of the pow2 weight regime for one model: compares a
+/// plaintext forward pass with integer weights against the same weights
+/// rounded to signed powers of two, over deterministic inputs.
+#[derive(Debug, Clone)]
+pub struct Pow2Report {
+    /// Model name.
+    pub model: String,
+    /// Fraction of output entries that match exactly.
+    pub exact_match: f64,
+    /// Mean relative error of the pow2 outputs (`|Δ| / max(1, |ref|)`).
+    pub mean_rel_err: f64,
+    /// Worst relative error over all outputs and inputs.
+    pub max_rel_err: f64,
+    /// Fraction of zero weights after rounding (pow2 keeps zeros).
+    pub sparsity: f64,
+}
+
+/// Builds the pow2 accuracy-vs-speed report for a network: `count`
+/// deterministic inputs, integer weights vs their pow2 rounding.
+pub fn pow2_accuracy_report(
+    net: &Network,
+    weights: &Weights,
+    max_exp: u32,
+    input_bound: i64,
+    seed: u64,
+    count: usize,
+) -> Pow2Report {
+    let mut p2 = weights.clone();
+    p2.round_to_pow2(max_exp);
+    let mut exact = 0usize;
+    let mut total = 0usize;
+    let mut err_sum = 0.0f64;
+    let mut err_max = 0.0f64;
+    for i in 0..count {
+        let input = random_input(&net.input_shape, input_bound, seed + i as u64);
+        let reference = infer(net, weights, &input).output;
+        let rounded = infer(net, &p2, &input).output;
+        for (&r, &p) in reference.data().iter().zip(rounded.data()) {
+            let rel = (r - p).abs() as f64 / (r.abs().max(1)) as f64;
+            if rel == 0.0 {
+                exact += 1;
+            }
+            err_sum += rel;
+            err_max = err_max.max(rel);
+            total += 1;
+        }
+    }
+    Pow2Report {
+        model: net.name.clone(),
+        exact_match: exact as f64 / total.max(1) as f64,
+        mean_rel_err: err_sum / total.max(1) as f64,
+        max_rel_err: err_max,
+        sparsity: p2.sparsity(),
+    }
 }
 
 /// Result of a plaintext forward pass.
@@ -278,6 +465,92 @@ mod tests {
         assert_eq!(w.weight_bits(), 4); // 3 magnitude bits + sign
         let w = Weights::random(&net, 8, 1);
         assert_eq!(w.weight_bits(), 5);
+    }
+
+    #[test]
+    fn structured_pruning_kills_whole_units_deterministically() {
+        // FC: a square layer's units are its ni generalized diagonals.
+        let net = Network {
+            name: "fc".into(),
+            input_shape: vec![16],
+            layers: vec![Layer::fc("f", 16, 16)],
+        };
+        let mut w = Weights::random(&net, 7, 11);
+        let mut w2 = w.clone();
+        w.prune_to_sparsity(0.5, 99);
+        w2.prune_to_sparsity(0.5, 99);
+        assert_eq!(w.layer(0).data(), w2.layer(0).data(), "seeded prune");
+        let data = w.layer(0).data();
+        let mut dead_diags = 0;
+        for k in 0..16 {
+            let cells: Vec<i64> = (0..16)
+                .map(|j| data[(j % 16) * 16 + (j + k) % 16])
+                .collect();
+            let zero = cells.iter().all(|&v| v == 0);
+            let live = cells.iter().any(|&v| v != 0);
+            assert!(zero || live);
+            if zero {
+                dead_diags += 1;
+            }
+        }
+        assert_eq!(dead_diags, 8, "half the diagonal units die whole");
+
+        // Conv: units are (output, tap) masks across all input channels.
+        let cnet = tiny_cnn();
+        let mut cw = Weights::random(&cnet, 3, 12);
+        cw.prune_to_sparsity(0.9, 7);
+        assert!(cw.sparsity() > 0.6, "90% unit pruning shows up in weights");
+        let conv = cw.layer(0);
+        if let &[co, ci, fw, fh] = conv.shape() {
+            let taps = fw * fh;
+            for o in 0..co {
+                for tap in 0..taps {
+                    let vals: Vec<i64> = (0..ci)
+                        .map(|c| conv.data()[o * ci * taps + c * taps + tap])
+                        .collect();
+                    let zero = vals.iter().all(|&v| v == 0);
+                    let any = vals.iter().any(|&v| v != 0);
+                    assert!(zero || any, "tap units die whole");
+                }
+            }
+        }
+
+        // frac = 1.0 zeroes everything.
+        let mut all = Weights::random(&cnet, 3, 13);
+        all.prune_to_sparsity(1.0, 1);
+        assert_eq!(all.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn pow2_rounding_and_report() {
+        let net = tiny_cnn();
+        let mut w = Weights::random(&net, 15, 21);
+        w.round_to_pow2(3);
+        for i in 0..w.len() {
+            for &v in w.layer(i).data() {
+                assert!(
+                    v == 0 || (v.unsigned_abs().is_power_of_two() && v.abs() <= 8),
+                    "rounded weight {v} is not a bounded signed power of two"
+                );
+            }
+        }
+        let w = Weights::random(&net, 15, 21);
+        let report = pow2_accuracy_report(&net, &w, 3, 5, 33, 4);
+        assert_eq!(report.model, net.name);
+        assert!(report.mean_rel_err >= 0.0 && report.mean_rel_err <= report.max_rel_err);
+        assert!(
+            report.max_rel_err < 2.0,
+            "pow2 rounding halves a weight at worst; outputs stay the same scale (got {})",
+            report.max_rel_err
+        );
+        assert!((0.0..=1.0).contains(&report.exact_match));
+        // Pure pow2 weights round to themselves: a report on already-pow2
+        // weights is exact.
+        let mut p2 = Weights::random(&net, 15, 22);
+        p2.round_to_pow2(3);
+        let exact = pow2_accuracy_report(&net, &p2, 3, 5, 34, 2);
+        assert_eq!(exact.exact_match, 1.0);
+        assert_eq!(exact.max_rel_err, 0.0);
     }
 
     #[test]

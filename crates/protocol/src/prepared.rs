@@ -36,14 +36,15 @@ pub(crate) enum HomLayer {
 }
 
 impl HomLayer {
-    /// Rotation steps this prepared layer needs Galois keys for. Conv
-    /// layers use the static tap/stride superset (it already covers every
-    /// reduce plan); FC layers report their exact BSGS (or diagonal) plan
-    /// steps, so a BSGS session generates `O(√d)` keys per FC layer
-    /// instead of `d − 1`.
+    /// Rotation steps this prepared layer needs Galois keys for. Both
+    /// layer kinds report their *instance* plan steps — live conv taps
+    /// plus the chosen channel reduces, and the exact FC BSGS / sparse /
+    /// diagonal plan — so a session generates keys only for rotations the
+    /// prepared weights actually perform. A 90%-sparse layer's keygen
+    /// shrinks with its plan; an all-zero layer needs no keys at all.
     fn rotation_steps(&self) -> Vec<i64> {
         match self {
-            HomLayer::Conv(c) => HomConv2d::required_steps(c.spec()),
+            HomLayer::Conv(c) => c.rotation_steps(),
             HomLayer::Fc(f) => f.rotation_steps(),
         }
     }
@@ -51,10 +52,22 @@ impl HomLayer {
     /// Human-readable rotation-plan label for transcripts and reports.
     fn plan_label(&self) -> String {
         match self {
-            HomLayer::Conv(c) => format!("conv reduce {:?}", c.reduce_plan()),
-            HomLayer::Fc(f) => match f.plan() {
-                Some(p) => format!("fc bsgs b={} g={}", p.b, p.g),
-                None => "fc diag".to_string(),
+            HomLayer::Conv(c) => {
+                if c.structure().fully_live() {
+                    format!("conv reduce {:?}", c.reduce_plan())
+                } else {
+                    format!(
+                        "conv sparse live={}/{} reduce {:?}",
+                        c.structure().live_taps(),
+                        c.spec().co * c.spec().ci * c.spec().fw * c.spec().fw,
+                        c.reduce_plan()
+                    )
+                }
+            }
+            HomLayer::Fc(f) => match (f.plan(), f.sparse_plan()) {
+                (Some(p), _) => format!("fc bsgs b={} g={}", p.b, p.g),
+                (None, Some(p)) => format!("fc sparse b={} g={} rot={}", p.b, p.g, p.rotations()),
+                (None, None) => "fc diag".to_string(),
             },
         }
     }
@@ -224,35 +237,53 @@ impl PreparedLayers {
         params: BfvParams,
         schedule: Schedule,
     ) -> Result<Self> {
+        Self::new_with_levels(net, weights, params, schedule, None)
+    }
+
+    /// [`PreparedLayers::new`] with optional per-linear-layer planned
+    /// levels: each layer's plan (BSGS width, reduce shape, sparse
+    /// pruning) is then priced with the cost model *at its planned level*
+    /// instead of level 0 — fewer live limbs make rotations relatively
+    /// cheaper and can tip the plan choice.
+    fn new_with_levels(
+        net: &Network,
+        weights: &Weights,
+        params: BfvParams,
+        schedule: Schedule,
+        levels: Option<&[usize]>,
+    ) -> Result<Self> {
         let encoder = BatchEncoder::new(params.clone());
         let evaluator = Evaluator::new(params.clone());
 
         // Prepare every linear layer, then collect exactly the rotation
         // steps the prepared layers' plans need (a BSGS FC layer needs
-        // O(√d) keys, not d − 1).
+        // O(√d) keys, not d − 1; sparse layers only their live steps).
         let mut layers = Vec::new();
         let mut leading = Vec::new();
         let mut bundles: Vec<Vec<Layer>> = Vec::new();
         let mut linear_idx = 0usize;
         for layer in &net.layers {
             if let Layer::Linear(lin) = layer {
+                let level = levels.map_or(0, |ls| ls[linear_idx]);
                 match lin {
                     LinearLayer::Conv(c) => {
-                        layers.push(HomLayer::Conv(HomConv2d::new(
+                        layers.push(HomLayer::Conv(HomConv2d::new_at_level(
                             c,
                             weights.layer(linear_idx),
                             &encoder,
                             &evaluator,
                             schedule,
+                            level,
                         )?));
                     }
                     LinearLayer::Fc(f) => {
-                        layers.push(HomLayer::Fc(HomFc::new(
+                        layers.push(HomLayer::Fc(HomFc::new_at_level(
                             f,
                             weights.layer(linear_idx),
                             &encoder,
                             &evaluator,
                             schedule,
+                            level,
                         )?));
                     }
                 }
@@ -295,13 +326,25 @@ impl PreparedLayers {
     /// [`Error::Unsupported`] when the plan's layer count does not match
     /// the network's linear layers; otherwise as [`PreparedLayers::new`].
     pub fn from_chain_plan(net: &Network, weights: &Weights, plan: &ChainPlan) -> Result<Self> {
-        let mut prepared = Self::new(net, weights, plan.params.clone(), plan.schedule)?;
-        if plan.layers.len() != prepared.layers.len() {
+        let linear_count = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Linear(_)))
+            .count();
+        if plan.layers.len() != linear_count {
             return Err(Error::Unsupported(
                 "chain plan layer count does not match the network",
             ));
         }
-        prepared.planned_levels = Some(plan.levels());
+        let levels = plan.levels();
+        let mut prepared = Self::new_with_levels(
+            net,
+            weights,
+            plan.params.clone(),
+            plan.schedule,
+            Some(&levels),
+        )?;
+        prepared.planned_levels = Some(levels);
         Ok(prepared)
     }
 

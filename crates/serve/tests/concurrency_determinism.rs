@@ -195,6 +195,58 @@ fn solver_planned_model_serves_concurrent_clients() {
 }
 
 #[test]
+fn sparse_and_pow2_models_serve_concurrent_clients_exactly() {
+    // Weight-structure variants through the full serving stack: an
+    // 80%-pruned model (sparse BSGS plans, live-channel reduces, smaller
+    // Galois key set) and a pow2-rounded model (shift-add `mul_plain`
+    // plaintexts) each serve a concurrent client fleet bit-identically to
+    // the cleartext reference on the same transformed weights.
+    let net = tiny_cnn();
+    let inputs = client_inputs(&net.input_shape, 3, 7100, CLIENTS);
+    let (_, params) = preset_chains().pop().unwrap(); // rns_3x36
+
+    let mut sparse = Weights::random(&net, 2, 424);
+    sparse.prune_to_sparsity(0.8, 17);
+    let mut pow2 = Weights::random(&net, 3, 425);
+    pow2.round_to_pow2(2);
+
+    let dense_steps = PreparedModel::prepare(
+        &net,
+        &Weights::random(&net, 2, 424),
+        params.clone(),
+        Schedule::PartialAligned,
+    )
+    .unwrap()
+    .layers()
+    .required_steps()
+    .len();
+
+    for (what, weights) in [("sparse", &sparse), ("pow2", &pow2)] {
+        let model = PreparedModel::prepare(&net, weights, params.clone(), Schedule::PartialAligned)
+            .unwrap();
+        if what == "sparse" {
+            assert!(
+                model.layers().required_steps().len() < dense_steps,
+                "sparse serving model must need fewer Galois steps ({} vs {dense_steps})",
+                model.layers().required_steps().len()
+            );
+        }
+        let pool = ServerPool::new(Arc::clone(&model), CLIENTS);
+        let results = pool.run(drivers(&model, &inputs));
+        assert_eq!(results.len(), CLIENTS);
+        for (i, r) in results.iter().enumerate() {
+            let out = r.result.as_ref().unwrap();
+            let expect = infer(&net, weights, &inputs[i]).output;
+            assert_eq!(
+                out.data(),
+                expect.data(),
+                "{what} client {i}: served inference diverged from cleartext"
+            );
+        }
+    }
+}
+
+#[test]
 fn faulted_client_does_not_perturb_neighbors() {
     let net = tiny_cnn();
     let weights = Weights::random(&net, 2, 424);

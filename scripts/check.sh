@@ -48,6 +48,26 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
 
+    echo "==> sparse/pow2 FC regression gate (committed non-smoke BENCH_he_ops.json)"
+    # Weight-structure plans must keep paying: a 90%-pruned FC layer's
+    # SparseBsgsPlan and the pow2 (50%-sparse, scale-factored) layer must
+    # both beat the dense BSGS plan on the 3-limb preset — the rotations
+    # and mask multiplies the structure analyzer skips are real time.
+    fc_sparse90=$(json_val BENCH_he_ops.json l3_fc_bsgs_sparse90)
+    fc_pow2=$(json_val BENCH_he_ops.json l3_fc_pow2)
+    if [[ -z "$fc_sparse90" || -z "$fc_pow2" ]]; then
+        echo "FAIL: BENCH_he_ops.json lacks l3_fc_bsgs_sparse90 / l3_fc_pow2"
+        exit 1
+    fi
+    if ! awk -v s="$fc_sparse90" -v b="$fc_bsgs" 'BEGIN { exit !(s < b) }'; then
+        echo "FAIL: committed l3_fc_bsgs_sparse90 ($fc_sparse90 ns) is not faster than dense l3_fc_bsgs ($fc_bsgs ns)"
+        exit 1
+    fi
+    if ! awk -v p="$fc_pow2" -v b="$fc_bsgs" 'BEGIN { exit !(p < b) }'; then
+        echo "FAIL: committed l3_fc_pow2 ($fc_pow2 ns) is not faster than dense l3_fc_bsgs ($fc_bsgs ns)"
+        exit 1
+    fi
+
     echo "==> hybrid key-switch regression gate (committed non-smoke BENCH_he_ops.json)"
     # Special-prime hybrid rotation vs its equal-total-plane-count digit
     # twin: hybrid_1x54 (1 data limb + P, two planes) against rns_2x30
@@ -109,8 +129,9 @@ done
 # on the same boundary (it feeds client bytes straight into decode) and
 # must hold the same line. The chain solver (crates/core/src/ptune) feeds
 # serving-side preparation, so an infeasible request must come back as a
-# typed InfeasibleLayer, never a panic.
-for d in crates/protocol/src crates/serve/src crates/core/src/ptune; do
+# typed InfeasibleLayer, never a panic. The weight-structure analyzer
+# (crates/core/src/sparse.rs) also feeds preparation and holds the line.
+for d in crates/protocol/src crates/serve/src crates/core/src/ptune crates/core/src/sparse.rs; do
     if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' "$d"; then
         echo "FAIL: panic-family macro in $d (boundary must return typed errors)"
         exit 1

@@ -182,6 +182,58 @@ fn tiny_cnn_conformance_on_all_preset_chains() {
 }
 
 #[test]
+fn pruned_tiny_cnn_runs_sparse_plans_with_fewer_keys_and_stays_exact() {
+    // Structured pruning flows end to end: the prepared model picks
+    // sparse BSGS / live-channel plans, the session generates Galois keys
+    // for strictly fewer rotation steps than the dense model, and the
+    // decrypted output still matches the cleartext reference on the same
+    // pruned weights bit-exactly — on every preset chain.
+    use std::sync::Arc;
+
+    use cheetah::protocol::PreparedLayers;
+
+    let net = tiny_cnn();
+    let mut weights = Weights::random(&net, 2, 2024);
+    weights.prune_to_sparsity(0.6, 31);
+    let input = random_input(&net.input_shape, 3, 2025);
+    let expect = infer(&net, &weights, &input).output;
+
+    for (name, params) in preset_chains() {
+        let dense_steps = {
+            let dense = Weights::random(&net, 2, 2024);
+            PreparedLayers::new(&net, &dense, params.clone(), Schedule::PartialAligned)
+                .unwrap()
+                .required_steps()
+                .len()
+        };
+        let prepared = Arc::new(
+            PreparedLayers::new(&net, &weights, params.clone(), Schedule::PartialAligned).unwrap(),
+        );
+        assert!(
+            prepared.required_steps().len() < dense_steps,
+            "{name}: sparse keygen must shrink ({} vs dense {dense_steps})",
+            prepared.required_steps().len()
+        );
+        let fc_plans: Vec<String> = (1..3).map(|k| prepared.plan_label(k)).collect();
+        assert!(
+            fc_plans.iter().any(|p| p.contains("sparse")),
+            "{name}: pruned FC layers should carry sparse plans, got {fc_plans:?}"
+        );
+
+        let mut session =
+            cheetah::protocol::PrivateInferenceSession::with_prepared(Arc::clone(&prepared), 7)
+                .unwrap();
+        let (output, transcript) = session.run(&input).unwrap();
+        assert_eq!(
+            output.data(),
+            expect.data(),
+            "{name}: sparse session diverged from cleartext reference"
+        );
+        assert_eq!(transcript.rounds(), 4);
+    }
+}
+
+#[test]
 fn deep_chain_ships_reduced_levels_with_consistent_reports() {
     // On the 3×36 chain the statistical planner drops every layer at least
     // one level; the reports and the transcript must agree on the level.
