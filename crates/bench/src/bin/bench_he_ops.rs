@@ -23,6 +23,17 @@
 //! the hybrid rotation does not beat its digit twin. `hoist_hybrid` is
 //! the one-time hoist on the hybrid chain (`ops_ns` section).
 //!
+//! The scalar-vs-vector pairs pin the SIMD work: `ntt` / `ntt_simd`
+//! (a 4096-point forward+inverse roundtrip under the forced scalar
+//! reference vs the runtime-detected backend) and the per-preset
+//! `l{1,2,3}_rotate` / `l{1,2,3}_rotate_simd` twins. The unsuffixed keys
+//! are **pinned to the scalar backend** so their history stays comparable
+//! across the SIMD work; the `_simd` twins run whatever
+//! `cheetah_bfv::simd::detect()` picks. Without `--features simd` both
+//! halves clamp to scalar and the pairs read equal — the keys are emitted
+//! unconditionally so the smoke-mode key-regression gate holds in every
+//! build.
+//!
 //! Run: `cargo run --release -p cheetah-bench --bin bench_he_ops [out.json]`
 //!
 //! Set `BENCH_SMOKE=1` for CI smoke mode: the measurement budget drops to
@@ -35,6 +46,7 @@ use std::time::Instant;
 
 use cheetah_bfv::batch::PolyBatch;
 use cheetah_bfv::poly::Representation;
+use cheetah_bfv::simd::{self, SimdBackend};
 use cheetah_bfv::{
     BatchEncoder, BfvParams, Ciphertext, Encryptor, Evaluator, GaloisKeys, HoistedDecomposition,
     KeyGenerator, PreparedPlaintext, Scratch,
@@ -61,6 +73,15 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs `f` with the kernel backend forced to `b` (`None` = runtime
+/// detection), restoring automatic detection afterwards.
+fn with_backend<T>(b: Option<SimdBackend>, f: impl FnOnce() -> T) -> T {
+    simd::force_backend(b);
+    let out = f();
+    simd::force_backend(None);
+    out
 }
 
 struct Ctx {
@@ -116,7 +137,11 @@ struct LimbPoint {
     limbs: usize,
     add: f64,
     mul: f64,
+    /// Rotation with the backend pinned to scalar — comparable across the
+    /// SIMD work.
     rotate: f64,
+    /// The same rotation under the runtime-detected backend.
+    rotate_simd: f64,
     rotate_hoisted: f64,
     /// `Some((mod_switch_ns, rotate_level1_ns))` for chains with a level
     /// to drop to.
@@ -140,7 +165,14 @@ fn per_limb_point(params: BfvParams) -> LimbPoint {
     });
     let mut scratch: Scratch = c.eval.new_scratch();
     let mut out = Ciphertext::transparent_zero(c.eval.params());
-    let rotate = time_ns(|| {
+    let rotate = with_backend(Some(SimdBackend::Scalar), || {
+        time_ns(|| {
+            c.eval
+                .rotate_rows_into(&mut out, black_box(&c.ct), 1, &c.keys, &mut scratch)
+                .unwrap();
+        })
+    });
+    let rotate_simd = time_ns(|| {
         c.eval
             .rotate_rows_into(&mut out, black_box(&c.ct), 1, &c.keys, &mut scratch)
             .unwrap();
@@ -181,6 +213,7 @@ fn per_limb_point(params: BfvParams) -> LimbPoint {
         add,
         mul,
         rotate,
+        rotate_simd,
         rotate_hoisted,
         leveled,
     }
@@ -400,6 +433,32 @@ fn main() {
             .unwrap();
     });
 
+    // --- Single-table NTT: forced scalar vs runtime-detected backend ---
+    // A 4096-point forward+inverse roundtrip on one 54-bit limb: the
+    // narrowest pin of the vectorized butterfly kernels themselves, with
+    // no key-switch machinery around them.
+    let (ntt_scalar, ntt_simd) = {
+        let q = cheetah_bfv::arith::Modulus::new(
+            cheetah_bfv::arith::generate_ntt_prime(54, 4096).unwrap(),
+        )
+        .unwrap();
+        let table = cheetah_bfv::ntt::NttTable::new(4096, q).unwrap();
+        let mut buf: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % q.value())
+            .collect();
+        let scalar = with_backend(Some(SimdBackend::Scalar), || {
+            time_ns(|| {
+                table.forward(black_box(&mut buf));
+                table.inverse(black_box(&mut buf));
+            })
+        });
+        let vector = time_ns(|| {
+            table.forward(black_box(&mut buf));
+            table.inverse(black_box(&mut buf));
+        });
+        (scalar, vector)
+    };
+
     // --- Modulus switching: one dropped limb on a 2-limb chain ---
     let mod_switch = {
         let c2 = ctx_for(BfvParams::preset_rns_2x30(4096).unwrap());
@@ -496,7 +555,9 @@ fn main() {
     let _ = writeln!(json, "    \"hoist\": {hoist:.1},");
     let _ = writeln!(json, "    \"hoist_hybrid\": {hoist_hybrid:.1},");
     let _ = writeln!(json, "    \"rotate_hoisted\": {rotate_hoisted:.1},");
-    let _ = writeln!(json, "    \"mod_switch\": {mod_switch:.1}");
+    let _ = writeln!(json, "    \"mod_switch\": {mod_switch:.1},");
+    let _ = writeln!(json, "    \"ntt\": {ntt_scalar:.1},");
+    let _ = writeln!(json, "    \"ntt_simd\": {ntt_simd:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"per_limb_ns\": {{");
     for p in &limb_points {
@@ -505,6 +566,7 @@ fn main() {
         let _ = writeln!(json, "    \"l{limbs}_add\": {:.1},", p.add);
         let _ = writeln!(json, "    \"l{limbs}_mul\": {:.1},", p.mul);
         let _ = writeln!(json, "    \"l{limbs}_rotate\": {:.1},", p.rotate);
+        let _ = writeln!(json, "    \"l{limbs}_rotate_simd\": {:.1},", p.rotate_simd);
         match p.leveled {
             Some((ms, r1)) => {
                 let _ = writeln!(

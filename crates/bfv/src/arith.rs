@@ -41,6 +41,20 @@ pub struct Modulus {
 /// Barrett quotient estimate fits in a `u64`.
 pub const MAX_MODULUS_BITS: u32 = 62;
 
+/// Maximum bit width of an **NTT limb** (`q < 2^61`), one bit stricter than
+/// [`MAX_MODULUS_BITS`].
+///
+/// Harvey's lazy butterfly keeps values in `[0, 4q)` and forms `x + 2q - u`
+/// in a `u64`, which needs `4q ≤ 2^64` — i.e. `q < 2^62` — to avoid silent
+/// wraparound. The engine enforces one bit *more* headroom (`8q ≤ 2^64`) so
+/// lane kernels can defer a reduction step without changing the tables.
+/// [`crate::ntt::NttTable::new`] rejects wider moduli with a typed
+/// [`Error::InvalidModulus`], and [`generate_prime_congruent`] (hence every
+/// `BfvParamsBuilder` bit-width request) refuses to generate them. Raw
+/// [`Modulus`] values up to 62 bits remain valid for Barrett-only
+/// arithmetic that never enters a transform.
+pub const MAX_NTT_MODULUS_BITS: u32 = 61;
+
 impl Modulus {
     /// Creates a new modulus with precomputed Barrett constants.
     ///
@@ -72,6 +86,15 @@ impl Modulus {
     #[inline]
     pub const fn bits(&self) -> u32 {
         64 - self.value.leading_zeros()
+    }
+
+    /// The Barrett constant `floor(2^128 / value)` (for the branch-free
+    /// lane kernels in [`crate::simd`], which replicate [`Modulus::mul_mod`]
+    /// bit-for-bit; only they read it, hence unused in non-`simd` builds).
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub(crate) const fn const_ratio(&self) -> u128 {
+        self.const_ratio
     }
 
     /// Reduces an arbitrary `u64` modulo `self`.
@@ -248,6 +271,16 @@ impl ShoupPrecomp {
     ///
     /// Three integer multiplications: `x*quotient` (high word), `x*operand`
     /// and `approx*q` (low words).
+    ///
+    /// The result is exact for **any** `x < 2^64` — the laziness is in the
+    /// output range, not an input bound. Headroom is the *caller's*
+    /// obligation: the NTT butterflies feed `x < 4q` back in and form
+    /// `x + 2q - u < 4q` sums, which is why NTT limbs are capped at
+    /// `q < 2^61` ([`MAX_NTT_MODULUS_BITS`]). The only `mul_lazy` callers
+    /// are the butterfly kernels in [`crate::simd`] (via the tables in
+    /// [`crate::ntt::NttTable`], which enforce that cap) and
+    /// [`ShoupPrecomp::mul`] below, whose single conditional subtraction
+    /// only needs `2q ≤ 2^63` — satisfied by every valid [`Modulus`].
     #[inline]
     pub fn mul_lazy(&self, x: u64, q: &Modulus) -> u64 {
         let approx = ((x as u128 * self.quotient as u128) >> 64) as u64;
@@ -542,14 +575,20 @@ fn is_prime_u128(n: u64) -> bool {
 ///
 /// # Errors
 ///
-/// Returns [`Error::NoNttPrime`] if no such prime exists below `2^bits`
-/// (possible only for tiny `bits`).
+/// Returns [`Error::InvalidModulus`] for a bit width outside
+/// `2..=`[`MAX_NTT_MODULUS_BITS`], and [`Error::NoNttPrime`] if no such
+/// prime exists below `2^bits` (possible only for tiny `bits`).
 pub fn generate_ntt_prime(bits: u32, n: usize) -> Result<u64> {
     assert!(
         n.is_power_of_two(),
         "polynomial degree must be a power of 2"
     );
-    generate_prime_congruent(bits, 2 * n as u64).map_err(|_| Error::NoNttPrime { bits, n })
+    generate_prime_congruent(bits, 2 * n as u64).map_err(|e| match e {
+        // Keep the width rejection typed; only "no prime found" is
+        // rephrased in terms of the NTT degree.
+        Error::InvalidModulus(v) => Error::InvalidModulus(v),
+        _ => Error::NoNttPrime { bits, n },
+    })
 }
 
 /// Finds the largest prime `p < 2^bits` with `p ≡ 1 (mod step)`.
@@ -562,12 +601,21 @@ pub fn generate_ntt_prime(bits: u32, n: usize) -> Result<u64> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::NoNttPrime`] if no such prime exists below `2^bits`.
+/// Returns [`Error::InvalidModulus`] for a bit-width request outside
+/// `2..=`[`MAX_NTT_MODULUS_BITS`] (generated primes feed NTT tables, which
+/// cap limbs at `q < 2^61` for lazy-butterfly headroom), and
+/// [`Error::NoNttPrime`] if no such prime exists below `2^bits`.
 pub fn generate_prime_congruent(bits: u32, step: u64) -> Result<u64> {
-    assert!(
-        (2..=MAX_MODULUS_BITS).contains(&bits),
-        "prime size must be between 2 and {MAX_MODULUS_BITS} bits"
-    );
+    if !(2..=MAX_NTT_MODULUS_BITS).contains(&bits) {
+        // Report the smallest value of the requested width, so the error
+        // names a concrete out-of-range modulus rather than a bit count.
+        let witness = if bits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << bits.saturating_sub(1)
+        };
+        return Err(Error::InvalidModulus(witness));
+    }
     let n_hint = (step / 2).max(1) as usize;
     if step >= 1u64 << bits {
         return Err(Error::NoNttPrime { bits, n: n_hint });
@@ -788,6 +836,29 @@ mod tests {
             assert_eq!(p % (2 * n as u64), 1);
             assert_eq!(64 - p.leading_zeros(), bits);
         }
+    }
+
+    #[test]
+    fn prime_generation_rejects_overwide_ntt_limbs() {
+        // Requests past the 61-bit lazy-butterfly cap fail typed, not with
+        // a panic (and not with a misleading "no prime found").
+        for bits in [0u32, 1, 62, 63, 64, 100] {
+            assert!(
+                matches!(
+                    generate_prime_congruent(bits, 8192),
+                    Err(Error::InvalidModulus(_))
+                ),
+                "bits = {bits}"
+            );
+        }
+        assert!(matches!(
+            generate_ntt_prime(62, 4096),
+            Err(Error::InvalidModulus(_))
+        ));
+        // 61 bits is the widest admissible NTT limb and still works.
+        let p = generate_prime_congruent(61, 8192).unwrap();
+        assert_eq!(64 - p.leading_zeros(), 61);
+        assert!(is_prime(p));
     }
 
     #[test]

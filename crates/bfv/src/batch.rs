@@ -13,6 +13,14 @@
 //! so results are **bit-identical for every thread count** — a property the
 //! equivalence tests pin down. `cheetah-gpu`'s Fig. 8 host study is built
 //! on this type.
+//!
+//! **Layout contract:** storage is polynomial-major (poly 0's `n`
+//! coefficients, then poly 1's, …), mirroring `RnsPoly`'s limb-major
+//! planes. The vectorized kernels (`crate::simd`) traverse lanes *within*
+//! one polynomial/plane, so this layout feeds them contiguous loads while
+//! keeping whole-plane truncation (level drops, prefix views) O(1) —
+//! element-wise interleaving across polynomials or limbs was rejected for
+//! that reason (see `docs/SIMD.md`).
 
 use crate::ntt::NttTable;
 use crate::poly::Representation;

@@ -9,7 +9,10 @@ pub type Result<T> = std::result::Result<T, Error>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Error {
-    /// The modulus is out of the supported range `[2, 2^62)`.
+    /// The modulus is out of the supported range: raw Barrett arithmetic
+    /// needs `2 <= q < 2^62`, and NTT limbs (everything a parameter chain
+    /// admits, special prime included) need `q < 2^61` for lazy-butterfly
+    /// headroom.
     InvalidModulus(u64),
     /// A value has no inverse modulo the given modulus.
     NotInvertible {
@@ -137,7 +140,10 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::InvalidModulus(v) => write!(f, "modulus {v} outside supported range [2, 2^62)"),
+            Error::InvalidModulus(v) => write!(
+                f,
+                "modulus {v} unsupported: Barrett arithmetic needs 2 <= q < 2^62, NTT limbs need q < 2^61"
+            ),
             Error::NotInvertible { value, modulus } => {
                 write!(f, "{value} is not invertible modulo {modulus}")
             }

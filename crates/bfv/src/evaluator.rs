@@ -128,7 +128,10 @@ impl OpCounts {
 /// Doubling chains beyond this exponent cost more `add_mod`s than one
 /// Barrett multiply saves, so the shift-add fast path only engages for
 /// small exponents (the regime power-of-two quantized weights live in).
-const POW2_CHAIN_MAX_EXP: u32 = 8;
+/// Exactly `2^POW2_CHAIN_MAX_EXP` still takes the chain; `2^(max+1)` falls
+/// back to the generic Barrett path, bit-identically (boundary pinned by
+/// `tests/pow2_mul_plain.rs`).
+pub const POW2_CHAIN_MAX_EXP: u32 = 8;
 
 /// Marker that a prepared plaintext is the uniform scalar `±2^exp` across
 /// every slot: its centered encoding is a single coefficient `±2^exp` at

@@ -95,6 +95,7 @@ pub mod poly;
 pub mod rns;
 pub mod sampling;
 pub mod scratch;
+pub mod simd;
 pub mod wire;
 
 pub use batch::PolyBatch;
@@ -111,6 +112,7 @@ pub use params::{
 pub use rns::{ModulusChain, RnsPoly};
 pub use sampling::expand_uniform;
 pub use scratch::{Scratch, ScratchLease, ScratchPool};
+pub use simd::SimdBackend;
 pub use wire::{
     chain_fingerprint, ciphertext_wire_bytes, decode_ciphertext, decode_galois_keys,
     decode_plaintext_mask, decode_public_key, encode_ciphertext, encode_ciphertext_seeded,

@@ -13,12 +13,19 @@
 //! coefficients. Keeping this layout end-to-end means no explicit bit-reversal
 //! pass is ever needed, and it is the layout assumed by
 //! [`crate::encoder::BatchEncoder`] and the Galois slot permutations.
+//!
+//! The butterfly loops themselves live in [`crate::simd`] and are selected
+//! per thread (scalar reference / portable lanes / AVX2 — bit-identical by
+//! contract). Twiddles are stored **struct-of-arrays** — separate `operand`
+//! and Shoup-`quotient` planes — so lane kernels load each side
+//! contiguously instead of striding through `(op, quo)` pairs.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::arith::{bit_reverse, primitive_root_2n, Modulus, ShoupPrecomp};
-use crate::error::Result;
+use crate::arith::{bit_reverse, primitive_root_2n, Modulus, ShoupPrecomp, MAX_NTT_MODULUS_BITS};
+use crate::error::{Error, Result};
+use crate::simd;
 
 /// Precomputed tables for the negacyclic NTT of a fixed degree and modulus.
 ///
@@ -46,10 +53,15 @@ pub struct NttTable {
     n: usize,
     log_n: u32,
     q: Modulus,
-    /// `psi_rev[i] = ψ^{brv(i, log n)}` with Shoup precomputation.
-    psi_rev: Vec<ShoupPrecomp>,
-    /// `psi_inv_rev[i] = ψ^{-brv(i, log n)}` with Shoup precomputation.
-    psi_inv_rev: Vec<ShoupPrecomp>,
+    /// `psi_rev_op[i] = ψ^{brv(i, log n)}` (struct-of-arrays: operands and
+    /// Shoup quotients in separate planes for contiguous lane loads).
+    psi_rev_op: Vec<u64>,
+    /// Shoup quotients `floor(psi_rev_op[i]·2^64 / q)`.
+    psi_rev_quo: Vec<u64>,
+    /// `psi_inv_rev_op[i] = ψ^{-brv(i, log n)}`.
+    psi_inv_rev_op: Vec<u64>,
+    /// Shoup quotients for the inverse twiddles.
+    psi_inv_rev_quo: Vec<u64>,
     /// `n^{-1} mod q`, applied at the end of the inverse transform.
     n_inv: ShoupPrecomp,
     /// The primitive 2n-th root of unity used to build the tables.
@@ -62,19 +74,26 @@ impl NttTable {
     ///
     /// # Errors
     ///
-    /// Returns an error if `q` admits no primitive `2n`-th root of unity or
-    /// if `n` is not invertible mod `q`.
+    /// Returns [`Error::InvalidDegree`] unless `n` is a power of two ≥ 8,
+    /// [`Error::InvalidModulus`] if `q ≥ 2^61` (the lazy Harvey butterfly
+    /// accumulates `x + 2q - u < 4q` in a `u64`; see
+    /// [`MAX_NTT_MODULUS_BITS`]), and an error if `q` admits no primitive
+    /// `2n`-th root of unity or if `n` is not invertible mod `q`.
     pub fn new(n: usize, q: Modulus) -> Result<Self> {
-        assert!(
-            n.is_power_of_two() && n >= 8,
-            "degree must be a power of two >= 8"
-        );
+        if !n.is_power_of_two() || n < 8 {
+            return Err(Error::InvalidDegree(n));
+        }
+        if q.value() >> MAX_NTT_MODULUS_BITS != 0 {
+            return Err(Error::InvalidModulus(q.value()));
+        }
         let log_n = n.trailing_zeros();
         let psi = primitive_root_2n(&q, n)?;
         let psi_inv = q.inv_mod(psi)?;
 
-        let mut psi_rev = Vec::with_capacity(n);
-        let mut psi_inv_rev = Vec::with_capacity(n);
+        let mut psi_rev_op = Vec::with_capacity(n);
+        let mut psi_rev_quo = Vec::with_capacity(n);
+        let mut psi_inv_rev_op = Vec::with_capacity(n);
+        let mut psi_inv_rev_quo = Vec::with_capacity(n);
         // Powers in natural order first, then scramble.
         let mut pow = 1u64;
         let mut pow_inv = 1u64;
@@ -88,16 +107,22 @@ impl NttTable {
         }
         for i in 0..n {
             let r = bit_reverse(i, log_n);
-            psi_rev.push(ShoupPrecomp::new(powers[r], &q));
-            psi_inv_rev.push(ShoupPrecomp::new(powers_inv[r], &q));
+            let fwd = ShoupPrecomp::new(powers[r], &q);
+            psi_rev_op.push(fwd.operand);
+            psi_rev_quo.push(fwd.quotient);
+            let inv = ShoupPrecomp::new(powers_inv[r], &q);
+            psi_inv_rev_op.push(inv.operand);
+            psi_inv_rev_quo.push(inv.quotient);
         }
         let n_inv = ShoupPrecomp::new(q.inv_mod(n as u64)?, &q);
         Ok(Self {
             n,
             log_n,
             q,
-            psi_rev,
-            psi_inv_rev,
+            psi_rev_op,
+            psi_rev_quo,
+            psi_inv_rev_op,
+            psi_inv_rev_quo,
             n_inv,
             psi,
         })
@@ -162,42 +187,47 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (natural → bit-reversed order).
     ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] if `a.len() != n`.
+    pub fn try_forward(&self, a: &mut [u64]) -> Result<()> {
+        if a.len() != self.n {
+            return Err(Error::ParameterMismatch);
+        }
+        simd::ntt_forward(a, &self.psi_rev_op, &self.psi_rev_quo, self.q.value());
+        Ok(())
+    }
+
+    /// In-place forward negacyclic NTT (natural → bit-reversed order).
+    ///
     /// # Panics
     ///
-    /// Panics if `a.len() != n`.
+    /// Panics if `a.len() != n` — internal call sites guarantee the shape
+    /// by construction; boundary code should use [`NttTable::try_forward`].
     pub fn forward(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n, "input length must equal the degree");
-        let q = self.q.value();
-        let two_q = 2 * q;
-        let mut t = self.n;
-        let mut m = 1usize;
-        while m < self.n {
-            t >>= 1;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let w = &self.psi_rev[m + i];
-                for j in j1..j1 + t {
-                    // Harvey forward butterfly, inputs < 4q, outputs < 4q.
-                    let mut x = a[j];
-                    if x >= two_q {
-                        x -= two_q;
-                    }
-                    let u = w.mul_lazy(a[j + t], &self.q); // < 2q
-                    a[j] = x + u;
-                    a[j + t] = x + two_q - u;
-                }
-            }
-            m <<= 1;
+        self.try_forward(a)
+            .expect("input length must equal the degree");
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed → natural order),
+    /// including the `n^{-1}` scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] if `a.len() != n`.
+    pub fn try_inverse(&self, a: &mut [u64]) -> Result<()> {
+        if a.len() != self.n {
+            return Err(Error::ParameterMismatch);
         }
-        // Final full reduction to [0, q).
-        for x in a.iter_mut() {
-            if *x >= two_q {
-                *x -= two_q;
-            }
-            if *x >= q {
-                *x -= q;
-            }
-        }
+        simd::ntt_inverse(
+            a,
+            &self.psi_inv_rev_op,
+            &self.psi_inv_rev_quo,
+            self.q.value(),
+            self.n_inv.operand,
+            self.n_inv.quotient,
+        );
+        Ok(())
     }
 
     /// In-place inverse negacyclic NTT (bit-reversed → natural order),
@@ -205,46 +235,11 @@ impl NttTable {
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != n`.
+    /// Panics if `a.len() != n` — internal call sites guarantee the shape
+    /// by construction; boundary code should use [`NttTable::try_inverse`].
     pub fn inverse(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n, "input length must equal the degree");
-        let q = self.q.value();
-        let two_q = 2 * q;
-        let mut t = 1usize;
-        let mut m = self.n;
-        while m > 1 {
-            let h = m >> 1;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let w = &self.psi_inv_rev[h + i];
-                for j in j1..j1 + t {
-                    // Gentleman–Sande butterfly, lazy.
-                    let x = a[j];
-                    let y = a[j + t];
-                    let mut s = x + y;
-                    if s >= two_q {
-                        s -= two_q;
-                    }
-                    a[j] = s;
-                    a[j + t] = w.mul_lazy(x + two_q - y, &self.q);
-                }
-                j1 += 2 * t;
-            }
-            t <<= 1;
-            m = h;
-        }
-        for x in a.iter_mut() {
-            // Lazy butterflies leave values < 2q; two conditional
-            // subtractions replace the old hardware division (`% q`).
-            let mut v = *x;
-            if v >= two_q {
-                v -= two_q;
-            }
-            if v >= q {
-                v -= q;
-            }
-            *x = self.n_inv.mul(v, &self.q);
-        }
+        self.try_inverse(a)
+            .expect("input length must equal the degree");
     }
 
     /// Builds the slot permutation realizing the Galois automorphism
@@ -257,9 +252,24 @@ impl NttTable {
     ///
     /// # Panics
     ///
-    /// Panics if `g` is even (automorphisms of `x^n + 1` need odd exponents).
+    /// Panics if `g` is even (automorphisms of `x^n + 1` need odd
+    /// exponents); boundary code should use
+    /// [`NttTable::try_galois_permutation`].
     pub fn galois_permutation(&self, g: u64) -> Vec<u32> {
-        assert!(g % 2 == 1, "Galois element must be odd");
+        self.try_galois_permutation(g)
+            .expect("Galois element must be odd")
+    }
+
+    /// [`NttTable::galois_permutation`] with the structural check as a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGaloisElement`] if `g` is even.
+    pub fn try_galois_permutation(&self, g: u64) -> Result<Vec<u32>> {
+        if g.is_multiple_of(2) {
+            return Err(Error::InvalidGaloisElement(g));
+        }
         let n = self.n;
         let m = 2 * n as u64;
         let mut perm = vec![0u32; n];
@@ -269,7 +279,7 @@ impl NttTable {
             let j_src = bit_reverse(((e_src - 1) / 2) as usize, self.log_n);
             *slot = j_src as u32;
         }
-        perm
+        Ok(perm)
     }
 
     /// Applies the Galois automorphism `x -> x^g` to a polynomial in
@@ -278,10 +288,27 @@ impl NttTable {
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != n` or `g` is even.
+    /// Panics if `a.len() != n` or `g` is even; boundary code should use
+    /// [`NttTable::try_apply_galois_coeff`].
     pub fn apply_galois_coeff(&self, a: &[u64], g: u64) -> Vec<u64> {
-        assert_eq!(a.len(), self.n);
-        assert!(g % 2 == 1, "Galois element must be odd");
+        self.try_apply_galois_coeff(a, g)
+            .expect("length must equal the degree and the Galois element must be odd")
+    }
+
+    /// [`NttTable::apply_galois_coeff`] with the structural checks as
+    /// typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParameterMismatch`] if `a.len() != n` and
+    /// [`Error::InvalidGaloisElement`] if `g` is even.
+    pub fn try_apply_galois_coeff(&self, a: &[u64], g: u64) -> Result<Vec<u64>> {
+        if a.len() != self.n {
+            return Err(Error::ParameterMismatch);
+        }
+        if g.is_multiple_of(2) {
+            return Err(Error::InvalidGaloisElement(g));
+        }
         let n = self.n as u64;
         let m = 2 * n;
         let mut out = vec![0u64; self.n];
@@ -293,7 +320,7 @@ impl NttTable {
                 out[(e - n) as usize] = self.q.neg_mod(coeff);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -459,5 +486,105 @@ mod tests {
         let q2 = Modulus::new(generate_ntt_prime(31, 512).unwrap()).unwrap();
         let c = NttTable::cached(512, q2).unwrap();
         assert!(!std::sync::Arc::ptr_eq(&a, &c), "different q must not");
+    }
+
+    #[test]
+    fn rejects_overwide_modulus_with_typed_error() {
+        // 0x3fff_ffff_e800_0001 is a valid 62-bit raw `Modulus` (Barrett
+        // arithmetic is fine with it) but exceeds the 2^61 NTT-limb cap:
+        // the Harvey butterfly's x + 2q - u accumulation needs headroom.
+        let q = Modulus::new(0x3fff_ffff_e800_0001).unwrap();
+        assert!(matches!(
+            NttTable::new(4096, q),
+            Err(crate::error::Error::InvalidModulus(0x3fff_ffff_e800_0001))
+        ));
+        // The widest admissible limb (61 bits) still builds.
+        let p61 = crate::arith::generate_prime_congruent(61, 2 * 4096).unwrap();
+        assert!(NttTable::new(4096, Modulus::new(p61).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_degree_with_typed_error() {
+        let q = Modulus::new(generate_ntt_prime(30, 8).unwrap()).unwrap();
+        for n in [0usize, 4, 12, 100] {
+            assert!(
+                matches!(
+                    NttTable::new(n, q),
+                    Err(crate::error::Error::InvalidDegree(bad)) if bad == n
+                ),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_input_is_a_typed_error() {
+        let t = table(64, 30);
+        let mut short = vec![0u64; 32];
+        assert!(matches!(
+            t.try_forward(&mut short),
+            Err(crate::error::Error::ParameterMismatch)
+        ));
+        assert!(matches!(
+            t.try_inverse(&mut short),
+            Err(crate::error::Error::ParameterMismatch)
+        ));
+        let mut ok = vec![0u64; 64];
+        assert!(t.try_forward(&mut ok).is_ok());
+        assert!(t.try_inverse(&mut ok).is_ok());
+    }
+
+    #[test]
+    fn even_galois_element_is_a_typed_error() {
+        let t = table(32, 30);
+        assert!(matches!(
+            t.try_galois_permutation(6),
+            Err(crate::error::Error::InvalidGaloisElement(6))
+        ));
+        let a = vec![0u64; 32];
+        assert!(matches!(
+            t.try_apply_galois_coeff(&a, 4),
+            Err(crate::error::Error::InvalidGaloisElement(4))
+        ));
+        assert!(matches!(
+            t.try_apply_galois_coeff(&a[..7], 3),
+            Err(crate::error::Error::ParameterMismatch)
+        ));
+    }
+
+    #[test]
+    fn backends_transform_bit_identically() {
+        use crate::simd::{current_backend, detect, force_backend, SimdBackend};
+        // Forward and inverse on every backend this build can run must
+        // equal the pinned scalar reference byte-for-byte. Degree 64 makes
+        // the small-t butterfly stages (t < LANES) a large fraction of the
+        // work; 60-bit q exercises the top of the headroom range.
+        for (n, bits) in [(64usize, 30u32), (256, 60), (4096, 59)] {
+            let t = table(n, bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 ^ 0xD15);
+            let a: Vec<u64> = (0..n)
+                .map(|_| rng.random_range(0..t.modulus().value()))
+                .collect();
+            force_backend(Some(SimdBackend::Scalar));
+            let mut fwd_ref = a.clone();
+            t.forward(&mut fwd_ref);
+            let mut inv_ref = fwd_ref.clone();
+            t.inverse(&mut inv_ref);
+            assert_eq!(inv_ref, a);
+            for backend in [SimdBackend::Portable, SimdBackend::Avx2] {
+                let eff = force_backend(Some(backend));
+                if eff != backend {
+                    continue; // not runnable in this build/CPU
+                }
+                let mut fwd = a.clone();
+                t.forward(&mut fwd);
+                assert_eq!(fwd, fwd_ref, "{} forward n={n}", backend.name());
+                let mut inv = fwd.clone();
+                t.inverse(&mut inv);
+                assert_eq!(inv, a, "{} inverse n={n}", backend.name());
+            }
+            force_backend(None);
+            assert_eq!(current_backend(), detect());
+        }
     }
 }

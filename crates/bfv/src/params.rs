@@ -59,7 +59,7 @@ use std::sync::Arc;
 
 use crate::arith::{
     generate_ntt_prime, generate_ntt_primes, generate_prime_congruent, generate_primes_congruent,
-    Modulus,
+    Modulus, MAX_NTT_MODULUS_BITS,
 };
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
@@ -882,6 +882,13 @@ impl BfvParamsBuilder {
     /// Resolves the limb values for the chain.
     fn resolve_moduli(&self, t_val: u64) -> Result<Vec<u64>> {
         if let Some(values) = &self.moduli {
+            // Enforce the lazy-butterfly headroom bound (q < 2^61) here
+            // rather than deep in chain construction, so an explicit
+            // overwide limb fails with clear builder provenance. Generated
+            // limbs inherit the same bound from the prime generators.
+            if let Some(&bad) = values.iter().find(|v| *v >> MAX_NTT_MODULUS_BITS != 0) {
+                return Err(Error::InvalidModulus(bad));
+            }
             return Ok(values.clone());
         }
         if let Some(bits) = &self.moduli_bits {
@@ -936,7 +943,9 @@ impl BfvParamsBuilder {
     /// Resolves the special key-switch prime, if one was requested.
     fn resolve_special(&self, t_val: u64, limb_values: &[u64]) -> Result<Option<u64>> {
         if let Some(p) = self.special_modulus {
-            if limb_values.contains(&p) || p <= t_val {
+            // The special prime rides the same NTT tables as the data
+            // limbs, so it gets the same q < 2^61 headroom bound.
+            if p >> MAX_NTT_MODULUS_BITS != 0 || limb_values.contains(&p) || p <= t_val {
                 return Err(Error::InvalidModulus(p));
             }
             return Ok(Some(p));
@@ -1097,6 +1106,76 @@ mod tests {
             p.delta_mod(0),
             (p.delta() % p.chain().modulus(0).value() as u128) as u64
         );
+    }
+
+    #[test]
+    fn builder_rejects_overwide_limbs_typed() {
+        // Per-limb width is capped at 61 bits (q < 2^61): Harvey's lazy
+        // butterfly accumulates x + 2q - u < 4q in a u64 and the lane
+        // kernels keep one extra headroom bit. Every request path — bit
+        // widths, explicit values, and the special prime — must fail with
+        // a typed InvalidModulus, never a panic or a silent overflow.
+        for bits in [62u32, 63, 64] {
+            let err = BfvParams::builder()
+                .degree(4096)
+                .security(SecurityLevel::None)
+                .moduli_bits(&[bits])
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidModulus(_)),
+                "moduli_bits {bits}"
+            );
+            let err = BfvParams::builder()
+                .degree(4096)
+                .security(SecurityLevel::None)
+                .cipher_bits(bits)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidModulus(_)),
+                "cipher_bits {bits}"
+            );
+            let err = BfvParams::builder()
+                .degree(4096)
+                .security(SecurityLevel::None)
+                .moduli_bits(&[36])
+                .special_bits(bits)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidModulus(_)),
+                "special_bits {bits}"
+            );
+        }
+        // Explicit values: a 62-bit number is a valid raw Barrett modulus
+        // but not a valid NTT limb.
+        let wide = 0x3fff_ffff_e800_0001u64;
+        assert!(Modulus::new(wide).is_ok());
+        let err = BfvParams::builder()
+            .degree(4096)
+            .security(SecurityLevel::None)
+            .moduli(vec![wide])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidModulus(v) if v == wide));
+        let err = BfvParams::builder()
+            .degree(4096)
+            .security(SecurityLevel::None)
+            .moduli_bits(&[36])
+            .special_modulus(wide)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidModulus(v) if v == wide));
+        // One bit narrower is accepted end-to-end (61-bit limb, no security
+        // cap so the width itself is what's under test).
+        let p = BfvParams::builder()
+            .degree(4096)
+            .security(SecurityLevel::None)
+            .moduli_bits(&[61])
+            .build()
+            .unwrap();
+        assert_eq!(p.chain().modulus(0).bits(), 61);
     }
 
     #[test]

@@ -14,48 +14,39 @@
 use crate::arith::Modulus;
 use crate::error::{Error, Result};
 use crate::ntt::NttTable;
+use crate::simd;
 
 // ---------------------------------------------------------------------
-// Slice-level scalar kernels, shared by `Poly` (single modulus) and
+// Slice-level kernels, shared by `Poly` (single modulus) and
 // `crate::rns::RnsPoly` (invoked once per limb plane). These are the
-// element-wise loops everything in the engine bottoms out in.
+// element-wise loops everything in the engine bottoms out in; the actual
+// loop bodies live in `crate::simd`, which dispatches per thread between
+// the pinned scalar reference and the lane backends (bit-identical by
+// contract).
 // ---------------------------------------------------------------------
 
 pub(crate) fn add_assign_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x = q.add_mod(*x, y);
-    }
+    simd::add_assign(a, b, q);
 }
 
 pub(crate) fn sub_assign_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x = q.sub_mod(*x, y);
-    }
+    simd::sub_assign(a, b, q);
 }
 
 pub(crate) fn negate_slice(a: &mut [u64], q: &Modulus) {
-    for x in a.iter_mut() {
-        *x = q.neg_mod(*x);
-    }
+    simd::negate(a, q);
 }
 
 pub(crate) fn mul_pointwise_slice(a: &mut [u64], b: &[u64], q: &Modulus) {
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x = q.mul_mod(*x, y);
-    }
+    simd::mul_pointwise(a, b, q);
 }
 
 pub(crate) fn mul_scalar_slice(a: &mut [u64], c: u64, q: &Modulus) {
-    let c = q.reduce(c);
-    for x in a.iter_mut() {
-        *x = q.mul_mod(*x, c);
-    }
+    simd::mul_scalar(a, c, q);
 }
 
 pub(crate) fn fma_pointwise_slice(r: &mut [u64], a: &[u64], b: &[u64], q: &Modulus) {
-    for ((x, &y), &z) in r.iter_mut().zip(a).zip(b) {
-        *x = q.add_mod(*x, q.mul_mod(y, z));
-    }
+    simd::fma_pointwise(r, a, b, q);
 }
 
 /// `x ← (±2^exp)·x mod q` element-wise via a doubling chain — `exp`
@@ -64,28 +55,13 @@ pub(crate) fn fma_pointwise_slice(r: &mut [u64], a: &[u64], b: &[u64], q: &Modul
 /// `[0, q)` (and `neg_mod(0) = 0`), so the result is bit-identical to
 /// `mul_scalar_slice` with the reduced `±2^exp`.
 pub(crate) fn mul_pow2_slice(a: &mut [u64], exp: u32, negative: bool, q: &Modulus) {
-    for x in a.iter_mut() {
-        let mut v = *x;
-        for _ in 0..exp {
-            v = q.add_mod(v, v);
-        }
-        *x = if negative { q.neg_mod(v) } else { v };
-    }
+    simd::mul_pow2(a, exp, negative, q);
 }
 
 /// `r ← r + (±2^exp)·a mod q` element-wise (the pow2 fused accumulate;
 /// see [`mul_pow2_slice`] for the bit-identity argument).
 pub(crate) fn fma_pow2_slice(r: &mut [u64], a: &[u64], exp: u32, negative: bool, q: &Modulus) {
-    for (x, &y) in r.iter_mut().zip(a) {
-        let mut v = y;
-        for _ in 0..exp {
-            v = q.add_mod(v, v);
-        }
-        if negative {
-            v = q.neg_mod(v);
-        }
-        *x = q.add_mod(*x, v);
-    }
+    simd::fma_pow2(r, a, exp, negative, q);
 }
 
 pub(crate) fn permute_slice(dst: &mut [u64], src: &[u64], perm: &[u32]) {

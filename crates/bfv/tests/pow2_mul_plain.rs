@@ -174,3 +174,68 @@ fn non_pow2_plaintexts_never_take_the_fast_path() {
         assert_eq!(got[slot], v as i64 * 3);
     }
 }
+
+#[test]
+fn chain_budget_boundary_is_exact() {
+    // The shift-add chain accepts exponents up to and including
+    // POW2_CHAIN_MAX_EXP; one past it falls back to generic Barrett. Both
+    // sides of the boundary must be bit-identical to the generic path.
+    use cheetah_bfv::evaluator::POW2_CHAIN_MAX_EXP;
+
+    for (name, params) in all_presets() {
+        let mut c = ctx(params, 41);
+        let slots = c.encoder.slots();
+        let fresh = c
+            .enc
+            .encrypt(&c.encoder.encode(&values(32)).unwrap())
+            .unwrap();
+
+        // Exactly at the limit: marked, fast path taken.
+        let at = 1u64 << POW2_CHAIN_MAX_EXP;
+        let prep = c
+            .eval
+            .prepare_plaintext_at(&c.encoder.encode(&vec![at; slots]).unwrap(), 0)
+            .unwrap();
+        assert_eq!(
+            prep.pow2_scalar(),
+            Some(Pow2Scalar {
+                exp: POW2_CHAIN_MAX_EXP,
+                negative: false,
+            }),
+            "{name}: 2^{POW2_CHAIN_MAX_EXP} must take the chain path"
+        );
+        let fast = c.eval.mul_plain(&fresh, &prep).unwrap();
+        let generic = c
+            .eval
+            .mul_plain(&fresh, &prep.clone().without_pow2())
+            .unwrap();
+        assert_same_bits(
+            &fast,
+            &generic,
+            &format!("{name} at-limit 2^{POW2_CHAIN_MAX_EXP}"),
+        );
+
+        // One past the limit: unmarked, generic Barrett — and a stripped
+        // clone (a no-op here) still lands on exactly the same bits.
+        let over = 1u64 << (POW2_CHAIN_MAX_EXP + 1);
+        let prep = c
+            .eval
+            .prepare_plaintext_at(&c.encoder.encode(&vec![over; slots]).unwrap(), 0)
+            .unwrap();
+        assert!(
+            prep.pow2_scalar().is_none(),
+            "{name}: 2^{} must fall back to Barrett",
+            POW2_CHAIN_MAX_EXP + 1
+        );
+        let fallback = c.eval.mul_plain(&fresh, &prep).unwrap();
+        let generic = c
+            .eval
+            .mul_plain(&fresh, &prep.clone().without_pow2())
+            .unwrap();
+        assert_same_bits(
+            &fallback,
+            &generic,
+            &format!("{name} over-limit 2^{}", POW2_CHAIN_MAX_EXP + 1),
+        );
+    }
+}

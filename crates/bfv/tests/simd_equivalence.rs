@@ -1,0 +1,269 @@
+//! Scalar-vs-SIMD bit-identity pins.
+//!
+//! The `simd` feature is only allowed to change *how fast* a kernel runs,
+//! never a single output bit. These tests force the pinned scalar
+//! reference, repeat the identical computation under every runnable
+//! vector backend, and require byte-for-byte equality:
+//!
+//! * forward and inverse negacyclic NTT on random polynomials, per limb
+//!   of every preset (RNS and hybrid);
+//! * the pointwise Barrett kernels (`add`/`sub`/`negate`/`mul`/`fma`/
+//!   `mul_scalar`) on random residue vectors;
+//! * a **full rotate** — keygen, encrypt, Galois key switch, decrypt —
+//!   at every preset and every reachable level of its chain;
+//! * typed-error behaviour is backend-independent.
+//!
+//! The same suite compiles and passes with the feature off: every
+//! requested backend then clamps to `Scalar` and the comparisons are
+//! trivially exact, which pins the clamp itself.
+
+use cheetah_bfv::arith::Modulus;
+use cheetah_bfv::ntt::NttTable;
+use cheetah_bfv::poly::{Poly, Representation};
+use cheetah_bfv::simd::{self, SimdBackend};
+use cheetah_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
+};
+use proptest::prelude::*;
+
+/// Restores automatic backend detection even if an assertion unwinds.
+struct ForceGuard;
+
+impl ForceGuard {
+    /// Forces `backend` for the current thread; returns the guard and the
+    /// backend that is actually in effect after clamping (`Scalar` in
+    /// no-`simd` builds, `Portable` when AVX2 is unavailable).
+    fn force(backend: SimdBackend) -> (Self, SimdBackend) {
+        let effective = simd::force_backend(Some(backend));
+        (ForceGuard, effective)
+    }
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        simd::force_backend(None);
+    }
+}
+
+/// The vector backends this machine can actually run (clamp fixpoints).
+/// Scalar is the reference, so it is excluded.
+fn runnable_vector_backends() -> Vec<SimdBackend> {
+    [SimdBackend::Portable, SimdBackend::Avx2]
+        .into_iter()
+        .filter(|&b| {
+            let (_guard, effective) = ForceGuard::force(b);
+            effective == b
+        })
+        .collect()
+}
+
+fn all_presets() -> Vec<(&'static str, BfvParams)> {
+    let mut v = BfvParams::presets(4096).unwrap();
+    v.extend(BfvParams::hybrid_presets(4096).unwrap());
+    v
+}
+
+fn residues(q: &Modulus, n: usize, seed: u64) -> Vec<u64> {
+    // Splitmix-style mixing — cheap, deterministic, full-width; reduced
+    // into [0, q) with the edge residues planted at the front.
+    let mut out: Vec<u64> = (0..n as u64)
+        .map(|i| {
+            let mut z = seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % q.value()
+        })
+        .collect();
+    out[0] = 0;
+    out[1] = 1;
+    out[2] = q.value() - 1;
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Forward and inverse NTT produce the same bits on every backend,
+    /// for every limb of every preset.
+    #[test]
+    fn ntt_transforms_bit_identical_across_backends(seed in any::<u64>()) {
+        for (name, params) in all_presets() {
+            let chain = params.chain();
+            for i in 0..chain.limbs() {
+                let table = chain.table(i);
+                let input = residues(chain.modulus(i), chain.degree(), seed);
+
+                let mut fwd_ref = input.clone();
+                let mut inv_ref = input.clone();
+                {
+                    let (_guard, eff) = ForceGuard::force(SimdBackend::Scalar);
+                    prop_assert_eq!(eff, SimdBackend::Scalar);
+                    table.forward(&mut fwd_ref);
+                    inv_ref.copy_from_slice(&fwd_ref);
+                    table.inverse(&mut inv_ref);
+                }
+                prop_assert_eq!(&inv_ref, &input, "{}: scalar NTT roundtrip", name);
+
+                for backend in runnable_vector_backends() {
+                    let (_guard, eff) = ForceGuard::force(backend);
+                    prop_assert_eq!(eff, backend);
+                    let mut fwd = input.clone();
+                    table.forward(&mut fwd);
+                    prop_assert_eq!(
+                        &fwd, &fwd_ref,
+                        "{} limb {} forward diverged on {}", name, i, backend.name()
+                    );
+                    let mut inv = fwd;
+                    table.inverse(&mut inv);
+                    prop_assert_eq!(
+                        &inv, &input,
+                        "{} limb {} inverse diverged on {}", name, i, backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pointwise residue kernels agree bit for bit on every backend,
+    /// for every limb modulus of every preset.
+    #[test]
+    fn pointwise_kernels_bit_identical_across_backends(seed in any::<u64>(), c in any::<u64>()) {
+        for (name, params) in all_presets() {
+            let chain = params.chain();
+            for i in 0..chain.limbs() {
+                let q = chain.modulus(i);
+                let n = chain.degree();
+                let a = Poly::from_data(residues(q, n, seed), Representation::Eval);
+                let b = Poly::from_data(residues(q, n, seed ^ 0xabcd), Representation::Eval);
+                let c = c % q.value();
+
+                let run = |backend: SimdBackend| -> Vec<Vec<u64>> {
+                    let (_guard, eff) = ForceGuard::force(backend);
+                    assert_eq!(eff, backend);
+                    let mut add = a.clone();
+                    add.add_assign(&b, q).unwrap();
+                    let mut sub = a.clone();
+                    sub.sub_assign(&b, q).unwrap();
+                    let mut neg = a.clone();
+                    neg.negate(q);
+                    let mut mul = a.clone();
+                    mul.mul_assign_pointwise(&b, q).unwrap();
+                    let mut muls = a.clone();
+                    muls.mul_scalar(c, q);
+                    let mut fma = add.clone();
+                    fma.fma_pointwise(&a, &b, q).unwrap();
+                    [add, sub, neg, mul, muls, fma]
+                        .into_iter()
+                        .map(Poly::into_data)
+                        .collect()
+                };
+
+                let reference = run(SimdBackend::Scalar);
+                for backend in runnable_vector_backends() {
+                    let got = run(backend);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "{} limb {} pointwise kernels diverged on {}",
+                        name, i, backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A full rotate pipeline — seeded keygen, encrypt, Galois key switch
+    /// at each reachable level — produces bit-identical ciphertexts on
+    /// every backend, for every preset including hybrid keyswitching.
+    #[test]
+    fn full_rotate_bit_identical_across_backends(seed in any::<u64>(), step in 1i64..8) {
+        for (name, params) in all_presets() {
+            let run = |backend: SimdBackend| -> Vec<Ciphertext> {
+                let (_guard, eff) = ForceGuard::force(backend);
+                assert_eq!(eff, backend);
+                let mut kg = KeyGenerator::from_seed(params.clone(), seed);
+                let pk = kg.public_key().unwrap();
+                let keys = kg.galois_keys_for_steps(&[step]).unwrap();
+                let encoder = BatchEncoder::new(params.clone());
+                let mut enc = Encryptor::from_public_key(pk, seed ^ 0x5eed);
+                let dec = Decryptor::new(kg.secret_key().clone());
+                let eval = Evaluator::new(params.clone());
+
+                let values: Vec<u64> = (0..64u64).map(|i| (i * 37 + 11) % 97).collect();
+                let fresh = enc.encrypt(&encoder.encode(&values).unwrap()).unwrap();
+                let deepest = fresh.noise().recommended_level(&params, 0, 2.0);
+                let mut out = Vec::new();
+                for level in 0..=deepest {
+                    let ct = eval.mod_switch_to(&fresh, level).unwrap();
+                    let rotated = eval.rotate_rows(&ct, step, &keys).unwrap();
+                    // Where the noise model says the rotation is sound
+                    // (same gate as the BSGS suite), it must also still
+                    // decrypt correctly — bit-identical garbage would be
+                    // a hollow victory. Unsound levels stay in the
+                    // cross-backend bit comparison regardless.
+                    let sound = ct
+                        .noise()
+                        .rotate_at(&params, level)
+                        .budget_bits_worst_at(&params, level)
+                        >= 2.0;
+                    if sound {
+                        let decoded = encoder.decode(&dec.decrypt(&rotated).unwrap());
+                        let expect_first = values[step as usize];
+                        assert_eq!(
+                            decoded[0], expect_first,
+                            "{} L{} on {}: rotate decrypted wrong", name, level, backend.name()
+                        );
+                    }
+                    out.push(rotated);
+                }
+                out
+            };
+
+            let reference = run(SimdBackend::Scalar);
+            for backend in runnable_vector_backends() {
+                let got = run(backend);
+                prop_assert_eq!(got.len(), reference.len());
+                for (level, (g, r)) in got.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        g.c0(), r.c0(),
+                        "{} L{} c0 diverged on {}", name, level, backend.name()
+                    );
+                    prop_assert_eq!(
+                        g.c1(), r.c1(),
+                        "{} L{} c1 diverged on {}", name, level, backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Typed boundary errors fire identically on every backend: the checks
+/// live in front of the dispatch, so no vector path can bypass them.
+#[test]
+fn typed_errors_are_backend_independent() {
+    let q = Modulus::new(cheetah_bfv::arith::generate_ntt_prime(30, 64).unwrap()).unwrap();
+    let table = NttTable::new(64, q).unwrap();
+    let mut backends = vec![SimdBackend::Scalar];
+    backends.extend(runnable_vector_backends());
+    for backend in backends {
+        let (_guard, eff) = ForceGuard::force(backend);
+        assert_eq!(eff, backend);
+        let mut short = vec![0u64; 32];
+        assert!(matches!(
+            table.try_forward(&mut short),
+            Err(cheetah_bfv::Error::ParameterMismatch)
+        ));
+        assert!(matches!(
+            table.try_inverse(&mut short),
+            Err(cheetah_bfv::Error::ParameterMismatch)
+        ));
+        assert!(matches!(
+            table.try_galois_permutation(4),
+            Err(cheetah_bfv::Error::InvalidGaloisElement(4))
+        ));
+    }
+}

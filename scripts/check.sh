@@ -12,6 +12,11 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy --features simd -D warnings"
+# The vector backends are feature-gated off by default; lint them too so
+# the simd build can't rot between benches.
+cargo clippy -p cheetah-bfv -p cheetah-bench --features cheetah-bfv/simd --all-targets -- -D warnings
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> tier-1: cargo build --release"
     cargo build --release
@@ -89,6 +94,29 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
 
+    echo "==> SIMD kernel regression gate (committed non-smoke BENCH_he_ops.json)"
+    # The committed JSON is a full `--features simd` run: the unsuffixed
+    # keys are pinned to the forced-scalar reference, the `_simd` twins
+    # run the runtime-detected backend. The vectorized NTT roundtrip and
+    # the 2/3-limb rotations must beat their scalar pins — these margins
+    # are decisive even on the 1-core CI box. The `l1_rotate` pair is
+    # emitted and tracked but not gated: a single-limb rotation is
+    # dominated by key-switch bookkeeping, so its SIMD margin is inside
+    # run-to-run noise.
+    for pair in "ntt ntt_simd" "l2_rotate l2_rotate_simd" "l3_rotate l3_rotate_simd"; do
+        set -- $pair
+        scalar=$(json_val BENCH_he_ops.json "$1")
+        vector=$(json_val BENCH_he_ops.json "$2")
+        if [[ -z "$scalar" || -z "$vector" ]]; then
+            echo "FAIL: BENCH_he_ops.json lacks $1 / $2"
+            exit 1
+        fi
+        if ! awk -v v="$vector" -v s="$scalar" 'BEGIN { exit !(v <= s) }'; then
+            echo "FAIL: committed $2 ($vector ns) is slower than its scalar pin $1 ($scalar ns)"
+            exit 1
+        fi
+    done
+
     echo "==> bench_throughput smoke (JSON key regression gate)"
     smoke_json=$(mktemp /tmp/bench_throughput.XXXXXX.json)
     BENCH_SMOKE=1 cargo run --release -q -p cheetah-bench --bin bench_throughput "$smoke_json" >/dev/null
@@ -131,7 +159,9 @@ done
 # serving-side preparation, so an infeasible request must come back as a
 # typed InfeasibleLayer, never a panic. The weight-structure analyzer
 # (crates/core/src/sparse.rs) also feeds preparation and holds the line.
-for d in crates/protocol/src crates/serve/src crates/core/src/ptune crates/core/src/sparse.rs; do
+# The NTT boundary (crates/bfv/src/ntt.rs) converted its entry asserts to
+# typed errors and must not grow new panic macros.
+for d in crates/protocol/src crates/serve/src crates/core/src/ptune crates/core/src/sparse.rs crates/bfv/src/ntt.rs; do
     if grep -rnE '\b(panic!|unimplemented!|todo!|unreachable!)\(' "$d"; then
         echo "FAIL: panic-family macro in $d (boundary must return typed errors)"
         exit 1
@@ -148,6 +178,13 @@ echo "==> multi-client serving smoke (fixed-seed fleet, fault containment)"
 # client must die typed while its neighbors' transcripts stay
 # bit-identical to a clean run.
 cargo test -q -p cheetah-serve --test concurrency_determinism faulted_client_does_not_perturb_neighbors
+
+echo "==> scalar/SIMD bit-identity (both feature configs)"
+# The simd feature must never change an output bit: the equivalence suite
+# runs in both configurations (feature off clamps every backend to the
+# scalar reference, pinning the clamp itself).
+cargo test -q -p cheetah-bfv --features simd
+cargo test -q -p cheetah-bfv --test simd_equivalence
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
